@@ -1,0 +1,77 @@
+"""Future-work extension — adding the ``ldd`` (shared-library) feature.
+
+The paper's future work proposes "loading shared objects extracted
+through the ldd command" as an additional fuzzy-hash feature.  This
+benchmark evaluates exactly that: the classifier with the paper's three
+features versus the classifier with the additional ``ssdeep-libs``
+feature, under the identical split and threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import ThresholdRandomForest
+from repro.core.reporting import render_table
+from repro.features.extractors import EXTENDED_FEATURE_TYPES
+from repro.features.pipeline import FeatureExtractionPipeline
+from repro.features.similarity import SimilarityFeatureBuilder
+from repro.ml.metrics import f1_score
+
+
+@pytest.mark.benchmark(group="extension")
+def test_extension_library_feature(benchmark, bench_config, corpus_samples,
+                                   paper_split, grid_outcome, emit_table):
+    pipeline = FeatureExtractionPipeline(EXTENDED_FEATURE_TYPES,
+                                         n_jobs=bench_config.n_jobs)
+    features = pipeline.extract_generated(corpus_samples)
+    train_features = [features[i] for i in paper_split.train_indices]
+    test_features = [features[i] for i in paper_split.test_indices]
+    y_train = np.asarray(paper_split.train_labels, dtype=object)
+    expected = paper_split.expected_test_labels
+    n_estimators = max(40, bench_config.scale.n_estimators // 2)
+
+    def evaluate(feature_types):
+        builder = SimilarityFeatureBuilder(feature_types)
+        train_matrix = builder.fit_transform(train_features, exclude_self=True)
+        test_matrix = builder.transform(test_features)
+        model = ThresholdRandomForest(
+            n_estimators=n_estimators,
+            confidence_threshold=grid_outcome.best_threshold,
+            class_weight="balanced", random_state=bench_config.seed)
+        model.fit(train_matrix.X, y_train)
+        predictions = model.predict(test_matrix.X)
+        return {
+            "macro": f1_score(expected, predictions, average="macro"),
+            "micro": f1_score(expected, predictions, average="micro"),
+            "weighted": f1_score(expected, predictions, average="weighted"),
+        }
+
+    def run_both():
+        return {
+            "paper features (file, strings, symbols)": evaluate(
+                ("ssdeep-file", "ssdeep-strings", "ssdeep-symbols")),
+            "+ ssdeep-libs (ldd future work)": evaluate(EXTENDED_FEATURE_TYPES),
+            "ssdeep-libs only": evaluate(("ssdeep-libs",)),
+        }
+
+    scores = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    baseline = scores["paper features (file, strings, symbols)"]
+    extended = scores["+ ssdeep-libs (ldd future work)"]
+    libs_only = scores["ssdeep-libs only"]
+
+    # The library list alone cannot separate applications that link the
+    # same stacks, so on its own it must be clearly weaker; added to the
+    # paper's features it must not hurt substantially.
+    assert libs_only["macro"] < baseline["macro"]
+    assert extended["macro"] >= baseline["macro"] - 0.05
+
+    rows = [(name, f"{s['macro']:.3f}", f"{s['micro']:.3f}", f"{s['weighted']:.3f}")
+            for name, s in scores.items()]
+    table = render_table(["feature set", "macro f1", "micro f1", "weighted f1"], rows,
+                         title="Future-work extension: adding the ldd-based feature")
+    table += ("\npaper reference (future work): 'Future work could study loading "
+              "shared objects extracted through the ldd command'")
+    emit_table("extension_library_feature", table)

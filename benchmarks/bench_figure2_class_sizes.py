@@ -1,0 +1,52 @@
+"""Figure 2 — number of samples per application class (log scale).
+
+The paper's Figure 2 shows the heavily imbalanced per-class sample
+counts across the 92 classes.  This benchmark reports the same
+distribution for the synthetic corpus (at the selected scale) together
+with summary statistics of the imbalance, and times the corpus
+planning step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.reporting import class_size_table, render_table
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_class_size_distribution(benchmark, corpus_builder, corpus_samples,
+                                         emit_table, bench_config):
+    def plan_all_classes():
+        return {spec.name: versions and len(versions) * n_exec
+                for spec in corpus_builder.catalog
+                for versions, n_exec in [corpus_builder.plan_class(spec)]}
+
+    planned = benchmark(plan_all_classes)
+
+    counts: dict[str, int] = {}
+    for sample in corpus_samples:
+        counts[sample.class_name] = counts.get(sample.class_name, 0) + 1
+    sizes = np.array(sorted(counts.values(), reverse=True))
+
+    assert len(counts) == len(corpus_builder.catalog)
+    assert sizes.max() > sizes.min(), "the class sizes must be imbalanced"
+
+    stats = render_table(
+        ["statistic", "value"],
+        [("number of classes", len(counts)),
+         ("total samples", int(sizes.sum())),
+         ("largest class", int(sizes.max())),
+         ("smallest class", int(sizes.min())),
+         ("median class size", float(np.median(sizes))),
+         ("imbalance ratio (max/min)", round(float(sizes.max() / sizes.min()), 1)),
+         ("paper reference", "92 classes, 5333 samples, max 880, min 3")],
+        title="Figure 2 summary statistics")
+    emit_table("figure2_class_sizes",
+               stats + "\n\n" + class_size_table(counts))
+
+    # At full scale the distribution matches the paper's headline numbers.
+    if bench_config.scale.name == "full":
+        assert 5000 <= int(sizes.sum()) <= 5700
+        assert sizes.min() >= 3

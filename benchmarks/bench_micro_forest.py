@@ -1,0 +1,55 @@
+"""Micro-benchmarks of the from-scratch Random Forest.
+
+Training dominates the grid search's cost, prediction dominates the
+production workflow's cost; both are measured here on the real
+similarity feature matrix of the benchmark corpus.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.tree import DecisionTreeClassifier
+
+
+@pytest.mark.benchmark(group="micro-forest")
+def test_single_tree_fit(benchmark, similarity_matrices, paper_split):
+    _, train_matrix, _ = similarity_matrices
+    y = np.asarray(paper_split.train_labels, dtype=object)
+
+    def fit():
+        return DecisionTreeClassifier(max_features="sqrt", class_weight="balanced",
+                                      random_state=0).fit(train_matrix.X, y)
+
+    tree = benchmark.pedantic(fit, rounds=2, iterations=1)
+    assert tree.node_count > 10
+
+
+@pytest.mark.benchmark(group="micro-forest")
+def test_forest_fit_40_trees(benchmark, similarity_matrices, paper_split, bench_config):
+    _, train_matrix, _ = similarity_matrices
+    y = np.asarray(paper_split.train_labels, dtype=object)
+
+    def fit():
+        return RandomForestClassifier(
+            n_estimators=40, max_features="sqrt", class_weight="balanced",
+            random_state=0, n_jobs=bench_config.n_jobs).fit(train_matrix.X, y)
+
+    forest = benchmark.pedantic(fit, rounds=1, iterations=1)
+    assert len(forest.estimators_) == 40
+
+
+@pytest.mark.benchmark(group="micro-forest")
+def test_forest_predict_throughput(benchmark, fitted_model, similarity_matrices):
+    _, _, test_matrix = similarity_matrices
+    predictions = benchmark(lambda: fitted_model.predict(test_matrix.X))
+    assert len(predictions) == test_matrix.n_samples
+
+
+@pytest.mark.benchmark(group="micro-forest")
+def test_forest_predict_proba_throughput(benchmark, fitted_model, similarity_matrices):
+    _, _, test_matrix = similarity_matrices
+    proba = benchmark(lambda: fitted_model.predict_proba(test_matrix.X))
+    assert proba.shape[0] == test_matrix.n_samples

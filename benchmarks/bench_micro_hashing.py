@@ -1,0 +1,69 @@
+"""Micro-benchmarks of the hashing substrate.
+
+Not a paper table — these quantify the building blocks the pipeline's
+throughput depends on: SSDeep digesting (with the vectorised rolling
+hash), the scalar reference rolling hash, and digest comparison.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.features.extractors import FeatureExtractor
+from repro.hashing.compare import compare_digests
+from repro.hashing.rolling import RollingHash, rolling_hash_values
+from repro.hashing.ssdeep import FuzzyHasher
+
+_PAYLOAD_64K = random.Random(0).randbytes(64 * 1024)
+_PAYLOAD_8K = random.Random(1).randbytes(8 * 1024)
+
+
+@pytest.mark.benchmark(group="micro-hashing")
+def test_fuzzy_hash_64k(benchmark):
+    hasher = FuzzyHasher()
+    digest = benchmark(lambda: hasher.hash(_PAYLOAD_64K))
+    assert digest.chunk
+
+
+@pytest.mark.benchmark(group="micro-hashing")
+def test_fuzzy_hash_8k(benchmark):
+    hasher = FuzzyHasher()
+    digest = benchmark(lambda: hasher.hash(_PAYLOAD_8K))
+    assert digest.chunk
+
+
+@pytest.mark.benchmark(group="micro-hashing")
+def test_rolling_hash_vectorised_64k(benchmark):
+    values = benchmark(lambda: rolling_hash_values(_PAYLOAD_64K))
+    assert values.shape == (len(_PAYLOAD_64K),)
+
+
+@pytest.mark.benchmark(group="micro-hashing")
+def test_rolling_hash_scalar_reference_8k(benchmark):
+    def run():
+        hasher = RollingHash()
+        hasher.update_bytes(_PAYLOAD_8K)
+        return hasher.value
+
+    assert benchmark(run) >= 0
+
+
+@pytest.mark.benchmark(group="micro-hashing")
+def test_digest_comparison(benchmark):
+    hasher = FuzzyHasher()
+    a = str(hasher.hash(_PAYLOAD_64K))
+    mutated = bytearray(_PAYLOAD_64K)
+    mutated[1000:1100] = random.Random(2).randbytes(100)
+    b = str(hasher.hash(bytes(mutated)))
+    score = benchmark(lambda: compare_digests(a, b))
+    assert score > 50
+
+
+@pytest.mark.benchmark(group="micro-hashing")
+def test_full_feature_extraction_one_binary(benchmark, corpus_samples):
+    extractor = FeatureExtractor()
+    sample = corpus_samples[0]
+    features = benchmark(lambda: extractor.extract(sample.data, sample_id="x"))
+    assert len(features.digests) == 3

@@ -1,0 +1,41 @@
+"""Table 1 — versions and executables of the Velvet application class.
+
+The paper's Table 1 shows that the Velvet class consists of three
+version directories, each containing the ``velveth`` and ``velvetg``
+executables.  This benchmark regenerates exactly that structure from
+the synthetic corpus and times how long generating one such application
+class takes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.reporting import render_table, velvet_style_table
+from repro.corpus.dataset import CorpusDataset
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_velvet_structure(benchmark, full_catalog_builder, emit_table):
+    samples = benchmark(lambda: full_catalog_builder.build_samples(class_names=["Velvet"]))
+
+    records = [s.record(sample_id=s.relative_path) for s in samples]
+    dataset = CorpusDataset(records)
+    table = velvet_style_table(dataset, class_name="Velvet")
+
+    by_version: dict[str, list[str]] = {}
+    for sample in samples:
+        by_version.setdefault(sample.version, []).append(sample.executable)
+
+    # Structural assertions that mirror the paper's Table 1.
+    assert len(by_version) == 3, "Velvet must have exactly three versions"
+    for executables in by_version.values():
+        assert sorted(executables) == ["velvetg", "velveth"]
+
+    paper_reference = render_table(
+        ["Class", "Application Version", "Samples"],
+        [("Velvet", "1.2.10-GCC-10.3.0-mt-kmer 191", "velveth, velvetg"),
+         ("", "1.2.10-goolf-1.4.10", "velveth, velvetg"),
+         ("", "1.2.10-goolf-1.7.20", "velveth, velvetg")],
+        title="Paper Table 1 (reference)")
+    emit_table("table1_velvet_structure", table + "\n\n" + paper_reference)

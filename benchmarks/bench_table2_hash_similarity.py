@@ -1,0 +1,53 @@
+"""Table 2 — SSDeep symbol-hash comparison of two OpenMalaria versions.
+
+The paper's Table 2 shows the fuzzy hashes of the symbol tables of two
+OpenMalaria versions (46.0-iomkl-2019.01 and 43.1-foss-2021a) and notes
+that the two digests share long common substrings, i.e. a high SSDeep
+similarity.  This benchmark regenerates two OpenMalaria versions,
+extracts their symbol digests and scores them; the timed section is the
+digest comparison itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.reporting import hash_similarity_example
+from repro.features.extractors import FeatureExtractor
+from repro.hashing.compare import compare_digests
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_openmalaria_symbol_hash_similarity(benchmark, full_catalog_builder,
+                                                   emit_table):
+    samples = full_catalog_builder.build_samples(class_names=["OpenMalaria"])
+    assert len(samples) >= 2
+    by_version: dict[str, object] = {}
+    for sample in samples:
+        by_version.setdefault(sample.version, sample)
+    versions = sorted(by_version)[:2]
+    extractor = FeatureExtractor()
+    features = [extractor.extract(by_version[v].data, sample_id=v,
+                                  class_name="OpenMalaria", version=v)
+                for v in versions]
+    digest_a = features[0].digest("ssdeep-symbols")
+    digest_b = features[1].digest("ssdeep-symbols")
+
+    score = benchmark(lambda: compare_digests(digest_a, digest_b))
+
+    # Different versions of the same application share most global
+    # symbols, so the similarity must be clearly positive (the paper's
+    # Table 2 point) — and well below a different application, which
+    # scores 0 against OpenMalaria.
+    assert score > 40
+    other = full_catalog_builder.build_samples(class_names=["Velvet"])[0]
+    other_digest = extractor.extract(other.data, sample_id="velvet").digest("ssdeep-symbols")
+    cross_score = compare_digests(digest_a, other_digest)
+    assert cross_score < score
+
+    table = hash_similarity_example(
+        "OpenMalaria", [(v, f.digest("ssdeep-symbols")) for v, f in zip(versions, features)])
+    table += (f"\n\ncross-application check: similarity(OpenMalaria vs Velvet) "
+              f"= {cross_score}")
+    table += "\npaper reference: two OpenMalaria versions share long common digest substrings"
+    emit_table("table2_hash_similarity", table)

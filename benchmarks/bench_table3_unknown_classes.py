@@ -1,0 +1,46 @@
+"""Table 3 — composition of the unknown class.
+
+The paper holds out 19 whole application classes (852 samples) as the
+"-1" unknown class.  This benchmark applies the same two-phase split to
+the synthetic corpus with split mode "paper" (the identical class list)
+and reports the per-class counts; the split itself is the timed
+operation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.reporting import unknown_class_table
+from repro.core.splits import two_phase_split
+from repro.corpus.catalog import PAPER_UNKNOWN_CLASSES
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_unknown_class_composition(benchmark, corpus_labels, bench_config,
+                                          paper_split, emit_table):
+    split = benchmark(lambda: two_phase_split(
+        corpus_labels,
+        unknown_class_fraction=bench_config.unknown_class_fraction,
+        test_sample_fraction=bench_config.test_sample_fraction,
+        mode="paper",
+        random_state=bench_config.seed,
+    ))
+
+    counts = split.unknown_class_counts()
+    # Exactly the paper's held-out classes (those present at this scale).
+    assert set(counts) <= set(PAPER_UNKNOWN_CLASSES)
+    assert len(counts) == len([c for c in PAPER_UNKNOWN_CLASSES
+                               if c in set(corpus_labels)])
+    # None of them appear in the training labels.
+    assert not set(split.train_labels) & set(counts)
+
+    table = unknown_class_table(split)
+    table += ("\n\npaper reference: 19 classes, 852 unknown samples "
+              "(Schrodinger 195, QuantumESPRESSO 178, SAMtools 108, ..., CHARMM 3)")
+    table += f"\nmeasured: {len(counts)} classes, {sum(counts.values())} unknown samples"
+    table += f"\nsplit: {split.summary()}"
+    emit_table("table3_unknown_classes", table)
+
+    if bench_config.scale.name == "full":
+        assert 750 <= sum(counts.values()) <= 950

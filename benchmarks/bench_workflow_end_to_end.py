@@ -1,0 +1,84 @@
+"""Figure 1 — the envisioned workflow, measured stage by stage.
+
+Figure 1 of the paper is an architecture diagram (collect fuzzy-hash
+features from jobs → classify → let operators decide), not a results
+plot.  The closest measurable artefact is the throughput of each stage
+of that workflow, which is what this benchmark reports: corpus
+collection, feature extraction, similarity matrix construction,
+training and prediction.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import ThresholdRandomForest
+from repro.core.reporting import render_table
+from repro.features.pipeline import FeatureExtractionPipeline
+from repro.features.similarity import SimilarityFeatureBuilder
+
+
+@pytest.mark.benchmark(group="workflow")
+def test_workflow_stage_throughput(benchmark, bench_config, corpus_samples,
+                                   paper_split, grid_outcome, emit_table):
+    stage_seconds: dict[str, float] = {}
+    stage_items: dict[str, int] = {}
+
+    def run_pipeline():
+        timings = {}
+        start = time.perf_counter()
+        pipeline = FeatureExtractionPipeline(bench_config.feature_types,
+                                             n_jobs=bench_config.n_jobs)
+        features = pipeline.extract_generated(corpus_samples)
+        timings["feature extraction"] = time.perf_counter() - start
+
+        train_features = [features[i] for i in paper_split.train_indices]
+        test_features = [features[i] for i in paper_split.test_indices]
+
+        start = time.perf_counter()
+        builder = SimilarityFeatureBuilder(bench_config.feature_types)
+        train_matrix = builder.fit_transform(train_features, exclude_self=True)
+        test_matrix = builder.transform(test_features)
+        timings["similarity matrices"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        model = ThresholdRandomForest(
+            confidence_threshold=grid_outcome.best_threshold,
+            random_state=bench_config.seed, class_weight="balanced",
+            n_jobs=bench_config.n_jobs, **grid_outcome.best_params)
+        model.fit(train_matrix.X, np.asarray(paper_split.train_labels, dtype=object))
+        timings["training"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        predictions = model.predict(test_matrix.X)
+        timings["prediction"] = time.perf_counter() - start
+
+        stage_seconds.update(timings)
+        stage_items.update({
+            "feature extraction": len(corpus_samples),
+            "similarity matrices": len(train_features) + len(test_features),
+            "training": len(train_features),
+            "prediction": len(test_features),
+        })
+        return predictions
+
+    predictions = benchmark.pedantic(run_pipeline, rounds=1, iterations=1)
+    assert len(predictions) == paper_split.n_test
+    # Prediction must be much cheaper than training: the production
+    # workflow classifies newly collected executables against an already
+    # trained model.
+    assert stage_seconds["prediction"] < stage_seconds["training"]
+
+    rows = []
+    for stage, seconds in stage_seconds.items():
+        items = stage_items[stage]
+        rate = items / seconds if seconds > 0 else float("inf")
+        rows.append((stage, items, f"{seconds:.2f}", f"{rate:.1f}"))
+    table = render_table(
+        ["workflow stage", "items", "seconds", "items/s"], rows,
+        title="Figure 1 workflow: per-stage throughput "
+              f"(scale '{bench_config.scale.name}', {bench_config.n_jobs} worker(s))")
+    emit_table("workflow_end_to_end", table)

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Quickstart: train the Fuzzy Hash Classifier and classify executables.
+
+This walks through the whole pipeline of the paper on a small synthetic
+software tree:
+
+1. generate a sciCORE-like software tree on disk
+   (``<Class>/<version>/<executable>`` with real ELF binaries),
+2. scan it with the paper's collection rules,
+3. extract the three SSDeep fuzzy-hash features per executable,
+4. train the Fuzzy Hash Classifier (Random Forest over similarity
+   scores, balanced class weights, confidence threshold for "unknown"),
+5. classify a few executables — including ones from application classes
+   the model has never seen.
+
+Run with::
+
+    python examples/quickstart.py [small|medium|full]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import (
+    CorpusBuilder,
+    CorpusScanner,
+    FeatureExtractionPipeline,
+    FuzzyHashClassifier,
+    default_config,
+    two_phase_split,
+)
+from repro.logging_utils import configure_logging
+from repro.ml.metrics import classification_report
+
+
+def main() -> int:
+    configure_logging("INFO")
+    scale = sys.argv[1] if len(sys.argv) > 1 else "small"
+    config = default_config(scale, seed=7)
+    print(f"Using scale preset: {config.scale.describe()}")
+
+    with tempfile.TemporaryDirectory(prefix="repro-quickstart-") as tmp:
+        tree = Path(tmp) / "software"
+
+        # 1. generate the synthetic software tree (stands in for the
+        #    preinstalled applications of a production cluster).
+        print("\n[1/5] generating the software tree ...")
+        dataset = CorpusBuilder(config=config).materialize_tree(tree)
+        print(f"      {dataset.summary()}")
+
+        # 2. scan it exactly like the paper collects its data set.
+        print("\n[2/5] scanning the tree with the collection rules ...")
+        scan = CorpusScanner(tree).scan()
+        print(f"      {scan.summary()}")
+
+        # 3. extract fuzzy-hash features (ssdeep-file / -strings / -symbols).
+        print("\n[3/5] extracting SSDeep fuzzy-hash features ...")
+        features = FeatureExtractionPipeline(n_jobs=config.n_jobs) \
+            .extract_dataset(scan.dataset)
+        example = features[0]
+        print(f"      example digest ({example.sample_id}):")
+        print(f"        ssdeep-symbols = {example.digest('ssdeep-symbols')[:70]}...")
+
+        # 4. two-phase split and training.
+        print("\n[4/5] training the Fuzzy Hash Classifier ...")
+        split = two_phase_split(scan.dataset.labels, mode="paper",
+                                random_state=config.seed)
+        print(f"      {split.summary()}")
+        train_features = [features[i] for i in split.train_indices]
+        classifier = FuzzyHashClassifier(
+            n_estimators=config.scale.n_estimators,
+            confidence_threshold=0.5,
+            random_state=config.seed,
+        ).fit(train_features)
+        print(f"      feature importance by hash type: "
+              f"{ {k: round(v, 3) for k, v in classifier.feature_importances_by_type().items()} }")
+
+        # 5. classify the held-out test samples (incl. unknown classes).
+        print("\n[5/5] classifying the test set ...")
+        test_features = [features[i] for i in split.test_indices]
+        predictions = classifier.predict(test_features)
+        report = classification_report(split.expected_test_labels, predictions)
+        print(report.as_text())
+        print(f"\nmacro f1 = {report.macro_f1:.3f}, micro f1 = {report.micro_f1:.3f}, "
+              f"weighted f1 = {report.weighted_f1:.3f}")
+        print("(the paper reports 0.90 / 0.89 / 0.90 on the full 92-class corpus)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

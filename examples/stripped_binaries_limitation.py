@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Scenario: what stripped binaries do to the Fuzzy Hash Classifier.
+
+The paper's limitations section points out that the approach "does not
+work with executables that have been stripped of the symbol table",
+because the dominant feature (the fuzzy hash of the ``nm`` output)
+disappears.  This example measures that effect directly: the same test
+binaries are classified twice, once intact and once after stripping,
+and the per-feature similarity to their own class is compared.
+
+Run with::
+
+    python examples/stripped_binaries_limitation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    CorpusBuilder,
+    FeatureExtractionPipeline,
+    FuzzyHashClassifier,
+    default_config,
+    strip_symbols,
+    two_phase_split,
+)
+from repro.features.extractors import FeatureExtractor
+from repro.logging_utils import configure_logging
+from repro.ml.metrics import accuracy_score
+
+
+def main() -> int:
+    configure_logging("WARNING")
+    config = default_config("small", seed=31)
+
+    builder = CorpusBuilder(config=config)
+    samples = builder.build_samples()
+    features = FeatureExtractionPipeline().extract_generated(samples)
+    labels = [s.class_name for s in samples]
+
+    split = two_phase_split(labels, mode="paper", random_state=config.seed)
+    train = [features[i] for i in split.train_indices]
+    classifier = FuzzyHashClassifier(n_estimators=60, confidence_threshold=0.5,
+                                     random_state=1).fit(train)
+
+    known = set(split.known_classes)
+    test_samples = [samples[i] for i in split.test_indices
+                    if samples[i].class_name in known]
+    extractor = FeatureExtractor()
+
+    intact_features, stripped_features = [], []
+    for sample in test_samples:
+        intact_features.append(extractor.extract(
+            sample.data, sample_id=sample.relative_path,
+            class_name=sample.class_name))
+        stripped_features.append(extractor.extract(
+            strip_symbols(sample.data), sample_id=sample.relative_path + "#stripped",
+            class_name=sample.class_name))
+
+    y_true = np.asarray([s.class_name for s in test_samples], dtype=object)
+    intact_predictions = classifier.predict(intact_features)
+    stripped_predictions = classifier.predict(stripped_features)
+
+    print(f"known-class test binaries: {len(test_samples)}")
+    print(f"accuracy on intact binaries:   {accuracy_score(y_true, intact_predictions):.3f}")
+    print(f"accuracy on stripped binaries: {accuracy_score(y_true, stripped_predictions):.3f}")
+    print(f"stripped binaries labelled 'unknown': "
+          f"{float(np.mean(stripped_predictions == -1)):.3f}")
+
+    # Show what stripping does to the similarity features of one binary;
+    # pick one whose intact symbol hash actually matches its class (i.e. a
+    # binary the classifier would normally recognise through its symbols).
+    matrix_all_intact = classifier.transform(intact_features)
+    symbol_scores = matrix_all_intact.columns_for("ssdeep-symbols").max(axis=1)
+    example_index = int(np.argmax(symbol_scores))
+    matrix_intact = classifier.transform([intact_features[example_index]])
+    matrix_stripped = classifier.transform([stripped_features[example_index]])
+    print("\nper-feature maximum similarity to any known class "
+          f"(example binary {test_samples[example_index].relative_path}):")
+    for feature_type in classifier.feature_types:
+        intact_max = matrix_intact.columns_for(feature_type).max()
+        stripped_max = matrix_stripped.columns_for(feature_type).max()
+        print(f"  {feature_type:<16s} intact {intact_max:5.1f}   stripped {stripped_max:5.1f}")
+
+    print("\nAs in the paper, the ssdeep-symbols feature vanishes for stripped "
+          "binaries,\nwhich removes most of the classifier's evidence.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so that the package can be installed in fully offline
+environments where pip must fall back to a legacy (non-PEP 517)
+editable install.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,134 @@
+"""Internal argument-validation helpers.
+
+These utilities mirror the small subset of scikit-learn's ``check_*``
+helpers that the from-scratch ML substrate needs, and add a few
+library-specific checks (byte inputs, digests, probability values).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from .exceptions import ValidationError
+
+__all__ = [
+    "check_bytes",
+    "check_probability",
+    "check_positive_int",
+    "check_non_negative_int",
+    "check_in_choices",
+    "check_array_2d",
+    "check_array_1d",
+    "check_consistent_length",
+    "check_random_state",
+]
+
+
+def check_bytes(data: Any, name: str = "data") -> bytes:
+    """Return ``data`` as :class:`bytes`, accepting bytes-like objects."""
+
+    if isinstance(data, bytes):
+        return data
+    if isinstance(data, (bytearray, memoryview)):
+        return bytes(data)
+    if isinstance(data, str):
+        return data.encode("utf-8", errors="replace")
+    raise ValidationError(
+        f"{name} must be bytes-like or str, got {type(data).__name__}"
+    )
+
+
+def check_probability(value: float, name: str = "value") -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be a float in [0, 1]") from exc
+    if not (0.0 <= value <= 1.0) or not np.isfinite(value):
+        raise ValidationError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_positive_int(value: Any, name: str = "value") -> int:
+    """Validate that ``value`` is an integer >= 1."""
+
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValidationError(f"{name} must be a positive integer, got {value!r}")
+    value = int(value)
+    if value < 1:
+        raise ValidationError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def check_non_negative_int(value: Any, name: str = "value") -> int:
+    """Validate that ``value`` is an integer >= 0."""
+
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValidationError(f"{name} must be a non-negative integer, got {value!r}")
+    value = int(value)
+    if value < 0:
+        raise ValidationError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_in_choices(value: Any, choices: Iterable[Any], name: str = "value") -> Any:
+    """Validate that ``value`` is among ``choices``."""
+
+    choices = tuple(choices)
+    if value not in choices:
+        raise ValidationError(f"{name} must be one of {choices!r}, got {value!r}")
+    return value
+
+
+def check_array_2d(X: Any, name: str = "X", dtype=np.float64) -> np.ndarray:
+    """Convert ``X`` to a 2-D float array, rejecting NaN/inf values."""
+
+    arr = np.asarray(X, dtype=dtype)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise ValidationError(f"{name} must be 2-dimensional, got shape {arr.shape}")
+    if arr.size and not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def check_array_1d(y: Any, name: str = "y") -> np.ndarray:
+    """Convert ``y`` to a 1-D array (dtype preserved)."""
+
+    arr = np.asarray(y)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be 1-dimensional, got shape {arr.shape}")
+    return arr
+
+
+def check_consistent_length(*arrays: Sequence[Any]) -> int:
+    """Check that all arrays have the same first dimension, return it."""
+
+    lengths = {len(a) for a in arrays if a is not None}
+    if len(lengths) > 1:
+        raise ValidationError(
+            f"Found input arrays with inconsistent numbers of samples: {sorted(lengths)}"
+        )
+    return lengths.pop() if lengths else 0
+
+
+def check_random_state(seed: Any) -> np.random.Generator:
+    """Turn ``seed`` into a :class:`numpy.random.Generator` instance.
+
+    Accepts ``None`` (fresh entropy), an integer, an existing ``Generator``
+    or a legacy ``RandomState`` (converted via its bit generator seed).
+    """
+
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    if isinstance(seed, np.random.RandomState):
+        return np.random.default_rng(seed.randint(0, 2**32 - 1))
+    raise ValidationError(f"Cannot use {seed!r} to seed a random generator")

@@ -1,0 +1,24 @@
+"""Result analysis used by the paper's discussion section.
+
+* :mod:`repro.analysis.importance` — aggregate Random-Forest feature
+  importances per fuzzy-hash type (Table 5),
+* :mod:`repro.analysis.misclassification` — find the class pairs that
+  confuse the classifier (the CellRanger / Cell-Ranger and
+  Augustus / AUGUSTUS discussion),
+* :mod:`repro.analysis.usage_report` — software-usage reporting from
+  predicted labels (one of the secondary use cases the paper lists).
+"""
+
+from .importance import group_importances, importance_by_class
+from .misclassification import ConfusedPair, confused_pairs, per_class_discrepancies
+from .usage_report import UsageReport, build_usage_report
+
+__all__ = [
+    "group_importances",
+    "importance_by_class",
+    "ConfusedPair",
+    "confused_pairs",
+    "per_class_discrepancies",
+    "UsageReport",
+    "build_usage_report",
+]

@@ -1,0 +1,57 @@
+"""Feature-importance aggregation (paper Table 5).
+
+The Random Forest is trained on one column per (fuzzy-hash type,
+anchor class); the paper reports importance per fuzzy-hash *type*
+(``ssdeep-file`` / ``ssdeep-strings`` / ``ssdeep-symbols``).  The
+aggregation simply sums the Gini importances of all columns belonging
+to a type and re-normalises, which is exactly what summing
+scikit-learn's ``feature_importances_`` over column groups does.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = ["group_importances", "importance_by_class"]
+
+
+def group_importances(importances: Sequence[float],
+                      feature_groups: Mapping[str, Sequence[int]]) -> dict[str, float]:
+    """Sum importances per feature group and normalise to 1.
+
+    Parameters
+    ----------
+    importances:
+        Per-column importances from the Random Forest.
+    feature_groups:
+        Mapping of group name (fuzzy-hash type) to column indices.
+    """
+
+    importances = np.asarray(importances, dtype=np.float64)
+    if importances.ndim != 1:
+        raise ValidationError("importances must be one-dimensional")
+    totals: dict[str, float] = {}
+    for group, indices in feature_groups.items():
+        indices = np.asarray(list(indices), dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= importances.size):
+            raise ValidationError(f"feature group {group!r} has out-of-range indices")
+        totals[group] = float(importances[indices].sum()) if indices.size else 0.0
+    grand_total = sum(totals.values())
+    if grand_total <= 0:
+        return {group: 0.0 for group in totals}
+    return {group: value / grand_total for group, value in totals.items()}
+
+
+def importance_by_class(importances: Sequence[float], feature_names: Sequence[str],
+                        top: int = 10) -> list[tuple[str, float]]:
+    """The most important individual columns (``type|class`` names)."""
+
+    importances = np.asarray(importances, dtype=np.float64)
+    if len(importances) != len(feature_names):
+        raise ValidationError("importances and feature_names must align")
+    order = np.argsort(importances)[::-1][:top]
+    return [(feature_names[i], float(importances[i])) for i in order]

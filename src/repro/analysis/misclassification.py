@@ -1,0 +1,72 @@
+"""Misclassification analysis.
+
+The paper's discussion section traces most of the residual error to a
+handful of confusable class pairs (``CellRanger`` vs ``Cell-Ranger``,
+``Augustus`` vs the held-out ``AUGUSTUS``) and to classes with large
+precision/recall discrepancies (BigDFT, MUMmer).  These helpers extract
+exactly those views from a prediction run.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..ml.metrics import precision_recall_fscore_support
+
+__all__ = ["ConfusedPair", "confused_pairs", "per_class_discrepancies"]
+
+
+@dataclass(frozen=True)
+class ConfusedPair:
+    """One directed confusion: samples of ``true_class`` predicted as
+    ``predicted_class``."""
+
+    true_class: object
+    predicted_class: object
+    count: int
+
+    def describe(self) -> str:
+        return f"{self.count} samples of {self.true_class!r} predicted as {self.predicted_class!r}"
+
+
+def confused_pairs(y_true: Sequence, y_pred: Sequence, *, top: int = 10,
+                   ignore_correct: bool = True) -> list[ConfusedPair]:
+    """The most frequent (true, predicted) confusions."""
+
+    counter: Counter = Counter()
+    for true_value, predicted in zip(y_true, y_pred):
+        if ignore_correct and true_value == predicted:
+            continue
+        counter[(true_value, predicted)] += 1
+    pairs = [ConfusedPair(true_class=t, predicted_class=p, count=c)
+             for (t, p), c in counter.most_common(top)]
+    return pairs
+
+
+def per_class_discrepancies(y_true: Sequence, y_pred: Sequence, *,
+                            min_support: int = 5,
+                            min_gap: float = 0.2) -> list[dict]:
+    """Classes whose precision and recall differ by at least ``min_gap``.
+
+    This is the "Inconsistent Performance" view of the discussion
+    (classes like BigDFT with precision 0.55 / recall 0.96).
+    """
+
+    y_true_arr = np.asarray(list(y_true), dtype=object)
+    y_pred_arr = np.asarray(list(y_pred), dtype=object)
+    labels = np.array(sorted(set(y_true_arr.tolist()), key=str), dtype=object)
+    precision, recall, f1, support = precision_recall_fscore_support(
+        y_true_arr, y_pred_arr, labels=labels, average=None)
+    rows = []
+    for label, p, r, f, s in zip(labels.tolist(), precision, recall, f1, support):
+        if s < min_support:
+            continue
+        if abs(p - r) >= min_gap:
+            rows.append({"class": label, "precision": float(p), "recall": float(r),
+                         "f1": float(f), "support": int(s)})
+    rows.sort(key=lambda row: -abs(row["precision"] - row["recall"]))
+    return rows

@@ -1,0 +1,96 @@
+"""Cluster software-usage reporting.
+
+One of the secondary use cases the paper lists for application labels
+is "reporting software usage across the cluster".  Given classified
+samples (optionally attributed to users/allocations) this module
+aggregates a usage report and highlights deviations from an
+allocation's expected software.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+__all__ = ["UsageReport", "build_usage_report"]
+
+
+@dataclass
+class UsageReport:
+    """Aggregated application usage."""
+
+    class_counts: dict[str, int]
+    per_user_counts: dict[str, dict[str, int]]
+    unknown_count: int
+    deviations: list[dict] = field(default_factory=list)
+
+    def top_classes(self, n: int = 10) -> list[tuple[str, int]]:
+        return sorted(self.class_counts.items(), key=lambda kv: (-kv[1], kv[0]))[:n]
+
+    def as_text(self) -> str:
+        lines = ["Software usage report", "======================"]
+        for name, count in self.top_classes(20):
+            lines.append(f"  {name:<28s} {count:>6d} executions")
+        lines.append(f"  {'<unknown applications>':<28s} {self.unknown_count:>6d} executions")
+        if self.deviations:
+            lines.append("")
+            lines.append("Allocation deviations:")
+            for deviation in self.deviations:
+                lines.append(
+                    f"  user {deviation['user']}: ran {deviation['class']} "
+                    f"({deviation['count']}x) outside the allowed set")
+        return "\n".join(lines)
+
+
+def build_usage_report(predictions: Sequence, *,
+                       users: Sequence[str] | None = None,
+                       allowed_per_user: Mapping[str, Sequence[str]] | None = None,
+                       unknown_label=-1) -> UsageReport:
+    """Aggregate predicted labels into a usage report.
+
+    Parameters
+    ----------
+    predictions:
+        Predicted application class per executed sample.
+    users:
+        Optional user/allocation id per sample (same length).
+    allowed_per_user:
+        Optional mapping of user to the application classes their
+        allocation is expected to run; anything else is reported as a
+        deviation (the paper's guiding questions 1 and 2).
+    """
+
+    predictions = list(predictions)
+    users = list(users) if users is not None else ["<all>"] * len(predictions)
+    if len(users) != len(predictions):
+        raise ValueError("users must have the same length as predictions")
+
+    class_counts: Counter = Counter()
+    per_user: dict[str, Counter] = defaultdict(Counter)
+    unknown_count = 0
+    for user, predicted in zip(users, predictions):
+        if predicted == unknown_label:
+            unknown_count += 1
+            per_user[user]["<unknown>"] += 1
+            continue
+        class_counts[str(predicted)] += 1
+        per_user[user][str(predicted)] += 1
+
+    deviations: list[dict] = []
+    if allowed_per_user:
+        for user, counts in per_user.items():
+            allowed = set(allowed_per_user.get(user, ()))
+            if not allowed:
+                continue
+            for class_name, count in counts.items():
+                if class_name == "<unknown>" or class_name in allowed:
+                    continue
+                deviations.append({"user": user, "class": class_name, "count": count})
+
+    return UsageReport(
+        class_counts=dict(class_counts),
+        per_user_counts={user: dict(counts) for user, counts in per_user.items()},
+        unknown_count=unknown_count,
+        deviations=deviations,
+    )

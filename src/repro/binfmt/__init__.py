@@ -1,0 +1,49 @@
+"""Executable-format substrate: a minimal ELF64 toolkit.
+
+The paper's feature extraction shells out to ``strings`` and ``nm`` and
+reads the raw executable bytes.  This subpackage provides equivalents
+with no external dependencies:
+
+* :mod:`repro.binfmt.writer` — build small but structurally valid ELF64
+  executables (used by the synthetic corpus generator),
+* :mod:`repro.binfmt.reader` — parse ELF headers, sections and the
+  symbol table,
+* :mod:`repro.binfmt.strings_extract` — the ``strings`` equivalent
+  (printable character runs, NumPy-vectorised),
+* :mod:`repro.binfmt.symbols` — the ``nm -g --defined-only`` equivalent
+  (global defined symbol names),
+* :mod:`repro.binfmt.strip` — the ``strip`` equivalent used by the
+  stripped-binary limitation experiments.
+"""
+
+from .constants import SHT_SYMTAB, SHT_STRTAB, STB_GLOBAL, STT_FUNC, STT_OBJECT
+from .structs import ElfSection, ElfSymbol, SymbolSpec
+from .writer import ElfWriter, build_executable
+from .reader import ElfReader, is_elf
+from .strings_extract import extract_strings, strings_output
+from .symbols import extract_global_symbols, nm_output, is_stripped
+from .strip import strip_symbols
+from .dynamic import ldd_output, needed_libraries
+
+__all__ = [
+    "SHT_SYMTAB",
+    "SHT_STRTAB",
+    "STB_GLOBAL",
+    "STT_FUNC",
+    "STT_OBJECT",
+    "ElfSection",
+    "ElfSymbol",
+    "SymbolSpec",
+    "ElfWriter",
+    "build_executable",
+    "ElfReader",
+    "is_elf",
+    "extract_strings",
+    "strings_output",
+    "extract_global_symbols",
+    "nm_output",
+    "is_stripped",
+    "strip_symbols",
+    "needed_libraries",
+    "ldd_output",
+]

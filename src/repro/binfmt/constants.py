@@ -1,0 +1,112 @@
+"""ELF constants used by the reader and writer.
+
+Only the subset needed for small 64-bit little-endian executables is
+defined; names follow the ELF specification so that the code reads like
+any other ELF tooling.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ELF_MAGIC",
+    "ELFCLASS64",
+    "ELFDATA2LSB",
+    "EV_CURRENT",
+    "ELFOSABI_SYSV",
+    "ET_EXEC",
+    "ET_DYN",
+    "EM_X86_64",
+    "EHDR_SIZE",
+    "SHDR_SIZE",
+    "PHDR_SIZE",
+    "SYM_SIZE",
+    "SHT_NULL",
+    "SHT_PROGBITS",
+    "SHT_SYMTAB",
+    "SHT_STRTAB",
+    "SHT_NOBITS",
+    "SHF_ALLOC",
+    "SHF_EXECINSTR",
+    "SHF_WRITE",
+    "SHN_UNDEF",
+    "SHN_ABS",
+    "STB_LOCAL",
+    "STB_GLOBAL",
+    "STB_WEAK",
+    "STT_NOTYPE",
+    "STT_OBJECT",
+    "STT_FUNC",
+    "STT_SECTION",
+    "STT_FILE",
+    "PT_LOAD",
+    "SHT_DYNAMIC",
+    "DYN_SIZE",
+    "DT_NULL",
+    "DT_NEEDED",
+    "PF_X",
+    "PF_W",
+    "PF_R",
+    "DEFAULT_BASE_VADDR",
+]
+
+# --- identification -------------------------------------------------------
+ELF_MAGIC = b"\x7fELF"
+ELFCLASS64 = 2
+ELFDATA2LSB = 1
+EV_CURRENT = 1
+ELFOSABI_SYSV = 0
+
+# --- object file types ----------------------------------------------------
+ET_EXEC = 2
+ET_DYN = 3
+EM_X86_64 = 62
+
+# --- structure sizes (ELF64) ----------------------------------------------
+EHDR_SIZE = 64
+SHDR_SIZE = 64
+PHDR_SIZE = 56
+SYM_SIZE = 24
+
+# --- section header types / flags -----------------------------------------
+SHT_NULL = 0
+SHT_PROGBITS = 1
+SHT_SYMTAB = 2
+SHT_STRTAB = 3
+SHT_NOBITS = 8
+
+SHF_WRITE = 0x1
+SHF_ALLOC = 0x2
+SHF_EXECINSTR = 0x4
+
+SHN_UNDEF = 0
+SHN_ABS = 0xFFF1
+
+# --- symbol binding / type -------------------------------------------------
+STB_LOCAL = 0
+STB_GLOBAL = 1
+STB_WEAK = 2
+
+STT_NOTYPE = 0
+STT_OBJECT = 1
+STT_FUNC = 2
+STT_SECTION = 3
+STT_FILE = 4
+
+# --- program headers --------------------------------------------------------
+PT_LOAD = 1
+PF_X = 0x1
+PF_W = 0x2
+PF_R = 0x4
+
+#: Virtual address at which synthetic executables pretend to be loaded.
+DEFAULT_BASE_VADDR = 0x400000
+
+# --- dynamic section -------------------------------------------------------
+#: Section type of ``.dynamic``.
+SHT_DYNAMIC = 6
+#: Size of one Elf64_Dyn entry.
+DYN_SIZE = 16
+#: Dynamic-table tag: end of table.
+DT_NULL = 0
+#: Dynamic-table tag: name of a needed shared library (offset into .dynstr).
+DT_NEEDED = 1

@@ -1,0 +1,79 @@
+"""``ldd`` equivalent: shared-library dependencies of an executable.
+
+The paper's future-work section proposes extending the feature set with
+"loading shared objects extracted through the ldd command" (citing
+Yamamoto et al.).  Statically, the authoritative source of that
+information is the ``DT_NEEDED`` entries of the ``.dynamic`` section —
+the libraries the loader must resolve — which is what this module
+extracts (``ldd`` itself additionally resolves paths at run time, which
+is irrelevant for fingerprinting).
+
+:func:`needed_libraries` returns the dependency names;
+:func:`ldd_output` renders the text that gets fuzzy-hashed when the
+optional ``ssdeep-libs`` feature is enabled
+(:data:`repro.features.extractors.EXTENDED_FEATURE_TYPES`).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from . import constants as C
+from .reader import ElfReader
+
+__all__ = ["needed_libraries", "ldd_output"]
+
+
+def _reader_from(data_or_reader: bytes | ElfReader) -> ElfReader:
+    if isinstance(data_or_reader, ElfReader):
+        return data_or_reader
+    return ElfReader(data_or_reader)
+
+
+def needed_libraries(data_or_reader: bytes | ElfReader) -> list[str]:
+    """Names of the shared libraries listed as ``DT_NEEDED``.
+
+    Returns an empty list for statically linked binaries (no
+    ``.dynamic`` section), preserving the order of the dynamic table.
+    """
+
+    reader = _reader_from(data_or_reader)
+    dynamic = None
+    for section in reader.sections:
+        if section.header.sh_type == C.SHT_DYNAMIC:
+            dynamic = section
+            break
+    if dynamic is None:
+        return []
+
+    link = dynamic.header.sh_link
+    strtab = reader.sections[link].data if link < len(reader.sections) else b""
+
+    names: list[str] = []
+    count = len(dynamic.data) // C.DYN_SIZE
+    for index in range(count):
+        d_tag, d_val = struct.unpack_from("<qQ", dynamic.data, index * C.DYN_SIZE)
+        if d_tag == C.DT_NULL:
+            break
+        if d_tag != C.DT_NEEDED:
+            continue
+        end = strtab.find(b"\x00", d_val)
+        if end == -1:
+            end = len(strtab)
+        name = strtab[d_val:end].decode("utf-8", errors="replace")
+        if name:
+            names.append(name)
+    return names
+
+
+def ldd_output(data_or_reader: bytes | ElfReader) -> str:
+    """The dependency text fed to the optional ``ssdeep-libs`` feature.
+
+    One library name per line, in dynamic-table order (like the
+    left-hand column of ``ldd`` output, without resolved paths).
+    """
+
+    names = needed_libraries(data_or_reader)
+    if not names:
+        return ""
+    return "\n".join(names) + "\n"

@@ -1,0 +1,174 @@
+"""Minimal ELF64 reader.
+
+Parses the ELF header, section header table, section contents and the
+symbol table of small 64-bit little-endian executables — enough for the
+three feature extractors (raw bytes, strings, symbols) and for the
+corpus scanner's "is this stripped?" check.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import cached_property
+
+from ..exceptions import BinaryFormatError, SymbolTableError, TruncatedBinaryError
+from . import constants as C
+from .structs import ElfHeader, ElfSection, ElfSymbol, SectionHeader
+
+__all__ = ["ElfReader", "is_elf"]
+
+
+def is_elf(data: bytes) -> bool:
+    """Cheap check whether ``data`` starts with the ELF magic."""
+
+    return len(data) >= 4 and data[:4] == C.ELF_MAGIC
+
+
+class ElfReader:
+    """Parse an ELF64 little-endian binary held in memory.
+
+    Parameters
+    ----------
+    data:
+        The complete file contents.
+
+    Raises
+    ------
+    BinaryFormatError
+        If the data is not a little-endian 64-bit ELF file, or declared
+        structures extend past the end of the data.
+    """
+
+    def __init__(self, data: bytes) -> None:
+        self.data = bytes(data)
+        if not is_elf(self.data):
+            raise BinaryFormatError("not an ELF file (bad magic)")
+        if len(self.data) < C.EHDR_SIZE:
+            raise TruncatedBinaryError("file too small for an ELF header")
+        ei_class = self.data[4]
+        ei_data = self.data[5]
+        if ei_class != C.ELFCLASS64:
+            raise BinaryFormatError(f"only ELF64 is supported (EI_CLASS={ei_class})")
+        if ei_data != C.ELFDATA2LSB:
+            raise BinaryFormatError(
+                f"only little-endian ELF is supported (EI_DATA={ei_data})"
+            )
+        self.header = ElfHeader.unpack(self.data)
+
+    @classmethod
+    def from_file(cls, path: str | os.PathLike) -> "ElfReader":
+        """Read and parse an ELF file from disk."""
+
+        with open(path, "rb") as fh:
+            return cls(fh.read())
+
+    # ------------------------------------------------------------ sections
+    @cached_property
+    def section_headers(self) -> list[SectionHeader]:
+        """All section headers, in table order."""
+
+        headers: list[SectionHeader] = []
+        shoff = self.header.e_shoff
+        for index in range(self.header.e_shnum):
+            headers.append(SectionHeader.unpack(self.data, shoff + index * C.SHDR_SIZE))
+        return headers
+
+    @cached_property
+    def _shstrtab(self) -> bytes:
+        headers = self.section_headers
+        idx = self.header.e_shstrndx
+        if not headers or idx >= len(headers):
+            return b""
+        return self._section_bytes(headers[idx])
+
+    @cached_property
+    def sections(self) -> list[ElfSection]:
+        """All sections with resolved names and contents."""
+
+        result: list[ElfSection] = []
+        for header in self.section_headers:
+            name = self._section_name(header)
+            data = b"" if header.sh_type == C.SHT_NOBITS else self._section_bytes(header)
+            result.append(ElfSection(name=name, header=header, data=data))
+        return result
+
+    def section(self, name: str) -> ElfSection | None:
+        """Return the first section with the given name, or ``None``."""
+
+        for section in self.sections:
+            if section.name == name:
+                return section
+        return None
+
+    def section_names(self) -> list[str]:
+        """Names of all sections (excluding the NULL section)."""
+
+        return [s.name for s in self.sections if s.header.sh_type != C.SHT_NULL]
+
+    # -------------------------------------------------------------- symbols
+    @cached_property
+    def symbols(self) -> list[ElfSymbol]:
+        """All symbol-table entries (excluding the leading NULL symbol).
+
+        Raises
+        ------
+        SymbolTableError
+            If the binary has no symbol table (i.e. it was stripped).
+        """
+
+        symtab = None
+        for section in self.sections:
+            if section.header.sh_type == C.SHT_SYMTAB:
+                symtab = section
+                break
+        if symtab is None:
+            raise SymbolTableError("binary has no symbol table (stripped?)")
+
+        link = symtab.header.sh_link
+        if link >= len(self.sections):
+            raise SymbolTableError(f"symbol table links to invalid strtab index {link}")
+        strtab = self.sections[link].data
+
+        count = symtab.header.sh_size // C.SYM_SIZE
+        symbols: list[ElfSymbol] = []
+        for index in range(1, count):  # skip the NULL symbol
+            offset = index * C.SYM_SIZE
+            if offset + C.SYM_SIZE > len(symtab.data):
+                raise SymbolTableError("symbol table is truncated")
+            symbols.append(ElfSymbol.unpack(symtab.data, offset, strtab))
+        return symbols
+
+    @property
+    def has_symbol_table(self) -> bool:
+        """True if a ``SHT_SYMTAB`` section is present."""
+
+        return any(s.header.sh_type == C.SHT_SYMTAB for s in self.sections)
+
+    @cached_property
+    def text_section_indices(self) -> frozenset[int]:
+        """Indices of executable (``SHF_EXECINSTR``) sections."""
+
+        return frozenset(
+            index for index, header in enumerate(self.section_headers)
+            if header.sh_flags & C.SHF_EXECINSTR
+        )
+
+    # ----------------------------------------------------------- internals
+    def _section_name(self, header: SectionHeader) -> str:
+        table = self._shstrtab
+        offset = header.sh_name
+        if offset >= len(table):
+            return ""
+        end = table.find(b"\x00", offset)
+        if end == -1:
+            end = len(table)
+        return table[offset:end].decode("utf-8", errors="replace")
+
+    def _section_bytes(self, header: SectionHeader) -> bytes:
+        start = header.sh_offset
+        end = start + header.sh_size
+        if end > len(self.data):
+            raise TruncatedBinaryError(
+                f"section at offset {start} (size {header.sh_size}) extends past end of file"
+            )
+        return self.data[start:end]

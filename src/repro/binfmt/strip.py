@@ -1,0 +1,86 @@
+"""``strip`` equivalent: remove the symbol table from an ELF binary.
+
+Used by the stripped-binary limitation experiment (paper, Section 5
+"Limitations"): without a symbol table the ``ssdeep-symbols`` feature
+disappears and classification quality degrades.  The function rebuilds
+the file without ``.symtab``/``.strtab`` rather than zeroing them, so
+the output is what a real ``strip -s`` would leave behind structurally.
+"""
+
+from __future__ import annotations
+
+from . import constants as C
+from .reader import ElfReader
+from .structs import SectionHeader
+
+__all__ = ["strip_symbols"]
+
+_REMOVED_TYPES = {C.SHT_SYMTAB}
+_REMOVED_NAMES = {".symtab", ".strtab"}
+
+
+def strip_symbols(data: bytes) -> bytes:
+    """Return a copy of the ELF binary without ``.symtab``/``.strtab``.
+
+    All remaining section contents are preserved byte for byte; section
+    offsets are re-packed, the section header table rebuilt, and the
+    header's section count/string-table index updated.
+    """
+
+    reader = ElfReader(data)
+    kept = []
+    for section in reader.sections:
+        if section.header.sh_type in _REMOVED_TYPES:
+            continue
+        if section.name in _REMOVED_NAMES:
+            continue
+        kept.append(section)
+
+    # Rebuild the file: header + program headers verbatim, then kept
+    # section contents, then a fresh section header table.
+    header = reader.header
+    phdr_end = header.e_phoff + header.e_phnum * header.e_phentsize \
+        if header.e_phnum else C.EHDR_SIZE
+    blob = bytearray(reader.data[:max(phdr_end, C.EHDR_SIZE)])
+
+    new_headers: list[SectionHeader] = []
+    for section in kept:
+        old = section.header
+        if old.sh_type == C.SHT_NULL:
+            new_headers.append(SectionHeader())
+            continue
+        align = max(old.sh_addralign, 1)
+        offset = (len(blob) + align - 1) // align * align
+        blob.extend(b"\x00" * (offset - len(blob)))
+        new_headers.append(SectionHeader(
+            sh_name=old.sh_name, sh_type=old.sh_type, sh_flags=old.sh_flags,
+            sh_addr=old.sh_addr, sh_offset=offset, sh_size=len(section.data),
+            sh_link=min(old.sh_link, len(kept) - 1), sh_info=old.sh_info,
+            sh_addralign=old.sh_addralign, sh_entsize=old.sh_entsize,
+        ))
+        blob.extend(section.data)
+
+    shoff = (len(blob) + 7) // 8 * 8
+    blob.extend(b"\x00" * (shoff - len(blob)))
+    for new_header in new_headers:
+        blob.extend(new_header.pack())
+
+    # Patch the ELF header: new section table offset/count and shstrndx.
+    shstrndx = 0
+    for index, section in enumerate(kept):
+        if section.name == ".shstrtab":
+            shstrndx = index
+            break
+    patched = header.__class__(
+        e_type=header.e_type, e_machine=header.e_machine,
+        e_version=header.e_version, e_entry=header.e_entry,
+        e_phoff=header.e_phoff, e_shoff=shoff, e_flags=header.e_flags,
+        e_ehsize=header.e_ehsize, e_phentsize=header.e_phentsize,
+        e_phnum=header.e_phnum, e_shentsize=header.e_shentsize,
+        e_shnum=len(new_headers), e_shstrndx=shstrndx,
+    )
+    blob[0:C.EHDR_SIZE] = patched.pack()
+
+    # Note: sh_name offsets still point into the original .shstrtab, whose
+    # contents we preserved verbatim, so names keep resolving correctly.
+    return bytes(blob)

@@ -1,0 +1,150 @@
+"""Command-line interface: ``repro-classify``.
+
+Three sub-commands cover the library's main entry points:
+
+``generate``
+    Materialise a synthetic sciCORE-like software tree on disk.
+``experiment``
+    Run the end-to-end experiment (the paper's evaluation) at a chosen
+    scale and print the classification report, feature importances and
+    threshold sweep.
+``classify``
+    Train on a software tree and classify a directory of executables
+    (the envisioned production workflow of Figure 1).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .config import default_config
+from .logging_utils import configure_logging
+from .version_info import describe_environment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-classify",
+        description="Fuzzy Hash Classifier for HPC application classification "
+                    "(reproduction of Jakobsche & Ciorba, SC 2024)")
+    parser.add_argument("--verbose", "-v", action="store_true",
+                        help="enable INFO logging")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a synthetic software tree")
+    generate.add_argument("output", help="directory to create the tree in")
+    generate.add_argument("--scale", default=None,
+                          choices=["small", "medium", "full"],
+                          help="corpus scale preset (default: REPRO_SCALE or medium)")
+    generate.add_argument("--seed", type=int, default=None, help="corpus seed")
+
+    experiment = sub.add_parser("experiment", help="run the end-to-end evaluation")
+    experiment.add_argument("--scale", default=None,
+                            choices=["small", "medium", "full"])
+    experiment.add_argument("--seed", type=int, default=None)
+    experiment.add_argument("--split", default="paper", choices=["paper", "random"],
+                            help="how the unknown classes are chosen")
+    experiment.add_argument("--no-grid-search", action="store_true",
+                            help="skip hyper-parameter tuning (use defaults)")
+    experiment.add_argument("--jobs", type=int, default=1,
+                            help="worker processes for extraction/training")
+
+    classify = sub.add_parser("classify", help="train on a software tree and "
+                                               "classify a directory of executables")
+    classify.add_argument("train_tree", help="software tree with <Class>/<version>/<exe> layout")
+    classify.add_argument("target", help="directory of executables to classify")
+    classify.add_argument("--threshold", type=float, default=0.5,
+                          help="confidence threshold for the unknown label")
+    classify.add_argument("--allowed", nargs="*", default=None,
+                          help="application classes allowed for this allocation")
+
+    info = sub.add_parser("info", help="print version and environment information")
+
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    from .corpus.builder import CorpusBuilder
+
+    overrides = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    config = default_config(args.scale, **overrides)
+    dataset = CorpusBuilder(config=config).materialize_tree(args.output)
+    print(dataset.summary())
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from .core.evaluation import ExperimentRunner
+    from .core.reporting import (classification_report_table,
+                                 feature_importance_table,
+                                 threshold_sweep_table, unknown_class_table)
+
+    overrides = {"n_jobs": args.jobs}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    config = default_config(args.scale, **overrides)
+    runner = ExperimentRunner(config, split_mode=args.split,
+                              run_grid_search=not args.no_grid_search)
+    result = runner.run()
+    print(result.summary())
+    print()
+    print(unknown_class_table(result.split))
+    print()
+    print(classification_report_table(result.report))
+    print()
+    print(feature_importance_table(result.grouped_importance))
+    if result.threshold_sweep is not None:
+        print()
+        print(threshold_sweep_table(result.threshold_sweep))
+    return 0
+
+
+def _cmd_classify(args) -> int:
+    from .core.classifier import FuzzyHashClassifier
+    from .core.workflow import ClassificationWorkflow
+    from .corpus.scanner import CorpusScanner
+    from .features.pipeline import FeatureExtractionPipeline
+
+    scan = CorpusScanner(args.train_tree).scan()
+    features = FeatureExtractionPipeline().extract_dataset(scan.dataset)
+    classifier = FuzzyHashClassifier(confidence_threshold=args.threshold)
+    classifier.fit(features)
+    workflow = ClassificationWorkflow(classifier, allowed_classes=args.allowed)
+    classifications = workflow.classify_directory(args.target)
+    print(workflow.report(classifications))
+    flagged = sum(1 for c in classifications if c.is_suspicious())
+    print(f"\n{len(classifications)} executables classified, {flagged} flagged")
+    return 0
+
+
+def _cmd_info(_args) -> int:
+    print(describe_environment())
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "experiment": _cmd_experiment,
+    "classify": _cmd_classify,
+    "info": _cmd_info,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.verbose:
+        configure_logging("INFO")
+    handler = _COMMANDS[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,238 @@
+"""The Fuzzy Hash Classifier.
+
+Two layers are provided:
+
+* :class:`ThresholdRandomForest` — a Random Forest over an already-built
+  similarity feature matrix whose predictions fall back to the ``-1``
+  "unknown" label whenever the forest's highest class probability is
+  below a confidence threshold.  This is the estimator the grid search
+  tunes (both the forest hyper-parameters and the threshold).
+* :class:`FuzzyHashClassifier` — the user-facing model of the paper: it
+  is fitted on :class:`~repro.features.records.SampleFeatures` records
+  (digests + labels), builds the similarity feature matrix internally
+  (training samples are the anchors) and classifies new feature records
+  into application classes or "unknown".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .._validation import check_array_2d, check_probability
+from ..exceptions import NotFittedError, ValidationError
+from ..features.extractors import FEATURE_TYPES
+from ..features.records import SampleFeatures
+from ..features.similarity import SimilarityFeatureBuilder, SimilarityMatrix
+from ..ml.base import BaseEstimator, ClassifierMixin, check_is_fitted
+from ..ml.forest import RandomForestClassifier
+
+__all__ = ["ThresholdRandomForest", "FuzzyHashClassifier"]
+
+
+class ThresholdRandomForest(BaseEstimator, ClassifierMixin):
+    """Random Forest with an "unknown" rejection threshold.
+
+    Parameters mirror the forest's, plus:
+
+    confidence_threshold:
+        If the maximum class probability of a sample is *below* this
+        value, the sample is labelled ``unknown_label`` instead of the
+        most probable class ("Samples not similar to any other known
+        samples are labeled as unknown", Section 3).
+    unknown_label:
+        The label emitted for rejected samples (the paper uses ``-1``).
+    """
+
+    def __init__(self, n_estimators: int = 100, *, criterion: str = "gini",
+                 max_depth: int | None = None, min_samples_split: int = 2,
+                 min_samples_leaf: int = 1, max_features="sqrt",
+                 class_weight="balanced", confidence_threshold: float = 0.5,
+                 unknown_label=-1, random_state=None, n_jobs: int = 1) -> None:
+        self.n_estimators = n_estimators
+        self.criterion = criterion
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.class_weight = class_weight
+        self.confidence_threshold = confidence_threshold
+        self.unknown_label = unknown_label
+        self.random_state = random_state
+        self.n_jobs = n_jobs
+
+    # ------------------------------------------------------------------ fit
+    def fit(self, X, y) -> "ThresholdRandomForest":
+        check_probability(self.confidence_threshold, "confidence_threshold")
+        self.forest_ = RandomForestClassifier(
+            n_estimators=self.n_estimators,
+            criterion=self.criterion,
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            class_weight=self.class_weight,
+            random_state=self.random_state,
+            n_jobs=self.n_jobs,
+        )
+        self.forest_.fit(X, y)
+        self.classes_ = self.forest_.classes_
+        self.feature_importances_ = self.forest_.feature_importances_
+        self.n_features_in_ = self.forest_.n_features_in_
+        return self
+
+    # ------------------------------------------------------------- predict
+    def predict_proba(self, X) -> np.ndarray:
+        check_is_fitted(self, "forest_")
+        return self.forest_.predict_proba(X)
+
+    def predict(self, X, confidence_threshold: float | None = None) -> np.ndarray:
+        """Predict class labels, rejecting low-confidence samples.
+
+        ``confidence_threshold`` overrides the fitted threshold without
+        refitting (used by the threshold sweep of Figure 3).
+        """
+
+        check_is_fitted(self, "forest_")
+        threshold = self.confidence_threshold if confidence_threshold is None \
+            else check_probability(confidence_threshold, "confidence_threshold")
+        proba = self.predict_proba(X)
+        best = np.argmax(proba, axis=1)
+        confidence = proba[np.arange(len(best)), best]
+        labels = self.classes_[best].astype(object)
+        labels[confidence < threshold] = self.unknown_label
+        return labels
+
+    def predict_known(self, X) -> np.ndarray:
+        """Predict without the unknown rejection (pure forest argmax)."""
+
+        check_is_fitted(self, "forest_")
+        return self.forest_.predict(X)
+
+    def confidence(self, X) -> np.ndarray:
+        """The maximum class probability per sample."""
+
+        proba = self.predict_proba(X)
+        return proba.max(axis=1)
+
+
+class FuzzyHashClassifier(BaseEstimator, ClassifierMixin):
+    """End-to-end Fuzzy Hash Classifier over feature records.
+
+    ``fit`` takes the training samples' :class:`SampleFeatures` (their
+    ``class_name`` is the label unless ``y`` is passed explicitly),
+    builds the similarity feature matrix with the training samples as
+    anchors, and fits the thresholded Random Forest.  ``predict``
+    accepts new feature records and returns class names or the unknown
+    label.
+
+    Parameters
+    ----------
+    feature_types:
+        Fuzzy-hash types used as features.
+    anchor_strategy, medoids_per_class:
+        Passed to :class:`~repro.features.similarity.SimilarityFeatureBuilder`.
+    n_estimators, criterion, max_depth, min_samples_split,
+    min_samples_leaf, max_features, class_weight, random_state, n_jobs:
+        Random-Forest hyper-parameters (class weights default to
+        ``"balanced"`` as in the paper).
+    confidence_threshold:
+        Rejection threshold for the unknown label.
+    unknown_label:
+        Label for unknown samples (default ``-1``).
+    """
+
+    def __init__(self, *, feature_types: Sequence[str] = FEATURE_TYPES,
+                 anchor_strategy: str = "class-max", medoids_per_class: int = 5,
+                 n_estimators: int = 100, criterion: str = "gini",
+                 max_depth: int | None = None, min_samples_split: int = 2,
+                 min_samples_leaf: int = 1, max_features="sqrt",
+                 class_weight="balanced", confidence_threshold: float = 0.5,
+                 unknown_label=-1, random_state=None, n_jobs: int = 1) -> None:
+        self.feature_types = tuple(feature_types)
+        self.anchor_strategy = anchor_strategy
+        self.medoids_per_class = medoids_per_class
+        self.n_estimators = n_estimators
+        self.criterion = criterion
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.class_weight = class_weight
+        self.confidence_threshold = confidence_threshold
+        self.unknown_label = unknown_label
+        self.random_state = random_state
+        self.n_jobs = n_jobs
+
+    # ------------------------------------------------------------------ fit
+    def fit(self, features: Sequence[SampleFeatures], y=None) -> "FuzzyHashClassifier":
+        features = list(features)
+        if not features:
+            raise ValidationError("cannot fit on an empty feature list")
+        labels = list(y) if y is not None else [f.class_name for f in features]
+        if len(labels) != len(features):
+            raise ValidationError("y must have the same length as features")
+        if any(label in ("", None) for label in labels):
+            raise ValidationError("every training sample needs a class label")
+
+        self.builder_ = SimilarityFeatureBuilder(
+            self.feature_types,
+            anchor_strategy=self.anchor_strategy,
+            medoids_per_class=self.medoids_per_class,
+        )
+        matrix = self.builder_.fit_transform(features, exclude_self=True)
+        self.feature_names_ = matrix.feature_names
+        self.feature_groups_ = matrix.feature_groups
+        self.model_ = ThresholdRandomForest(
+            n_estimators=self.n_estimators,
+            criterion=self.criterion,
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            class_weight=self.class_weight,
+            confidence_threshold=self.confidence_threshold,
+            unknown_label=self.unknown_label,
+            random_state=self.random_state,
+            n_jobs=self.n_jobs,
+        )
+        self.model_.fit(matrix.X, np.asarray(labels, dtype=object))
+        self.classes_ = self.model_.classes_
+        self.feature_importances_ = self.model_.feature_importances_
+        return self
+
+    # ------------------------------------------------------------ transform
+    def transform(self, features: Sequence[SampleFeatures]) -> SimilarityMatrix:
+        """Similarity feature matrix of new samples against the anchors."""
+
+        check_is_fitted(self, "builder_")
+        return self.builder_.transform(list(features))
+
+    # ------------------------------------------------------------- predict
+    def predict(self, features: Sequence[SampleFeatures],
+                confidence_threshold: float | None = None) -> np.ndarray:
+        check_is_fitted(self, "model_")
+        matrix = self.transform(features)
+        return self.model_.predict(matrix.X, confidence_threshold=confidence_threshold)
+
+    def predict_proba(self, features: Sequence[SampleFeatures]) -> np.ndarray:
+        check_is_fitted(self, "model_")
+        matrix = self.transform(features)
+        return self.model_.predict_proba(matrix.X)
+
+    def confidence(self, features: Sequence[SampleFeatures]) -> np.ndarray:
+        """Maximum class probability per sample."""
+
+        check_is_fitted(self, "model_")
+        matrix = self.transform(features)
+        return self.model_.confidence(matrix.X)
+
+    # ------------------------------------------------------------ analysis
+    def feature_importances_by_type(self) -> dict[str, float]:
+        """Normalised importance aggregated per fuzzy-hash type (Table 5)."""
+
+        check_is_fitted(self, "model_")
+        from ..analysis.importance import group_importances
+
+        return group_importances(self.feature_importances_, self.feature_groups_)

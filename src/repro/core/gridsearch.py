@@ -1,0 +1,239 @@
+"""Joint Random-Forest / confidence-threshold grid search.
+
+The paper tunes "standard parameters of the Random Forest Classifier
+(such as n_estimators, criterion, max_depth, min_samples_split,
+min_samples_leaf, and max_features)" *and* the confidence threshold,
+using grid search "only within the training set" (Sections 3 and 4).
+
+Tuning the threshold requires unknown-class behaviour inside the
+training set, which the training set by construction does not contain.
+The search therefore uses *class-holdout cross-validation*: in every
+fold a fraction of the known classes is treated as unknown — their
+fold-validation samples are relabelled ``-1`` and their samples are
+removed from the fold's training portion — mirroring at small scale
+exactly what the outer two-phase split does to the final test set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from .._validation import check_random_state
+from ..exceptions import ValidationError
+from ..logging_utils import get_logger
+from ..parallel import parallel_map
+from .classifier import ThresholdRandomForest
+from .thresholds import (
+    DEFAULT_THRESHOLD_GRID,
+    ThresholdPoint,
+    ThresholdSweep,
+    sweep_thresholds,
+)
+
+__all__ = ["default_param_grid", "GridSearchOutcome", "FuzzyHashGridSearch"]
+
+_LOG = get_logger("core.gridsearch")
+
+
+def default_param_grid(budget: int = 8, n_estimators: int = 100) -> list[dict]:
+    """A Random-Forest parameter grid trimmed to roughly ``budget`` combos.
+
+    The full grid covers the hyper-parameters named in the paper; the
+    scale presets trim it so that small machines still finish the
+    benchmark in reasonable time.
+    """
+
+    full: list[dict] = [
+        {"n_estimators": n_estimators, "criterion": "gini", "max_depth": None,
+         "min_samples_split": 2, "min_samples_leaf": 1, "max_features": "sqrt"},
+        {"n_estimators": n_estimators, "criterion": "gini", "max_depth": None,
+         "min_samples_split": 4, "min_samples_leaf": 2, "max_features": "sqrt"},
+        {"n_estimators": n_estimators, "criterion": "entropy", "max_depth": None,
+         "min_samples_split": 2, "min_samples_leaf": 1, "max_features": "sqrt"},
+        {"n_estimators": n_estimators, "criterion": "gini", "max_depth": 20,
+         "min_samples_split": 2, "min_samples_leaf": 1, "max_features": "sqrt"},
+        {"n_estimators": n_estimators, "criterion": "gini", "max_depth": None,
+         "min_samples_split": 2, "min_samples_leaf": 1, "max_features": "log2"},
+        {"n_estimators": n_estimators, "criterion": "entropy", "max_depth": 20,
+         "min_samples_split": 4, "min_samples_leaf": 1, "max_features": "sqrt"},
+        {"n_estimators": n_estimators, "criterion": "gini", "max_depth": 30,
+         "min_samples_split": 2, "min_samples_leaf": 1, "max_features": 0.3},
+        {"n_estimators": n_estimators // 2 or 1, "criterion": "gini", "max_depth": None,
+         "min_samples_split": 2, "min_samples_leaf": 1, "max_features": "sqrt"},
+        {"n_estimators": n_estimators * 2, "criterion": "gini", "max_depth": None,
+         "min_samples_split": 2, "min_samples_leaf": 1, "max_features": "sqrt"},
+        {"n_estimators": n_estimators, "criterion": "entropy", "max_depth": None,
+         "min_samples_split": 2, "min_samples_leaf": 2, "max_features": "log2"},
+        {"n_estimators": n_estimators, "criterion": "gini", "max_depth": 10,
+         "min_samples_split": 2, "min_samples_leaf": 1, "max_features": "sqrt"},
+        {"n_estimators": n_estimators, "criterion": "gini", "max_depth": None,
+         "min_samples_split": 8, "min_samples_leaf": 4, "max_features": "sqrt"},
+    ]
+    if budget < 1:
+        raise ValidationError("budget must be >= 1")
+    return full[:budget]
+
+
+@dataclass
+class GridSearchOutcome:
+    """Result of the joint parameter/threshold search."""
+
+    best_params: dict
+    best_threshold: float
+    best_combined_f1: float
+    threshold_sweep: ThresholdSweep
+    candidate_scores: list[dict] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (f"best params {self.best_params} at threshold "
+                f"{self.best_threshold:.2f} (combined f1 {self.best_combined_f1:.3f})")
+
+
+def class_holdout_folds(y: Sequence[str], *, n_splits: int = 3,
+                        holdout_class_fraction: float = 0.2,
+                        validation_fraction: float = 0.4,
+                        random_state=None
+                        ) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Yield ``(train_idx, val_idx, val_expected_labels)`` folds.
+
+    Each fold simulates the outer evaluation protocol inside the
+    training data: a random subset of classes is treated as unknown
+    (all their samples go to validation with expected label ``-1``) and
+    the remaining classes are split stratified into fold-train and
+    fold-validation.
+    """
+
+    y = np.asarray(list(y), dtype=object)
+    classes = sorted(set(y.tolist()))
+    if len(classes) < 3:
+        raise ValidationError("class-holdout CV needs at least 3 classes")
+    rng = check_random_state(random_state)
+
+    for fold in range(n_splits):
+        n_holdout = max(1, int(round(len(classes) * holdout_class_fraction)))
+        n_holdout = min(n_holdout, len(classes) - 2)
+        holdout = set(rng.choice(classes, size=n_holdout, replace=False).tolist())
+
+        train_idx: list[int] = []
+        val_idx: list[int] = []
+        for class_name in classes:
+            indices = np.flatnonzero(y == class_name)
+            if class_name in holdout:
+                val_idx.extend(indices.tolist())
+                continue
+            rng.shuffle(indices)
+            n_val = int(round(len(indices) * validation_fraction))
+            if len(indices) >= 2:
+                n_val = min(max(n_val, 1), len(indices) - 1)
+            val_idx.extend(indices[:n_val].tolist())
+            train_idx.extend(indices[n_val:].tolist())
+
+        train_arr = np.array(sorted(train_idx), dtype=np.int64)
+        val_arr = np.array(sorted(val_idx), dtype=np.int64)
+        expected = np.array(
+            [-1 if label in holdout else label for label in y[val_arr]], dtype=object)
+        yield train_arr, val_arr, expected
+
+
+def _evaluate_params(args) -> dict:
+    """Evaluate one parameter combination over all folds (picklable)."""
+
+    (params, X, y, folds, thresholds, unknown_label, random_state) = args
+    per_threshold = np.zeros((len(thresholds), 3), dtype=np.float64)
+    for train_idx, val_idx, expected in folds:
+        model = ThresholdRandomForest(random_state=random_state, **params)
+        model.fit(X[train_idx], y[train_idx])
+        proba = model.predict_proba(X[val_idx])
+        sweep = sweep_thresholds(proba, model.classes_, expected,
+                                 thresholds=thresholds,
+                                 unknown_label=unknown_label)
+        per_threshold += np.array(
+            [[p.micro_f1, p.macro_f1, p.weighted_f1] for p in sweep.points])
+    per_threshold /= max(len(folds), 1)
+    points = [
+        ThresholdPoint(threshold=float(t), micro_f1=float(row[0]),
+                       macro_f1=float(row[1]), weighted_f1=float(row[2]))
+        for t, row in zip(thresholds, per_threshold)
+    ]
+    sweep = ThresholdSweep(points=points)
+    best = sweep.best()
+    return {
+        "params": params,
+        "sweep": sweep,
+        "best_threshold": best.threshold,
+        "best_combined": best.combined,
+    }
+
+
+class FuzzyHashGridSearch:
+    """Joint grid search over forest hyper-parameters and threshold.
+
+    Parameters
+    ----------
+    param_grid:
+        List of Random-Forest parameter dicts
+        (:func:`default_param_grid` provides the default).
+    thresholds:
+        Confidence thresholds to sweep.
+    n_splits:
+        Class-holdout CV folds.
+    holdout_class_fraction:
+        Fraction of classes treated as unknown per fold (mirrors the
+        outer 80/20 class split).
+    n_jobs:
+        Parameter combinations evaluated in parallel processes.
+    """
+
+    def __init__(self, param_grid: Sequence[Mapping] | None = None, *,
+                 thresholds: Sequence[float] = DEFAULT_THRESHOLD_GRID,
+                 n_splits: int = 3, holdout_class_fraction: float = 0.2,
+                 validation_fraction: float = 0.4, unknown_label=-1,
+                 random_state=None, n_jobs: int = 1) -> None:
+        self.param_grid = [dict(p) for p in (param_grid or default_param_grid())]
+        self.thresholds = tuple(float(t) for t in thresholds)
+        self.n_splits = int(n_splits)
+        self.holdout_class_fraction = float(holdout_class_fraction)
+        self.validation_fraction = float(validation_fraction)
+        self.unknown_label = unknown_label
+        self.random_state = random_state
+        self.n_jobs = n_jobs
+
+    def search(self, X, y) -> GridSearchOutcome:
+        """Run the search on the training matrix and labels."""
+
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(list(y), dtype=object)
+        folds = list(class_holdout_folds(
+            y, n_splits=self.n_splits,
+            holdout_class_fraction=self.holdout_class_fraction,
+            validation_fraction=self.validation_fraction,
+            random_state=self.random_state))
+
+        seed = None if self.random_state is None else int(
+            check_random_state(self.random_state).integers(0, 2**31 - 1))
+        tasks = [(params, X, y, folds, self.thresholds, self.unknown_label, seed)
+                 for params in self.param_grid]
+        if self.n_jobs and self.n_jobs != 1 and len(tasks) > 1:
+            results = parallel_map(_evaluate_params, tasks, n_jobs=self.n_jobs,
+                                   chunksize=1, min_items_per_worker=1)
+        else:
+            results = [_evaluate_params(task) for task in tasks]
+
+        results.sort(key=lambda r: r["best_combined"], reverse=True)
+        best = results[0]
+        _LOG.info("grid search best: %s (threshold %.2f, combined %.3f)",
+                  best["params"], best["best_threshold"], best["best_combined"])
+        return GridSearchOutcome(
+            best_params=best["params"],
+            best_threshold=best["best_threshold"],
+            best_combined_f1=best["best_combined"],
+            threshold_sweep=best["sweep"],
+            candidate_scores=[
+                {"params": r["params"], "best_threshold": r["best_threshold"],
+                 "best_combined": r["best_combined"]}
+                for r in results
+            ],
+        )

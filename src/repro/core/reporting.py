@@ -1,0 +1,127 @@
+"""Text renderings of the paper's tables and figure data.
+
+Every benchmark prints its table/figure through one of these helpers so
+that the output of ``pytest benchmarks/`` can be compared side by side
+with the paper (EXPERIMENTS.md records that comparison).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..corpus.dataset import CorpusDataset
+from ..hashing.compare import compare_digests
+from ..ml.metrics import ClassificationReport
+from .splits import TwoPhaseSplit
+from .thresholds import ThresholdSweep
+
+__all__ = [
+    "render_table",
+    "class_size_table",
+    "velvet_style_table",
+    "hash_similarity_example",
+    "unknown_class_table",
+    "feature_importance_table",
+    "threshold_sweep_table",
+    "classification_report_table",
+]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render a simple fixed-width text table."""
+
+    columns = [[str(h)] + [str(row[i]) for row in rows] for i, h in enumerate(headers)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def class_size_table(dataset_or_counts, top: int | None = None) -> str:
+    """Samples per application class (the data behind Figure 2)."""
+
+    if isinstance(dataset_or_counts, CorpusDataset):
+        counts = dataset_or_counts.class_counts()
+    else:
+        counts = dict(dataset_or_counts)
+        counts = dict(sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])))
+    items = list(counts.items())
+    if top is not None:
+        items = items[:top]
+    rows = [(name, count) for name, count in items]
+    return render_table(["Application Class", "Samples"], rows,
+                        title="Figure 2 data: number of samples per application class")
+
+
+def velvet_style_table(dataset: CorpusDataset, class_name: str = "Velvet") -> str:
+    """Versions and executables of one class (paper Table 1)."""
+
+    subset = dataset.filter(lambda r: r.class_name == class_name)
+    by_version: dict[str, list[str]] = {}
+    for record in subset:
+        by_version.setdefault(record.version, []).append(record.executable)
+    rows = [(class_name if i == 0 else "", version, ", ".join(sorted(execs)))
+            for i, (version, execs) in enumerate(sorted(by_version.items()))]
+    return render_table(["Class", "Application Version", "Samples"], rows,
+                        title=f"Table 1 style: versions and executables for {class_name}")
+
+
+def hash_similarity_example(class_name: str, entries: Sequence[tuple[str, str]]) -> str:
+    """Digest comparison of two versions of one class (paper Table 2).
+
+    ``entries`` is a list of ``(version, digest)`` pairs; all pairwise
+    SSDeep similarities are reported.
+    """
+
+    rows = []
+    for version, digest in entries:
+        shown = digest if len(digest) <= 70 else digest[:67] + "..."
+        rows.append((class_name, version, shown))
+    table = render_table(["Class", "Version", "Fuzzy Hash of Symbols"], rows,
+                         title=f"Table 2 style: fuzzy hashes for {class_name}")
+    scores = []
+    for i in range(len(entries)):
+        for j in range(i + 1, len(entries)):
+            score = compare_digests(entries[i][1], entries[j][1])
+            scores.append(f"similarity({entries[i][0]} vs {entries[j][0]}) = {score}")
+    return table + "\n" + "\n".join(scores)
+
+
+def unknown_class_table(split: TwoPhaseSplit) -> str:
+    """Composition of the unknown class (paper Table 3)."""
+
+    counts = split.unknown_class_counts()
+    rows = list(counts.items()) + [("total", sum(counts.values()))]
+    return render_table(["Application Class", "Sample Count"], rows,
+                        title="Table 3 style: class of unknown samples")
+
+
+def feature_importance_table(grouped: Mapping[str, float]) -> str:
+    """Normalised per-hash-type feature importance (paper Table 5)."""
+
+    rows = [(name, f"{value:.4f}") for name, value in grouped.items()]
+    return render_table(["Features", "Importance"], rows,
+                        title="Table 5 style: feature importance (normalized)")
+
+
+def threshold_sweep_table(sweep: ThresholdSweep) -> str:
+    """f1 score vs confidence threshold (paper Figure 3)."""
+
+    rows = [(f"{p.threshold:.2f}", f"{p.micro_f1:.3f}", f"{p.macro_f1:.3f}",
+             f"{p.weighted_f1:.3f}") for p in sweep.points]
+    return render_table(["threshold", "micro f1", "macro f1", "weighted f1"], rows,
+                        title="Figure 3 data: f1-score over confidence threshold "
+                              "(grid search within the training set)")
+
+
+def classification_report_table(report: ClassificationReport) -> str:
+    """The classification report (paper Table 4)."""
+
+    return "Table 4 style: classification report\n" + report.as_text()

@@ -1,0 +1,112 @@
+"""Confidence-threshold sweeps (the data behind Figure 3).
+
+The confidence threshold decides when the classifier abstains and
+labels a sample ``-1`` (unknown).  The paper sweeps the threshold
+during the grid search *within the training set* and reports micro,
+macro and weighted f1 per threshold (Figure 3), choosing the threshold
+"that maximizes the combined micro, macro, and weighted f1-scores".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..ml.metrics import f1_score
+
+__all__ = ["ThresholdPoint", "ThresholdSweep", "sweep_thresholds",
+           "select_best_threshold", "DEFAULT_THRESHOLD_GRID"]
+
+#: Threshold grid used by the default grid search (matches the 0–0.9
+#: range visible in the paper's Figure 3).
+DEFAULT_THRESHOLD_GRID: tuple[float, ...] = tuple(np.round(np.arange(0.0, 0.95, 0.05), 2))
+
+
+@dataclass(frozen=True)
+class ThresholdPoint:
+    """Scores obtained at one confidence threshold."""
+
+    threshold: float
+    micro_f1: float
+    macro_f1: float
+    weighted_f1: float
+
+    @property
+    def combined(self) -> float:
+        """The selection criterion: sum of the three f1 averages."""
+
+        return self.micro_f1 + self.macro_f1 + self.weighted_f1
+
+
+@dataclass
+class ThresholdSweep:
+    """A full sweep over thresholds (one Figure 3 curve set)."""
+
+    points: list[ThresholdPoint] = field(default_factory=list)
+
+    def best(self) -> ThresholdPoint:
+        if not self.points:
+            raise ValidationError("threshold sweep is empty")
+        return max(self.points, key=lambda p: p.combined)
+
+    def as_rows(self) -> list[dict]:
+        return [
+            {"threshold": p.threshold, "micro_f1": p.micro_f1,
+             "macro_f1": p.macro_f1, "weighted_f1": p.weighted_f1}
+            for p in self.points
+        ]
+
+    def as_text(self) -> str:
+        lines = [f"{'threshold':>9}  {'micro-f1':>8}  {'macro-f1':>8}  {'weighted-f1':>11}"]
+        for p in self.points:
+            lines.append(f"{p.threshold:>9.2f}  {p.micro_f1:>8.3f}  "
+                         f"{p.macro_f1:>8.3f}  {p.weighted_f1:>11.3f}")
+        return "\n".join(lines)
+
+
+def apply_threshold(proba: np.ndarray, classes: np.ndarray, threshold: float,
+                    unknown_label=-1) -> np.ndarray:
+    """Turn class probabilities into labels with unknown rejection."""
+
+    proba = np.asarray(proba, dtype=np.float64)
+    if proba.ndim != 2 or proba.shape[1] != len(classes):
+        raise ValidationError("proba must be (n_samples, n_classes)")
+    best = np.argmax(proba, axis=1)
+    confidence = proba[np.arange(len(best)), best]
+    labels = np.asarray(classes, dtype=object)[best]
+    labels = labels.astype(object)
+    labels[confidence < threshold] = unknown_label
+    return labels
+
+
+def sweep_thresholds(proba: np.ndarray, classes: np.ndarray, y_true: Sequence,
+                     thresholds: Sequence[float] = DEFAULT_THRESHOLD_GRID,
+                     unknown_label=-1) -> ThresholdSweep:
+    """Evaluate micro/macro/weighted f1 at every threshold.
+
+    ``y_true`` must already use ``unknown_label`` for samples whose true
+    class is not among ``classes`` (i.e. simulated or real unknowns).
+    """
+
+    if len(proba) != len(y_true):
+        raise ValidationError("proba and y_true must have the same length")
+    y_true = np.asarray(list(y_true), dtype=object)
+    sweep = ThresholdSweep()
+    for threshold in thresholds:
+        predicted = apply_threshold(proba, classes, float(threshold), unknown_label)
+        sweep.points.append(ThresholdPoint(
+            threshold=float(threshold),
+            micro_f1=f1_score(y_true, predicted, average="micro"),
+            macro_f1=f1_score(y_true, predicted, average="macro"),
+            weighted_f1=f1_score(y_true, predicted, average="weighted"),
+        ))
+    return sweep
+
+
+def select_best_threshold(sweep: ThresholdSweep) -> float:
+    """The threshold maximising the combined micro+macro+weighted f1."""
+
+    return sweep.best().threshold

@@ -1,0 +1,140 @@
+"""The envisioned production workflow (paper Figure 1).
+
+"Fuzzy hash features are collected from applications executed inside
+HPC jobs.  The jobs receive an application label based on the
+similarity of these fuzzy hashes ...  Researchers and administrators
+can analyze and/or make decisions about HPC jobs based on these
+labels."
+
+:class:`ClassificationWorkflow` wires a fitted
+:class:`~repro.core.classifier.FuzzyHashClassifier` to a directory (or
+explicit list) of executables collected from jobs, attaches a
+per-allocation policy (the set of application classes an allocation is
+expected to run) and produces per-executable decisions that an
+operator could act on.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import EvaluationError
+from ..features.pipeline import FeatureExtractionPipeline
+from ..features.records import SampleFeatures
+from ..logging_utils import get_logger
+from .classifier import FuzzyHashClassifier
+
+__all__ = ["JobClassification", "ClassificationWorkflow"]
+
+_LOG = get_logger("core.workflow")
+
+#: Decision labels emitted by the workflow.
+DECISION_EXPECTED = "within-allocation"
+DECISION_UNEXPECTED = "unexpected-application"
+DECISION_UNKNOWN = "unknown-application"
+
+
+@dataclass(frozen=True)
+class JobClassification:
+    """Outcome for one collected executable."""
+
+    path: str
+    predicted_class: object
+    confidence: float
+    decision: str
+
+    def is_suspicious(self) -> bool:
+        """True if an operator should take a closer look."""
+
+        return self.decision in (DECISION_UNEXPECTED, DECISION_UNKNOWN)
+
+
+class ClassificationWorkflow:
+    """Collect → hash → classify → decide, for executables from jobs.
+
+    Parameters
+    ----------
+    classifier:
+        A fitted :class:`FuzzyHashClassifier`.
+    allowed_classes:
+        The application classes the allocation is expected to run; when
+        ``None`` every known class is considered acceptable and only
+        unknown applications are flagged.
+    n_jobs:
+        Worker processes for feature extraction.
+    """
+
+    def __init__(self, classifier: FuzzyHashClassifier, *,
+                 allowed_classes: Iterable[str] | None = None,
+                 n_jobs: int = 1) -> None:
+        if not hasattr(classifier, "model_"):
+            raise EvaluationError("ClassificationWorkflow needs a fitted classifier")
+        self.classifier = classifier
+        self.allowed_classes = set(allowed_classes) if allowed_classes is not None else None
+        self.n_jobs = n_jobs
+        self._pipeline = FeatureExtractionPipeline(classifier.feature_types,
+                                                   n_jobs=n_jobs)
+
+    # ----------------------------------------------------------------- API
+    def classify_paths(self, paths: Sequence[str | os.PathLike]
+                       ) -> list[JobClassification]:
+        """Classify explicit executable paths."""
+
+        paths = [str(p) for p in paths]
+        if not paths:
+            return []
+        features = self._pipeline.extract_paths(paths)
+        return self._decide(paths, features)
+
+    def classify_directory(self, directory: str | os.PathLike,
+                           pattern: str = "**/*") -> list[JobClassification]:
+        """Classify every regular file below ``directory``."""
+
+        root = Path(directory)
+        if not root.is_dir():
+            raise EvaluationError(f"{root} is not a directory")
+        paths = sorted(str(p) for p in root.glob(pattern) if p.is_file())
+        if not paths:
+            raise EvaluationError(f"no files found under {root}")
+        return self.classify_paths(paths)
+
+    def classify_features(self, features: Sequence[SampleFeatures]
+                          ) -> list[JobClassification]:
+        """Classify pre-extracted feature records (e.g. from a prolog hook)."""
+
+        return self._decide([f.sample_id for f in features], list(features))
+
+    # ----------------------------------------------------------- internals
+    def _decide(self, paths: Sequence[str],
+                features: Sequence[SampleFeatures]) -> list[JobClassification]:
+        predictions = self.classifier.predict(features)
+        confidences = self.classifier.confidence(features)
+        results: list[JobClassification] = []
+        for path, predicted, confidence in zip(paths, predictions, confidences):
+            if predicted == self.classifier.unknown_label:
+                decision = DECISION_UNKNOWN
+            elif self.allowed_classes is not None and predicted not in self.allowed_classes:
+                decision = DECISION_UNEXPECTED
+            else:
+                decision = DECISION_EXPECTED
+            results.append(JobClassification(
+                path=str(path), predicted_class=predicted,
+                confidence=float(confidence), decision=decision))
+        flagged = sum(1 for r in results if r.is_suspicious())
+        _LOG.info("workflow classified %d executables (%d flagged)",
+                  len(results), flagged)
+        return results
+
+    def report(self, classifications: Sequence[JobClassification]) -> str:
+        """Multi-line operator-facing summary."""
+
+        lines = [f"{'decision':<24} {'class':<24} {'conf':>5}  path"]
+        for item in sorted(classifications, key=lambda c: (c.decision, str(c.predicted_class))):
+            lines.append(f"{item.decision:<24} {str(item.predicted_class):<24} "
+                         f"{item.confidence:>5.2f}  {item.path}")
+        return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Synthetic sciCORE-like application corpus.
+
+The paper's data set consists of 92 application classes / 5333 samples
+of preinstalled scientific software collected from the sciCORE
+production cluster.  That corpus is not redistributable, so this
+subpackage generates a synthetic stand-in with the same structure
+(see DESIGN.md for the substitution rationale):
+
+* :mod:`repro.corpus.catalog` — the 92-class catalogue with per-class
+  sample counts reconstructed from the paper's Tables 3 and 4,
+  domains, shared-library groups and the paper's known quirks
+  (``CellRanger`` vs ``Cell-Ranger``, ``Augustus`` vs ``AUGUSTUS``),
+* :mod:`repro.corpus.lexicon` — domain vocabularies used to synthesise
+  function names, embedded strings and toolchains,
+* :mod:`repro.corpus.appmodel` — the per-class "source model" from
+  which versions and executables are derived,
+* :mod:`repro.corpus.mutation` — how versions drift (code, strings,
+  symbols, toolchain),
+* :mod:`repro.corpus.builder` — materialise the
+  ``<Class>/<version>/<executable>`` tree as real ELF files,
+* :mod:`repro.corpus.scanner` — walk such a tree applying the paper's
+  collection rules (label from path, skip stripped binaries, require
+  at least three versions),
+* :mod:`repro.corpus.dataset` — the in-memory sample table used by the
+  feature extraction and classification stages.
+"""
+
+from .catalog import (
+    ApplicationCatalog,
+    ApplicationClassSpec,
+    default_catalog,
+    PAPER_UNKNOWN_CLASSES,
+)
+from .appmodel import ApplicationModel, ExecutableModel
+from .mutation import MutationConfig, VersionMutator
+from .builder import CorpusBuilder, GeneratedSample
+from .scanner import CorpusScanner, ScanResult
+from .dataset import CorpusDataset, SampleRecord
+
+__all__ = [
+    "ApplicationCatalog",
+    "ApplicationClassSpec",
+    "default_catalog",
+    "PAPER_UNKNOWN_CLASSES",
+    "ApplicationModel",
+    "ExecutableModel",
+    "MutationConfig",
+    "VersionMutator",
+    "CorpusBuilder",
+    "GeneratedSample",
+    "CorpusScanner",
+    "ScanResult",
+    "CorpusDataset",
+    "SampleRecord",
+]

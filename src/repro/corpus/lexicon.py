@@ -1,0 +1,259 @@
+"""Vocabularies used to synthesise realistic application content.
+
+The synthetic corpus needs function names, embedded strings and
+toolchain identifiers that *look and behave* like the ones found in
+real scientific software: same-domain applications share jargon,
+applications linking the same libraries share symbols, and every
+binary carries a sprinkling of generic C/C++ runtime symbols.  These
+word lists drive :mod:`repro.corpus.appmodel`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = [
+    "DOMAIN_NOUNS",
+    "DOMAIN_VERBS",
+    "COMMON_SUFFIXES",
+    "RUNTIME_SYMBOLS",
+    "SHARED_LIBRARY_SYMBOLS",
+    "STRING_TEMPLATES",
+    "TOOLCHAINS",
+    "COMPILER_COMMENTS",
+    "domain_vocabulary",
+]
+
+#: Domain-specific nouns that appear inside function names.
+DOMAIN_NOUNS: Mapping[str, Sequence[str]] = {
+    "genomics": (
+        "read", "kmer", "contig", "scaffold", "alignment", "sequence",
+        "genome", "transcript", "variant", "exon", "locus", "barcode",
+        "assembly", "overlap", "index", "quality", "adapter", "coverage",
+        "haplotype", "consensus", "primer", "fragment", "insert",
+    ),
+    "structural": (
+        "residue", "atom", "torsion", "backbone", "sidechain", "helix",
+        "sheet", "contact", "rotamer", "pocket", "ligand", "surface",
+        "density", "model", "restraint", "rmsd", "bfactor", "occupancy",
+    ),
+    "chemistry": (
+        "orbital", "basis", "density", "wavefunction", "gradient",
+        "hamiltonian", "integral", "pseudopotential", "kpoint", "cell",
+        "lattice", "exchange", "correlation", "scf", "dipole", "charge",
+        "bond", "angle", "dihedral", "forcefield",
+    ),
+    "physics": (
+        "grid", "field", "particle", "mesh", "flux", "boundary",
+        "timestep", "potential", "energy", "momentum", "tensor",
+        "operator", "spectrum", "mode", "wave", "domain",
+    ),
+    "math": (
+        "matrix", "vector", "graph", "partition", "solver", "constraint",
+        "objective", "gradient", "hessian", "eigenvalue", "factor",
+        "sparse", "dense", "node", "edge", "cut", "bound", "simplex",
+    ),
+    "neuroimaging": (
+        "voxel", "volume", "slice", "surface", "tract", "diffusion",
+        "registration", "mask", "atlas", "parcellation", "timeseries",
+        "cluster", "smoothing", "warp",
+    ),
+    "statistics": (
+        "prior", "posterior", "likelihood", "chain", "sampler", "model",
+        "parameter", "deviance", "mixture", "node", "distribution",
+    ),
+    "infrastructure": (
+        "buffer", "message", "schema", "segment", "arena", "stream",
+        "packet", "codec", "registry", "pointer", "capability",
+    ),
+    "epidemiology": (
+        "host", "vector", "infection", "cohort", "intervention",
+        "transmission", "parasite", "immunity", "population", "scenario",
+    ),
+}
+
+#: Domain-specific verbs that appear inside function names.
+DOMAIN_VERBS: Mapping[str, Sequence[str]] = {
+    "genomics": ("align", "assemble", "map", "trim", "merge", "sort",
+                 "index", "call", "phase", "count", "extract", "filter",
+                 "hash", "scan", "split", "demultiplex", "polish"),
+    "structural": ("refine", "minimize", "dock", "superpose", "score",
+                   "build", "mutate", "relax", "pack", "thread"),
+    "chemistry": ("integrate", "converge", "diagonalize", "optimize",
+                  "propagate", "contract", "transform", "project",
+                  "initialize", "symmetrize"),
+    "physics": ("advance", "propagate", "interpolate", "decompose",
+                "transform", "integrate", "scatter", "gather", "solve"),
+    "math": ("factorize", "solve", "partition", "order", "permute",
+             "eliminate", "prune", "branch", "relax", "pivot"),
+    "neuroimaging": ("register", "segment", "normalize", "smooth",
+                     "threshold", "warp", "resample", "estimate"),
+    "statistics": ("sample", "update", "burn", "thin", "estimate",
+                   "simulate", "accumulate"),
+    "infrastructure": ("serialize", "deserialize", "encode", "decode",
+                       "allocate", "dispatch", "validate", "traverse"),
+    "epidemiology": ("simulate", "infect", "recover", "deploy", "survey",
+                     "vaccinate", "sample", "progress"),
+}
+
+#: Suffixes appended to a fraction of generated function names.
+COMMON_SUFFIXES: Sequence[str] = (
+    "", "_init", "_free", "_create", "_destroy", "_impl", "_internal",
+    "_update", "_compute", "_run", "_main", "_helper", "_v2", "_fast",
+    "_parallel", "_mt", "_kernel", "_wrapper", "_check", "_stats",
+)
+
+#: Generic runtime symbols present in essentially every executable.
+RUNTIME_SYMBOLS: Sequence[str] = (
+    "main", "_start", "_init", "_fini", "__libc_csu_init",
+    "__libc_csu_fini", "_edata", "_end", "__bss_start", "__data_start",
+    "__gmon_start__", "_IO_stdin_used", "__dso_handle",
+    "usage", "print_version", "print_help", "parse_args",
+    "read_config", "write_output", "open_input", "close_input",
+    "allocate_buffer", "free_buffer", "log_message", "fatal_error",
+    "progress_report", "set_threads", "get_num_threads",
+)
+
+#: Symbols contributed by shared third-party libraries.  Classes that
+#: declare the same library group in the catalogue embed (a mutated
+#: subset of) these names, which is what creates realistic cross-class
+#: similarity noise (e.g. the HTSlib family, BLAS users, Boost users).
+SHARED_LIBRARY_SYMBOLS: Mapping[str, Sequence[str]] = {
+    "htslib": (
+        "hts_open", "hts_close", "hts_itr_next", "hts_idx_load",
+        "sam_read1", "sam_write1", "sam_hdr_read", "sam_hdr_write",
+        "bam_init1", "bam_destroy1", "bam_aux_get", "bam_endpos",
+        "bcf_read", "bcf_write", "bcf_hdr_read", "vcf_parse",
+        "bgzf_open", "bgzf_read", "bgzf_write", "tbx_index_build",
+        "faidx_fetch_seq", "kseq_read", "kstring_resize",
+    ),
+    "zlib": (
+        "deflate", "inflate", "deflateInit_", "inflateInit_",
+        "crc32", "adler32", "gzopen", "gzread", "gzwrite", "gzclose",
+        "compress2", "uncompress",
+    ),
+    "blas": (
+        "dgemm_", "dgemv_", "daxpy_", "ddot_", "dnrm2_", "dscal_",
+        "dsyrk_", "dtrsm_", "dgetrf_", "dgetri_", "dpotrf_", "dsyev_",
+        "zgemm_", "zheev_",
+    ),
+    "fftw": (
+        "fftw_plan_dft_1d", "fftw_plan_dft_r2c_3d", "fftw_execute",
+        "fftw_destroy_plan", "fftw_malloc", "fftw_free",
+        "fftw_plan_many_dft", "fftw_mpi_init",
+    ),
+    "mpi": (
+        "MPI_Init", "MPI_Finalize", "MPI_Comm_rank", "MPI_Comm_size",
+        "MPI_Send", "MPI_Recv", "MPI_Bcast", "MPI_Reduce",
+        "MPI_Allreduce", "MPI_Barrier", "MPI_Gather", "MPI_Scatter",
+        "MPI_Isend", "MPI_Irecv", "MPI_Waitall",
+    ),
+    "boost": (
+        "_ZN5boost6system15system_categoryEv",
+        "_ZN5boost6system16generic_categoryEv",
+        "_ZN5boost9iostreams4copyEv",
+        "_ZN5boost10filesystem4pathC1EPKc",
+        "_ZN5boost12program_options17options_descriptionC1Ev",
+        "_ZN5boost6threadD1Ev",
+        "_ZN5boost5mutex4lockEv",
+    ),
+    "openmp": (
+        "GOMP_parallel", "GOMP_barrier", "GOMP_critical_start",
+        "GOMP_critical_end", "omp_get_thread_num", "omp_get_num_threads",
+        "omp_set_num_threads", "GOMP_loop_dynamic_start",
+    ),
+    "cpp_runtime": (
+        "_ZNSt6vectorIdSaIdEE9push_backERKd",
+        "_ZNSt13basic_filebufIcSt11char_traitsIcEE4openEPKcSt13_Ios_Openmode",
+        "_ZNSolsEd", "_ZNSolsEi", "_ZNSt8ios_base4InitC1Ev",
+        "_ZSt17__throw_bad_allocv", "_ZdlPv", "_Znwm",
+        "__cxa_begin_catch", "__cxa_end_catch", "__gxx_personality_v0",
+    ),
+    "hdf5": (
+        "H5Fopen", "H5Fclose", "H5Dopen2", "H5Dread", "H5Dwrite",
+        "H5Screate_simple", "H5Gcreate2", "H5Acreate2", "H5Tclose",
+    ),
+}
+
+#: Templates for embedded printable strings; ``{name}``/``{version}``
+#: placeholders are filled per class and per version.
+STRING_TEMPLATES: Sequence[str] = (
+    "{name} version {version}",
+    "Usage: {prog} [options] <input> <output>",
+    "Copyright (C) {year} The {name} Development Team",
+    "This program is free software: you can redistribute it and/or modify",
+    "error: cannot open file '%s'",
+    "error: out of memory while allocating %zu bytes",
+    "warning: %s deprecated, use %s instead",
+    "[%s] processed %d records in %.2f seconds",
+    "writing results to %s",
+    "reading input from %s",
+    "invalid value for option --%s",
+    "try '{prog} --help' for more information",
+    "%s: assertion failed at %s:%d",
+    "number of threads: %d",
+    "random seed: %ld",
+    "total runtime: %.3f s",
+    "peak memory usage: %.1f MB",
+    "{name} home page: <https://www.example.org/{prog}>",
+    "compiled with support for: %s",
+    "license: GPLv3+",
+    "input file '%s' appears to be truncated",
+    "could not create temporary directory %s",
+    "%d sequences loaded",
+    "checkpoint written to %s",
+    "configuration file: %s",
+)
+
+#: EasyBuild-style toolchain identifiers used in version directory names
+#: (the paper's examples: ``46.0-iomkl-2019.01``, ``43.1-foss-2021a``).
+TOOLCHAINS: Sequence[str] = (
+    "GCC-10.3.0", "GCC-11.2.0", "GCC-12.2.0", "GCCcore-8.3.0",
+    "foss-2019b", "foss-2021a", "foss-2022a", "goolf-1.4.10",
+    "goolf-1.7.20", "iomkl-2019.01", "intel-2020a", "intel-2022b",
+)
+
+#: ``.comment`` section contents associated with each toolchain family.
+COMPILER_COMMENTS: Mapping[str, str] = {
+    "GCC": "GCC: (GNU) {gcc_version}",
+    "GCCcore": "GCC: (GNU) {gcc_version}",
+    "foss": "GCC: (GNU) {gcc_version}",
+    "goolf": "GCC: (GNU) {gcc_version}",
+    "iomkl": "Intel(R) C++ Compiler {icc_version} (ICC)",
+    "intel": "Intel(R) C++ Compiler {icc_version} (ICC)",
+}
+
+
+def domain_vocabulary(domain: str) -> tuple[Sequence[str], Sequence[str]]:
+    """Return ``(nouns, verbs)`` for a domain, defaulting to genomics.
+
+    Unknown domains fall back to the genomics vocabulary rather than
+    failing, so user-supplied catalogues with new domains keep working.
+    """
+
+    nouns = DOMAIN_NOUNS.get(domain, DOMAIN_NOUNS["genomics"])
+    verbs = DOMAIN_VERBS.get(domain, DOMAIN_VERBS["genomics"])
+    return nouns, verbs
+
+
+#: Shared-object names (``DT_NEEDED`` entries) contributed by each library
+#: group; used by the optional ``ssdeep-libs`` feature (the paper's
+#: future-work ``ldd`` extension).
+LIBRARY_SONAMES: Mapping[str, Sequence[str]] = {
+    "htslib": ("libhts.so.3",),
+    "zlib": ("libz.so.1",),
+    "blas": ("libopenblas.so.0", "liblapack.so.3"),
+    "fftw": ("libfftw3.so.3", "libfftw3f.so.3"),
+    "mpi": ("libmpi.so.40", "libopen-rte.so.40", "libopen-pal.so.40"),
+    "boost": ("libboost_system.so.1.74.0", "libboost_filesystem.so.1.74.0",
+              "libboost_program_options.so.1.74.0"),
+    "openmp": ("libgomp.so.1",),
+    "cpp_runtime": ("libstdc++.so.6", "libgcc_s.so.1"),
+    "hdf5": ("libhdf5.so.103", "libhdf5_hl.so.100"),
+}
+
+#: Shared objects essentially every dynamically linked executable needs.
+BASE_SONAMES: Sequence[str] = (
+    "libc.so.6", "libm.so.6", "libpthread.so.0", "libdl.so.2",
+    "ld-linux-x86-64.so.2",
+)

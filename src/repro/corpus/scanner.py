@@ -1,0 +1,145 @@
+"""Scan a software tree applying the paper's collection rules.
+
+The paper gathers its data set from system directories "that contain
+preinstalled software distributions", with the layout
+``<Class>/<version>/<executable>``, and applies three rules:
+
+1. the label of a sample is the name of its class (root) directory,
+2. binaries stripped of their symbol table are skipped,
+3. only classes with at least three versions are kept (so that a
+   meaningful train/test split per class is possible), and optionally
+   only executables present in *all* versions of a class are kept.
+
+:class:`CorpusScanner` applies exactly these rules to any directory
+tree — the synthetic one produced by
+:class:`repro.corpus.builder.CorpusBuilder` or a real software stack.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..binfmt.reader import is_elf
+from ..binfmt.symbols import is_stripped
+from ..exceptions import CorpusLayoutError
+from ..logging_utils import get_logger
+from .dataset import CorpusDataset, SampleRecord
+
+__all__ = ["ScanResult", "CorpusScanner"]
+
+_LOG = get_logger("corpus.scanner")
+
+
+@dataclass
+class ScanResult:
+    """Outcome of a corpus scan."""
+
+    dataset: CorpusDataset
+    skipped_stripped: list[str] = field(default_factory=list)
+    skipped_non_elf: list[str] = field(default_factory=list)
+    skipped_classes: list[str] = field(default_factory=list)
+    skipped_not_in_all_versions: list[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (f"{len(self.dataset)} samples collected; "
+                f"skipped {len(self.skipped_stripped)} stripped binaries, "
+                f"{len(self.skipped_non_elf)} non-ELF files, "
+                f"{len(self.skipped_classes)} classes with too few versions, "
+                f"{len(self.skipped_not_in_all_versions)} executables missing "
+                f"from some versions")
+
+
+class CorpusScanner:
+    """Walk a ``<Class>/<version>/<executable>`` tree and build a dataset.
+
+    Parameters
+    ----------
+    root:
+        Root directory of the software tree.
+    min_versions:
+        Minimum number of version sub-directories a class must have to
+        be collected (the paper uses 3).
+    require_in_all_versions:
+        When True (the paper's rule), only executables whose file name
+        appears in every version of the class are kept.
+    skip_stripped:
+        When True (the paper's rule), binaries without a symbol table
+        are skipped.
+    """
+
+    def __init__(self, root: str | os.PathLike, *, min_versions: int = 3,
+                 require_in_all_versions: bool = True,
+                 skip_stripped: bool = True) -> None:
+        self.root = Path(root)
+        if min_versions < 1:
+            raise CorpusLayoutError("min_versions must be >= 1")
+        self.min_versions = int(min_versions)
+        self.require_in_all_versions = bool(require_in_all_versions)
+        self.skip_stripped = bool(skip_stripped)
+
+    # ----------------------------------------------------------------- API
+    def scan(self) -> ScanResult:
+        """Scan the tree and return the collected dataset plus skip lists."""
+
+        if not self.root.is_dir():
+            raise CorpusLayoutError(f"corpus root {self.root} is not a directory")
+
+        result = ScanResult(dataset=CorpusDataset([]))
+        records: list[SampleRecord] = []
+
+        for class_dir in sorted(p for p in self.root.iterdir() if p.is_dir()):
+            class_name = class_dir.name
+            version_dirs = sorted(p for p in class_dir.iterdir() if p.is_dir())
+            if len(version_dirs) < self.min_versions:
+                result.skipped_classes.append(class_name)
+                continue
+
+            per_version_files: dict[str, dict[str, Path]] = {}
+            for version_dir in version_dirs:
+                files = {p.name: p for p in sorted(version_dir.iterdir())
+                         if p.is_file()}
+                per_version_files[version_dir.name] = files
+
+            keep_names = None
+            if self.require_in_all_versions:
+                name_sets = [set(files) for files in per_version_files.values()]
+                keep_names = set.intersection(*name_sets) if name_sets else set()
+
+            for version, files in sorted(per_version_files.items()):
+                for file_name, path in sorted(files.items()):
+                    if keep_names is not None and file_name not in keep_names:
+                        result.skipped_not_in_all_versions.append(str(path))
+                        continue
+                    record = self._collect_file(path, class_name, version, result)
+                    if record is not None:
+                        records.append(record)
+
+        result.dataset = CorpusDataset(records)
+        _LOG.info("%s", result.summary())
+        return result
+
+    # ----------------------------------------------------------- internals
+    def _collect_file(self, path: Path, class_name: str, version: str,
+                      result: ScanResult) -> SampleRecord | None:
+        try:
+            data = path.read_bytes()
+        except OSError:
+            result.skipped_non_elf.append(str(path))
+            return None
+        if not is_elf(data):
+            result.skipped_non_elf.append(str(path))
+            return None
+        if self.skip_stripped and is_stripped(data):
+            result.skipped_stripped.append(str(path))
+            return None
+        relative = path.relative_to(self.root)
+        return SampleRecord(
+            sample_id=str(relative),
+            path=str(path),
+            class_name=class_name,
+            version=version,
+            executable=path.name,
+            file_size=len(data),
+        )

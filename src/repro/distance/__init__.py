@@ -1,0 +1,37 @@
+"""Edit-distance substrate.
+
+SSDeep similarity scores are derived from an edit distance between the
+two digest strings (the paper uses the Damerau–Levenshtein distance,
+Eq. 1).  This subpackage provides:
+
+* :mod:`repro.distance.levenshtein` — classic Levenshtein distance
+  (pure-Python reference and a NumPy row-DP implementation),
+* :mod:`repro.distance.damerau` — restricted (optimal string alignment)
+  and unrestricted Damerau–Levenshtein distances,
+* :mod:`repro.distance.batch` — a batched NumPy dynamic-programming
+  engine that evaluates thousands of string pairs at once (the hot path
+  when building the similarity feature matrix),
+* :mod:`repro.distance.scoring` — SSDeep's scaling of the edit distance
+  into a 0–100 similarity score.
+"""
+
+from .levenshtein import levenshtein_distance, levenshtein_distance_numpy
+from .damerau import (
+    damerau_levenshtein_distance,
+    osa_distance,
+    weighted_edit_distance,
+)
+from .batch import BatchEditDistance, batch_edit_distances
+from .scoring import scale_edit_distance, ssdeep_score_from_distance
+
+__all__ = [
+    "levenshtein_distance",
+    "levenshtein_distance_numpy",
+    "damerau_levenshtein_distance",
+    "osa_distance",
+    "weighted_edit_distance",
+    "BatchEditDistance",
+    "batch_edit_distances",
+    "scale_edit_distance",
+    "ssdeep_score_from_distance",
+]

@@ -1,0 +1,103 @@
+"""Scaling of edit distances into SSDeep similarity scores.
+
+SSDeep reports similarity on a 0–100 scale where 0 means "no similarity"
+and 100 means "the inputs are (structurally) identical" (paper,
+Section 3).  The reference implementation derives the score from a
+cost-weighted restricted Damerau–Levenshtein distance between the two
+digest chunk strings:
+
+1. compute the weighted edit distance ``d`` (insert/delete cost 1,
+   substitution 3, transposition 5);
+2. rescale by the combined digest length so that digests of different
+   lengths are comparable:  ``d' = d * 64 / (len1 + len2)``;
+3. map onto 0–100: ``score = 100 - 100 * d' / 64``;
+4. for small block sizes, cap the score so that two very short digests
+   cannot spuriously reach a high score.
+
+Both the generic scaling helper and the exact SSDeep formula are
+exposed, because the feature-matrix code wants to run step 1 in a batch
+(:class:`repro.distance.batch.BatchEditDistance`) and apply steps 2–4
+afterwards as vectorised NumPy arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "SPAMSUM_LENGTH",
+    "MIN_BLOCKSIZE",
+    "ROLLING_WINDOW",
+    "scale_edit_distance",
+    "ssdeep_score_from_distance",
+]
+
+#: Maximum number of base64 characters in an SSDeep digest chunk.
+SPAMSUM_LENGTH = 64
+#: Smallest block size SSDeep ever uses.
+MIN_BLOCKSIZE = 3
+#: Size of the rolling-hash window.
+ROLLING_WINDOW = 7
+
+
+def scale_edit_distance(distance, len1, len2,
+                        digest_length: int = SPAMSUM_LENGTH):
+    """Rescale raw edit distances by digest length onto ``[0, 100]``.
+
+    Implements steps 2–3 above without the block-size cap; accepts
+    scalars or NumPy arrays (broadcasting applies).  Returns floats in
+    ``[0, 100]`` where higher means more similar.
+    """
+
+    distance = np.asarray(distance, dtype=np.float64)
+    total_len = np.asarray(len1, dtype=np.float64) + np.asarray(len2, dtype=np.float64)
+    total_len = np.where(total_len <= 0, 1.0, total_len)
+    rescaled = distance * digest_length / total_len
+    score = 100.0 - (100.0 * rescaled) / digest_length
+    return np.clip(score, 0.0, 100.0)
+
+
+def ssdeep_score_from_distance(distance, len1, len2, block_size,
+                               *,
+                               digest_length: int = SPAMSUM_LENGTH,
+                               min_blocksize: int = MIN_BLOCKSIZE,
+                               rolling_window: int = ROLLING_WINDOW):
+    """Exact SSDeep score computation from a weighted edit distance.
+
+    Mirrors ``score_strings`` from the reference implementation,
+    including the small-block-size cap, but operates on scalars or NumPy
+    arrays.  Returns integer scores in ``[0, 100]``.
+
+    Parameters
+    ----------
+    distance:
+        Weighted edit distance(s) between the two digest chunks
+        (insert/delete 1, substitute 3, transpose 5).
+    len1, len2:
+        Lengths of the two digest chunks.
+    block_size:
+        The block size at which the two chunks were computed (they must
+        match for the comparison to be meaningful).
+    """
+
+    distance = np.asarray(distance, dtype=np.float64)
+    len1 = np.asarray(len1, dtype=np.float64)
+    len2 = np.asarray(len2, dtype=np.float64)
+    block_size = np.asarray(block_size, dtype=np.float64)
+
+    total_len = np.where((len1 + len2) <= 0, 1.0, len1 + len2)
+    score = distance * digest_length / total_len
+    score = (100.0 * score) / digest_length
+    score = 100.0 - score
+    score = np.clip(score, 0.0, 100.0)
+
+    # Small block sizes cannot assert strong similarity: cap the score at
+    # block_size / MIN_BLOCKSIZE * min(len1, len2), exactly as ssdeep does.
+    threshold_block = (99 + rolling_window) // rolling_window * min_blocksize
+    cap = block_size / min_blocksize * np.minimum(len1, len2)
+    score = np.where(block_size < threshold_block, np.minimum(score, cap), score)
+
+    result = np.floor(np.clip(score, 0.0, 100.0)).astype(np.int64)
+    if result.ndim == 0:
+        return int(result)
+    return result

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError` so that callers can catch library failures without
+accidentally swallowing unrelated Python errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a configuration value or scale preset is invalid."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Raised when a user-supplied argument fails validation.
+
+    Inherits from :class:`ValueError` so that generic ``except ValueError``
+    handlers written against the scikit-learn API keep working.
+    """
+
+
+class HashingError(ReproError):
+    """Raised when fuzzy hashing of an input fails."""
+
+
+class DigestFormatError(HashingError, ValueError):
+    """Raised when an SSDeep digest string cannot be parsed."""
+
+
+class BinaryFormatError(ReproError):
+    """Raised when an executable file cannot be parsed as ELF."""
+
+
+class TruncatedBinaryError(BinaryFormatError):
+    """Raised when an ELF file ends before a declared structure."""
+
+
+class SymbolTableError(BinaryFormatError):
+    """Raised when the symbol table of a binary is missing or malformed.
+
+    The paper's collection rules skip binaries that have been stripped of
+    their symbol table; this error is the signal used for that filtering.
+    """
+
+
+class CorpusError(ReproError):
+    """Raised when corpus generation or scanning fails."""
+
+
+class CorpusLayoutError(CorpusError):
+    """Raised when an on-disk software tree does not follow the expected
+    ``<Class>/<version>/<executable>`` layout."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """Raised when ``predict``/``transform`` is called before ``fit``."""
+
+
+class FeatureExtractionError(ReproError):
+    """Raised when fuzzy-hash feature extraction for a sample fails."""
+
+
+class EvaluationError(ReproError):
+    """Raised when an experiment or evaluation cannot be completed."""

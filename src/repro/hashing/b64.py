@@ -1,0 +1,27 @@
+"""SSDeep's base64 alphabet.
+
+SSDeep encodes each 6-bit chunk value with the standard base64 alphabet
+(``A``–``Z``, ``a``–``z``, ``0``–``9``, ``+``, ``/``); digests therefore
+consist only of these characters.
+"""
+
+from __future__ import annotations
+
+__all__ = ["B64_ALPHABET", "encode_low6", "is_digest_alphabet"]
+
+#: The 64-character alphabet used for digest characters.
+B64_ALPHABET = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+_ALPHABET_SET = frozenset(B64_ALPHABET)
+
+
+def encode_low6(value: int) -> str:
+    """Encode the low 6 bits of ``value`` as one digest character."""
+
+    return B64_ALPHABET[value & 0x3F]
+
+
+def is_digest_alphabet(text: str) -> bool:
+    """Return True if every character of ``text`` is a valid digest char."""
+
+    return all(ch in _ALPHABET_SET for ch in text)

@@ -1,0 +1,53 @@
+"""Cryptographic digests for the exact-match baseline.
+
+The paper motivates fuzzy hashing by contrasting it with cryptographic
+hashes, which "can only be used to find exact matches" (Section 1, and
+the prior work of Yamamoto et al.).  The exact-match baseline in
+:mod:`repro.core.baselines` therefore needs plain cryptographic digests
+of the same three feature inputs (raw file, strings output, symbol
+list); this module wraps :mod:`hashlib` with a small, typed API.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+from ..exceptions import ValidationError
+
+__all__ = ["SUPPORTED_ALGORITHMS", "crypto_digest", "crypto_digest_file"]
+
+#: Algorithms accepted by :func:`crypto_digest`.
+SUPPORTED_ALGORITHMS = ("md5", "sha1", "sha256", "sha512")
+
+
+def crypto_digest(data: bytes | str, algorithm: str = "sha256") -> str:
+    """Hex digest of ``data`` under the given cryptographic hash."""
+
+    if algorithm not in SUPPORTED_ALGORITHMS:
+        raise ValidationError(
+            f"algorithm must be one of {SUPPORTED_ALGORITHMS}, got {algorithm!r}"
+        )
+    if isinstance(data, str):
+        data = data.encode("utf-8", errors="replace")
+    hasher = hashlib.new(algorithm)
+    hasher.update(data)
+    return hasher.hexdigest()
+
+
+def crypto_digest_file(path: str | os.PathLike, algorithm: str = "sha256",
+                       chunk_size: int = 1 << 20) -> str:
+    """Hex digest of a file's contents, streamed in ``chunk_size`` blocks."""
+
+    if algorithm not in SUPPORTED_ALGORITHMS:
+        raise ValidationError(
+            f"algorithm must be one of {SUPPORTED_ALGORITHMS}, got {algorithm!r}"
+        )
+    hasher = hashlib.new(algorithm)
+    with open(path, "rb") as fh:
+        while True:
+            block = fh.read(chunk_size)
+            if not block:
+                break
+            hasher.update(block)
+    return hasher.hexdigest()

@@ -1,0 +1,210 @@
+"""Context Triggered Piecewise Hashing (SSDeep digests).
+
+This module turns raw bytes into SSDeep digests of the canonical form
+``block_size:signature:double_block_signature``:
+
+* the block size starts at the smallest power-of-two multiple of
+  :data:`MIN_BLOCKSIZE` such that the expected signature length is at
+  most :data:`SPAMSUM_LENGTH` characters, and is halved (and the digest
+  recomputed) while the signature turns out shorter than
+  ``SPAMSUM_LENGTH / 2`` — exactly the retry loop of the spamsum
+  reference implementation;
+* the rolling-hash trigger scan is fully vectorised
+  (:func:`repro.hashing.rolling.rolling_hash_values`), so re-trying a
+  smaller block size only costs a cheap modulo over the precomputed
+  trigger array plus the per-chunk 6-bit FNV scan.
+
+The digest is represented by :class:`SsdeepDigest`, which also handles
+parsing and validation of digest strings (needed when loading feature
+stores from disk).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from ..exceptions import DigestFormatError, HashingError
+from .b64 import B64_ALPHABET, is_digest_alphabet
+from .fnv import FNV_INIT, piecewise_low6
+from .rolling import rolling_hash_values
+
+__all__ = [
+    "MIN_BLOCKSIZE",
+    "SPAMSUM_LENGTH",
+    "SsdeepDigest",
+    "FuzzyHasher",
+    "fuzzy_hash",
+    "fuzzy_hash_file",
+]
+
+#: Smallest block size ever used.
+MIN_BLOCKSIZE = 3
+#: Maximum signature length in characters.
+SPAMSUM_LENGTH = 64
+
+
+@dataclass(frozen=True)
+class SsdeepDigest:
+    """Parsed SSDeep digest: ``block_size:chunk:double_chunk``."""
+
+    block_size: int
+    chunk: str
+    double_chunk: str
+
+    def __str__(self) -> str:  # canonical digest string
+        return f"{self.block_size}:{self.chunk}:{self.double_chunk}"
+
+    @classmethod
+    def parse(cls, digest: str) -> "SsdeepDigest":
+        """Parse a digest string, validating structure and alphabet."""
+
+        if not isinstance(digest, str):
+            raise DigestFormatError(
+                f"digest must be a string, got {type(digest).__name__}"
+            )
+        parts = digest.split(":")
+        if len(parts) != 3:
+            raise DigestFormatError(
+                f"digest must have 3 colon-separated fields, got {digest!r}"
+            )
+        raw_bs, chunk, double_chunk = parts
+        try:
+            block_size = int(raw_bs)
+        except ValueError as exc:
+            raise DigestFormatError(f"invalid block size in digest {digest!r}") from exc
+        if block_size < MIN_BLOCKSIZE:
+            raise DigestFormatError(
+                f"block size must be >= {MIN_BLOCKSIZE}, got {block_size}"
+            )
+        if not is_digest_alphabet(chunk) or not is_digest_alphabet(double_chunk):
+            raise DigestFormatError(
+                f"digest {digest!r} contains characters outside the base64 alphabet"
+            )
+        return cls(block_size=block_size, chunk=chunk, double_chunk=double_chunk)
+
+    @property
+    def is_empty(self) -> bool:
+        """True if the digest was computed from empty input."""
+
+        return not self.chunk and not self.double_chunk
+
+
+def _initial_block_size(length: int) -> int:
+    """Smallest admissible block size for an input of ``length`` bytes."""
+
+    block_size = MIN_BLOCKSIZE
+    while block_size * SPAMSUM_LENGTH < length:
+        block_size *= 2
+    return block_size
+
+
+class FuzzyHasher:
+    """Compute SSDeep digests of byte strings and files.
+
+    Parameters
+    ----------
+    min_blocksize:
+        Smallest block size the retry loop may reach (default 3).
+    spamsum_length:
+        Maximum signature length (default 64).  Exposed mainly so that
+        property-based tests can exercise degenerate configurations.
+    """
+
+    def __init__(self, *, min_blocksize: int = MIN_BLOCKSIZE,
+                 spamsum_length: int = SPAMSUM_LENGTH) -> None:
+        if min_blocksize < 1:
+            raise HashingError("min_blocksize must be >= 1")
+        if spamsum_length < 2 or spamsum_length % 2:
+            raise HashingError("spamsum_length must be an even integer >= 2")
+        self.min_blocksize = int(min_blocksize)
+        self.spamsum_length = int(spamsum_length)
+
+    # ------------------------------------------------------------------ API
+    def hash(self, data: bytes | bytearray | memoryview | str) -> SsdeepDigest:
+        """Return the :class:`SsdeepDigest` of ``data``.
+
+        Text inputs are encoded as UTF-8 first (the paper hashes the
+        textual output of ``strings`` and ``nm`` as well as raw bytes).
+        """
+
+        if isinstance(data, str):
+            data = data.encode("utf-8", errors="replace")
+        data = bytes(data)
+
+        if not data:
+            return SsdeepDigest(block_size=self.min_blocksize, chunk="", double_chunk="")
+
+        roll = rolling_hash_values(data)
+        block_size = self._initial_block_size(len(data))
+
+        while True:
+            chunk, double_chunk = self._digest_at(data, roll, block_size)
+            if block_size > self.min_blocksize and len(chunk) < self.spamsum_length // 2:
+                block_size //= 2
+                continue
+            return SsdeepDigest(block_size=block_size, chunk=chunk,
+                                double_chunk=double_chunk)
+
+    def hash_file(self, path: str | os.PathLike) -> SsdeepDigest:
+        """Hash the contents of a file."""
+
+        with open(path, "rb") as fh:
+            return self.hash(fh.read())
+
+    def hash_many(self, items: Iterable[bytes | str]) -> list[SsdeepDigest]:
+        """Hash an iterable of inputs, preserving order."""
+
+        return [self.hash(item) for item in items]
+
+    # ----------------------------------------------------------- internals
+    def _initial_block_size(self, length: int) -> int:
+        block_size = self.min_blocksize
+        while block_size * self.spamsum_length < length:
+            block_size *= 2
+        return block_size
+
+    def _digest_at(self, data: bytes, roll: np.ndarray,
+                   block_size: int) -> tuple[str, str]:
+        """Compute both signatures for a fixed block size."""
+
+        chunk = self._signature(data, roll, block_size, self.spamsum_length)
+        double_chunk = self._signature(data, roll, block_size * 2,
+                                       self.spamsum_length // 2)
+        return chunk, double_chunk
+
+    def _signature(self, data: bytes, roll: np.ndarray, block_size: int,
+                   max_length: int) -> str:
+        """One signature: trigger positions -> per-chunk base64 characters."""
+
+        triggers = np.flatnonzero(roll % np.uint32(block_size) == np.uint32(block_size - 1))
+        # Only the first (max_length - 1) triggers start new characters; the
+        # final character summarises everything after the last used trigger.
+        used = triggers[: max_length - 1]
+        chunk_states, tail_state = piecewise_low6(data, used, FNV_INIT)
+        chars = [B64_ALPHABET[s] for s in chunk_states]
+        # The reference implementation only appends the trailing character
+        # when the rolling hash is non-zero at the end of the data (i.e. the
+        # input does not end in a run of zero bytes long enough to zero the
+        # window).
+        if int(roll[-1]) != 0:
+            chars.append(B64_ALPHABET[tail_state])
+        return "".join(chars)
+
+
+_DEFAULT_HASHER = FuzzyHasher()
+
+
+def fuzzy_hash(data: bytes | bytearray | memoryview | str) -> str:
+    """Convenience function: SSDeep digest string of ``data``."""
+
+    return str(_DEFAULT_HASHER.hash(data))
+
+
+def fuzzy_hash_file(path: str | os.PathLike) -> str:
+    """Convenience function: SSDeep digest string of a file's contents."""
+
+    return str(_DEFAULT_HASHER.hash_file(path))

@@ -1,0 +1,73 @@
+"""Logging helpers shared across the :mod:`repro` package.
+
+The library never configures the root logger; applications opt in by
+calling :func:`configure_logging` (the examples and benchmarks do).  All
+modules obtain their logger via :func:`get_logger` so that the whole
+package lives under the ``repro`` logging namespace.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+_PACKAGE_LOGGER_NAME = "repro"
+
+_DEFAULT_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger below the ``repro`` namespace.
+
+    Parameters
+    ----------
+    name:
+        Dotted suffix below ``repro`` (e.g. ``"corpus.builder"``).  ``None``
+        returns the package root logger.
+    """
+
+    if not name:
+        return logging.getLogger(_PACKAGE_LOGGER_NAME)
+    if name.startswith(_PACKAGE_LOGGER_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_PACKAGE_LOGGER_NAME}.{name}")
+
+
+def configure_logging(level: int | str = logging.INFO,
+                      stream=None,
+                      fmt: str = _DEFAULT_FORMAT) -> logging.Logger:
+    """Attach a stream handler to the package logger (idempotent).
+
+    Returns the package root logger.  Calling this twice does not duplicate
+    handlers, which keeps repeated example/benchmark runs quiet.
+    """
+
+    logger = logging.getLogger(_PACKAGE_LOGGER_NAME)
+    logger.setLevel(level)
+    if stream is None:
+        stream = sys.stderr
+    has_stream_handler = any(
+        isinstance(h, logging.StreamHandler) and getattr(h, "stream", None) is stream
+        for h in logger.handlers
+    )
+    if not has_stream_handler:
+        handler = logging.StreamHandler(stream)
+        handler.setFormatter(logging.Formatter(fmt))
+        logger.addHandler(handler)
+    return logger
+
+
+@contextmanager
+def log_duration(logger: logging.Logger, message: str,
+                 level: int = logging.INFO) -> Iterator[None]:
+    """Log ``message`` together with the wall-clock duration of the block."""
+
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        logger.log(level, "%s (%.3f s)", message, elapsed)

@@ -1,0 +1,70 @@
+"""Balanced class weights.
+
+The paper "address[es] class imbalance through assigning balanced
+weights to classes inversely proportional to class frequencies"
+(Section 3).  This is scikit-learn's ``class_weight="balanced"``
+heuristic:  ``weight(c) = n_samples / (n_classes * count(c))``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = ["compute_class_weight", "compute_sample_weight"]
+
+
+def compute_class_weight(class_weight, classes, y) -> np.ndarray:
+    """Per-class weights aligned with ``classes``.
+
+    Parameters
+    ----------
+    class_weight:
+        ``None`` (uniform), ``"balanced"``, or a mapping
+        ``{class_label: weight}``.
+    classes:
+        Array of the distinct class labels (the output order).
+    y:
+        Training labels (used for the balanced heuristic).
+    """
+
+    classes = np.asarray(classes)
+    y = np.asarray(y)
+    if class_weight is None:
+        return np.ones(len(classes), dtype=np.float64)
+
+    if isinstance(class_weight, Mapping):
+        weights = np.ones(len(classes), dtype=np.float64)
+        for index, label in enumerate(classes.tolist()):
+            if label in class_weight:
+                weights[index] = float(class_weight[label])
+        return weights
+
+    if class_weight == "balanced":
+        counts = np.array([(y == label).sum() for label in classes], dtype=np.float64)
+        if np.any(counts == 0):
+            missing = [label for label, count in zip(classes.tolist(), counts) if count == 0]
+            raise ValidationError(
+                f"classes {missing!r} have no samples in y; cannot balance weights"
+            )
+        return len(y) / (len(classes) * counts)
+
+    raise ValidationError(
+        f"class_weight must be None, 'balanced' or a mapping, got {class_weight!r}"
+    )
+
+
+def compute_sample_weight(class_weight, y, classes=None) -> np.ndarray:
+    """Expand class weights into a per-sample weight vector."""
+
+    y = np.asarray(y)
+    if classes is None:
+        classes = np.array(sorted(set(y.tolist())))
+    else:
+        classes = np.asarray(classes)
+    class_weights = compute_class_weight(class_weight, classes, y)
+    lookup = {label: weight for label, weight in zip(classes.tolist(), class_weights)}
+    return np.array([lookup[label] for label in y.tolist()], dtype=np.float64)

@@ -1,0 +1,170 @@
+"""Random Forest classifier.
+
+Bootstrap-aggregated CART trees with random feature subsampling, the
+model behind the paper's Fuzzy Hash Classifier.  The paper motivates
+the choice with two properties (Section 3), both reproduced here:
+
+* **non-linearity** — each tree partitions the abstract fuzzy-hash
+  similarity space with axis-aligned thresholds, and the ensemble
+  averages their probability estimates;
+* **feature importance** — Gini importances are averaged over trees
+  and exposed as ``feature_importances_`` (Table 5 of the paper is the
+  per-hash-type aggregation of these).
+
+Trees can be fitted in parallel worker processes (``n_jobs``); each
+worker receives a batch of tree seeds to amortise the cost of shipping
+the training matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .._validation import (
+    check_array_1d,
+    check_array_2d,
+    check_consistent_length,
+    check_positive_int,
+    check_random_state,
+)
+from ..exceptions import ValidationError
+from ..parallel import effective_n_jobs, parallel_map, partition_evenly
+from .base import BaseEstimator, ClassifierMixin, check_is_fitted
+from .class_weight import compute_sample_weight
+from .encoding import LabelEncoder
+from .tree import DecisionTreeClassifier
+
+__all__ = ["RandomForestClassifier"]
+
+
+def _fit_tree_batch(args) -> list[DecisionTreeClassifier]:
+    """Fit a batch of trees (module-level so it can cross process
+    boundaries)."""
+
+    (tree_params, X, y, sample_weight, seeds, bootstrap) = args
+    n_samples = X.shape[0]
+    trees: list[DecisionTreeClassifier] = []
+    for seed in seeds:
+        rng = np.random.default_rng(seed)
+        tree = DecisionTreeClassifier(random_state=int(rng.integers(0, 2**31 - 1)),
+                                      **tree_params)
+        if bootstrap:
+            indices = rng.integers(0, n_samples, size=n_samples)
+            tree.fit(X[indices], y[indices],
+                     sample_weight=None if sample_weight is None
+                     else sample_weight[indices])
+        else:
+            tree.fit(X, y, sample_weight=sample_weight)
+        trees.append(tree)
+    return trees
+
+
+class RandomForestClassifier(BaseEstimator, ClassifierMixin):
+    """Bootstrap-aggregated decision-tree classifier.
+
+    Parameters mirror scikit-learn's ``RandomForestClassifier`` for the
+    subset the paper tunes (``n_estimators``, ``criterion``,
+    ``max_depth``, ``min_samples_split``, ``min_samples_leaf``,
+    ``max_features``) plus ``class_weight`` and ``n_jobs``.
+    """
+
+    def __init__(self, n_estimators: int = 100, *, criterion: str = "gini",
+                 max_depth: int | None = None, min_samples_split: int = 2,
+                 min_samples_leaf: int = 1, max_features="sqrt",
+                 bootstrap: bool = True, class_weight=None,
+                 random_state=None, n_jobs: int = 1) -> None:
+        self.n_estimators = n_estimators
+        self.criterion = criterion
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.class_weight = class_weight
+        self.random_state = random_state
+        self.n_jobs = n_jobs
+
+    # ------------------------------------------------------------------ fit
+    def fit(self, X, y, sample_weight=None) -> "RandomForestClassifier":
+        X = check_array_2d(X, "X")
+        y = check_array_1d(y, "y")
+        check_consistent_length(X, y)
+        check_positive_int(self.n_estimators, "n_estimators")
+
+        encoder = LabelEncoder()
+        y_encoded = encoder.fit_transform(y)
+        self.classes_ = encoder.classes_
+        self._encoder = encoder
+        self.n_features_in_ = X.shape[1]
+
+        weights = None
+        if sample_weight is not None:
+            weights = np.asarray(sample_weight, dtype=np.float64)
+            check_consistent_length(X, weights)
+        if self.class_weight is not None:
+            class_sample_weight = compute_sample_weight(self.class_weight, y)
+            weights = class_sample_weight if weights is None \
+                else weights * class_sample_weight
+
+        tree_params = dict(
+            criterion=self.criterion,
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+        )
+
+        rng = check_random_state(self.random_state)
+        seeds = [int(s) for s in rng.integers(0, 2**63 - 1, size=self.n_estimators)]
+
+        workers = effective_n_jobs(self.n_jobs)
+        # Encode y as integers for the trees so every tree shares the same
+        # class indexing as the forest.
+        y_for_trees = y_encoded
+        if workers <= 1 or self.n_estimators < 2 * workers:
+            self.estimators_ = _fit_tree_batch(
+                (tree_params, X, y_for_trees, weights, seeds, self.bootstrap))
+        else:
+            batches = [batch for batch in partition_evenly(seeds, workers) if batch]
+            tasks = [(tree_params, X, y_for_trees, weights, batch, self.bootstrap)
+                     for batch in batches]
+            results = parallel_map(_fit_tree_batch, tasks, n_jobs=workers,
+                                   chunksize=1, min_items_per_worker=1)
+            self.estimators_ = [tree for batch in results for tree in batch]
+
+        self.feature_importances_ = self._aggregate_importances()
+        return self
+
+    # ------------------------------------------------------------- predict
+    def predict_proba(self, X) -> np.ndarray:
+        check_is_fitted(self, "estimators_")
+        X = check_array_2d(X, "X")
+        if X.shape[1] != self.n_features_in_:
+            raise ValidationError(
+                f"X has {X.shape[1]} features, expected {self.n_features_in_}")
+        n_classes = len(self.classes_)
+        total = np.zeros((X.shape[0], n_classes), dtype=np.float64)
+        for tree in self.estimators_:
+            proba = tree.predict_proba(X)
+            # Trees were fitted on integer-encoded labels; align their class
+            # index (a subset when a bootstrap misses a class) to the forest's.
+            tree_classes = tree.classes_.astype(np.int64)
+            total[:, tree_classes] += proba
+        total /= len(self.estimators_)
+        return total
+
+    def predict(self, X) -> np.ndarray:
+        probabilities = self.predict_proba(X)
+        encoded = np.argmax(probabilities, axis=1)
+        return self.classes_[encoded]
+
+    # ----------------------------------------------------------- internals
+    def _aggregate_importances(self) -> np.ndarray:
+        importances = np.zeros(self.n_features_in_, dtype=np.float64)
+        for tree in self.estimators_:
+            importances += tree.feature_importances_
+        importances /= max(len(self.estimators_), 1)
+        total = importances.sum()
+        return importances / total if total > 0 else importances

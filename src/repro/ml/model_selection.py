@@ -1,0 +1,344 @@
+"""Train/test splitting, cross-validation and grid search.
+
+Implements the subset of scikit-learn's model-selection toolbox the
+paper's methodology needs:
+
+* :func:`train_test_split` with optional stratification (the paper's
+  stratified 60/40 sample split of known classes),
+* :class:`StratifiedKFold` for cross-validated grid search,
+* :class:`ParameterGrid` and :class:`GridSearchCV` ("we optimize the
+  performance ... with hyperparameter tuning through grid search only
+  within the training set").
+
+The grid search can evaluate parameter combinations in worker
+processes (``n_jobs``) using :mod:`repro.parallel`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from .._validation import check_random_state
+from ..exceptions import ValidationError
+from .base import BaseEstimator, clone
+from .metrics import accuracy_score, f1_score
+
+__all__ = ["train_test_split", "StratifiedKFold", "KFold", "ParameterGrid",
+           "GridSearchCV", "cross_val_score"]
+
+
+# ---------------------------------------------------------------------------
+# splitting
+# ---------------------------------------------------------------------------
+def _stratified_assignment(y: np.ndarray, test_size: float,
+                           rng: np.random.Generator) -> np.ndarray:
+    """Boolean mask marking test samples, stratified per class."""
+
+    test_mask = np.zeros(len(y), dtype=bool)
+    for label in np.unique(y):
+        indices = np.flatnonzero(y == label)
+        rng.shuffle(indices)
+        n_test = int(round(len(indices) * test_size))
+        # Keep at least one sample on each side when the class allows it.
+        if len(indices) >= 2:
+            n_test = min(max(n_test, 1), len(indices) - 1)
+        test_mask[indices[:n_test]] = True
+    return test_mask
+
+
+def train_test_split(*arrays, test_size: float = 0.25, train_size: float | None = None,
+                     stratify=None, shuffle: bool = True, random_state=None):
+    """Split arrays into train/test subsets (optionally stratified).
+
+    Returns ``train_a1, test_a1, train_a2, test_a2, ...`` in the same
+    interleaved order scikit-learn uses.
+    """
+
+    if not arrays:
+        raise ValidationError("train_test_split needs at least one array")
+    length = len(arrays[0])
+    for array in arrays:
+        if len(array) != length:
+            raise ValidationError("all arrays must have the same length")
+    if train_size is not None:
+        if not (0.0 < train_size < 1.0):
+            raise ValidationError(f"train_size must be in (0, 1), got {train_size}")
+        test_size = 1.0 - train_size
+    if not (0.0 < test_size < 1.0):
+        raise ValidationError(f"test_size must be in (0, 1), got {test_size}")
+    if not shuffle and stratify is not None:
+        raise ValidationError("stratified splitting requires shuffle=True")
+
+    rng = check_random_state(random_state)
+    if stratify is not None:
+        y = np.asarray(stratify)
+        if len(y) != length:
+            raise ValidationError("stratify must have the same length as the arrays")
+        test_mask = _stratified_assignment(y, test_size, rng)
+    else:
+        indices = np.arange(length)
+        if shuffle:
+            rng.shuffle(indices)
+        n_test = int(round(length * test_size))
+        n_test = min(max(n_test, 1), length - 1)
+        test_mask = np.zeros(length, dtype=bool)
+        test_mask[indices[:n_test]] = True
+
+    train_idx = np.flatnonzero(~test_mask)
+    test_idx = np.flatnonzero(test_mask)
+    if shuffle:
+        rng.shuffle(train_idx)
+        rng.shuffle(test_idx)
+
+    result = []
+    for array in arrays:
+        array = np.asarray(array)
+        result.append(array[train_idx])
+        result.append(array[test_idx])
+    return result
+
+
+class KFold:
+    """Plain K-fold cross-validation splitter."""
+
+    def __init__(self, n_splits: int = 5, *, shuffle: bool = False,
+                 random_state=None) -> None:
+        if n_splits < 2:
+            raise ValidationError("n_splits must be >= 2")
+        self.n_splits = int(n_splits)
+        self.shuffle = bool(shuffle)
+        self.random_state = random_state
+
+    def split(self, X, y=None) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(X)
+        if n < self.n_splits:
+            raise ValidationError(
+                f"cannot split {n} samples into {self.n_splits} folds")
+        indices = np.arange(n)
+        if self.shuffle:
+            check_random_state(self.random_state).shuffle(indices)
+        folds = np.array_split(indices, self.n_splits)
+        for i in range(self.n_splits):
+            test_idx = folds[i]
+            train_idx = np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            yield np.sort(train_idx), np.sort(test_idx)
+
+    def get_n_splits(self, X=None, y=None) -> int:
+        return self.n_splits
+
+
+class StratifiedKFold:
+    """K-fold splitter preserving per-class proportions in every fold."""
+
+    def __init__(self, n_splits: int = 5, *, shuffle: bool = False,
+                 random_state=None) -> None:
+        if n_splits < 2:
+            raise ValidationError("n_splits must be >= 2")
+        self.n_splits = int(n_splits)
+        self.shuffle = bool(shuffle)
+        self.random_state = random_state
+
+    def split(self, X, y) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        y = np.asarray(y)
+        if len(y) != len(X):
+            raise ValidationError("X and y must have the same length")
+        rng = check_random_state(self.random_state)
+
+        # Assign each sample a fold id, round-robin per class.
+        fold_of = np.zeros(len(y), dtype=np.int64)
+        for label in np.unique(y):
+            indices = np.flatnonzero(y == label)
+            if self.shuffle:
+                rng.shuffle(indices)
+            fold_of[indices] = np.arange(len(indices)) % self.n_splits
+        for fold in range(self.n_splits):
+            test_idx = np.flatnonzero(fold_of == fold)
+            train_idx = np.flatnonzero(fold_of != fold)
+            if len(test_idx) == 0 or len(train_idx) == 0:
+                raise ValidationError(
+                    "StratifiedKFold produced an empty fold; reduce n_splits")
+            yield train_idx, test_idx
+
+    def get_n_splits(self, X=None, y=None) -> int:
+        return self.n_splits
+
+
+# ---------------------------------------------------------------------------
+# grid search
+# ---------------------------------------------------------------------------
+class ParameterGrid:
+    """Iterate over the cartesian product of a parameter grid.
+
+    Accepts a dict of ``{param: [values...]}`` or a list of such dicts
+    (each expanded independently, like scikit-learn).
+    """
+
+    def __init__(self, grid: Mapping[str, Sequence[Any]] | Sequence[Mapping[str, Sequence[Any]]]) -> None:
+        if isinstance(grid, Mapping):
+            grid = [grid]
+        self.grid = []
+        for entry in grid:
+            if not isinstance(entry, Mapping):
+                raise ValidationError("parameter grid entries must be mappings")
+            normalized = {}
+            for key, values in entry.items():
+                if isinstance(values, (str, bytes)) or not isinstance(values, Iterable):
+                    values = [values]
+                values = list(values)
+                if not values:
+                    raise ValidationError(f"parameter {key!r} has an empty value list")
+                normalized[str(key)] = values
+            self.grid.append(normalized)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        for entry in self.grid:
+            keys = sorted(entry)
+            for combo in itertools.product(*(entry[k] for k in keys)):
+                yield dict(zip(keys, combo))
+
+    def __len__(self) -> int:
+        total = 0
+        for entry in self.grid:
+            count = 1
+            for values in entry.values():
+                count *= len(values)
+            total += count
+        return total
+
+
+@dataclass
+class _GridResult:
+    params: dict[str, Any]
+    mean_score: float
+    scores: list[float] = field(default_factory=list)
+
+
+def _default_scorer(estimator, X, y) -> float:
+    """Default scoring: macro f1 (the paper's headline metric)."""
+
+    return f1_score(y, estimator.predict(X), average="macro")
+
+
+_SCORERS: dict[str, Callable] = {
+    "accuracy": lambda est, X, y: accuracy_score(y, est.predict(X)),
+    "f1_macro": lambda est, X, y: f1_score(y, est.predict(X), average="macro"),
+    "f1_micro": lambda est, X, y: f1_score(y, est.predict(X), average="micro"),
+    "f1_weighted": lambda est, X, y: f1_score(y, est.predict(X), average="weighted"),
+}
+
+
+def _resolve_scorer(scoring) -> Callable:
+    if scoring is None:
+        return _default_scorer
+    if callable(scoring):
+        return scoring
+    if scoring in _SCORERS:
+        return _SCORERS[scoring]
+    raise ValidationError(
+        f"Unknown scoring {scoring!r}; expected a callable or one of {sorted(_SCORERS)}")
+
+
+def _evaluate_candidate(args) -> _GridResult:
+    """Fit/score one parameter combination on every CV fold."""
+
+    estimator, params, X, y, folds, scorer = args
+    scores: list[float] = []
+    for train_idx, test_idx in folds:
+        model = clone(estimator)
+        model.set_params(**params)
+        model.fit(X[train_idx], y[train_idx])
+        scores.append(float(scorer(model, X[test_idx], y[test_idx])))
+    return _GridResult(params=params, mean_score=float(np.mean(scores)), scores=scores)
+
+
+def cross_val_score(estimator, X, y, *, cv: int | StratifiedKFold = 5,
+                    scoring=None) -> np.ndarray:
+    """Score an estimator with cross-validation; returns per-fold scores."""
+
+    X = np.asarray(X)
+    y = np.asarray(y)
+    splitter = StratifiedKFold(cv) if isinstance(cv, int) else cv
+    scorer = _resolve_scorer(scoring)
+    folds = list(splitter.split(X, y))
+    result = _evaluate_candidate((estimator, {}, X, y, folds, scorer))
+    return np.array(result.scores)
+
+
+class GridSearchCV(BaseEstimator):
+    """Exhaustive grid search with cross-validation.
+
+    Parameters
+    ----------
+    estimator:
+        Prototype estimator; cloned for every fit.
+    param_grid:
+        Dict (or list of dicts) mapping parameter names to value lists.
+    scoring:
+        ``None`` (macro f1), a name from ``accuracy``/``f1_macro``/
+        ``f1_micro``/``f1_weighted``, or a callable
+        ``scorer(estimator, X, y) -> float``.
+    cv:
+        Number of stratified folds, or a splitter instance.
+    n_jobs:
+        Worker processes used to evaluate parameter combinations.
+    refit:
+        Refit the best parameter combination on the full data (default).
+    """
+
+    def __init__(self, estimator=None, param_grid=None, *, scoring=None,
+                 cv: int | StratifiedKFold = 3, n_jobs: int = 1,
+                 refit: bool = True) -> None:
+        self.estimator = estimator
+        self.param_grid = param_grid
+        self.scoring = scoring
+        self.cv = cv
+        self.n_jobs = n_jobs
+        self.refit = refit
+
+    def fit(self, X, y) -> "GridSearchCV":
+        if self.estimator is None or self.param_grid is None:
+            raise ValidationError("GridSearchCV requires an estimator and a param_grid")
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        splitter = StratifiedKFold(self.cv) if isinstance(self.cv, int) else self.cv
+        folds = list(splitter.split(X, y))
+        scorer = _resolve_scorer(self.scoring)
+
+        candidates = list(ParameterGrid(self.param_grid))
+        if not candidates:
+            raise ValidationError("param_grid expands to zero candidates")
+        tasks = [(self.estimator, params, X, y, folds, scorer) for params in candidates]
+
+        if self.n_jobs and self.n_jobs != 1 and len(tasks) > 1:
+            from ..parallel import parallel_map
+            results = parallel_map(_evaluate_candidate, tasks, n_jobs=self.n_jobs)
+        else:
+            results = [_evaluate_candidate(task) for task in tasks]
+
+        results.sort(key=lambda r: r.mean_score, reverse=True)
+        self.cv_results_ = {
+            "params": [r.params for r in results],
+            "mean_test_score": np.array([r.mean_score for r in results]),
+            "split_test_scores": [r.scores for r in results],
+        }
+        self.best_params_ = results[0].params
+        self.best_score_ = results[0].mean_score
+        if self.refit:
+            self.best_estimator_ = clone(self.estimator)
+            self.best_estimator_.set_params(**self.best_params_)
+            self.best_estimator_.fit(X, y)
+        return self
+
+    def predict(self, X):
+        if not hasattr(self, "best_estimator_"):
+            raise ValidationError("GridSearchCV is not fitted (or refit=False)")
+        return self.best_estimator_.predict(X)
+
+    def predict_proba(self, X):
+        if not hasattr(self, "best_estimator_"):
+            raise ValidationError("GridSearchCV is not fitted (or refit=False)")
+        return self.best_estimator_.predict_proba(X)

@@ -1,0 +1,132 @@
+"""K-nearest-neighbours classifier.
+
+Listed by the paper as a future-work comparator ("Other machine
+learning models can also be explored and compared, such as Support
+Vector Machines and K-Nearest Neighbors"); implemented here so the
+baseline benchmark can include it.  Distances are computed with a
+fully vectorised (blocked) Euclidean/Manhattan kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import (
+    check_array_1d,
+    check_array_2d,
+    check_consistent_length,
+    check_positive_int,
+)
+from ..exceptions import ValidationError
+from .base import BaseEstimator, ClassifierMixin, check_is_fitted
+from .encoding import LabelEncoder
+
+__all__ = ["KNeighborsClassifier"]
+
+_METRICS = ("euclidean", "manhattan")
+_WEIGHTS = ("uniform", "distance")
+
+
+class KNeighborsClassifier(BaseEstimator, ClassifierMixin):
+    """Classic KNN with uniform or distance weighting.
+
+    Parameters
+    ----------
+    n_neighbors:
+        Number of neighbours considered.
+    weights:
+        ``"uniform"`` (majority vote) or ``"distance"`` (inverse
+        distance weighted vote).
+    metric:
+        ``"euclidean"`` or ``"manhattan"``.
+    block_size:
+        Number of query samples whose distance matrix is held in memory
+        at once (keeps memory bounded for large test sets).
+    """
+
+    def __init__(self, n_neighbors: int = 5, *, weights: str = "uniform",
+                 metric: str = "euclidean", block_size: int = 512) -> None:
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+        self.metric = metric
+        self.block_size = block_size
+
+    def fit(self, X, y) -> "KNeighborsClassifier":
+        X = check_array_2d(X, "X")
+        y = check_array_1d(y, "y")
+        check_consistent_length(X, y)
+        check_positive_int(self.n_neighbors, "n_neighbors")
+        if self.weights not in _WEIGHTS:
+            raise ValidationError(f"weights must be one of {_WEIGHTS}")
+        if self.metric not in _METRICS:
+            raise ValidationError(f"metric must be one of {_METRICS}")
+        if self.n_neighbors > X.shape[0]:
+            raise ValidationError(
+                f"n_neighbors={self.n_neighbors} exceeds the {X.shape[0]} training samples")
+
+        self._X = X
+        encoder = LabelEncoder()
+        self._y = encoder.fit_transform(y)
+        self.classes_ = encoder.classes_
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    # ------------------------------------------------------------- predict
+    def predict_proba(self, X) -> np.ndarray:
+        check_is_fitted(self, "classes_")
+        X = check_array_2d(X, "X")
+        if X.shape[1] != self.n_features_in_:
+            raise ValidationError(
+                f"X has {X.shape[1]} features, expected {self.n_features_in_}")
+        n_classes = len(self.classes_)
+        proba = np.zeros((X.shape[0], n_classes), dtype=np.float64)
+
+        for start in range(0, X.shape[0], self.block_size):
+            stop = min(start + self.block_size, X.shape[0])
+            block = X[start:stop]
+            distances = self._pairwise_distances(block)
+            neighbor_idx = np.argpartition(distances, self.n_neighbors - 1,
+                                           axis=1)[:, :self.n_neighbors]
+            row_indices = np.arange(block.shape[0])[:, None]
+            neighbor_dist = distances[row_indices, neighbor_idx]
+            neighbor_labels = self._y[neighbor_idx]
+
+            if self.weights == "uniform":
+                vote_weights = np.ones_like(neighbor_dist)
+            else:
+                vote_weights = 1.0 / np.maximum(neighbor_dist, 1e-12)
+
+            for class_index in range(n_classes):
+                mask = neighbor_labels == class_index
+                proba[start:stop, class_index] = np.sum(vote_weights * mask, axis=1)
+
+        sums = proba.sum(axis=1, keepdims=True)
+        sums[sums == 0] = 1.0
+        return proba / sums
+
+    def predict(self, X) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def kneighbors(self, X, n_neighbors: int | None = None
+                   ) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(distances, indices)`` of the nearest training samples."""
+
+        check_is_fitted(self, "classes_")
+        X = check_array_2d(X, "X")
+        k = n_neighbors or self.n_neighbors
+        distances = self._pairwise_distances(X)
+        order = np.argsort(distances, axis=1)[:, :k]
+        row = np.arange(X.shape[0])[:, None]
+        return distances[row, order], order
+
+    # ----------------------------------------------------------- internals
+    def _pairwise_distances(self, block: np.ndarray) -> np.ndarray:
+        if self.metric == "euclidean":
+            # ||a-b||^2 = ||a||^2 + ||b||^2 - 2 a.b  (clipped for rounding).
+            a2 = np.sum(block ** 2, axis=1)[:, None]
+            b2 = np.sum(self._X ** 2, axis=1)[None, :]
+            squared = a2 + b2 - 2.0 * block @ self._X.T
+            return np.sqrt(np.clip(squared, 0.0, None))
+        # manhattan
+        return np.sum(np.abs(block[:, None, :] - self._X[None, :, :]), axis=2)

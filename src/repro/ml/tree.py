@@ -1,0 +1,374 @@
+"""CART decision-tree classifier.
+
+A NumPy-vectorised implementation of the classification tree used
+inside the Random Forest:
+
+* binary splits on ``feature <= threshold``,
+* Gini impurity (default) or entropy,
+* per-sample weights (used to implement balanced class weights),
+* random feature subsampling per split (``max_features``), which is
+  what de-correlates the trees of a forest,
+* Gini-importance accumulation per feature.
+
+The split search is vectorised over split positions: for every
+candidate feature the samples of the node are sorted once and the
+class-weight histograms of all possible left/right partitions are
+obtained from a single cumulative sum, so no Python loop runs over
+samples (see the optimisation guides' "vectorise the inner loop"
+advice — the only Python-level loops left are over tree nodes and
+candidate features).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .._validation import (
+    check_array_1d,
+    check_array_2d,
+    check_consistent_length,
+    check_random_state,
+)
+from ..exceptions import ValidationError
+from .base import BaseEstimator, ClassifierMixin, check_is_fitted
+from .class_weight import compute_sample_weight
+from .encoding import LabelEncoder
+
+__all__ = ["DecisionTreeClassifier"]
+
+_CRITERIA = ("gini", "entropy")
+
+
+@dataclass
+class _Split:
+    """Best split found for one node."""
+
+    feature: int
+    threshold: float
+    impurity_decrease: float
+    left_mask: np.ndarray
+
+
+class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
+    """Classification tree with the scikit-learn-style interface.
+
+    Parameters
+    ----------
+    criterion:
+        ``"gini"`` or ``"entropy"``.
+    max_depth:
+        Maximum tree depth; ``None`` grows until leaves are pure or too
+        small to split.
+    min_samples_split:
+        Minimum number of samples a node must have to be considered for
+        splitting.
+    min_samples_leaf:
+        Minimum number of samples required in each child.
+    max_features:
+        Number of features examined per split: ``None`` (all),
+        ``"sqrt"``, ``"log2"``, an int, or a float fraction.
+    class_weight:
+        ``None``, ``"balanced"`` or a mapping; converted to sample
+        weights at ``fit`` time (multiplied with any explicit
+        ``sample_weight``).
+    random_state:
+        Seed controlling feature subsampling.
+    """
+
+    def __init__(self, *, criterion: str = "gini", max_depth: int | None = None,
+                 min_samples_split: int = 2, min_samples_leaf: int = 1,
+                 max_features=None, class_weight=None, random_state=None) -> None:
+        self.criterion = criterion
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.class_weight = class_weight
+        self.random_state = random_state
+
+    # ------------------------------------------------------------------ fit
+    def fit(self, X, y, sample_weight=None) -> "DecisionTreeClassifier":
+        X = check_array_2d(X, "X")
+        y = check_array_1d(y, "y")
+        check_consistent_length(X, y)
+        if self.criterion not in _CRITERIA:
+            raise ValidationError(
+                f"criterion must be one of {_CRITERIA}, got {self.criterion!r}")
+        if self.min_samples_split < 2:
+            raise ValidationError("min_samples_split must be >= 2")
+        if self.min_samples_leaf < 1:
+            raise ValidationError("min_samples_leaf must be >= 1")
+        if X.shape[0] == 0:
+            raise ValidationError("cannot fit a tree on an empty data set")
+
+        encoder = LabelEncoder()
+        y_encoded = encoder.fit_transform(y)
+        self.classes_ = encoder.classes_
+        self._encoder = encoder
+        n_samples, n_features = X.shape
+        n_classes = len(self.classes_)
+        self.n_features_in_ = n_features
+
+        weights = np.ones(n_samples, dtype=np.float64)
+        if sample_weight is not None:
+            sample_weight = np.asarray(sample_weight, dtype=np.float64)
+            check_consistent_length(X, sample_weight)
+            if np.any(sample_weight < 0):
+                raise ValidationError("sample_weight must be non-negative")
+            weights *= sample_weight
+        if self.class_weight is not None:
+            weights *= compute_sample_weight(self.class_weight, y)
+
+        rng = check_random_state(self.random_state)
+        max_features = self._resolve_max_features(n_features)
+
+        # Pre-computed weighted one-hot label matrix (n_samples, n_classes):
+        # every split evaluation reduces to cumulative sums over its rows.
+        weighted_onehot = np.zeros((n_samples, n_classes), dtype=np.float64)
+        weighted_onehot[np.arange(n_samples), y_encoded] = weights
+
+        # Flat node storage (grown dynamically).
+        self._feature: list[int] = []
+        self._threshold: list[float] = []
+        self._left: list[int] = []
+        self._right: list[int] = []
+        self._value: list[np.ndarray] = []
+        self._n_node_samples: list[int] = []
+        self._importances = np.zeros(n_features, dtype=np.float64)
+
+        total_weight = float(weights.sum())
+        stack: list[tuple[np.ndarray, int, int]] = []  # (indices, depth, parent slot)
+        root_indices = np.arange(n_samples)
+        self._build(X, weighted_onehot, weights, root_indices, depth=0,
+                    rng=rng, max_features=max_features, total_weight=total_weight)
+
+        self.feature_importances_ = self._normalized_importances()
+        self.tree_node_count_ = len(self._feature)
+        return self
+
+    # ------------------------------------------------------------- predict
+    def predict_proba(self, X) -> np.ndarray:
+        check_is_fitted(self, "classes_")
+        X = check_array_2d(X, "X")
+        if X.shape[1] != self.n_features_in_:
+            raise ValidationError(
+                f"X has {X.shape[1]} features, expected {self.n_features_in_}")
+        leaf = self._apply(X)
+        values = np.vstack([self._value[i] for i in leaf])
+        sums = values.sum(axis=1, keepdims=True)
+        sums[sums == 0] = 1.0
+        return values / sums
+
+    def predict(self, X) -> np.ndarray:
+        probabilities = self.predict_proba(X)
+        return self.classes_[np.argmax(probabilities, axis=1)]
+
+    def apply(self, X) -> np.ndarray:
+        """Return the leaf node index reached by each sample."""
+
+        check_is_fitted(self, "classes_")
+        X = check_array_2d(X, "X")
+        return self._apply(X)
+
+    @property
+    def node_count(self) -> int:
+        """Total number of nodes in the fitted tree."""
+
+        check_is_fitted(self, "classes_")
+        return len(self._feature)
+
+    def get_depth(self) -> int:
+        """Depth of the fitted tree (root = depth 0)."""
+
+        check_is_fitted(self, "classes_")
+        depths = {0: 0}
+        max_depth = 0
+        for node in range(len(self._feature)):
+            depth = depths[node]
+            left, right = self._left[node], self._right[node]
+            if left >= 0:
+                depths[left] = depth + 1
+                depths[right] = depth + 1
+                max_depth = max(max_depth, depth + 1)
+        return max_depth
+
+    # ----------------------------------------------------------- internals
+    def _resolve_max_features(self, n_features: int) -> int:
+        value = self.max_features
+        if value is None:
+            return n_features
+        if value == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if value == "log2":
+            return max(1, int(np.log2(n_features)))
+        if isinstance(value, (int, np.integer)) and not isinstance(value, bool):
+            if value < 1:
+                raise ValidationError("max_features as an int must be >= 1")
+            return min(int(value), n_features)
+        if isinstance(value, float):
+            if not 0.0 < value <= 1.0:
+                raise ValidationError("max_features as a float must be in (0, 1]")
+            return max(1, int(value * n_features))
+        raise ValidationError(f"invalid max_features: {value!r}")
+
+    def _impurity(self, class_weights: np.ndarray) -> np.ndarray:
+        """Impurity of one or more weighted class histograms.
+
+        ``class_weights`` has the class axis last; returns an array with
+        that axis reduced.
+        """
+
+        totals = class_weights.sum(axis=-1, keepdims=True)
+        safe_totals = np.where(totals > 0, totals, 1.0)
+        proportions = class_weights / safe_totals
+        if self.criterion == "gini":
+            impurity = 1.0 - np.sum(proportions ** 2, axis=-1)
+        else:  # entropy
+            with np.errstate(divide="ignore", invalid="ignore"):
+                logs = np.where(proportions > 0, np.log2(proportions), 0.0)
+            impurity = -np.sum(proportions * logs, axis=-1)
+        return np.where(totals.squeeze(-1) > 0, impurity, 0.0)
+
+    def _new_node(self, value: np.ndarray, n_samples: int) -> int:
+        node_id = len(self._feature)
+        self._feature.append(-2)       # -2 marks a leaf
+        self._threshold.append(0.0)
+        self._left.append(-1)
+        self._right.append(-1)
+        self._value.append(value)
+        self._n_node_samples.append(n_samples)
+        return node_id
+
+    def _build(self, X: np.ndarray, weighted_onehot: np.ndarray,
+               weights: np.ndarray, indices: np.ndarray, depth: int,
+               rng: np.random.Generator, max_features: int,
+               total_weight: float) -> int:
+        """Grow the subtree for ``indices``; returns its root node id."""
+
+        node_value = weighted_onehot[indices].sum(axis=0)
+        node_id = self._new_node(node_value, len(indices))
+
+        if self._should_stop(indices, node_value, depth):
+            return node_id
+
+        split = self._best_split(X, weighted_onehot, indices, rng, max_features)
+        if split is None:
+            return node_id
+
+        self._feature[node_id] = split.feature
+        self._threshold[node_id] = split.threshold
+        self._importances[split.feature] += split.impurity_decrease / max(total_weight, 1e-12)
+
+        left_indices = indices[split.left_mask]
+        right_indices = indices[~split.left_mask]
+        left_id = self._build(X, weighted_onehot, weights, left_indices,
+                              depth + 1, rng, max_features, total_weight)
+        right_id = self._build(X, weighted_onehot, weights, right_indices,
+                               depth + 1, rng, max_features, total_weight)
+        self._left[node_id] = left_id
+        self._right[node_id] = right_id
+        return node_id
+
+    def _should_stop(self, indices: np.ndarray, node_value: np.ndarray,
+                     depth: int) -> bool:
+        if len(indices) < self.min_samples_split:
+            return True
+        if self.max_depth is not None and depth >= self.max_depth:
+            return True
+        # Pure node: all weight concentrated in one class.
+        return np.count_nonzero(node_value > 0) <= 1
+
+    def _best_split(self, X: np.ndarray, weighted_onehot: np.ndarray,
+                    indices: np.ndarray, rng: np.random.Generator,
+                    max_features: int) -> _Split | None:
+        n_features = X.shape[1]
+        candidate_features = rng.permutation(n_features)
+        node_onehot = weighted_onehot[indices]
+        node_total = node_onehot.sum(axis=0)
+        node_weight = float(node_total.sum())
+        parent_impurity = float(self._impurity(node_total))
+
+        best: _Split | None = None
+        best_score = -np.inf
+        examined = 0
+        min_leaf = self.min_samples_leaf
+
+        for feature in candidate_features:
+            if examined >= max_features and best is not None:
+                break
+            examined += 1
+            values = X[indices, feature]
+            order = np.argsort(values, kind="stable")
+            sorted_values = values[order]
+            if sorted_values[0] == sorted_values[-1]:
+                continue  # constant feature in this node
+
+            cumulative = np.cumsum(node_onehot[order], axis=0)
+            n_node = len(indices)
+            positions = np.arange(1, n_node)
+            # A split is only valid between two distinct consecutive values
+            # and if both children satisfy min_samples_leaf.
+            distinct = sorted_values[1:] != sorted_values[:-1]
+            size_ok = (positions >= min_leaf) & ((n_node - positions) >= min_leaf)
+            valid = distinct & size_ok
+            if not np.any(valid):
+                continue
+
+            left_counts = cumulative[:-1][valid]
+            right_counts = node_total[None, :] - left_counts
+            left_weight = left_counts.sum(axis=1)
+            right_weight = right_counts.sum(axis=1)
+            left_impurity = self._impurity(left_counts)
+            right_impurity = self._impurity(right_counts)
+            weighted_child = (left_weight * left_impurity +
+                              right_weight * right_impurity) / max(node_weight, 1e-12)
+            gains = parent_impurity - weighted_child
+
+            best_local = int(np.argmax(gains))
+            if gains[best_local] <= 1e-12:
+                continue
+            if gains[best_local] > best_score:
+                valid_positions = positions[valid]
+                split_position = int(valid_positions[best_local])
+                threshold = float((sorted_values[split_position - 1] +
+                                   sorted_values[split_position]) / 2.0)
+                left_mask = values <= threshold
+                # Guard against degenerate thresholds caused by float
+                # rounding (all samples on one side).
+                if not left_mask.any() or left_mask.all():
+                    continue
+                best_score = float(gains[best_local])
+                best = _Split(
+                    feature=int(feature),
+                    threshold=threshold,
+                    impurity_decrease=node_weight * float(gains[best_local]),
+                    left_mask=left_mask,
+                )
+        return best
+
+    def _apply(self, X: np.ndarray) -> np.ndarray:
+        """Vectorised leaf lookup: advance all samples one level at a time."""
+
+        feature = np.array(self._feature, dtype=np.int64)
+        threshold = np.array(self._threshold, dtype=np.float64)
+        left = np.array(self._left, dtype=np.int64)
+        right = np.array(self._right, dtype=np.int64)
+
+        nodes = np.zeros(X.shape[0], dtype=np.int64)
+        active = feature[nodes] >= 0
+        while np.any(active):
+            idx = np.flatnonzero(active)
+            current = nodes[idx]
+            go_left = X[idx, feature[current]] <= threshold[current]
+            nodes[idx] = np.where(go_left, left[current], right[current])
+            active = feature[nodes] >= 0
+        return nodes
+
+    def _normalized_importances(self) -> np.ndarray:
+        total = self._importances.sum()
+        if total <= 0:
+            return np.zeros_like(self._importances)
+        return self._importances / total

@@ -1,0 +1,29 @@
+"""Process-parallel execution helpers.
+
+HPC-style throughput matters in two places of the pipeline: fuzzy-hash
+feature extraction over thousands of executables and fitting the many
+trees / grid-search candidates of the Random Forest.  Both are
+embarrassingly parallel, so a small, dependency-free process pool
+wrapper is enough:
+
+* :func:`parallel_map` — ordered map over an iterable, optionally in
+  worker processes (``n_jobs``), falling back to serial execution for
+  ``n_jobs=1`` or tiny workloads,
+* :func:`effective_n_jobs` — resolve ``n_jobs``/-1 semantics,
+* :mod:`repro.parallel.partition` — chunking helpers,
+* :mod:`repro.parallel.timing` — lightweight throughput timers used by
+  the benchmarks.
+"""
+
+from .pool import effective_n_jobs, parallel_map
+from .partition import chunk_indices, partition_evenly
+from .timing import Stopwatch, ThroughputReport
+
+__all__ = [
+    "parallel_map",
+    "effective_n_jobs",
+    "chunk_indices",
+    "partition_evenly",
+    "Stopwatch",
+    "ThroughputReport",
+]

@@ -1,0 +1,37 @@
+"""Work-partitioning helpers."""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = ["chunk_indices", "partition_evenly"]
+
+T = TypeVar("T")
+
+
+def chunk_indices(n_items: int, chunk_size: int) -> list[tuple[int, int]]:
+    """Split ``range(n_items)`` into consecutive ``(start, stop)`` chunks."""
+
+    if chunk_size < 1:
+        raise ValidationError("chunk_size must be >= 1")
+    if n_items < 0:
+        raise ValidationError("n_items must be >= 0")
+    return [(start, min(start + chunk_size, n_items))
+            for start in range(0, n_items, chunk_size)]
+
+
+def partition_evenly(items: Sequence[T], n_parts: int) -> list[list[T]]:
+    """Split ``items`` into ``n_parts`` contiguous, near-equal parts.
+
+    Parts differ in size by at most one item; empty parts are only
+    produced when there are more parts than items.
+    """
+
+    if n_parts < 1:
+        raise ValidationError("n_parts must be >= 1")
+    boundaries = np.linspace(0, len(items), n_parts + 1).astype(int)
+    return [list(items[boundaries[i]:boundaries[i + 1]]) for i in range(n_parts)]

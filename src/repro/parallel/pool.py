@@ -1,0 +1,85 @@
+"""Ordered, fault-aware process-pool map.
+
+The helpers here intentionally have conservative semantics:
+
+* results are returned in input order regardless of completion order,
+* ``n_jobs=1`` (the default everywhere) never spawns processes, so
+  library users only pay for parallelism when they ask for it,
+* workloads smaller than ``min_items_per_worker`` run serially — for
+  small inputs process start-up costs more than it saves (a point the
+  scientific-Python optimisation guides make repeatedly: measure, and
+  do not parallelise tiny work).
+
+Functions passed to :func:`parallel_map` must be picklable
+(module-level functions), which every internal caller honours.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from ..logging_utils import get_logger
+
+__all__ = ["effective_n_jobs", "parallel_map"]
+
+_LOG = get_logger("parallel.pool")
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def effective_n_jobs(n_jobs: int | None) -> int:
+    """Resolve an ``n_jobs`` request to a concrete worker count.
+
+    ``None`` and ``1`` mean serial execution; ``-1`` means one worker
+    per available CPU; other negative values follow the joblib
+    convention ``cpu_count + 1 + n_jobs``.
+    """
+
+    cpus = os.cpu_count() or 1
+    if n_jobs is None or n_jobs == 0 or n_jobs == 1:
+        return 1
+    if n_jobs < 0:
+        return max(1, cpus + 1 + n_jobs)
+    return min(int(n_jobs), cpus)
+
+
+def parallel_map(func: Callable[[T], R], items: Iterable[T], *,
+                 n_jobs: int | None = 1, chunksize: int | None = None,
+                 min_items_per_worker: int = 2) -> list[R]:
+    """Apply ``func`` to every item, preserving order.
+
+    Parameters
+    ----------
+    func:
+        A picklable callable.
+    items:
+        The work items (materialised to a list).
+    n_jobs:
+        Worker processes; see :func:`effective_n_jobs`.
+    chunksize:
+        Items sent to a worker per task; defaults to an even split.
+    min_items_per_worker:
+        Run serially unless every worker would receive at least this
+        many items.
+    """
+
+    items = list(items)
+    if not items:
+        return []
+    workers = effective_n_jobs(n_jobs)
+    if workers <= 1 or len(items) < workers * min_items_per_worker:
+        return [func(item) for item in items]
+
+    if chunksize is None:
+        chunksize = max(1, len(items) // (workers * 4))
+    _LOG.debug("parallel_map: %d items on %d workers (chunksize %d)",
+               len(items), workers, chunksize)
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            return list(executor.map(func, items, chunksize=chunksize))
+    except (OSError, RuntimeError) as exc:  # pragma: no cover - depends on host
+        _LOG.warning("process pool unavailable (%s); falling back to serial", exc)
+        return [func(item) for item in items]

@@ -1,0 +1,68 @@
+"""Lightweight timing / throughput helpers used by benchmarks and the
+workflow stage reporting."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch", "ThroughputReport"]
+
+
+class Stopwatch:
+    """Accumulating wall-clock stopwatch with named laps."""
+
+    def __init__(self) -> None:
+        self._laps: dict[str, float] = {}
+        self._start: float | None = None
+        self._current: str | None = None
+
+    def start(self, name: str) -> "Stopwatch":
+        """Start (or restart) timing the named lap."""
+
+        self.stop()
+        self._current = name
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> None:
+        """Stop the current lap, adding its duration to the total."""
+
+        if self._current is not None and self._start is not None:
+            elapsed = time.perf_counter() - self._start
+            self._laps[self._current] = self._laps.get(self._current, 0.0) + elapsed
+        self._current = None
+        self._start = None
+
+    @property
+    def laps(self) -> dict[str, float]:
+        """Accumulated seconds per lap name."""
+
+        return dict(self._laps)
+
+    def total(self) -> float:
+        return sum(self._laps.values())
+
+    def report(self) -> str:
+        lines = [f"  {name:<28s} {seconds:8.3f} s"
+                 for name, seconds in self._laps.items()]
+        lines.append(f"  {'total':<28s} {self.total():8.3f} s")
+        return "\n".join(lines)
+
+
+@dataclass
+class ThroughputReport:
+    """Items-per-second summary for a processing stage."""
+
+    stage: str
+    n_items: int
+    seconds: float
+    n_workers: int = 1
+
+    @property
+    def items_per_second(self) -> float:
+        return self.n_items / self.seconds if self.seconds > 0 else float("inf")
+
+    def __str__(self) -> str:
+        return (f"{self.stage}: {self.n_items} items in {self.seconds:.2f} s "
+                f"({self.items_per_second:.1f}/s, {self.n_workers} worker(s))")

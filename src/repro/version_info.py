@@ -1,0 +1,26 @@
+"""Version and environment reporting (used by ``repro-classify info``)."""
+
+from __future__ import annotations
+
+import platform
+import sys
+
+import numpy as np
+
+__all__ = ["describe_environment"]
+
+
+def describe_environment() -> str:
+    """Multi-line description of the library and its environment."""
+
+    from . import __version__
+
+    lines = [
+        f"repro {__version__} — Fuzzy Hash Classifier reproduction",
+        f"  paper: Jakobsche & Ciorba, 'Using Malware Detection Techniques for "
+        f"HPC Application Classification' (SC 2024, arXiv:2411.18327)",
+        f"  python: {sys.version.split()[0]} ({platform.python_implementation()})",
+        f"  numpy: {np.__version__}",
+        f"  platform: {platform.system()} {platform.machine()}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Tests for the analysis helpers (importance, misclassification, usage)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.importance import group_importances, importance_by_class
+from repro.analysis.misclassification import confused_pairs, per_class_discrepancies
+from repro.analysis.usage_report import build_usage_report
+from repro.exceptions import ValidationError
+
+
+def test_group_importances_sums_and_normalises():
+    importances = [0.1, 0.2, 0.3, 0.4]
+    groups = {"file": [0, 1], "symbols": [2, 3]}
+    grouped = group_importances(importances, groups)
+    assert grouped["file"] == pytest.approx(0.3)
+    assert grouped["symbols"] == pytest.approx(0.7)
+    assert sum(grouped.values()) == pytest.approx(1.0)
+
+
+def test_group_importances_handles_all_zero():
+    grouped = group_importances([0.0, 0.0], {"a": [0], "b": [1]})
+    assert grouped == {"a": 0.0, "b": 0.0}
+
+
+def test_group_importances_validation():
+    with pytest.raises(ValidationError):
+        group_importances([[0.1]], {"a": [0]})
+    with pytest.raises(ValidationError):
+        group_importances([0.1], {"a": [5]})
+
+
+def test_importance_by_class_top_columns():
+    importances = [0.05, 0.6, 0.35]
+    names = ["ssdeep-file|A", "ssdeep-symbols|B", "ssdeep-symbols|A"]
+    top = importance_by_class(importances, names, top=2)
+    assert top[0] == ("ssdeep-symbols|B", 0.6)
+    assert len(top) == 2
+    with pytest.raises(ValidationError):
+        importance_by_class([0.1], ["a", "b"])
+
+
+def test_confused_pairs_orders_by_frequency():
+    y_true = ["CellRanger"] * 5 + ["Cell-Ranger"] * 3 + ["FSL"] * 4
+    y_pred = ["Cell-Ranger"] * 5 + ["CellRanger"] * 2 + ["Cell-Ranger"] + ["FSL"] * 4
+    pairs = confused_pairs(y_true, y_pred)
+    assert pairs[0].true_class == "CellRanger"
+    assert pairs[0].predicted_class == "Cell-Ranger"
+    assert pairs[0].count == 5
+    assert "predicted as" in pairs[0].describe()
+    # Correct predictions are not reported.
+    assert all(p.true_class != p.predicted_class for p in pairs)
+
+
+def test_confused_pairs_can_include_correct():
+    pairs = confused_pairs(["a", "a"], ["a", "a"], ignore_correct=False)
+    assert pairs[0].count == 2
+
+
+def test_per_class_discrepancies_flags_imbalanced_precision_recall():
+    # Class "BigDFT"-like: everything predicted as it (high recall, low precision).
+    y_true = ["BigDFT"] * 10 + ["Other"] * 10
+    y_pred = ["BigDFT"] * 10 + ["BigDFT"] * 6 + ["Other"] * 4
+    rows = per_class_discrepancies(y_true, y_pred, min_support=5, min_gap=0.2)
+    assert any(row["class"] == "BigDFT" for row in rows)
+    big = [row for row in rows if row["class"] == "BigDFT"][0]
+    assert big["recall"] > big["precision"]
+
+
+def test_per_class_discrepancies_respects_min_support():
+    rows = per_class_discrepancies(["a"] * 2 + ["b"] * 2, ["b", "a", "b", "b"],
+                                   min_support=5)
+    assert rows == []
+
+
+def test_usage_report_aggregates_and_flags_deviations():
+    predictions = ["GROMACS", "GROMACS", "LAMMPS", -1, "Miner"]
+    users = ["alice", "alice", "bob", "bob", "alice"]
+    report = build_usage_report(
+        predictions, users=users,
+        allowed_per_user={"alice": ["GROMACS"], "bob": ["LAMMPS"]})
+    assert report.class_counts["GROMACS"] == 2
+    assert report.unknown_count == 1
+    assert report.per_user_counts["bob"]["<unknown>"] == 1
+    assert len(report.deviations) == 1
+    assert report.deviations[0]["user"] == "alice"
+    assert report.deviations[0]["class"] == "Miner"
+    text = report.as_text()
+    assert "GROMACS" in text and "deviations" in text.lower()
+
+
+def test_usage_report_without_users():
+    report = build_usage_report(["App"] * 3 + [-1])
+    assert report.class_counts == {"App": 3}
+    assert report.unknown_count == 1
+    assert report.top_classes() == [("App", 3)]
+
+
+def test_usage_report_length_mismatch():
+    with pytest.raises(ValueError):
+        build_usage_report(["a"], users=["u1", "u2"])

@@ -1,0 +1,120 @@
+"""Tests for the ``ldd`` equivalent and the ``ssdeep-libs`` feature
+(the paper's future-work extension)."""
+
+import pytest
+
+from repro.binfmt.dynamic import ldd_output, needed_libraries
+from repro.binfmt.reader import ElfReader
+from repro.binfmt.strip import strip_symbols
+from repro.binfmt.structs import SymbolSpec
+from repro.binfmt.writer import build_executable
+from repro.exceptions import FeatureExtractionError
+from repro.features.extractors import (
+    EXTENDED_FEATURE_TYPES,
+    FEATURE_TYPES,
+    FeatureExtractor,
+)
+from repro.hashing.compare import compare_digests
+from repro.hashing.ssdeep import SsdeepDigest
+
+_LIBS = ["libc.so.6", "libm.so.6", "libhts.so.3", "libz.so.1"]
+
+
+def _blob(libs=_LIBS):
+    return build_executable(
+        code=b"\x90" * 256,
+        strings=["dynamic demo"],
+        symbols=[SymbolSpec(f"fn_{i}") for i in range(8)],
+        needed_libraries=libs,
+    )
+
+
+# --------------------------------------------------------------------- binfmt
+def test_needed_libraries_roundtrip():
+    assert needed_libraries(_blob()) == _LIBS
+
+
+def test_dynamic_section_emitted_and_linked():
+    reader = ElfReader(_blob())
+    names = reader.section_names()
+    assert ".dynamic" in names and ".dynstr" in names
+    dynamic = reader.section(".dynamic")
+    assert dynamic.header.sh_entsize == 16
+
+
+def test_statically_linked_binary_has_no_dependencies():
+    blob = build_executable(code=b"\x90" * 64, strings=[], symbols=[SymbolSpec("main")])
+    assert needed_libraries(blob) == []
+    assert ldd_output(blob) == ""
+
+
+def test_ldd_output_one_library_per_line():
+    assert ldd_output(_blob()) == "\n".join(_LIBS) + "\n"
+
+
+def test_strip_preserves_dynamic_section():
+    stripped = strip_symbols(_blob())
+    assert needed_libraries(stripped) == _LIBS
+
+
+def test_accepts_reader_instance():
+    blob = _blob()
+    assert needed_libraries(ElfReader(blob)) == needed_libraries(blob)
+
+
+# ------------------------------------------------------------------- features
+def test_extended_feature_types_superset():
+    assert set(FEATURE_TYPES) < set(EXTENDED_FEATURE_TYPES)
+    assert "ssdeep-libs" in EXTENDED_FEATURE_TYPES
+
+
+def test_extractor_computes_libs_digest():
+    extractor = FeatureExtractor(EXTENDED_FEATURE_TYPES)
+    features = extractor.extract(_blob(), sample_id="x")
+    digest = features.digest("ssdeep-libs")
+    SsdeepDigest.parse(digest)
+    assert not SsdeepDigest.parse(digest).is_empty
+
+
+def test_libs_digest_similar_for_same_dependencies():
+    extractor = FeatureExtractor(["ssdeep-libs"])
+    a = extractor.extract(_blob(), sample_id="a").digest("ssdeep-libs")
+    b = extractor.extract(_blob(_LIBS + ["libpthread.so.0"]),
+                          sample_id="b").digest("ssdeep-libs")
+    c = extractor.extract(_blob(["libfoo.so.1", "libbar.so.2", "libbaz.so.3",
+                                 "libqux.so.4"]), sample_id="c").digest("ssdeep-libs")
+    assert compare_digests(a, a) in (0, 100)
+    assert compare_digests(a, b) >= compare_digests(a, c)
+
+
+def test_unknown_feature_type_still_rejected():
+    with pytest.raises(FeatureExtractionError):
+        FeatureExtractor(["ssdeep-imports"])
+
+
+def test_default_feature_types_unchanged():
+    """The paper's default features stay the default (ssdeep-libs is opt-in)."""
+
+    features = FeatureExtractor().extract(_blob(), sample_id="x")
+    assert set(features.digests) == set(FEATURE_TYPES)
+
+
+# --------------------------------------------------------------------- corpus
+def test_corpus_binaries_declare_their_libraries(tiny_samples):
+    from repro.corpus.lexicon import BASE_SONAMES
+
+    sample = tiny_samples[0]
+    libs = needed_libraries(sample.data)
+    assert libs, "generated binaries must have DT_NEEDED entries"
+    assert set(BASE_SONAMES) <= set(libs)
+
+
+def test_same_class_shares_library_set(tiny_samples):
+    by_class = {}
+    for sample in tiny_samples:
+        by_class.setdefault(sample.class_name, []).append(sample)
+    for class_name, members in by_class.items():
+        sets = {frozenset(lib for lib in needed_libraries(m.data)
+                          if not lib.startswith(("libmkl", "libopenblas")))
+                for m in members[:4]}
+        assert len(sets) == 1, f"library set of {class_name} should be stable"

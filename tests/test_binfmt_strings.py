@@ -1,0 +1,65 @@
+"""Tests for the ``strings`` equivalent."""
+
+import pytest
+
+from repro.binfmt.strings_extract import DEFAULT_MIN_LENGTH, extract_strings, strings_output
+
+
+def test_default_min_length_is_four():
+    assert DEFAULT_MIN_LENGTH == 4
+
+
+def test_finds_printable_runs():
+    data = b"\x00\x01hello world\x02\x7f\x80usage: tool\xff"
+    runs = extract_strings(data)
+    assert "hello world" in runs
+    assert "usage: tool" in runs
+
+
+def test_respects_min_length():
+    data = b"\x00abc\x00abcd\x00abcde\x00"
+    assert extract_strings(data) == ["abcd", "abcde"]
+    assert extract_strings(data, min_length=5) == ["abcde"]
+    assert extract_strings(data, min_length=2) == ["abc", "abcd", "abcde"]
+
+
+def test_tab_counts_as_printable_but_newline_does_not():
+    data = b"\x00col1\tcol2\x00line1\nline2\x00"
+    runs = extract_strings(data)
+    assert "col1\tcol2" in runs
+    assert "line1\nline2" not in runs
+    assert "line1" in runs and "line2" in runs
+
+
+def test_run_at_start_and_end_of_buffer():
+    data = b"leading text\x00\x01\x02trailing text"
+    runs = extract_strings(data)
+    assert runs[0] == "leading text"
+    assert runs[-1] == "trailing text"
+
+
+def test_entirely_printable_buffer():
+    data = b"only printable content here"
+    assert extract_strings(data) == ["only printable content here"]
+
+
+def test_empty_and_binary_only_input():
+    assert extract_strings(b"") == []
+    assert extract_strings(bytes(range(0, 8)) * 10) == []
+
+
+def test_invalid_min_length():
+    with pytest.raises(ValueError):
+        extract_strings(b"abc", min_length=0)
+
+
+def test_strings_output_format():
+    data = b"\x00first\x00\x01second\x00"
+    text = strings_output(data)
+    assert text == "first\nsecond\n"
+    assert strings_output(b"\x00\x01\x02") == ""
+
+
+def test_order_of_appearance_preserved():
+    data = b"\x00zzzz\x00aaaa\x00mmmm\x00"
+    assert extract_strings(data) == ["zzzz", "aaaa", "mmmm"]

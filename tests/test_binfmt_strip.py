@@ -1,0 +1,61 @@
+"""Tests for the ``strip`` equivalent."""
+
+import random
+
+import pytest
+
+from repro.binfmt.reader import ElfReader
+from repro.binfmt.strings_extract import extract_strings
+from repro.binfmt.structs import SymbolSpec
+from repro.binfmt.strip import strip_symbols
+from repro.binfmt.symbols import is_stripped
+from repro.binfmt.writer import build_executable
+
+
+@pytest.fixture()
+def full_binary():
+    return build_executable(
+        code=random.Random(0).randbytes(1024),
+        strings=["important banner text", "usage: tool FILE"],
+        symbols=[SymbolSpec(f"api_call_{i}") for i in range(12)],
+        comment="GCC: (GNU) 12.2.0",
+    )
+
+
+def test_strip_removes_symbol_table(full_binary):
+    stripped = strip_symbols(full_binary)
+    assert is_stripped(stripped)
+    reader = ElfReader(stripped)
+    assert not reader.has_symbol_table
+    assert ".symtab" not in reader.section_names()
+    assert ".strtab" not in reader.section_names()
+
+
+def test_strip_preserves_other_sections(full_binary):
+    original = ElfReader(full_binary)
+    stripped = ElfReader(strip_symbols(full_binary))
+    assert stripped.section(".text").data == original.section(".text").data
+    assert stripped.section(".rodata").data == original.section(".rodata").data
+    assert stripped.section(".comment").data == original.section(".comment").data
+
+
+def test_strip_preserves_strings_feature(full_binary):
+    stripped = strip_symbols(full_binary)
+    assert "important banner text" in extract_strings(stripped)
+
+
+def test_strip_shrinks_the_file(full_binary):
+    assert len(strip_symbols(full_binary)) < len(full_binary)
+
+
+def test_strip_is_idempotent(full_binary):
+    once = strip_symbols(full_binary)
+    twice = strip_symbols(once)
+    assert ElfReader(twice).section_names() == ElfReader(once).section_names()
+
+
+def test_stripped_output_is_still_valid_elf(full_binary):
+    stripped = strip_symbols(full_binary)
+    reader = ElfReader(stripped)
+    assert reader.header.e_shnum == len(reader.section_headers)
+    assert reader.section(".shstrtab") is not None

@@ -1,0 +1,76 @@
+"""Tests for the ``nm`` equivalent (global symbol extraction)."""
+
+import pytest
+
+from repro.binfmt.reader import ElfReader
+from repro.binfmt.structs import SymbolSpec
+from repro.binfmt.symbols import extract_global_symbols, is_stripped, nm_output
+from repro.binfmt.writer import build_executable
+from repro.exceptions import SymbolTableError
+
+
+def _blob(symbols):
+    return build_executable(code=b"\x90" * 128, strings=["s"], symbols=symbols)
+
+
+def test_only_defined_globals_returned():
+    blob = _blob([SymbolSpec("alpha"), SymbolSpec("beta"),
+                  SymbolSpec("hidden", kind="local")])
+    names = [s.name for s in extract_global_symbols(blob)]
+    assert names == ["alpha", "beta"]
+
+
+def test_weak_symbols_count_as_global():
+    blob = _blob([SymbolSpec("weak_fn", kind="weak")])
+    assert [s.name for s in extract_global_symbols(blob)] == ["weak_fn"]
+
+
+def test_objects_can_be_excluded():
+    blob = _blob([SymbolSpec("fn"), SymbolSpec("table", kind="object")])
+    all_names = [s.name for s in extract_global_symbols(blob)]
+    funcs_only = [s.name for s in extract_global_symbols(blob, include_objects=False)]
+    assert all_names == ["fn", "table"]
+    assert funcs_only == ["fn"]
+
+
+def test_nm_output_sorted_names_one_per_line():
+    blob = _blob([SymbolSpec("zeta"), SymbolSpec("alpha"), SymbolSpec("midfn")])
+    text = nm_output(blob)
+    assert text == "alpha\nmidfn\nzeta\n"
+
+
+def test_nm_output_with_addresses():
+    blob = _blob([SymbolSpec("my_function")])
+    text = nm_output(blob, include_addresses=True)
+    line = text.strip()
+    address, letter, name = line.split()
+    assert len(address) == 16
+    assert letter == "T"
+    assert name == "my_function"
+
+
+def test_nm_output_accepts_reader_instance():
+    blob = _blob([SymbolSpec("fn")])
+    assert nm_output(ElfReader(blob)) == nm_output(blob)
+
+
+def test_nm_output_empty_for_stripped():
+    blob = build_executable(code=b"\x90" * 64, strings=[], symbols=[SymbolSpec("fn")],
+                            stripped=True)
+    with pytest.raises(SymbolTableError):
+        extract_global_symbols(blob)
+
+
+def test_is_stripped_detection():
+    with_symbols = _blob([SymbolSpec("fn")])
+    without_symbols = build_executable(code=b"\x90" * 64, strings=[],
+                                       symbols=[SymbolSpec("fn")], stripped=True)
+    assert not is_stripped(with_symbols)
+    assert is_stripped(without_symbols)
+    assert is_stripped(b"not an elf at all")
+
+
+def test_nm_letter_for_data_objects():
+    blob = _blob([SymbolSpec("lookup_table", kind="object")])
+    text = nm_output(blob, include_addresses=True)
+    assert " D lookup_table" in text or " T lookup_table" in text

@@ -1,0 +1,149 @@
+"""Round-trip tests for the ELF writer and reader."""
+
+import random
+import struct
+
+import pytest
+
+from repro.binfmt import constants as C
+from repro.binfmt.reader import ElfReader, is_elf
+from repro.binfmt.structs import ElfHeader, SectionHeader, SymbolSpec
+from repro.binfmt.writer import ElfWriter, build_executable
+from repro.exceptions import BinaryFormatError, SymbolTableError, TruncatedBinaryError
+
+
+def _build(n_funcs=10, stripped=False, strings=("hello world", "version 1.0")):
+    return build_executable(
+        code=random.Random(1).randbytes(2048),
+        strings=list(strings),
+        symbols=[SymbolSpec(f"fn_{i}") for i in range(n_funcs)],
+        comment="GCC: (GNU) 10.3.0",
+        stripped=stripped,
+    )
+
+
+def test_output_is_recognised_as_elf():
+    blob = _build()
+    assert is_elf(blob)
+    assert blob[:4] == C.ELF_MAGIC
+
+
+def test_sections_roundtrip():
+    blob = _build()
+    reader = ElfReader(blob)
+    names = reader.section_names()
+    assert ".text" in names
+    assert ".rodata" in names
+    assert ".comment" in names
+    assert ".symtab" in names and ".strtab" in names
+    assert ".shstrtab" in names
+
+
+def test_text_section_content_preserved():
+    code = random.Random(2).randbytes(1500)
+    blob = build_executable(code=code, strings=[], symbols=[SymbolSpec("main")])
+    assert ElfReader(blob).section(".text").data == code
+
+
+def test_rodata_contains_nul_separated_strings():
+    blob = _build(strings=("alpha string", "beta string"))
+    rodata = ElfReader(blob).section(".rodata").data
+    assert b"alpha string\x00" in rodata
+    assert b"beta string\x00" in rodata
+
+
+def test_symbols_roundtrip_names_and_binding():
+    blob = build_executable(
+        code=b"\x90" * 64,
+        strings=[],
+        symbols=[SymbolSpec("global_fn"), SymbolSpec("data_obj", kind="object"),
+                 SymbolSpec("weak_fn", kind="weak"), SymbolSpec("local_fn", kind="local")],
+    )
+    symbols = {s.name: s for s in ElfReader(blob).symbols}
+    assert symbols["global_fn"].is_global and symbols["global_fn"].type == C.STT_FUNC
+    assert symbols["data_obj"].type == C.STT_OBJECT
+    assert symbols["weak_fn"].bind == C.STB_WEAK and symbols["weak_fn"].is_global
+    assert not symbols["local_fn"].is_global
+
+
+def test_local_symbols_precede_globals():
+    blob = build_executable(
+        code=b"\x90" * 64, strings=[],
+        symbols=[SymbolSpec("zz_global"), SymbolSpec("aa_local", kind="local")])
+    reader = ElfReader(blob)
+    names = [s.name for s in reader.symbols]
+    assert names.index("aa_local") < names.index("zz_global")
+
+
+def test_stripped_build_has_no_symtab():
+    blob = _build(stripped=True)
+    reader = ElfReader(blob)
+    assert not reader.has_symbol_table
+    with pytest.raises(SymbolTableError):
+        _ = reader.symbols
+
+
+def test_empty_text_rejected():
+    writer = ElfWriter()
+    with pytest.raises(BinaryFormatError):
+        writer.build()
+
+
+def test_reader_rejects_non_elf():
+    with pytest.raises(BinaryFormatError):
+        ElfReader(b"MZ this is not an elf file")
+    with pytest.raises(BinaryFormatError):
+        ElfReader(b"\x7fELF")  # too small
+
+
+def test_reader_rejects_wrong_class():
+    blob = bytearray(_build())
+    blob[4] = 1  # ELFCLASS32
+    with pytest.raises(BinaryFormatError):
+        ElfReader(bytes(blob))
+
+
+def test_reader_rejects_truncated_section_table():
+    blob = _build()
+    with pytest.raises(TruncatedBinaryError):
+        ElfReader(blob[: len(blob) - 40]).sections  # noqa: B018
+
+
+def test_header_roundtrip():
+    header = ElfHeader(e_shoff=1234, e_shnum=7, e_shstrndx=6, e_phnum=1)
+    parsed = ElfHeader.unpack(header.pack() + b"\x00" * 16)
+    assert parsed.e_shoff == 1234
+    assert parsed.e_shnum == 7
+    assert parsed.e_shstrndx == 6
+
+
+def test_section_header_roundtrip():
+    header = SectionHeader(sh_name=5, sh_type=C.SHT_PROGBITS, sh_offset=0x200,
+                           sh_size=128, sh_addralign=16)
+    packed = header.pack()
+    assert len(packed) == C.SHDR_SIZE
+    parsed = SectionHeader.unpack(packed, 0)
+    assert parsed == header
+
+
+def test_writer_output_executable_bit(tmp_path):
+    writer = ElfWriter()
+    writer.set_text(b"\x90" * 32)
+    writer.add_symbols([SymbolSpec("main")])
+    path = tmp_path / "prog"
+    size = writer.write(path)
+    assert path.stat().st_size == size
+    assert path.stat().st_mode & 0o111  # executable bits set
+
+
+def test_text_section_is_executable_flagged():
+    reader = ElfReader(_build())
+    text = reader.section(".text")
+    assert text.header.sh_flags & C.SHF_EXECINSTR
+    assert ".text" == text.name
+
+
+def test_symbol_values_are_distinct():
+    blob = _build(n_funcs=20)
+    values = [s.value for s in ElfReader(blob).symbols]
+    assert len(set(values)) == len(values)

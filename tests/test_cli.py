@@ -1,0 +1,43 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_has_all_subcommands():
+    parser = build_parser()
+    text = parser.format_help()
+    for command in ("generate", "experiment", "classify", "info"):
+        assert command in text
+
+
+def test_info_command(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "Fuzzy Hash Classifier" in out
+    assert "numpy" in out
+
+
+def test_generate_command(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "small")
+    target = tmp_path / "tree"
+    assert main(["generate", str(target), "--scale", "small", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "samples" in out
+    assert target.is_dir()
+    # The layout is <Class>/<version>/<executable>.
+    class_dirs = [p for p in target.iterdir() if p.is_dir()]
+    assert class_dirs
+    version_dirs = [p for p in class_dirs[0].iterdir() if p.is_dir()]
+    assert len(version_dirs) >= 3
+
+
+def test_missing_command_exits_with_error():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_unknown_command_exits_with_error():
+    with pytest.raises(SystemExit):
+        main(["not-a-command"])

@@ -1,0 +1,148 @@
+"""Tests for ThresholdRandomForest and FuzzyHashClassifier."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import FuzzyHashClassifier, ThresholdRandomForest
+from repro.core.splits import two_phase_split
+from repro.exceptions import NotFittedError, ValidationError
+from repro.ml.metrics import f1_score
+
+
+# ----------------------------------------------------------- threshold forest
+@pytest.fixture(scope="module")
+def toy_matrix():
+    rng = np.random.default_rng(0)
+    centers = np.array([[80, 5, 3], [4, 75, 6], [2, 6, 90]], dtype=float)
+    y = rng.integers(0, 3, size=240)
+    X = np.clip(centers[y] + rng.normal(0, 6, size=(240, 3)), 0, 100)
+    labels = np.array(["AppA", "AppB", "AppC"], dtype=object)[y]
+    return X, labels
+
+
+def test_threshold_forest_basic_accuracy(toy_matrix):
+    X, y = toy_matrix
+    model = ThresholdRandomForest(n_estimators=30, confidence_threshold=0.3,
+                                  random_state=0).fit(X, y)
+    predictions = model.predict(X)
+    assert (predictions == y).mean() > 0.95
+
+
+def test_low_confidence_samples_become_unknown(toy_matrix):
+    X, y = toy_matrix
+    model = ThresholdRandomForest(n_estimators=30, confidence_threshold=0.5,
+                                  random_state=0).fit(X, y)
+    # A sample with no similarity to anything should be rejected.
+    far_away = np.zeros((1, 3))
+    assert model.predict(far_away)[0] == -1
+    # With threshold 0 it gets assigned to some class instead.
+    assert model.predict(far_away, confidence_threshold=0.0)[0] in set(y)
+
+
+def test_threshold_override_does_not_refit(toy_matrix):
+    X, y = toy_matrix
+    model = ThresholdRandomForest(n_estimators=20, confidence_threshold=0.9,
+                                  random_state=1).fit(X, y)
+    strict = (model.predict(X) == -1).sum()
+    lenient = (model.predict(X, confidence_threshold=0.1) == -1).sum()
+    assert lenient <= strict
+
+
+def test_predict_known_never_returns_unknown(toy_matrix):
+    X, y = toy_matrix
+    model = ThresholdRandomForest(n_estimators=20, confidence_threshold=0.99,
+                                  random_state=1).fit(X, y)
+    assert -1 not in set(model.predict_known(X))
+
+
+def test_confidence_values_are_probabilities(toy_matrix):
+    X, y = toy_matrix
+    model = ThresholdRandomForest(n_estimators=20, random_state=0).fit(X, y)
+    confidence = model.confidence(X)
+    assert confidence.min() >= 0.0 and confidence.max() <= 1.0
+
+
+def test_invalid_threshold_rejected(toy_matrix):
+    X, y = toy_matrix
+    with pytest.raises(ValidationError):
+        ThresholdRandomForest(confidence_threshold=1.5).fit(X, y)
+
+
+def test_custom_unknown_label(toy_matrix):
+    X, y = toy_matrix
+    model = ThresholdRandomForest(n_estimators=10, confidence_threshold=0.99,
+                                  unknown_label="UNKNOWN", random_state=0).fit(X, y)
+    predictions = model.predict(np.zeros((1, 3)))
+    assert predictions[0] == "UNKNOWN"
+
+
+# --------------------------------------------------------- fuzzy hash classifier
+@pytest.fixture(scope="module")
+def trained_classifier(tiny_features, tiny_labels):
+    split = two_phase_split(tiny_labels, mode="paper", random_state=3)
+    train = [tiny_features[i] for i in split.train_indices]
+    clf = FuzzyHashClassifier(n_estimators=40, confidence_threshold=0.35,
+                              random_state=0)
+    clf.fit(train)
+    return clf, split
+
+
+def test_fuzzy_hash_classifier_end_to_end(tiny_features, trained_classifier):
+    clf, split = trained_classifier
+    test = [tiny_features[i] for i in split.test_indices]
+    predictions = clf.predict(test)
+    expected = np.asarray(split.expected_test_labels, dtype=object)
+    macro = f1_score(expected, predictions, average="macro")
+    assert macro > 0.7
+    # Unknown-class samples are mostly rejected.
+    unknown_mask = expected == -1
+    assert (predictions[unknown_mask] == -1).mean() > 0.6
+    # Known-class samples are mostly recognised correctly.
+    known_mask = ~unknown_mask
+    assert (predictions[known_mask] == expected[known_mask]).mean() > 0.7
+
+
+def test_labels_default_to_class_names(tiny_features):
+    clf = FuzzyHashClassifier(n_estimators=10, random_state=0)
+    clf.fit(tiny_features[:40])
+    assert set(clf.classes_) <= {f.class_name for f in tiny_features[:40]}
+
+
+def test_classifier_rejects_unlabelled_training_data(tiny_features):
+    from dataclasses import replace
+
+    unlabeled = [replace(f, class_name="") for f in tiny_features[:10]]
+    with pytest.raises(ValidationError):
+        FuzzyHashClassifier().fit(unlabeled)
+    with pytest.raises(ValidationError):
+        FuzzyHashClassifier().fit([])
+    with pytest.raises(ValidationError):
+        FuzzyHashClassifier().fit(tiny_features[:5], y=["a", "b"])
+
+
+def test_predict_before_fit_raises(tiny_features):
+    with pytest.raises(NotFittedError):
+        FuzzyHashClassifier().predict(tiny_features[:2])
+
+
+def test_feature_importances_by_type(trained_classifier):
+    clf, _ = trained_classifier
+    grouped = clf.feature_importances_by_type()
+    assert set(grouped) == {"ssdeep-file", "ssdeep-strings", "ssdeep-symbols"}
+    assert sum(grouped.values()) == pytest.approx(1.0)
+    # Symbols are the dominant feature (the paper's Table 5 finding).
+    assert grouped["ssdeep-symbols"] == max(grouped.values())
+
+
+def test_transform_exposes_similarity_matrix(trained_classifier, tiny_features):
+    clf, _ = trained_classifier
+    matrix = clf.transform(tiny_features[:3])
+    assert matrix.X.shape[0] == 3
+    assert matrix.X.shape[1] == len(clf.feature_names_)
+
+
+def test_get_params_includes_forest_and_threshold():
+    clf = FuzzyHashClassifier(n_estimators=55, confidence_threshold=0.42)
+    params = clf.get_params()
+    assert params["n_estimators"] == 55
+    assert params["confidence_threshold"] == 0.42

@@ -1,0 +1,91 @@
+"""Tests for the end-to-end experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.config import default_config
+from repro.core.evaluation import ExperimentRunner
+from repro.exceptions import EvaluationError
+
+
+@pytest.fixture(scope="module")
+def small_result(tiny_catalog):
+    config = default_config("small", seed=99)
+    runner = ExperimentRunner(config, split_mode="paper", catalog=tiny_catalog,
+                              run_grid_search=False)
+    return runner.run()
+
+
+def test_result_contains_full_report(small_result):
+    report = small_result.report
+    assert 0.0 <= report.macro_f1 <= 1.0
+    assert len(report.per_class) >= 4
+    labels = [row.label for row in report.per_class]
+    assert -1 in labels  # the unknown class shows up in the report
+
+
+def test_reasonable_classification_quality(small_result):
+    # The synthetic corpus is easy at this scale: well above chance,
+    # in the same regime as the paper's ~0.9.
+    assert small_result.macro_f1 > 0.7
+    assert small_result.micro_f1 > 0.7
+
+
+def test_feature_importance_ordering(small_result):
+    grouped = small_result.grouped_importance
+    assert sum(grouped.values()) == pytest.approx(1.0)
+    assert grouped["ssdeep-symbols"] > grouped["ssdeep-file"]
+
+
+def test_unknown_classes_match_paper_mode(small_result, tiny_catalog):
+    unknown = set(small_result.split.unknown_classes)
+    assert unknown == {c.name for c in tiny_catalog if c.paper_unknown}
+
+
+def test_predictions_align_with_expected(small_result):
+    assert len(small_result.predictions) == len(small_result.expected)
+    assert len(small_result.predictions) == small_result.split.n_test
+    assert len(small_result.test_sample_ids) == small_result.split.n_test
+
+
+def test_timings_and_summary(small_result):
+    assert set(small_result.timings) >= {"corpus", "features", "similarity",
+                                         "final-fit", "predict"}
+    assert "macro f1" in small_result.summary()
+    confusion = small_result.confusion()
+    assert confusion.sum() == small_result.split.n_test
+
+
+def test_grid_search_path_produces_sweep(tiny_catalog):
+    config = default_config("small", seed=5)
+    runner = ExperimentRunner(config, split_mode="paper", catalog=tiny_catalog,
+                              run_grid_search=True)
+    # Shrink the search to keep the test fast.
+    result = runner.run()
+    assert result.grid_outcome is not None
+    assert result.threshold_sweep is not None
+    assert len(result.threshold_sweep.points) > 3
+    assert result.best_threshold in [p.threshold for p in result.threshold_sweep.points]
+
+
+def test_fixed_threshold_override(tiny_catalog):
+    config = default_config("small", seed=5, confidence_threshold=0.7)
+    runner = ExperimentRunner(config, split_mode="paper", catalog=tiny_catalog,
+                              run_grid_search=False)
+    result = runner.run()
+    assert result.best_threshold == 0.7
+
+
+def test_disk_pipeline_requires_workdir(tiny_catalog):
+    with pytest.raises(EvaluationError):
+        ExperimentRunner(default_config("small"), use_disk=True)
+
+
+def test_disk_pipeline_runs(tmp_path, tiny_catalog):
+    config = default_config("small", seed=13)
+    runner = ExperimentRunner(config, split_mode="paper", catalog=tiny_catalog,
+                              use_disk=True, workdir=tmp_path / "tree",
+                              run_grid_search=False)
+    result = runner.run()
+    assert result.macro_f1 > 0.6
+    assert (tmp_path / "tree").is_dir()

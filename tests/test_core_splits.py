@@ -1,0 +1,115 @@
+"""Tests for the two-phase train/test split."""
+
+import numpy as np
+import pytest
+
+from repro.core.splits import two_phase_split
+from repro.corpus.catalog import PAPER_UNKNOWN_CLASSES
+from repro.exceptions import ValidationError
+
+
+def _labels():
+    labels = []
+    for name, count in [("A", 40), ("B", 25), ("C", 10), ("D", 6), ("E", 4),
+                        ("Schrodinger", 12), ("SAMtools", 8)]:
+        labels += [name] * count
+    return labels
+
+
+def test_split_partitions_all_samples():
+    labels = _labels()
+    split = two_phase_split(labels, random_state=0)
+    assert split.n_train + split.n_test == len(labels)
+    assert set(split.train_indices.tolist()) & set(split.test_indices.tolist()) == set()
+
+
+def test_unknown_classes_never_in_training():
+    labels = _labels()
+    split = two_phase_split(labels, random_state=3)
+    for class_name in split.unknown_classes:
+        assert class_name not in split.train_labels
+    # All unknown-class samples are in the test set.
+    unknown_total = sum(labels.count(c) for c in split.unknown_classes)
+    assert split.n_unknown_test == unknown_total
+
+
+def test_expected_labels_use_unknown_marker():
+    labels = _labels()
+    split = two_phase_split(labels, random_state=1, unknown_label=-1)
+    for true_label, expected in zip(split.test_labels, split.expected_test_labels):
+        if true_label in split.unknown_classes:
+            assert expected == -1
+        else:
+            assert expected == true_label
+
+
+def test_known_classes_split_roughly_60_40():
+    labels = _labels()
+    split = two_phase_split(labels, test_sample_fraction=0.4, random_state=5)
+    for class_name in split.known_classes:
+        total = labels.count(class_name)
+        in_train = split.train_labels.count(class_name)
+        in_test = split.test_labels.count(class_name)
+        assert in_train + in_test == total
+        assert in_test == pytest.approx(total * 0.4, abs=1)
+
+
+def test_class_fraction_controls_unknown_count():
+    labels = _labels()
+    small = two_phase_split(labels, unknown_class_fraction=0.15, random_state=2)
+    large = two_phase_split(labels, unknown_class_fraction=0.5, random_state=2)
+    assert len(large.unknown_classes) >= len(small.unknown_classes)
+
+
+def test_paper_mode_uses_table3_classes():
+    labels = _labels()
+    split = two_phase_split(labels, mode="paper", random_state=0)
+    assert set(split.unknown_classes) == {"Schrodinger", "SAMtools"}
+    assert all(c in PAPER_UNKNOWN_CLASSES for c in split.unknown_classes)
+
+
+def test_paper_mode_requires_table3_class_present():
+    with pytest.raises(ValidationError):
+        two_phase_split(["A"] * 5 + ["B"] * 5, mode="paper")
+
+
+def test_explicit_mode():
+    labels = _labels()
+    split = two_phase_split(labels, mode="explicit", unknown_classes=["C", "D"])
+    assert split.unknown_classes == ["C", "D"]
+    with pytest.raises(ValidationError):
+        two_phase_split(labels, mode="explicit")
+    with pytest.raises(ValidationError):
+        two_phase_split(labels, mode="explicit", unknown_classes=["NotThere"])
+
+
+def test_deterministic_given_seed():
+    labels = _labels()
+    a = two_phase_split(labels, random_state=11)
+    b = two_phase_split(labels, random_state=11)
+    assert a.unknown_classes == b.unknown_classes
+    assert a.train_indices.tolist() == b.train_indices.tolist()
+
+
+def test_unknown_class_counts_table():
+    labels = _labels()
+    split = two_phase_split(labels, mode="paper", random_state=0)
+    counts = split.unknown_class_counts()
+    assert counts == {"Schrodinger": 12, "SAMtools": 8}
+
+
+def test_validation_errors():
+    with pytest.raises(ValidationError):
+        two_phase_split([])
+    with pytest.raises(ValidationError):
+        two_phase_split(["only-one-class"] * 10)
+    with pytest.raises(ValidationError):
+        two_phase_split(_labels(), unknown_class_fraction=1.5)
+    with pytest.raises(ValidationError):
+        two_phase_split(_labels(), mode="bogus")
+
+
+def test_summary_text():
+    split = two_phase_split(_labels(), random_state=0)
+    text = split.summary()
+    assert "known classes" in text and "train" in text

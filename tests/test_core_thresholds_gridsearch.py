@@ -1,0 +1,152 @@
+"""Tests for the threshold sweep and the joint grid search."""
+
+import numpy as np
+import pytest
+
+from repro.core.gridsearch import (
+    FuzzyHashGridSearch,
+    class_holdout_folds,
+    default_param_grid,
+)
+from repro.core.thresholds import (
+    DEFAULT_THRESHOLD_GRID,
+    ThresholdSweep,
+    apply_threshold,
+    select_best_threshold,
+    sweep_thresholds,
+)
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture()
+def proba_case():
+    classes = np.array(["A", "B"], dtype=object)
+    proba = np.array([
+        [0.9, 0.1],   # confident A
+        [0.2, 0.8],   # confident B
+        [0.55, 0.45], # borderline
+        [0.5, 0.5],   # uncertain -> unknown at high thresholds
+    ])
+    y_true = np.array(["A", "B", "A", -1], dtype=object)
+    return proba, classes, y_true
+
+
+def test_apply_threshold_basic(proba_case):
+    proba, classes, _ = proba_case
+    labels = apply_threshold(proba, classes, 0.6)
+    assert labels.tolist() == ["A", "B", -1, -1]
+    labels_low = apply_threshold(proba, classes, 0.0)
+    assert -1 not in labels_low.tolist()
+
+
+def test_apply_threshold_shape_validation(proba_case):
+    proba, classes, _ = proba_case
+    with pytest.raises(ValidationError):
+        apply_threshold(proba[:, :1], classes, 0.5)
+
+
+def test_sweep_produces_point_per_threshold(proba_case):
+    proba, classes, y_true = proba_case
+    sweep = sweep_thresholds(proba, classes, y_true, thresholds=[0.0, 0.6, 0.95])
+    assert len(sweep.points) == 3
+    for point in sweep.points:
+        assert 0.0 <= point.micro_f1 <= 1.0
+        assert 0.0 <= point.macro_f1 <= 1.0
+    rows = sweep.as_rows()
+    assert rows[0]["threshold"] == 0.0
+    assert "micro-f1" in sweep.as_text() or "micro" in sweep.as_text()
+
+
+def test_best_threshold_balances_unknown_detection(proba_case):
+    proba, classes, y_true = proba_case
+    sweep = sweep_thresholds(proba, classes, y_true, thresholds=[0.0, 0.6])
+    best = select_best_threshold(sweep)
+    # With an unknown sample present, a non-zero threshold wins.
+    assert best == 0.6
+
+
+def test_sweep_length_mismatch_rejected(proba_case):
+    proba, classes, _ = proba_case
+    with pytest.raises(ValidationError):
+        sweep_thresholds(proba, classes, ["A"])
+
+
+def test_empty_sweep_best_raises():
+    with pytest.raises(ValidationError):
+        ThresholdSweep().best()
+
+
+def test_default_threshold_grid_spans_0_to_09():
+    assert DEFAULT_THRESHOLD_GRID[0] == 0.0
+    assert DEFAULT_THRESHOLD_GRID[-1] == pytest.approx(0.9)
+    assert all(b > a for a, b in zip(DEFAULT_THRESHOLD_GRID, DEFAULT_THRESHOLD_GRID[1:]))
+
+
+# ------------------------------------------------------------------ grid search
+def test_default_param_grid_budget():
+    assert len(default_param_grid(budget=3)) == 3
+    assert len(default_param_grid(budget=100)) <= 12
+    grid = default_param_grid(budget=5, n_estimators=42)
+    assert grid[0]["n_estimators"] == 42
+    with pytest.raises(ValidationError):
+        default_param_grid(budget=0)
+
+
+def test_class_holdout_folds_simulate_unknowns():
+    y = ["A"] * 20 + ["B"] * 15 + ["C"] * 10 + ["D"] * 8 + ["E"] * 6
+    folds = list(class_holdout_folds(y, n_splits=3, random_state=0))
+    assert len(folds) == 3
+    y_arr = np.asarray(y, dtype=object)
+    for train_idx, val_idx, expected in folds:
+        assert set(train_idx) & set(val_idx) == set()
+        # At least one class is fully held out and marked -1.
+        assert (expected == -1).sum() > 0
+        held_out_classes = set(y_arr[val_idx][expected == -1])
+        for cls in held_out_classes:
+            assert cls not in set(y_arr[train_idx])
+
+
+def test_class_holdout_needs_enough_classes():
+    with pytest.raises(ValidationError):
+        list(class_holdout_folds(["A"] * 5 + ["B"] * 5, n_splits=2))
+
+
+@pytest.fixture(scope="module")
+def similarity_like_data():
+    """Synthetic 'similarity matrix' data: one dominant column per class."""
+
+    rng = np.random.default_rng(42)
+    n_classes, per_class = 6, 18
+    X, y = [], []
+    for class_idx in range(n_classes):
+        base = np.full((per_class, n_classes), 5.0)
+        base[:, class_idx] = 85.0
+        X.append(np.clip(base + rng.normal(0, 8, size=base.shape), 0, 100))
+        y += [f"Class{class_idx}"] * per_class
+    return np.vstack(X), np.asarray(y, dtype=object)
+
+
+def test_grid_search_returns_consistent_outcome(similarity_like_data):
+    X, y = similarity_like_data
+    search = FuzzyHashGridSearch(param_grid=default_param_grid(budget=2, n_estimators=15),
+                                 thresholds=(0.0, 0.3, 0.6), n_splits=2,
+                                 random_state=0)
+    outcome = search.search(X, y)
+    assert outcome.best_params in search.param_grid
+    assert outcome.best_threshold in (0.0, 0.3, 0.6)
+    assert 0.0 <= outcome.best_combined_f1 <= 3.0
+    assert len(outcome.threshold_sweep.points) == 3
+    assert len(outcome.candidate_scores) == 2
+    assert "best params" in outcome.summary()
+
+
+def test_grid_search_prefers_rejecting_threshold_for_unknowns(similarity_like_data):
+    X, y = similarity_like_data
+    search = FuzzyHashGridSearch(param_grid=default_param_grid(budget=1, n_estimators=15),
+                                 thresholds=(0.0, 0.4), n_splits=3, random_state=1)
+    outcome = search.search(X, y)
+    # With held-out classes in every fold, a non-zero threshold must score
+    # at least as well as never rejecting.
+    zero_point = [p for p in outcome.threshold_sweep.points if p.threshold == 0.0][0]
+    best_point = outcome.threshold_sweep.best()
+    assert best_point.combined >= zero_point.combined

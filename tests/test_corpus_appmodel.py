@@ -1,0 +1,87 @@
+"""Tests for the application source models."""
+
+import pytest
+
+from repro.corpus.appmodel import ApplicationModel, stable_seed
+from repro.corpus.catalog import ApplicationClassSpec, default_catalog
+
+
+@pytest.fixture()
+def spec():
+    return ApplicationClassSpec(name="DemoAssembler", domain="genomics",
+                                paper_test_support=10,
+                                libraries=("zlib", "htslib"))
+
+
+def test_stable_seed_is_deterministic_and_distinct():
+    assert stable_seed("a", 1) == stable_seed("a", 1)
+    assert stable_seed("a", 1) != stable_seed("a", 2)
+    assert stable_seed("a", 1) != stable_seed("b", 1)
+    assert 0 <= stable_seed("anything") < 2 ** 63
+
+
+def test_model_is_deterministic(spec):
+    a = ApplicationModel(spec, corpus_seed=7)
+    b = ApplicationModel(spec, corpus_seed=7)
+    assert a.core_functions == b.core_functions
+    assert a.core_strings == b.core_strings
+    assert a.core_block_ids == b.core_block_ids
+
+
+def test_different_seeds_give_different_models(spec):
+    a = ApplicationModel(spec, corpus_seed=7)
+    b = ApplicationModel(spec, corpus_seed=8)
+    assert a.core_functions != b.core_functions
+
+
+def test_library_symbols_included(spec):
+    model = ApplicationModel(spec, corpus_seed=7)
+    assert any(name.startswith("hts_") or name.startswith("sam_")
+               for name in model.library_symbols)
+    assert any("flate" in name or name in ("crc32", "adler32")
+               for name in model.library_symbols)
+
+
+def test_alias_classes_share_identity():
+    catalog = default_catalog()
+    cell_ranger = ApplicationModel(catalog["CellRanger"], corpus_seed=1)
+    cell_dash = ApplicationModel(catalog["Cell-Ranger"], corpus_seed=1)
+    assert cell_ranger.identity == cell_dash.identity
+    assert cell_ranger.core_functions == cell_dash.core_functions
+
+
+def test_executable_names_respect_catalogue(spec):
+    catalog = default_catalog()
+    velvet_model = ApplicationModel(catalog["Velvet"], corpus_seed=1)
+    assert velvet_model.executable_names(2) == ["velveth", "velvetg"]
+    generic = ApplicationModel(spec, corpus_seed=1)
+    names = generic.executable_names(5)
+    assert len(names) == 5
+    assert len(set(names)) == 5
+
+
+def test_executable_models_share_class_core(spec):
+    model = ApplicationModel(spec, corpus_seed=3)
+    exe_a = model.executable_model("tool_a", 0)
+    exe_b = model.executable_model("tool_b", 1)
+    shared = set(exe_a.functions) & set(exe_b.functions)
+    # Both carry the runtime/library symbols plus a majority of the core.
+    assert len(shared) > 0.4 * min(len(exe_a.functions), len(exe_b.functions))
+    assert "main" in exe_a.functions and "main" in exe_b.functions
+    # But each has its own entry points too.
+    assert set(exe_a.functions) != set(exe_b.functions)
+
+
+def test_executable_model_is_deterministic(spec):
+    model = ApplicationModel(spec, corpus_seed=3)
+    a = model.executable_model("tool_a", 0)
+    b = model.executable_model("tool_a", 0)
+    assert a.functions == b.functions
+    assert a.code_block_ids == b.code_block_ids
+
+
+def test_code_blocks_have_positive_sizes(spec):
+    model = ApplicationModel(spec, corpus_seed=3)
+    exe = model.executable_model("tool_a", 0)
+    assert len(exe.code_block_ids) == len(exe.code_block_sizes)
+    assert all(size > 0 for size in exe.code_block_sizes)

@@ -1,0 +1,93 @@
+"""Tests for the corpus builder."""
+
+import pytest
+
+from repro.binfmt.reader import ElfReader, is_elf
+from repro.binfmt.symbols import is_stripped
+from repro.config import default_config
+from repro.corpus.builder import CorpusBuilder
+from repro.corpus.catalog import default_catalog
+
+
+def test_samples_follow_class_version_executable_layout(tiny_samples):
+    for sample in tiny_samples:
+        parts = sample.relative_path.split("/")
+        assert len(parts) == 3
+        assert parts[0] == sample.class_name
+        assert parts[1] == sample.version
+        assert parts[2] == sample.executable
+
+
+def test_every_sample_is_valid_unstripped_elf(tiny_samples):
+    for sample in tiny_samples:
+        assert is_elf(sample.data)
+        assert not is_stripped(sample.data)
+        reader = ElfReader(sample.data)
+        assert len(reader.symbols) > 10
+
+
+def test_every_class_has_at_least_three_versions(tiny_samples):
+    versions = {}
+    for sample in tiny_samples:
+        versions.setdefault(sample.class_name, set()).add(sample.version)
+    assert all(len(v) >= 3 for v in versions.values())
+
+
+def test_all_catalogue_classes_generated(tiny_samples, tiny_catalog):
+    generated = {s.class_name for s in tiny_samples}
+    assert generated == set(tiny_catalog.class_names)
+
+
+def test_generation_is_deterministic(tiny_builder, tiny_samples):
+    again = tiny_builder.build_samples()
+    assert len(again) == len(tiny_samples)
+    assert [s.relative_path for s in again] == [s.relative_path for s in tiny_samples]
+    assert all(a.data == b.data for a, b in zip(again, tiny_samples))
+
+
+def test_explicit_executables_and_versions_respected(tiny_samples):
+    velvet_like = [s for s in tiny_samples if s.class_name == "VelvetLike"]
+    assert {s.executable for s in velvet_like} == {"velh", "velg"}
+    assert {s.version for s in velvet_like} == {
+        "1.0-GCC-10.3.0", "1.1-foss-2021a", "2.0-intel-2020a"}
+    assert len(velvet_like) == 6  # 3 versions x 2 executables
+
+
+def test_scale_cap_limits_per_class_samples():
+    config = default_config("small", seed=3)
+    builder = CorpusBuilder(config=config)
+    counts = {}
+    for spec in builder.catalog:
+        versions, n_exec = builder.plan_class(spec)
+        counts[spec.name] = len(versions) * n_exec
+    cap = config.scale.max_samples_per_class
+    # The plan may exceed the cap slightly because every version carries
+    # every executable, but it must stay in the same ballpark.
+    assert all(count <= cap + max(4, cap // 2) for count in counts.values())
+
+
+def test_materialize_tree_writes_files(disk_tree):
+    root, dataset = disk_tree
+    assert len(dataset) > 0
+    for record in dataset:
+        path = root / record.sample_id
+        assert path.is_file()
+        assert path.stat().st_size == record.file_size
+
+
+def test_class_filter_in_iter_samples(tiny_builder):
+    only = list(tiny_builder.iter_samples(class_names=["AlphaFold"]))
+    assert only
+    assert all(s.class_name == "AlphaFold" for s in only)
+
+
+def test_full_catalog_plan_matches_paper_scale():
+    config = default_config("full", seed=1)
+    builder = CorpusBuilder(catalog=default_catalog(), config=config)
+    total = 0
+    for spec in builder.catalog:
+        versions, n_exec = builder.plan_class(spec)
+        assert len(versions) >= 3
+        total += len(versions) * n_exec
+    # Total sample count of the plan is close to the paper's 5333.
+    assert 4800 <= total <= 6200

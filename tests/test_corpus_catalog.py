@@ -1,0 +1,113 @@
+"""Tests for the 92-class application catalogue."""
+
+import pytest
+
+from repro.corpus.catalog import (
+    PAPER_UNKNOWN_CLASSES,
+    ApplicationCatalog,
+    ApplicationClassSpec,
+    default_catalog,
+)
+from repro.exceptions import CorpusError
+
+
+def test_catalogue_has_92_classes():
+    catalog = default_catalog()
+    assert len(catalog) == 92
+
+
+def test_19_paper_unknown_classes():
+    catalog = default_catalog()
+    assert len(catalog.paper_unknown_names) == 19
+    assert set(catalog.paper_unknown_names) == set(PAPER_UNKNOWN_CLASSES)
+
+
+def test_total_samples_close_to_paper():
+    # The paper reports 5333 samples; the reconstruction from Tables 3+4
+    # lands within a percent of that.
+    total = default_catalog().total_samples()
+    assert abs(total - 5333) <= 55
+
+
+def test_unknown_class_counts_match_table3():
+    catalog = default_catalog()
+    assert catalog["Schrodinger"].total_samples() == 195
+    assert catalog["QuantumESPRESSO"].total_samples() == 178
+    assert catalog["SAMtools"].total_samples() == 108
+    assert catalog["CHARMM"].total_samples() == 3
+    assert catalog["OpenMalaria"].total_samples() == 25
+
+
+def test_known_class_counts_derive_from_support():
+    catalog = default_catalog()
+    # support 352 -> ~880 total at a 40% test fraction
+    assert catalog["kentUtils"].total_samples() == 880
+    assert catalog["FSL"].total_samples() == 878
+    # tiny classes never drop below the 3-sample collection rule
+    assert catalog["CapnProto"].total_samples() == 3
+    assert catalog["JAGS"].total_samples() == 3
+
+
+def test_velvet_matches_table1():
+    velvet = default_catalog()["Velvet"]
+    assert velvet.executables == ("velveth", "velvetg")
+    assert len(velvet.versions) == 3
+    assert all("1.2.10" in v for v in velvet.versions)
+
+
+def test_alias_pairs_present():
+    catalog = default_catalog()
+    assert catalog["Cell-Ranger"].alias_of == "CellRanger"
+    assert catalog["AUGUSTUS"].alias_of == "Augustus"
+    assert catalog["AUGUSTUS"].paper_unknown
+    assert not catalog["Augustus"].paper_unknown
+
+
+def test_unknown_class_lookup_raises():
+    with pytest.raises(CorpusError):
+        default_catalog()["NotARealApplication"]
+
+
+def test_duplicate_names_rejected():
+    spec = ApplicationClassSpec(name="X", paper_test_support=3)
+    with pytest.raises(CorpusError):
+        ApplicationCatalog([spec, spec])
+
+
+def test_alias_to_missing_class_rejected():
+    with pytest.raises(CorpusError):
+        ApplicationCatalog([ApplicationClassSpec(name="X", alias_of="Missing",
+                                                 paper_test_support=3)])
+
+
+def test_subset_keeps_imbalance_and_unknowns():
+    catalog = default_catalog()
+    subset = catalog.subset(12)
+    assert 12 <= len(subset) <= 14  # alias completion may add a class
+    counts = [spec.total_samples() for spec in subset]
+    assert max(counts) > 3 * min(counts)  # still clearly imbalanced
+    assert any(spec.paper_unknown for spec in subset)
+
+
+def test_subset_none_returns_everything():
+    catalog = default_catalog()
+    assert len(catalog.subset(None)) == len(catalog)
+
+
+def test_subset_too_small_rejected():
+    with pytest.raises(CorpusError):
+        default_catalog().subset(1)
+
+
+def test_total_samples_respects_cap():
+    catalog = default_catalog()
+    capped = catalog.total_samples(max_samples_per_class=10)
+    assert capped < catalog.total_samples()
+    assert capped >= 10 * 10  # at least the big classes hit the cap
+
+
+def test_describe_mentions_every_class():
+    catalog = default_catalog()
+    text = catalog.describe()
+    for name in ("kentUtils", "Velvet", "Schrodinger"):
+        assert name in text

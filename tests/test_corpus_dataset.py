@@ -1,0 +1,80 @@
+"""Tests for the dataset container."""
+
+import pytest
+
+from repro.corpus.dataset import CorpusDataset, SampleRecord
+from repro.exceptions import CorpusError
+
+
+def _record(i, class_name="A", version="1.0", executable="tool"):
+    return SampleRecord(sample_id=f"{class_name}/{version}/{executable}-{i}",
+                        path=f"/tmp/{class_name}/{version}/{executable}-{i}",
+                        class_name=class_name, version=version,
+                        executable=executable, file_size=100 + i)
+
+
+@pytest.fixture()
+def dataset():
+    records = [_record(i, "Alpha") for i in range(5)]
+    records += [_record(i, "Beta", version="2.0") for i in range(3)]
+    records += [_record(0, "Gamma", version="0.1")]
+    return CorpusDataset(records)
+
+
+def test_basic_properties(dataset):
+    assert len(dataset) == 9
+    assert dataset.class_names == ["Alpha", "Beta", "Gamma"]
+    assert dataset.labels.count("Alpha") == 5
+    assert len(dataset.paths) == 9
+
+
+def test_class_counts_sorted_by_size(dataset):
+    counts = dataset.class_counts()
+    assert list(counts.items())[0] == ("Alpha", 5)
+    assert counts["Gamma"] == 1
+
+
+def test_version_counts(dataset):
+    versions = dataset.version_counts()
+    assert versions == {"Alpha": 1, "Beta": 1, "Gamma": 1}
+
+
+def test_filter_and_subset(dataset):
+    only_beta = dataset.filter_classes(["Beta"])
+    assert len(only_beta) == 3
+    big_files = dataset.filter(lambda r: r.file_size >= 103)
+    assert all(r.file_size >= 103 for r in big_files)
+    first_two = dataset.subset([0, 1])
+    assert len(first_two) == 2
+    assert first_two[0].sample_id == dataset[0].sample_id
+
+
+def test_duplicate_ids_rejected():
+    record = _record(0)
+    with pytest.raises(CorpusError):
+        CorpusDataset([record, record])
+
+
+def test_json_roundtrip(dataset, tmp_path):
+    path = tmp_path / "dataset.json"
+    dataset.to_json(path)
+    loaded = CorpusDataset.from_json(path)
+    assert len(loaded) == len(dataset)
+    assert loaded.labels == dataset.labels
+    assert loaded[0] == dataset[0]
+
+
+def test_from_json_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"not_records": []}')
+    with pytest.raises(CorpusError):
+        CorpusDataset.from_json(path)
+
+
+def test_summary_mentions_largest_class(dataset):
+    assert "Alpha" in dataset.summary()
+
+
+def test_record_roundtrip_dict():
+    record = _record(1, "Delta")
+    assert SampleRecord.from_dict(record.to_dict()) == record

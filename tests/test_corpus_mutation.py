@@ -1,0 +1,115 @@
+"""Tests for the version mutation model."""
+
+import pytest
+
+from repro.corpus.appmodel import ApplicationModel
+from repro.corpus.catalog import ApplicationClassSpec
+from repro.corpus.mutation import MutationConfig, VersionMutator
+
+
+@pytest.fixture()
+def model():
+    spec = ApplicationClassSpec(name="MutApp", domain="chemistry",
+                                paper_test_support=8, libraries=("blas",))
+    return ApplicationModel(spec, corpus_seed=11)
+
+
+@pytest.fixture()
+def mutator(model):
+    return VersionMutator(model)
+
+
+def test_version_names_unique_and_sufficient(mutator):
+    names = mutator.version_names(6)
+    assert len(names) == 6
+    assert len(set(names)) == 6
+    # EasyBuild style: "<number>-<toolchain>"
+    assert all("-" in name for name in names)
+
+
+def test_explicit_catalogue_versions_used_first():
+    spec = ApplicationClassSpec(name="Pinned", paper_test_support=4,
+                                versions=("1.0-GCC-10.3.0", "2.0-foss-2021a",
+                                          "3.0-intel-2020a"))
+    mutator = VersionMutator(ApplicationModel(spec, corpus_seed=1))
+    assert mutator.version_names(3) == list(spec.versions)
+    assert mutator.version_names(2) == list(spec.versions[:2])
+
+
+def test_materialize_is_deterministic(model, mutator):
+    exe = model.executable_model("mutapp_main", 0)
+    a = mutator.materialize(exe, "1.0-GCC-10.3.0", 0)
+    b = mutator.materialize(exe, "1.0-GCC-10.3.0", 0)
+    assert a.functions == b.functions
+    assert a.code == b.code
+    assert a.strings == b.strings
+
+
+def test_adjacent_versions_share_most_symbols(model, mutator):
+    exe = model.executable_model("mutapp_main", 0)
+    v0 = mutator.materialize(exe, "1.0-GCC-10.3.0", 0)
+    v1 = mutator.materialize(exe, "1.1-GCC-11.2.0", 1)
+    shared = set(v0.functions) & set(v1.functions)
+    assert len(shared) >= 0.85 * len(v0.functions)
+    assert v0.functions != v1.functions  # but not identical
+
+
+def test_symbol_drift_accumulates_with_version_distance(model, mutator):
+    exe = model.executable_model("mutapp_main", 0)
+    v0 = set(mutator.materialize(exe, "1.0", 0).functions)
+    v1 = set(mutator.materialize(exe, "1.1", 1).functions)
+    v5 = set(mutator.materialize(exe, "5.0", 5).functions)
+    drift_near = len(v0 ^ v1)
+    drift_far = len(v0 ^ v5)
+    assert drift_far >= drift_near
+
+
+def test_code_changes_partially_between_versions(model, mutator):
+    exe = model.executable_model("mutapp_main", 0)
+    code0 = mutator.materialize(exe, "1.0", 0).code
+    code1 = mutator.materialize(exe, "1.1", 1).code
+    assert code0 != code1
+    assert len(code0) == len(code1)  # same block layout
+    # A decent fraction of blocks is preserved between adjacent versions.
+    same = sum(a == b for a, b in zip(code0, code1))
+    assert same / len(code0) > 0.3
+
+
+def test_strings_substitute_version_placeholders(model, mutator):
+    exe = model.executable_model("mutapp_main", 0)
+    sample = mutator.materialize(exe, "4.2-foss-2021a", 2)
+    joined = "\n".join(sample.strings)
+    assert "4.2" in joined
+    assert "{version}" not in joined
+    assert "{name}" not in joined
+    assert "MutApp release 4.2" in joined
+
+
+def test_toolchain_comment_matches_family(model, mutator):
+    exe = model.executable_model("mutapp_main", 0)
+    gcc = mutator.materialize(exe, "1.0-GCC-10.3.0", 0)
+    intel = mutator.materialize(exe, "2.0-iomkl-2019.01", 1)
+    assert "GCC" in gcc.comment
+    assert "Intel" in intel.comment
+
+
+def test_drift_scaling_is_capped():
+    config = MutationConfig().scaled(100.0)
+    assert config.code_change_rate <= 0.95
+    assert config.symbol_rename_rate <= 0.5
+
+
+def test_higher_drift_changes_more_symbols():
+    low_spec = ApplicationClassSpec(name="Calm", paper_test_support=6, version_drift=1.0)
+    high_spec = ApplicationClassSpec(name="Calm", paper_test_support=6, version_drift=6.0)
+    low_model = ApplicationModel(low_spec, corpus_seed=5)
+    high_model = ApplicationModel(high_spec, corpus_seed=5)
+    low_exe = low_model.executable_model("calm_main", 0)
+    high_exe = high_model.executable_model("calm_main", 0)
+    low = VersionMutator(low_model)
+    high = VersionMutator(high_model)
+    low_drift = len(set(low.materialize(low_exe, "1.0", 0).functions)
+                    ^ set(low.materialize(low_exe, "1.4", 4).functions))
+    high_drift = len(set(high.materialize(high_exe, "1.0", 0).functions)
+                     ^ set(high.materialize(high_exe, "1.4", 4).functions))
+    assert high_drift > low_drift

@@ -1,0 +1,108 @@
+"""Tests for the corpus scanner (collection rules)."""
+
+import pytest
+
+from repro.binfmt.strip import strip_symbols
+from repro.corpus.scanner import CorpusScanner
+from repro.exceptions import CorpusLayoutError
+
+
+def test_scan_recovers_all_generated_samples(disk_tree):
+    root, dataset = disk_tree
+    result = CorpusScanner(root).scan()
+    assert len(result.dataset) == len(dataset)
+    assert sorted(result.dataset.labels) == sorted(dataset.labels)
+
+
+def test_labels_come_from_directory_names(disk_tree):
+    root, _ = disk_tree
+    result = CorpusScanner(root).scan()
+    for record in result.dataset:
+        assert record.path.startswith(str(root))
+        assert f"/{record.class_name}/" in record.path
+
+
+def test_stripped_binaries_are_skipped(disk_tree, tmp_path):
+    root, _ = disk_tree
+    # Copy the tree and strip one class entirely.
+    import shutil
+
+    copy_root = tmp_path / "tree"
+    shutil.copytree(root, copy_root)
+    target_class = sorted(p.name for p in copy_root.iterdir())[0]
+    stripped_files = 0
+    for path in (copy_root / target_class).rglob("*"):
+        if path.is_file():
+            path.write_bytes(strip_symbols(path.read_bytes()))
+            stripped_files += 1
+    result = CorpusScanner(copy_root).scan()
+    assert len(result.skipped_stripped) == stripped_files
+    assert target_class not in result.dataset.class_names
+
+    permissive = CorpusScanner(copy_root, skip_stripped=False).scan()
+    assert target_class in permissive.dataset.class_names
+
+
+def test_classes_with_too_few_versions_are_skipped(disk_tree, tmp_path):
+    import shutil
+
+    root, _ = disk_tree
+    copy_root = tmp_path / "tree"
+    shutil.copytree(root, copy_root)
+    target_class = sorted(p.name for p in copy_root.iterdir())[0]
+    versions = sorted(p for p in (copy_root / target_class).iterdir() if p.is_dir())
+    for version_dir in versions[2:]:
+        shutil.rmtree(version_dir)
+    for version_dir in versions[:2]:
+        pass  # keep two versions -> below the min_versions=3 rule
+    result = CorpusScanner(copy_root).scan()
+    assert target_class in result.skipped_classes
+    assert target_class not in result.dataset.class_names
+
+
+def test_non_elf_files_are_skipped(disk_tree, tmp_path):
+    import shutil
+
+    root, _ = disk_tree
+    copy_root = tmp_path / "tree"
+    shutil.copytree(root, copy_root)
+    target_class = sorted(p.name for p in copy_root.iterdir())[0]
+    for version_dir in (copy_root / target_class).iterdir():
+        (version_dir / "README.txt").write_text("not a binary")
+    result = CorpusScanner(copy_root).scan()
+    assert result.skipped_non_elf
+    assert all(p.endswith("README.txt") for p in result.skipped_non_elf)
+
+
+def test_executables_missing_from_some_versions(disk_tree, tmp_path):
+    import shutil
+
+    root, _ = disk_tree
+    copy_root = tmp_path / "tree"
+    shutil.copytree(root, copy_root)
+    # Remove one executable from one version of a multi-executable class.
+    target = copy_root / "VelvetLike"
+    first_version = sorted(p for p in target.iterdir() if p.is_dir())[0]
+    removed = sorted(p for p in first_version.iterdir())[0]
+    removed.unlink()
+    strict = CorpusScanner(copy_root, require_in_all_versions=True).scan()
+    relaxed = CorpusScanner(copy_root, require_in_all_versions=False).scan()
+    assert len(strict.dataset) < len(relaxed.dataset)
+    assert strict.skipped_not_in_all_versions
+
+
+def test_missing_root_rejected(tmp_path):
+    with pytest.raises(CorpusLayoutError):
+        CorpusScanner(tmp_path / "does-not-exist").scan()
+
+
+def test_invalid_min_versions():
+    with pytest.raises(CorpusLayoutError):
+        CorpusScanner(".", min_versions=0)
+
+
+def test_scan_summary_mentions_counts(disk_tree):
+    root, _ = disk_tree
+    result = CorpusScanner(root).scan()
+    text = result.summary()
+    assert "samples collected" in text

@@ -1,0 +1,80 @@
+"""Tests for the batched edit-distance engine."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.distance.batch import BatchEditDistance, batch_edit_distances
+from repro.distance.damerau import osa_distance, weighted_edit_distance
+
+
+def _random_pairs(n, seed=0, alphabet="ABCDEFGH+/ab01", max_len=40):
+    rnd = random.Random(seed)
+    return [
+        ("".join(rnd.choices(alphabet, k=rnd.randint(0, max_len))),
+         "".join(rnd.choices(alphabet, k=rnd.randint(0, max_len))))
+        for _ in range(n)
+    ]
+
+
+def test_unit_costs_match_osa_reference():
+    pairs = _random_pairs(400, seed=1)
+    result = batch_edit_distances([a for a, _ in pairs], [b for _, b in pairs])
+    expected = [osa_distance(a, b) for a, b in pairs]
+    assert result.tolist() == expected
+
+
+def test_ssdeep_weights_match_reference():
+    pairs = _random_pairs(400, seed=2)
+    engine = BatchEditDistance(substitute_cost=3, transpose_cost=5)
+    result = engine.distances_two_lists([a for a, _ in pairs], [b for _, b in pairs])
+    expected = [weighted_edit_distance(a, b) for a, b in pairs]
+    assert result.tolist() == expected
+
+
+def test_empty_strings_handled():
+    left = ["", "abc", "", "xy"]
+    right = ["", "", "abcd", "xy"]
+    result = batch_edit_distances(left, right)
+    assert result.tolist() == [0, 3, 4, 0]
+
+
+def test_all_empty_right_side():
+    result = batch_edit_distances(["abc", "de", ""], ["", "", ""])
+    assert result.tolist() == [3, 2, 0]
+
+
+def test_chunking_gives_same_result():
+    pairs = _random_pairs(97, seed=3)
+    left = [a for a, _ in pairs]
+    right = [b for _, b in pairs]
+    small_chunks = BatchEditDistance(chunk_size=8).distances_two_lists(left, right)
+    one_chunk = BatchEditDistance(chunk_size=10_000).distances_two_lists(left, right)
+    assert small_chunks.tolist() == one_chunk.tolist()
+
+
+def test_one_vs_many():
+    engine = BatchEditDistance()
+    refs = ["kitten", "mitten", "sitting", ""]
+    result = engine.one_vs_many("kitten", refs)
+    assert result.tolist() == [0, 1, 3, 6]
+
+
+def test_mismatched_lengths_rejected():
+    engine = BatchEditDistance()
+    with pytest.raises(ValueError):
+        engine.distances_two_lists(["a"], ["a", "b"])
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        BatchEditDistance(chunk_size=0)
+    with pytest.raises(ValueError):
+        BatchEditDistance(insert_cost=-1)
+
+
+def test_returns_int64_array():
+    result = batch_edit_distances(["abc"], ["abd"])
+    assert isinstance(result, np.ndarray)
+    assert result.dtype == np.int64

@@ -1,0 +1,85 @@
+"""Tests for the Damerau–Levenshtein distance variants."""
+
+import pytest
+
+from repro.distance.damerau import (
+    damerau_levenshtein_distance,
+    osa_distance,
+    weighted_edit_distance,
+)
+from repro.distance.levenshtein import levenshtein_distance
+
+
+def test_transposition_costs_one():
+    assert osa_distance("ab", "ba") == 1
+    assert damerau_levenshtein_distance("ab", "ba") == 1
+    # ...whereas plain Levenshtein needs two edits.
+    assert levenshtein_distance("ab", "ba") == 2
+
+
+def test_classic_ca_abc_difference():
+    # The canonical example separating OSA from unrestricted DL:
+    # "CA" -> "ABC" is 2 with unrestricted DL but 3 under OSA.
+    assert damerau_levenshtein_distance("CA", "ABC") == 2
+    assert osa_distance("CA", "ABC") == 3
+
+
+@pytest.mark.parametrize("a, b, expected", [
+    ("", "", 0),
+    ("abc", "abc", 0),
+    ("abc", "", 3),
+    ("", "xyz", 3),
+    ("kitten", "sitting", 3),
+    ("abcdef", "abcfed", 2),
+])
+def test_known_values_both_variants(a, b, expected):
+    assert osa_distance(a, b) == expected
+    assert damerau_levenshtein_distance(a, b) == expected
+
+
+def test_dl_never_exceeds_osa_and_osa_never_exceeds_levenshtein():
+    import random
+
+    rnd = random.Random(11)
+    alphabet = "abcde"
+    for _ in range(200):
+        a = "".join(rnd.choices(alphabet, k=rnd.randint(0, 12)))
+        b = "".join(rnd.choices(alphabet, k=rnd.randint(0, 12)))
+        dl = damerau_levenshtein_distance(a, b)
+        osa = osa_distance(a, b)
+        lev = levenshtein_distance(a, b)
+        assert dl <= osa <= lev
+
+
+def test_triangle_inequality_unrestricted():
+    import random
+
+    rnd = random.Random(5)
+    alphabet = "abcd"
+    for _ in range(50):
+        a, b, c = ("".join(rnd.choices(alphabet, k=rnd.randint(0, 8))) for _ in range(3))
+        assert damerau_levenshtein_distance(a, c) <= (
+            damerau_levenshtein_distance(a, b) + damerau_levenshtein_distance(b, c))
+
+
+def test_weighted_edit_distance_defaults():
+    # Under ssdeep's weights (insert/delete 1, substitute 3, transpose 5)
+    # a substitution is effectively realised as insert+delete (cost 2),
+    # exactly like the reference edit_distn behaves.
+    assert weighted_edit_distance("abc", "axc") == 2
+    assert weighted_edit_distance("abc", "abcd") == 1
+    assert weighted_edit_distance("abcd", "abc") == 1
+    # A transposition costs 5, but insert+delete (2) is cheaper, so the
+    # effective cost of a swap is 2.
+    assert weighted_edit_distance("ab", "ba") == 2
+
+
+def test_weighted_edit_distance_custom_costs():
+    assert weighted_edit_distance("ab", "ba", substitute_cost=1, transpose_cost=1) == 1
+    assert weighted_edit_distance("", "aaaa", insert_cost=2) == 8
+    assert weighted_edit_distance("aaaa", "", delete_cost=3) == 12
+
+
+def test_symmetry_of_default_weights():
+    assert weighted_edit_distance("openmalaria", "openmalarja") == \
+        weighted_edit_distance("openmalarja", "openmalaria")

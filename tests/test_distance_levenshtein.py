@@ -1,0 +1,54 @@
+"""Tests for the Levenshtein distance implementations."""
+
+import pytest
+
+from repro.distance.levenshtein import levenshtein_distance, levenshtein_distance_numpy
+
+
+KNOWN_CASES = [
+    ("", "", 0),
+    ("", "abc", 3),
+    ("abc", "", 3),
+    ("abc", "abc", 0),
+    ("kitten", "sitting", 3),
+    ("flaw", "lawn", 2),
+    ("intention", "execution", 5),
+    ("saturday", "sunday", 3),
+    ("a", "b", 1),
+    ("ab", "ba", 2),          # plain Levenshtein has no transpositions
+]
+
+
+@pytest.mark.parametrize("a, b, expected", KNOWN_CASES)
+def test_reference_known_values(a, b, expected):
+    assert levenshtein_distance(a, b) == expected
+
+
+@pytest.mark.parametrize("a, b, expected", KNOWN_CASES)
+def test_numpy_known_values(a, b, expected):
+    assert levenshtein_distance_numpy(a, b) == expected
+
+
+def test_symmetry():
+    assert levenshtein_distance("abcdef", "azced") == levenshtein_distance("azced", "abcdef")
+
+
+def test_accepts_bytes():
+    assert levenshtein_distance(b"abc", b"abd") == 1
+    assert levenshtein_distance_numpy(b"abc", b"abd") == 1
+
+
+def test_numpy_matches_reference_on_random_strings():
+    import random
+
+    rnd = random.Random(7)
+    alphabet = "ABCDEFab01+/"
+    for _ in range(100):
+        a = "".join(rnd.choices(alphabet, k=rnd.randint(0, 30)))
+        b = "".join(rnd.choices(alphabet, k=rnd.randint(0, 30)))
+        assert levenshtein_distance_numpy(a, b) == levenshtein_distance(a, b)
+
+
+def test_upper_bound_is_length_of_longer_string():
+    assert levenshtein_distance("aaaa", "bbbbbbbb") <= 8
+    assert levenshtein_distance("aaaa", "bbbbbbbb") >= 4

@@ -1,0 +1,65 @@
+"""Tests for the SSDeep score scaling."""
+
+import numpy as np
+import pytest
+
+from repro.distance.scoring import (
+    SPAMSUM_LENGTH,
+    scale_edit_distance,
+    ssdeep_score_from_distance,
+)
+
+
+def test_zero_distance_on_long_digests_is_100():
+    score = ssdeep_score_from_distance(0, 40, 40, block_size=3072)
+    assert score == 100
+
+
+def test_identical_short_digests_capped_by_block_size():
+    # At the minimum block size, two very short signatures cannot assert
+    # strong similarity even with distance 0.
+    score = ssdeep_score_from_distance(0, 4, 4, block_size=3)
+    assert score <= 4  # block_size / 3 * min(len) = 4
+
+
+def test_larger_distance_gives_lower_score():
+    scores = [int(ssdeep_score_from_distance(d, 50, 50, block_size=1536))
+              for d in (0, 10, 30, 60, 90)]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_score_range_is_0_to_100():
+    rng = np.random.default_rng(0)
+    distances = rng.integers(0, 400, size=200)
+    lengths = rng.integers(1, SPAMSUM_LENGTH + 1, size=200)
+    scores = ssdeep_score_from_distance(distances, lengths, lengths,
+                                        block_size=6144)
+    assert scores.min() >= 0
+    assert scores.max() <= 100
+
+
+def test_vectorised_matches_scalar():
+    distances = np.array([0, 5, 20, 64])
+    lengths1 = np.array([30, 40, 50, 64])
+    lengths2 = np.array([32, 38, 52, 60])
+    blocks = np.array([192, 192, 384, 768])
+    vector = ssdeep_score_from_distance(distances, lengths1, lengths2, blocks)
+    for i in range(len(distances)):
+        scalar = ssdeep_score_from_distance(int(distances[i]), int(lengths1[i]),
+                                            int(lengths2[i]), int(blocks[i]))
+        assert vector[i] == scalar
+
+
+def test_scale_edit_distance_monotone_and_bounded():
+    low = scale_edit_distance(0, 30, 30)
+    high = scale_edit_distance(200, 30, 30)
+    assert float(low) == 100.0
+    assert float(high) == 0.0
+    mid = scale_edit_distance(30, 30, 30)
+    assert 0.0 < float(mid) < 100.0
+
+
+def test_zero_length_inputs_do_not_divide_by_zero():
+    assert float(scale_edit_distance(0, 0, 0)) == 100.0
+    score = ssdeep_score_from_distance(0, 0, 0, block_size=3)
+    assert 0 <= int(score) <= 100

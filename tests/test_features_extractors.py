@@ -1,0 +1,108 @@
+"""Tests for per-sample feature extraction."""
+
+import pytest
+
+from repro.binfmt.strip import strip_symbols
+from repro.exceptions import FeatureExtractionError
+from repro.features.extractors import FEATURE_TYPES, FeatureExtractor
+from repro.hashing.compare import compare_digests
+from repro.hashing.crypto import crypto_digest
+from repro.hashing.ssdeep import SsdeepDigest
+
+
+def test_feature_types_constant():
+    assert FEATURE_TYPES == ("ssdeep-file", "ssdeep-strings", "ssdeep-symbols")
+
+
+def test_extract_produces_all_digests(sample_elf):
+    features = FeatureExtractor().extract(sample_elf, sample_id="demo",
+                                          class_name="Demo", version="1.2",
+                                          executable="demo")
+    assert set(features.digests) == set(FEATURE_TYPES)
+    for digest in features.digests.values():
+        SsdeepDigest.parse(digest)  # must be well-formed
+    assert features.sha256 == crypto_digest(sample_elf)
+    assert features.file_size == len(sample_elf)
+    assert features.n_symbols > 20
+    assert features.n_strings > 0
+    assert not features.stripped
+
+
+def test_subset_of_feature_types(sample_elf):
+    extractor = FeatureExtractor(["ssdeep-symbols"])
+    features = extractor.extract(sample_elf)
+    assert list(features.digests) == ["ssdeep-symbols"]
+
+
+def test_unknown_feature_type_rejected():
+    with pytest.raises(FeatureExtractionError):
+        FeatureExtractor(["ssdeep-imports"])
+    with pytest.raises(FeatureExtractionError):
+        FeatureExtractor([])
+
+
+def test_empty_input_rejected():
+    with pytest.raises(FeatureExtractionError):
+        FeatureExtractor().extract(b"", sample_id="x")
+
+
+def test_stripped_binary_flagged_and_symbols_empty(sample_elf):
+    stripped = strip_symbols(sample_elf)
+    features = FeatureExtractor().extract(stripped, sample_id="stripped")
+    assert features.stripped
+    assert features.n_symbols == 0
+    digest = SsdeepDigest.parse(features.digest("ssdeep-symbols"))
+    assert digest.is_empty
+
+
+def test_symbols_digest_is_robust_to_code_changes(sample_elf):
+    """Changing only .text leaves the symbols digest identical and keeps
+    the file digest similar — the core premise of the paper."""
+
+    from repro.binfmt.reader import ElfReader
+    import random
+
+    extractor = FeatureExtractor()
+    original = extractor.extract(sample_elf, sample_id="a")
+
+    # Rebuild the same binary with different code bytes.
+    reader = ElfReader(sample_elf)
+    from repro.binfmt.structs import SymbolSpec
+    from repro.binfmt.writer import build_executable
+
+    symbols = [SymbolSpec(s.name) for s in reader.symbols if s.is_global]
+    rebuilt = build_executable(
+        code=random.Random(123).randbytes(4096),
+        strings=["Demo application v1.2", "usage: demo [options]",
+                 "error: cannot open file '%s'"],
+        symbols=symbols,
+        comment="GCC: (GNU) 11.2.0",
+    )
+    modified = extractor.extract(rebuilt, sample_id="b")
+    symbol_similarity = compare_digests(original.digest("ssdeep-symbols"),
+                                        modified.digest("ssdeep-symbols"))
+    file_similarity = compare_digests(original.digest("ssdeep-file"),
+                                      modified.digest("ssdeep-file"))
+    assert symbol_similarity >= 90
+    assert symbol_similarity >= file_similarity
+
+
+def test_extract_file_matches_extract_bytes(tmp_path, sample_elf):
+    path = tmp_path / "binary"
+    path.write_bytes(sample_elf)
+    from_file = FeatureExtractor().extract_file(str(path))
+    from_bytes = FeatureExtractor().extract(sample_elf)
+    assert from_file.digests == from_bytes.digests
+
+
+def test_extract_missing_file_raises(tmp_path):
+    with pytest.raises(FeatureExtractionError):
+        FeatureExtractor().extract_file(str(tmp_path / "nope"))
+
+
+def test_non_elf_input_counts_as_stripped():
+    features = FeatureExtractor().extract(b"#!/bin/sh\necho hello world\n" * 20,
+                                          sample_id="script")
+    assert features.stripped
+    assert features.digest("ssdeep-file")
+    assert features.digest("ssdeep-strings")

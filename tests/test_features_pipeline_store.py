@@ -1,0 +1,108 @@
+"""Tests for batch feature extraction and the on-disk feature store."""
+
+import pytest
+
+from repro.exceptions import FeatureExtractionError
+from repro.features.extractors import FEATURE_TYPES
+from repro.features.pipeline import FeatureExtractionPipeline
+from repro.features.records import SampleFeatures, features_from_json, features_to_json
+from repro.features.store import FeatureStore
+
+
+def test_extract_generated_covers_all_samples(tiny_samples, tiny_features):
+    assert len(tiny_features) == len(tiny_samples)
+    assert all(set(f.digests) == set(FEATURE_TYPES) for f in tiny_features)
+    # Labels propagate from the corpus.
+    assert {f.class_name for f in tiny_features} == {s.class_name for s in tiny_samples}
+
+
+def test_extract_dataset_from_disk(disk_tree):
+    _, dataset = disk_tree
+    features = FeatureExtractionPipeline().extract_dataset(dataset)
+    assert len(features) == len(dataset)
+    by_id = {f.sample_id: f for f in features}
+    for record in dataset:
+        assert record.sample_id in by_id
+        assert by_id[record.sample_id].class_name == record.class_name
+
+
+def test_in_memory_and_on_disk_extraction_agree(disk_tree, tiny_samples):
+    _, dataset = disk_tree
+    disk_features = {f.sample_id: f for f in
+                     FeatureExtractionPipeline().extract_dataset(dataset)}
+    memory_features = {f.sample_id: f for f in
+                       FeatureExtractionPipeline().extract_generated(tiny_samples)}
+    shared = set(disk_features) & set(memory_features)
+    assert shared
+    for sample_id in shared:
+        assert disk_features[sample_id].digests == memory_features[sample_id].digests
+
+
+def test_parallel_extraction_matches_serial(tiny_samples):
+    serial = FeatureExtractionPipeline(n_jobs=1).extract_generated(tiny_samples)
+    parallel = FeatureExtractionPipeline(n_jobs=2).extract_generated(tiny_samples)
+    assert [f.sample_id for f in serial] == [f.sample_id for f in parallel]
+    assert all(a.digests == b.digests for a, b in zip(serial, parallel))
+
+
+def test_extract_paths_without_labels(disk_tree):
+    root, dataset = disk_tree
+    paths = dataset.paths[:4]
+    features = FeatureExtractionPipeline().extract_paths(paths)
+    assert len(features) == 4
+    assert all(f.class_name == "" for f in features)
+
+
+def test_empty_input_rejected():
+    with pytest.raises(FeatureExtractionError):
+        FeatureExtractionPipeline().extract_generated([])
+
+
+def test_feature_json_roundtrip(tiny_features):
+    text = features_to_json(tiny_features[:10])
+    loaded = features_from_json(text)
+    assert len(loaded) == 10
+    assert loaded[0] == tiny_features[0]
+
+
+def test_feature_json_rejects_garbage():
+    with pytest.raises(FeatureExtractionError):
+        features_from_json("{not json")
+    with pytest.raises(FeatureExtractionError):
+        features_from_json('{"samples": [{"sample_id": "x"}]}')
+
+
+def test_feature_store_roundtrip(tmp_path, tiny_features):
+    store = FeatureStore(tmp_path / "cache")
+    key = store.key_for([(f.sample_id, f.file_size) for f in tiny_features],
+                        FEATURE_TYPES)
+    assert store.load(key) is None
+    store.save(key, tiny_features)
+    loaded = store.load(key)
+    assert loaded is not None
+    assert len(loaded) == len(tiny_features)
+    assert loaded[3].digests == tiny_features[3].digests
+
+
+def test_feature_store_key_changes_with_content(tmp_path, tiny_features):
+    store = FeatureStore(tmp_path)
+    descriptors = [(f.sample_id, f.file_size) for f in tiny_features]
+    key_a = store.key_for(descriptors, FEATURE_TYPES)
+    key_b = store.key_for(descriptors, FEATURE_TYPES[:1])
+    key_c = store.key_for(descriptors[:-1], FEATURE_TYPES)
+    assert len({key_a, key_b, key_c}) == 3
+
+
+def test_feature_store_ignores_corrupt_files(tmp_path, tiny_features):
+    store = FeatureStore(tmp_path)
+    key = "deadbeef"
+    store.path_for(key).write_text("corrupted{")
+    assert store.load(key) is None
+
+
+def test_feature_store_clear(tmp_path, tiny_features):
+    store = FeatureStore(tmp_path)
+    store.save("k1", tiny_features[:2])
+    store.save("k2", tiny_features[:2])
+    assert store.clear() == 2
+    assert store.load("k1") is None

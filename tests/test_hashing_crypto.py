@@ -1,0 +1,42 @@
+"""Tests for the cryptographic-digest helpers."""
+
+import hashlib
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.hashing.crypto import SUPPORTED_ALGORITHMS, crypto_digest, crypto_digest_file
+
+
+def test_sha256_matches_hashlib():
+    data = b"fuzzy hashing for HPC"
+    assert crypto_digest(data) == hashlib.sha256(data).hexdigest()
+
+
+def test_all_supported_algorithms_work():
+    for algorithm in SUPPORTED_ALGORITHMS:
+        digest = crypto_digest(b"payload", algorithm)
+        assert digest == hashlib.new(algorithm, b"payload").hexdigest()
+
+
+def test_string_input_is_utf8():
+    assert crypto_digest("text") == crypto_digest(b"text")
+
+
+def test_unknown_algorithm_rejected():
+    with pytest.raises(ValidationError):
+        crypto_digest(b"x", "crc32")
+
+
+def test_file_digest_matches_bytes_digest(tmp_path):
+    data = b"A" * 3_000_000  # spans multiple read chunks
+    path = tmp_path / "big.bin"
+    path.write_bytes(data)
+    assert crypto_digest_file(path, chunk_size=65536) == crypto_digest(data)
+
+
+def test_exact_match_property():
+    # The motivation for fuzzy hashing: one changed byte breaks equality.
+    a = crypto_digest(b"identical content")
+    b = crypto_digest(b"identical content!")
+    assert a != b

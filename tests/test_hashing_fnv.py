@@ -1,0 +1,62 @@
+"""Tests for the FNV piecewise chunk hash."""
+
+import random
+
+import pytest
+
+from repro.hashing.fnv import FNV_INIT, FNV_PRIME, fnv_hash, fnv_update, piecewise_low6
+
+
+def test_constants_match_spamsum():
+    assert FNV_INIT == 0x28021967
+    assert FNV_PRIME == 0x01000193
+
+
+def test_fnv_update_is_32_bit():
+    value = fnv_update(0xFFFFFFFF, 0xFF)
+    assert 0 <= value <= 0xFFFFFFFF
+
+
+def test_fnv_hash_known_sequence():
+    # Manually folded reference for a short input.
+    h = FNV_INIT
+    for byte in b"abc":
+        h = ((h * FNV_PRIME) & 0xFFFFFFFF) ^ byte
+    assert fnv_hash(b"abc") == h
+
+
+def test_piecewise_low6_matches_full_fnv_mod64():
+    data = random.Random(0).randbytes(512)
+    boundaries = [63, 130, 200, 400]
+    chunk_states, tail_state = piecewise_low6(data, boundaries)
+    # Reference: full 32-bit FNV per chunk, reduced mod 64.
+    start = 0
+    expected = []
+    for boundary in boundaries:
+        expected.append(fnv_hash(data[start:boundary + 1]) % 64)
+        start = boundary + 1
+    expected_tail = fnv_hash(data[start:]) % 64
+    assert chunk_states == expected
+    assert tail_state == expected_tail
+
+
+def test_piecewise_low6_without_boundaries():
+    data = b"hello world, this is one chunk"
+    chunk_states, tail_state = piecewise_low6(data, [])
+    assert chunk_states == []
+    assert tail_state == fnv_hash(data) % 64
+
+
+def test_piecewise_low6_boundary_at_last_byte():
+    data = b"0123456789"
+    chunk_states, tail_state = piecewise_low6(data, [len(data) - 1])
+    assert chunk_states == [fnv_hash(data) % 64]
+    # Nothing after the last boundary: tail is the initial state.
+    assert tail_state == FNV_INIT & 0x3F
+
+
+def test_piecewise_states_are_six_bit():
+    data = random.Random(2).randbytes(1000)
+    states, tail = piecewise_low6(data, [100, 400, 800])
+    assert all(0 <= s < 64 for s in states)
+    assert 0 <= tail < 64

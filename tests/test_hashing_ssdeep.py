@@ -1,0 +1,119 @@
+"""Tests for the CTPH (SSDeep) digest computation."""
+
+import random
+
+import pytest
+
+from repro.exceptions import DigestFormatError, HashingError
+from repro.hashing.b64 import B64_ALPHABET, is_digest_alphabet
+from repro.hashing.ssdeep import (
+    MIN_BLOCKSIZE,
+    SPAMSUM_LENGTH,
+    FuzzyHasher,
+    SsdeepDigest,
+    fuzzy_hash,
+    fuzzy_hash_file,
+)
+
+
+def test_digest_has_three_fields_and_valid_alphabet():
+    digest = fuzzy_hash(random.Random(0).randbytes(4096))
+    parsed = SsdeepDigest.parse(digest)
+    assert parsed.block_size >= MIN_BLOCKSIZE
+    assert 0 < len(parsed.chunk) <= SPAMSUM_LENGTH
+    assert 0 < len(parsed.double_chunk) <= SPAMSUM_LENGTH // 2
+    assert is_digest_alphabet(parsed.chunk)
+    assert is_digest_alphabet(parsed.double_chunk)
+
+
+def test_block_size_is_min_blocksize_times_power_of_two():
+    for size in (10, 1_000, 20_000, 200_000):
+        digest = SsdeepDigest.parse(fuzzy_hash(random.Random(size).randbytes(size)))
+        ratio = digest.block_size / MIN_BLOCKSIZE
+        assert ratio == int(ratio)
+        assert int(ratio) & (int(ratio) - 1) == 0  # power of two
+
+
+def test_deterministic():
+    data = random.Random(1).randbytes(10_000)
+    assert fuzzy_hash(data) == fuzzy_hash(data)
+
+
+def test_different_inputs_give_different_digests():
+    a = fuzzy_hash(random.Random(2).randbytes(8192))
+    b = fuzzy_hash(random.Random(3).randbytes(8192))
+    assert a != b
+
+
+def test_empty_input():
+    digest = FuzzyHasher().hash(b"")
+    assert digest.is_empty
+    assert str(digest) == f"{MIN_BLOCKSIZE}::"
+
+
+def test_text_input_is_utf8_encoded():
+    assert fuzzy_hash("some text input") == fuzzy_hash(b"some text input")
+
+
+def test_small_input_uses_min_blocksize():
+    digest = SsdeepDigest.parse(fuzzy_hash(b"tiny"))
+    assert digest.block_size == MIN_BLOCKSIZE
+
+
+def test_block_size_grows_with_input_size():
+    small = SsdeepDigest.parse(fuzzy_hash(random.Random(4).randbytes(1_000)))
+    large = SsdeepDigest.parse(fuzzy_hash(random.Random(5).randbytes(100_000)))
+    assert large.block_size > small.block_size
+
+
+def test_chunk_signature_is_about_full_length_for_random_data():
+    # The retry loop halves the block size until the signature has at
+    # least SPAMSUM_LENGTH/2 characters (for inputs large enough).
+    digest = SsdeepDigest.parse(fuzzy_hash(random.Random(6).randbytes(50_000)))
+    assert len(digest.chunk) >= SPAMSUM_LENGTH // 2
+
+
+def test_hash_file(tmp_path):
+    data = random.Random(7).randbytes(5000)
+    path = tmp_path / "binary.bin"
+    path.write_bytes(data)
+    assert fuzzy_hash_file(path) == fuzzy_hash(data)
+
+
+def test_hash_many_preserves_order():
+    hasher = FuzzyHasher()
+    items = [b"first input", b"second input", b"third input"]
+    digests = hasher.hash_many(items)
+    assert [str(d) for d in digests] == [str(hasher.hash(i)) for i in items]
+
+
+def test_parse_rejects_malformed_digests():
+    with pytest.raises(DigestFormatError):
+        SsdeepDigest.parse("notadigest")
+    with pytest.raises(DigestFormatError):
+        SsdeepDigest.parse("abc:def")          # only two fields
+    with pytest.raises(DigestFormatError):
+        SsdeepDigest.parse("x:ABC:DEF")        # non-integer block size
+    with pytest.raises(DigestFormatError):
+        SsdeepDigest.parse("1:ABC:DEF")        # block size below minimum
+    with pytest.raises(DigestFormatError):
+        SsdeepDigest.parse("3:A!C:DEF")        # invalid alphabet
+    with pytest.raises(DigestFormatError):
+        SsdeepDigest.parse(1234)               # not a string
+
+
+def test_roundtrip_parse_format():
+    digest = fuzzy_hash(random.Random(8).randbytes(3000))
+    assert str(SsdeepDigest.parse(digest)) == digest
+
+
+def test_invalid_hasher_configuration():
+    with pytest.raises(HashingError):
+        FuzzyHasher(min_blocksize=0)
+    with pytest.raises(HashingError):
+        FuzzyHasher(spamsum_length=7)  # must be even
+
+
+def test_alphabet_is_standard_base64():
+    assert len(B64_ALPHABET) == 64
+    assert len(set(B64_ALPHABET)) == 64

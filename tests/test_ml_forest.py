@@ -1,0 +1,121 @@
+"""Tests for the Random Forest classifier."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.metrics import accuracy_score
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    rng = np.random.default_rng(0)
+    centers = np.array([[0, 0, 0], [4, 0, 0], [0, 4, 0], [2, 2, 4]])
+    y = rng.integers(0, 4, size=400)
+    X = centers[y] + rng.normal(0, 0.8, size=(400, 3))
+    return X, y
+
+
+def test_high_accuracy_on_blobs(blobs):
+    X, y = blobs
+    forest = RandomForestClassifier(n_estimators=40, random_state=0).fit(X, y)
+    assert accuracy_score(y, forest.predict(X)) > 0.95
+
+
+def test_predict_proba_shape_and_normalisation(blobs):
+    X, y = blobs
+    forest = RandomForestClassifier(n_estimators=25, random_state=0).fit(X, y)
+    proba = forest.predict_proba(X[:17])
+    assert proba.shape == (17, 4)
+    assert np.allclose(proba.sum(axis=1), 1.0)
+    assert proba.min() >= 0.0
+
+
+def test_deterministic_given_random_state(blobs):
+    X, y = blobs
+    a = RandomForestClassifier(n_estimators=15, random_state=42).fit(X, y)
+    b = RandomForestClassifier(n_estimators=15, random_state=42).fit(X, y)
+    assert np.array_equal(a.predict(X), b.predict(X))
+    assert np.allclose(a.feature_importances_, b.feature_importances_)
+
+
+def test_different_seeds_differ_somewhere(blobs):
+    X, y = blobs
+    a = RandomForestClassifier(n_estimators=5, random_state=1).fit(X, y)
+    b = RandomForestClassifier(n_estimators=5, random_state=2).fit(X, y)
+    assert not np.allclose(a.feature_importances_, b.feature_importances_)
+
+
+def test_feature_importances_normalised(blobs):
+    X, y = blobs
+    forest = RandomForestClassifier(n_estimators=20, random_state=0).fit(X, y)
+    assert forest.feature_importances_.shape == (X.shape[1],)
+    assert forest.feature_importances_.sum() == pytest.approx(1.0)
+
+
+def test_string_labels_and_classes_attribute():
+    rng = np.random.default_rng(1)
+    X = np.vstack([rng.normal(0, 0.3, (30, 2)), rng.normal(3, 0.3, (30, 2))])
+    y = np.array(["benign"] * 30 + ["malware"] * 30)
+    forest = RandomForestClassifier(n_estimators=10, random_state=0).fit(X, y)
+    assert set(forest.classes_) == {"benign", "malware"}
+    assert set(forest.predict(X)) <= {"benign", "malware"}
+
+
+def test_class_weight_balanced_improves_minority_recall():
+    rng = np.random.default_rng(5)
+    X = np.vstack([rng.normal(0, 1.2, size=(300, 3)),
+                   rng.normal(1.2, 1.2, size=(24, 3))])
+    y = np.array([0] * 300 + [1] * 24)
+    plain = RandomForestClassifier(n_estimators=30, max_depth=4,
+                                   random_state=0).fit(X, y)
+    balanced = RandomForestClassifier(n_estimators=30, max_depth=4,
+                                      class_weight="balanced",
+                                      random_state=0).fit(X, y)
+    recall_plain = (plain.predict(X[y == 1]) == 1).mean()
+    recall_balanced = (balanced.predict(X[y == 1]) == 1).mean()
+    assert recall_balanced >= recall_plain
+
+
+def test_parallel_fit_matches_serial(blobs):
+    X, y = blobs
+    serial = RandomForestClassifier(n_estimators=12, random_state=3, n_jobs=1).fit(X, y)
+    parallel = RandomForestClassifier(n_estimators=12, random_state=3, n_jobs=2).fit(X, y)
+    assert np.array_equal(serial.predict(X), parallel.predict(X))
+
+
+def test_bootstrap_false_uses_full_data(blobs):
+    X, y = blobs
+    forest = RandomForestClassifier(n_estimators=5, bootstrap=False,
+                                    random_state=0).fit(X, y)
+    assert accuracy_score(y, forest.predict(X)) > 0.95
+
+
+def test_not_fitted_raises(blobs):
+    X, _ = blobs
+    with pytest.raises(NotFittedError):
+        RandomForestClassifier().predict(X)
+
+
+def test_invalid_n_estimators(blobs):
+    X, y = blobs
+    with pytest.raises(ValidationError):
+        RandomForestClassifier(n_estimators=0).fit(X, y)
+
+
+def test_feature_mismatch_on_predict(blobs):
+    X, y = blobs
+    forest = RandomForestClassifier(n_estimators=5, random_state=0).fit(X, y)
+    with pytest.raises(ValidationError):
+        forest.predict(np.zeros((3, X.shape[1] + 2)))
+
+
+def test_get_set_params_roundtrip():
+    forest = RandomForestClassifier(n_estimators=7, max_depth=3)
+    params = forest.get_params()
+    assert params["n_estimators"] == 7
+    forest.set_params(n_estimators=11)
+    assert forest.n_estimators == 11
+    with pytest.raises(ValidationError):
+        forest.set_params(not_a_parameter=1)

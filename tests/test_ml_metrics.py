@@ -1,0 +1,147 @@
+"""Tests for the classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ml.metrics import (
+    accuracy_score,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    precision_recall_fscore_support,
+    precision_score,
+    recall_score,
+)
+
+
+@pytest.fixture()
+def simple_case():
+    y_true = ["a", "a", "a", "b", "b", "c"]
+    y_pred = ["a", "a", "b", "b", "b", "a"]
+    return y_true, y_pred
+
+
+def test_accuracy(simple_case):
+    y_true, y_pred = simple_case
+    assert accuracy_score(y_true, y_pred) == pytest.approx(4 / 6)
+
+
+def test_confusion_matrix(simple_case):
+    y_true, y_pred = simple_case
+    matrix = confusion_matrix(y_true, y_pred)
+    # labels sorted: a, b, c
+    assert matrix.tolist() == [[2, 1, 0], [0, 2, 0], [1, 0, 0]]
+    assert matrix.sum() == len(y_true)
+
+
+def test_per_class_precision_recall(simple_case):
+    y_true, y_pred = simple_case
+    precision, recall, f1, support = precision_recall_fscore_support(
+        y_true, y_pred, average=None)
+    # class 'a': tp=2 fp=1 fn=1 -> p=2/3, r=2/3
+    assert precision[0] == pytest.approx(2 / 3)
+    assert recall[0] == pytest.approx(2 / 3)
+    # class 'b': tp=2 fp=1 fn=0 -> p=2/3, r=1
+    assert precision[1] == pytest.approx(2 / 3)
+    assert recall[1] == pytest.approx(1.0)
+    # class 'c': never predicted -> p=0, r=0 (zero_division=0)
+    assert precision[2] == 0.0 and recall[2] == 0.0
+    assert support.tolist() == [3, 2, 1]
+
+
+def test_micro_average_equals_accuracy(simple_case):
+    y_true, y_pred = simple_case
+    micro_p, micro_r, micro_f1, _ = precision_recall_fscore_support(
+        y_true, y_pred, average="micro")
+    assert micro_p == micro_r == micro_f1 == pytest.approx(accuracy_score(y_true, y_pred))
+
+
+def test_macro_is_unweighted_mean(simple_case):
+    y_true, y_pred = simple_case
+    precision, recall, f1, _ = precision_recall_fscore_support(y_true, y_pred,
+                                                               average=None)
+    macro_p, macro_r, macro_f1, _ = precision_recall_fscore_support(
+        y_true, y_pred, average="macro")
+    assert macro_p == pytest.approx(precision.mean())
+    assert macro_f1 == pytest.approx(f1.mean())
+
+
+def test_weighted_average_uses_support(simple_case):
+    y_true, y_pred = simple_case
+    precision, _, f1, support = precision_recall_fscore_support(y_true, y_pred,
+                                                                average=None)
+    weighted_p, _, weighted_f1, _ = precision_recall_fscore_support(
+        y_true, y_pred, average="weighted")
+    weights = support / support.sum()
+    assert weighted_p == pytest.approx(float(np.sum(precision * weights)))
+    assert weighted_f1 == pytest.approx(float(np.sum(f1 * weights)))
+
+
+def test_perfect_predictions():
+    y = ["x", "y", "z", "x"]
+    assert f1_score(y, y, average="macro") == 1.0
+    assert precision_score(y, y, average="micro") == 1.0
+    assert recall_score(y, y, average="weighted") == 1.0
+
+
+def test_f1_is_harmonic_mean():
+    # Single class, p = 0.5, r = 1.0 -> f1 = 2*0.5*1/(1.5) = 2/3
+    y_true = ["a", "b"]
+    y_pred = ["a", "a"]
+    precision, recall, f1, _ = precision_recall_fscore_support(
+        y_true, y_pred, labels=["a"], average=None)
+    assert f1[0] == pytest.approx(2 * 0.5 * 1.0 / 1.5)
+
+
+def test_integer_labels_including_unknown_minus_one():
+    y_true = [-1, -1, 5, 5, 7]
+    y_pred = [-1, 5, 5, 5, -1]
+    report = classification_report(y_true, y_pred)
+    labels = [row.label for row in report.per_class]
+    assert -1 in labels
+    assert report.micro[3] == 5
+
+
+def test_classification_report_structure(simple_case):
+    y_true, y_pred = simple_case
+    report = classification_report(y_true, y_pred)
+    assert len(report.per_class) == 3
+    assert report.micro_f1 == pytest.approx(accuracy_score(y_true, y_pred))
+    text = report.as_text()
+    assert "macro avg" in text and "weighted avg" in text
+    as_dict = report.as_dict()
+    assert as_dict["a"]["support"] == 3
+    assert "micro avg" in as_dict
+
+
+def test_classification_report_output_modes(simple_case):
+    y_true, y_pred = simple_case
+    assert isinstance(classification_report(y_true, y_pred, output="text"), str)
+    assert isinstance(classification_report(y_true, y_pred, output="dict"), dict)
+    with pytest.raises(ValidationError):
+        classification_report(y_true, y_pred, output="csv")
+
+
+def test_invalid_average_rejected(simple_case):
+    y_true, y_pred = simple_case
+    with pytest.raises(ValidationError):
+        precision_recall_fscore_support(y_true, y_pred, average="samples")
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ValidationError):
+        accuracy_score([1, 2], [1])
+
+
+def test_empty_input_rejected():
+    with pytest.raises(ValidationError):
+        accuracy_score([], [])
+
+
+def test_explicit_labels_control_report_rows(simple_case):
+    y_true, y_pred = simple_case
+    report = classification_report(y_true, y_pred, labels=["a", "b", "c", "d"])
+    assert len(report.per_class) == 4
+    d_row = [row for row in report.per_class if row.label == "d"][0]
+    assert d_row.support == 0 and d_row.f1 == 0.0

@@ -1,0 +1,144 @@
+"""Tests for splits, cross-validation and grid search."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ml.model_selection import (
+    GridSearchCV,
+    KFold,
+    ParameterGrid,
+    StratifiedKFold,
+    cross_val_score,
+    train_test_split,
+)
+from repro.ml.tree import DecisionTreeClassifier
+
+
+@pytest.fixture()
+def data():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(120, 4))
+    y = np.array(([0] * 60) + ([1] * 40) + ([2] * 20))
+    X[y == 1] += 2.5
+    X[y == 2] -= 2.5
+    return X, y
+
+
+def test_train_test_split_sizes(data):
+    X, y = data
+    X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.25,
+                                                        random_state=0)
+    assert len(X_train) + len(X_test) == len(X)
+    assert len(X_test) == 30
+    assert len(y_train) == len(X_train)
+
+
+def test_train_test_split_stratified_preserves_ratios(data):
+    X, y = data
+    _, _, y_train, y_test = train_test_split(X, y, test_size=0.4, stratify=y,
+                                             random_state=1)
+    for label in (0, 1, 2):
+        total = (y == label).sum()
+        in_test = (y_test == label).sum()
+        assert in_test == pytest.approx(total * 0.4, abs=1)
+
+
+def test_train_test_split_no_overlap(data):
+    X, y = data
+    indices = np.arange(len(y))
+    train_idx, test_idx = train_test_split(indices, test_size=0.3, random_state=2)
+    assert set(train_idx) & set(test_idx) == set()
+    assert set(train_idx) | set(test_idx) == set(indices)
+
+
+def test_train_test_split_validation(data):
+    X, y = data
+    with pytest.raises(ValidationError):
+        train_test_split(X, y, test_size=1.5)
+    with pytest.raises(ValidationError):
+        train_test_split(X, y[:10])
+    with pytest.raises(ValidationError):
+        train_test_split()
+
+
+def test_train_size_parameter(data):
+    X, y = data
+    X_train, X_test, *_ = train_test_split(X, y, train_size=0.6, random_state=0)
+    assert len(X_train) == pytest.approx(0.6 * len(X), abs=1)
+
+
+def test_stratified_kfold_covers_all_samples(data):
+    X, y = data
+    splitter = StratifiedKFold(n_splits=4, shuffle=True, random_state=0)
+    seen = []
+    for train_idx, test_idx in splitter.split(X, y):
+        assert set(train_idx) & set(test_idx) == set()
+        # every fold contains every class
+        assert set(y[test_idx]) == {0, 1, 2}
+        seen.extend(test_idx.tolist())
+    assert sorted(seen) == list(range(len(y)))
+
+
+def test_kfold_basic(data):
+    X, y = data
+    folds = list(KFold(n_splits=5).split(X))
+    assert len(folds) == 5
+    sizes = [len(test) for _, test in folds]
+    assert sum(sizes) == len(X)
+
+
+def test_kfold_validation():
+    with pytest.raises(ValidationError):
+        KFold(n_splits=1)
+    with pytest.raises(ValidationError):
+        list(KFold(n_splits=10).split(np.zeros((3, 1))))
+
+
+def test_parameter_grid_product():
+    grid = ParameterGrid({"a": [1, 2], "b": ["x", "y", "z"]})
+    combos = list(grid)
+    assert len(combos) == 6
+    assert len(grid) == 6
+    assert {"a": 1, "b": "x"} in combos
+
+
+def test_parameter_grid_list_of_dicts():
+    grid = ParameterGrid([{"a": [1]}, {"b": [2, 3]}])
+    assert len(grid) == 3
+
+
+def test_parameter_grid_rejects_empty_values():
+    with pytest.raises(ValidationError):
+        ParameterGrid({"a": []})
+
+
+def test_grid_search_finds_reasonable_params(data):
+    X, y = data
+    search = GridSearchCV(DecisionTreeClassifier(random_state=0),
+                          {"max_depth": [1, None]}, cv=3, scoring="accuracy")
+    search.fit(X, y)
+    assert search.best_params_["max_depth"] is None or search.best_score_ > 0.8
+    assert hasattr(search, "best_estimator_")
+    assert len(search.cv_results_["params"]) == 2
+    predictions = search.predict(X)
+    assert predictions.shape == (len(X),)
+
+
+def test_grid_search_scorer_names(data):
+    X, y = data
+    for scoring in ("accuracy", "f1_macro", "f1_micro", "f1_weighted", None):
+        search = GridSearchCV(DecisionTreeClassifier(random_state=0),
+                              {"max_depth": [2]}, cv=2, scoring=scoring)
+        search.fit(X, y)
+        assert 0.0 <= search.best_score_ <= 1.0
+    with pytest.raises(ValidationError):
+        GridSearchCV(DecisionTreeClassifier(), {"max_depth": [2]},
+                     scoring="nonsense").fit(X, y)
+
+
+def test_cross_val_score_returns_per_fold_scores(data):
+    X, y = data
+    scores = cross_val_score(DecisionTreeClassifier(random_state=0), X, y, cv=4)
+    assert scores.shape == (4,)
+    assert np.all((scores >= 0) & (scores <= 1))

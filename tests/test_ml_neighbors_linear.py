@@ -1,0 +1,112 @@
+"""Tests for the KNN and linear-SVM comparator models."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.ml.linear import LinearSVMClassifier
+from repro.ml.metrics import accuracy_score
+from repro.ml.neighbors import KNeighborsClassifier
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    rng = np.random.default_rng(7)
+    centers = np.array([[0, 0], [5, 0], [0, 5]])
+    y = rng.integers(0, 3, size=240)
+    X = centers[y] + rng.normal(0, 0.7, size=(240, 2))
+    return X, y
+
+
+# ------------------------------------------------------------------------ KNN
+def test_knn_accuracy(blobs):
+    X, y = blobs
+    knn = KNeighborsClassifier(n_neighbors=5).fit(X, y)
+    assert accuracy_score(y, knn.predict(X)) > 0.95
+
+
+def test_knn_one_neighbor_memorises_training_set(blobs):
+    X, y = blobs
+    knn = KNeighborsClassifier(n_neighbors=1).fit(X, y)
+    assert accuracy_score(y, knn.predict(X)) == 1.0
+
+
+def test_knn_proba_normalised(blobs):
+    X, y = blobs
+    knn = KNeighborsClassifier(n_neighbors=7, weights="distance").fit(X, y)
+    proba = knn.predict_proba(X[:13])
+    assert proba.shape == (13, 3)
+    assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+def test_knn_manhattan_metric(blobs):
+    X, y = blobs
+    knn = KNeighborsClassifier(n_neighbors=3, metric="manhattan").fit(X, y)
+    assert accuracy_score(y, knn.predict(X)) > 0.9
+
+
+def test_knn_kneighbors_returns_sorted_distances(blobs):
+    X, y = blobs
+    knn = KNeighborsClassifier(n_neighbors=4).fit(X, y)
+    distances, indices = knn.kneighbors(X[:5])
+    assert distances.shape == (5, 4)
+    assert np.all(np.diff(distances, axis=1) >= 0)
+    # The closest neighbour of a training point is itself (distance 0).
+    assert np.allclose(distances[:, 0], 0.0)
+
+
+def test_knn_block_size_does_not_change_results(blobs):
+    X, y = blobs
+    small = KNeighborsClassifier(n_neighbors=5, block_size=16).fit(X, y)
+    large = KNeighborsClassifier(n_neighbors=5, block_size=4096).fit(X, y)
+    assert np.array_equal(small.predict(X), large.predict(X))
+
+
+def test_knn_validation(blobs):
+    X, y = blobs
+    with pytest.raises(ValidationError):
+        KNeighborsClassifier(n_neighbors=1000).fit(X, y)
+    with pytest.raises(ValidationError):
+        KNeighborsClassifier(metric="cosine").fit(X, y)
+    with pytest.raises(ValidationError):
+        KNeighborsClassifier(weights="nope").fit(X, y)
+    with pytest.raises(NotFittedError):
+        KNeighborsClassifier().predict(X)
+
+
+# ------------------------------------------------------------------------ SVM
+def test_linear_svm_separable(blobs):
+    X, y = blobs
+    svm = LinearSVMClassifier(max_iter=30, random_state=0).fit(X, y)
+    assert accuracy_score(y, svm.predict(X)) > 0.9
+
+
+def test_linear_svm_decision_function_shape(blobs):
+    X, y = blobs
+    svm = LinearSVMClassifier(max_iter=10, random_state=0).fit(X, y)
+    scores = svm.decision_function(X[:9])
+    assert scores.shape == (9, 3)
+    proba = svm.predict_proba(X[:9])
+    assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+def test_linear_svm_balanced_class_weight():
+    rng = np.random.default_rng(1)
+    X = np.vstack([rng.normal(0, 1, (150, 2)), rng.normal(2.0, 1, (15, 2))])
+    y = np.array([0] * 150 + [1] * 15)
+    plain = LinearSVMClassifier(max_iter=20, random_state=0).fit(X, y)
+    balanced = LinearSVMClassifier(max_iter=20, class_weight="balanced",
+                                   random_state=0).fit(X, y)
+    recall_plain = (plain.predict(X[y == 1]) == 1).mean()
+    recall_balanced = (balanced.predict(X[y == 1]) == 1).mean()
+    assert recall_balanced >= recall_plain
+
+
+def test_linear_svm_validation(blobs):
+    X, y = blobs
+    with pytest.raises(ValidationError):
+        LinearSVMClassifier(C=-1).fit(X, y)
+    with pytest.raises(ValidationError):
+        LinearSVMClassifier(max_iter=0).fit(X, y)
+    with pytest.raises(NotFittedError):
+        LinearSVMClassifier().predict(X)

@@ -1,0 +1,153 @@
+"""Tests for the CART decision tree."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.ml.tree import DecisionTreeClassifier
+
+
+@pytest.fixture()
+def separable():
+    rng = np.random.default_rng(0)
+    X = np.vstack([rng.normal(0, 0.4, size=(60, 4)),
+                   rng.normal(3, 0.4, size=(60, 4))])
+    y = np.array([0] * 60 + [1] * 60)
+    return X, y
+
+
+def test_fits_separable_data_perfectly(separable):
+    X, y = separable
+    tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+    assert (tree.predict(X) == y).all()
+    assert tree.get_depth() <= 3
+
+
+def test_predict_proba_rows_sum_to_one(separable):
+    X, y = separable
+    tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+    proba = tree.predict_proba(X)
+    assert proba.shape == (len(X), 2)
+    assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+def test_string_labels_supported():
+    X = np.array([[0.0], [0.1], [5.0], [5.1]])
+    y = np.array(["cat", "cat", "dog", "dog"])
+    tree = DecisionTreeClassifier().fit(X, y)
+    assert list(tree.predict([[0.05], [5.05]])) == ["cat", "dog"]
+    assert set(tree.classes_) == {"cat", "dog"}
+
+
+def test_max_depth_limits_tree():
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(200, 5))
+    y = (X[:, 0] + X[:, 1] ** 2 + rng.normal(0, 0.3, 200) > 0.5).astype(int)
+    shallow = DecisionTreeClassifier(max_depth=2, random_state=0).fit(X, y)
+    deep = DecisionTreeClassifier(max_depth=None, random_state=0).fit(X, y)
+    assert shallow.get_depth() <= 2
+    assert deep.node_count >= shallow.node_count
+
+
+def test_min_samples_leaf_respected():
+    rng = np.random.default_rng(2)
+    X = rng.normal(size=(100, 3))
+    y = rng.integers(0, 2, 100)
+    tree = DecisionTreeClassifier(min_samples_leaf=10, random_state=0).fit(X, y)
+    leaves = tree.apply(X)
+    _, counts = np.unique(leaves, return_counts=True)
+    assert counts.min() >= 10
+
+
+def test_pure_node_stops_splitting():
+    X = np.array([[1.0], [2.0], [3.0]])
+    y = np.array([7, 7, 7])
+    tree = DecisionTreeClassifier().fit(X, y)
+    assert tree.node_count == 1
+    assert (tree.predict(X) == 7).all()
+
+
+def test_sample_weight_changes_majority():
+    X = np.array([[0.0], [0.0], [0.0], [0.0]])
+    y = np.array([0, 0, 0, 1])
+    unweighted = DecisionTreeClassifier().fit(X, y)
+    assert unweighted.predict([[0.0]])[0] == 0
+    weighted = DecisionTreeClassifier().fit(X, y, sample_weight=[1, 1, 1, 10])
+    assert weighted.predict([[0.0]])[0] == 1
+
+
+def test_class_weight_balanced_helps_minority():
+    rng = np.random.default_rng(3)
+    # Overlapping classes with 10:1 imbalance.
+    X = np.vstack([rng.normal(0, 1.0, size=(200, 2)),
+                   rng.normal(1.0, 1.0, size=(20, 2))])
+    y = np.array([0] * 200 + [1] * 20)
+    plain = DecisionTreeClassifier(max_depth=3, random_state=0).fit(X, y)
+    balanced = DecisionTreeClassifier(max_depth=3, class_weight="balanced",
+                                      random_state=0).fit(X, y)
+    minority_recall_plain = (plain.predict(X[y == 1]) == 1).mean()
+    minority_recall_balanced = (balanced.predict(X[y == 1]) == 1).mean()
+    assert minority_recall_balanced >= minority_recall_plain
+
+
+def test_feature_importances_identify_informative_feature():
+    rng = np.random.default_rng(4)
+    X = rng.normal(size=(300, 5))
+    y = (X[:, 2] > 0).astype(int)
+    tree = DecisionTreeClassifier(random_state=0).fit(X, y)
+    importances = tree.feature_importances_
+    assert importances.sum() == pytest.approx(1.0)
+    assert importances.argmax() == 2
+
+
+def test_entropy_criterion_works(separable):
+    X, y = separable
+    tree = DecisionTreeClassifier(criterion="entropy", random_state=0).fit(X, y)
+    assert (tree.predict(X) == y).all()
+
+
+def test_invalid_parameters_rejected(separable):
+    X, y = separable
+    with pytest.raises(ValidationError):
+        DecisionTreeClassifier(criterion="mse").fit(X, y)
+    with pytest.raises(ValidationError):
+        DecisionTreeClassifier(min_samples_split=1).fit(X, y)
+    with pytest.raises(ValidationError):
+        DecisionTreeClassifier(min_samples_leaf=0).fit(X, y)
+    with pytest.raises(ValidationError):
+        DecisionTreeClassifier(max_features=0).fit(X, y)
+    with pytest.raises(ValidationError):
+        DecisionTreeClassifier(max_features=1.5).fit(X, y)
+
+
+def test_predict_before_fit_raises():
+    with pytest.raises(NotFittedError):
+        DecisionTreeClassifier().predict([[1.0]])
+
+
+def test_feature_count_mismatch_rejected(separable):
+    X, y = separable
+    tree = DecisionTreeClassifier().fit(X, y)
+    with pytest.raises(ValidationError):
+        tree.predict(np.zeros((2, X.shape[1] + 1)))
+
+
+def test_nan_inputs_rejected():
+    X = np.array([[1.0], [np.nan]])
+    with pytest.raises(ValidationError):
+        DecisionTreeClassifier().fit(X, [0, 1])
+
+
+def test_constant_features_yield_single_leaf():
+    X = np.ones((20, 3))
+    y = np.array([0, 1] * 10)
+    tree = DecisionTreeClassifier().fit(X, y)
+    assert tree.node_count == 1  # nothing to split on
+
+
+def test_max_features_sqrt_and_int(separable):
+    X, y = separable
+    for max_features in ("sqrt", "log2", 2, 0.5):
+        tree = DecisionTreeClassifier(max_features=max_features, random_state=0)
+        tree.fit(X, y)
+        assert (tree.predict(X) == y).mean() > 0.9

@@ -1,0 +1,162 @@
+"""Property-based tests (hypothesis) for the core data structures.
+
+These pin down the invariants the rest of the pipeline silently relies
+on: metric properties of the edit distances, agreement between scalar
+and vectorised implementations, digest well-formedness, similarity
+score symmetry/boundedness, and ELF round-tripping.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.binfmt.reader import ElfReader
+from repro.binfmt.strings_extract import extract_strings
+from repro.binfmt.structs import SymbolSpec
+from repro.binfmt.writer import build_executable
+from repro.distance.batch import batch_edit_distances
+from repro.distance.damerau import damerau_levenshtein_distance, osa_distance, \
+    weighted_edit_distance
+from repro.distance.levenshtein import levenshtein_distance, levenshtein_distance_numpy
+from repro.hashing.b64 import B64_ALPHABET
+from repro.hashing.compare import compare_digests, normalize_repeats
+from repro.hashing.rolling import RollingHash, rolling_hash_values
+from repro.hashing.ssdeep import SsdeepDigest, fuzzy_hash
+from repro.ml.class_weight import compute_sample_weight
+from repro.ml.metrics import accuracy_score, f1_score, precision_recall_fscore_support
+
+# A compact alphabet keeps the edit-distance search space interesting.
+_short_text = st.text(alphabet="ABCab01+/", max_size=24)
+_blobs = st.binary(min_size=0, max_size=4096)
+
+_default_settings = settings(max_examples=60, deadline=None,
+                             suppress_health_check=[HealthCheck.too_slow])
+
+
+# ----------------------------------------------------------------- distances
+@_default_settings
+@given(_short_text, _short_text)
+def test_edit_distances_are_metrics(a, b):
+    for fn in (levenshtein_distance, osa_distance, damerau_levenshtein_distance):
+        d_ab = fn(a, b)
+        assert d_ab >= 0
+        assert (d_ab == 0) == (a == b)
+        assert d_ab == fn(b, a)                       # symmetry
+        assert d_ab <= max(len(a), len(b))            # upper bound
+        assert d_ab >= abs(len(a) - len(b))           # lower bound
+
+
+@_default_settings
+@given(_short_text, _short_text)
+def test_vectorised_distances_agree_with_reference(a, b):
+    assert levenshtein_distance_numpy(a, b) == levenshtein_distance(a, b)
+    assert batch_edit_distances([a], [b])[0] == osa_distance(a, b)
+    assert batch_edit_distances([a], [b], substitute_cost=3, transpose_cost=5)[0] == \
+        weighted_edit_distance(a, b)
+
+
+@_default_settings
+@given(_short_text, _short_text, _short_text)
+def test_levenshtein_triangle_inequality(a, b, c):
+    assert levenshtein_distance(a, c) <= \
+        levenshtein_distance(a, b) + levenshtein_distance(b, c)
+
+
+# ------------------------------------------------------------------- hashing
+@_default_settings
+@given(_blobs)
+def test_rolling_hash_vectorised_matches_scalar(data):
+    scalar = RollingHash()
+    expected = [scalar.update(byte) for byte in data]
+    assert [int(v) for v in rolling_hash_values(data)] == expected
+
+
+@_default_settings
+@given(_blobs)
+def test_fuzzy_hash_digest_is_well_formed(data):
+    digest = SsdeepDigest.parse(fuzzy_hash(data))
+    assert digest.block_size >= 3
+    assert len(digest.chunk) <= 64
+    assert len(digest.double_chunk) <= 32
+    assert all(ch in B64_ALPHABET for ch in digest.chunk + digest.double_chunk)
+
+
+@_default_settings
+@given(st.binary(min_size=1, max_size=4096))
+def test_fuzzy_hash_self_similarity_and_symmetry(data):
+    digest = fuzzy_hash(data)
+    if SsdeepDigest.parse(digest).is_empty:
+        # Degenerate inputs (e.g. all zero bytes) produce an empty
+        # signature; SSDeep defines comparisons with those as score 0.
+        assert compare_digests(digest, digest) == 0
+    else:
+        assert compare_digests(digest, digest) == 100
+    other = fuzzy_hash(data[::-1] + b"tail")
+    assert compare_digests(digest, other) == compare_digests(other, digest)
+    assert 0 <= compare_digests(digest, other) <= 100
+
+
+@_default_settings
+@given(st.text(alphabet="AB/+x", max_size=40), st.integers(min_value=1, max_value=5))
+def test_normalize_repeats_never_lengthens(text, max_run):
+    normalized = normalize_repeats(text, max_run=max_run)
+    assert len(normalized) <= len(text)
+    # No run longer than max_run survives.
+    run = 1
+    for previous, current in zip(normalized, normalized[1:]):
+        run = run + 1 if previous == current else 1
+        assert run <= max_run
+
+
+# --------------------------------------------------------------------- binfmt
+@_default_settings
+@given(st.lists(st.from_regex(r"[a-z_][a-z0-9_]{0,18}", fullmatch=True),
+                min_size=1, max_size=24, unique=True),
+       st.binary(min_size=1, max_size=2048))
+def test_elf_roundtrip_preserves_symbols_and_text(names, code):
+    blob = build_executable(code=code, strings=["marker-string-1234"],
+                            symbols=[SymbolSpec(name) for name in names])
+    reader = ElfReader(blob)
+    assert reader.section(".text").data == code
+    recovered = sorted(s.name for s in reader.symbols if s.is_global)
+    assert recovered == sorted(names)
+    # The marker string may be embedded in a longer printable run when the
+    # surrounding bytes happen to be printable too (exactly like `strings`).
+    assert any("marker-string-1234" in run for run in extract_strings(blob))
+
+
+@_default_settings
+@given(st.binary(min_size=0, max_size=2048), st.integers(min_value=1, max_value=8))
+def test_extract_strings_runs_are_printable_and_long_enough(data, min_length):
+    for run in extract_strings(data, min_length=min_length):
+        assert len(run) >= min_length
+        assert all(0x20 <= ord(ch) <= 0x7E or ch == "\t" for ch in run)
+        assert run.encode("ascii") in data
+
+
+# ------------------------------------------------------------------------- ml
+@_default_settings
+@given(st.lists(st.sampled_from(["a", "b", "c"]), min_size=2, max_size=60),
+       st.lists(st.sampled_from(["a", "b", "c"]), min_size=2, max_size=60))
+def test_metric_bounds_and_micro_equals_accuracy(y_true, y_pred):
+    n = min(len(y_true), len(y_pred))
+    y_true, y_pred = y_true[:n], y_pred[:n]
+    micro_p, micro_r, micro_f1, support = precision_recall_fscore_support(
+        y_true, y_pred, average="micro")
+    assert 0.0 <= micro_f1 <= 1.0
+    assert micro_f1 == pytest.approx(accuracy_score(y_true, y_pred))
+    assert support == n
+    for average in ("macro", "weighted"):
+        assert 0.0 <= f1_score(y_true, y_pred, average=average) <= 1.0
+
+
+@_default_settings
+@given(st.lists(st.sampled_from(["x", "y", "z"]), min_size=3, max_size=50))
+def test_balanced_sample_weights_give_equal_class_mass(labels):
+    labels = np.asarray(labels, dtype=object)
+    weights = compute_sample_weight("balanced", labels)
+    assert weights.shape == labels.shape
+    masses = {label: weights[labels == label].sum() for label in set(labels.tolist())}
+    values = list(masses.values())
+    assert np.allclose(values, values[0])
