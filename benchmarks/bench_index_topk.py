@@ -1,0 +1,185 @@
+"""Benchmark: prebuilt SimilarityIndex top-k queries vs per-call rebuild.
+
+The seed code rebuilt its candidate structures (digest expansion plus the
+7-gram inverted index) from scratch every time a builder was fitted; a
+service answering similarity queries that way pays the full indexing cost
+on every call.  This benchmark quantifies what the persistent
+:class:`repro.index.SimilarityIndex` buys on a ~1k-digest corpus:
+
+* **rebuild** — for every query, construct a fresh index over the corpus
+  and answer one ``top_k`` (the rebuild-every-time pattern);
+* **prebuilt** — build the index once, answer every query against it;
+* **reload** — save the index, load it back, and verify the reloaded
+  index returns identical results (persistence round-trip).
+
+Run directly (``python benchmarks/bench_index_topk.py``, add ``--quick``
+for the small CI-friendly configuration).  Exit status is non-zero when
+the measured speedup falls below ``--min-speedup`` (default 5x), so the
+script doubles as a perf-regression tripwire; ``scripts/smoke_index_bench.sh``
+and the tier-1 smoke test run it in ``--quick`` mode.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.hashing.ssdeep import fuzzy_hash
+from repro.index import SimilarityIndex
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+FEATURE_TYPE = "ssdeep-file"
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    n_corpus: int
+    n_queries: int
+    k: int
+    build_seconds: float
+    rebuild_seconds: float
+    prebuilt_seconds: float
+    reload_seconds: float
+    file_bytes: int
+    results_match: bool
+
+    @property
+    def speedup(self) -> float:
+        if self.prebuilt_seconds <= 0:
+            return float("inf")
+        return self.rebuild_seconds / self.prebuilt_seconds
+
+    def table(self) -> str:
+        per_rebuild = self.rebuild_seconds / self.n_queries * 1e3
+        per_prebuilt = self.prebuilt_seconds / self.n_queries * 1e3
+        lines = [
+            f"corpus: {self.n_corpus} digests, {self.n_queries} queries, "
+            f"k={self.k}",
+            f"{'path':<28} {'total (s)':>10} {'per query (ms)':>15}",
+            f"{'rebuild index per query':<28} {self.rebuild_seconds:>10.3f} "
+            f"{per_rebuild:>15.3f}",
+            f"{'prebuilt index':<28} {self.prebuilt_seconds:>10.3f} "
+            f"{per_prebuilt:>15.3f}",
+            f"one-time index build: {self.build_seconds * 1e3:.1f} ms, "
+            f"save+load round-trip: {self.reload_seconds * 1e3:.1f} ms, "
+            f"file size: {self.file_bytes} bytes",
+            f"speedup (rebuild / prebuilt): {self.speedup:.1f}x",
+            f"reloaded index matches in-memory results: {self.results_match}",
+        ]
+        return "\n".join(lines)
+
+
+def make_corpus(n: int, seed: int = 20240924,
+                n_families: int = 24) -> list[tuple[str, dict[str, str], str]]:
+    """Synthetic digest corpus: ``n`` members across mutated families."""
+
+    rnd = random.Random(seed)
+    bases = [rnd.randbytes(3000 + rnd.randrange(2000))
+             for _ in range(n_families)]
+    members = []
+    for i in range(n):
+        family = i % n_families
+        blob = bytearray(bases[family])
+        for _ in range(rnd.randrange(1, 40)):
+            blob[rnd.randrange(len(blob))] = rnd.randrange(256)
+        digest = fuzzy_hash(bytes(blob))
+        members.append((f"sample-{i:05d}", {FEATURE_TYPE: digest},
+                        f"family-{family:02d}"))
+    return members
+
+
+def make_queries(corpus, n: int, seed: int = 97) -> list[str]:
+    """Query digests drawn from corpus members (already-hashed strings)."""
+
+    rnd = random.Random(seed)
+    return [rnd.choice(corpus)[1][FEATURE_TYPE] for _ in range(n)]
+
+
+def run(n_corpus: int, n_queries: int, k: int = 10,
+        index_path: Path | None = None) -> BenchResult:
+    corpus = make_corpus(n_corpus)
+    queries = make_queries(corpus, n_queries)
+
+    # Rebuild-per-query path.
+    start = time.perf_counter()
+    rebuild_results = []
+    for digest in queries:
+        fresh = SimilarityIndex([FEATURE_TYPE])
+        fresh.add_many(corpus)
+        rebuild_results.append(fresh.top_k(digest, k))
+    rebuild_seconds = time.perf_counter() - start
+
+    # Prebuilt path: one build, many queries.
+    start = time.perf_counter()
+    index = SimilarityIndex([FEATURE_TYPE])
+    index.add_many(corpus)
+    build_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    prebuilt_results = [index.top_k(digest, k) for digest in queries]
+    prebuilt_seconds = time.perf_counter() - start
+
+    # Persistence round-trip.
+    if index_path is None:
+        index_path = OUTPUT_DIR / "bench_index_topk.rpsi"
+        index_path.parent.mkdir(exist_ok=True)
+    start = time.perf_counter()
+    index.save(index_path)
+    reloaded = SimilarityIndex.load(index_path)
+    reload_seconds = time.perf_counter() - start
+    file_bytes = index_path.stat().st_size
+    reload_results = [reloaded.top_k(digest, k) for digest in queries]
+
+    return BenchResult(
+        n_corpus=n_corpus,
+        n_queries=n_queries,
+        k=k,
+        build_seconds=build_seconds,
+        rebuild_seconds=rebuild_seconds,
+        prebuilt_seconds=prebuilt_seconds,
+        reload_seconds=reload_seconds,
+        file_bytes=file_bytes,
+        results_match=(rebuild_results == prebuilt_results == reload_results),
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small configuration for CI smoke runs")
+    parser.add_argument("--corpus", type=int, default=None,
+                        help="corpus size (default 1000, quick 200)")
+    parser.add_argument("--queries", type=int, default=None,
+                        help="query count (default 100, quick 15)")
+    parser.add_argument("-k", type=int, default=10)
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="fail (exit 1) below this speedup")
+    args = parser.parse_args(argv)
+
+    n_corpus = args.corpus if args.corpus else (200 if args.quick else 1000)
+    n_queries = args.queries if args.queries else (15 if args.quick else 100)
+    result = run(n_corpus, n_queries, k=args.k)
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    out = OUTPUT_DIR / "bench_index_topk.txt"
+    out.write_text(result.table() + "\n", encoding="utf-8")
+    print(result.table())
+    print(f"(written to {out})")
+
+    if not result.results_match:
+        print("FAIL: prebuilt/reloaded results diverge from rebuild path",
+              file=sys.stderr)
+        return 1
+    if result.speedup < args.min_speedup:
+        print(f"FAIL: speedup {result.speedup:.1f}x is below the "
+              f"{args.min_speedup:.1f}x floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Quick perf-regression smoke for the similarity index: runs the top-k
+# benchmark in its small configuration and fails (non-zero exit) when the
+# prebuilt-index path stops beating the rebuild-per-query path by at
+# least the --min-speedup floor.  Tier-1 runs the same check via
+# tests/test_index_bench_smoke.py.
+set -eu
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+# --min-speedup 2: the full benchmark enforces the 5x acceptance floor;
+# at smoke scale a loaded CI machine gets a conservative bar instead
+# (later flags win, so callers can still override via "$@").
+PYTHONPATH="$repo_root/src${PYTHONPATH:+:$PYTHONPATH}" \
+    exec python "$repo_root/benchmarks/bench_index_topk.py" --quick \
+    --min-speedup 2 "$@"

@@ -83,6 +83,9 @@ from .features import (
     SimilarityFeatureBuilder,
 )
 
+# Similarity index
+from .index import IndexMatch, PairScore, SimilarityIndex
+
 # Machine learning substrate
 from .ml import (
     DecisionTreeClassifier,
@@ -151,6 +154,10 @@ __all__ = [
     "FeatureStore",
     "SampleFeatures",
     "SimilarityFeatureBuilder",
+    # similarity index
+    "SimilarityIndex",
+    "IndexMatch",
+    "PairScore",
     # ml
     "RandomForestClassifier",
     "DecisionTreeClassifier",

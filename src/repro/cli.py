@@ -1,6 +1,6 @@
 """Command-line interface: ``repro-classify``.
 
-Three sub-commands cover the library's main entry points:
+The sub-commands cover the library's main entry points:
 
 ``generate``
     Materialise a synthetic sciCORE-like software tree on disk.
@@ -10,7 +10,17 @@ Three sub-commands cover the library's main entry points:
     threshold sweep.
 ``classify``
     Train on a software tree and classify a directory of executables
-    (the envisioned production workflow of Figure 1).
+    (the envisioned production workflow of Figure 1).  ``--save-index``
+    persists the fitted anchor index; ``--index`` reuses a saved one.
+``index build | query | stats``
+    Manage persistent :class:`~repro.index.SimilarityIndex` files: build
+    one from a software tree (or an exported features JSON), run top-k
+    queries against it, and inspect its statistics.
+
+Errors raised by the library (:class:`~repro.exceptions.ReproError`)
+print a one-line message to stderr and exit with status 2 — no
+tracebacks for operator-facing failures like a missing or corrupt index
+file.
 """
 
 from __future__ import annotations
@@ -19,6 +29,7 @@ import argparse
 import sys
 
 from .config import default_config
+from .exceptions import ReproError
 from .logging_utils import configure_logging
 from .version_info import describe_environment
 
@@ -54,12 +65,60 @@ def build_parser() -> argparse.ArgumentParser:
 
     classify = sub.add_parser("classify", help="train on a software tree and "
                                                "classify a directory of executables")
-    classify.add_argument("train_tree", help="software tree with <Class>/<version>/<exe> layout")
+    classify.add_argument("train_tree",
+                          help="software tree with <Class>/<version>/<exe> "
+                               "layout, or a features JSON exported by the "
+                               "library (skips re-hashing the corpus)")
     classify.add_argument("target", help="directory of executables to classify")
     classify.add_argument("--threshold", type=float, default=0.5,
                           help="confidence threshold for the unknown label")
     classify.add_argument("--allowed", nargs="*", default=None,
                           help="application classes allowed for this allocation")
+    classify.add_argument("--index", default=None, metavar="FILE",
+                          help="reuse a saved similarity index instead of "
+                               "re-indexing the anchors (pair with a "
+                               "features-JSON train input to also skip the "
+                               "hashing pass)")
+    classify.add_argument("--save-index", default=None, metavar="FILE",
+                          help="persist the fitted similarity index to FILE")
+
+    index = sub.add_parser("index", help="build, query and inspect persistent "
+                                         "similarity indexes")
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+
+    index_build = index_sub.add_parser(
+        "build", help="build an index from a software tree or features JSON")
+    index_build.add_argument("source",
+                             help="software tree directory "
+                                  "(<Class>/<version>/<exe>) or a features "
+                                  "JSON file exported by the library")
+    index_build.add_argument("--output", "-o", required=True,
+                             help="index file to write")
+    index_build.add_argument("--types", nargs="+", default=None,
+                             metavar="TYPE",
+                             help="fuzzy-hash feature types to index "
+                                  "(default: the paper's three types)")
+
+    index_query = index_sub.add_parser(
+        "query", help="top-k similarity query against a saved index")
+    index_query.add_argument("index_file", help="index file written by "
+                                                "'index build' or --save-index")
+    index_query.add_argument("target",
+                             help="executable to hash and query, or a raw "
+                                  "SSDeep digest string with --digest")
+    index_query.add_argument("--digest", action="store_true",
+                             help="treat TARGET as a digest string instead "
+                                  "of a file path")
+    index_query.add_argument("--type", dest="feature_type", default=None,
+                             help="restrict scoring to one feature type")
+    index_query.add_argument("-k", type=int, default=10,
+                             help="number of results (default 10)")
+    index_query.add_argument("--min-score", type=int, default=1,
+                             help="drop matches scoring below this (default 1)")
+
+    index_stats = index_sub.add_parser(
+        "stats", help="print statistics of a saved index")
+    index_stats.add_argument("index_file", help="index file to inspect")
 
     info = sub.add_parser("info", help="print version and environment information")
 
@@ -107,19 +166,133 @@ def _cmd_experiment(args) -> int:
 def _cmd_classify(args) -> int:
     from .core.classifier import FuzzyHashClassifier
     from .core.workflow import ClassificationWorkflow
-    from .corpus.scanner import CorpusScanner
-    from .features.pipeline import FeatureExtractionPipeline
+    from .features.extractors import FEATURE_TYPES
+    from .index import SimilarityIndex
 
-    scan = CorpusScanner(args.train_tree).scan()
-    features = FeatureExtractionPipeline().extract_dataset(scan.dataset)
+    # Load the index first: a missing/corrupt file must fail fast, not
+    # after the (potentially expensive) training feature pass.
+    index = SimilarityIndex.load(args.index) if args.index else None
+    features = _index_features(args.train_tree, FEATURE_TYPES)
     classifier = FuzzyHashClassifier(confidence_threshold=args.threshold)
-    classifier.fit(features)
+    classifier.fit(features, index=index)
     workflow = ClassificationWorkflow(classifier, allowed_classes=args.allowed)
+    if args.save_index:
+        print(f"similarity index saved to {workflow.save_index(args.save_index)}")
     classifications = workflow.classify_directory(args.target)
     print(workflow.report(classifications))
     flagged = sum(1 for c in classifications if c.is_suspicious())
     print(f"\n{len(classifications)} executables classified, {flagged} flagged")
     return 0
+
+
+def _index_features(source: str, feature_types):
+    """Feature records for ``index build``: software tree or features JSON."""
+
+    from pathlib import Path
+
+    from .corpus.scanner import CorpusScanner
+    from .exceptions import ValidationError
+    from .features.pipeline import FeatureExtractionPipeline
+    from .features.records import features_from_json
+
+    path = Path(source)
+    if path.is_dir():
+        scan = CorpusScanner(path).scan()
+        pipeline = FeatureExtractionPipeline(feature_types)
+        return pipeline.extract_dataset(scan.dataset)
+    if path.is_file():
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            raise ValidationError(
+                f"{source} is not a readable features JSON file: {exc}") from exc
+        return features_from_json(text)
+    raise ValidationError(f"{source} is neither a software tree directory "
+                          "nor a features JSON file")
+
+
+def _cmd_index_build(args) -> int:
+    from .exceptions import ValidationError
+    from .features.extractors import FEATURE_TYPES
+    from .index import SimilarityIndex
+
+    feature_types = tuple(args.types) if args.types else FEATURE_TYPES
+    features = _index_features(args.source, feature_types)
+    if features:
+        available = set()
+        for record in features:
+            available.update(record.digests)
+        missing = [ft for ft in feature_types if ft not in available]
+        if missing:
+            raise ValidationError(
+                f"feature types {missing} appear in none of the "
+                f"{len(features)} source records (available: "
+                f"{sorted(available)})")
+    index = SimilarityIndex(feature_types)
+    index.add_many(features)
+    stats = index.stats()
+    for feature_type, info in stats["feature_types"].items():
+        if index.n_members and info["entries"] == 0:
+            print(f"warning: feature type {feature_type!r} produced no "
+                  f"index entries (all digests empty or degenerate)",
+                  file=sys.stderr)
+    path = index.save(args.output)
+    print(f"indexed {index.n_members} samples -> {path}")
+    print(_format_stats(stats))
+    return 0
+
+
+def _cmd_index_query(args) -> int:
+    from .features.extractors import FeatureExtractor
+    from .index import SimilarityIndex
+
+    index = SimilarityIndex.load(args.index_file)
+    if args.digest:
+        matches = index.top_k(args.target, args.k,
+                              feature_type=args.feature_type,
+                              min_score=args.min_score)
+    else:
+        types = ((args.feature_type,) if args.feature_type
+                 else index.feature_types)
+        sample = FeatureExtractor(types).extract_file(args.target)
+        matches = index.top_k_digests(
+            {ft: sample.digest(ft) for ft in types}, args.k,
+            min_score=args.min_score)
+    if not matches:
+        print("no matches")
+        return 0
+    print(f"{'rank':>4} {'score':>5} {'class':<24} sample")
+    for rank, match in enumerate(matches, start=1):
+        print(f"{rank:>4} {match.score:>5} {match.class_name or '-':<24} "
+              f"{match.sample_id}")
+    return 0
+
+
+def _cmd_index_stats(args) -> int:
+    from .index import SimilarityIndex
+
+    index = SimilarityIndex.load(args.index_file)
+    print(_format_stats(index.stats()))
+    return 0
+
+
+def _format_stats(stats: dict) -> str:
+    lines = [f"members: {stats['members']} "
+             f"({stats['labelled_members']} labelled, "
+             f"{stats['classes']} classes), "
+             f"ngram length: {stats['ngram_length']}"]
+    for feature_type, info in stats["feature_types"].items():
+        blocks = ",".join(str(b) for b in info["block_sizes"]) or "-"
+        lines.append(f"  {feature_type:<16} {info['entries']:>6} entries  "
+                     f"{info['postings']:>8} postings  block sizes: {blocks}")
+    return "\n".join(lines)
+
+
+def _cmd_index(args) -> int:
+    handler = {"build": _cmd_index_build,
+               "query": _cmd_index_query,
+               "stats": _cmd_index_stats}[args.index_command]
+    return handler(args)
 
 
 def _cmd_info(_args) -> int:
@@ -131,19 +304,36 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "experiment": _cmd_experiment,
     "classify": _cmd_classify,
+    "index": _cmd_index,
     "info": _cmd_info,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Library errors surface as a one-line stderr message and exit
+    status 2 instead of a traceback.
+    """
 
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.verbose:
         configure_logging("INFO")
     handler = _COMMANDS[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output was piped into something that exited early (e.g. head).
+        # Detach stdout so the interpreter's shutdown flush cannot raise
+        # again, and exit with the conventional SIGPIPE status.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -166,7 +166,18 @@ class FuzzyHashClassifier(BaseEstimator, ClassifierMixin):
         self.n_jobs = n_jobs
 
     # ------------------------------------------------------------------ fit
-    def fit(self, features: Sequence[SampleFeatures], y=None) -> "FuzzyHashClassifier":
+    def fit(self, features: Sequence[SampleFeatures], y=None, *,
+            index=None) -> "FuzzyHashClassifier":
+        """Fit on feature records; optionally reuse a prebuilt anchor index.
+
+        ``index`` is a :class:`~repro.index.SimilarityIndex` previously
+        built over (a superset of) the training corpus — typically
+        ``SimilarityIndex.load(path)`` from a persisted workflow.  When
+        given, the anchors come from the index instead of being
+        re-indexed from ``features``; the records still provide the
+        training rows and labels.
+        """
+
         features = list(features)
         if not features:
             raise ValidationError("cannot fit on an empty feature list")
@@ -181,7 +192,17 @@ class FuzzyHashClassifier(BaseEstimator, ClassifierMixin):
             anchor_strategy=self.anchor_strategy,
             medoids_per_class=self.medoids_per_class,
         )
-        matrix = self.builder_.fit_transform(features, exclude_self=True)
+        if index is not None:
+            self.builder_.fit_from_index(index)
+            uncovered = sorted(set(labels) - set(self.builder_.classes_))
+            if uncovered:
+                raise ValidationError(
+                    f"training labels {uncovered} have no anchors in the "
+                    "supplied index; rebuild the index over the current "
+                    "training corpus")
+            matrix = self.builder_.transform(features, exclude_self=True)
+        else:
+            matrix = self.builder_.fit_transform(features, exclude_self=True)
         self.feature_names_ = matrix.feature_names
         self.feature_groups_ = matrix.feature_groups
         self.model_ = ThresholdRandomForest(

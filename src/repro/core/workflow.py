@@ -81,6 +81,35 @@ class ClassificationWorkflow:
                                                    n_jobs=n_jobs)
 
     # ----------------------------------------------------------------- API
+    @property
+    def similarity_index(self):
+        """The classifier's fitted anchor :class:`~repro.index.SimilarityIndex`.
+
+        Raises :class:`EvaluationError` when the classifier was fitted on
+        a raw matrix and carries no index.
+        """
+
+        builder = getattr(self.classifier, "builder_", None)
+        index = getattr(builder, "index_", None)
+        if index is None:
+            raise EvaluationError(
+                "this workflow's classifier carries no similarity index")
+        return index
+
+    def save_index(self, path: str | os.PathLike) -> Path:
+        """Persist the anchor index so a later process can reuse it.
+
+        The saved file round-trips through
+        :meth:`repro.index.SimilarityIndex.load`; pass the loaded index
+        to :meth:`FuzzyHashClassifier.fit(..., index=...)
+        <repro.core.classifier.FuzzyHashClassifier.fit>` (or the CLI's
+        ``classify --index``) to skip re-indexing the training corpus.
+        """
+
+        saved = self.similarity_index.save(path)
+        _LOG.info("workflow persisted similarity index to %s", saved)
+        return saved
+
     def classify_paths(self, paths: Sequence[str | os.PathLike]
                        ) -> list[JobClassification]:
         """Classify explicit executable paths."""

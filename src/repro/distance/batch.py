@@ -38,23 +38,25 @@ _PAD_B = -2
 
 
 def _pack(strings: Sequence[str | bytes], pad_value: int) -> tuple[np.ndarray, np.ndarray]:
-    """Pack variable-length strings into a padded ``int16`` code matrix.
+    """Pack variable-length strings into a padded ``int32`` code matrix.
 
     Returns ``(codes, lengths)`` where ``codes`` has shape
-    ``(n, max_len)`` and unused positions hold ``pad_value``.
+    ``(n, max_len)`` and unused positions hold ``pad_value``.  ``int32``
+    covers the whole Unicode range (code points reach 0x10FFFF, past
+    ``int16``).
     """
 
     n = len(strings)
     lengths = np.fromiter((len(s) for s in strings), dtype=np.int64, count=n)
     max_len = int(lengths.max()) if n else 0
-    codes = np.full((n, max(max_len, 1)), pad_value, dtype=np.int16)
+    codes = np.full((n, max(max_len, 1)), pad_value, dtype=np.int32)
     for idx, s in enumerate(strings):
         if not s:
             continue
         if isinstance(s, (bytes, bytearray, memoryview)):
-            row = np.frombuffer(bytes(s), dtype=np.uint8).astype(np.int16)
+            row = np.frombuffer(bytes(s), dtype=np.uint8).astype(np.int32)
         else:
-            row = np.fromiter((ord(c) for c in s), dtype=np.int16, count=len(s))
+            row = np.fromiter((ord(c) for c in s), dtype=np.int32, count=len(s))
         codes[idx, : len(s)] = row
     return codes, lengths
 

@@ -57,6 +57,15 @@ class CorpusLayoutError(CorpusError):
     ``<Class>/<version>/<executable>`` layout."""
 
 
+class SimilarityIndexError(ReproError):
+    """Raised when a similarity-index operation fails."""
+
+
+class IndexFormatError(SimilarityIndexError):
+    """Raised when an on-disk similarity index file is missing, corrupt,
+    truncated, or written by an unsupported format version."""
+
+
 class NotFittedError(ReproError, RuntimeError):
     """Raised when ``predict``/``transform`` is called before ``fit``."""
 

@@ -12,36 +12,27 @@ builds that matrix:
   (``class-max`` strategy).  Alternative strategies keep one column per
   anchor (``all-train``) or per class medoid (``class-medoids``).
 
-Large-scale scoring is made tractable by the same two tricks the
-reference SSDeep tooling uses plus one batching trick of our own:
-
-1. digests are only comparable when their block sizes are equal or one
-   step apart — expanding every digest into its ``(block_size, chunk)``
-   and ``(2*block_size, double_chunk)`` entries turns this into exact
-   block-size matching;
-2. a pair can only score above zero when the two signatures share a
-   7-character substring, so candidates are generated from a 7-gram
-   inverted index (virtually all cross-application pairs are rejected
-   here without computing an edit distance);
-3. the surviving pairs are scored by the *batched* NumPy edit-distance
-   engine (:class:`repro.distance.batch.BatchEditDistance`), after
-   de-duplicating identical signature pairs.
+Candidate generation and scoring are delegated to the persistent
+:class:`~repro.index.SimilarityIndex`: ``fit`` indexes the anchors once
+(block-size buckets, 7-gram inverted postings, batched NumPy
+edit-distance scoring) and every ``transform`` reuses that index.  A
+builder can also adopt an index loaded from disk
+(:meth:`SimilarityFeatureBuilder.fit_from_index`), so a restarted
+workflow skips re-indexing its anchors (pair it with a persisted
+feature store to avoid re-hashing the corpus as well).
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
-from ..distance.batch import BatchEditDistance
-from ..distance.scoring import ssdeep_score_from_distance
 from ..exceptions import NotFittedError, ValidationError
-from ..hashing.compare import normalize_repeats
 from ..hashing.rolling import ROLLING_WINDOW
-from ..hashing.ssdeep import SsdeepDigest
+from ..index import SimilarityIndex
 from ..logging_utils import get_logger
 from .extractors import FEATURE_TYPES
 from .records import SampleFeatures
@@ -75,15 +66,6 @@ class SimilarityMatrix:
 
         indices = self.feature_groups.get(feature_type, [])
         return self.X[:, indices]
-
-
-@dataclass(frozen=True)
-class _SignatureEntry:
-    """One comparable signature of an anchor digest."""
-
-    anchor_index: int
-    block_size: int
-    signature: str
 
 
 class SimilarityFeatureBuilder:
@@ -120,8 +102,6 @@ class SimilarityFeatureBuilder:
         self.anchor_strategy = anchor_strategy
         self.medoids_per_class = int(medoids_per_class)
         self.ngram_length = int(ngram_length)
-        self._engine = BatchEditDistance(insert_cost=1, delete_cost=1,
-                                         substitute_cost=3, transpose_cost=5)
 
     # ------------------------------------------------------------------ fit
     def fit(self, anchors: Sequence[SampleFeatures]) -> "SimilarityFeatureBuilder":
@@ -131,29 +111,36 @@ class SimilarityFeatureBuilder:
             raise ValidationError("cannot fit on an empty anchor set")
         anchors = self._select_anchors(list(anchors))
         self.anchors_ = anchors
-        self.anchor_ids_ = [a.sample_id for a in anchors]
-        self.anchor_classes_ = [a.class_name for a in anchors]
-        self.classes_ = sorted(set(self.anchor_classes_))
-        self._class_index = {name: i for i, name in enumerate(self.classes_)}
-        self._anchor_class_idx = np.array(
-            [self._class_index[c] for c in self.anchor_classes_], dtype=np.int64)
+        index = SimilarityIndex(self.feature_types,
+                                ngram_length=self.ngram_length)
+        index.add_many(anchors)
+        return self._adopt_index(index)
 
-        # Per feature type: signature entries and the 7-gram inverted index.
-        self._entries: dict[str, list[_SignatureEntry]] = {}
-        self._gram_index: dict[str, dict[tuple[int, str], list[int]]] = {}
-        for feature_type in self.feature_types:
-            entries: list[_SignatureEntry] = []
-            index: dict[tuple[int, str], list[int]] = defaultdict(list)
-            for anchor_index, anchor in enumerate(anchors):
-                for block_size, signature in self._expand(anchor.digest(feature_type)):
-                    entry_id = len(entries)
-                    entries.append(_SignatureEntry(anchor_index, block_size, signature))
-                    for gram in self._grams(signature):
-                        index[(block_size, gram)].append(entry_id)
-            self._entries[feature_type] = entries
-            self._gram_index[feature_type] = dict(index)
-        self.feature_names_ = self._build_feature_names()
-        return self
+    def fit_from_index(self, index: SimilarityIndex) -> "SimilarityFeatureBuilder":
+        """Adopt a prebuilt (e.g. loaded-from-disk) anchor index.
+
+        The index must cover this builder's feature types, use the same
+        n-gram length, and carry a class label on every member.  Anchor
+        selection (``class-medoids``) is *not* re-applied — the index is
+        trusted to already hold the intended anchor set.
+        """
+
+        missing = set(self.feature_types) - set(index.feature_types)
+        if missing:
+            raise ValidationError(
+                f"index does not cover feature types {sorted(missing)}")
+        if index.ngram_length != self.ngram_length:
+            raise ValidationError(
+                f"index n-gram length {index.ngram_length} does not match "
+                f"builder n-gram length {self.ngram_length}")
+        if index.n_members == 0:
+            raise ValidationError("cannot adopt an empty index")
+        unlabelled = sum(1 for name in index.class_names if not name)
+        if unlabelled:
+            raise ValidationError(
+                f"{unlabelled} index members carry no class label; the "
+                "feature builder needs labelled anchors")
+        return self._adopt_index(index)
 
     def fit_transform(self, anchors: Sequence[SampleFeatures], *,
                       exclude_self: bool = True) -> SimilarityMatrix:
@@ -171,24 +158,24 @@ class SimilarityFeatureBuilder:
                   exclude_self: bool = False) -> SimilarityMatrix:
         """Similarity feature matrix of ``queries`` against the anchors."""
 
-        if not hasattr(self, "anchors_"):
+        if not hasattr(self, "index_"):
             raise NotFittedError("SimilarityFeatureBuilder is not fitted")
         queries = list(queries)
-        n_queries = len(queries)
+        n_anchors = self.index_.n_members
         n_anchor_cols = (len(self.classes_)
                          if self.anchor_strategy != "all-train"
-                         else len(self.anchors_))
-        X = np.zeros((n_queries, n_anchor_cols * len(self.feature_types)),
+                         else n_anchors)
+        X = np.zeros((len(queries), n_anchor_cols * len(self.feature_types)),
                      dtype=np.float64)
 
-        anchor_id_lookup = {}
+        exclude = None
         if exclude_self:
-            for anchor_index, anchor_id in enumerate(self.anchor_ids_):
-                anchor_id_lookup.setdefault(anchor_id, set()).add(anchor_index)
+            exclude = [self.index_.members_for_id(q.sample_id) for q in queries]
 
         for type_offset, feature_type in enumerate(self.feature_types):
-            scores = self._score_feature_type(feature_type, queries,
-                                              anchor_id_lookup if exclude_self else None)
+            scores = self.index_.score_matrix(
+                feature_type, [q.digest(feature_type) for q in queries],
+                exclude=exclude)
             # ``scores`` is (n_queries, n_anchors); aggregate into columns.
             block = self._aggregate(scores)
             start = type_offset * n_anchor_cols
@@ -202,6 +189,19 @@ class SimilarityFeatureBuilder:
         )
 
     # ----------------------------------------------------------- internals
+    def _adopt_index(self, index: SimilarityIndex) -> "SimilarityFeatureBuilder":
+        self.index_ = index
+        self.anchor_ids_ = list(index.sample_ids)
+        self.anchor_classes_ = list(index.class_names)
+        self.classes_ = sorted(set(self.anchor_classes_))
+        self._class_index = {name: i for i, name in enumerate(self.classes_)}
+        self._anchor_class_idx = np.array(
+            [self._class_index[c] for c in self.anchor_classes_], dtype=np.int64)
+        self.feature_names_ = self._build_feature_names()
+        _LOG.debug("builder adopted index with %d anchors across %d classes",
+                   index.n_members, len(self.classes_))
+        return self
+
     def _select_anchors(self, anchors: list[SampleFeatures]) -> list[SampleFeatures]:
         if self.anchor_strategy != "class-medoids":
             return anchors
@@ -221,103 +221,6 @@ class SimilarityFeatureBuilder:
                                     self.medoids_per_class).astype(int)
             selected.extend(members[p] for p in sorted(set(positions.tolist())))
         return selected
-
-    def _expand(self, digest: str) -> list[tuple[int, str]]:
-        """Expand a digest into comparable ``(block_size, signature)`` pairs."""
-
-        if not digest:
-            return []
-        parsed = SsdeepDigest.parse(digest)
-        pairs = []
-        chunk = normalize_repeats(parsed.chunk)
-        double_chunk = normalize_repeats(parsed.double_chunk)
-        if chunk:
-            pairs.append((parsed.block_size, chunk))
-        if double_chunk:
-            pairs.append((parsed.block_size * 2, double_chunk))
-        return pairs
-
-    def _grams(self, signature: str) -> set[str]:
-        n = self.ngram_length
-        if len(signature) < n:
-            return set()
-        return {signature[i:i + n] for i in range(len(signature) - n + 1)}
-
-    def _score_feature_type(self, feature_type: str,
-                            queries: Sequence[SampleFeatures],
-                            exclude_lookup: Mapping[str, set[int]] | None
-                            ) -> np.ndarray:
-        """Dense (n_queries, n_anchors) SSDeep score matrix for one type."""
-
-        entries = self._entries[feature_type]
-        gram_index = self._gram_index[feature_type]
-        n_anchors = len(self.anchors_)
-        scores = np.zeros((len(queries), n_anchors), dtype=np.float64)
-
-        # Candidate generation: (query, entry) pairs sharing a 7-gram.
-        pair_query: list[int] = []
-        pair_entry: list[int] = []
-        for query_index, query in enumerate(queries):
-            excluded = exclude_lookup.get(query.sample_id, set()) \
-                if exclude_lookup else set()
-            seen: set[int] = set()
-            for block_size, signature in self._expand(query.digest(feature_type)):
-                for gram in self._grams(signature):
-                    for entry_id in gram_index.get((block_size, gram), ()):
-                        if entry_id in seen:
-                            continue
-                        seen.add(entry_id)
-                        if entries[entry_id].anchor_index in excluded:
-                            continue
-                        pair_query.append(query_index)
-                        pair_entry.append(entry_id)
-        if not pair_entry:
-            return scores
-
-        # De-duplicate identical signature pairs before running the DP.
-        left: list[str] = []
-        right: list[str] = []
-        block_sizes: list[int] = []
-        pair_key_to_slot: dict[tuple[str, str, int], int] = {}
-        slot_of_pair: list[int] = []
-        query_signatures = [
-            {bs: sig for bs, sig in self._expand(q.digest(feature_type))}
-            for q in queries
-        ]
-        for query_index, entry_id in zip(pair_query, pair_entry):
-            entry = entries[entry_id]
-            q_sig = query_signatures[query_index].get(entry.block_size, "")
-            key = (q_sig, entry.signature, entry.block_size)
-            slot = pair_key_to_slot.get(key)
-            if slot is None:
-                slot = len(left)
-                pair_key_to_slot[key] = slot
-                left.append(q_sig)
-                right.append(entry.signature)
-                block_sizes.append(entry.block_size)
-            slot_of_pair.append(slot)
-
-        distances = self._engine.distances_two_lists(left, right)
-        lengths_left = np.array([len(s) for s in left], dtype=np.float64)
-        lengths_right = np.array([len(s) for s in right], dtype=np.float64)
-        pair_scores = ssdeep_score_from_distance(
-            distances, lengths_left, lengths_right,
-            np.array(block_sizes, dtype=np.float64)).astype(np.float64)
-        # Identical signatures always score 100 (the reference's fast path),
-        # even where the small-block-size cap would otherwise bite.
-        identical = np.array([l == r for l, r in zip(left, right)], dtype=bool)
-        pair_scores[identical] = 100.0
-
-        _LOG.debug("%s: %d candidate pairs (%d unique) for %d queries x %d anchors",
-                   feature_type, len(slot_of_pair), len(left), len(queries), n_anchors)
-
-        for (query_index, entry_id), slot in zip(zip(pair_query, pair_entry),
-                                                 slot_of_pair):
-            anchor_index = entries[entry_id].anchor_index
-            score = pair_scores[slot]
-            if score > scores[query_index, anchor_index]:
-                scores[query_index, anchor_index] = score
-        return scores
 
     def _aggregate(self, scores: np.ndarray) -> np.ndarray:
         """Aggregate per-anchor scores into the configured column layout."""

@@ -45,6 +45,10 @@ __all__ = [
 MIN_BLOCKSIZE = 3
 #: Maximum signature length in characters.
 SPAMSUM_LENGTH = 64
+#: Default upper bound on the bytes :meth:`FuzzyHasher.hash_file` will load.
+MAX_FILE_BYTES = 1 << 30
+#: Default read size for the chunked file-reading loop.
+FILE_READ_CHUNK = 1 << 20
 
 
 @dataclass(frozen=True)
@@ -133,7 +137,8 @@ class FuzzyHasher:
 
         if isinstance(data, str):
             data = data.encode("utf-8", errors="replace")
-        data = bytes(data)
+        elif not isinstance(data, (bytes, bytearray)):
+            data = bytes(data)
 
         if not data:
             return SsdeepDigest(block_size=self.min_blocksize, chunk="", double_chunk="")
@@ -149,11 +154,59 @@ class FuzzyHasher:
             return SsdeepDigest(block_size=block_size, chunk=chunk,
                                 double_chunk=double_chunk)
 
-    def hash_file(self, path: str | os.PathLike) -> SsdeepDigest:
-        """Hash the contents of a file."""
+    def hash_file(self, path: str | os.PathLike, *,
+                  max_bytes: int | None = MAX_FILE_BYTES,
+                  chunk_size: int = FILE_READ_CHUNK) -> SsdeepDigest:
+        """Hash the contents of a file.
+
+        The file is read in bounded ``chunk_size`` slices rather than one
+        unbounded ``read()``; ``max_bytes`` (default 1 GiB, ``None``
+        disables the cap) bounds total memory and raises
+        :class:`~repro.exceptions.HashingError` for larger files —
+        oversized regular files are rejected from their ``stat`` size
+        before any byte is read.  The block-size retry loop of the
+        digest still needs the whole input in memory, so the cap — not
+        the chunking — is what makes the memory ceiling explicit; the
+        buffer is preallocated from the ``stat`` size and handed to
+        :meth:`hash` without an extra copy.
+        """
+
+        if chunk_size < 1:
+            raise HashingError("chunk_size must be >= 1")
+        if max_bytes is not None and max_bytes < 0:
+            raise HashingError("max_bytes must be >= 0 (or None to disable)")
+
+        def over_limit() -> HashingError:
+            return HashingError(
+                f"{os.fspath(path)} exceeds the {max_bytes}-byte hashing "
+                f"limit; raise max_bytes (or pass None) to hash it anyway")
 
         with open(path, "rb") as fh:
-            return self.hash(fh.read())
+            expected = os.fstat(fh.fileno()).st_size
+            if max_bytes is not None and expected > max_bytes:
+                raise over_limit()
+            buffer = bytearray(expected)
+            view = memoryview(buffer)
+            filled = 0
+            while filled < expected:
+                n_read = fh.readinto(view[filled:filled + chunk_size])
+                if not n_read:
+                    break
+                filled += n_read
+            del view
+            if filled < expected:          # file shrank while reading
+                del buffer[filled:]
+            else:
+                # The file may have grown past its stat size (pipes and
+                # procfs report 0); keep reading in bounded chunks.
+                while True:
+                    chunk = fh.read(chunk_size)
+                    if not chunk:
+                        break
+                    buffer.extend(chunk)
+                    if max_bytes is not None and len(buffer) > max_bytes:
+                        raise over_limit()
+        return self.hash(buffer)
 
     def hash_many(self, items: Iterable[bytes | str]) -> list[SsdeepDigest]:
         """Hash an iterable of inputs, preserving order."""

@@ -1,0 +1,47 @@
+"""Persistent top-k similarity index subsystem.
+
+This package turns the library's ad-hoc, rebuilt-per-fit candidate
+structures into a first-class index that can be built once, updated
+incrementally, queried repeatedly and shipped between processes:
+
+* :class:`~repro.index.core.SimilarityIndex` — members bucketed by
+  ``(feature_type, block_size)`` with 7-gram inverted postings;
+  ``add`` / ``add_many`` incremental updates, ``top_k`` queries,
+  a budgeted ``pairwise_matrix`` and dense ``score_matrix`` scoring
+  (the backend of
+  :class:`~repro.features.similarity.SimilarityFeatureBuilder`);
+* :mod:`~repro.index.storage` — the single-file on-disk container
+  (JSON header + raw NumPy arrays, versioned, magic ``RPROSIDX``).
+
+Digest format and comparability rules
+-------------------------------------
+An SSDeep digest is ``block_size:chunk:double_chunk``, where ``chunk``
+was computed at ``block_size`` and ``double_chunk`` at twice that.  Two
+digests are comparable only when their block sizes are **equal or one
+step apart** (a factor of two); the index therefore expands every digest
+into its ``(block_size, chunk)`` and ``(2 * block_size, double_chunk)``
+signatures so comparability becomes exact block-size bucket matching.
+Signatures are run-length normalised (runs longer than three characters
+collapse to three) before indexing, and a pair can only score above zero
+when it shares at least one **7-character substring** — the 7-gram
+precondition that backs the inverted postings.  A consequence worth
+remembering: signatures shorter than seven characters never match,
+*even when identical*.  Scores are the SSDeep 0–100 scale (weighted
+edit distance: insert/delete 1, substitute 3, transpose 5) with
+identical signatures pinned to 100.
+
+The same rules are documented from the CLI via
+``repro-classify index stats`` and in the README's *Similarity index*
+section.
+"""
+
+from .core import IndexMatch, PairScore, SimilarityIndex, expand_digest
+from .storage import FORMAT_VERSION
+
+__all__ = [
+    "FORMAT_VERSION",
+    "IndexMatch",
+    "PairScore",
+    "SimilarityIndex",
+    "expand_digest",
+]

@@ -1,0 +1,625 @@
+"""The persistent top-k similarity index.
+
+:class:`SimilarityIndex` is the candidate-generation and scoring engine
+shared by every bulk digest workload in the library.  It holds *members*
+(samples identified by ``sample_id``, optionally carrying a class label)
+whose SSDeep digests are bucketed by ``(feature_type, block_size)`` and
+indexed by their 7-gram postings, and answers:
+
+* ``top_k`` — the best-scoring members for a query digest;
+* ``score_matrix`` — a dense query × member score matrix (what the
+  similarity feature builder consumes);
+* ``pairwise_matrix`` — budgeted all-vs-all member scoring;
+* ``save`` / ``load`` — round-tripping to a single compact file
+  (:mod:`repro.index.storage`).
+
+Scoring semantics (the "comparability rules") are exactly those of the
+bulk seed path:
+
+1. a digest ``block_size:chunk:double_chunk`` is expanded into its
+   ``(block_size, chunk)`` and ``(2 * block_size, double_chunk)``
+   signatures, with runs longer than three characters collapsed first;
+   two signatures are only comparable at *equal* block sizes, which is
+   how SSDeep's "equal or adjacent block size" rule becomes exact
+   bucket matching;
+2. a signature pair can only score above zero when it shares a
+   substring of :data:`~repro.hashing.rolling.ROLLING_WINDOW` (7)
+   characters, so candidates come from the 7-gram inverted postings and
+   everything else is rejected without an edit distance — note this
+   *precondition* means signatures shorter than 7 characters never
+   match, even when identical;
+3. surviving pairs are scored with the batched weighted edit distance
+   (insert/delete 1, substitute 3, transpose 5) mapped onto the 0–100
+   SSDeep scale, with identical signatures pinned to 100;
+4. a member's score is the maximum over its comparable signature pairs
+   (and over feature types, when more than one is queried).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import defaultdict
+from dataclasses import dataclass
+from itertools import combinations
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..distance.batch import BatchEditDistance
+from ..distance.scoring import ssdeep_score_from_distance
+from ..exceptions import IndexFormatError, ValidationError
+from ..hashing.compare import normalize_repeats
+from ..hashing.rolling import ROLLING_WINDOW
+from ..hashing.ssdeep import SsdeepDigest
+from ..logging_utils import get_logger
+from .storage import read_container, write_container
+
+__all__ = ["IndexMatch", "PairScore", "SimilarityIndex", "expand_digest"]
+
+_LOG = get_logger("index.core")
+
+#: SSDeep's edit-operation costs, shared by every scoring path.
+_SSDEEP_COSTS = dict(insert_cost=1, delete_cost=1, substitute_cost=3,
+                     transpose_cost=5)
+
+
+def expand_digest(digest: str) -> list[tuple[int, str]]:
+    """Expand a digest into its comparable ``(block_size, signature)`` pairs.
+
+    Signatures are run-length normalised; empty signatures are dropped.
+    """
+
+    if not digest:
+        return []
+    parsed = SsdeepDigest.parse(digest)
+    pairs = []
+    chunk = normalize_repeats(parsed.chunk)
+    double_chunk = normalize_repeats(parsed.double_chunk)
+    if chunk:
+        pairs.append((parsed.block_size, chunk))
+    if double_chunk:
+        pairs.append((parsed.block_size * 2, double_chunk))
+    return pairs
+
+
+@dataclass(frozen=True)
+class IndexMatch:
+    """One ``top_k`` result."""
+
+    member_index: int
+    sample_id: str
+    class_name: str
+    score: int
+
+
+@dataclass(frozen=True)
+class PairScore:
+    """One scored member pair from :meth:`SimilarityIndex.pairwise_matrix`."""
+
+    i: int
+    j: int
+    score: int
+
+
+@dataclass(frozen=True)
+class _Entry:
+    """One comparable signature of a member's digest."""
+
+    member: int
+    block_size: int
+    signature: str
+
+
+class SimilarityIndex:
+    """Incrementally updatable, persistent top-k SSDeep similarity index.
+
+    Parameters
+    ----------
+    feature_types:
+        Fuzzy-hash types indexed per member (defaults to the paper's
+        three types).
+    ngram_length:
+        Length of the common-substring precondition (7, like SSDeep).
+        Two indexes are only compatible when this matches.
+    """
+
+    def __init__(self, feature_types: Sequence[str] = None, *,
+                 ngram_length: int = ROLLING_WINDOW) -> None:
+        if feature_types is None:
+            from ..features.extractors import FEATURE_TYPES
+            feature_types = FEATURE_TYPES
+        feature_types = tuple(feature_types)
+        if not feature_types:
+            raise ValidationError("feature_types must not be empty")
+        if len(set(feature_types)) != len(feature_types):
+            raise ValidationError("feature_types must not repeat")
+        if ngram_length < 1:
+            raise ValidationError("ngram_length must be >= 1")
+        self._feature_types = feature_types
+        self._ngram_length = int(ngram_length)
+        self._sample_ids: list[str] = []
+        self._class_names: list[str] = []
+        self._members_by_id: dict[str, set[int]] = {}
+        self._entries: dict[str, list[_Entry]] = {ft: [] for ft in feature_types}
+        self._postings: dict[str, dict[tuple[int, str], list[int]]] = {
+            ft: defaultdict(list) for ft in feature_types}
+        self._engine = BatchEditDistance(**_SSDEEP_COSTS)
+
+    # ------------------------------------------------------------ properties
+    @property
+    def feature_types(self) -> tuple[str, ...]:
+        return self._feature_types
+
+    @property
+    def ngram_length(self) -> int:
+        return self._ngram_length
+
+    @property
+    def n_members(self) -> int:
+        return len(self._sample_ids)
+
+    def __len__(self) -> int:
+        return len(self._sample_ids)
+
+    @property
+    def sample_ids(self) -> tuple[str, ...]:
+        return tuple(self._sample_ids)
+
+    @property
+    def class_names(self) -> tuple[str, ...]:
+        return tuple(self._class_names)
+
+    def members_for_id(self, sample_id: str) -> frozenset[int]:
+        """Member indices registered under ``sample_id`` (may be several)."""
+
+        return frozenset(self._members_by_id.get(sample_id, ()))
+
+    # -------------------------------------------------------------- updates
+    def add(self, sample_id: str, digests: Mapping[str, str], *,
+            class_name: str = "") -> int:
+        """Add one member; returns its member index.
+
+        ``digests`` maps feature types to digest strings; types the index
+        does not know are ignored, missing or empty digests contribute no
+        postings (the member simply never matches on that type).
+        """
+
+        if not isinstance(sample_id, str) or not sample_id:
+            raise ValidationError("sample_id must be a non-empty string")
+        if not isinstance(digests, Mapping):
+            raise ValidationError(
+                f"digests must be a mapping, got {type(digests).__name__}")
+        member = len(self._sample_ids)
+        # Parse every digest before mutating, so a malformed digest cannot
+        # leave a half-added member behind.
+        expanded = {ft: expand_digest(digests.get(ft, ""))
+                    for ft in self._feature_types}
+        self._sample_ids.append(sample_id)
+        self._class_names.append(str(class_name))
+        self._members_by_id.setdefault(sample_id, set()).add(member)
+        for feature_type, pairs in expanded.items():
+            for block_size, signature in pairs:
+                self._add_entry(feature_type, member, block_size, signature)
+        return member
+
+    def add_many(self, samples: Iterable) -> list[int]:
+        """Add many members; returns their member indices.
+
+        Accepts :class:`~repro.features.records.SampleFeatures`-like
+        objects (``sample_id`` / ``digests`` / ``class_name`` attributes)
+        or ``(sample_id, digests[, class_name])`` tuples.
+        """
+
+        members = []
+        for sample in samples:
+            if isinstance(sample, tuple):
+                sample_id, digests = sample[0], sample[1]
+                class_name = sample[2] if len(sample) > 2 else ""
+            else:
+                sample_id = sample.sample_id
+                digests = sample.digests
+                class_name = getattr(sample, "class_name", "")
+            members.append(self.add(sample_id, digests, class_name=class_name))
+        return members
+
+    # -------------------------------------------------------------- queries
+    def top_k(self, digest: str, k: int = 10, *,
+              feature_type: str | None = None, min_score: int = 1,
+              exclude_ids: Iterable[str] = ()) -> list[IndexMatch]:
+        """The ``k`` best-scoring members for a query digest.
+
+        ``feature_type`` restricts scoring to one type; by default the
+        digest is compared against every indexed type and each member
+        keeps its best score.  Results are sorted by descending score,
+        ties broken by ascending member index; members scoring below
+        ``min_score`` (and members whose ``sample_id`` is in
+        ``exclude_ids``) are omitted.
+        """
+
+        if feature_type is not None:
+            self._check_feature_type(feature_type)
+            types = (feature_type,)
+        else:
+            types = self._feature_types
+        return self.top_k_digests({ft: digest for ft in types}, k,
+                                  min_score=min_score, exclude_ids=exclude_ids)
+
+    def top_k_digests(self, digests: Mapping[str, str], k: int = 10, *,
+                      min_score: int = 1,
+                      exclude_ids: Iterable[str] = ()) -> list[IndexMatch]:
+        """Like :meth:`top_k`, but with one query digest per feature type."""
+
+        if k < 1:
+            raise ValidationError("k must be >= 1")
+        if not 0 <= min_score <= 100:
+            raise ValidationError("min_score must be in [0, 100]")
+        if not self._sample_ids:
+            return []
+        excluded: set[int] = set()
+        for sample_id in exclude_ids:
+            excluded.update(self._members_by_id.get(sample_id, ()))
+        exclude = [excluded] if excluded else None
+
+        best = np.zeros(self.n_members, dtype=np.float64)
+        for feature_type, digest in digests.items():
+            self._check_feature_type(feature_type)
+            if not digest:
+                continue
+            row = self.score_matrix(feature_type, [digest], exclude=exclude)[0]
+            np.maximum(best, row, out=best)
+
+        order = np.argsort(-best, kind="stable")
+        results: list[IndexMatch] = []
+        for member in order:
+            score = int(best[member])
+            if score < min_score or member in excluded:
+                # argsort is stable, so every later member scores <= this
+                # one; excluded members sit at score 0 and are skipped by
+                # min_score >= 1, but must also be hidden at min_score 0.
+                if score < min_score:
+                    break
+                continue
+            results.append(IndexMatch(member_index=int(member),
+                                      sample_id=self._sample_ids[member],
+                                      class_name=self._class_names[member],
+                                      score=score))
+            if len(results) == k:
+                break
+        return results
+
+    def score_matrix(self, feature_type: str, digests: Sequence[str], *,
+                     exclude: Sequence[Iterable[int]] | None = None
+                     ) -> np.ndarray:
+        """Dense ``(len(digests), n_members)`` SSDeep score matrix.
+
+        ``exclude`` optionally holds, per query, member indices whose
+        scores are forced to zero (self-match suppression); a single-item
+        ``exclude`` is broadcast over all queries.
+        """
+
+        self._check_feature_type(feature_type)
+        digests = list(digests)
+        n_queries = len(digests)
+        if exclude is not None and len(exclude) not in (1, n_queries):
+            raise ValidationError(
+                f"exclude must have 1 or {n_queries} items, got {len(exclude)}")
+        entries = self._entries[feature_type]
+        postings = self._postings[feature_type]
+        scores = np.zeros((n_queries, self.n_members), dtype=np.float64)
+
+        # Candidate generation: (query, entry) pairs sharing an n-gram at
+        # the same block size.
+        query_signatures = [dict(expand_digest(d)) for d in digests]
+        pair_query: list[int] = []
+        pair_entry: list[int] = []
+        for query_index, sig_by_block in enumerate(query_signatures):
+            if exclude is None:
+                excluded: frozenset[int] | set[int] = frozenset()
+            else:
+                excluded = set(exclude[query_index if len(exclude) > 1 else 0])
+            seen: set[int] = set()
+            for block_size, signature in sig_by_block.items():
+                for gram in self._grams(signature):
+                    for entry_id in postings.get((block_size, gram), ()):
+                        if entry_id in seen:
+                            continue
+                        seen.add(entry_id)
+                        if entries[entry_id].member in excluded:
+                            continue
+                        pair_query.append(query_index)
+                        pair_entry.append(entry_id)
+        if not pair_entry:
+            return scores
+
+        # De-duplicate identical signature pairs before running the DP.
+        left: list[str] = []
+        right: list[str] = []
+        block_sizes: list[int] = []
+        pair_key_to_slot: dict[tuple[str, str, int], int] = {}
+        slot_of_pair: list[int] = []
+        for query_index, entry_id in zip(pair_query, pair_entry):
+            entry = entries[entry_id]
+            q_sig = query_signatures[query_index][entry.block_size]
+            key = (q_sig, entry.signature, entry.block_size)
+            slot = pair_key_to_slot.get(key)
+            if slot is None:
+                slot = len(left)
+                pair_key_to_slot[key] = slot
+                left.append(q_sig)
+                right.append(entry.signature)
+                block_sizes.append(entry.block_size)
+            slot_of_pair.append(slot)
+
+        pair_scores = self._score_signature_pairs(left, right, block_sizes)
+        _LOG.debug("%s: %d candidate pairs (%d unique) for %d queries x %d members",
+                   feature_type, len(slot_of_pair), len(left), n_queries,
+                   self.n_members)
+
+        for (query_index, entry_id), slot in zip(zip(pair_query, pair_entry),
+                                                 slot_of_pair):
+            member = entries[entry_id].member
+            score = pair_scores[slot]
+            if score > scores[query_index, member]:
+                scores[query_index, member] = score
+        return scores
+
+    def pairwise_matrix(self, feature_type: str | None = None, *,
+                        max_pairs: int | None = None,
+                        min_score: int = 1) -> list[PairScore]:
+        """Score every candidate member pair, under a pair budget.
+
+        Candidates are member pairs sharing at least one posting bucket;
+        each is scored like :meth:`top_k` (max over comparable signature
+        pairs and, with ``feature_type=None``, over feature types).  When
+        the candidate set exceeds ``max_pairs`` only the first
+        ``max_pairs`` pairs in ``(i, j)`` order are scored and a warning
+        logs exactly how many were dropped — truncation is never silent.
+        Pairs scoring below ``min_score`` are omitted from the result.
+        """
+
+        if max_pairs is not None and max_pairs < 1:
+            raise ValidationError("max_pairs must be >= 1 (or None)")
+        if not 0 <= min_score <= 100:
+            raise ValidationError("min_score must be in [0, 100]")
+        if feature_type is not None:
+            self._check_feature_type(feature_type)
+            types = (feature_type,)
+        else:
+            types = self._feature_types
+
+        candidates: set[tuple[int, int]] = set()
+        for ft in types:
+            entries = self._entries[ft]
+            for entry_ids in self._postings[ft].values():
+                if len(entry_ids) < 2:
+                    continue
+                members = sorted({entries[e].member for e in entry_ids})
+                candidates.update(combinations(members, 2))
+        pairs = sorted(candidates)
+        if max_pairs is not None and len(pairs) > max_pairs:
+            dropped = len(pairs) - max_pairs
+            _LOG.warning(
+                "pairwise_matrix: scoring %d of %d candidate pairs, dropping "
+                "%d over the max_pairs=%d budget", max_pairs, len(pairs),
+                dropped, max_pairs)
+            pairs = pairs[:max_pairs]
+        if not pairs:
+            return []
+
+        best = np.zeros(len(pairs), dtype=np.float64)
+        for ft in types:
+            # member -> {block_size: signature} for this feature type.
+            sig_by_member: dict[int, dict[int, str]] = defaultdict(dict)
+            for entry in self._entries[ft]:
+                sig_by_member[entry.member][entry.block_size] = entry.signature
+            gram_cache: dict[str, frozenset[str]] = {}
+
+            def grams_of(signature: str) -> frozenset[str]:
+                cached = gram_cache.get(signature)
+                if cached is None:
+                    cached = frozenset(self._grams(signature))
+                    gram_cache[signature] = cached
+                return cached
+
+            left: list[str] = []
+            right: list[str] = []
+            block_sizes: list[int] = []
+            slot_for_key: dict[tuple[str, str, int], int] = {}
+            scatter: list[tuple[int, int]] = []        # (pair_idx, slot)
+            for pair_idx, (i, j) in enumerate(pairs):
+                sigs_i = sig_by_member.get(i)
+                sigs_j = sig_by_member.get(j)
+                if not sigs_i or not sigs_j:
+                    continue
+                for block_size in sigs_i.keys() & sigs_j.keys():
+                    sig_a, sig_b = sigs_i[block_size], sigs_j[block_size]
+                    if not grams_of(sig_a) & grams_of(sig_b):
+                        continue
+                    key = (sig_a, sig_b, block_size)
+                    slot = slot_for_key.get(key)
+                    if slot is None:
+                        slot = len(left)
+                        slot_for_key[key] = slot
+                        left.append(sig_a)
+                        right.append(sig_b)
+                        block_sizes.append(block_size)
+                    scatter.append((pair_idx, slot))
+            if not scatter:
+                continue
+            slot_scores = self._score_signature_pairs(left, right, block_sizes)
+            for pair_idx, slot in scatter:
+                if slot_scores[slot] > best[pair_idx]:
+                    best[pair_idx] = slot_scores[slot]
+
+        return [PairScore(i=i, j=j, score=int(score))
+                for (i, j), score in zip(pairs, best) if score >= min_score]
+
+    # ---------------------------------------------------------------- stats
+    def stats(self) -> dict:
+        """Summary counters (members, entries, postings, block sizes)."""
+
+        per_type = {}
+        for feature_type in self._feature_types:
+            entries = self._entries[feature_type]
+            block_sizes = sorted({entry.block_size for entry in entries})
+            per_type[feature_type] = {
+                "entries": len(entries),
+                "postings": len(self._postings[feature_type]),
+                "block_sizes": block_sizes,
+            }
+        labelled = [name for name in self._class_names if name]
+        return {
+            "members": self.n_members,
+            "classes": len(set(labelled)),
+            "labelled_members": len(labelled),
+            "ngram_length": self._ngram_length,
+            "feature_types": per_type,
+        }
+
+    # ---------------------------------------------------------- persistence
+    def save(self, path: str | os.PathLike) -> Path:
+        """Write the index to one compact versioned file."""
+
+        flat_types: list[int] = []
+        flat_members: list[int] = []
+        flat_blocks: list[int] = []
+        signatures: list[str] = []
+        for type_idx, feature_type in enumerate(self._feature_types):
+            for entry in self._entries[feature_type]:
+                flat_types.append(type_idx)
+                flat_members.append(entry.member)
+                flat_blocks.append(entry.block_size)
+                signatures.append(entry.signature)
+        sig_bytes = "".join(signatures).encode("ascii")
+        offsets = np.zeros(len(signatures) + 1, dtype=np.int64)
+        np.cumsum([len(s) for s in signatures], out=offsets[1:])
+
+        header = {
+            "ngram_length": self._ngram_length,
+            "feature_types": list(self._feature_types),
+            "sample_ids": list(self._sample_ids),
+            "class_names": list(self._class_names),
+        }
+        arrays = {
+            "entry_type": np.asarray(flat_types, dtype=np.int16),
+            "entry_member": np.asarray(flat_members, dtype=np.int32),
+            "entry_block": np.asarray(flat_blocks, dtype=np.int64),
+            "sig_offsets": offsets,
+            "sig_bytes": np.frombuffer(sig_bytes, dtype=np.uint8).copy()
+            if sig_bytes else np.zeros(0, dtype=np.uint8),
+        }
+        path = write_container(path, header, arrays)
+        _LOG.info("saved index (%d members, %d entries) to %s",
+                  self.n_members, len(flat_types), path)
+        return path
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "SimilarityIndex":
+        """Load an index saved by :meth:`save`.
+
+        Raises :class:`~repro.exceptions.IndexFormatError` on missing,
+        corrupt, truncated or unsupported files.
+        """
+
+        header, arrays = read_container(path)
+        try:
+            ngram_length = int(header["ngram_length"])
+            feature_types = [str(ft) for ft in header["feature_types"]]
+            sample_ids = [str(s) for s in header["sample_ids"]]
+            class_names = [str(c) for c in header["class_names"]]
+            entry_type = arrays["entry_type"]
+            entry_member = arrays["entry_member"]
+            entry_block = arrays["entry_block"]
+            sig_offsets = arrays["sig_offsets"]
+            sig_bytes = arrays["sig_bytes"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise IndexFormatError(
+                f"index file {path} is missing required fields: {exc}") from exc
+
+        n_entries = len(entry_type)
+        if len(class_names) != len(sample_ids):
+            raise IndexFormatError(
+                f"index file {path} has {len(sample_ids)} sample ids but "
+                f"{len(class_names)} class names")
+        if len(entry_member) != n_entries or len(entry_block) != n_entries \
+                or len(sig_offsets) != n_entries + 1:
+            raise IndexFormatError(f"index file {path} has inconsistent "
+                                   "entry array lengths")
+        if n_entries and (np.any(np.diff(sig_offsets) < 0)
+                          or sig_offsets[0] != 0
+                          or sig_offsets[-1] != len(sig_bytes)):
+            raise IndexFormatError(f"index file {path} has corrupt "
+                                   "signature offsets")
+        try:
+            index = cls(feature_types, ngram_length=ngram_length)
+        except ValidationError as exc:
+            raise IndexFormatError(f"index file {path} has an invalid "
+                                   f"configuration: {exc}") from exc
+        index._sample_ids = sample_ids
+        index._class_names = class_names
+        for member, sample_id in enumerate(sample_ids):
+            index._members_by_id.setdefault(sample_id, set()).add(member)
+
+        try:
+            all_signatures = sig_bytes.tobytes().decode("ascii")
+        except UnicodeDecodeError as exc:
+            raise IndexFormatError(f"index file {path} has non-ASCII "
+                                   "signature bytes") from exc
+        n_members = len(sample_ids)
+        for i in range(n_entries):
+            type_idx = int(entry_type[i])
+            member = int(entry_member[i])
+            if not 0 <= type_idx < len(feature_types):
+                raise IndexFormatError(
+                    f"index file {path} references feature type #{type_idx} "
+                    f"but only {len(feature_types)} are declared")
+            if not 0 <= member < n_members:
+                raise IndexFormatError(
+                    f"index file {path} references member #{member} "
+                    f"but only {n_members} are declared")
+            signature = all_signatures[int(sig_offsets[i]):int(sig_offsets[i + 1])]
+            index._add_entry(feature_types[type_idx], member,
+                             int(entry_block[i]), signature)
+        _LOG.info("loaded index (%d members, %d entries) from %s",
+                  n_members, n_entries, path)
+        return index
+
+    # ------------------------------------------------------------ internals
+    def _add_entry(self, feature_type: str, member: int, block_size: int,
+                   signature: str) -> None:
+        entries = self._entries[feature_type]
+        entry_id = len(entries)
+        entries.append(_Entry(member, block_size, signature))
+        postings = self._postings[feature_type]
+        for gram in self._grams(signature):
+            postings[(block_size, gram)].append(entry_id)
+
+    def _grams(self, signature: str) -> set[str]:
+        n = self._ngram_length
+        if len(signature) < n:
+            return set()
+        return {signature[i:i + n] for i in range(len(signature) - n + 1)}
+
+    def _score_signature_pairs(self, left: Sequence[str], right: Sequence[str],
+                               block_sizes: Sequence[int]) -> np.ndarray:
+        """SSDeep scores for same-block-size signature pairs (gate applied
+        by the caller)."""
+
+        distances = self._engine.distances_two_lists(left, right)
+        lengths_left = np.array([len(s) for s in left], dtype=np.float64)
+        lengths_right = np.array([len(s) for s in right], dtype=np.float64)
+        scores = ssdeep_score_from_distance(
+            distances, lengths_left, lengths_right,
+            np.array(block_sizes, dtype=np.float64)).astype(np.float64)
+        # Identical signatures always score 100 (the reference's fast
+        # path), even where the small-block-size cap would otherwise bite.
+        identical = np.array([l == r for l, r in zip(left, right)], dtype=bool)
+        scores[identical] = 100.0
+        return scores
+
+    def _check_feature_type(self, feature_type: str) -> None:
+        if feature_type not in self._feature_types:
+            raise ValidationError(
+                f"unknown feature type {feature_type!r}; this index holds "
+                f"{list(self._feature_types)}")

@@ -1,0 +1,154 @@
+"""On-disk container for the similarity index.
+
+A saved index is one compact binary file:
+
+====================  =======================================================
+offset                content
+====================  =======================================================
+0                     magic ``b"RPROSIDX"`` (8 bytes)
+8                     format version, ``uint32`` little-endian
+12                    header length in bytes, ``uint64`` little-endian
+20                    UTF-8 JSON header
+20 + header length    raw array payloads, C-contiguous, in header order
+====================  =======================================================
+
+The JSON header carries everything that is not bulk data (feature types,
+sample ids, class names, n-gram length) plus one descriptor per array:
+``{"name", "dtype", "shape"}``.  Only the small allowlisted set of dtypes
+the index actually uses can appear, so a corrupted header cannot make the
+reader allocate through an attacker-controlled dtype string.
+
+Readers accept any file whose major version is :data:`FORMAT_VERSION` or
+lower; anything else (bad magic, truncated payload, unparsable header,
+future version) raises :class:`~repro.exceptions.IndexFormatError` with a
+message naming the file and the problem.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import struct
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from ..exceptions import IndexFormatError, SimilarityIndexError
+
+__all__ = ["FORMAT_VERSION", "MAGIC", "write_container", "read_container"]
+
+#: Current (and oldest readable) container format version.
+FORMAT_VERSION = 1
+
+#: File magic identifying a repro similarity index.
+MAGIC = b"RPROSIDX"
+
+_PREAMBLE = struct.Struct("<8sIQ")
+
+#: dtypes a well-formed header may declare.
+_ALLOWED_DTYPES = ("<i2", "<i4", "<i8", "|u1")
+
+
+def write_container(path: str | os.PathLike, header: Mapping,
+                    arrays: Mapping[str, np.ndarray]) -> Path:
+    """Write ``header`` and ``arrays`` to ``path``; returns the path."""
+
+    path = Path(path)
+    descriptors = []
+    payloads = []
+    for name, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        # dtype.str spells out the byte order even for native ('=') dtypes,
+        # so this converts on big-endian hosts where byteorder is not '>'.
+        if array.dtype.str.startswith(">"):
+            array = array.astype(array.dtype.newbyteorder("<"))
+        if array.dtype.str not in _ALLOWED_DTYPES:
+            raise IndexFormatError(
+                f"cannot serialise array {name!r} with dtype {array.dtype.str!r}")
+        descriptors.append({"name": name, "dtype": array.dtype.str,
+                            "shape": list(array.shape)})
+        payloads.append(array.tobytes())
+
+    full_header = dict(header)
+    full_header["format_version"] = FORMAT_VERSION
+    full_header["arrays"] = descriptors
+    header_bytes = json.dumps(full_header, separators=(",", ":"),
+                              sort_keys=True).encode("utf-8")
+
+    try:
+        with open(path, "wb") as fh:
+            fh.write(_PREAMBLE.pack(MAGIC, FORMAT_VERSION, len(header_bytes)))
+            fh.write(header_bytes)
+            for payload in payloads:
+                fh.write(payload)
+    except OSError as exc:
+        raise SimilarityIndexError(
+            f"cannot write index file {path}: {exc}") from exc
+    return path
+
+
+def read_container(path: str | os.PathLike) -> tuple[dict, dict[str, np.ndarray]]:
+    """Read ``(header, arrays)`` from ``path``, validating the format."""
+
+    path = Path(path)
+    if not path.is_file():
+        raise IndexFormatError(f"index file {path} does not exist")
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise IndexFormatError(f"cannot read index file {path}: {exc}") from exc
+
+    if len(data) < _PREAMBLE.size:
+        raise IndexFormatError(f"{path} is too short to be a similarity index")
+    magic, version, header_len = _PREAMBLE.unpack_from(data)
+    if magic != MAGIC:
+        raise IndexFormatError(f"{path} is not a similarity index file (bad magic)")
+    if version > FORMAT_VERSION:
+        raise IndexFormatError(
+            f"{path} uses index format version {version}; this build reads "
+            f"up to version {FORMAT_VERSION}")
+
+    header_end = _PREAMBLE.size + header_len
+    if header_end > len(data):
+        raise IndexFormatError(f"{path} is truncated (incomplete header)")
+    try:
+        header = json.loads(data[_PREAMBLE.size:header_end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise IndexFormatError(f"{path} has a corrupt header: {exc}") from exc
+    if not isinstance(header, dict) or not isinstance(header.get("arrays"), list):
+        raise IndexFormatError(f"{path} has a malformed header")
+
+    arrays: dict[str, np.ndarray] = {}
+    offset = header_end
+    for descriptor in header["arrays"]:
+        try:
+            name = descriptor["name"]
+            dtype_str = descriptor["dtype"]
+            shape = tuple(int(dim) for dim in descriptor["shape"])
+        except (TypeError, KeyError, ValueError) as exc:
+            raise IndexFormatError(
+                f"{path} has a malformed array descriptor: {descriptor!r}") from exc
+        if dtype_str not in _ALLOWED_DTYPES:
+            raise IndexFormatError(
+                f"{path} declares disallowed dtype {dtype_str!r} for array {name!r}")
+        if any(dim < 0 for dim in shape):
+            raise IndexFormatError(
+                f"{path} declares a negative dimension for array {name!r}")
+        dtype = np.dtype(dtype_str)
+        # Arbitrary-precision Python ints: a header declaring absurd
+        # dimensions must fail the size check, not wrap around int64.
+        n_items = math.prod(shape)
+        n_bytes = dtype.itemsize * n_items
+        if offset + n_bytes > len(data):
+            raise IndexFormatError(
+                f"{path} is truncated (array {name!r} ends past end of file)")
+        arrays[name] = np.frombuffer(
+            data, dtype=dtype, count=n_items,
+            offset=offset).reshape(shape).copy()
+        offset += n_bytes
+    if offset != len(data):
+        raise IndexFormatError(
+            f"{path} has {len(data) - offset} trailing bytes after the last array")
+    return header, arrays

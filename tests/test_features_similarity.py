@@ -91,6 +91,44 @@ def test_class_medoids_strategy_reduces_anchor_count(tiny_features):
     assert matrix.X.shape[1] == len(builder.classes_) * len(FEATURE_TYPES)
 
 
+def test_fitted_builder_exposes_its_index(fitted_builder):
+    from repro.index import SimilarityIndex
+
+    assert isinstance(fitted_builder.index_, SimilarityIndex)
+    assert fitted_builder.index_.n_members == len(fitted_builder.anchor_ids_)
+    assert list(fitted_builder.index_.class_names) == \
+        fitted_builder.anchor_classes_
+
+
+def test_fit_from_index_matches_direct_fit(tiny_features):
+    direct = SimilarityFeatureBuilder(["ssdeep-file"]).fit(tiny_features)
+    adopted = SimilarityFeatureBuilder(["ssdeep-file"])
+    adopted.fit_from_index(direct.index_)
+    queries = tiny_features[:8]
+    assert np.array_equal(adopted.transform(queries).X,
+                          direct.transform(queries).X)
+
+
+def test_fit_from_index_validates_compatibility(tiny_features):
+    from repro.index import SimilarityIndex
+
+    builder = SimilarityFeatureBuilder(["ssdeep-file"])
+    with pytest.raises(ValidationError, match="empty"):
+        builder.fit_from_index(SimilarityIndex(["ssdeep-file"]))
+    wrong_type = SimilarityIndex(["ssdeep-strings"])
+    wrong_type.add("a", {}, class_name="X")
+    with pytest.raises(ValidationError, match="feature types"):
+        builder.fit_from_index(wrong_type)
+    wrong_ngram = SimilarityIndex(["ssdeep-file"], ngram_length=5)
+    wrong_ngram.add("a", {}, class_name="X")
+    with pytest.raises(ValidationError, match="n-gram"):
+        builder.fit_from_index(wrong_ngram)
+    unlabelled = SimilarityIndex(["ssdeep-file"])
+    unlabelled.add("a", {})
+    with pytest.raises(ValidationError, match="class label"):
+        builder.fit_from_index(unlabelled)
+
+
 def test_transform_before_fit_raises(tiny_features):
     with pytest.raises(NotFittedError):
         SimilarityFeatureBuilder().transform(tiny_features[:2])

@@ -117,3 +117,35 @@ def test_invalid_hasher_configuration():
 def test_alphabet_is_standard_base64():
     assert len(B64_ALPHABET) == 64
     assert len(set(B64_ALPHABET)) == 64
+
+
+def test_hash_file_reads_in_bounded_chunks(tmp_path):
+    """A tiny chunk size must yield the same digest as one big read."""
+
+    data = random.Random(5).randbytes(40_000)
+    path = tmp_path / "streamed.bin"
+    path.write_bytes(data)
+    hasher = FuzzyHasher()
+    assert hasher.hash_file(path, chunk_size=7) == hasher.hash(data)
+    assert hasher.hash_file(path, chunk_size=1 << 16) == hasher.hash(data)
+
+
+def test_hash_file_enforces_max_bytes(tmp_path):
+    data = random.Random(6).randbytes(10_000)
+    path = tmp_path / "big.bin"
+    path.write_bytes(data)
+    hasher = FuzzyHasher()
+    with pytest.raises(HashingError, match="hashing limit"):
+        hasher.hash_file(path, max_bytes=9_999)
+    # At exactly the limit, and with the cap disabled, hashing succeeds.
+    assert hasher.hash_file(path, max_bytes=10_000) == hasher.hash(data)
+    assert hasher.hash_file(path, max_bytes=None) == hasher.hash(data)
+
+
+def test_hash_file_rejects_bad_parameters(tmp_path):
+    path = tmp_path / "x.bin"
+    path.write_bytes(b"abc")
+    with pytest.raises(HashingError):
+        FuzzyHasher().hash_file(path, chunk_size=0)
+    with pytest.raises(HashingError):
+        FuzzyHasher().hash_file(path, max_bytes=-1)

@@ -1,0 +1,57 @@
+"""Tier-1 perf smoke for the similarity index.
+
+Runs the top-k benchmark (``benchmarks/bench_index_topk.py``) at a small
+scale so a regression that erodes the prebuilt-index advantage fails the
+default test run, not just a manually-invoked benchmark.  The
+full-size run is marked ``slow`` (``pytest -m slow`` opts in).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+_BENCH_PATH = Path(__file__).resolve().parents[1] / "benchmarks" / \
+    "bench_index_topk.py"
+
+
+@pytest.fixture(scope="module")
+def bench():
+    spec = importlib.util.spec_from_file_location("bench_index_topk",
+                                                  _BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("bench_index_topk", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quick_benchmark_speedup_and_fidelity(bench, tmp_path):
+    result = bench.run(n_corpus=150, n_queries=12,
+                       index_path=tmp_path / "bench.rpsi")
+    assert result.results_match, \
+        "prebuilt/reloaded results diverged from the rebuild path"
+    # The full benchmark demonstrates >=5x; the smoke floor is kept
+    # conservative so a loaded CI machine cannot flake it.
+    assert result.speedup >= 2.0, \
+        f"prebuilt index only {result.speedup:.1f}x faster than rebuilding"
+
+
+def test_benchmark_cli_quick_mode(bench, capsys, tmp_path, monkeypatch):
+    monkeypatch.setattr(bench, "OUTPUT_DIR", tmp_path)
+    code = bench.main(["--quick", "--corpus", "120", "--queries", "8",
+                       "--min-speedup", "2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "speedup" in out
+    assert (tmp_path / "bench_index_topk.txt").is_file()
+
+
+@pytest.mark.slow
+def test_full_benchmark_meets_acceptance_floor(bench, tmp_path):
+    """The acceptance-criterion configuration: ~1k digests, >=5x."""
+
+    result = bench.run(n_corpus=1000, n_queries=100,
+                       index_path=tmp_path / "bench-full.rpsi")
+    assert result.results_match
+    assert result.speedup >= 5.0

@@ -1,0 +1,182 @@
+"""Tests for similarity-index save/load: round-trip fidelity and the
+error handling of the on-disk container."""
+
+import json
+import struct
+
+import pytest
+
+from repro.exceptions import IndexFormatError
+from repro.hashing.ssdeep import fuzzy_hash
+from repro.index import SimilarityIndex
+from repro.index.storage import FORMAT_VERSION, MAGIC, read_container, \
+    write_container
+
+from test_index_core import make_corpus
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_corpus(80, seed=11)
+
+
+@pytest.fixture(scope="module")
+def index(corpus):
+    idx = SimilarityIndex(["ssdeep-file"])
+    idx.add_many(corpus)
+    return idx
+
+
+def test_round_trip_preserves_everything(index, corpus, tmp_path):
+    path = index.save(tmp_path / "corpus.rpsi")
+    loaded = SimilarityIndex.load(path)
+    assert loaded.feature_types == index.feature_types
+    assert loaded.ngram_length == index.ngram_length
+    assert loaded.sample_ids == index.sample_ids
+    assert loaded.class_names == index.class_names
+    assert loaded.stats() == index.stats()
+    for _, digests, _ in corpus[::7]:
+        query = digests["ssdeep-file"]
+        assert loaded.top_k(query, 30) == index.top_k(query, 30)
+    assert loaded.pairwise_matrix(max_pairs=500) == \
+        index.pairwise_matrix(max_pairs=500)
+
+
+def test_loaded_index_stays_updatable(index, corpus, tmp_path):
+    import random
+
+    loaded = SimilarityIndex.load(index.save(tmp_path / "i.rpsi"))
+    digest = fuzzy_hash(random.Random(3).randbytes(3000))
+    member = loaded.add("newcomer", {"ssdeep-file": digest})
+    assert member == len(corpus)
+    assert loaded.top_k(digest, 1)[0].sample_id == "newcomer"
+
+
+def test_empty_index_round_trips(tmp_path):
+    path = SimilarityIndex(["ssdeep-file"]).save(tmp_path / "empty.rpsi")
+    loaded = SimilarityIndex.load(path)
+    assert loaded.n_members == 0
+    assert loaded.top_k("3:abcdefgh:ijkl") == []
+
+
+def test_missing_file_raises_clear_error(tmp_path):
+    with pytest.raises(IndexFormatError, match="does not exist"):
+        SimilarityIndex.load(tmp_path / "nope.rpsi")
+
+
+def test_not_an_index_file(tmp_path):
+    path = tmp_path / "junk.rpsi"
+    path.write_bytes(b"definitely not an index" * 10)
+    with pytest.raises(IndexFormatError, match="bad magic"):
+        SimilarityIndex.load(path)
+    path.write_bytes(b"xy")
+    with pytest.raises(IndexFormatError, match="too short"):
+        SimilarityIndex.load(path)
+
+
+def test_future_version_rejected(index, tmp_path):
+    path = index.save(tmp_path / "future.rpsi")
+    data = bytearray(path.read_bytes())
+    struct.pack_into("<I", data, len(MAGIC), FORMAT_VERSION + 1)
+    path.write_bytes(bytes(data))
+    with pytest.raises(IndexFormatError, match="format version"):
+        SimilarityIndex.load(path)
+
+
+def test_truncated_payload_rejected(index, tmp_path):
+    path = index.save(tmp_path / "trunc.rpsi")
+    data = path.read_bytes()
+    path.write_bytes(data[:len(data) - 40])
+    with pytest.raises(IndexFormatError, match="truncated"):
+        SimilarityIndex.load(path)
+
+
+def test_corrupt_header_rejected(index, tmp_path):
+    path = index.save(tmp_path / "header.rpsi")
+    data = bytearray(path.read_bytes())
+    data[20] ^= 0xFF  # first header byte: JSON no longer parses
+    path.write_bytes(bytes(data))
+    with pytest.raises(IndexFormatError, match="header"):
+        SimilarityIndex.load(path)
+
+
+def test_inconsistent_header_fields_rejected(tmp_path):
+    # A structurally valid container whose header lies about its arrays.
+    import numpy as np
+
+    path = write_container(tmp_path / "liar.rpsi", {
+        "ngram_length": 7,
+        "feature_types": ["ssdeep-file"],
+        "sample_ids": ["a"],
+        "class_names": ["x", "y"],          # one more than sample_ids
+    }, {
+        "entry_type": np.zeros(0, dtype=np.int16),
+        "entry_member": np.zeros(0, dtype=np.int32),
+        "entry_block": np.zeros(0, dtype=np.int64),
+        "sig_offsets": np.zeros(1, dtype=np.int64),
+        "sig_bytes": np.zeros(0, dtype=np.uint8),
+    })
+    with pytest.raises(IndexFormatError, match="class names"):
+        SimilarityIndex.load(path)
+
+
+def test_out_of_range_entry_references_rejected(tmp_path):
+    import numpy as np
+
+    arrays = {
+        "entry_type": np.array([5], dtype=np.int16),    # no such type
+        "entry_member": np.array([0], dtype=np.int32),
+        "entry_block": np.array([3], dtype=np.int64),
+        "sig_offsets": np.array([0, 4], dtype=np.int64),
+        "sig_bytes": np.frombuffer(b"abcd", dtype=np.uint8).copy(),
+    }
+    header = {"ngram_length": 7, "feature_types": ["ssdeep-file"],
+              "sample_ids": ["a"], "class_names": [""]}
+    path = write_container(tmp_path / "badtype.rpsi", header, arrays)
+    with pytest.raises(IndexFormatError, match="feature type"):
+        SimilarityIndex.load(path)
+
+    arrays["entry_type"] = np.array([0], dtype=np.int16)
+    arrays["entry_member"] = np.array([9], dtype=np.int32)  # no such member
+    path = write_container(tmp_path / "badmember.rpsi", header, arrays)
+    with pytest.raises(IndexFormatError, match="member"):
+        SimilarityIndex.load(path)
+
+
+def test_header_with_absurd_shape_rejected_not_overflowed(tmp_path):
+    """A corrupt header declaring huge dimensions must fail the size
+    check (IndexFormatError), not wrap around int64 and crash later."""
+
+    header = json.dumps({
+        "format_version": FORMAT_VERSION,
+        "arrays": [{"name": "entry_type", "dtype": "|u1",
+                    "shape": [2 ** 32, 2 ** 32]}],
+    }).encode("utf-8")
+    path = tmp_path / "absurd.rpsi"
+    path.write_bytes(struct.pack("<8sIQ", MAGIC, FORMAT_VERSION, len(header))
+                     + header)
+    with pytest.raises(IndexFormatError, match="truncated"):
+        read_container(path)
+
+
+def test_container_rejects_disallowed_dtype(tmp_path):
+    import numpy as np
+
+    with pytest.raises(IndexFormatError, match="dtype"):
+        write_container(tmp_path / "f.rpsi", {},
+                        {"x": np.zeros(2, dtype=np.float64)})
+
+
+def test_container_rejects_trailing_garbage(tmp_path, index):
+    path = index.save(tmp_path / "trail.rpsi")
+    with open(path, "ab") as fh:
+        fh.write(b"extra")
+    with pytest.raises(IndexFormatError, match="trailing"):
+        read_container(path)
+
+
+def test_header_records_format_version(index, tmp_path):
+    header, _ = read_container(index.save(tmp_path / "v.rpsi"))
+    assert header["format_version"] == FORMAT_VERSION
+    # The header is honest JSON all the way down.
+    json.dumps(header)

@@ -29,6 +29,10 @@ from repro.ml.metrics import accuracy_score, f1_score, precision_recall_fscore_s
 # A compact alphabet keeps the edit-distance search space interesting.
 _short_text = st.text(alphabet="ABCab01+/", max_size=24)
 _blobs = st.binary(min_size=0, max_size=4096)
+# Full-range unicode (including astral code points past int16) and raw
+# bytes; both are valid BatchEditDistance inputs.
+_any_text = st.text(max_size=16)
+_any_bytes = st.binary(max_size=16)
 
 _default_settings = settings(max_examples=60, deadline=None,
                              suppress_health_check=[HealthCheck.too_slow])
@@ -57,6 +61,48 @@ def test_vectorised_distances_agree_with_reference(a, b):
 
 
 @_default_settings
+@given(st.lists(st.tuples(_any_text, _any_text), max_size=10))
+def test_batch_engine_matches_scalar_on_unicode_pair_lists(pairs):
+    """The batched DP must agree with the scalar reference pair by pair —
+    including empty strings, identical strings and astral code points."""
+
+    left = [a for a, _ in pairs]
+    right = [b for _, b in pairs]
+    plain = batch_edit_distances(left, right)
+    weighted = batch_edit_distances(left, right, substitute_cost=3,
+                                    transpose_cost=5)
+    for i, (a, b) in enumerate(pairs):
+        assert plain[i] == osa_distance(a, b)
+        assert weighted[i] == weighted_edit_distance(a, b)
+
+
+@_default_settings
+@given(st.lists(st.tuples(_any_bytes, _any_bytes), max_size=10))
+def test_batch_engine_matches_scalar_on_byte_pair_lists(pairs):
+    left = [a for a, _ in pairs]
+    right = [b for _, b in pairs]
+    plain = batch_edit_distances(left, right)
+    weighted = batch_edit_distances(left, right, substitute_cost=3,
+                                    transpose_cost=5)
+    for i, (a, b) in enumerate(pairs):
+        assert plain[i] == osa_distance(a, b)
+        assert weighted[i] == weighted_edit_distance(a, b)
+
+
+@_default_settings
+@given(_any_text)
+def test_batch_engine_degenerate_pairs(s):
+    """Empty and all-identical pairs are the DP's boundary rows."""
+
+    assert batch_edit_distances([s], [s])[0] == 0
+    assert batch_edit_distances([s], [""])[0] == len(s)
+    assert batch_edit_distances([""], [s])[0] == len(s)
+    assert batch_edit_distances([""], [""])[0] == 0
+    identical = [s] * 5
+    assert batch_edit_distances(identical, identical).tolist() == [0] * 5
+
+
+@_default_settings
 @given(_short_text, _short_text, _short_text)
 def test_levenshtein_triangle_inequality(a, b, c):
     assert levenshtein_distance(a, c) <= \
@@ -80,6 +126,26 @@ def test_fuzzy_hash_digest_is_well_formed(data):
     assert len(digest.chunk) <= 64
     assert len(digest.double_chunk) <= 32
     assert all(ch in B64_ALPHABET for ch in digest.chunk + digest.double_chunk)
+
+
+@_default_settings
+@given(_blobs)
+def test_digest_string_round_trip(data):
+    """``SsdeepDigest.parse(str(d)) == d`` for every computed digest."""
+
+    digest = SsdeepDigest.parse(fuzzy_hash(data))
+    assert SsdeepDigest.parse(str(digest)) == digest
+    assert str(SsdeepDigest.parse(str(digest))) == str(digest)
+
+
+@_default_settings
+@given(st.integers(min_value=3, max_value=3 * 2 ** 20),
+       st.text(alphabet=B64_ALPHABET, max_size=64),
+       st.text(alphabet=B64_ALPHABET, max_size=32))
+def test_digest_round_trip_for_constructed_digests(block_size, chunk, double_chunk):
+    digest = SsdeepDigest(block_size=block_size, chunk=chunk,
+                          double_chunk=double_chunk)
+    assert SsdeepDigest.parse(str(digest)) == digest
 
 
 @_default_settings
