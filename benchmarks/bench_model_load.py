@@ -1,0 +1,173 @@
+"""Benchmark: model-artifact cold start vs retrain-per-process.
+
+Before the ``repro.api`` facade a trained ``FuzzyHashClassifier`` could
+not be persisted, so every serving process (and every ``repro
+classify`` invocation) re-trained from the software tree before
+answering its first query.  This benchmark quantifies what
+``save_model``/``load_model`` buys on the ``small`` corpus preset:
+
+* **retrain** — cold start the old way (what ``repro classify TREE
+  TARGET`` did on every invocation): scan the on-disk software tree,
+  re-hash every training executable, fit the classifier, then classify
+  a 50-record batch;
+* **load** — cold start from a saved ``model.rpm`` artifact
+  (:func:`repro.api.load_model`), then classify the same batch;
+* the two paths must produce **identical decisions** — the artifact
+  round-trip is bit-exact by design and this benchmark enforces it.
+
+Run directly (``python benchmarks/bench_model_load.py``; the whole run
+takes a few seconds, so there is no separate quick mode).  Exit status
+is non-zero when the cold-start speedup falls below ``--min-speedup``
+(default 10x) or when the decision sets diverge, so the script doubles
+as a regression tripwire; ``tests/test_model_bench_smoke.py`` runs it
+as part of tier 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.api.service import ClassificationService
+from repro.config import default_config
+from repro.corpus.builder import CorpusBuilder
+from repro.corpus.scanner import CorpusScanner
+from repro.features.pipeline import FeatureExtractionPipeline
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+BATCH_SIZE = 50
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    n_train: int
+    n_batch: int
+    n_estimators: int
+    retrain_seconds: float
+    load_seconds: float
+    save_seconds: float
+    file_bytes: int
+    decisions_match: bool
+
+    @property
+    def speedup(self) -> float:
+        if self.load_seconds <= 0:
+            return float("inf")
+        return self.retrain_seconds / self.load_seconds
+
+    def table(self) -> str:
+        lines = [
+            f"corpus: small preset, {self.n_train} training samples, "
+            f"{self.n_estimators} trees, {self.n_batch}-record batch",
+            f"{'cold-start path':<40} {'total (s)':>10}",
+            f"{'scan tree + retrain + classify batch':<40} "
+            f"{self.retrain_seconds:>10.3f}",
+            f"{'load model.rpm + classify batch':<40} "
+            f"{self.load_seconds:>10.3f}",
+            f"one-time save: {self.save_seconds * 1e3:.1f} ms, "
+            f"artifact size: {self.file_bytes} bytes",
+            f"cold-start speedup (retrain / load): {self.speedup:.1f}x",
+            f"loaded decisions identical to retrained: {self.decisions_match}",
+        ]
+        return "\n".join(lines)
+
+
+def run(n_estimators: int, seed: int = 11, repeats: int = 3) -> BenchResult:
+    config = default_config("small", seed=seed)
+    train_params = dict(n_estimators=n_estimators, random_state=seed,
+                        confidence_threshold=0.5)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-model-") as tmp:
+        # Setup (untimed): the software tree exists on every production
+        # cluster; the query batch is pre-extracted because both paths
+        # classify the same records.
+        tree = Path(tmp) / "software"
+        CorpusBuilder(config=config).materialize_tree(tree)
+        batch_features = FeatureExtractionPipeline().extract_dataset(
+            CorpusScanner(tree).scan().dataset)
+        batch = (batch_features
+                 * ((BATCH_SIZE // len(batch_features)) + 1))[:BATCH_SIZE]
+
+        # Retrain-per-process path (the only option before repro.api):
+        # every cold start re-scans and re-hashes the whole training
+        # tree before fitting — this is what `repro classify TREE ...`
+        # paid on each invocation.  Both paths take the best of
+        # ``repeats`` trials so a scheduler hiccup cannot flip the
+        # regression tripwire.
+        retrain_seconds = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            train_features = FeatureExtractionPipeline().extract_dataset(
+                CorpusScanner(tree).scan().dataset)
+            retrained = ClassificationService.train(train_features,
+                                                    **train_params)
+            retrain_decisions = retrained.classify_features(batch)
+            retrain_seconds = min(retrain_seconds,
+                                  time.perf_counter() - start)
+
+        model_path = Path(tmp) / "model.rpm"
+        start = time.perf_counter()
+        retrained.save(model_path)
+        save_seconds = time.perf_counter() - start
+        file_bytes = model_path.stat().st_size
+
+        # Artifact cold-start path.
+        load_seconds = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            loaded = ClassificationService.load(model_path)
+            load_decisions = loaded.classify_features(batch)
+            load_seconds = min(load_seconds, time.perf_counter() - start)
+
+        n_train = len(train_features)
+
+    return BenchResult(
+        n_train=n_train,
+        n_batch=len(batch),
+        n_estimators=n_estimators,
+        retrain_seconds=retrain_seconds,
+        load_seconds=load_seconds,
+        save_seconds=save_seconds,
+        file_bytes=file_bytes,
+        decisions_match=(retrain_decisions == load_decisions),
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--estimators", type=int, default=100,
+                        help="forest size (default 100, the classifier's "
+                             "own default — what `repro classify` retrained "
+                             "with)")
+    parser.add_argument("--min-speedup", type=float, default=10.0,
+                        help="fail (exit 1) below this cold-start speedup")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="trials per path; the best is reported")
+    args = parser.parse_args(argv)
+
+    result = run(args.estimators, repeats=args.repeats)
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    out = OUTPUT_DIR / "bench_model_load.txt"
+    out.write_text(result.table() + "\n", encoding="utf-8")
+    print(result.table())
+    print(f"(written to {out})")
+
+    if not result.decisions_match:
+        print("FAIL: loaded-model decisions diverge from the retrain path",
+              file=sys.stderr)
+        return 1
+    if result.speedup < args.min_speedup:
+        print(f"FAIL: cold-start speedup {result.speedup:.1f}x is below the "
+              f"{args.min_speedup:.1f}x floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

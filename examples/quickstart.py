@@ -1,17 +1,22 @@
 #!/usr/bin/env python3
-"""Quickstart: train the Fuzzy Hash Classifier and classify executables.
+"""Quickstart: train, persist and serve the Fuzzy Hash Classifier.
 
-This walks through the whole pipeline of the paper on a small synthetic
-software tree:
+This walks through the deployment lifecycle of the paper's envisioned
+workflow (Figure 1) on a small synthetic software tree, using the
+``repro.api`` facade:
 
 1. generate a sciCORE-like software tree on disk
    (``<Class>/<version>/<executable>`` with real ELF binaries),
-2. scan it with the paper's collection rules,
-3. extract the three SSDeep fuzzy-hash features per executable,
-4. train the Fuzzy Hash Classifier (Random Forest over similarity
-   scores, balanced class weights, confidence threshold for "unknown"),
-5. classify a few executables — including ones from application classes
-   the model has never seen.
+2. scan it with the paper's collection rules and extract the three
+   SSDeep fuzzy-hash features per executable,
+3. train a :class:`repro.ClassificationService` (Random Forest over
+   similarity scores, balanced class weights, confidence threshold for
+   "unknown") and evaluate it on held-out samples,
+4. persist the fitted model as one versioned artifact file
+   (``model.rpm``) and cold-start a *fresh* service from it — no
+   retraining — verifying the decisions are identical,
+5. classify executables through the service facade: a directory, raw
+   bytes, and a micro-batched stream.
 
 Run with::
 
@@ -25,10 +30,10 @@ import tempfile
 from pathlib import Path
 
 from repro import (
+    ClassificationService,
     CorpusBuilder,
     CorpusScanner,
     FeatureExtractionPipeline,
-    FuzzyHashClassifier,
     default_config,
     two_phase_split,
 )
@@ -51,42 +56,67 @@ def main() -> int:
         dataset = CorpusBuilder(config=config).materialize_tree(tree)
         print(f"      {dataset.summary()}")
 
-        # 2. scan it exactly like the paper collects its data set.
-        print("\n[2/5] scanning the tree with the collection rules ...")
+        # 2. scan + extract fuzzy-hash features, exactly like the paper
+        #    collects its data set.
+        print("\n[2/5] scanning and extracting SSDeep features ...")
         scan = CorpusScanner(tree).scan()
-        print(f"      {scan.summary()}")
-
-        # 3. extract fuzzy-hash features (ssdeep-file / -strings / -symbols).
-        print("\n[3/5] extracting SSDeep fuzzy-hash features ...")
         features = FeatureExtractionPipeline(n_jobs=config.n_jobs) \
             .extract_dataset(scan.dataset)
         example = features[0]
+        print(f"      {scan.summary()}")
         print(f"      example digest ({example.sample_id}):")
         print(f"        ssdeep-symbols = {example.digest('ssdeep-symbols')[:70]}...")
 
-        # 4. two-phase split and training.
-        print("\n[4/5] training the Fuzzy Hash Classifier ...")
+        # 3. train the service on the training split and evaluate it.
+        print("\n[3/5] training the ClassificationService ...")
         split = two_phase_split(scan.dataset.labels, mode="paper",
                                 random_state=config.seed)
         print(f"      {split.summary()}")
-        train_features = [features[i] for i in split.train_indices]
-        classifier = FuzzyHashClassifier(
+        service = ClassificationService.train(
+            [features[i] for i in split.train_indices],
             n_estimators=config.scale.n_estimators,
             confidence_threshold=0.5,
             random_state=config.seed,
-        ).fit(train_features)
-        print(f"      feature importance by hash type: "
-              f"{ {k: round(v, 3) for k, v in classifier.feature_importances_by_type().items()} }")
-
-        # 5. classify the held-out test samples (incl. unknown classes).
-        print("\n[5/5] classifying the test set ...")
+        )
         test_features = [features[i] for i in split.test_indices]
-        predictions = classifier.predict(test_features)
+        predictions = service.classifier.predict(test_features)
         report = classification_report(split.expected_test_labels, predictions)
-        print(report.as_text())
-        print(f"\nmacro f1 = {report.macro_f1:.3f}, micro f1 = {report.micro_f1:.3f}, "
-              f"weighted f1 = {report.weighted_f1:.3f}")
-        print("(the paper reports 0.90 / 0.89 / 0.90 on the full 92-class corpus)")
+        print(f"      macro f1 = {report.macro_f1:.3f}, "
+              f"micro f1 = {report.micro_f1:.3f} "
+              f"(the paper reports 0.90 / 0.89 on the full corpus)")
+
+        # 4. persist the model and cold-start a fresh service from the
+        #    artifact — the restored model predicts bit-identically.
+        print("\n[4/5] saving and reloading the model artifact ...")
+        model_path = Path(tmp) / "model.rpm"
+        service.save(model_path)
+        print(f"      saved {model_path.stat().st_size} bytes -> {model_path.name}")
+        served = ClassificationService.load(model_path)
+        reloaded = served.classifier.predict(test_features)
+        assert list(predictions) == list(reloaded), "artifact round-trip diverged"
+        print("      reloaded predictions identical: True")
+
+        # 5. serve: classify a directory, raw bytes and a stream through
+        #    the loaded (not retrained) model.
+        print("\n[5/5] classifying through the service facade ...")
+        some_class = split.known_classes[0]
+        decisions = served.classify_directory(tree / some_class)
+        flagged = sum(1 for d in decisions if d.is_suspicious())
+        print(f"      directory: {len(decisions)} executables, {flagged} flagged")
+
+        blob = (tree / some_class).rglob("*")
+        first_file = next(p for p in sorted(blob) if p.is_file())
+        [byte_decision] = served.classify_bytes(
+            [("pushed-over-the-wire", first_file.read_bytes())])
+        print(f"      bytes: {byte_decision.sample_id} -> "
+              f"{byte_decision.predicted_class} "
+              f"({byte_decision.confidence:.2f}, {byte_decision.decision})")
+
+        streamed = list(served.classify_stream(iter(test_features),
+                                               batch_size=16))
+        unknown = sum(1 for d in streamed if d.decision == "unknown-application")
+        print(f"      stream: {len(streamed)} decisions in input order, "
+              f"{unknown} unknown applications")
     return 0
 
 

@@ -17,15 +17,19 @@ implemented in this package; the only runtime dependency is NumPy.
 
 Quick start
 -----------
->>> from repro import (CorpusBuilder, FeatureExtractionPipeline,
-...                    FuzzyHashClassifier, default_config)
+>>> from repro import (ClassificationService, CorpusBuilder,
+...                    FeatureExtractionPipeline, default_config)
 >>> config = default_config("small")
 >>> samples = CorpusBuilder(config=config).build_samples()
 >>> features = FeatureExtractionPipeline().extract_generated(samples)
->>> clf = FuzzyHashClassifier(n_estimators=30, random_state=0)
->>> clf.fit(features)                    # labels come from the corpus paths
-FuzzyHashClassifier(...)
->>> labels = clf.predict(features[:5])   # class names, or -1 for unknown
+>>> service = ClassificationService.train(features, n_estimators=30,
+...                                       random_state=0)
+>>> service.save("model.rpm")            # versioned single-file artifact
+PosixPath('model.rpm')
+>>> service = ClassificationService.load("model.rpm")   # no retraining
+>>> decisions = service.classify_features(features[:5])
+>>> decisions[0].decision                # 'within-allocation', or flagged
+'within-allocation'
 
 See ``examples/`` for runnable end-to-end scenarios and
 ``benchmarks/`` for the scripts that regenerate every table and figure
@@ -110,6 +114,15 @@ from .core import (
     two_phase_split,
 )
 
+# Public API facade (model artifacts + classification service)
+from .api import (
+    ClassificationService,
+    Decision,
+    inspect_model,
+    load_model,
+    save_model,
+)
+
 # Analysis
 from .analysis import build_usage_report, confused_pairs, group_importances
 
@@ -176,6 +189,12 @@ __all__ = [
     "TwoPhaseSplit",
     "two_phase_split",
     "run_baseline_comparison",
+    # api facade
+    "ClassificationService",
+    "Decision",
+    "save_model",
+    "load_model",
+    "inspect_model",
     # analysis
     "group_importances",
     "confused_pairs",

@@ -1,0 +1,301 @@
+"""The batched classification service facade.
+
+:class:`ClassificationService` is the serve-oriented front door of the
+library: one object that owns a fitted
+:class:`~repro.core.classifier.FuzzyHashClassifier`, an extraction
+pipeline and an allocation policy, and turns executables — file paths,
+raw bytes, pre-extracted feature records, or an unbounded stream — into
+typed :class:`Decision` records.
+
+Construction paths mirror the deployment lifecycle:
+
+* ``ClassificationService.train(features, ...)`` — fit from labelled
+  feature records (one-off, expensive);
+* ``service.save("model.rpm")`` — persist the fitted model as a
+  versioned artifact (:mod:`repro.api.artifact`);
+* ``ClassificationService.load("model.rpm")`` — cold-start a serving
+  process without retraining.
+
+Classification is batched end to end: feature extraction fans out over
+worker processes (:func:`repro.parallel.parallel_map`), and each batch
+runs the anchor index's candidate generation plus the vectorised
+:class:`~repro.distance.batch.BatchEditDistance` scoring once, followed
+by a single forest pass (labels and confidences come from the same
+probability matrix).  ``classify_stream`` applies the same micro-batching
+to an iterable of arbitrary length while yielding decisions in input
+order.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..core.classifier import FuzzyHashClassifier
+from ..exceptions import EvaluationError, NotFittedError, ValidationError
+from ..features.pipeline import FeatureExtractionPipeline
+from ..features.records import SampleFeatures
+from ..index import SimilarityIndex
+from ..logging_utils import get_logger
+
+__all__ = ["Decision", "ClassificationService", "render_report",
+           "DECISION_EXPECTED", "DECISION_UNEXPECTED", "DECISION_UNKNOWN"]
+
+_LOG = get_logger("api.service")
+
+#: Decision labels attached to classified executables.
+DECISION_EXPECTED = "within-allocation"
+DECISION_UNEXPECTED = "unexpected-application"
+DECISION_UNKNOWN = "unknown-application"
+
+#: Default micro-batch size for ``classify_stream``.
+DEFAULT_BATCH_SIZE = 64
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome for one classified executable."""
+
+    sample_id: str
+    predicted_class: object
+    confidence: float
+    decision: str
+
+    def is_suspicious(self) -> bool:
+        """True if an operator should take a closer look."""
+
+        return self.decision in (DECISION_UNEXPECTED, DECISION_UNKNOWN)
+
+
+def render_report(items: Sequence) -> str:
+    """Multi-line operator-facing summary of classification outcomes.
+
+    Accepts :class:`Decision` records or any objects exposing
+    ``predicted_class`` / ``confidence`` / ``decision`` and a
+    ``sample_id`` (or legacy ``path``) identifier — the single formatter
+    behind both the CLI report and
+    :meth:`repro.core.workflow.ClassificationWorkflow.report`.
+    """
+
+    lines = [f"{'decision':<24} {'class':<24} {'conf':>5}  path"]
+    for item in sorted(items,
+                       key=lambda i: (i.decision, str(i.predicted_class))):
+        ident = getattr(item, "sample_id", None)
+        if ident is None:
+            ident = getattr(item, "path", "")
+        lines.append(f"{item.decision:<24} {str(item.predicted_class):<24} "
+                     f"{item.confidence:>5.2f}  {ident}")
+    return "\n".join(lines)
+
+
+class ClassificationService:
+    """Facade: fitted model + extraction pipeline + allocation policy.
+
+    Parameters
+    ----------
+    classifier:
+        A fitted :class:`FuzzyHashClassifier`.
+    allowed_classes:
+        Application classes this allocation is expected to run; ``None``
+        accepts every known class and only flags unknown applications.
+    n_jobs:
+        Worker processes for feature extraction.
+    batch_size:
+        Default micro-batch size for :meth:`classify_stream`.
+    """
+
+    def __init__(self, classifier: FuzzyHashClassifier, *,
+                 allowed_classes: Iterable[str] | None = None,
+                 n_jobs: int = 1,
+                 batch_size: int = DEFAULT_BATCH_SIZE) -> None:
+        if not hasattr(classifier, "model_"):
+            raise NotFittedError(
+                "ClassificationService needs a fitted classifier; use "
+                "ClassificationService.train(...) or .load(...)")
+        if batch_size < 1:
+            raise ValidationError("batch_size must be >= 1")
+        self.classifier = classifier
+        self.allowed_classes = (set(allowed_classes)
+                                if allowed_classes is not None else None)
+        self.n_jobs = n_jobs
+        self.batch_size = int(batch_size)
+        self._pipeline = FeatureExtractionPipeline(classifier.feature_types,
+                                                   n_jobs=n_jobs)
+
+    # ------------------------------------------------------------ lifecycle
+    @classmethod
+    def train(cls, features: Sequence[SampleFeatures], *,
+              allowed_classes: Iterable[str] | None = None,
+              n_jobs: int = 1, batch_size: int = DEFAULT_BATCH_SIZE,
+              index: SimilarityIndex | None = None,
+              **classifier_params) -> "ClassificationService":
+        """Fit a fresh model on labelled feature records.
+
+        ``classifier_params`` are forwarded to
+        :class:`FuzzyHashClassifier` (``n_estimators``,
+        ``confidence_threshold``, ``random_state``, ...); ``index``
+        optionally supplies a prebuilt anchor index.
+        """
+
+        classifier = FuzzyHashClassifier(n_jobs=n_jobs, **classifier_params)
+        classifier.fit(list(features), index=index)
+        return cls(classifier, allowed_classes=allowed_classes,
+                   n_jobs=n_jobs, batch_size=batch_size)
+
+    @classmethod
+    def load(cls, path: str | os.PathLike, *,
+             allowed_classes: Iterable[str] | None = None,
+             n_jobs: int = 1, batch_size: int = DEFAULT_BATCH_SIZE,
+             index: SimilarityIndex | str | os.PathLike | None = None
+             ) -> "ClassificationService":
+        """Cold-start from a model artifact — no retraining.
+
+        ``index`` is only needed for headless artifacts saved with
+        ``include_index=False``.
+        """
+
+        from .artifact import load_model
+
+        return cls(load_model(path, index=index),
+                   allowed_classes=allowed_classes, n_jobs=n_jobs,
+                   batch_size=batch_size)
+
+    def save(self, path: str | os.PathLike, *,
+             include_index: bool = True) -> Path:
+        """Persist the fitted model as a versioned artifact file."""
+
+        from .artifact import save_model
+
+        return save_model(self.classifier, path, include_index=include_index)
+
+    # ------------------------------------------------------------ properties
+    @property
+    def classes_(self):
+        """Known application classes of the underlying model."""
+
+        return self.classifier.classes_
+
+    @property
+    def similarity_index(self) -> SimilarityIndex:
+        """The model's fitted anchor index."""
+
+        builder = getattr(self.classifier, "builder_", None)
+        index = getattr(builder, "index_", None)
+        if index is None:
+            raise EvaluationError(
+                "this service's classifier carries no similarity index")
+        return index
+
+    # -------------------------------------------------------------- classify
+    def classify_features(self, features: Sequence[SampleFeatures]
+                          ) -> list[Decision]:
+        """Classify pre-extracted feature records (e.g. a prolog hook)."""
+
+        features = list(features)
+        if not features:
+            return []
+        return self._decide(features)
+
+    def classify_paths(self, paths: Sequence[str | os.PathLike]
+                       ) -> list[Decision]:
+        """Classify explicit executable paths."""
+
+        paths = [str(p) for p in paths]
+        if not paths:
+            return []
+        return self._decide(self._pipeline.extract_paths(paths))
+
+    def classify_bytes(self, items: Mapping[str, bytes]
+                       | Iterable[tuple[str, bytes]]) -> list[Decision]:
+        """Classify in-memory executables, given ``(sample_id, bytes)``
+        pairs or a mapping of ids to bytes."""
+
+        pairs = list(items.items()) if isinstance(items, Mapping) else list(items)
+        if not pairs:
+            return []
+        return self._decide(self._pipeline.extract_bytes(pairs))
+
+    def classify_directory(self, directory: str | os.PathLike,
+                           pattern: str = "**/*") -> list[Decision]:
+        """Classify every regular file below ``directory``."""
+
+        root = Path(directory)
+        if not root.is_dir():
+            raise EvaluationError(f"{root} is not a directory")
+        paths = sorted(str(p) for p in root.glob(pattern) if p.is_file())
+        if not paths:
+            raise EvaluationError(f"no files found under {root}")
+        return self.classify_paths(paths)
+
+    def classify_stream(self, items: Iterable, *,
+                        batch_size: int | None = None) -> Iterator[Decision]:
+        """Classify an iterable of arbitrary length, in input order.
+
+        Items may be mixed: :class:`SampleFeatures` records,
+        ``(sample_id, bytes)`` pairs, or path strings /
+        :class:`os.PathLike`.  The stream is consumed in micro-batches of
+        ``batch_size`` (default: the service's ``batch_size``), so each
+        batch pays one vectorised scoring-plus-forest pass and memory
+        stays bounded regardless of stream length.
+        """
+
+        batch_size = self.batch_size if batch_size is None else int(batch_size)
+        if batch_size < 1:
+            raise ValidationError("batch_size must be >= 1")
+        batch: list = []
+        for item in items:
+            batch.append(item)
+            if len(batch) >= batch_size:
+                yield from self._classify_batch(batch)
+                batch = []
+        if batch:
+            yield from self._classify_batch(batch)
+
+    # ----------------------------------------------------------- internals
+    def _classify_batch(self, batch: list) -> list[Decision]:
+        features: list[SampleFeatures | None] = [None] * len(batch)
+        paths: list[tuple[int, str]] = []
+        blobs: list[tuple[int, tuple[str, bytes]]] = []
+        for position, item in enumerate(batch):
+            if isinstance(item, SampleFeatures):
+                features[position] = item
+            elif isinstance(item, tuple) and len(item) == 2:
+                blobs.append((position, (str(item[0]), item[1])))
+            elif isinstance(item, (str, os.PathLike)):
+                paths.append((position, str(item)))
+            else:
+                raise ValidationError(
+                    "classify_stream items must be SampleFeatures, "
+                    "(sample_id, bytes) pairs or paths, got "
+                    f"{type(item).__name__}")
+        if paths:
+            extracted = self._pipeline.extract_paths([p for _, p in paths])
+            for (position, _), record in zip(paths, extracted):
+                features[position] = record
+        if blobs:
+            extracted = self._pipeline.extract_bytes([b for _, b in blobs])
+            for (position, _), record in zip(blobs, extracted):
+                features[position] = record
+        return self._decide(features)
+
+    def _decide(self, features: Sequence[SampleFeatures]) -> list[Decision]:
+        labels, confidences = self.classifier.predict_with_confidence(features)
+        unknown = self.classifier.unknown_label
+        allowed = self.allowed_classes
+        decisions: list[Decision] = []
+        for record, predicted, confidence in zip(features, labels, confidences):
+            if predicted == unknown:
+                decision = DECISION_UNKNOWN
+            elif allowed is not None and predicted not in allowed:
+                decision = DECISION_UNEXPECTED
+            else:
+                decision = DECISION_EXPECTED
+            decisions.append(Decision(
+                sample_id=record.sample_id, predicted_class=predicted,
+                confidence=float(confidence), decision=decision))
+        flagged = sum(1 for d in decisions if d.is_suspicious())
+        _LOG.info("service classified %d executables (%d flagged)",
+                  len(decisions), flagged)
+        return decisions

@@ -8,10 +8,20 @@ The sub-commands cover the library's main entry points:
     Run the end-to-end experiment (the paper's evaluation) at a chosen
     scale and print the classification report, feature importances and
     threshold sweep.
+``train``
+    Train the Fuzzy Hash Classifier on a software tree (or an exported
+    features JSON) and persist it as a versioned model artifact
+    (``--out model.rpm``) for later no-retrain classification.
 ``classify``
-    Train on a software tree and classify a directory of executables
-    (the envisioned production workflow of Figure 1).  ``--save-index``
-    persists the fitted anchor index; ``--index`` reuses a saved one.
+    Classify a directory of executables (the envisioned production
+    workflow of Figure 1) — either retraining from a software tree
+    (``classify TREE TARGET``) or, for fast cold starts, loading a
+    saved artifact (``classify --model model.rpm TARGET``).
+    ``--save-index`` persists the fitted anchor index; ``--index``
+    reuses a saved one while retraining.
+``model inspect | validate``
+    Inspect a model artifact's header, or fully restore it to prove it
+    will serve.
 ``index build | query | stats``
     Manage persistent :class:`~repro.index.SimilarityIndex` files: build
     one from a software tree (or an exported features JSON), run top-k
@@ -20,7 +30,7 @@ The sub-commands cover the library's main entry points:
 Errors raised by the library (:class:`~repro.exceptions.ReproError`)
 print a one-line message to stderr and exit with status 2 — no
 tracebacks for operator-facing failures like a missing or corrupt index
-file.
+or model file.
 """
 
 from __future__ import annotations
@@ -31,7 +41,7 @@ import sys
 from .config import default_config
 from .exceptions import ReproError
 from .logging_utils import configure_logging
-from .version_info import describe_environment
+from .version_info import describe_environment, version_string
 
 __all__ = ["main", "build_parser"]
 
@@ -41,6 +51,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-classify",
         description="Fuzzy Hash Classifier for HPC application classification "
                     "(reproduction of Jakobsche & Ciorba, SC 2024)")
+    parser.add_argument("--version", action="version", version=version_string())
     parser.add_argument("--verbose", "-v", action="store_true",
                         help="enable INFO logging")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -63,24 +74,74 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--jobs", type=int, default=1,
                             help="worker processes for extraction/training")
 
-    classify = sub.add_parser("classify", help="train on a software tree and "
-                                               "classify a directory of executables")
-    classify.add_argument("train_tree",
-                          help="software tree with <Class>/<version>/<exe> "
-                               "layout, or a features JSON exported by the "
-                               "library (skips re-hashing the corpus)")
-    classify.add_argument("target", help="directory of executables to classify")
-    classify.add_argument("--threshold", type=float, default=0.5,
-                          help="confidence threshold for the unknown label")
+    train = sub.add_parser("train", help="train and save a model artifact "
+                                         "for no-retrain classification")
+    train.add_argument("source",
+                       help="software tree with <Class>/<version>/<exe> "
+                            "layout, or a features JSON exported by the "
+                            "library (skips the hashing pass)")
+    train.add_argument("--out", "-o", required=True, metavar="FILE",
+                       help="model artifact file to write (e.g. model.rpm)")
+    train.add_argument("--threshold", type=float, default=0.5,
+                       help="confidence threshold for the unknown label")
+    train.add_argument("--estimators", type=int, default=100,
+                       help="number of trees in the Random Forest")
+    train.add_argument("--seed", type=int, default=None,
+                       help="random seed for the forest")
+    train.add_argument("--types", nargs="+", default=None, metavar="TYPE",
+                       help="fuzzy-hash feature types "
+                            "(default: the paper's three types)")
+    train.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for extraction/training")
+    train.add_argument("--no-index", action="store_true",
+                       help="write a headless artifact without the anchor "
+                            "index (smaller; classify will need --index)")
+
+    classify = sub.add_parser(
+        "classify",
+        help="classify a directory of executables, retraining from a "
+             "software tree or loading a saved model artifact")
+    classify.add_argument("source",
+                          help="software tree (or features JSON) to train on; "
+                               "with --model this is the directory of "
+                               "executables to classify instead")
+    classify.add_argument("target", nargs="?", default=None,
+                          help="directory of executables to classify "
+                               "(omitted when --model is used)")
+    classify.add_argument("--model", default=None, metavar="FILE",
+                          help="load a saved model artifact instead of "
+                               "retraining (fast cold start)")
+    classify.add_argument("--threshold", type=float, default=None,
+                          help="confidence threshold for the unknown label "
+                               "(default 0.5, or the saved model's threshold)")
     classify.add_argument("--allowed", nargs="*", default=None,
                           help="application classes allowed for this allocation")
+    classify.add_argument("--estimators", type=int, default=100,
+                          help="number of trees when retraining")
+    classify.add_argument("--seed", type=int, default=None,
+                          help="random seed when retraining")
     classify.add_argument("--index", default=None, metavar="FILE",
-                          help="reuse a saved similarity index instead of "
-                               "re-indexing the anchors (pair with a "
-                               "features-JSON train input to also skip the "
-                               "hashing pass)")
+                          help="similarity index reused while retraining, or "
+                               "supplying the anchors of a headless --model "
+                               "artifact")
     classify.add_argument("--save-index", default=None, metavar="FILE",
                           help="persist the fitted similarity index to FILE")
+    classify.add_argument("--save-model", default=None, metavar="FILE",
+                          help="persist the fitted model artifact to FILE "
+                               "after training")
+
+    model = sub.add_parser("model", help="inspect and validate saved model "
+                                         "artifacts")
+    model_sub = model.add_subparsers(dest="model_command", required=True)
+    model_inspect = model_sub.add_parser(
+        "inspect", help="print a model artifact's header summary")
+    model_inspect.add_argument("model_file", help="artifact written by "
+                                                  "'train --out' or save_model")
+    model_validate = model_sub.add_parser(
+        "validate", help="fully restore an artifact to prove it will serve")
+    model_validate.add_argument("model_file", help="artifact to validate")
+    model_validate.add_argument("--index", default=None, metavar="FILE",
+                                help="anchor index for headless artifacts")
 
     index = sub.add_parser("index", help="build, query and inspect persistent "
                                          "similarity indexes")
@@ -163,26 +224,115 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_train(args) -> int:
+    from .api.service import ClassificationService
+    from .features.extractors import FEATURE_TYPES
+
+    feature_types = tuple(args.types) if args.types else FEATURE_TYPES
+    features = _index_features(args.source, feature_types)
+    service = ClassificationService.train(
+        features, feature_types=feature_types,
+        confidence_threshold=args.threshold, n_estimators=args.estimators,
+        random_state=args.seed, n_jobs=args.jobs)
+    path = service.save(args.out, include_index=not args.no_index)
+    print(f"trained on {len(features)} samples "
+          f"({len(service.classes_)} classes) -> {path} "
+          f"({path.stat().st_size} bytes)")
+    return 0
+
+
 def _cmd_classify(args) -> int:
-    from .core.classifier import FuzzyHashClassifier
-    from .core.workflow import ClassificationWorkflow
+    from .api.service import ClassificationService
+    from .exceptions import ValidationError
     from .features.extractors import FEATURE_TYPES
     from .index import SimilarityIndex
 
-    # Load the index first: a missing/corrupt file must fail fast, not
-    # after the (potentially expensive) training feature pass.
-    index = SimilarityIndex.load(args.index) if args.index else None
-    features = _index_features(args.train_tree, FEATURE_TYPES)
-    classifier = FuzzyHashClassifier(confidence_threshold=args.threshold)
-    classifier.fit(features, index=index)
-    workflow = ClassificationWorkflow(classifier, allowed_classes=args.allowed)
+    if args.model:
+        if args.target is not None:
+            raise ValidationError(
+                "with --model, pass only the directory to classify "
+                "(the model replaces the training source)")
+        if args.save_model:
+            raise ValidationError("--save-model requires training; it cannot "
+                                  "be combined with --model")
+        target = args.source
+        service = ClassificationService.load(args.model, index=args.index,
+                                             allowed_classes=args.allowed)
+        if args.threshold is not None:
+            from ._validation import check_probability
+
+            service.classifier.model_.confidence_threshold = \
+                check_probability(args.threshold, "threshold")
+    else:
+        if args.target is None:
+            raise ValidationError(
+                "classify needs a training source and a target directory "
+                "(or --model FILE plus a target directory)")
+        target = args.target
+        # Load the index first: a missing/corrupt file must fail fast, not
+        # after the (potentially expensive) training feature pass.
+        index = SimilarityIndex.load(args.index) if args.index else None
+        features = _index_features(args.source, FEATURE_TYPES)
+        threshold = 0.5 if args.threshold is None else args.threshold
+        service = ClassificationService.train(
+            features, confidence_threshold=threshold,
+            n_estimators=args.estimators, random_state=args.seed,
+            allowed_classes=args.allowed, index=index)
+        if args.save_model:
+            print(f"model artifact saved to {service.save(args.save_model)}")
     if args.save_index:
-        print(f"similarity index saved to {workflow.save_index(args.save_index)}")
-    classifications = workflow.classify_directory(args.target)
-    print(workflow.report(classifications))
-    flagged = sum(1 for c in classifications if c.is_suspicious())
-    print(f"\n{len(classifications)} executables classified, {flagged} flagged")
+        saved = service.similarity_index.save(args.save_index)
+        print(f"similarity index saved to {saved}")
+    decisions = service.classify_directory(target)
+    from .api.service import render_report
+
+    print(render_report(decisions))
+    flagged = sum(1 for d in decisions if d.is_suspicious())
+    print(f"\n{len(decisions)} executables classified, {flagged} flagged")
     return 0
+
+
+def _cmd_model_inspect(args) -> int:
+    from .api.artifact import inspect_model
+
+    info = inspect_model(args.model_file)
+    print(_format_model_info(info))
+    return 0
+
+
+def _cmd_model_validate(args) -> int:
+    from .api.artifact import validate_model
+
+    info = validate_model(args.model_file, index=args.index)
+    print(f"{args.model_file}: OK")
+    print(_format_model_info(info))
+    return 0
+
+
+def _format_model_info(info: dict) -> str:
+    classes = ", ".join(info["classes"][:8])
+    if info["n_classes"] > 8:
+        classes += f", ... ({info['n_classes']} total)"
+    index_line = (f"embedded, {info['index_members']} anchors"
+                  if info["index_included"] else "not included (headless)")
+    return "\n".join([
+        f"kind: {info['kind']} "
+        f"(format v{info['format_version']}, "
+        f"written by repro {info['library_version']})",
+        f"file: {info['file_bytes']} bytes",
+        f"feature types: {', '.join(info['feature_types'])}",
+        f"classes ({info['n_classes']}): {classes}",
+        f"forest: {info['n_trees']} trees over {info['n_features']} features, "
+        f"confidence threshold {info['confidence_threshold']}",
+        f"anchor strategy: {info['anchor_strategy']}",
+        f"similarity index: {index_line}",
+    ])
+
+
+def _cmd_model(args) -> int:
+    handler = {"inspect": _cmd_model_inspect,
+               "validate": _cmd_model_validate}[args.model_command]
+    return handler(args)
 
 
 def _index_features(source: str, feature_types):
@@ -303,7 +453,9 @@ def _cmd_info(_args) -> int:
 _COMMANDS = {
     "generate": _cmd_generate,
     "experiment": _cmd_experiment,
+    "train": _cmd_train,
     "classify": _cmd_classify,
+    "model": _cmd_model,
     "index": _cmd_index,
     "info": _cmd_info,
 }

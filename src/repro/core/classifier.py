@@ -94,6 +94,18 @@ class ThresholdRandomForest(BaseEstimator, ClassifierMixin):
         refitting (used by the threshold sweep of Figure 3).
         """
 
+        return self.predict_with_confidence(
+            X, confidence_threshold=confidence_threshold)[0]
+
+    def predict_with_confidence(self, X, confidence_threshold: float | None = None
+                                ) -> tuple[np.ndarray, np.ndarray]:
+        """Predict ``(labels, confidences)`` from one probability pass.
+
+        Serving paths want both the thresholded label and the confidence
+        behind it; computing them together halves the forest work
+        compared to calling :meth:`predict` and :meth:`confidence`.
+        """
+
         check_is_fitted(self, "forest_")
         threshold = self.confidence_threshold if confidence_threshold is None \
             else check_probability(confidence_threshold, "confidence_threshold")
@@ -102,7 +114,7 @@ class ThresholdRandomForest(BaseEstimator, ClassifierMixin):
         confidence = proba[np.arange(len(best)), best]
         labels = self.classes_[best].astype(object)
         labels[confidence < threshold] = self.unknown_label
-        return labels
+        return labels, confidence
 
     def predict_known(self, X) -> np.ndarray:
         """Predict without the unknown rejection (pure forest argmax)."""
@@ -115,6 +127,45 @@ class ThresholdRandomForest(BaseEstimator, ClassifierMixin):
 
         proba = self.predict_proba(X)
         return proba.max(axis=1)
+
+    # ---------------------------------------------------------- persistence
+    def get_state(self) -> dict:
+        """Serialisable snapshot of the fitted model (model artifacts)."""
+
+        check_is_fitted(self, "forest_")
+        return {"forest": self.forest_.get_state()}
+
+    def set_state(self, state: dict) -> "ThresholdRandomForest":
+        """Restore a snapshot produced by :meth:`get_state`.
+
+        The constructor hyper-parameters (including the confidence
+        threshold and unknown label) are taken from ``self``; the state
+        only carries fitted arrays.
+        """
+
+        check_probability(self.confidence_threshold, "confidence_threshold")
+        try:
+            forest_state = state["forest"]
+        except (KeyError, TypeError) as exc:
+            raise ValidationError(
+                f"invalid threshold-forest state: {exc}") from exc
+        forest = RandomForestClassifier(
+            n_estimators=self.n_estimators,
+            criterion=self.criterion,
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            class_weight=self.class_weight,
+            random_state=self.random_state,
+            n_jobs=self.n_jobs,
+        )
+        forest.set_state(forest_state)
+        self.forest_ = forest
+        self.classes_ = forest.classes_
+        self.feature_importances_ = forest.feature_importances_
+        self.n_features_in_ = forest.n_features_in_
+        return self
 
 
 class FuzzyHashClassifier(BaseEstimator, ClassifierMixin):
@@ -237,6 +288,21 @@ class FuzzyHashClassifier(BaseEstimator, ClassifierMixin):
         matrix = self.transform(features)
         return self.model_.predict(matrix.X, confidence_threshold=confidence_threshold)
 
+    def predict_with_confidence(self, features: Sequence[SampleFeatures],
+                                confidence_threshold: float | None = None
+                                ) -> tuple[np.ndarray, np.ndarray]:
+        """Predict ``(labels, confidences)`` with one transform pass.
+
+        The serving path (:class:`repro.api.ClassificationService`) needs
+        both; computing them together builds the similarity matrix and
+        runs the forest once instead of twice.
+        """
+
+        check_is_fitted(self, "model_")
+        matrix = self.transform(features)
+        return self.model_.predict_with_confidence(
+            matrix.X, confidence_threshold=confidence_threshold)
+
     def predict_proba(self, features: Sequence[SampleFeatures]) -> np.ndarray:
         check_is_fitted(self, "model_")
         matrix = self.transform(features)
@@ -248,6 +314,73 @@ class FuzzyHashClassifier(BaseEstimator, ClassifierMixin):
         check_is_fitted(self, "model_")
         matrix = self.transform(features)
         return self.model_.confidence(matrix.X)
+
+    # ---------------------------------------------------------- persistence
+    def get_state(self) -> dict:
+        """Serialisable snapshot of the fitted classifier.
+
+        Bundles the feature builder (anchor index), the thresholded
+        forest and the feature layout; :func:`repro.api.save_model` is
+        the on-disk form of exactly this snapshot.
+        """
+
+        check_is_fitted(self, "model_")
+        return {
+            "builder": self.builder_.get_state(),
+            "model": self.model_.get_state(),
+            "feature_names": list(self.feature_names_),
+            "feature_groups": {k: list(v)
+                               for k, v in self.feature_groups_.items()},
+        }
+
+    def set_state(self, state: dict) -> "FuzzyHashClassifier":
+        """Restore a snapshot produced by :meth:`get_state`.
+
+        Constructor hyper-parameters come from ``self`` (they are stored
+        alongside the state in a model artifact); the state carries the
+        fitted builder/forest payloads.
+        """
+
+        try:
+            builder_state = state["builder"]
+            model_state = state["model"]
+            feature_names = list(state["feature_names"])
+            feature_groups = {str(k): [int(i) for i in v]
+                              for k, v in dict(state["feature_groups"]).items()}
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValidationError(
+                f"invalid FuzzyHashClassifier state: {exc}") from exc
+        builder = SimilarityFeatureBuilder(
+            self.feature_types,
+            anchor_strategy=self.anchor_strategy,
+            medoids_per_class=self.medoids_per_class,
+        )
+        builder.set_state(builder_state)
+        model = ThresholdRandomForest(
+            n_estimators=self.n_estimators,
+            criterion=self.criterion,
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            class_weight=self.class_weight,
+            confidence_threshold=self.confidence_threshold,
+            unknown_label=self.unknown_label,
+            random_state=self.random_state,
+            n_jobs=self.n_jobs,
+        )
+        model.set_state(model_state)
+        if len(feature_names) != model.n_features_in_:
+            raise ValidationError(
+                f"state declares {len(feature_names)} feature names but the "
+                f"forest consumes {model.n_features_in_} features")
+        self.builder_ = builder
+        self.model_ = model
+        self.feature_names_ = feature_names
+        self.feature_groups_ = feature_groups
+        self.classes_ = model.classes_
+        self.feature_importances_ = model.feature_importances_
+        return self
 
     # ------------------------------------------------------------ analysis
     def feature_importances_by_type(self) -> dict[str, float]:

@@ -6,12 +6,13 @@ similarity of these fuzzy hashes ...  Researchers and administrators
 can analyze and/or make decisions about HPC jobs based on these
 labels."
 
-:class:`ClassificationWorkflow` wires a fitted
-:class:`~repro.core.classifier.FuzzyHashClassifier` to a directory (or
-explicit list) of executables collected from jobs, attaches a
-per-allocation policy (the set of application classes an allocation is
-expected to run) and produces per-executable decisions that an
-operator could act on.
+:class:`ClassificationWorkflow` is the original entry point for that
+scenario and is kept for backwards compatibility; since the
+introduction of :mod:`repro.api` it is a thin wrapper around
+:class:`~repro.api.service.ClassificationService`, which owns the
+batching, policy and persistence logic.  New code should use the
+service (or the ``repro train`` / ``repro classify --model`` CLI)
+directly.
 """
 
 from __future__ import annotations
@@ -21,22 +22,20 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Sequence
 
-import numpy as np
-
+from ..api.service import (
+    DECISION_EXPECTED,
+    DECISION_UNEXPECTED,
+    DECISION_UNKNOWN,
+    ClassificationService,
+    Decision,
+    render_report,
+)
 from ..exceptions import EvaluationError
-from ..features.pipeline import FeatureExtractionPipeline
 from ..features.records import SampleFeatures
-from ..logging_utils import get_logger
 from .classifier import FuzzyHashClassifier
 
-__all__ = ["JobClassification", "ClassificationWorkflow"]
-
-_LOG = get_logger("core.workflow")
-
-#: Decision labels emitted by the workflow.
-DECISION_EXPECTED = "within-allocation"
-DECISION_UNEXPECTED = "unexpected-application"
-DECISION_UNKNOWN = "unknown-application"
+__all__ = ["JobClassification", "ClassificationWorkflow",
+           "DECISION_EXPECTED", "DECISION_UNEXPECTED", "DECISION_UNKNOWN"]
 
 
 @dataclass(frozen=True)
@@ -53,9 +52,22 @@ class JobClassification:
 
         return self.decision in (DECISION_UNEXPECTED, DECISION_UNKNOWN)
 
+    @classmethod
+    def from_decision(cls, decision: Decision) -> "JobClassification":
+        return cls(path=decision.sample_id,
+                   predicted_class=decision.predicted_class,
+                   confidence=decision.confidence,
+                   decision=decision.decision)
+
 
 class ClassificationWorkflow:
     """Collect → hash → classify → decide, for executables from jobs.
+
+    Thin compatibility wrapper over
+    :class:`~repro.api.service.ClassificationService`; every classify
+    method delegates to the service and converts its typed
+    :class:`~repro.api.service.Decision` records into
+    :class:`JobClassification`.
 
     Parameters
     ----------
@@ -77,10 +89,16 @@ class ClassificationWorkflow:
         self.classifier = classifier
         self.allowed_classes = set(allowed_classes) if allowed_classes is not None else None
         self.n_jobs = n_jobs
-        self._pipeline = FeatureExtractionPipeline(classifier.feature_types,
-                                                   n_jobs=n_jobs)
+        self._service = ClassificationService(
+            classifier, allowed_classes=allowed_classes, n_jobs=n_jobs)
 
     # ----------------------------------------------------------------- API
+    @property
+    def service(self) -> ClassificationService:
+        """The underlying :class:`ClassificationService`."""
+
+        return self._service
+
     @property
     def similarity_index(self):
         """The classifier's fitted anchor :class:`~repro.index.SimilarityIndex`.
@@ -89,12 +107,7 @@ class ClassificationWorkflow:
         a raw matrix and carries no index.
         """
 
-        builder = getattr(self.classifier, "builder_", None)
-        index = getattr(builder, "index_", None)
-        if index is None:
-            raise EvaluationError(
-                "this workflow's classifier carries no similarity index")
-        return index
+        return self._service.similarity_index
 
     def save_index(self, path: str | os.PathLike) -> Path:
         """Persist the anchor index so a later process can reuse it.
@@ -106,64 +119,39 @@ class ClassificationWorkflow:
         ``classify --index``) to skip re-indexing the training corpus.
         """
 
-        saved = self.similarity_index.save(path)
-        _LOG.info("workflow persisted similarity index to %s", saved)
-        return saved
+        return self.similarity_index.save(path)
+
+    def save_model(self, path: str | os.PathLike) -> Path:
+        """Persist the whole fitted model as a versioned artifact.
+
+        The artifact restores through :func:`repro.api.load_model` (or
+        ``repro classify --model``) without retraining.
+        """
+
+        return self._service.save(path)
 
     def classify_paths(self, paths: Sequence[str | os.PathLike]
                        ) -> list[JobClassification]:
         """Classify explicit executable paths."""
 
-        paths = [str(p) for p in paths]
-        if not paths:
-            return []
-        features = self._pipeline.extract_paths(paths)
-        return self._decide(paths, features)
+        return [JobClassification.from_decision(d)
+                for d in self._service.classify_paths(paths)]
 
     def classify_directory(self, directory: str | os.PathLike,
                            pattern: str = "**/*") -> list[JobClassification]:
         """Classify every regular file below ``directory``."""
 
-        root = Path(directory)
-        if not root.is_dir():
-            raise EvaluationError(f"{root} is not a directory")
-        paths = sorted(str(p) for p in root.glob(pattern) if p.is_file())
-        if not paths:
-            raise EvaluationError(f"no files found under {root}")
-        return self.classify_paths(paths)
+        return [JobClassification.from_decision(d)
+                for d in self._service.classify_directory(directory, pattern)]
 
     def classify_features(self, features: Sequence[SampleFeatures]
                           ) -> list[JobClassification]:
         """Classify pre-extracted feature records (e.g. from a prolog hook)."""
 
-        return self._decide([f.sample_id for f in features], list(features))
-
-    # ----------------------------------------------------------- internals
-    def _decide(self, paths: Sequence[str],
-                features: Sequence[SampleFeatures]) -> list[JobClassification]:
-        predictions = self.classifier.predict(features)
-        confidences = self.classifier.confidence(features)
-        results: list[JobClassification] = []
-        for path, predicted, confidence in zip(paths, predictions, confidences):
-            if predicted == self.classifier.unknown_label:
-                decision = DECISION_UNKNOWN
-            elif self.allowed_classes is not None and predicted not in self.allowed_classes:
-                decision = DECISION_UNEXPECTED
-            else:
-                decision = DECISION_EXPECTED
-            results.append(JobClassification(
-                path=str(path), predicted_class=predicted,
-                confidence=float(confidence), decision=decision))
-        flagged = sum(1 for r in results if r.is_suspicious())
-        _LOG.info("workflow classified %d executables (%d flagged)",
-                  len(results), flagged)
-        return results
+        return [JobClassification.from_decision(d)
+                for d in self._service.classify_features(list(features))]
 
     def report(self, classifications: Sequence[JobClassification]) -> str:
         """Multi-line operator-facing summary."""
 
-        lines = [f"{'decision':<24} {'class':<24} {'conf':>5}  path"]
-        for item in sorted(classifications, key=lambda c: (c.decision, str(c.predicted_class))):
-            lines.append(f"{item.decision:<24} {str(item.predicted_class):<24} "
-                         f"{item.confidence:>5.2f}  {item.path}")
-        return "\n".join(lines)
+        return render_report(classifications)

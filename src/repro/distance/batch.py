@@ -50,6 +50,24 @@ def _pack(strings: Sequence[str | bytes], pad_value: int) -> tuple[np.ndarray, n
     lengths = np.fromiter((len(s) for s in strings), dtype=np.int64, count=n)
     max_len = int(lengths.max()) if n else 0
     codes = np.full((n, max(max_len, 1)), pad_value, dtype=np.int32)
+    if max_len == 0:
+        return codes, lengths
+    if all(isinstance(s, str) for s in strings):
+        # One bulk UTF-32 decode beats a per-character Python loop: the
+        # concatenation yields exact code points (astral planes included)
+        # as a flat uint32 vector, scattered into rows via the offsets.
+        # surrogatepass keeps lone surrogates (e.g. surrogateescape-decoded
+        # input) representable, exactly like ord() was.
+        flat = np.frombuffer(
+            "".join(strings).encode("utf-32-le", errors="surrogatepass"),
+            dtype="<u4").astype(np.int32)
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        positions = np.arange(len(flat), dtype=np.int64) - \
+            np.repeat(offsets[:-1], lengths)
+        codes[np.repeat(np.arange(n, dtype=np.int64), lengths),
+              positions] = flat
+        return codes, lengths
     for idx, s in enumerate(strings):
         if not s:
             continue
@@ -140,58 +158,91 @@ class BatchEditDistance:
 
         a_codes, a_len = _pack(left, _PAD_A)
         b_codes, b_len = _pack(right, _PAD_B)
-        max_a = int(a_len.max()) if n else 0
+
+        # Sort by descending first-string length: pairs finish at row
+        # ``a_len`` of the DP, so the still-active pairs always form a
+        # prefix and every row sweep shrinks to exactly the live rows.
+        order = np.argsort(-a_len, kind="stable")
+        a_codes = a_codes[order]
+        b_codes = b_codes[order]
+        a_len_s = a_len[order]
+        b_len_s = b_len[order]
+        max_a = int(a_len_s[0]) if n else 0
         max_b = int(b_len.max()) if n else 0
 
+        # Cell values are bounded by the all-deletions-plus-all-insertions
+        # path, so short inputs (e.g. 64-char SSDeep signatures) run the
+        # whole DP in int16 — half the bandwidth again over int32, which
+        # remains the fallback for long strings.
         costs = self.costs
-        cols = np.arange(max_b + 1, dtype=np.int64)
-        ins_ramp = cols * costs.insert
+        max_cost = max(costs.insert, costs.delete,
+                       costs.substitute, costs.transpose)
+        bound = (max_a + max_b + 2) * max(max_cost, 1)
+        dtype = np.int16 if bound < np.iinfo(np.int16).max else np.int32
+        cols = np.arange(max_b + 1, dtype=dtype)
+        ins_ramp = cols * dtype(costs.insert)
 
         # DP rows, shape (n, max_b + 1).
-        prev2 = np.zeros((n, max_b + 1), dtype=np.int64)
+        prev2 = np.zeros((n, max_b + 1), dtype=dtype)
         prev1 = np.broadcast_to(ins_ramp, (n, max_b + 1)).copy()
-        result = np.empty(n, dtype=np.int64)
+        result_s = np.empty(n, dtype=np.int64)
 
         # Pairs whose first string is empty: distance = len(b) * insert.
-        empty_a = a_len == 0
+        empty_a = a_len_s == 0
         if np.any(empty_a):
-            result[empty_a] = b_len[empty_a] * costs.insert
+            result_s[empty_a] = b_len_s[empty_a] * costs.insert
         if max_b == 0:
             # Every second string is empty: remaining pairs are pure deletions.
-            result[~empty_a] = a_len[~empty_a] * costs.delete
+            result_s[~empty_a] = a_len_s[~empty_a] * costs.delete
+            result = np.empty(n, dtype=np.int64)
+            result[order] = result_s
             return result
 
+        neg_a_len = -a_len_s
         for i in range(1, max_a + 1):
-            ai = a_codes[:, i - 1][:, None]                      # (n, 1)
-            mismatch = (b_codes != ai).astype(np.int64)          # (n, max_b)
+            # Rows still running: a_len_s >= i, a prefix of the sort order.
+            k = int(np.searchsorted(neg_a_len, -i, side="right"))
+            ai = a_codes[:k, i - 1][:, None]                     # (k, 1)
+            b_k = b_codes[:k]
+            p1 = prev1[:k]
+            mismatch = (b_k != ai)                               # (k, max_b)
 
             # Candidate costs that do not depend on the current row.
-            substitution = prev1[:, :-1] + mismatch * costs.substitute
-            deletion = prev1[:, 1:] + costs.delete
+            substitution = p1[:, :-1] + mismatch * dtype(costs.substitute)
+            deletion = p1[:, 1:] + dtype(costs.delete)
             cand = np.minimum(substitution, deletion)
 
             if i > 1 and max_b > 1:
                 # Transposition: a[i-1] == b[j-2] and a[i-2] == b[j-1].
-                prev_ai = a_codes[:, i - 2][:, None]
-                swap = (b_codes[:, :-1] == ai) & (b_codes[:, 1:] == prev_ai) & (mismatch[:, 1:] == 1)
-                transposition = prev2[:, :-2] + costs.transpose
+                prev_ai = a_codes[:k, i - 2][:, None]
+                swap = (b_k[:, :-1] == ai) & (b_k[:, 1:] == prev_ai) \
+                    & mismatch[:, 1:]
+                transposition = prev2[:k, :-2] + dtype(costs.transpose)
                 cand[:, 1:] = np.where(swap, np.minimum(cand[:, 1:], transposition),
                                        cand[:, 1:])
 
-            current = np.empty_like(prev1)
+            current = np.empty((k, max_b + 1), dtype=dtype)
             current[:, 0] = i * costs.delete
             current[:, 1:] = cand
             # Resolve the insertion dependency along the row with a
             # prefix-minimum scan (exact for constant insertion cost).
-            current = np.minimum.accumulate(current - ins_ramp, axis=1) + ins_ramp
+            current -= ins_ramp
+            np.minimum.accumulate(current, axis=1, out=current)
+            current += ins_ramp
 
             # Capture finished pairs whose first string has length i.
-            done = a_len == i
+            done = a_len_s[:k] == i
             if np.any(done):
-                result[done] = current[done, b_len[done]]
+                rows = np.flatnonzero(done)
+                result_s[rows] = current[rows, b_len_s[rows]]
 
-            prev2, prev1 = prev1, current
+            # Recycle buffers; rows at and beyond k are never read again
+            # because the active prefix only shrinks.
+            prev2, prev1 = prev1, prev2
+            prev1[:k] = current
 
+        result = np.empty(n, dtype=np.int64)
+        result[order] = result_s
         return result
 
 

@@ -66,6 +66,16 @@ class IndexFormatError(SimilarityIndexError):
     truncated, or written by an unsupported format version."""
 
 
+class ModelArtifactError(ReproError):
+    """Raised when a model artifact cannot be saved or restored."""
+
+
+class ModelFormatError(ModelArtifactError):
+    """Raised when an on-disk model artifact file is missing, corrupt,
+    truncated, incompatible with this build's feature types, or written
+    by an unsupported format version."""
+
+
 class NotFittedError(ReproError, RuntimeError):
     """Raised when ``predict``/``transform`` is called before ``fit``."""
 

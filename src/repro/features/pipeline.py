@@ -116,6 +116,24 @@ class FeatureExtractionPipeline:
         ]
         return self._run(tasks)
 
+    def extract_bytes(self, items: Sequence[tuple[str, bytes]]
+                      ) -> list[SampleFeatures]:
+        """Extract features for ``(sample_id, bytes)`` pairs.
+
+        Serving entry point for executables that arrive in memory (e.g.
+        pushed over the wire) instead of as files; labels are left
+        empty like :meth:`extract_paths`.
+        """
+
+        tasks = [
+            _BytesTask(sample_id=str(sample_id), data=data, class_name="",
+                       version="", executable=str(sample_id).rsplit("/", 1)[-1],
+                       feature_types=self.feature_types,
+                       include_symbol_addresses=self.include_symbol_addresses)
+            for sample_id, data in items
+        ]
+        return self._run(tasks)
+
     def extract_paths(self, paths: Sequence[str]) -> list[SampleFeatures]:
         """Extract features for bare file paths (labels left empty).
 

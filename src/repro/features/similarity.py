@@ -172,12 +172,14 @@ class SimilarityFeatureBuilder:
         if exclude_self:
             exclude = [self.index_.members_for_id(q.sample_id) for q in queries]
 
+        # One batched pass over all feature types: candidate pairs are
+        # de-duplicated across types and scored by a single DP sweep.
+        matrices = self.index_.score_matrices(
+            {ft: [q.digest(ft) for q in queries] for ft in self.feature_types},
+            exclude=exclude)
         for type_offset, feature_type in enumerate(self.feature_types):
-            scores = self.index_.score_matrix(
-                feature_type, [q.digest(feature_type) for q in queries],
-                exclude=exclude)
             # ``scores`` is (n_queries, n_anchors); aggregate into columns.
-            block = self._aggregate(scores)
+            block = self._aggregate(matrices[feature_type])
             start = type_offset * n_anchor_cols
             X[:, start:start + n_anchor_cols] = block
 
@@ -187,6 +189,39 @@ class SimilarityFeatureBuilder:
             feature_groups=self._feature_groups(n_anchor_cols),
             sample_ids=[q.sample_id for q in queries],
         )
+
+    # ---------------------------------------------------------- persistence
+    def get_state(self) -> dict:
+        """Serialisable snapshot of the fitted builder (model artifacts).
+
+        The fitted state *is* the anchor index, exported through
+        :meth:`repro.index.SimilarityIndex.get_state`; the builder's
+        configuration lives in its constructor parameters and is stored
+        separately by the artifact writer.
+        """
+
+        if not hasattr(self, "index_"):
+            raise NotFittedError("SimilarityFeatureBuilder is not fitted")
+        header, arrays = self.index_.get_state()
+        return {"index_header": header, "index_arrays": arrays}
+
+    def set_state(self, state: dict, *,
+                  source: str = "builder state") -> "SimilarityFeatureBuilder":
+        """Restore a snapshot produced by :meth:`get_state`.
+
+        Runs the full :meth:`fit_from_index` validation (feature-type
+        coverage, n-gram length, labelled anchors), so corrupt or
+        mismatched state fails loudly instead of mis-scoring.
+        """
+
+        try:
+            header = state["index_header"]
+            arrays = state["index_arrays"]
+        except (KeyError, TypeError) as exc:
+            raise ValidationError(
+                f"invalid feature-builder state: {exc}") from exc
+        index = SimilarityIndex.from_state(header, arrays, source=source)
+        return self.fit_from_index(index)
 
     # ----------------------------------------------------------- internals
     def _adopt_index(self, index: SimilarityIndex) -> "SimilarityFeatureBuilder":

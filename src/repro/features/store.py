@@ -60,10 +60,24 @@ class FeatureStore:
         return records
 
     def save(self, key: str, features: Sequence[SampleFeatures]) -> Path:
-        """Persist records under ``key``; returns the file path."""
+        """Persist records under ``key``; returns the file path.
+
+        The write is atomic (temp file in the same directory +
+        :func:`os.replace`), so an interrupted run can never leave a
+        truncated cache entry that a later :meth:`load` half-reads.
+        """
 
         path = self.path_for(key)
-        path.write_text(features_to_json(features), encoding="utf-8")
+        tmp_path = path.with_name(path.name + ".tmp")
+        try:
+            tmp_path.write_text(features_to_json(features), encoding="utf-8")
+            os.replace(tmp_path, path)
+        except OSError:
+            try:
+                tmp_path.unlink()
+            except OSError:
+                pass
+            raise
         _LOG.info("cached %d feature records to %s", len(features), path)
         return path
 

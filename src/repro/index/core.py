@@ -144,6 +144,7 @@ class SimilarityIndex:
         self._entries: dict[str, list[_Entry]] = {ft: [] for ft in feature_types}
         self._postings: dict[str, dict[tuple[int, str], list[int]]] = {
             ft: defaultdict(list) for ft in feature_types}
+        self._member_grams: dict[str, tuple[str, ...]] = {}
         self._engine = BatchEditDistance(**_SSDEEP_COSTS)
 
     # ------------------------------------------------------------ properties
@@ -298,71 +299,96 @@ class SimilarityIndex:
         ``exclude`` is broadcast over all queries.
         """
 
-        self._check_feature_type(feature_type)
-        digests = list(digests)
-        n_queries = len(digests)
-        if exclude is not None and len(exclude) not in (1, n_queries):
-            raise ValidationError(
-                f"exclude must have 1 or {n_queries} items, got {len(exclude)}")
-        entries = self._entries[feature_type]
-        postings = self._postings[feature_type]
-        scores = np.zeros((n_queries, self.n_members), dtype=np.float64)
+        return self.score_matrices({feature_type: digests},
+                                   exclude=exclude)[feature_type]
 
-        # Candidate generation: (query, entry) pairs sharing an n-gram at
-        # the same block size.
-        query_signatures = [dict(expand_digest(d)) for d in digests]
-        pair_query: list[int] = []
-        pair_entry: list[int] = []
-        for query_index, sig_by_block in enumerate(query_signatures):
-            if exclude is None:
-                excluded: frozenset[int] | set[int] = frozenset()
-            else:
-                excluded = set(exclude[query_index if len(exclude) > 1 else 0])
-            seen: set[int] = set()
-            for block_size, signature in sig_by_block.items():
-                for gram in self._grams(signature):
-                    for entry_id in postings.get((block_size, gram), ()):
-                        if entry_id in seen:
-                            continue
-                        seen.add(entry_id)
-                        if entries[entry_id].member in excluded:
-                            continue
-                        pair_query.append(query_index)
-                        pair_entry.append(entry_id)
-        if not pair_entry:
-            return scores
+    def score_matrices(self, digests_by_type: Mapping[str, Sequence[str]], *,
+                       exclude: Sequence[Iterable[int]] | None = None
+                       ) -> dict[str, np.ndarray]:
+        """Score matrices for several feature types in one batched pass.
 
-        # De-duplicate identical signature pairs before running the DP.
+        Candidate pairs from every type are de-duplicated together (a
+        score depends only on the signature pair and block size, not the
+        type) and scored with a single batched edit-distance sweep, so a
+        multi-type transform pays the vectorised DP's fixed costs once.
+        Returns ``{feature_type: (n_queries, n_members) matrix}``.
+        """
+
+        digests_by_type = {ft: list(digests)
+                           for ft, digests in digests_by_type.items()}
+        matrices: dict[str, np.ndarray] = {}
         left: list[str] = []
         right: list[str] = []
         block_sizes: list[int] = []
         pair_key_to_slot: dict[tuple[str, str, int], int] = {}
-        slot_of_pair: list[int] = []
-        for query_index, entry_id in zip(pair_query, pair_entry):
-            entry = entries[entry_id]
-            q_sig = query_signatures[query_index][entry.block_size]
-            key = (q_sig, entry.signature, entry.block_size)
-            slot = pair_key_to_slot.get(key)
-            if slot is None:
-                slot = len(left)
-                pair_key_to_slot[key] = slot
-                left.append(q_sig)
-                right.append(entry.signature)
-                block_sizes.append(entry.block_size)
-            slot_of_pair.append(slot)
+        # Per type: the (query, member, slot) triples to scatter after
+        # the shared DP pass.
+        scatter: dict[str, tuple[list[int], list[int], list[int]]] = {}
 
+        for feature_type, digests in digests_by_type.items():
+            self._check_feature_type(feature_type)
+            n_queries = len(digests)
+            if exclude is not None and len(exclude) not in (1, n_queries):
+                raise ValidationError(
+                    f"exclude must have 1 or {n_queries} items, "
+                    f"got {len(exclude)}")
+            matrices[feature_type] = np.zeros((n_queries, self.n_members),
+                                              dtype=np.float64)
+            entries = self._entries[feature_type]
+            postings = self._postings[feature_type]
+
+            # Candidate generation: (query, entry) pairs sharing an
+            # n-gram at the same block size.
+            query_signatures = [dict(expand_digest(d)) for d in digests]
+            pair_queries: list[int] = []
+            pair_members: list[int] = []
+            pair_slots: list[int] = []
+            for query_index, sig_by_block in enumerate(query_signatures):
+                if exclude is None:
+                    excluded: frozenset[int] | set[int] = frozenset()
+                else:
+                    excluded = set(
+                        exclude[query_index if len(exclude) > 1 else 0])
+                seen: set[int] = set()
+                for block_size, signature in sig_by_block.items():
+                    for gram in self._grams(signature):
+                        for entry_id in postings.get((block_size, gram), ()):
+                            if entry_id in seen:
+                                continue
+                            seen.add(entry_id)
+                            entry = entries[entry_id]
+                            if entry.member in excluded:
+                                continue
+                            key = (signature, entry.signature, block_size)
+                            slot = pair_key_to_slot.get(key)
+                            if slot is None:
+                                slot = len(left)
+                                pair_key_to_slot[key] = slot
+                                left.append(signature)
+                                right.append(entry.signature)
+                                block_sizes.append(block_size)
+                            pair_queries.append(query_index)
+                            pair_members.append(entry.member)
+                            pair_slots.append(slot)
+            scatter[feature_type] = (pair_queries, pair_members, pair_slots)
+
+        if not left:
+            return matrices
         pair_scores = self._score_signature_pairs(left, right, block_sizes)
-        _LOG.debug("%s: %d candidate pairs (%d unique) for %d queries x %d members",
-                   feature_type, len(slot_of_pair), len(left), n_queries,
-                   self.n_members)
+        _LOG.debug("scored %d unique signature pairs for %d feature types",
+                   len(left), len(digests_by_type))
 
-        for (query_index, entry_id), slot in zip(zip(pair_query, pair_entry),
-                                                 slot_of_pair):
-            member = entries[entry_id].member
-            score = pair_scores[slot]
-            if score > scores[query_index, member]:
-                scores[query_index, member] = score
-        return scores
+        for feature_type, (pair_queries, pair_members,
+                           pair_slots) in scatter.items():
+            if not pair_queries:
+                continue
+            scores = matrices[feature_type]
+            # A (query, member) cell keeps its best comparable pair.
+            np.maximum.at(scores,
+                          (np.asarray(pair_queries, dtype=np.int64),
+                           np.asarray(pair_members, dtype=np.int64)),
+                          pair_scores[np.asarray(pair_slots, dtype=np.int64)])
+        return matrices
 
     def pairwise_matrix(self, feature_type: str | None = None, *,
                         max_pairs: int | None = None,
@@ -478,8 +504,14 @@ class SimilarityIndex:
         }
 
     # ---------------------------------------------------------- persistence
-    def save(self, path: str | os.PathLike) -> Path:
-        """Write the index to one compact versioned file."""
+    def get_state(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """Serialisable ``(header, arrays)`` snapshot of the index.
+
+        The same representation backs :meth:`save` (written as a
+        standalone container file) and the embedded index payload of
+        model artifacts (:mod:`repro.api.artifact`);
+        :meth:`from_state` restores it.
+        """
 
         flat_types: list[int] = []
         flat_members: list[int] = []
@@ -509,9 +541,15 @@ class SimilarityIndex:
             "sig_bytes": np.frombuffer(sig_bytes, dtype=np.uint8).copy()
             if sig_bytes else np.zeros(0, dtype=np.uint8),
         }
+        return header, arrays
+
+    def save(self, path: str | os.PathLike) -> Path:
+        """Write the index to one compact versioned file."""
+
+        header, arrays = self.get_state()
         path = write_container(path, header, arrays)
         _LOG.info("saved index (%d members, %d entries) to %s",
-                  self.n_members, len(flat_types), path)
+                  self.n_members, len(arrays["entry_type"]), path)
         return path
 
     @classmethod
@@ -523,6 +561,22 @@ class SimilarityIndex:
         """
 
         header, arrays = read_container(path)
+        index = cls.from_state(header, arrays, source=f"index file {path}")
+        _LOG.info("loaded index (%d members, %d entries) from %s",
+                  index.n_members, len(arrays["entry_type"]), path)
+        return index
+
+    @classmethod
+    def from_state(cls, header: Mapping, arrays: Mapping[str, np.ndarray], *,
+                   source: str = "index state") -> "SimilarityIndex":
+        """Rebuild an index from a :meth:`get_state` snapshot.
+
+        ``source`` names the origin (a file path, or the embedding model
+        artifact) in error messages.  Raises
+        :class:`~repro.exceptions.IndexFormatError` on inconsistent or
+        corrupt state.
+        """
+
         try:
             ngram_length = int(header["ngram_length"])
             feature_types = [str(ft) for ft in header["feature_types"]]
@@ -535,26 +589,26 @@ class SimilarityIndex:
             sig_bytes = arrays["sig_bytes"]
         except (KeyError, TypeError, ValueError) as exc:
             raise IndexFormatError(
-                f"index file {path} is missing required fields: {exc}") from exc
+                f"{source} is missing required fields: {exc}") from exc
 
         n_entries = len(entry_type)
         if len(class_names) != len(sample_ids):
             raise IndexFormatError(
-                f"index file {path} has {len(sample_ids)} sample ids but "
+                f"{source} has {len(sample_ids)} sample ids but "
                 f"{len(class_names)} class names")
         if len(entry_member) != n_entries or len(entry_block) != n_entries \
                 or len(sig_offsets) != n_entries + 1:
-            raise IndexFormatError(f"index file {path} has inconsistent "
+            raise IndexFormatError(f"{source} has inconsistent "
                                    "entry array lengths")
         if n_entries and (np.any(np.diff(sig_offsets) < 0)
                           or sig_offsets[0] != 0
                           or sig_offsets[-1] != len(sig_bytes)):
-            raise IndexFormatError(f"index file {path} has corrupt "
+            raise IndexFormatError(f"{source} has corrupt "
                                    "signature offsets")
         try:
             index = cls(feature_types, ngram_length=ngram_length)
         except ValidationError as exc:
-            raise IndexFormatError(f"index file {path} has an invalid "
+            raise IndexFormatError(f"{source} has an invalid "
                                    f"configuration: {exc}") from exc
         index._sample_ids = sample_ids
         index._class_names = class_names
@@ -564,7 +618,7 @@ class SimilarityIndex:
         try:
             all_signatures = sig_bytes.tobytes().decode("ascii")
         except UnicodeDecodeError as exc:
-            raise IndexFormatError(f"index file {path} has non-ASCII "
+            raise IndexFormatError(f"{source} has non-ASCII "
                                    "signature bytes") from exc
         n_members = len(sample_ids)
         for i in range(n_entries):
@@ -572,17 +626,15 @@ class SimilarityIndex:
             member = int(entry_member[i])
             if not 0 <= type_idx < len(feature_types):
                 raise IndexFormatError(
-                    f"index file {path} references feature type #{type_idx} "
+                    f"{source} references feature type #{type_idx} "
                     f"but only {len(feature_types)} are declared")
             if not 0 <= member < n_members:
                 raise IndexFormatError(
-                    f"index file {path} references member #{member} "
+                    f"{source} references member #{member} "
                     f"but only {n_members} are declared")
             signature = all_signatures[int(sig_offsets[i]):int(sig_offsets[i + 1])]
             index._add_entry(feature_types[type_idx], member,
                              int(entry_block[i]), signature)
-        _LOG.info("loaded index (%d members, %d entries) from %s",
-                  n_members, n_entries, path)
         return index
 
     # ------------------------------------------------------------ internals
@@ -592,7 +644,14 @@ class SimilarityIndex:
         entry_id = len(entries)
         entries.append(_Entry(member, block_size, signature))
         postings = self._postings[feature_type]
-        for gram in self._grams(signature):
+        # Member signatures repeat across entries (families, reloads), so
+        # their gram sets are memoised; the cache is bounded by the
+        # number of distinct member signatures the index holds.
+        grams = self._member_grams.get(signature)
+        if grams is None:
+            grams = tuple(self._grams(signature))
+            self._member_grams[signature] = grams
+        for gram in grams:
             postings[(block_size, gram)].append(entry_id)
 
     def _grams(self, signature: str) -> set[str]:
@@ -606,16 +665,21 @@ class SimilarityIndex:
         """SSDeep scores for same-block-size signature pairs (gate applied
         by the caller)."""
 
-        distances = self._engine.distances_two_lists(left, right)
-        lengths_left = np.array([len(s) for s in left], dtype=np.float64)
-        lengths_right = np.array([len(s) for s in right], dtype=np.float64)
-        scores = ssdeep_score_from_distance(
-            distances, lengths_left, lengths_right,
-            np.array(block_sizes, dtype=np.float64)).astype(np.float64)
         # Identical signatures always score 100 (the reference's fast
-        # path), even where the small-block-size cap would otherwise bite.
-        identical = np.array([l == r for l, r in zip(left, right)], dtype=bool)
-        scores[identical] = 100.0
+        # path), even where the small-block-size cap would otherwise
+        # bite — so they never enter the edit-distance DP at all.
+        scores = np.full(len(left), 100.0, dtype=np.float64)
+        rest = np.flatnonzero(np.array(
+            [l != r for l, r in zip(left, right)], dtype=bool))
+        if rest.size:
+            sub_left = [left[i] for i in rest]
+            sub_right = [right[i] for i in rest]
+            distances = self._engine.distances_two_lists(sub_left, sub_right)
+            scores[rest] = ssdeep_score_from_distance(
+                distances,
+                np.array([len(s) for s in sub_left], dtype=np.float64),
+                np.array([len(s) for s in sub_right], dtype=np.float64),
+                np.array([block_sizes[i] for i in rest], dtype=np.float64))
         return scores
 
     def _check_feature_type(self, feature_type: str) -> None:

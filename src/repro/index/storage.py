@@ -1,11 +1,11 @@
-"""On-disk container for the similarity index.
+"""On-disk container shared by the similarity index and model artifacts.
 
-A saved index is one compact binary file:
+A saved container is one compact binary file:
 
 ====================  =======================================================
 offset                content
 ====================  =======================================================
-0                     magic ``b"RPROSIDX"`` (8 bytes)
+0                     8-byte magic (``b"RPROSIDX"`` for similarity indexes)
 8                     format version, ``uint32`` little-endian
 12                    header length in bytes, ``uint64`` little-endian
 20                    UTF-8 JSON header
@@ -15,13 +15,22 @@ offset                content
 The JSON header carries everything that is not bulk data (feature types,
 sample ids, class names, n-gram length) plus one descriptor per array:
 ``{"name", "dtype", "shape"}``.  Only the small allowlisted set of dtypes
-the index actually uses can appear, so a corrupted header cannot make the
-reader allocate through an attacker-controlled dtype string.
+a container actually uses can appear, so a corrupted header cannot make
+the reader allocate through an attacker-controlled dtype string.
 
-Readers accept any file whose major version is :data:`FORMAT_VERSION` or
+The physical layout is parameterised by :class:`ContainerFormat` (magic,
+version, dtype allowlist, error classes); :data:`INDEX_FORMAT` describes
+similarity-index files and :mod:`repro.api.artifact` defines the model
+artifact format on top of the same reader/writer.
+
+Readers accept any file whose version is the format's current version or
 lower; anything else (bad magic, truncated payload, unparsable header,
-future version) raises :class:`~repro.exceptions.IndexFormatError` with a
-message naming the file and the problem.
+future version) raises the format's error class with a message naming
+the file and the problem.
+
+Writes are atomic: the container is written to a ``*.tmp`` sibling and
+moved into place with :func:`os.replace`, so an interrupted save can
+never leave a half-written file under the final name.
 """
 
 from __future__ import annotations
@@ -30,16 +39,18 @@ import json
 import math
 import os
 import struct
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Mapping
 
 import numpy as np
 
-from ..exceptions import IndexFormatError, SimilarityIndexError
+from ..exceptions import IndexFormatError, ReproError, SimilarityIndexError
 
-__all__ = ["FORMAT_VERSION", "MAGIC", "write_container", "read_container"]
+__all__ = ["FORMAT_VERSION", "MAGIC", "ContainerFormat", "INDEX_FORMAT",
+           "write_container", "read_container"]
 
-#: Current (and oldest readable) container format version.
+#: Current (and oldest readable) similarity-index container format version.
 FORMAT_VERSION = 1
 
 #: File magic identifying a repro similarity index.
@@ -47,13 +58,50 @@ MAGIC = b"RPROSIDX"
 
 _PREAMBLE = struct.Struct("<8sIQ")
 
-#: dtypes a well-formed header may declare.
-_ALLOWED_DTYPES = ("<i2", "<i4", "<i8", "|u1")
+
+@dataclass(frozen=True)
+class ContainerFormat:
+    """Physical parameters of one container file family.
+
+    Attributes
+    ----------
+    magic:
+        8-byte file magic.
+    version:
+        Current format version; readers accept this version and lower.
+    allowed_dtypes:
+        dtype strings a well-formed header may declare.
+    kind:
+        Human-readable file-kind name used in error messages.
+    format_error:
+        Exception class raised for malformed/unsupported files.
+    io_error:
+        Exception class raised when the file cannot be written.
+    """
+
+    magic: bytes
+    version: int
+    allowed_dtypes: tuple[str, ...]
+    kind: str
+    format_error: type[ReproError]
+    io_error: type[ReproError]
+
+
+#: Container format of :class:`repro.index.SimilarityIndex` files.
+INDEX_FORMAT = ContainerFormat(
+    magic=MAGIC,
+    version=FORMAT_VERSION,
+    allowed_dtypes=("<i2", "<i4", "<i8", "|u1"),
+    kind="similarity index",
+    format_error=IndexFormatError,
+    io_error=SimilarityIndexError,
+)
 
 
 def write_container(path: str | os.PathLike, header: Mapping,
-                    arrays: Mapping[str, np.ndarray]) -> Path:
-    """Write ``header`` and ``arrays`` to ``path``; returns the path."""
+                    arrays: Mapping[str, np.ndarray], *,
+                    fmt: ContainerFormat = INDEX_FORMAT) -> Path:
+    """Atomically write ``header`` and ``arrays`` to ``path``."""
 
     path = Path(path)
     descriptors = []
@@ -64,61 +112,72 @@ def write_container(path: str | os.PathLike, header: Mapping,
         # so this converts on big-endian hosts where byteorder is not '>'.
         if array.dtype.str.startswith(">"):
             array = array.astype(array.dtype.newbyteorder("<"))
-        if array.dtype.str not in _ALLOWED_DTYPES:
-            raise IndexFormatError(
+        if array.dtype.str not in fmt.allowed_dtypes:
+            raise fmt.format_error(
                 f"cannot serialise array {name!r} with dtype {array.dtype.str!r}")
         descriptors.append({"name": name, "dtype": array.dtype.str,
                             "shape": list(array.shape)})
         payloads.append(array.tobytes())
 
     full_header = dict(header)
-    full_header["format_version"] = FORMAT_VERSION
+    full_header["format_version"] = fmt.version
     full_header["arrays"] = descriptors
     header_bytes = json.dumps(full_header, separators=(",", ":"),
                               sort_keys=True).encode("utf-8")
 
+    # Write-to-temp + rename keeps a concurrent reader (or a crash) from
+    # ever observing a truncated container under the final name.
+    tmp_path = path.with_name(path.name + ".tmp")
     try:
-        with open(path, "wb") as fh:
-            fh.write(_PREAMBLE.pack(MAGIC, FORMAT_VERSION, len(header_bytes)))
+        with open(tmp_path, "wb") as fh:
+            fh.write(_PREAMBLE.pack(fmt.magic, fmt.version, len(header_bytes)))
             fh.write(header_bytes)
             for payload in payloads:
                 fh.write(payload)
+        os.replace(tmp_path, path)
     except OSError as exc:
-        raise SimilarityIndexError(
-            f"cannot write index file {path}: {exc}") from exc
+        try:
+            tmp_path.unlink()
+        except OSError:
+            pass
+        raise fmt.io_error(
+            f"cannot write {fmt.kind} file {path}: {exc}") from exc
     return path
 
 
-def read_container(path: str | os.PathLike) -> tuple[dict, dict[str, np.ndarray]]:
+def read_container(path: str | os.PathLike, *,
+                   fmt: ContainerFormat = INDEX_FORMAT
+                   ) -> tuple[dict, dict[str, np.ndarray]]:
     """Read ``(header, arrays)`` from ``path``, validating the format."""
 
     path = Path(path)
     if not path.is_file():
-        raise IndexFormatError(f"index file {path} does not exist")
+        raise fmt.format_error(f"{fmt.kind} file {path} does not exist")
     try:
         data = path.read_bytes()
     except OSError as exc:
-        raise IndexFormatError(f"cannot read index file {path}: {exc}") from exc
+        raise fmt.format_error(
+            f"cannot read {fmt.kind} file {path}: {exc}") from exc
 
     if len(data) < _PREAMBLE.size:
-        raise IndexFormatError(f"{path} is too short to be a similarity index")
+        raise fmt.format_error(f"{path} is too short to be a {fmt.kind}")
     magic, version, header_len = _PREAMBLE.unpack_from(data)
-    if magic != MAGIC:
-        raise IndexFormatError(f"{path} is not a similarity index file (bad magic)")
-    if version > FORMAT_VERSION:
-        raise IndexFormatError(
-            f"{path} uses index format version {version}; this build reads "
-            f"up to version {FORMAT_VERSION}")
+    if magic != fmt.magic:
+        raise fmt.format_error(f"{path} is not a {fmt.kind} file (bad magic)")
+    if version > fmt.version:
+        raise fmt.format_error(
+            f"{path} uses {fmt.kind} format version {version}; this build "
+            f"reads up to version {fmt.version}")
 
     header_end = _PREAMBLE.size + header_len
     if header_end > len(data):
-        raise IndexFormatError(f"{path} is truncated (incomplete header)")
+        raise fmt.format_error(f"{path} is truncated (incomplete header)")
     try:
         header = json.loads(data[_PREAMBLE.size:header_end].decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise IndexFormatError(f"{path} has a corrupt header: {exc}") from exc
+        raise fmt.format_error(f"{path} has a corrupt header: {exc}") from exc
     if not isinstance(header, dict) or not isinstance(header.get("arrays"), list):
-        raise IndexFormatError(f"{path} has a malformed header")
+        raise fmt.format_error(f"{path} has a malformed header")
 
     arrays: dict[str, np.ndarray] = {}
     offset = header_end
@@ -128,13 +187,13 @@ def read_container(path: str | os.PathLike) -> tuple[dict, dict[str, np.ndarray]
             dtype_str = descriptor["dtype"]
             shape = tuple(int(dim) for dim in descriptor["shape"])
         except (TypeError, KeyError, ValueError) as exc:
-            raise IndexFormatError(
+            raise fmt.format_error(
                 f"{path} has a malformed array descriptor: {descriptor!r}") from exc
-        if dtype_str not in _ALLOWED_DTYPES:
-            raise IndexFormatError(
+        if dtype_str not in fmt.allowed_dtypes:
+            raise fmt.format_error(
                 f"{path} declares disallowed dtype {dtype_str!r} for array {name!r}")
         if any(dim < 0 for dim in shape):
-            raise IndexFormatError(
+            raise fmt.format_error(
                 f"{path} declares a negative dimension for array {name!r}")
         dtype = np.dtype(dtype_str)
         # Arbitrary-precision Python ints: a header declaring absurd
@@ -142,13 +201,13 @@ def read_container(path: str | os.PathLike) -> tuple[dict, dict[str, np.ndarray]
         n_items = math.prod(shape)
         n_bytes = dtype.itemsize * n_items
         if offset + n_bytes > len(data):
-            raise IndexFormatError(
+            raise fmt.format_error(
                 f"{path} is truncated (array {name!r} ends past end of file)")
         arrays[name] = np.frombuffer(
             data, dtype=dtype, count=n_items,
             offset=offset).reshape(shape).copy()
         offset += n_bytes
     if offset != len(data):
-        raise IndexFormatError(
+        raise fmt.format_error(
             f"{path} has {len(data) - offset} trailing bytes after the last array")
     return header, arrays

@@ -135,6 +135,7 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
             self.estimators_ = [tree for batch in results for tree in batch]
 
         self.feature_importances_ = self._aggregate_importances()
+        self.__dict__.pop("_stacked_nodes", None)   # rebuilt lazily on predict
         return self
 
     # ------------------------------------------------------------- predict
@@ -144,21 +145,142 @@ class RandomForestClassifier(BaseEstimator, ClassifierMixin):
         if X.shape[1] != self.n_features_in_:
             raise ValidationError(
                 f"X has {X.shape[1]} features, expected {self.n_features_in_}")
-        n_classes = len(self.classes_)
-        total = np.zeros((X.shape[0], n_classes), dtype=np.float64)
-        for tree in self.estimators_:
-            proba = tree.predict_proba(X)
-            # Trees were fitted on integer-encoded labels; align their class
-            # index (a subset when a bootstrap misses a class) to the forest's.
-            tree_classes = tree.classes_.astype(np.int64)
-            total[:, tree_classes] += proba
-        total /= len(self.estimators_)
+        if not hasattr(self, "_stacked_nodes"):
+            self._stack_estimators()
+        feature, threshold, left, right, roots, leaf_proba = self._stacked_nodes
+        n_trees = len(self.estimators_)
+        n_samples = X.shape[0]
+
+        # Advance every (tree, sample) walker together: the loop runs
+        # max-tree-depth times on one big array instead of per tree, so
+        # NumPy dispatch overhead no longer scales with forest size.
+        nodes = np.broadcast_to(roots[:, None], (n_trees, n_samples)).copy()
+        sample_idx = np.broadcast_to(np.arange(n_samples, dtype=np.int64),
+                                     (n_trees, n_samples))
+        active = feature[nodes] >= 0
+        while np.any(active):
+            current = nodes[active]
+            go_left = X[sample_idx[active], feature[current]] <= threshold[current]
+            nodes[active] = np.where(go_left, left[current], right[current])
+            active = feature[nodes] >= 0
+
+        # Summing the per-tree leaf distributions in tree order keeps the
+        # result bit-identical to the per-tree accumulation loop (absent
+        # classes contribute exact zeros).  Accumulating tree by tree
+        # caps the transient at one (n_samples, n_classes) gather instead
+        # of materialising the full (n_trees, n_samples, n_classes) cube.
+        total = np.zeros((n_samples, len(self.classes_)), dtype=np.float64)
+        for t in range(n_trees):
+            total += leaf_proba[nodes[t]]
+        total /= n_trees
         return total
+
+    def _stack_estimators(self) -> None:
+        """Concatenate all tree node tables for the batched predict.
+
+        Child pointers are rebased to global node ids (leaf sentinels
+        stay negative); each node's class distribution is scattered into
+        the forest's class columns so leaves from different trees sum
+        directly.
+        """
+
+        n_classes = len(self.classes_)
+        features, thresholds, lefts, rights, probas = [], [], [], [], []
+        roots = np.zeros(len(self.estimators_), dtype=np.int64)
+        offset = 0
+        for t, tree in enumerate(self.estimators_):
+            n_nodes = len(tree._node_feature)
+            roots[t] = offset
+            features.append(tree._node_feature)
+            thresholds.append(tree._node_threshold)
+            # Rebase internal children; keep -1 leaf sentinels as-is.
+            lefts.append(np.where(tree._node_left >= 0,
+                                  tree._node_left + offset, tree._node_left))
+            rights.append(np.where(tree._node_right >= 0,
+                                   tree._node_right + offset, tree._node_right))
+            padded = np.zeros((n_nodes, n_classes), dtype=np.float64)
+            padded[:, tree.classes_.astype(np.int64)] = tree._leaf_proba
+            probas.append(padded)
+            offset += n_nodes
+        self._stacked_nodes = (
+            np.concatenate(features),
+            np.concatenate(thresholds),
+            np.concatenate(lefts),
+            np.concatenate(rights),
+            roots,
+            np.vstack(probas),
+        )
 
     def predict(self, X) -> np.ndarray:
         probabilities = self.predict_proba(X)
         encoded = np.argmax(probabilities, axis=1)
         return self.classes_[encoded]
+
+    # ---------------------------------------------------------- persistence
+    def get_state(self) -> dict:
+        """Serialisable snapshot of the fitted forest (model artifacts).
+
+        Tree node tables are exported through
+        :meth:`~repro.ml.tree.DecisionTreeClassifier.get_state`; the
+        forest adds its class index and aggregated importances.  A forest
+        restored with :meth:`set_state` predicts bit-identically.
+        """
+
+        check_is_fitted(self, "estimators_")
+        return {
+            "classes": np.asarray(self.classes_).copy(),
+            "n_features_in": int(self.n_features_in_),
+            "feature_importances": np.asarray(self.feature_importances_,
+                                              dtype=np.float64).copy(),
+            "trees": [tree.get_state() for tree in self.estimators_],
+        }
+
+    def set_state(self, state: dict) -> "RandomForestClassifier":
+        """Restore a snapshot produced by :meth:`get_state`."""
+
+        try:
+            classes = np.asarray(state["classes"])
+            n_features_in = int(state["n_features_in"])
+            importances = np.asarray(state["feature_importances"],
+                                     dtype=np.float64)
+            tree_states = list(state["trees"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValidationError(f"invalid random-forest state: {exc}") from exc
+        if not tree_states:
+            raise ValidationError("random-forest state holds no trees")
+        tree_params = dict(
+            criterion=self.criterion,
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+        )
+        estimators = []
+        n_classes = len(classes)
+        for tree_state in tree_states:
+            tree = DecisionTreeClassifier(**tree_params).set_state(tree_state)
+            # Trees carry integer-encoded class indices into the forest's
+            # class table; reject pointers outside it.
+            tree_classes = np.asarray(tree.classes_)
+            if tree_classes.size and (not np.issubdtype(tree_classes.dtype,
+                                                        np.integer)
+                                      or tree_classes.min() < 0
+                                      or tree_classes.max() >= n_classes):
+                raise ValidationError(
+                    "random-forest state has a tree whose classes fall "
+                    "outside the forest's class table")
+            if tree.n_features_in_ != n_features_in:
+                raise ValidationError(
+                    "random-forest state has a tree with a mismatched "
+                    "feature count")
+            estimators.append(tree)
+        self.estimators_ = estimators
+        self.classes_ = classes
+        self.n_features_in_ = n_features_in
+        self.feature_importances_ = importances
+        self._encoder = LabelEncoder().set_state({"classes": classes.tolist()})
+        self.__dict__.pop("_stacked_nodes", None)   # rebuilt lazily on predict
+        return self
 
     # ----------------------------------------------------------- internals
     def _aggregate_importances(self) -> np.ndarray:

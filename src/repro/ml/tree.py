@@ -147,6 +147,7 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
 
         self.feature_importances_ = self._normalized_importances()
         self.tree_node_count_ = len(self._feature)
+        self._finalize_nodes()
         return self
 
     # ------------------------------------------------------------- predict
@@ -156,11 +157,12 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
         if X.shape[1] != self.n_features_in_:
             raise ValidationError(
                 f"X has {X.shape[1]} features, expected {self.n_features_in_}")
-        leaf = self._apply(X)
-        values = np.vstack([self._value[i] for i in leaf])
-        sums = values.sum(axis=1, keepdims=True)
-        sums[sums == 0] = 1.0
-        return values / sums
+        return self._predict_proba_raw(X)
+
+    def _predict_proba_raw(self, X: np.ndarray) -> np.ndarray:
+        """Probabilities for pre-validated input (forest hot path)."""
+
+        return self._leaf_proba[self._apply(X)]
 
     def predict(self, X) -> np.ndarray:
         probabilities = self.predict_proba(X)
@@ -194,6 +196,83 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
                 depths[right] = depth + 1
                 max_depth = max(max_depth, depth + 1)
         return max_depth
+
+    # ---------------------------------------------------------- persistence
+    def get_state(self) -> dict:
+        """Arrays describing the fitted tree (for model artifacts).
+
+        The snapshot holds exactly what prediction needs — the flat node
+        arrays, the class index and the per-feature importances — so a
+        tree restored with :meth:`set_state` predicts bit-identically.
+        """
+
+        check_is_fitted(self, "classes_")
+        n_classes = len(self.classes_)
+        values = (np.vstack(self._value) if self._value
+                  else np.zeros((0, n_classes), dtype=np.float64))
+        return {
+            "feature": np.asarray(self._feature, dtype=np.int64),
+            "threshold": np.asarray(self._threshold, dtype=np.float64),
+            "left": np.asarray(self._left, dtype=np.int64),
+            "right": np.asarray(self._right, dtype=np.int64),
+            "values": values.astype(np.float64, copy=True),
+            "n_node_samples": np.asarray(self._n_node_samples, dtype=np.int64),
+            "classes": np.asarray(self.classes_).copy(),
+            "n_features_in": int(self.n_features_in_),
+            "feature_importances": np.asarray(self.feature_importances_,
+                                              dtype=np.float64).copy(),
+        }
+
+    def set_state(self, state: dict) -> "DecisionTreeClassifier":
+        """Restore a snapshot produced by :meth:`get_state`."""
+
+        try:
+            feature = np.asarray(state["feature"], dtype=np.int64)
+            threshold = np.asarray(state["threshold"], dtype=np.float64)
+            left = np.asarray(state["left"], dtype=np.int64)
+            right = np.asarray(state["right"], dtype=np.int64)
+            values = np.asarray(state["values"], dtype=np.float64)
+            n_node_samples = np.asarray(state["n_node_samples"], dtype=np.int64)
+            classes = np.asarray(state["classes"])
+            n_features_in = int(state["n_features_in"])
+            importances = np.asarray(state["feature_importances"],
+                                     dtype=np.float64)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValidationError(f"invalid decision-tree state: {exc}") from exc
+        n_nodes = len(feature)
+        if not (len(threshold) == len(left) == len(right)
+                == len(n_node_samples) == n_nodes) \
+                or values.ndim != 2 or values.shape[0] != n_nodes \
+                or values.shape[1] != len(classes):
+            raise ValidationError("decision-tree state arrays are inconsistent")
+        if n_nodes == 0:
+            raise ValidationError("decision-tree state has no nodes")
+        # Child pointers must stay inside the node table (leaves use -1,
+        # leaf feature slots use -2): a corrupt artifact must fail here,
+        # not crash inside the vectorised predict loop.
+        internal = feature >= 0
+        if np.any(feature >= n_features_in) or np.any(feature < -2):
+            raise ValidationError("decision-tree state references an invalid feature")
+        for child in (left[internal], right[internal]):
+            if child.size and (child.min() < 0 or child.max() >= n_nodes):
+                raise ValidationError(
+                    "decision-tree state has out-of-range child pointers")
+        self._feature = feature.tolist()
+        self._threshold = threshold.tolist()
+        self._left = left.tolist()
+        self._right = right.tolist()
+        self._value = [values[i] for i in range(n_nodes)]
+        self._n_node_samples = n_node_samples.tolist()
+        self.classes_ = classes
+        self.n_features_in_ = n_features_in
+        self.feature_importances_ = importances
+        self._importances = importances.copy()
+        self.tree_node_count_ = n_nodes
+        encoder = LabelEncoder()
+        encoder.set_state({"classes": classes.tolist()})
+        self._encoder = encoder
+        self._finalize_nodes()
+        return self
 
     # ----------------------------------------------------------- internals
     def _resolve_max_features(self, n_features: int) -> int:
@@ -349,13 +428,31 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
                 )
         return best
 
+    def _finalize_nodes(self) -> None:
+        """Freeze the grown node lists into the arrays prediction uses.
+
+        Called once at the end of ``fit``/``set_state``; prediction then
+        never converts Python lists again.  ``_leaf_proba`` holds each
+        node's normalised class distribution, so ``predict_proba`` is a
+        single fancy-index after the leaf walk.
+        """
+
+        self._node_feature = np.array(self._feature, dtype=np.int64)
+        self._node_threshold = np.array(self._threshold, dtype=np.float64)
+        self._node_left = np.array(self._left, dtype=np.int64)
+        self._node_right = np.array(self._right, dtype=np.int64)
+        values = np.vstack(self._value)
+        sums = values.sum(axis=1, keepdims=True)
+        sums[sums == 0] = 1.0
+        self._leaf_proba = values / sums
+
     def _apply(self, X: np.ndarray) -> np.ndarray:
         """Vectorised leaf lookup: advance all samples one level at a time."""
 
-        feature = np.array(self._feature, dtype=np.int64)
-        threshold = np.array(self._threshold, dtype=np.float64)
-        left = np.array(self._left, dtype=np.int64)
-        right = np.array(self._right, dtype=np.int64)
+        feature = self._node_feature
+        threshold = self._node_threshold
+        left = self._node_left
+        right = self._node_right
 
         nodes = np.zeros(X.shape[0], dtype=np.int64)
         active = feature[nodes] >= 0

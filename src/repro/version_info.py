@@ -7,7 +7,15 @@ import sys
 
 import numpy as np
 
-__all__ = ["describe_environment"]
+__all__ = ["version_string", "describe_environment"]
+
+
+def version_string() -> str:
+    """Short ``prog version`` line (used by ``repro --version``)."""
+
+    from . import __version__
+
+    return f"repro {__version__}"
 
 
 def describe_environment() -> str:

@@ -1,0 +1,249 @@
+"""Tests for the versioned model artifact format (``repro.api.artifact``).
+
+Covers the bit-exact save/load round trip, header inspection, headless
+artifacts, and the strict validation paths: corrupt files, truncation,
+future format versions, unknown feature types and mismatched indexes
+must all raise a :class:`~repro.exceptions.ModelFormatError` (a
+``ReproError``), never an arbitrary traceback.
+"""
+
+import json
+import random
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api.artifact import (
+    MODEL_FORMAT_VERSION,
+    MODEL_MAGIC,
+    inspect_model,
+    load_model,
+    save_model,
+    validate_model,
+)
+from repro.core.classifier import FuzzyHashClassifier
+from repro.exceptions import (
+    ModelArtifactError,
+    ModelFormatError,
+    NotFittedError,
+    ReproError,
+)
+from repro.features.records import SampleFeatures
+from repro.hashing.ssdeep import fuzzy_hash
+from repro.index import SimilarityIndex
+
+from test_index_core import make_corpus
+
+
+def make_records(n=36, *, seed=5, n_families=4, feature_type="ssdeep-file"):
+    return [SampleFeatures(sample_id=sid, class_name=cls, version="1",
+                           executable=sid, digests=digests)
+            for sid, digests, cls in make_corpus(n, seed=seed,
+                                                 n_families=n_families,
+                                                 feature_type=feature_type)]
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    records = make_records()
+    clf = FuzzyHashClassifier(feature_types=["ssdeep-file"], n_estimators=12,
+                              random_state=0, confidence_threshold=0.4)
+    clf.fit(records)
+    return clf, records
+
+
+@pytest.fixture(scope="module")
+def saved(fitted, tmp_path_factory):
+    clf, _records = fitted
+    path = tmp_path_factory.mktemp("models") / "model.rpm"
+    return save_model(clf, path)
+
+
+# -------------------------------------------------------------- round trip
+def test_round_trip_is_bit_identical(fitted, saved):
+    clf, records = fitted
+    restored = load_model(saved)
+    assert list(restored.classes_) == list(clf.classes_)
+    assert restored.feature_names_ == clf.feature_names_
+    assert np.array_equal(restored.predict_proba(records),
+                          clf.predict_proba(records))
+    assert list(restored.predict(records)) == list(clf.predict(records))
+    assert np.array_equal(restored.feature_importances_,
+                          clf.feature_importances_)
+
+
+def test_round_trip_confidences_and_threshold(fitted, saved):
+    clf, records = fitted
+    restored = load_model(saved)
+    labels, conf = restored.predict_with_confidence(records)
+    labels2, conf2 = clf.predict_with_confidence(records)
+    assert np.array_equal(conf, conf2)
+    assert list(labels) == list(labels2)
+    assert restored.confidence_threshold == clf.confidence_threshold
+    # The threshold override plumbing survives the round trip too.
+    assert list(restored.predict(records, confidence_threshold=0.99)) == \
+        list(clf.predict(records, confidence_threshold=0.99))
+
+
+def test_inspect_reports_header_summary(saved, fitted):
+    clf, _ = fitted
+    info = inspect_model(saved)
+    assert info["kind"] == "repro.fuzzy-hash-classifier"
+    assert info["format_version"] == MODEL_FORMAT_VERSION
+    assert info["feature_types"] == ["ssdeep-file"]
+    assert info["n_trees"] == 12
+    assert info["n_classes"] == len(clf.classes_)
+    assert info["index_included"] is True
+    assert info["index_members"] == 36
+    assert validate_model(saved)["n_trees"] == 12
+
+
+def test_save_requires_fitted_classifier(tmp_path):
+    with pytest.raises(NotFittedError):
+        save_model(FuzzyHashClassifier(), tmp_path / "nope.rpm")
+    with pytest.raises(ModelArtifactError):
+        save_model(object(), tmp_path / "nope.rpm")
+
+
+# ---------------------------------------------------------------- headless
+def test_headless_artifact_requires_index(fitted, tmp_path):
+    clf, records = fitted
+    path = save_model(clf, tmp_path / "headless.rpm", include_index=False)
+    # Much smaller without the anchor payload.
+    assert path.stat().st_size < save_model(
+        clf, tmp_path / "with-index.rpm").stat().st_size
+    with pytest.raises(ModelFormatError, match="without its anchor index"):
+        load_model(path)
+    # Supplying the matching index (object or path) restores bit-exactly.
+    index_path = clf.builder_.index_.save(tmp_path / "anchors.rpsi")
+    for source in (clf.builder_.index_, index_path):
+        restored = load_model(path, index=source)
+        assert list(restored.predict(records)) == list(clf.predict(records))
+
+
+def test_headless_artifact_rejects_wrong_index(fitted, tmp_path):
+    clf, _records = fitted
+    path = save_model(clf, tmp_path / "headless.rpm", include_index=False)
+    wrong = SimilarityIndex(["ssdeep-file"])
+    wrong.add_many(make_corpus(10, seed=99, n_families=2))
+    with pytest.raises(ModelFormatError):
+        load_model(path, index=wrong)
+
+
+# ------------------------------------------------------------- error paths
+def test_missing_file_raises_model_format_error(tmp_path):
+    with pytest.raises(ModelFormatError, match="does not exist"):
+        load_model(tmp_path / "missing.rpm")
+
+
+def test_bad_magic_raises(tmp_path):
+    path = tmp_path / "bad.rpm"
+    path.write_bytes(b"\x13\x37" * 64)
+    with pytest.raises(ModelFormatError, match="bad magic"):
+        load_model(path)
+
+
+def test_index_file_is_not_a_model(fitted, tmp_path):
+    clf, _ = fitted
+    index_path = clf.builder_.index_.save(tmp_path / "anchors.rpsi")
+    with pytest.raises(ModelFormatError, match="bad magic"):
+        inspect_model(index_path)
+
+
+def test_truncation_raises(saved, tmp_path):
+    data = saved.read_bytes()
+    for cut in (10, len(data) // 2, len(data) - 7):
+        path = tmp_path / f"trunc-{cut}.rpm"
+        path.write_bytes(data[:cut])
+        with pytest.raises(ModelFormatError):
+            load_model(path)
+
+
+def test_future_version_raises(saved, tmp_path):
+    data = bytearray(saved.read_bytes())
+    struct.pack_into("<I", data, 8, MODEL_FORMAT_VERSION + 1)
+    path = tmp_path / "future.rpm"
+    path.write_bytes(bytes(data))
+    with pytest.raises(ModelFormatError, match="format version"):
+        load_model(path)
+
+
+def _rewrite_header(saved, tmp_path, mutate, name="tampered.rpm"):
+    """Rewrite the artifact with a mutated JSON header (payload kept)."""
+
+    data = saved.read_bytes()
+    magic, version, header_len = struct.unpack_from("<8sIQ", data)
+    assert magic == MODEL_MAGIC
+    header = json.loads(data[20:20 + header_len].decode("utf-8"))
+    mutate(header)
+    new_header = json.dumps(header, separators=(",", ":"),
+                            sort_keys=True).encode("utf-8")
+    path = tmp_path / name
+    path.write_bytes(struct.pack("<8sIQ", magic, version, len(new_header))
+                     + new_header + data[20 + header_len:])
+    return path
+
+
+def test_unknown_feature_type_raises(saved, tmp_path):
+    def mutate(header):
+        header["params"]["feature_types"] = ["ssdeep-quantum"]
+
+    path = _rewrite_header(saved, tmp_path, mutate)
+    with pytest.raises(ModelFormatError, match="ssdeep-quantum"):
+        load_model(path)
+
+
+def test_wrong_kind_raises(saved, tmp_path):
+    path = _rewrite_header(saved, tmp_path,
+                           lambda h: h.update(kind="something-else"))
+    with pytest.raises(ModelFormatError, match="something-else"):
+        load_model(path)
+
+
+def test_tampered_feature_names_raise(saved, tmp_path):
+    def mutate(header):
+        header["feature_names"] = header["feature_names"][:-1]
+
+    path = _rewrite_header(saved, tmp_path, mutate)
+    with pytest.raises(ModelFormatError):
+        load_model(path)
+
+
+def test_all_artifact_errors_are_repro_errors():
+    assert issubclass(ModelFormatError, ModelArtifactError)
+    assert issubclass(ModelArtifactError, ReproError)
+
+
+# ----------------------------------------------- hypothesis: round trip
+_seeds = st.integers(min_value=0, max_value=2**16)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=_seeds, threshold=st.floats(min_value=0.1, max_value=0.9),
+       n_estimators=st.integers(min_value=3, max_value=12))
+def test_roundtrip_predicts_bit_identically(tmp_path_factory, seed, threshold,
+                                            n_estimators):
+    """``load_model(save_model(m))`` predicts bit-identically to ``m``
+    over random corpora, thresholds and forest sizes."""
+
+    rnd = random.Random(seed)
+    n = rnd.randrange(12, 30)
+    records = make_records(n, seed=seed, n_families=rnd.randrange(2, 5))
+    queries = make_records(10, seed=seed + 1, n_families=3)
+    clf = FuzzyHashClassifier(feature_types=["ssdeep-file"],
+                              n_estimators=n_estimators,
+                              confidence_threshold=threshold,
+                              random_state=seed)
+    clf.fit(records)
+    path = tmp_path_factory.mktemp("hyp") / "model.rpm"
+    restored = load_model(save_model(clf, path))
+    for batch in (records, queries):
+        assert np.array_equal(restored.predict_proba(batch),
+                              clf.predict_proba(batch))
+        assert list(restored.predict(batch)) == list(clf.predict(batch))
+        assert np.array_equal(restored.confidence(batch),
+                              clf.confidence(batch))

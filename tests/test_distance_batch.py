@@ -78,3 +78,20 @@ def test_returns_int64_array():
     result = batch_edit_distances(["abc"], ["abd"])
     assert isinstance(result, np.ndarray)
     assert result.dtype == np.int64
+
+
+def test_lone_surrogates_and_astral_codepoints():
+    """The bulk UTF-32 packing path must accept every str Python can
+    hold — astral plane characters and lone surrogates (e.g. from
+    surrogateescape decoding) — and agree with the scalar reference
+    (``osa_distance``, the unit-cost restricted Damerau–Levenshtein the
+    engine's defaults implement)."""
+
+    pairs = [("a\ud800b", "ab"), ("\ud800", "\ud801"),
+             ("naïve\U0001F600", "naive\U0001F601"),
+             ("\ud800" * 3, "")]
+    engine = BatchEditDistance()
+    result = engine.distances_two_lists([a for a, _ in pairs],
+                                        [b for _, b in pairs])
+    expected = [osa_distance(a, b) for a, b in pairs]
+    assert result.tolist() == expected

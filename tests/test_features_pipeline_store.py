@@ -106,3 +106,63 @@ def test_feature_store_clear(tmp_path, tiny_features):
     store.save("k2", tiny_features[:2])
     assert store.clear() == 2
     assert store.load("k1") is None
+
+
+def test_feature_store_save_is_atomic(tmp_path, tiny_features, monkeypatch):
+    """save writes via a same-directory temp file + os.replace, so an
+    interrupted run never leaves a half-written cache entry under the
+    final name."""
+
+    import os
+
+    store = FeatureStore(tmp_path)
+    replaced = []
+    real_replace = os.replace
+
+    def spy(src, dst):
+        replaced.append((str(src), str(dst)))
+        return real_replace(src, dst)
+
+    monkeypatch.setattr(os, "replace", spy)
+    path = store.save("atomic", tiny_features[:2])
+    assert replaced, "save() must go through os.replace"
+    src, dst = replaced[-1]
+    assert dst == str(path)
+    assert src.endswith(".tmp")
+    assert os.path.dirname(src) == os.path.dirname(dst)
+    # No temp litter, and the entry loads back.
+    assert not list(tmp_path.glob("*.tmp"))
+    assert store.load("atomic") is not None
+
+
+def test_feature_store_interrupted_save_leaves_old_entry_intact(
+        tmp_path, tiny_features, monkeypatch):
+    """A crash mid-write must not clobber the previous cache entry."""
+
+    import os
+
+    store = FeatureStore(tmp_path)
+    store.save("key", tiny_features[:3])
+    before = store.path_for("key").read_text(encoding="utf-8")
+
+    def boom(src, dst):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(os, "replace", boom)
+    with pytest.raises(OSError):
+        store.save("key", tiny_features[:1])
+    monkeypatch.undo()
+    assert store.path_for("key").read_text(encoding="utf-8") == before
+    assert not list(tmp_path.glob("*.tmp"))
+    assert len(store.load("key")) == 3
+
+
+def test_pipeline_extract_bytes(tiny_samples):
+    pipeline = FeatureExtractionPipeline(["ssdeep-file"])
+    items = [(s.relative_path, s.data) for s in tiny_samples[:3]]
+    records = pipeline.extract_bytes(items)
+    assert [r.sample_id for r in records] == [i[0] for i in items]
+    assert all(r.digest("ssdeep-file") for r in records)
+    # Same bytes as extract_generated -> same digests.
+    generated = pipeline.extract_generated(tiny_samples[:3])
+    assert [r.digests for r in records] == [g.digests for g in generated]

@@ -1,0 +1,57 @@
+"""Tier-1 perf smoke for model-artifact cold starts.
+
+Runs ``benchmarks/bench_model_load.py`` at reduced cost so a regression
+that erodes the load-don't-retrain advantage — or breaks the bit-exact
+artifact round-trip — fails the default test run, not just a
+manually-invoked benchmark.  The acceptance-floor configuration is
+marked ``slow`` (``pytest -m slow`` opts in).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+_BENCH_PATH = Path(__file__).resolve().parents[1] / "benchmarks" / \
+    "bench_model_load.py"
+
+
+@pytest.fixture(scope="module")
+def bench():
+    spec = importlib.util.spec_from_file_location("bench_model_load",
+                                                  _BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("bench_model_load", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quick_benchmark_speedup_and_decision_identity(bench):
+    result = bench.run(n_estimators=40, repeats=2)
+    assert result.decisions_match, \
+        "loaded-model decisions diverged from the retrain path"
+    # The full benchmark enforces the >=10x acceptance floor; the smoke
+    # run uses a smaller forest (cheaper retrain numerator) and a
+    # conservative bar so a loaded CI machine cannot flake it.
+    assert result.speedup >= 2.5, \
+        f"artifact cold start only {result.speedup:.1f}x faster than retraining"
+
+
+def test_benchmark_cli_mode(bench, capsys, tmp_path, monkeypatch):
+    monkeypatch.setattr(bench, "OUTPUT_DIR", tmp_path)
+    code = bench.main(["--estimators", "40", "--repeats", "2",
+                       "--min-speedup", "3"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "cold-start speedup" in out
+    assert (tmp_path / "bench_model_load.txt").is_file()
+
+
+@pytest.mark.slow
+def test_full_benchmark_meets_acceptance_floor(bench):
+    """The acceptance-criterion configuration: 100 trees, >=10x."""
+
+    result = bench.run(n_estimators=100)
+    assert result.decisions_match
+    assert result.speedup >= 10.0

@@ -1,0 +1,180 @@
+"""Tests for the model-artifact CLI surface: ``repro train``,
+``repro classify --model``, ``repro model inspect|validate`` and the
+top-level ``--version`` flag.
+
+Operator-facing failures (missing/corrupt/truncated artifacts, bad
+argument combinations) must exit with status 2 and a one-line message,
+never a traceback.
+"""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.features.records import SampleFeatures, features_to_json
+from repro.version_info import version_string
+
+from test_index_core import make_corpus
+
+
+@pytest.fixture(scope="module")
+def features_json(tmp_path_factory):
+    """A features-JSON training source (no ELF hashing needed)."""
+
+    records = [SampleFeatures(sample_id=sid, class_name=cls, version="1",
+                              executable=sid, digests=digests)
+               for sid, digests, cls in make_corpus(30, seed=17,
+                                                    n_families=3)]
+    path = tmp_path_factory.mktemp("train") / "features.json"
+    path.write_text(features_to_json(records), encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def target_dir(tmp_path_factory):
+    root = tmp_path_factory.mktemp("collected")
+    for i in range(4):
+        (root / f"job-exe-{i}").write_bytes(bytes(range(256)) * (4 + i))
+    return str(root)
+
+
+@pytest.fixture(scope="module")
+def model_file(features_json, tmp_path_factory):
+    out = tmp_path_factory.mktemp("model") / "model.rpm"
+    assert main(["train", features_json, "--out", str(out),
+                 "--estimators", "10", "--seed", "4"]) == 0
+    return str(out)
+
+
+# ------------------------------------------------------------------ train
+def test_parser_lists_new_subcommands():
+    text = build_parser().format_help()
+    for command in ("train", "model", "--version"):
+        assert command in text
+
+
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert version_string() in capsys.readouterr().out
+
+
+def test_train_writes_artifact(model_file, capsys):
+    import pathlib
+
+    assert pathlib.Path(model_file).is_file()
+
+
+def test_model_inspect(model_file, capsys):
+    assert main(["model", "inspect", model_file]) == 0
+    out = capsys.readouterr().out
+    assert "repro.fuzzy-hash-classifier" in out
+    assert "10 trees" in out
+    assert "ssdeep-file" in out
+    assert "embedded" in out
+
+
+def test_model_validate(model_file, capsys):
+    assert main(["model", "validate", model_file]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+# --------------------------------------------------------------- classify
+def test_classify_with_model_matches_train_then_classify(
+        features_json, model_file, target_dir, capsys):
+    """Acceptance: `classify --model` must produce decisions identical
+    to the retrain path on the same inputs."""
+
+    assert main(["classify", "--model", model_file, target_dir]) == 0
+    from_model = capsys.readouterr().out
+    # Retrain with the exact configuration the artifact was trained with.
+    assert main(["classify", features_json, target_dir,
+                 "--estimators", "10", "--seed", "4",
+                 "--threshold", "0.5"]) == 0
+    retrained = capsys.readouterr().out
+    assert from_model == retrained
+    assert "executables classified" in from_model
+
+
+def test_classify_model_with_allowed_classes(model_file, target_dir, capsys):
+    assert main(["classify", "--model", model_file, target_dir,
+                 "--allowed", "fam0"]) == 0
+    out = capsys.readouterr().out
+    assert "executables classified" in out
+
+
+def test_train_then_save_model_flag_round_trips(features_json, target_dir,
+                                                tmp_path, capsys):
+    saved = tmp_path / "via-classify.rpm"
+    assert main(["classify", features_json, target_dir,
+                 "--save-model", str(saved)]) == 0
+    first = capsys.readouterr().out
+    assert saved.is_file()
+    assert main(["classify", "--model", str(saved), target_dir]) == 0
+    second = capsys.readouterr().out
+    # The report block (everything after the save notice) is identical.
+    assert first.splitlines()[-1] == second.splitlines()[-1]
+
+
+# ------------------------------------------------------------ error paths
+def test_classify_model_rejects_extra_positional(model_file, target_dir,
+                                                 capsys):
+    code = main(["classify", "--model", model_file, target_dir, "extra"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "error:" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_classify_without_target_exits_nonzero(features_json, capsys):
+    code = main(["classify", features_json])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "target directory" in captured.err
+
+
+def test_classify_model_with_save_model_exits_nonzero(model_file, target_dir,
+                                                      tmp_path, capsys):
+    code = main(["classify", "--model", model_file, target_dir,
+                 "--save-model", str(tmp_path / "x.rpm")])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_classify_missing_model_exits_nonzero(target_dir, tmp_path, capsys):
+    code = main(["classify", "--model", str(tmp_path / "missing.rpm"),
+                 target_dir])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "does not exist" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_inspect_corrupt_model_exits_nonzero(tmp_path, capsys):
+    corrupt = tmp_path / "corrupt.rpm"
+    corrupt.write_bytes(b"\x00\x01garbage" * 32)
+    code = main(["model", "inspect", str(corrupt)])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "error:" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_validate_truncated_model_exits_nonzero(model_file, tmp_path, capsys):
+    from pathlib import Path
+
+    truncated = tmp_path / "truncated.rpm"
+    truncated.write_bytes(Path(model_file).read_bytes()[:-25])
+    code = main(["model", "validate", str(truncated)])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "truncated" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_train_from_nonexistent_source_exits_nonzero(tmp_path, capsys):
+    code = main(["train", str(tmp_path / "nothing"),
+                 "--out", str(tmp_path / "out.rpm")])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "neither a software tree" in captured.err
