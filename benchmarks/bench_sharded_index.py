@@ -1,0 +1,235 @@
+"""Benchmark: sharded index fan-out vs single-shard serial queries.
+
+The :class:`repro.index.ShardedSimilarityIndex` exists to let one corpus
+answer on more than one core: candidate generation runs per shard and
+the batched edit-distance scoring — the hot loop of every query — fans
+out over an execution backend.  This benchmark quantifies that on a
+synthetic mutated-family corpus:
+
+* **1 shard, serial** — the baseline: the same code path a plain
+  :class:`~repro.index.SimilarityIndex` takes, one core;
+* **N shards, process:N** — the same corpus partitioned by sample-id
+  hash, queries fanned over N worker processes;
+* both paths must return **bit-identical results** (also checked
+  against a plain single index) — sharding is a performance knob, never
+  a semantics knob, and this benchmark enforces it.
+
+Workloads: a batch of ``top_k_digests`` queries (the serving path) and
+one budgeted ``pairwise_matrix`` sweep (the corpus-analytics path).
+
+Run directly (``python benchmarks/bench_sharded_index.py``, add
+``--quick`` for the small CI-friendly configuration).  Exit status is
+non-zero when either workload's multi-worker speedup falls below
+``--min-speedup`` (default 2x at 4 shards) or when any result diverges,
+so the script doubles as a regression tripwire;
+``tests/test_sharded_bench_smoke.py`` runs the identity checks (and, on
+multi-core machines, a conservative speedup floor) in tier 1.  Note the
+speedup floor needs real cores: on a single-CPU machine only the
+identity checks are meaningful (``--min-speedup 0`` skips the floor).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.hashing.ssdeep import fuzzy_hash
+from repro.index import ShardedSimilarityIndex, SimilarityIndex
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+FEATURE_TYPE = "ssdeep-file"
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    n_corpus: int
+    n_queries: int
+    n_shards: int
+    n_workers: int
+    max_pairs: int
+    topk_serial_seconds: float
+    topk_parallel_seconds: float
+    pairwise_serial_seconds: float
+    pairwise_parallel_seconds: float
+    n_candidate_pairs: int
+    results_match: bool
+
+    @property
+    def topk_speedup(self) -> float:
+        if self.topk_parallel_seconds <= 0:
+            return float("inf")
+        return self.topk_serial_seconds / self.topk_parallel_seconds
+
+    @property
+    def pairwise_speedup(self) -> float:
+        if self.pairwise_parallel_seconds <= 0:
+            return float("inf")
+        return self.pairwise_serial_seconds / self.pairwise_parallel_seconds
+
+    @property
+    def min_speedup(self) -> float:
+        return min(self.topk_speedup, self.pairwise_speedup)
+
+    def table(self) -> str:
+        lines = [
+            f"corpus: {self.n_corpus} digests, {self.n_queries} top-k "
+            f"queries, {self.n_candidate_pairs} scored pairwise candidates",
+            f"layouts: 1 shard serial vs {self.n_shards} shards on "
+            f"process:{self.n_workers} ({os.cpu_count()} CPUs visible)",
+            f"{'workload':<24} {'1 shard (s)':>12} "
+            f"{f'{self.n_shards} shards (s)':>14} {'speedup':>8}",
+            f"{'top_k_digests batch':<24} {self.topk_serial_seconds:>12.3f} "
+            f"{self.topk_parallel_seconds:>14.3f} {self.topk_speedup:>7.1f}x",
+            f"{'pairwise_matrix':<24} {self.pairwise_serial_seconds:>12.3f} "
+            f"{self.pairwise_parallel_seconds:>14.3f} "
+            f"{self.pairwise_speedup:>7.1f}x",
+            f"all results bit-identical (incl. unsharded reference): "
+            f"{self.results_match}",
+        ]
+        return "\n".join(lines)
+
+
+def make_corpus(n: int, seed: int = 20260729,
+                n_families: int = 6) -> list[tuple[str, dict[str, str], str]]:
+    """Synthetic digest corpus: ``n`` members across mutated families.
+
+    The mutation rate (2–25 byte flips on 3–5 KB blobs) is tuned so
+    family members get *distinct* digests that still share 7-grams:
+    every query then has hundreds of unique signature pairs to score,
+    which is the DP-bound regime the shard fan-out exists for (heavier
+    mutation makes digests unrelated and the n-gram gate rejects
+    everything; lighter mutation collapses digests to identical strings
+    that de-duplicate away).
+    """
+
+    rnd = random.Random(seed)
+    bases = [rnd.randbytes(3000 + rnd.randrange(2000))
+             for _ in range(n_families)]
+    members = []
+    for i in range(n):
+        family = i % n_families
+        blob = bytearray(bases[family])
+        for _ in range(rnd.randrange(2, 25)):
+            blob[rnd.randrange(len(blob))] = rnd.randrange(256)
+        digest = fuzzy_hash(bytes(blob))
+        members.append((f"sample-{i:05d}", {FEATURE_TYPE: digest},
+                        f"family-{family:02d}"))
+    return members
+
+
+def run(n_corpus: int, n_queries: int, *, n_shards: int = 4,
+        n_workers: int | None = None, max_pairs: int = 150_000,
+        k: int = 10) -> BenchResult:
+    if n_workers is None:
+        n_workers = n_shards
+    corpus = make_corpus(n_corpus)
+    rnd = random.Random(97)
+    queries = [{FEATURE_TYPE: rnd.choice(corpus)[1][FEATURE_TYPE]}
+               for _ in range(n_queries)]
+
+    reference = SimilarityIndex([FEATURE_TYPE])
+    reference.add_many(corpus)
+    ref_topk = [reference.top_k_digests(q, k, min_score=0) for q in queries]
+    ref_pairs = reference.pairwise_matrix(max_pairs=max_pairs)
+
+    serial = ShardedSimilarityIndex([FEATURE_TYPE], n_shards=1,
+                                    executor="serial")
+    serial.add_many(corpus)
+    parallel = ShardedSimilarityIndex([FEATURE_TYPE], n_shards=n_shards,
+                                      executor=f"process:{n_workers}")
+    parallel.add_many(corpus)
+    try:
+        # Warm-up (untimed): the first parallel query pays worker
+        # start-up; a serving deployment pays it once per process, so it
+        # does not belong in the per-query comparison.
+        serial.top_k_digests(queries[0], k, min_score=0)
+        parallel.top_k_digests(queries[0], k, min_score=0)
+
+        start = time.perf_counter()
+        serial_topk = [serial.top_k_digests(q, k, min_score=0)
+                       for q in queries]
+        topk_serial_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        parallel_topk = [parallel.top_k_digests(q, k, min_score=0)
+                         for q in queries]
+        topk_parallel_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        serial_pairs = serial.pairwise_matrix(max_pairs=max_pairs)
+        pairwise_serial_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        parallel_pairs = parallel.pairwise_matrix(max_pairs=max_pairs)
+        pairwise_parallel_seconds = time.perf_counter() - start
+    finally:
+        serial.close()
+        parallel.close()
+
+    results_match = (serial_topk == parallel_topk == ref_topk
+                     and serial_pairs == parallel_pairs == ref_pairs)
+    return BenchResult(
+        n_corpus=n_corpus,
+        n_queries=n_queries,
+        n_shards=n_shards,
+        n_workers=n_workers,
+        max_pairs=max_pairs,
+        topk_serial_seconds=topk_serial_seconds,
+        topk_parallel_seconds=topk_parallel_seconds,
+        pairwise_serial_seconds=pairwise_serial_seconds,
+        pairwise_parallel_seconds=pairwise_parallel_seconds,
+        n_candidate_pairs=len(serial_pairs),
+        results_match=results_match,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small configuration for CI smoke runs")
+    parser.add_argument("--corpus", type=int, default=None,
+                        help="corpus size (default 2500, quick 400)")
+    parser.add_argument("--queries", type=int, default=None,
+                        help="top-k query count (default 40, quick 8)")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="shard / worker count for the parallel layout")
+    parser.add_argument("--max-pairs", type=int, default=None,
+                        help="pairwise budget (default 150000, quick 20000)")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="fail (exit 1) when either workload's speedup "
+                             "is below this floor (0 disables; needs >= "
+                             "--shards real cores to be meaningful)")
+    args = parser.parse_args(argv)
+
+    n_corpus = args.corpus if args.corpus else (400 if args.quick else 4000)
+    n_queries = args.queries if args.queries else (8 if args.quick else 40)
+    max_pairs = args.max_pairs if args.max_pairs else (20_000 if args.quick
+                                                      else 150_000)
+    result = run(n_corpus, n_queries, n_shards=args.shards,
+                 max_pairs=max_pairs)
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    out = OUTPUT_DIR / "bench_sharded_index.txt"
+    out.write_text(result.table() + "\n", encoding="utf-8")
+    print(result.table())
+    print(f"(written to {out})")
+
+    if not result.results_match:
+        print("FAIL: sharded results diverge from the single-index reference",
+              file=sys.stderr)
+        return 1
+    if args.min_speedup and result.min_speedup < args.min_speedup:
+        print(f"FAIL: multi-worker speedup {result.min_speedup:.1f}x is "
+              f"below the {args.min_speedup:.1f}x floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -88,7 +88,13 @@ from .features import (
 )
 
 # Similarity index
-from .index import IndexMatch, PairScore, SimilarityIndex
+from .index import (
+    IndexMatch,
+    PairScore,
+    ShardedSimilarityIndex,
+    SimilarityIndex,
+    load_index,
+)
 
 # Machine learning substrate
 from .ml import (
@@ -168,7 +174,9 @@ __all__ = [
     "SampleFeatures",
     "SimilarityFeatureBuilder",
     # similarity index
+    "ShardedSimilarityIndex",
     "SimilarityIndex",
+    "load_index",
     "IndexMatch",
     "PairScore",
     # ml

@@ -8,7 +8,7 @@ raw little-endian array payloads.
 Header fields::
 
     kind                   "repro.fuzzy-hash-classifier"
-    format_version         written by the container (currently 1)
+    format_version         written by the container (currently 2)
     library_version        repro.__version__ that wrote the file
     params                 FuzzyHashClassifier hyper-parameters
     classes                {"kind": "str"|"int"|"float", "values": [...]}
@@ -19,8 +19,15 @@ Header fields::
 
 Array payloads hold the flattened forest (per-tree node tables
 concatenated, with offset arrays) and, when ``include_index`` is left
-on, the anchor :class:`~repro.index.SimilarityIndex` under ``index.*``
-names.
+on, the anchor index under ``index.*`` names.
+
+Format version 2 (this build) additionally allows the embedded anchor
+index to be a :class:`~repro.index.ShardedSimilarityIndex`: its header
+(under ``index.header``) carries ``"sharded": true`` plus the shard
+layout, and its arrays are prefixed ``index.shardN.*``.  Version 1
+artifacts — always a single :class:`~repro.index.SimilarityIndex` —
+load unchanged and predict identically; readers accept any version up
+to the current one.
 
 Validation on load is strict: bad magic, truncation, a future format
 version, unknown feature types, or a feature layout that does not match
@@ -49,7 +56,7 @@ from ..exceptions import (
     ReproError,
 )
 from ..features.extractors import EXTENDED_FEATURE_TYPES
-from ..index import SimilarityIndex
+from ..index import ShardedSimilarityIndex, SimilarityIndex, load_index
 from ..index.storage import ContainerFormat, read_container, write_container
 from ..logging_utils import get_logger
 
@@ -58,8 +65,9 @@ __all__ = ["MODEL_FORMAT_VERSION", "MODEL_MAGIC", "MODEL_SUFFIX", "MODEL_KIND",
 
 _LOG = get_logger("api.artifact")
 
-#: Current (and oldest readable) model artifact format version.
-MODEL_FORMAT_VERSION = 1
+#: Current model artifact format version; v1 files (single-index
+#: anchors only) remain readable.
+MODEL_FORMAT_VERSION = 2
 
 #: File magic identifying a repro model artifact.
 MODEL_MAGIC = b"RPROMODL"
@@ -305,12 +313,15 @@ def save_model(classifier: FuzzyHashClassifier, path: str | os.PathLike, *,
 
 # ------------------------------------------------------------------- load
 def load_model(path: str | os.PathLike,
-               index: SimilarityIndex | str | os.PathLike | None = None
+               index: "SimilarityIndex | ShardedSimilarityIndex | str | "
+                      "os.PathLike | None" = None
                ) -> FuzzyHashClassifier:
     """Load a model artifact; the result predicts bit-identically.
 
-    ``index`` supplies the anchor index for headless artifacts (either a
-    loaded :class:`~repro.index.SimilarityIndex` or a path to one); it
+    ``index`` supplies the anchor index for headless artifacts (a loaded
+    :class:`~repro.index.SimilarityIndex` or
+    :class:`~repro.index.ShardedSimilarityIndex`, or a path to either
+    format); it
     is ignored with a warning when the artifact embeds its own.  Raises
     :class:`~repro.exceptions.ModelFormatError` on missing, corrupt,
     truncated, version- or feature-type-incompatible files.
@@ -320,7 +331,8 @@ def load_model(path: str | os.PathLike,
 
 
 def _restore(path: Path,
-             index: SimilarityIndex | str | os.PathLike | None
+             index: "SimilarityIndex | ShardedSimilarityIndex | str | "
+                    "os.PathLike | None"
              ) -> tuple[FuzzyHashClassifier, dict]:
     """Fully restore an artifact; returns ``(classifier, header)``."""
 
@@ -374,8 +386,8 @@ def _restore(path: Path,
             raise ModelFormatError(
                 f"{source} was saved without its anchor index "
                 "(include_index=False); pass index=<SimilarityIndex or path>")
-        if not isinstance(index, SimilarityIndex):
-            index = SimilarityIndex.load(index)
+        if not isinstance(index, (SimilarityIndex, ShardedSimilarityIndex)):
+            index = load_index(index)
         index_header, index_arrays = index.get_state()
         builder_state = {"index_header": index_header,
                          "index_arrays": index_arrays}
@@ -423,6 +435,16 @@ def _summarise(path: Path, header: Mapping) -> dict:
         raise ModelFormatError(
             f"{source} is missing required header fields: {exc}") from exc
     index_header = index_block.get("header") or {}
+    index_sharded = bool(index_header.get("sharded"))
+    if index_block.get("included"):
+        if index_sharded:
+            tombstones = sum(len(dead)
+                             for dead in index_header.get("tombstones", []))
+            index_members = len(index_header.get("order", [])) - tombstones
+        else:
+            index_members = len(index_header.get("sample_ids", []))
+    else:
+        index_members = 0
     return {
         "path": str(path),
         "file_bytes": path.stat().st_size,
@@ -437,8 +459,10 @@ def _summarise(path: Path, header: Mapping) -> dict:
         "confidence_threshold": params.get("confidence_threshold"),
         "anchor_strategy": params.get("anchor_strategy"),
         "index_included": bool(index_block.get("included")),
-        "index_members": len(index_header.get("sample_ids", []))
-        if index_block.get("included") else 0,
+        "index_sharded": index_sharded,
+        "index_shards": int(index_header.get("n_shards", 0))
+        if index_sharded else 0,
+        "index_members": index_members,
     }
 
 
@@ -451,7 +475,8 @@ def inspect_model(path: str | os.PathLike) -> dict:
 
 
 def validate_model(path: str | os.PathLike,
-                   index: SimilarityIndex | str | os.PathLike | None = None
+                   index: "SimilarityIndex | ShardedSimilarityIndex | str | "
+                          "os.PathLike | None" = None
                    ) -> dict:
     """Fully restore an artifact, then return its :func:`inspect_model`
     summary — the load exercises every structural check, so success

@@ -17,30 +17,43 @@ Construction paths mirror the deployment lifecycle:
   process without retraining.
 
 Classification is batched end to end: feature extraction fans out over
-worker processes (:func:`repro.parallel.parallel_map`), and each batch
-runs the anchor index's candidate generation plus the vectorised
-:class:`~repro.distance.batch.BatchEditDistance` scoring once, followed
-by a single forest pass (labels and confidences come from the same
-probability matrix).  ``classify_stream`` applies the same micro-batching
-to an iterable of arbitrary length while yielding decisions in input
-order.
+a pluggable execution backend (``executor=`` spec, see
+:mod:`repro.parallel.backend`; plain ``n_jobs`` process counts still
+work), and each batch runs the anchor index's candidate generation plus
+the vectorised :class:`~repro.distance.batch.BatchEditDistance` scoring
+once — fanned across shards when the model's anchor index is a
+:class:`~repro.index.ShardedSimilarityIndex` — followed by a single
+forest pass (labels and confidences come from the same probability
+matrix).  ``classify_stream`` applies the same micro-batching to an
+iterable of arbitrary length while yielding decisions in input order.
+
+The serving hot path additionally keeps an LRU digest→score cache: an
+executable whose digests were already scored (same binary resubmitted,
+a re-scanned allocation, a polling collector) skips the similarity
+transform and the forest entirely.  The cache stores
+threshold-independent ``(best class, confidence)`` pairs, so changing
+``confidence_threshold`` after load never serves stale decisions.
 """
 
 from __future__ import annotations
 
 import os
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
 
 from ..core.classifier import FuzzyHashClassifier
 from ..exceptions import EvaluationError, NotFittedError, ValidationError
 from ..features.pipeline import FeatureExtractionPipeline
 from ..features.records import SampleFeatures
-from ..index import SimilarityIndex
+from ..index import ShardedSimilarityIndex, SimilarityIndex
 from ..logging_utils import get_logger
 
 __all__ = ["Decision", "ClassificationService", "render_report",
+           "list_directory",
            "DECISION_EXPECTED", "DECISION_UNEXPECTED", "DECISION_UNKNOWN"]
 
 _LOG = get_logger("api.service")
@@ -52,6 +65,9 @@ DECISION_UNKNOWN = "unknown-application"
 
 #: Default micro-batch size for ``classify_stream``.
 DEFAULT_BATCH_SIZE = 64
+
+#: Default capacity of the digest→score LRU cache (0 disables it).
+DEFAULT_CACHE_SIZE = 1024
 
 
 @dataclass(frozen=True)
@@ -67,6 +83,26 @@ class Decision:
         """True if an operator should take a closer look."""
 
         return self.decision in (DECISION_UNEXPECTED, DECISION_UNKNOWN)
+
+
+def list_directory(directory: str | os.PathLike,
+                   pattern: str = "**/*") -> list[str]:
+    """Every regular file below ``directory``, sorted.
+
+    The one directory-walk rule shared by
+    :meth:`ClassificationService.classify_directory` and the CLI's
+    streaming ``classify --jsonl`` path; raises
+    :class:`~repro.exceptions.EvaluationError` for a missing directory
+    or an empty match.
+    """
+
+    root = Path(directory)
+    if not root.is_dir():
+        raise EvaluationError(f"{root} is not a directory")
+    paths = sorted(str(p) for p in root.glob(pattern) if p.is_file())
+    if not paths:
+        raise EvaluationError(f"no files found under {root}")
+    return paths
 
 
 def render_report(items: Sequence) -> str:
@@ -101,54 +137,87 @@ class ClassificationService:
         Application classes this allocation is expected to run; ``None``
         accepts every known class and only flags unknown applications.
     n_jobs:
-        Worker processes for feature extraction.
+        Worker processes for feature extraction (ignored when
+        ``executor`` is set).
+    executor:
+        Execution backend spec (``"serial"``, ``"thread:4"``,
+        ``"process:8"``, ...) or an
+        :class:`~repro.parallel.ExecutionBackend` instance, used for
+        feature extraction; takes precedence over ``n_jobs``.
     batch_size:
         Default micro-batch size for :meth:`classify_stream`.
+    cache_size:
+        Capacity of the LRU digest→score cache on the classify hot
+        path (0 disables caching).
     """
 
     def __init__(self, classifier: FuzzyHashClassifier, *,
                  allowed_classes: Iterable[str] | None = None,
-                 n_jobs: int = 1,
-                 batch_size: int = DEFAULT_BATCH_SIZE) -> None:
+                 n_jobs: int = 1, executor=None,
+                 batch_size: int = DEFAULT_BATCH_SIZE,
+                 cache_size: int = DEFAULT_CACHE_SIZE) -> None:
         if not hasattr(classifier, "model_"):
             raise NotFittedError(
                 "ClassificationService needs a fitted classifier; use "
                 "ClassificationService.train(...) or .load(...)")
         if batch_size < 1:
             raise ValidationError("batch_size must be >= 1")
+        if cache_size < 0:
+            raise ValidationError("cache_size must be >= 0")
         self.classifier = classifier
         self.allowed_classes = (set(allowed_classes)
                                 if allowed_classes is not None else None)
         self.n_jobs = n_jobs
+        self.executor = executor
         self.batch_size = int(batch_size)
+        self.cache_size = int(cache_size)
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._cache: OrderedDict[tuple, tuple[object, float]] = OrderedDict()
         self._pipeline = FeatureExtractionPipeline(classifier.feature_types,
-                                                   n_jobs=n_jobs)
+                                                   n_jobs=n_jobs,
+                                                   executor=executor)
+        # An explicitly requested executor must reach the anchor index
+        # too: a sharded index restored from an artifact comes up with a
+        # serial backend, and shard fan-out on the scoring hot path is
+        # the whole point of asking for one.
+        if executor is not None:
+            anchor = getattr(getattr(classifier, "builder_", None),
+                             "index_", None)
+            if isinstance(anchor, ShardedSimilarityIndex):
+                anchor.set_executor(executor)
 
     # ------------------------------------------------------------ lifecycle
     @classmethod
     def train(cls, features: Sequence[SampleFeatures], *,
               allowed_classes: Iterable[str] | None = None,
-              n_jobs: int = 1, batch_size: int = DEFAULT_BATCH_SIZE,
-              index: SimilarityIndex | None = None,
+              n_jobs: int = 1, executor=None,
+              batch_size: int = DEFAULT_BATCH_SIZE,
+              cache_size: int = DEFAULT_CACHE_SIZE,
+              index: "SimilarityIndex | ShardedSimilarityIndex | None" = None,
               **classifier_params) -> "ClassificationService":
         """Fit a fresh model on labelled feature records.
 
         ``classifier_params`` are forwarded to
         :class:`FuzzyHashClassifier` (``n_estimators``,
         ``confidence_threshold``, ``random_state``, ...); ``index``
-        optionally supplies a prebuilt anchor index.
+        optionally supplies a prebuilt anchor index (single or sharded).
         """
 
         classifier = FuzzyHashClassifier(n_jobs=n_jobs, **classifier_params)
         classifier.fit(list(features), index=index)
         return cls(classifier, allowed_classes=allowed_classes,
-                   n_jobs=n_jobs, batch_size=batch_size)
+                   n_jobs=n_jobs, executor=executor, batch_size=batch_size,
+                   cache_size=cache_size)
 
     @classmethod
     def load(cls, path: str | os.PathLike, *,
              allowed_classes: Iterable[str] | None = None,
-             n_jobs: int = 1, batch_size: int = DEFAULT_BATCH_SIZE,
-             index: SimilarityIndex | str | os.PathLike | None = None
+             n_jobs: int = 1, executor=None,
+             batch_size: int = DEFAULT_BATCH_SIZE,
+             cache_size: int = DEFAULT_CACHE_SIZE,
+             index: "SimilarityIndex | ShardedSimilarityIndex | str | "
+                    "os.PathLike | None" = None
              ) -> "ClassificationService":
         """Cold-start from a model artifact — no retraining.
 
@@ -160,7 +229,8 @@ class ClassificationService:
 
         return cls(load_model(path, index=index),
                    allowed_classes=allowed_classes, n_jobs=n_jobs,
-                   batch_size=batch_size)
+                   executor=executor, batch_size=batch_size,
+                   cache_size=cache_size)
 
     def save(self, path: str | os.PathLike, *,
              include_index: bool = True) -> Path:
@@ -178,8 +248,8 @@ class ClassificationService:
         return self.classifier.classes_
 
     @property
-    def similarity_index(self) -> SimilarityIndex:
-        """The model's fitted anchor index."""
+    def similarity_index(self) -> "SimilarityIndex | ShardedSimilarityIndex":
+        """The model's fitted anchor index (single or sharded)."""
 
         builder = getattr(self.classifier, "builder_", None)
         index = getattr(builder, "index_", None)
@@ -221,13 +291,7 @@ class ClassificationService:
                            pattern: str = "**/*") -> list[Decision]:
         """Classify every regular file below ``directory``."""
 
-        root = Path(directory)
-        if not root.is_dir():
-            raise EvaluationError(f"{root} is not a directory")
-        paths = sorted(str(p) for p in root.glob(pattern) if p.is_file())
-        if not paths:
-            raise EvaluationError(f"no files found under {root}")
-        return self.classify_paths(paths)
+        return self.classify_paths(list_directory(directory, pattern))
 
     def classify_stream(self, items: Iterable, *,
                         batch_size: int | None = None) -> Iterator[Decision]:
@@ -281,11 +345,22 @@ class ClassificationService:
         return self._decide(features)
 
     def _decide(self, features: Sequence[SampleFeatures]) -> list[Decision]:
-        labels, confidences = self.classifier.predict_with_confidence(features)
+        known_labels, confidences = self._predict_cached(features)
+        # Duck-typed classifiers without a thresholded model are taken
+        # at their word (threshold None); the real FuzzyHashClassifier
+        # path defers rejection to here so cached scores stay valid.
+        threshold = getattr(self.classifier.model_,
+                            "confidence_threshold", None)
         unknown = self.classifier.unknown_label
         allowed = self.allowed_classes
         decisions: list[Decision] = []
-        for record, predicted, confidence in zip(features, labels, confidences):
+        for record, known, confidence in zip(features, known_labels,
+                                             confidences):
+            # The cache stores the pre-threshold best class, so the
+            # rejection rule is applied fresh on every call — a
+            # threshold changed after load takes effect immediately.
+            predicted = unknown if (threshold is not None
+                                    and confidence < threshold) else known
             if predicted == unknown:
                 decision = DECISION_UNKNOWN
             elif allowed is not None and predicted not in allowed:
@@ -299,3 +374,50 @@ class ClassificationService:
         _LOG.info("service classified %d executables (%d flagged)",
                   len(decisions), flagged)
         return decisions
+
+    def _predict_cached(self, features: Sequence[SampleFeatures]
+                        ) -> tuple[list, np.ndarray]:
+        """``(best class, confidence)`` per record, through the LRU cache.
+
+        Predictions are computed with the rejection threshold disabled
+        (``confidence_threshold=0.0``), so cached values stay valid when
+        the service's threshold is tuned later; only cache misses pay
+        the similarity transform and the forest pass.  Duck-typed
+        classifiers whose ``model_`` carries no threshold are called
+        with their own default instead.
+        """
+
+        threshold = getattr(self.classifier.model_,
+                            "confidence_threshold", None)
+        override = None if threshold is None else 0.0
+        if not self.cache_size:
+            labels, confidences = self.classifier.predict_with_confidence(
+                features, confidence_threshold=override)
+            self.cache_misses += len(features)
+            return list(labels), np.asarray(confidences, dtype=np.float64)
+
+        feature_types = self.classifier.feature_types
+        keys = [tuple(record.digest(ft) for ft in feature_types)
+                for record in features]
+        known: list = [None] * len(features)
+        confidence = np.zeros(len(features), dtype=np.float64)
+        misses: list[int] = []
+        for position, key in enumerate(keys):
+            hit = self._cache.get(key)
+            if hit is None:
+                misses.append(position)
+            else:
+                self._cache.move_to_end(key)
+                known[position], confidence[position] = hit
+        self.cache_hits += len(features) - len(misses)
+        self.cache_misses += len(misses)
+        if misses:
+            labels, scores = self.classifier.predict_with_confidence(
+                [features[i] for i in misses], confidence_threshold=override)
+            for position, label, score in zip(misses, labels, scores):
+                known[position] = label
+                confidence[position] = float(score)
+                self._cache[keys[position]] = (label, float(score))
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+        return known, confidence

@@ -22,10 +22,17 @@ The sub-commands cover the library's main entry points:
 ``model inspect | validate``
     Inspect a model artifact's header, or fully restore it to prove it
     will serve.
-``index build | query | stats``
-    Manage persistent :class:`~repro.index.SimilarityIndex` files: build
-    one from a software tree (or an exported features JSON), run top-k
-    queries against it, and inspect its statistics.
+``index build | query | stats | compact | merge``
+    Manage persistent similarity indexes: build one from a software
+    tree (or an exported features JSON) — single-file by default, a
+    sharded directory with ``--shards N`` — run top-k queries against
+    either layout, inspect statistics (``--json`` adds a per-shard
+    breakdown), reclaim tombstoned members (``compact``) and convert
+    between the two layouts in both directions (``merge``).
+
+Global ``--jobs N`` / ``--executor SPEC`` (before the sub-command)
+select the parallelism every sub-command fans out with: ``--executor``
+accepts ``serial``, ``thread[:N]`` or ``process[:N]``.
 
 Errors raised by the library (:class:`~repro.exceptions.ReproError`)
 print a one-line message to stderr and exit with status 2 — no
@@ -54,6 +61,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=version_string())
     parser.add_argument("--verbose", "-v", action="store_true",
                         help="enable INFO logging")
+    parser.add_argument("--jobs", type=int, default=None, dest="global_jobs",
+                        metavar="N",
+                        help="default worker count for any sub-command that "
+                             "parallelises (sub-command --jobs wins)")
+    parser.add_argument("--executor", default=None, metavar="SPEC",
+                        help="execution backend: serial, thread[:N] or "
+                             "process[:N] (takes precedence over --jobs)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     generate = sub.add_parser("generate", help="generate a synthetic software tree")
@@ -71,8 +85,9 @@ def build_parser() -> argparse.ArgumentParser:
                             help="how the unknown classes are chosen")
     experiment.add_argument("--no-grid-search", action="store_true",
                             help="skip hyper-parameter tuning (use defaults)")
-    experiment.add_argument("--jobs", type=int, default=1,
-                            help="worker processes for extraction/training")
+    experiment.add_argument("--jobs", type=int, default=None,
+                            help="worker processes for extraction/training "
+                                 "(default: the global --jobs, else 1)")
 
     train = sub.add_parser("train", help="train and save a model artifact "
                                          "for no-retrain classification")
@@ -91,8 +106,9 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--types", nargs="+", default=None, metavar="TYPE",
                        help="fuzzy-hash feature types "
                             "(default: the paper's three types)")
-    train.add_argument("--jobs", type=int, default=1,
-                       help="worker processes for extraction/training")
+    train.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for extraction/training "
+                            "(default: the global --jobs, else 1)")
     train.add_argument("--no-index", action="store_true",
                        help="write a headless artifact without the anchor "
                             "index (smaller; classify will need --index)")
@@ -129,6 +145,9 @@ def build_parser() -> argparse.ArgumentParser:
     classify.add_argument("--save-model", default=None, metavar="FILE",
                           help="persist the fitted model artifact to FILE "
                                "after training")
+    classify.add_argument("--jsonl", action="store_true",
+                          help="stream one JSON decision per line to stdout "
+                               "instead of the report table (pipeable)")
 
     model = sub.add_parser("model", help="inspect and validate saved model "
                                          "artifacts")
@@ -159,6 +178,9 @@ def build_parser() -> argparse.ArgumentParser:
                              metavar="TYPE",
                              help="fuzzy-hash feature types to index "
                                   "(default: the paper's three types)")
+    index_build.add_argument("--shards", type=int, default=None, metavar="N",
+                             help="build a sharded index directory with N "
+                                  "shards instead of a single file")
 
     index_query = index_sub.add_parser(
         "query", help="top-k similarity query against a saved index")
@@ -179,7 +201,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     index_stats = index_sub.add_parser(
         "stats", help="print statistics of a saved index")
-    index_stats.add_argument("index_file", help="index file to inspect")
+    index_stats.add_argument("index_file", help="index file or sharded "
+                                                "directory to inspect")
+    index_stats.add_argument("--json", action="store_true",
+                             help="machine-readable output, with a per-shard "
+                                  "breakdown for sharded indexes")
+
+    index_compact = index_sub.add_parser(
+        "compact", help="rebuild a sharded index without its tombstoned "
+                        "members, reclaiming space")
+    index_compact.add_argument("index_dir", help="sharded index directory "
+                                                 "written by 'index build "
+                                                 "--shards' or 'index merge'")
+
+    index_merge = index_sub.add_parser(
+        "merge", help="convert between single-file and sharded layouts "
+                      "(both directions)")
+    index_merge.add_argument("source", help="index file or sharded directory "
+                                            "to convert")
+    index_merge.add_argument("--output", "-o", required=True,
+                             help="destination: a sharded directory with "
+                                  "--shards, else a single index file")
+    index_merge.add_argument("--shards", type=int, default=None, metavar="N",
+                             help="write a sharded directory with N shards "
+                                  "(default: merge into one single-file "
+                                  "index)")
 
     info = sub.add_parser("info", help="print version and environment information")
 
@@ -198,13 +244,22 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _effective_jobs(args, default: int = 1) -> int:
+    """Sub-command ``--jobs`` wins over the global one, else ``default``."""
+
+    jobs = getattr(args, "jobs", None)
+    if jobs is None:
+        jobs = getattr(args, "global_jobs", None)
+    return default if jobs is None else jobs
+
+
 def _cmd_experiment(args) -> int:
     from .core.evaluation import ExperimentRunner
     from .core.reporting import (classification_report_table,
                                  feature_importance_table,
                                  threshold_sweep_table, unknown_class_table)
 
-    overrides = {"n_jobs": args.jobs}
+    overrides = {"n_jobs": _effective_jobs(args)}
     if args.seed is not None:
         overrides["seed"] = args.seed
     config = default_config(args.scale, **overrides)
@@ -229,11 +284,13 @@ def _cmd_train(args) -> int:
     from .features.extractors import FEATURE_TYPES
 
     feature_types = tuple(args.types) if args.types else FEATURE_TYPES
-    features = _index_features(args.source, feature_types)
+    features = _index_features(args.source, feature_types,
+                               executor=args.executor)
     service = ClassificationService.train(
         features, feature_types=feature_types,
         confidence_threshold=args.threshold, n_estimators=args.estimators,
-        random_state=args.seed, n_jobs=args.jobs)
+        random_state=args.seed, n_jobs=_effective_jobs(args),
+        executor=args.executor)
     path = service.save(args.out, include_index=not args.no_index)
     print(f"trained on {len(features)} samples "
           f"({len(service.classes_)} classes) -> {path} "
@@ -245,8 +302,9 @@ def _cmd_classify(args) -> int:
     from .api.service import ClassificationService
     from .exceptions import ValidationError
     from .features.extractors import FEATURE_TYPES
-    from .index import SimilarityIndex
+    from .index import load_index
 
+    jobs = _effective_jobs(args)
     if args.model:
         if args.target is not None:
             raise ValidationError(
@@ -257,7 +315,9 @@ def _cmd_classify(args) -> int:
                                   "be combined with --model")
         target = args.source
         service = ClassificationService.load(args.model, index=args.index,
-                                             allowed_classes=args.allowed)
+                                             allowed_classes=args.allowed,
+                                             n_jobs=jobs,
+                                             executor=args.executor)
         if args.threshold is not None:
             from ._validation import check_probability
 
@@ -270,25 +330,51 @@ def _cmd_classify(args) -> int:
                 "(or --model FILE plus a target directory)")
         target = args.target
         # Load the index first: a missing/corrupt file must fail fast, not
-        # after the (potentially expensive) training feature pass.
-        index = SimilarityIndex.load(args.index) if args.index else None
-        features = _index_features(args.source, FEATURE_TYPES)
+        # after the (potentially expensive) training feature pass.  Both
+        # layouts work: a single .rpsi file or a sharded directory.
+        index = load_index(args.index,
+                           executor=args.executor) if args.index else None
+        features = _index_features(args.source, FEATURE_TYPES,
+                                   executor=args.executor)
         threshold = 0.5 if args.threshold is None else args.threshold
         service = ClassificationService.train(
             features, confidence_threshold=threshold,
             n_estimators=args.estimators, random_state=args.seed,
-            allowed_classes=args.allowed, index=index)
+            allowed_classes=args.allowed, index=index, n_jobs=jobs,
+            executor=args.executor)
         if args.save_model:
             print(f"model artifact saved to {service.save(args.save_model)}")
     if args.save_index:
         saved = service.similarity_index.save(args.save_index)
         print(f"similarity index saved to {saved}")
+    if args.jsonl:
+        return _stream_decisions_jsonl(service, target)
     decisions = service.classify_directory(target)
     from .api.service import render_report
 
     print(render_report(decisions))
     flagged = sum(1 for d in decisions if d.is_suspicious())
     print(f"\n{len(decisions)} executables classified, {flagged} flagged")
+    return 0
+
+
+def _stream_decisions_jsonl(service, target) -> int:
+    """Stream one JSON decision per line (micro-batched, bounded memory)."""
+
+    import json
+
+    from .api.service import list_directory
+
+    for decision in service.classify_stream(list_directory(target)):
+        predicted = decision.predicted_class
+        if not isinstance(predicted, (str, int, float)):
+            predicted = str(predicted)
+        print(json.dumps({
+            "sample_id": decision.sample_id,
+            "predicted_class": predicted,
+            "confidence": round(decision.confidence, 6),
+            "decision": decision.decision,
+        }, sort_keys=True), flush=True)
     return 0
 
 
@@ -313,8 +399,12 @@ def _format_model_info(info: dict) -> str:
     classes = ", ".join(info["classes"][:8])
     if info["n_classes"] > 8:
         classes += f", ... ({info['n_classes']} total)"
-    index_line = (f"embedded, {info['index_members']} anchors"
-                  if info["index_included"] else "not included (headless)")
+    if info["index_included"]:
+        index_line = f"embedded, {info['index_members']} anchors"
+        if info.get("index_sharded"):
+            index_line += f" across {info['index_shards']} shards"
+    else:
+        index_line = "not included (headless)"
     return "\n".join([
         f"kind: {info['kind']} "
         f"(format v{info['format_version']}, "
@@ -335,7 +425,7 @@ def _cmd_model(args) -> int:
     return handler(args)
 
 
-def _index_features(source: str, feature_types):
+def _index_features(source: str, feature_types, *, executor=None):
     """Feature records for ``index build``: software tree or features JSON."""
 
     from pathlib import Path
@@ -348,7 +438,7 @@ def _index_features(source: str, feature_types):
     path = Path(source)
     if path.is_dir():
         scan = CorpusScanner(path).scan()
-        pipeline = FeatureExtractionPipeline(feature_types)
+        pipeline = FeatureExtractionPipeline(feature_types, executor=executor)
         return pipeline.extract_dataset(scan.dataset)
     if path.is_file():
         try:
@@ -364,10 +454,11 @@ def _index_features(source: str, feature_types):
 def _cmd_index_build(args) -> int:
     from .exceptions import ValidationError
     from .features.extractors import FEATURE_TYPES
-    from .index import SimilarityIndex
+    from .index import ShardedSimilarityIndex, SimilarityIndex
 
     feature_types = tuple(args.types) if args.types else FEATURE_TYPES
-    features = _index_features(args.source, feature_types)
+    features = _index_features(args.source, feature_types,
+                               executor=args.executor)
     if features:
         available = set()
         for record in features:
@@ -378,7 +469,11 @@ def _cmd_index_build(args) -> int:
                 f"feature types {missing} appear in none of the "
                 f"{len(features)} source records (available: "
                 f"{sorted(available)})")
-    index = SimilarityIndex(feature_types)
+    if args.shards is not None:
+        index = ShardedSimilarityIndex(feature_types, n_shards=args.shards,
+                                       executor=args.executor)
+    else:
+        index = SimilarityIndex(feature_types)
     index.add_many(features)
     stats = index.stats()
     for feature_type, info in stats["feature_types"].items():
@@ -394,9 +489,9 @@ def _cmd_index_build(args) -> int:
 
 def _cmd_index_query(args) -> int:
     from .features.extractors import FeatureExtractor
-    from .index import SimilarityIndex
+    from .index import load_index
 
-    index = SimilarityIndex.load(args.index_file)
+    index = load_index(args.index_file, executor=args.executor)
     if args.digest:
         matches = index.top_k(args.target, args.k,
                               feature_type=args.feature_type,
@@ -419,10 +514,58 @@ def _cmd_index_query(args) -> int:
 
 
 def _cmd_index_stats(args) -> int:
-    from .index import SimilarityIndex
+    import json
 
-    index = SimilarityIndex.load(args.index_file)
-    print(_format_stats(index.stats()))
+    from .index import load_index
+
+    index = load_index(args.index_file, executor=args.executor)
+    stats = index.stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+    else:
+        print(_format_stats(stats))
+    return 0
+
+
+def _cmd_index_compact(args) -> int:
+    from pathlib import Path
+
+    from .exceptions import ValidationError
+    from .index import ShardedSimilarityIndex
+
+    if Path(args.index_dir).is_file():
+        raise ValidationError(
+            f"{args.index_dir} is a single-file index; compact applies to "
+            "sharded index directories (single-file indexes hold no "
+            "tombstones)")
+    index = ShardedSimilarityIndex.load(args.index_dir)
+    dropped = index.compact()
+    if dropped:
+        index.save(args.index_dir)
+    print(f"compacted {args.index_dir}: dropped {dropped} tombstoned "
+          f"members, {index.n_members} remain")
+    return 0
+
+
+def _cmd_index_merge(args) -> int:
+    from .index import ShardedSimilarityIndex, SimilarityIndex, load_index
+
+    source = load_index(args.source, executor=args.executor)
+    if args.shards is not None:
+        merged = ShardedSimilarityIndex.from_index(source,
+                                                   n_shards=args.shards,
+                                                   executor=args.executor)
+        path = merged.save(args.output)
+        print(f"sharded {merged.n_members} members across "
+              f"{merged.n_shards} shards -> {path}")
+    else:
+        if isinstance(source, ShardedSimilarityIndex):
+            merged = source.merge_to_single()
+        else:
+            merged = source
+        path = merged.save(args.output)
+        print(f"merged {merged.n_members} members into a single-file "
+              f"index -> {path}")
     return 0
 
 
@@ -431,17 +574,28 @@ def _format_stats(stats: dict) -> str:
              f"({stats['labelled_members']} labelled, "
              f"{stats['classes']} classes), "
              f"ngram length: {stats['ngram_length']}"]
+    if "shards" in stats:
+        lines[0] += (f", shards: {stats['n_shards']} "
+                     f"({stats['routing']} routing), "
+                     f"tombstones: {stats['tombstones']}")
     for feature_type, info in stats["feature_types"].items():
         blocks = ",".join(str(b) for b in info["block_sizes"]) or "-"
         lines.append(f"  {feature_type:<16} {info['entries']:>6} entries  "
                      f"{info['postings']:>8} postings  block sizes: {blocks}")
+    for shard in stats.get("shards", ()):
+        lines.append(f"  shard {shard['shard']:>4}  {shard['members']:>6} "
+                     f"members  {shard['tombstones']:>4} tombstones  "
+                     f"{shard['postings']:>8} postings  "
+                     f"~{shard['estimated_bytes']} bytes")
     return "\n".join(lines)
 
 
 def _cmd_index(args) -> int:
     handler = {"build": _cmd_index_build,
                "query": _cmd_index_query,
-               "stats": _cmd_index_stats}[args.index_command]
+               "stats": _cmd_index_stats,
+               "compact": _cmd_index_compact,
+               "merge": _cmd_index_merge}[args.index_command]
     return handler(args)
 
 

@@ -57,6 +57,12 @@ class CorpusLayoutError(CorpusError):
     ``<Class>/<version>/<executable>`` layout."""
 
 
+class ParallelExecutionError(ReproError):
+    """Raised when an execution backend cannot run a parallel workload
+    and the caller asked for strict behaviour instead of the serial
+    fallback."""
+
+
 class SimilarityIndexError(ReproError):
     """Raised when a similarity-index operation fails."""
 

@@ -32,7 +32,7 @@ import numpy as np
 
 from ..exceptions import NotFittedError, ValidationError
 from ..hashing.rolling import ROLLING_WINDOW
-from ..index import SimilarityIndex
+from ..index import ShardedSimilarityIndex, SimilarityIndex
 from ..logging_utils import get_logger
 from .extractors import FEATURE_TYPES
 from .records import SampleFeatures
@@ -116,13 +116,17 @@ class SimilarityFeatureBuilder:
         index.add_many(anchors)
         return self._adopt_index(index)
 
-    def fit_from_index(self, index: SimilarityIndex) -> "SimilarityFeatureBuilder":
+    def fit_from_index(self, index: "SimilarityIndex | ShardedSimilarityIndex"
+                       ) -> "SimilarityFeatureBuilder":
         """Adopt a prebuilt (e.g. loaded-from-disk) anchor index.
 
-        The index must cover this builder's feature types, use the same
-        n-gram length, and carry a class label on every member.  Anchor
-        selection (``class-medoids``) is *not* re-applied — the index is
-        trusted to already hold the intended anchor set.
+        Accepts a plain :class:`~repro.index.SimilarityIndex` or a
+        :class:`~repro.index.ShardedSimilarityIndex` (whose queries then
+        fan out over its execution backend).  The index must cover this
+        builder's feature types, use the same n-gram length, and carry a
+        class label on every member.  Anchor selection
+        (``class-medoids``) is *not* re-applied — the index is trusted
+        to already hold the intended anchor set.
         """
 
         missing = set(self.feature_types) - set(index.feature_types)
@@ -220,7 +224,14 @@ class SimilarityFeatureBuilder:
         except (KeyError, TypeError) as exc:
             raise ValidationError(
                 f"invalid feature-builder state: {exc}") from exc
-        index = SimilarityIndex.from_state(header, arrays, source=source)
+        # The header self-describes its kind: a sharded snapshot carries
+        # "sharded": true (and the .rpm v2 artifact embeds it verbatim).
+        if isinstance(header, dict) and header.get("sharded"):
+            index: SimilarityIndex | ShardedSimilarityIndex = \
+                ShardedSimilarityIndex.from_state(header, arrays,
+                                                  source=source)
+        else:
+            index = SimilarityIndex.from_state(header, arrays, source=source)
         return self.fit_from_index(index)
 
     # ----------------------------------------------------------- internals

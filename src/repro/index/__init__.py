@@ -11,7 +11,14 @@ incrementally, queried repeatedly and shipped between processes:
   (the backend of
   :class:`~repro.features.similarity.SimilarityFeatureBuilder`);
 * :mod:`~repro.index.storage` — the single-file on-disk container
-  (JSON header + raw NumPy arrays, versioned, magic ``RPROSIDX``).
+  (JSON header + raw NumPy arrays, versioned, magic ``RPROSIDX``);
+* :class:`~repro.index.sharded.ShardedSimilarityIndex` — the same
+  corpus partitioned across N shards by a deterministic ``sample_id``
+  hash, with tombstoned ``remove`` + ``compact``, queries fanned out
+  over a pluggable execution backend with bit-identical merged
+  results, and per-shard directory persistence
+  (``manifest.json`` + one container per shard);
+  :func:`~repro.index.sharded.load_index` opens either format.
 
 Digest format and comparability rules
 -------------------------------------
@@ -36,12 +43,15 @@ section.
 """
 
 from .core import IndexMatch, PairScore, SimilarityIndex, expand_digest
+from .sharded import ShardedSimilarityIndex, load_index
 from .storage import FORMAT_VERSION
 
 __all__ = [
     "FORMAT_VERSION",
     "IndexMatch",
     "PairScore",
+    "ShardedSimilarityIndex",
     "SimilarityIndex",
     "expand_digest",
+    "load_index",
 ]

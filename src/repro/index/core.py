@@ -55,13 +55,56 @@ from ..hashing.ssdeep import SsdeepDigest
 from ..logging_utils import get_logger
 from .storage import read_container, write_container
 
-__all__ = ["IndexMatch", "PairScore", "SimilarityIndex", "expand_digest"]
+__all__ = ["CandidateBatch", "IndexMatch", "PairScore", "SimilarityIndex",
+           "expand_digest", "score_signature_pairs", "signature_grams"]
 
 _LOG = get_logger("index.core")
 
 #: SSDeep's edit-operation costs, shared by every scoring path.
 _SSDEEP_COSTS = dict(insert_cost=1, delete_cost=1, substitute_cost=3,
                      transpose_cost=5)
+
+
+def signature_grams(signature: str, ngram_length: int) -> set[str]:
+    """All ``ngram_length``-grams of a signature (empty when too short)."""
+
+    n = ngram_length
+    if len(signature) < n:
+        return set()
+    return {signature[i:i + n] for i in range(len(signature) - n + 1)}
+
+
+def score_signature_pairs(left: Sequence[str], right: Sequence[str],
+                          block_sizes: Sequence[int], *,
+                          engine: BatchEditDistance | None = None
+                          ) -> np.ndarray:
+    """SSDeep scores for same-block-size signature pairs.
+
+    The 7-gram common-substring gate is the caller's responsibility; this
+    is the pure scoring half, shared by :class:`SimilarityIndex` and by
+    the worker processes a
+    :class:`~repro.index.sharded.ShardedSimilarityIndex` fans shard
+    queries out to (module-level, hence picklable).
+    """
+
+    if engine is None:
+        engine = BatchEditDistance(**_SSDEEP_COSTS)
+    # Identical signatures always score 100 (the reference's fast
+    # path), even where the small-block-size cap would otherwise
+    # bite — so they never enter the edit-distance DP at all.
+    scores = np.full(len(left), 100.0, dtype=np.float64)
+    rest = np.flatnonzero(np.array(
+        [l != r for l, r in zip(left, right)], dtype=bool))
+    if rest.size:
+        sub_left = [left[i] for i in rest]
+        sub_right = [right[i] for i in rest]
+        distances = engine.distances_two_lists(sub_left, sub_right)
+        scores[rest] = ssdeep_score_from_distance(
+            distances,
+            np.array([len(s) for s in sub_left], dtype=np.float64),
+            np.array([len(s) for s in sub_right], dtype=np.float64),
+            np.array([block_sizes[i] for i in rest], dtype=np.float64))
+    return scores
 
 
 def expand_digest(digest: str) -> list[tuple[int, str]]:
@@ -109,6 +152,31 @@ class _Entry:
     member: int
     block_size: int
     signature: str
+
+
+@dataclass
+class CandidateBatch:
+    """Candidate-generation output: unique signature pairs to score.
+
+    ``left[slot]``/``right[slot]``/``block_sizes[slot]`` describe one
+    unique (query signature, member signature, block size) pair;
+    ``scatter`` holds, per feature type, the parallel
+    ``(query_index, member_index, slot)`` triples that map the scored
+    slots back onto score-matrix cells; ``n_queries`` records how many
+    query digests each feature type had.
+
+    Produced by :meth:`SimilarityIndex.collect_candidates`, consumed by
+    :func:`score_signature_pairs` — splitting candidate generation from
+    DP scoring is what lets a sharded index generate candidates per
+    shard and fan only the (CPU-bound, cheaply-pickled) scoring out to
+    an execution backend.
+    """
+
+    left: list[str]
+    right: list[str]
+    block_sizes: list[int]
+    scatter: dict[str, tuple[list[int], list[int], list[int]]]
+    n_queries: dict[str, int]
 
 
 class SimilarityIndex:
@@ -316,7 +384,43 @@ class SimilarityIndex:
 
         digests_by_type = {ft: list(digests)
                            for ft, digests in digests_by_type.items()}
-        matrices: dict[str, np.ndarray] = {}
+        batch = self.collect_candidates(digests_by_type, exclude=exclude)
+        matrices = {ft: np.zeros((batch.n_queries[ft], self.n_members),
+                                 dtype=np.float64)
+                    for ft in digests_by_type}
+        if not batch.left:
+            return matrices
+        pair_scores = self._score_signature_pairs(batch.left, batch.right,
+                                                  batch.block_sizes)
+        _LOG.debug("scored %d unique signature pairs for %d feature types",
+                   len(batch.left), len(digests_by_type))
+
+        for feature_type, (pair_queries, pair_members,
+                           pair_slots) in batch.scatter.items():
+            if not pair_queries:
+                continue
+            scores = matrices[feature_type]
+            # A (query, member) cell keeps its best comparable pair.
+            np.maximum.at(scores,
+                          (np.asarray(pair_queries, dtype=np.int64),
+                           np.asarray(pair_members, dtype=np.int64)),
+                          pair_scores[np.asarray(pair_slots, dtype=np.int64)])
+        return matrices
+
+    def collect_candidates(self, digests_by_type: Mapping[str, Sequence[str]],
+                           *, exclude: Sequence[Iterable[int]] | None = None
+                           ) -> CandidateBatch:
+        """The candidate-generation half of :meth:`score_matrices`.
+
+        Walks the inverted postings and returns the unique
+        (query signature, member signature, block size) pairs that pass
+        the n-gram gate, plus the scatter metadata mapping scored slots
+        back to ``(query, member)`` cells — see :class:`CandidateBatch`.
+        Candidate pairs from every type are de-duplicated together (a
+        score depends only on the signature pair and block size, not the
+        type).  ``exclude`` follows :meth:`score_matrix` semantics.
+        """
+
         left: list[str] = []
         right: list[str] = []
         block_sizes: list[int] = []
@@ -324,16 +428,17 @@ class SimilarityIndex:
         # Per type: the (query, member, slot) triples to scatter after
         # the shared DP pass.
         scatter: dict[str, tuple[list[int], list[int], list[int]]] = {}
+        n_queries_by_type: dict[str, int] = {}
 
         for feature_type, digests in digests_by_type.items():
             self._check_feature_type(feature_type)
+            digests = list(digests)
             n_queries = len(digests)
+            n_queries_by_type[feature_type] = n_queries
             if exclude is not None and len(exclude) not in (1, n_queries):
                 raise ValidationError(
                     f"exclude must have 1 or {n_queries} items, "
                     f"got {len(exclude)}")
-            matrices[feature_type] = np.zeros((n_queries, self.n_members),
-                                              dtype=np.float64)
             entries = self._entries[feature_type]
             postings = self._postings[feature_type]
 
@@ -372,23 +477,8 @@ class SimilarityIndex:
                             pair_slots.append(slot)
             scatter[feature_type] = (pair_queries, pair_members, pair_slots)
 
-        if not left:
-            return matrices
-        pair_scores = self._score_signature_pairs(left, right, block_sizes)
-        _LOG.debug("scored %d unique signature pairs for %d feature types",
-                   len(left), len(digests_by_type))
-
-        for feature_type, (pair_queries, pair_members,
-                           pair_slots) in scatter.items():
-            if not pair_queries:
-                continue
-            scores = matrices[feature_type]
-            # A (query, member) cell keeps its best comparable pair.
-            np.maximum.at(scores,
-                          (np.asarray(pair_queries, dtype=np.int64),
-                           np.asarray(pair_members, dtype=np.int64)),
-                          pair_scores[np.asarray(pair_slots, dtype=np.int64)])
-        return matrices
+        return CandidateBatch(left=left, right=right, block_sizes=block_sizes,
+                              scatter=scatter, n_queries=n_queries_by_type)
 
     def pairwise_matrix(self, feature_type: str | None = None, *,
                         max_pairs: int | None = None,
@@ -481,11 +571,100 @@ class SimilarityIndex:
         return [PairScore(i=i, j=j, score=int(score))
                 for (i, j), score in zip(pairs, best) if score >= min_score]
 
+    # ----------------------------------------------------- shard interface
+    # The methods below expose just enough of the internal structure for
+    # a ShardedSimilarityIndex to merge posting buckets, redistribute
+    # members between shards and compact tombstones away — without
+    # reaching into privates or round-tripping through lossy digests
+    # (the original digest string is not recoverable from normalised
+    # signatures).
+
+    def posting_members(self, feature_type: str
+                        ) -> dict[tuple[int, str], tuple[int, ...]]:
+        """``(block_size, gram)`` bucket -> sorted unique member indices."""
+
+        self._check_feature_type(feature_type)
+        entries = self._entries[feature_type]
+        buckets: dict[tuple[int, str], tuple[int, ...]] = {}
+        for key, entry_ids in self._postings[feature_type].items():
+            buckets[key] = tuple(sorted({entries[e].member
+                                         for e in entry_ids}))
+        return buckets
+
+    def member_signatures(self, feature_type: str
+                          ) -> dict[int, dict[int, str]]:
+        """Member index -> ``{block_size: signature}`` for one type."""
+
+        self._check_feature_type(feature_type)
+        sig_by_member: dict[int, dict[int, str]] = defaultdict(dict)
+        for entry in self._entries[feature_type]:
+            sig_by_member[entry.member][entry.block_size] = entry.signature
+        return dict(sig_by_member)
+
+    def append_entries(self, sample_id: str, class_name: str,
+                       entries_by_type: Mapping[str, Iterable[tuple[int, str]]]
+                       ) -> int:
+        """Add one member from already-expanded ``(block_size, signature)``
+        entries; returns its member index.
+
+        The entry-level counterpart of :meth:`add` for callers that hold
+        index contents rather than digests — shard redistribution and
+        compaction.  Signatures are trusted to be already run-length
+        normalised (they came out of an index).
+        """
+
+        if not isinstance(sample_id, str) or not sample_id:
+            raise ValidationError("sample_id must be a non-empty string")
+        member = len(self._sample_ids)
+        self._sample_ids.append(sample_id)
+        self._class_names.append(str(class_name))
+        self._members_by_id.setdefault(sample_id, set()).add(member)
+        for feature_type in self._feature_types:
+            for block_size, signature in entries_by_type.get(feature_type, ()):
+                self._add_entry(feature_type, member, int(block_size),
+                                str(signature))
+        return member
+
+    def subset(self, keep: Sequence[int]) -> "SimilarityIndex":
+        """A new index holding only ``keep`` members, renumbered 0..n-1.
+
+        ``keep`` must be strictly increasing member indices; relative
+        order (and therefore every tie-break) is preserved.  This is the
+        compaction primitive: dropping tombstoned members from a shard
+        is ``shard.subset(survivors)``.
+        """
+
+        keep = [int(m) for m in keep]
+        if any(b <= a for a, b in zip(keep, keep[1:])):
+            raise ValidationError("subset members must be strictly increasing")
+        if keep and not (0 <= keep[0] and keep[-1] < self.n_members):
+            raise ValidationError(
+                f"subset members must be in [0, {self.n_members}), "
+                f"got {keep[0]}..{keep[-1]}")
+        remap = {old: new for new, old in enumerate(keep)}
+        result = SimilarityIndex(self._feature_types,
+                                 ngram_length=self._ngram_length)
+        for old in keep:
+            member = result.n_members
+            result._sample_ids.append(self._sample_ids[old])
+            result._class_names.append(self._class_names[old])
+            result._members_by_id.setdefault(
+                self._sample_ids[old], set()).add(member)
+        for feature_type in self._feature_types:
+            for entry in self._entries[feature_type]:
+                new_member = remap.get(entry.member)
+                if new_member is not None:
+                    result._add_entry(feature_type, new_member,
+                                      entry.block_size, entry.signature)
+        return result
+
     # ---------------------------------------------------------------- stats
     def stats(self) -> dict:
         """Summary counters (members, entries, postings, block sizes)."""
 
         per_type = {}
+        n_entries = 0
+        sig_bytes = 0
         for feature_type in self._feature_types:
             entries = self._entries[feature_type]
             block_sizes = sorted({entry.block_size for entry in entries})
@@ -494,12 +673,21 @@ class SimilarityIndex:
                 "postings": len(self._postings[feature_type]),
                 "block_sizes": block_sizes,
             }
+            n_entries += len(entries)
+            sig_bytes += sum(len(entry.signature) for entry in entries)
         labelled = [name for name in self._class_names if name]
+        # Serialised size estimate, mirroring the container layout (per
+        # entry: int16 type + int32 member + int64 block + int64 offset)
+        # without materialising the arrays the way get_state would.
+        estimated = (n_entries * 22 + sig_bytes
+                     + sum(len(s) for s in self._sample_ids)
+                     + sum(len(c) for c in self._class_names))
         return {
             "members": self.n_members,
             "classes": len(set(labelled)),
             "labelled_members": len(labelled),
             "ngram_length": self._ngram_length,
+            "estimated_bytes": estimated,
             "feature_types": per_type,
         }
 
@@ -655,32 +843,15 @@ class SimilarityIndex:
             postings[(block_size, gram)].append(entry_id)
 
     def _grams(self, signature: str) -> set[str]:
-        n = self._ngram_length
-        if len(signature) < n:
-            return set()
-        return {signature[i:i + n] for i in range(len(signature) - n + 1)}
+        return signature_grams(signature, self._ngram_length)
 
     def _score_signature_pairs(self, left: Sequence[str], right: Sequence[str],
                                block_sizes: Sequence[int]) -> np.ndarray:
         """SSDeep scores for same-block-size signature pairs (gate applied
-        by the caller)."""
+        by the caller); see :func:`score_signature_pairs`."""
 
-        # Identical signatures always score 100 (the reference's fast
-        # path), even where the small-block-size cap would otherwise
-        # bite — so they never enter the edit-distance DP at all.
-        scores = np.full(len(left), 100.0, dtype=np.float64)
-        rest = np.flatnonzero(np.array(
-            [l != r for l, r in zip(left, right)], dtype=bool))
-        if rest.size:
-            sub_left = [left[i] for i in rest]
-            sub_right = [right[i] for i in rest]
-            distances = self._engine.distances_two_lists(sub_left, sub_right)
-            scores[rest] = ssdeep_score_from_distance(
-                distances,
-                np.array([len(s) for s in sub_left], dtype=np.float64),
-                np.array([len(s) for s in sub_right], dtype=np.float64),
-                np.array([block_sizes[i] for i in rest], dtype=np.float64))
-        return scores
+        return score_signature_pairs(left, right, block_sizes,
+                                     engine=self._engine)
 
     def _check_feature_type(self, feature_type: str) -> None:
         if feature_type not in self._feature_types:

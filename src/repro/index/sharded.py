@@ -1,0 +1,1055 @@
+"""Sharded similarity index: N shards, one routing rule, one answer.
+
+:class:`ShardedSimilarityIndex` partitions a corpus across ``n_shards``
+:class:`~repro.index.core.SimilarityIndex` shards by a deterministic
+hash of the ``sample_id`` (32-bit FNV, the same primitive SSDeep's
+piecewise hash builds on), so the same member always lands in the same
+shard — across processes, machines and save/load cycles.  On top of the
+single index it adds what a production corpus store needs:
+
+* **incremental shrink** — :meth:`remove` tombstones members without
+  touching posting lists; queries exclude them transparently and
+  :meth:`compact` rebuilds shards to reclaim the space;
+* **concurrent queries** — :meth:`top_k` / :meth:`top_k_digests` /
+  :meth:`score_matrices` generate candidates per shard (cheap posting
+  walks) and fan the batched edit-distance scoring out over a pluggable
+  :class:`~repro.parallel.backend.ExecutionBackend` (``executor=`` spec:
+  ``"serial"``, ``"thread:4"``, ``"process:4"``, ...);
+  :meth:`pairwise_matrix` merges posting buckets across shards and
+  chunks the pair scoring over the same backend;
+* **directory persistence** — :meth:`save` writes one
+  ``shard-NNNN.rpsi`` container per shard (each atomic, reusing
+  :mod:`repro.index.storage`) plus a ``manifest.json`` that is swapped
+  into place atomically last, so a crash mid-save can never leave a
+  readable-but-inconsistent index behind.
+
+**Bit-identical results.**  Every query answers exactly as a single
+:class:`SimilarityIndex` built from the surviving members in insertion
+order would: candidate sets merge losslessly (a pair shares a posting
+bucket globally iff it shares one in some shard or across shards),
+scores come from the same :func:`~repro.index.core.score_signature_pairs`
+DP, and merged rankings use the same stable sort with the same
+insertion-order tie-break.  The Hypothesis property suite and
+``benchmarks/bench_sharded_index.py`` both enforce this.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from itertools import combinations
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..distance.batch import BatchEditDistance
+from ..exceptions import (
+    IndexFormatError,
+    SimilarityIndexError,
+    ValidationError,
+)
+from ..hashing.fnv import fnv_hash
+from ..hashing.rolling import ROLLING_WINDOW
+from ..logging_utils import get_logger
+from ..parallel.backend import ExecutionBackend, resolve_backend
+from ..parallel.partition import chunk_indices
+from .core import (
+    _SSDEEP_COSTS,
+    CandidateBatch,
+    IndexMatch,
+    PairScore,
+    SimilarityIndex,
+    score_signature_pairs,
+    signature_grams,
+)
+
+__all__ = ["MANIFEST_NAME", "ROUTING_NAME", "SHARDED_FORMAT_VERSION",
+           "ShardedSimilarityIndex", "load_index"]
+
+_LOG = get_logger("index.sharded")
+
+#: Manifest file name inside a sharded-index directory.
+MANIFEST_NAME = "manifest.json"
+
+#: Current (and oldest readable) sharded-index manifest version.
+SHARDED_FORMAT_VERSION = 1
+
+#: The ``format`` string a readable manifest must declare.
+MANIFEST_FORMAT = "repro-sharded-index"
+
+#: Name of the (only) routing rule: ``fnv32(sample_id) % n_shards``.
+ROUTING_NAME = "fnv32"
+
+#: Shard container file name: index + save-generation token.  The token
+#: makes every save write fresh files, so an in-place re-save cannot
+#: corrupt the shard files the existing manifest still points at.
+_SHARD_FILE = "shard-{:04d}-{}.rpsi"
+
+#: Below this many candidate pairs the fan-out overhead cannot pay for
+#: itself, so scoring stays serial regardless of the backend.
+_MIN_PAIRS_TO_FAN_OUT = 64
+
+
+def _score_pairs_task(payload: tuple[list[str], list[str], list[int]]
+                      ) -> np.ndarray:
+    """Worker task: score one chunk of signature pairs (picklable)."""
+
+    left, right, block_sizes = payload
+    return score_signature_pairs(left, right, block_sizes)
+
+
+def _score_pair_chunk(pairs: Sequence[tuple[int, int]],
+                      sig_by_member: Mapping[int, Mapping[int, str]],
+                      ngram_length: int, *,
+                      engine: BatchEditDistance | None = None) -> np.ndarray:
+    """Best score per member pair for one feature type (picklable).
+
+    This is the whole per-pair half of the single index's
+    ``pairwise_matrix`` inner loop — comparable-block matching, the
+    n-gram gate, slot de-duplication and the DP — so a worker chunk
+    carries everything compute-heavy, not just the DP.  Per-pair results
+    are independent of how pairs are chunked (the DP scores each
+    signature pair on its own), which is what keeps chunked execution
+    bit-identical to the serial path.
+    """
+
+    gram_cache: dict[str, frozenset[str]] = {}
+
+    def grams_of(signature: str) -> frozenset[str]:
+        cached = gram_cache.get(signature)
+        if cached is None:
+            cached = frozenset(signature_grams(signature, ngram_length))
+            gram_cache[signature] = cached
+        return cached
+
+    left: list[str] = []
+    right: list[str] = []
+    block_sizes: list[int] = []
+    slot_for_key: dict[tuple[str, str, int], int] = {}
+    scatter: list[tuple[int, int]] = []        # (pair_idx, slot)
+    for pair_idx, (i, j) in enumerate(pairs):
+        sigs_i = sig_by_member.get(int(i))
+        sigs_j = sig_by_member.get(int(j))
+        if not sigs_i or not sigs_j:
+            continue
+        for block_size in sigs_i.keys() & sigs_j.keys():
+            sig_a, sig_b = sigs_i[block_size], sigs_j[block_size]
+            if not grams_of(sig_a) & grams_of(sig_b):
+                continue
+            key = (sig_a, sig_b, block_size)
+            slot = slot_for_key.get(key)
+            if slot is None:
+                slot = len(left)
+                slot_for_key[key] = slot
+                left.append(sig_a)
+                right.append(sig_b)
+                block_sizes.append(block_size)
+            scatter.append((pair_idx, slot))
+    scores = np.zeros(len(pairs), dtype=np.float64)
+    if left:
+        slot_scores = score_signature_pairs(left, right, block_sizes,
+                                            engine=engine)
+        for pair_idx, slot in scatter:
+            if slot_scores[slot] > scores[pair_idx]:
+                scores[pair_idx] = slot_scores[slot]
+    return scores
+
+
+def _pairwise_chunk_task(payload) -> np.ndarray:
+    """Worker task wrapper for :func:`_score_pair_chunk`."""
+
+    pairs, sig_by_member, ngram_length = payload
+    return _score_pair_chunk(pairs, sig_by_member, ngram_length)
+
+
+def load_index(path: str | os.PathLike, *,
+               executor: "str | ExecutionBackend | None" = None
+               ) -> "SimilarityIndex | ShardedSimilarityIndex":
+    """Load whichever index lives at ``path``.
+
+    A directory (or anything holding a ``manifest.json``) loads as a
+    :class:`ShardedSimilarityIndex`; a file loads as a plain
+    :class:`SimilarityIndex` (``executor`` is ignored for those).
+    """
+
+    path = Path(path)
+    if path.is_dir():
+        return ShardedSimilarityIndex.load(path, executor=executor)
+    return SimilarityIndex.load(path)
+
+
+class ShardedSimilarityIndex:
+    """N-shard similarity index with tombstones and backend fan-out.
+
+    Parameters
+    ----------
+    feature_types:
+        Fuzzy-hash types indexed per member (defaults to the paper's
+        three types, like :class:`SimilarityIndex`).
+    n_shards:
+        Number of shards; members route to
+        ``fnv32(sample_id) % n_shards``.
+    ngram_length:
+        Length of the common-substring precondition (7, like SSDeep).
+    executor:
+        Execution backend spec (``"serial"``, ``"thread[:N]"``,
+        ``"process[:N]"``) or an
+        :class:`~repro.parallel.backend.ExecutionBackend` instance used
+        to fan query scoring out across shards.  ``None`` means serial.
+    """
+
+    def __init__(self, feature_types: Sequence[str] = None, *,
+                 n_shards: int = 4, ngram_length: int = ROLLING_WINDOW,
+                 executor: "str | ExecutionBackend | None" = None) -> None:
+        if n_shards < 1:
+            raise ValidationError(f"n_shards must be >= 1, got {n_shards}")
+        self._shards = [SimilarityIndex(feature_types,
+                                        ngram_length=ngram_length)
+                        for _ in range(int(n_shards))]
+        self._feature_types = self._shards[0].feature_types
+        self._ngram_length = self._shards[0].ngram_length
+        #: Global insertion order: sequence -> (shard, local member).
+        self._order: list[tuple[int, int]] = []
+        #: Tombstoned local member indices, per shard.
+        self._dead: list[set[int]] = [set() for _ in self._shards]
+        self._backend = resolve_backend(executor)
+        self._engine = BatchEditDistance(**_SSDEEP_COSTS)
+        self._invalidate()
+
+    # ------------------------------------------------------------ properties
+    @property
+    def feature_types(self) -> tuple[str, ...]:
+        return self._feature_types
+
+    @property
+    def ngram_length(self) -> int:
+        return self._ngram_length
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def n_members(self) -> int:
+        """Surviving (non-tombstoned) members."""
+
+        return len(self._order) - self.n_tombstones
+
+    def __len__(self) -> int:
+        return self.n_members
+
+    @property
+    def total_members(self) -> int:
+        """All members ever added and not yet compacted away."""
+
+        return len(self._order)
+
+    @property
+    def n_tombstones(self) -> int:
+        return sum(len(dead) for dead in self._dead)
+
+    @property
+    def executor(self) -> ExecutionBackend:
+        """The execution backend queries fan out on."""
+
+        return self._backend
+
+    @property
+    def sample_ids(self) -> tuple[str, ...]:
+        """Sample ids of surviving members, in global insertion order."""
+
+        self._refresh()
+        return tuple(self._surv_ids)
+
+    @property
+    def class_names(self) -> tuple[str, ...]:
+        self._refresh()
+        return tuple(self._surv_classes)
+
+    def shard_of(self, sample_id: str) -> int:
+        """The shard a sample id routes to (deterministic, persistent)."""
+
+        if not isinstance(sample_id, str) or not sample_id:
+            raise ValidationError("sample_id must be a non-empty string")
+        return fnv_hash(sample_id.encode("utf-8")) % len(self._shards)
+
+    def members_for_id(self, sample_id: str) -> frozenset[int]:
+        """Surviving member indices registered under ``sample_id``."""
+
+        shard = self.shard_of(sample_id)
+        self._refresh()
+        gmap = self._global_map[shard]
+        return frozenset(
+            int(gmap[local])
+            for local in self._shards[shard].members_for_id(sample_id)
+            if gmap[local] >= 0)
+
+    def set_executor(self, executor: "str | ExecutionBackend | None") -> None:
+        """Swap the execution backend (closing the previous one)."""
+
+        self._backend.close()
+        self._backend = resolve_backend(executor)
+
+    def close(self) -> None:
+        """Release the backend's pooled workers (idempotent)."""
+
+        self._backend.close()
+
+    def __enter__(self) -> "ShardedSimilarityIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- updates
+    def add(self, sample_id: str, digests: Mapping[str, str], *,
+            class_name: str = "") -> int:
+        """Add one member; returns its global sequence number.
+
+        While no members have been removed, the sequence number equals
+        the member index queries report; after removals the surviving
+        members renumber densely (exactly as a fresh single index over
+        the survivors would).
+        """
+
+        shard = self.shard_of(sample_id)
+        local = self._shards[shard].add(sample_id, digests,
+                                        class_name=class_name)
+        self._order.append((shard, local))
+        self._invalidate()
+        return len(self._order) - 1
+
+    def add_many(self, samples: Iterable) -> list[int]:
+        """Add many members; returns their global sequence numbers.
+
+        Accepts the same shapes as :meth:`SimilarityIndex.add_many`.
+        """
+
+        sequences = []
+        for sample in samples:
+            if isinstance(sample, tuple):
+                sample_id, digests = sample[0], sample[1]
+                class_name = sample[2] if len(sample) > 2 else ""
+            else:
+                sample_id = sample.sample_id
+                digests = sample.digests
+                class_name = getattr(sample, "class_name", "")
+            sequences.append(self.add(sample_id, digests,
+                                      class_name=class_name))
+        return sequences
+
+    def remove(self, sample_id: str) -> int:
+        """Tombstone every member registered under ``sample_id``.
+
+        Returns how many members were newly tombstoned (0 when the id is
+        unknown or already removed).  The space is reclaimed by
+        :meth:`compact`; until then queries simply never see them.
+        """
+
+        shard = self.shard_of(sample_id)
+        fresh = [local
+                 for local in self._shards[shard].members_for_id(sample_id)
+                 if local not in self._dead[shard]]
+        if fresh:
+            self._dead[shard].update(fresh)
+            self._invalidate()
+        return len(fresh)
+
+    def compact(self) -> int:
+        """Rebuild shards without their tombstoned members.
+
+        Returns the number of members physically dropped.  Queries are
+        unaffected (tombstoned members were already invisible); what
+        changes is that their postings and signatures stop occupying
+        memory and disk.
+        """
+
+        dropped = self.n_tombstones
+        if not dropped:
+            return 0
+        remaps: list[dict[int, int]] = []
+        new_shards: list[SimilarityIndex] = []
+        for shard_idx, shard in enumerate(self._shards):
+            keep = [local for local in range(shard.n_members)
+                    if local not in self._dead[shard_idx]]
+            new_shards.append(shard.subset(keep))
+            remaps.append({old: new for new, old in enumerate(keep)})
+        self._order = [(s, remaps[s][local]) for s, local in self._order
+                       if local not in self._dead[s]]
+        self._shards = new_shards
+        self._dead = [set() for _ in self._shards]
+        self._invalidate()
+        _LOG.info("compacted sharded index: dropped %d tombstoned members, "
+                  "%d survive", dropped, self.n_members)
+        return dropped
+
+    # -------------------------------------------------------------- queries
+    def top_k(self, digest: str, k: int = 10, *,
+              feature_type: str | None = None, min_score: int = 1,
+              exclude_ids: Iterable[str] = ()) -> list[IndexMatch]:
+        """The ``k`` best-scoring surviving members for a query digest.
+
+        Semantics (ordering, tie-breaks, ``min_score``, ``exclude_ids``)
+        are exactly those of :meth:`SimilarityIndex.top_k` over the
+        surviving corpus.
+        """
+
+        if feature_type is not None:
+            self._check_feature_type(feature_type)
+            types = (feature_type,)
+        else:
+            types = self._feature_types
+        return self.top_k_digests({ft: digest for ft in types}, k,
+                                  min_score=min_score, exclude_ids=exclude_ids)
+
+    def top_k_digests(self, digests: Mapping[str, str], k: int = 10, *,
+                      min_score: int = 1,
+                      exclude_ids: Iterable[str] = ()) -> list[IndexMatch]:
+        """Like :meth:`top_k`, but with one query digest per feature type."""
+
+        if k < 1:
+            raise ValidationError("k must be >= 1")
+        if not 0 <= min_score <= 100:
+            raise ValidationError("min_score must be in [0, 100]")
+        self._refresh()
+        if not self._survivors:
+            return []
+        excluded: set[int] = set()
+        for sample_id in exclude_ids:
+            excluded.update(self.members_for_id(sample_id))
+
+        digests = {ft: digest for ft, digest in digests.items()}
+        batches = self._collect_shard_batches(
+            digests, exclude_global=[excluded] if excluded else None)
+        shard_scores = self._score_batches(batches)
+
+        best = np.zeros(len(self._survivors), dtype=np.float64)
+        self._scatter_max_rows(best, batches, shard_scores)
+
+        order = np.argsort(-best, kind="stable")
+        results: list[IndexMatch] = []
+        for member in order:
+            score = int(best[member])
+            if score < min_score or member in excluded:
+                # argsort is stable, so every later member scores <= this
+                # one; excluded members sit at score 0 and are skipped by
+                # min_score >= 1, but must also be hidden at min_score 0.
+                if score < min_score:
+                    break
+                continue
+            results.append(IndexMatch(
+                member_index=int(member),
+                sample_id=self._surv_ids[member],
+                class_name=self._surv_classes[member],
+                score=score))
+            if len(results) == k:
+                break
+        return results
+
+    def score_matrix(self, feature_type: str, digests: Sequence[str], *,
+                     exclude: Sequence[Iterable[int]] | None = None
+                     ) -> np.ndarray:
+        """Dense ``(len(digests), n_members)`` score matrix over survivors."""
+
+        return self.score_matrices({feature_type: digests},
+                                   exclude=exclude)[feature_type]
+
+    def score_matrices(self, digests_by_type: Mapping[str, Sequence[str]], *,
+                       exclude: Sequence[Iterable[int]] | None = None
+                       ) -> dict[str, np.ndarray]:
+        """Score matrices for several feature types in one fanned-out pass.
+
+        Drop-in equivalent of :meth:`SimilarityIndex.score_matrices`
+        over the surviving corpus: candidate generation runs per shard,
+        the de-duplicated DP scoring fans out on the execution backend,
+        and the per-shard columns scatter back into global matrices.
+        ``exclude`` holds (global) surviving member indices.
+        """
+
+        digests_by_type = {ft: list(digests)
+                           for ft, digests in digests_by_type.items()}
+        self._refresh()
+        batches = self._collect_shard_batches(digests_by_type,
+                                              exclude_global=exclude)
+        shard_scores = self._score_batches(batches)
+        n_members = len(self._survivors)
+        matrices = {ft: np.zeros((batches[0].n_queries[ft], n_members),
+                                 dtype=np.float64)
+                    for ft in digests_by_type}
+        for shard_idx, (batch, scores) in enumerate(zip(batches,
+                                                        shard_scores)):
+            gmap = self._global_map[shard_idx]
+            for feature_type, (pair_queries, pair_members,
+                               pair_slots) in batch.scatter.items():
+                if not pair_queries:
+                    continue
+                members = gmap[np.asarray(pair_members, dtype=np.int64)]
+                np.maximum.at(matrices[feature_type],
+                              (np.asarray(pair_queries, dtype=np.int64),
+                               members),
+                              scores[np.asarray(pair_slots, dtype=np.int64)])
+        return matrices
+
+    def pairwise_matrix(self, feature_type: str | None = None, *,
+                        max_pairs: int | None = None,
+                        min_score: int = 1) -> list[PairScore]:
+        """Budgeted all-vs-all scoring over surviving members.
+
+        Candidate pairs come from posting buckets merged across shards
+        (two members are candidates iff they share a bucket — wherever
+        each lives), so the result is exactly
+        :meth:`SimilarityIndex.pairwise_matrix` over the surviving
+        corpus, including the ``max_pairs`` truncation warning.  The
+        edit-distance scoring is chunked over the execution backend.
+        """
+
+        if max_pairs is not None and max_pairs < 1:
+            raise ValidationError("max_pairs must be >= 1 (or None)")
+        if not 0 <= min_score <= 100:
+            raise ValidationError("min_score must be in [0, 100]")
+        if feature_type is not None:
+            self._check_feature_type(feature_type)
+            types = (feature_type,)
+        else:
+            types = self._feature_types
+        self._refresh()
+
+        candidates: set[tuple[int, int]] = set()
+        for ft in types:
+            merged: dict[tuple[int, str], set[int]] = {}
+            for shard_idx, shard in enumerate(self._shards):
+                gmap = self._global_map[shard_idx]
+                for key, members in shard.posting_members(ft).items():
+                    alive = [int(gmap[m]) for m in members if gmap[m] >= 0]
+                    if alive:
+                        merged.setdefault(key, set()).update(alive)
+            for members in merged.values():
+                if len(members) >= 2:
+                    candidates.update(combinations(sorted(members), 2))
+        pairs = sorted(candidates)
+        if max_pairs is not None and len(pairs) > max_pairs:
+            dropped = len(pairs) - max_pairs
+            _LOG.warning(
+                "pairwise_matrix: scoring %d of %d candidate pairs, dropping "
+                "%d over the max_pairs=%d budget", max_pairs, len(pairs),
+                dropped, max_pairs)
+            pairs = pairs[:max_pairs]
+        if not pairs:
+            return []
+
+        best = np.zeros(len(pairs), dtype=np.float64)
+        workers = self._backend.n_workers
+        for ft in types:
+            sig_by_member: dict[int, dict[int, str]] = {}
+            for shard_idx, shard in enumerate(self._shards):
+                gmap = self._global_map[shard_idx]
+                for local, sigs in shard.member_signatures(ft).items():
+                    member = int(gmap[local])
+                    if member >= 0:
+                        sig_by_member[member] = sigs
+            if workers <= 1 or len(pairs) < max(_MIN_PAIRS_TO_FAN_OUT,
+                                                2 * workers):
+                scores = _score_pair_chunk(pairs, sig_by_member,
+                                           self._ngram_length,
+                                           engine=self._engine)
+            else:
+                chunks = chunk_indices(len(pairs), -(-len(pairs) // workers))
+                payloads = []
+                for lo, hi in chunks:
+                    chunk = pairs[lo:hi]
+                    # Ship only the signatures this chunk's pairs touch;
+                    # the full map would pickle the whole corpus into
+                    # every worker payload.
+                    needed = {member for pair in chunk for member in pair}
+                    chunk_sigs = {member: sig_by_member[member]
+                                  for member in needed
+                                  if member in sig_by_member}
+                    payloads.append((chunk, chunk_sigs, self._ngram_length))
+                _LOG.debug("fanning %d pairwise candidates onto %d %s "
+                           "workers", len(pairs), workers,
+                           self._backend.name)
+                scores = np.concatenate(self._backend.map(
+                    _pairwise_chunk_task, payloads, chunksize=1))
+            np.maximum(best, scores, out=best)
+
+        return [PairScore(i=i, j=j, score=int(score))
+                for (i, j), score in zip(pairs, best) if score >= min_score]
+
+    # ---------------------------------------------------------------- stats
+    def stats(self) -> dict:
+        """Summary counters with a per-shard breakdown."""
+
+        self._refresh()
+        labelled = [name for name in self._surv_classes if name]
+        shard_stats = [shard.stats() for shard in self._shards]
+        per_shard = []
+        for shard_idx, (shard, stats) in enumerate(zip(self._shards,
+                                                       shard_stats)):
+            entries = sum(info["entries"]
+                          for info in stats["feature_types"].values())
+            postings = sum(info["postings"]
+                           for info in stats["feature_types"].values())
+            per_shard.append({
+                "shard": shard_idx,
+                "members": shard.n_members - len(self._dead[shard_idx]),
+                "total_members": shard.n_members,
+                "tombstones": len(self._dead[shard_idx]),
+                "entries": entries,
+                "postings": postings,
+                "estimated_bytes": stats["estimated_bytes"],
+            })
+        per_type: dict[str, dict] = {}
+        for feature_type in self._feature_types:
+            entries = postings = 0
+            block_sizes: set[int] = set()
+            for stats in shard_stats:
+                info = stats["feature_types"][feature_type]
+                entries += info["entries"]
+                postings += info["postings"]
+                block_sizes.update(info["block_sizes"])
+            per_type[feature_type] = {
+                "entries": entries,
+                "postings": postings,
+                "block_sizes": sorted(block_sizes),
+            }
+        return {
+            "members": self.n_members,
+            "total_members": self.total_members,
+            "tombstones": self.n_tombstones,
+            "n_shards": self.n_shards,
+            "routing": ROUTING_NAME,
+            "classes": len(set(labelled)),
+            "labelled_members": len(labelled),
+            "ngram_length": self._ngram_length,
+            "feature_types": per_type,
+            "shards": per_shard,
+        }
+
+    # ---------------------------------------------------------- conversion
+    def merge_to_single(self) -> SimilarityIndex:
+        """A single :class:`SimilarityIndex` over the surviving members.
+
+        Members keep their global insertion order, so the result answers
+        every query identically — this is the migration path back to the
+        single-file ``.rpsi`` format.
+        """
+
+        result = SimilarityIndex(self._feature_types,
+                                 ngram_length=self._ngram_length)
+        for sample_id, class_name, entries_by_type in \
+                self._iter_surviving_entries():
+            result.append_entries(sample_id, class_name, entries_by_type)
+        return result
+
+    @classmethod
+    def from_index(cls, index: "SimilarityIndex | ShardedSimilarityIndex", *,
+                   n_shards: int = 4,
+                   executor: "str | ExecutionBackend | None" = None
+                   ) -> "ShardedSimilarityIndex":
+        """Shard an existing index (single or sharded, any shard count).
+
+        Surviving members are routed to their new shards in global
+        insertion order; results stay bit-identical.
+        """
+
+        result = cls(index.feature_types, n_shards=n_shards,
+                     ngram_length=index.ngram_length, executor=executor)
+        if isinstance(index, ShardedSimilarityIndex):
+            entries_iter = index._iter_surviving_entries()
+        else:
+            entries_iter = _iter_single_index_entries(index)
+        for sample_id, class_name, entries_by_type in entries_iter:
+            shard = result.shard_of(sample_id)
+            local = result._shards[shard].append_entries(
+                sample_id, class_name, entries_by_type)
+            result._order.append((shard, local))
+        result._invalidate()
+        return result
+
+    # ---------------------------------------------------------- persistence
+    def save(self, path: str | os.PathLike) -> Path:
+        """Write the index as a directory: shard containers + manifest.
+
+        Shard files are written first (each atomically) under
+        generation-unique names, so an in-place re-save never touches
+        the files the current manifest references; the new manifest is
+        swapped into place last with :func:`os.replace`.  A crash at any
+        point therefore leaves a loadable index — the old one before the
+        swap, the new one after.  Shard files no newer manifest
+        references are removed after the swap.
+        """
+
+        path = Path(path)
+        if path.exists() and not path.is_dir():
+            raise SimilarityIndexError(
+                f"cannot save sharded index to {path}: a file is in the way")
+        try:
+            path.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise SimilarityIndexError(
+                f"cannot create sharded index directory {path}: {exc}"
+            ) from exc
+        generation = os.urandom(4).hex()
+        shard_files = [_SHARD_FILE.format(i, generation)
+                       for i in range(self.n_shards)]
+        for shard, name in zip(self._shards, shard_files):
+            shard.save(path / name)
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            "format_version": SHARDED_FORMAT_VERSION,
+            "n_shards": self.n_shards,
+            "feature_types": list(self._feature_types),
+            "ngram_length": self._ngram_length,
+            "routing": ROUTING_NAME,
+            "members": self.n_members,
+            "order": [shard for shard, _local in self._order],
+            "tombstones": [sorted(dead) for dead in self._dead],
+            "shards": shard_files,
+        }
+        tmp_path = path / (MANIFEST_NAME + ".tmp")
+        try:
+            tmp_path.write_text(json.dumps(manifest, sort_keys=True),
+                                encoding="utf-8")
+            os.replace(tmp_path, path / MANIFEST_NAME)
+        except OSError as exc:
+            try:
+                tmp_path.unlink()
+            except OSError:
+                pass
+            raise SimilarityIndexError(
+                f"cannot write sharded index manifest under {path}: {exc}"
+            ) from exc
+        keep = set(shard_files)
+        for stale in path.glob("shard-*.rpsi"):
+            if stale.name not in keep:
+                try:
+                    stale.unlink()
+                except OSError:  # pragma: no cover - cleanup is best-effort
+                    pass
+        _LOG.info("saved sharded index (%d members, %d shards, "
+                  "%d tombstones) to %s", self.n_members, self.n_shards,
+                  self.n_tombstones, path)
+        return path
+
+    @classmethod
+    def load(cls, path: str | os.PathLike, *,
+             executor: "str | ExecutionBackend | None" = None
+             ) -> "ShardedSimilarityIndex":
+        """Load a directory written by :meth:`save`.
+
+        Raises :class:`~repro.exceptions.IndexFormatError` on missing,
+        corrupt, inconsistent or unsupported layouts.
+        """
+
+        path = Path(path)
+        source = f"sharded index directory {path}"
+        if not path.is_dir():
+            raise IndexFormatError(f"{source} does not exist")
+        manifest_path = path / MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise IndexFormatError(f"{source} has no {MANIFEST_NAME}")
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise IndexFormatError(
+                f"{source} has a corrupt manifest: {exc}") from exc
+        if not isinstance(manifest, dict) \
+                or manifest.get("format") != MANIFEST_FORMAT:
+            raise IndexFormatError(
+                f"{source} is not a {MANIFEST_FORMAT} manifest")
+        version = manifest.get("format_version")
+        if not isinstance(version, int) or version > SHARDED_FORMAT_VERSION:
+            raise IndexFormatError(
+                f"{source} uses manifest version {version!r}; this build "
+                f"reads up to version {SHARDED_FORMAT_VERSION}")
+        routing = manifest.get("routing")
+        if routing != ROUTING_NAME:
+            raise IndexFormatError(
+                f"{source} declares unknown routing {routing!r}; this build "
+                f"supports {ROUTING_NAME!r}")
+        try:
+            shard_files = [str(name) for name in manifest["shards"]]
+            n_shards = int(manifest["n_shards"])
+            order = [int(shard) for shard in manifest["order"]]
+            tombstones = [[int(m) for m in dead]
+                          for dead in manifest["tombstones"]]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise IndexFormatError(
+                f"{source} manifest is missing required fields: {exc}"
+            ) from exc
+        if len(shard_files) != n_shards or len(tombstones) != n_shards \
+                or n_shards < 1:
+            raise IndexFormatError(
+                f"{source} manifest declares {n_shards} shards but lists "
+                f"{len(shard_files)} shard files and {len(tombstones)} "
+                "tombstone sets")
+        shards = [SimilarityIndex.load(path / name) for name in shard_files]
+        index = cls._assemble(shards, order, tombstones, source=source,
+                              executor=executor)
+        _LOG.info("loaded sharded index (%d members, %d shards, "
+                  "%d tombstones) from %s", index.n_members, index.n_shards,
+                  index.n_tombstones, path)
+        return index
+
+    def get_state(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """Serialisable ``(header, arrays)`` snapshot (model artifacts).
+
+        Same contract as :meth:`SimilarityIndex.get_state`; the header
+        carries ``"sharded": true`` so
+        :meth:`~repro.features.similarity.SimilarityFeatureBuilder.set_state`
+        (and the ``.rpm`` v2 reader) can dispatch on the index kind.
+        """
+
+        shard_states = [shard.get_state() for shard in self._shards]
+        header = {
+            "sharded": True,
+            "sharded_format_version": SHARDED_FORMAT_VERSION,
+            "n_shards": self.n_shards,
+            "feature_types": list(self._feature_types),
+            "ngram_length": self._ngram_length,
+            "routing": ROUTING_NAME,
+            "order": [shard for shard, _local in self._order],
+            "tombstones": [sorted(dead) for dead in self._dead],
+            "shard_headers": [shard_header
+                              for shard_header, _arrays in shard_states],
+        }
+        arrays: dict[str, np.ndarray] = {}
+        for shard_idx, (_header, shard_arrays) in enumerate(shard_states):
+            for name, array in shard_arrays.items():
+                arrays[f"shard{shard_idx}.{name}"] = array
+        return header, arrays
+
+    @classmethod
+    def from_state(cls, header: Mapping, arrays: Mapping[str, np.ndarray], *,
+                   source: str = "sharded index state",
+                   executor: "str | ExecutionBackend | None" = None
+                   ) -> "ShardedSimilarityIndex":
+        """Rebuild an index from a :meth:`get_state` snapshot."""
+
+        try:
+            n_shards = int(header["n_shards"])
+            order = [int(shard) for shard in header["order"]]
+            tombstones = [[int(m) for m in dead]
+                          for dead in header["tombstones"]]
+            shard_headers = list(header["shard_headers"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise IndexFormatError(
+                f"{source} is missing required fields: {exc}") from exc
+        version = header.get("sharded_format_version")
+        if not isinstance(version, int) or version > SHARDED_FORMAT_VERSION:
+            raise IndexFormatError(
+                f"{source} uses sharded format version {version!r}; this "
+                f"build reads up to version {SHARDED_FORMAT_VERSION}")
+        if len(shard_headers) != n_shards or len(tombstones) != n_shards \
+                or n_shards < 1:
+            raise IndexFormatError(
+                f"{source} declares {n_shards} shards but carries "
+                f"{len(shard_headers)} shard headers and {len(tombstones)} "
+                "tombstone sets")
+        shards = []
+        for shard_idx, shard_header in enumerate(shard_headers):
+            prefix = f"shard{shard_idx}."
+            shard_arrays = {name[len(prefix):]: array
+                            for name, array in arrays.items()
+                            if name.startswith(prefix)}
+            shards.append(SimilarityIndex.from_state(
+                shard_header, shard_arrays,
+                source=f"{source} (shard {shard_idx})"))
+        return cls._assemble(shards, order, tombstones, source=source,
+                             executor=executor)
+
+    # ----------------------------------------------------------- internals
+    @classmethod
+    def _assemble(cls, shards: list[SimilarityIndex], order: list[int],
+                  tombstones: list[list[int]], *, source: str,
+                  executor: "str | ExecutionBackend | None"
+                  ) -> "ShardedSimilarityIndex":
+        """Wire validated shards + layout into an instance."""
+
+        first = shards[0]
+        for shard_idx, shard in enumerate(shards):
+            if shard.feature_types != first.feature_types \
+                    or shard.ngram_length != first.ngram_length:
+                raise IndexFormatError(
+                    f"{source}: shard {shard_idx} disagrees with shard 0 on "
+                    "feature types or n-gram length")
+        counts = [0] * len(shards)
+        pairs: list[tuple[int, int]] = []
+        for shard_idx in order:
+            if not 0 <= shard_idx < len(shards):
+                raise IndexFormatError(
+                    f"{source} order references shard #{shard_idx} but only "
+                    f"{len(shards)} exist")
+            pairs.append((shard_idx, counts[shard_idx]))
+            counts[shard_idx] += 1
+        for shard_idx, shard in enumerate(shards):
+            if counts[shard_idx] != shard.n_members:
+                raise IndexFormatError(
+                    f"{source} order assigns {counts[shard_idx]} members to "
+                    f"shard {shard_idx}, which holds {shard.n_members}")
+        dead_sets: list[set[int]] = []
+        for shard_idx, dead in enumerate(tombstones):
+            dead_set = set(dead)
+            if dead_set and not all(
+                    0 <= m < shards[shard_idx].n_members for m in dead_set):
+                raise IndexFormatError(
+                    f"{source} tombstones reference members outside shard "
+                    f"{shard_idx}")
+            dead_sets.append(dead_set)
+
+        index = cls.__new__(cls)
+        index._shards = shards
+        index._feature_types = first.feature_types
+        index._ngram_length = first.ngram_length
+        index._order = pairs
+        index._dead = dead_sets
+        index._backend = resolve_backend(executor)
+        index._engine = BatchEditDistance(**_SSDEEP_COSTS)
+        index._invalidate()
+        return index
+
+    def _invalidate(self) -> None:
+        self._survivors: list[tuple[int, int]] | None = None
+        self._global_map: list[np.ndarray] = []
+        self._surv_ids: list[str] = []
+        self._surv_classes: list[str] = []
+
+    def _refresh(self) -> None:
+        """(Re)build the surviving-member views after a mutation."""
+
+        if self._survivors is not None:
+            return
+        gmaps = [np.full(shard.n_members, -1, dtype=np.int64)
+                 for shard in self._shards]
+        shard_ids = [shard.sample_ids for shard in self._shards]
+        shard_classes = [shard.class_names for shard in self._shards]
+        survivors: list[tuple[int, int]] = []
+        surv_ids: list[str] = []
+        surv_classes: list[str] = []
+        for shard_idx, local in self._order:
+            if local in self._dead[shard_idx]:
+                continue
+            gmaps[shard_idx][local] = len(survivors)
+            survivors.append((shard_idx, local))
+            surv_ids.append(shard_ids[shard_idx][local])
+            surv_classes.append(shard_classes[shard_idx][local])
+        self._survivors = survivors
+        self._global_map = gmaps
+        self._surv_ids = surv_ids
+        self._surv_classes = surv_classes
+
+    def _collect_shard_batches(
+            self, digests_by_type: Mapping[str, Sequence[str] | str],
+            *, exclude_global: Sequence[Iterable[int]] | None
+    ) -> list[CandidateBatch]:
+        """Per-shard candidate generation with exclusion translation.
+
+        ``digests_by_type`` maps feature types either to one digest (a
+        ``top_k`` query) or to a sequence of digests; ``exclude_global``
+        holds global surviving member indices per query (or one
+        broadcast set).  Tombstoned members are always excluded.
+        """
+
+        single_query = any(isinstance(d, str)
+                           for d in digests_by_type.values())
+        if single_query:
+            digests_by_type = {ft: [d] for ft, d in digests_by_type.items()}
+        batches = []
+        for shard_idx, shard in enumerate(self._shards):
+            dead = self._dead[shard_idx]
+            if exclude_global is None:
+                exclude = [dead] if dead else None
+            else:
+                exclude = []
+                for per_query in exclude_global:
+                    locals_ = set(dead)
+                    for member in per_query:
+                        member = int(member)
+                        if not 0 <= member < len(self._survivors):
+                            raise ValidationError(
+                                f"exclude references member #{member} but "
+                                f"only {len(self._survivors)} survive")
+                        owner, local = self._survivors[member]
+                        if owner == shard_idx:
+                            locals_.add(local)
+                    exclude.append(locals_)
+            batches.append(shard.collect_candidates(digests_by_type,
+                                                    exclude=exclude))
+        return batches
+
+    def _score_batches(self, batches: Sequence[CandidateBatch]
+                       ) -> list[np.ndarray]:
+        """Score every batch's unique pairs, fanning out when worthwhile."""
+
+        total = sum(len(batch.left) for batch in batches)
+        busy = [i for i, batch in enumerate(batches) if batch.left]
+        scores: list[np.ndarray] = [np.zeros(0, dtype=np.float64)
+                                    for _ in batches]
+        if self._backend.n_workers <= 1 or len(busy) <= 1 \
+                or total < _MIN_PAIRS_TO_FAN_OUT:
+            for i in busy:
+                batch = batches[i]
+                scores[i] = score_signature_pairs(
+                    batch.left, batch.right, batch.block_sizes,
+                    engine=self._engine)
+            return scores
+        payloads = [(batches[i].left, batches[i].right,
+                     batches[i].block_sizes) for i in busy]
+        _LOG.debug("fanning %d signature pairs over %d shards onto %d %s "
+                   "workers", total, len(busy), self._backend.n_workers,
+                   self._backend.name)
+        for i, result in zip(busy, self._backend.map(_score_pairs_task,
+                                                     payloads, chunksize=1)):
+            scores[i] = result
+        return scores
+
+    def _scatter_max_rows(self, best: np.ndarray,
+                          batches: Sequence[CandidateBatch],
+                          shard_scores: Sequence[np.ndarray]) -> None:
+        """Fold single-query shard scores into the global best array."""
+
+        for shard_idx, (batch, scores) in enumerate(zip(batches,
+                                                        shard_scores)):
+            gmap = self._global_map[shard_idx]
+            for _ft, (pair_queries, pair_members,
+                      pair_slots) in batch.scatter.items():
+                if not pair_queries:
+                    continue
+                members = gmap[np.asarray(pair_members, dtype=np.int64)]
+                np.maximum.at(best, members,
+                              scores[np.asarray(pair_slots, dtype=np.int64)])
+
+    def _iter_surviving_entries(
+            self) -> Iterator[tuple[str, str, dict[int, list]]]:
+        """``(sample_id, class_name, entries_by_type)`` per survivor."""
+
+        self._refresh()
+        shard_sigs = [{ft: shard.member_signatures(ft)
+                       for ft in self._feature_types}
+                      for shard in self._shards]
+        for member, (shard_idx, local) in enumerate(self._survivors):
+            entries_by_type = {
+                ft: sorted(shard_sigs[shard_idx][ft].get(local, {}).items())
+                for ft in self._feature_types}
+            yield (self._surv_ids[member], self._surv_classes[member],
+                   entries_by_type)
+
+    def _check_feature_type(self, feature_type: str) -> None:
+        if feature_type not in self._feature_types:
+            raise ValidationError(
+                f"unknown feature type {feature_type!r}; this index holds "
+                f"{list(self._feature_types)}")
+
+
+def _iter_single_index_entries(index: SimilarityIndex
+                               ) -> Iterator[tuple[str, str, dict]]:
+    """Member entries of a plain index, in insertion order."""
+
+    sigs = {ft: index.member_signatures(ft) for ft in index.feature_types}
+    sample_ids = index.sample_ids
+    class_names = index.class_names
+    for member in range(index.n_members):
+        entries_by_type = {ft: sorted(sigs[ft].get(member, {}).items())
+                           for ft in index.feature_types}
+        yield sample_ids[member], class_names[member], entries_by_type

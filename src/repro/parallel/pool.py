@@ -1,26 +1,35 @@
-"""Ordered, fault-aware process-pool map.
+"""Ordered, fault-aware map — a thin wrapper over execution backends.
 
-The helpers here intentionally have conservative semantics:
+:func:`parallel_map` keeps the conservative semantics every internal
+caller relies on:
 
 * results are returned in input order regardless of completion order,
-* ``n_jobs=1`` (the default everywhere) never spawns processes, so
+* ``n_jobs=1`` (the default everywhere) never spawns workers, so
   library users only pay for parallelism when they ask for it,
 * workloads smaller than ``min_items_per_worker`` run serially — for
-  small inputs process start-up costs more than it saves (a point the
+  small inputs worker start-up costs more than it saves (a point the
   scientific-Python optimisation guides make repeatedly: measure, and
   do not parallelise tiny work).
 
-Functions passed to :func:`parallel_map` must be picklable
-(module-level functions), which every internal caller honours.
+The execution strategy itself is pluggable
+(:mod:`repro.parallel.backend`): ``executor=`` accepts a spec string
+(``"serial"``, ``"thread:4"``, ``"process"``, ...) or a backend
+instance and takes precedence over ``n_jobs``.  When a process pool
+cannot be created the map falls back to serial execution with a single
+user-visible :class:`RuntimeWarning`; ``strict=True`` raises
+:class:`~repro.exceptions.ParallelExecutionError` instead.
+
+Functions passed to a process backend must be picklable (module-level
+functions), which every internal caller honours.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Callable, Iterable, TypeVar
 
 from ..logging_utils import get_logger
+from .backend import ExecutionBackend, ProcessBackend, resolve_backend
 
 __all__ = ["effective_n_jobs", "parallel_map"]
 
@@ -48,38 +57,53 @@ def effective_n_jobs(n_jobs: int | None) -> int:
 
 def parallel_map(func: Callable[[T], R], items: Iterable[T], *,
                  n_jobs: int | None = 1, chunksize: int | None = None,
-                 min_items_per_worker: int = 2) -> list[R]:
+                 min_items_per_worker: int = 2, strict: bool = False,
+                 executor: str | ExecutionBackend | None = None) -> list[R]:
     """Apply ``func`` to every item, preserving order.
 
     Parameters
     ----------
     func:
-        A picklable callable.
+        A picklable callable (for process execution).
     items:
         The work items (materialised to a list).
     n_jobs:
-        Worker processes; see :func:`effective_n_jobs`.
+        Worker processes; see :func:`effective_n_jobs`.  Ignored when
+        ``executor`` is given.
     chunksize:
         Items sent to a worker per task; defaults to an even split.
     min_items_per_worker:
         Run serially unless every worker would receive at least this
         many items.
+    strict:
+        Raise :class:`~repro.exceptions.ParallelExecutionError` when the
+        worker pool is unavailable instead of falling back to serial
+        execution with a warning.
+    executor:
+        Backend spec string (``"serial"``, ``"thread[:N]"``,
+        ``"process[:N]"``) or an :class:`ExecutionBackend` instance.
+        A supplied instance is used as-is and not closed here.
     """
 
     items = list(items)
     if not items:
         return []
-    workers = effective_n_jobs(n_jobs)
-    if workers <= 1 or len(items) < workers * min_items_per_worker:
-        return [func(item) for item in items]
-
-    if chunksize is None:
-        chunksize = max(1, len(items) // (workers * 4))
-    _LOG.debug("parallel_map: %d items on %d workers (chunksize %d)",
-               len(items), workers, chunksize)
+    if executor is not None:
+        backend = resolve_backend(executor, strict=strict)
+        owns_backend = not isinstance(executor, ExecutionBackend)
+    else:
+        workers = effective_n_jobs(n_jobs)
+        if workers <= 1:
+            return [func(item) for item in items]
+        backend = ProcessBackend(workers, strict=strict)
+        owns_backend = True
     try:
-        with ProcessPoolExecutor(max_workers=workers) as executor:
-            return list(executor.map(func, items, chunksize=chunksize))
-    except (OSError, RuntimeError) as exc:  # pragma: no cover - depends on host
-        _LOG.warning("process pool unavailable (%s); falling back to serial", exc)
-        return [func(item) for item in items]
+        if backend.n_workers <= 1 \
+                or len(items) < backend.n_workers * min_items_per_worker:
+            return [func(item) for item in items]
+        _LOG.debug("parallel_map: %d items on %d %s workers", len(items),
+                   backend.n_workers, backend.name)
+        return backend.map(func, items, chunksize=chunksize)
+    finally:
+        if owns_backend:
+            backend.close()

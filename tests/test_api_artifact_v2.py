@@ -1,0 +1,127 @@
+"""Tests for model-artifact format v2: sharded anchor-index payloads
+round-trip bit-identically, and v1 artifacts keep loading."""
+
+import dataclasses
+
+import pytest
+
+from repro.api.artifact import (
+    MODEL_CONTAINER,
+    MODEL_FORMAT_VERSION,
+    inspect_model,
+    load_model,
+    save_model,
+    validate_model,
+)
+from repro.api.service import ClassificationService
+from repro.exceptions import ModelFormatError
+from repro.features.records import SampleFeatures
+from repro.index import ShardedSimilarityIndex
+from repro.index.storage import read_container, write_container
+
+from test_index_core import make_corpus
+
+FT = "ssdeep-file"
+
+
+@pytest.fixture(scope="module")
+def records():
+    return [SampleFeatures(sample_id=sid, class_name=cls, version="1",
+                           executable=sid, digests=digests)
+            for sid, digests, cls in make_corpus(48, seed=21)]
+
+
+@pytest.fixture(scope="module")
+def sharded_service(records):
+    index = ShardedSimilarityIndex([FT], n_shards=3)
+    index.add_many(records)
+    return ClassificationService.train(records, feature_types=(FT,),
+                                       n_estimators=15, random_state=4,
+                                       index=index)
+
+
+def test_format_version_is_two():
+    assert MODEL_FORMAT_VERSION == 2
+
+
+def test_sharded_artifact_round_trips_bit_identically(tmp_path, records,
+                                                      sharded_service):
+    path = tmp_path / "sharded.rpm"
+    save_model(sharded_service.classifier, path)
+    loaded = ClassificationService.load(path)
+    assert isinstance(loaded.similarity_index, ShardedSimilarityIndex)
+    assert loaded.similarity_index.n_shards == 3
+    assert loaded.classify_features(records) == \
+        sharded_service.classify_features(records)
+
+
+def test_sharded_artifact_inspect_and_validate(tmp_path, sharded_service):
+    path = tmp_path / "sharded.rpm"
+    save_model(sharded_service.classifier, path)
+    info = inspect_model(path)
+    assert info["format_version"] == 2
+    assert info["index_sharded"] is True
+    assert info["index_shards"] == 3
+    assert info["index_members"] == 48
+    assert validate_model(path)["index_sharded"] is True
+
+
+def test_headless_artifact_accepts_sharded_index_path(tmp_path, records,
+                                                      sharded_service):
+    model_path = tmp_path / "headless.rpm"
+    save_model(sharded_service.classifier, model_path, include_index=False)
+    index_path = sharded_service.similarity_index.save(tmp_path / "idx.rpsd")
+    with pytest.raises(ModelFormatError, match="without its anchor index"):
+        load_model(model_path)
+    loaded = load_model(model_path, index=index_path)
+    first = sharded_service.classifier.predict(records)
+    assert list(loaded.predict(records)) == list(first)
+
+
+def test_v1_artifact_still_loads_and_predicts_identically(tmp_path, records):
+    # A v1 artifact is byte-for-byte a v2 single-index artifact with the
+    # old container version stamped; simulate an old writer by reusing
+    # the current payload under a version-1 container format.
+    service = ClassificationService.train(records, feature_types=(FT,),
+                                          n_estimators=15, random_state=4)
+    modern = tmp_path / "modern.rpm"
+    save_model(service.classifier, modern)
+    header, arrays = read_container(modern, fmt=MODEL_CONTAINER)
+    header.pop("arrays")
+    header.pop("format_version")
+    v1_format = dataclasses.replace(MODEL_CONTAINER, version=1)
+    legacy = tmp_path / "legacy.rpm"
+    write_container(legacy, header, arrays, fmt=v1_format)
+
+    loaded = ClassificationService.load(legacy)
+    assert inspect_model(legacy)["format_version"] == 1
+    assert loaded.classify_features(records) == \
+        service.classify_features(records)
+
+
+def test_service_executor_reaches_restored_sharded_index(tmp_path,
+                                                         sharded_service):
+    path = tmp_path / "sharded.rpm"
+    save_model(sharded_service.classifier, path)
+    loaded = ClassificationService.load(path, executor="thread:2")
+    anchor = loaded.similarity_index
+    assert anchor.executor.name == "thread"
+    assert anchor.executor.n_workers == 2
+    anchor.close()
+    # Without an explicit executor the restored index stays serial.
+    assert ClassificationService.load(path).similarity_index.executor.name \
+        == "serial"
+
+
+def test_future_artifact_version_is_rejected(tmp_path, records,
+                                             sharded_service):
+    modern = tmp_path / "modern.rpm"
+    save_model(sharded_service.classifier, modern)
+    header, arrays = read_container(modern, fmt=MODEL_CONTAINER)
+    header.pop("arrays")
+    header.pop("format_version")
+    future = dataclasses.replace(MODEL_CONTAINER, version=99)
+    path = tmp_path / "future.rpm"
+    write_container(path, header, arrays, fmt=future)
+    with pytest.raises(ModelFormatError, match="version 99"):
+        load_model(path)

@@ -1,0 +1,321 @@
+"""Tests for the sharded similarity index.
+
+The headline invariant — every query answers bit-identically to a
+single :class:`SimilarityIndex` over the same surviving corpus — is
+checked here on deterministic corpora (the Hypothesis suite in
+``test_sharded_properties.py`` covers random ones), together with the
+sharding-specific machinery: routing, tombstones, compaction, the
+directory format and its error paths, and layout conversion.
+"""
+
+import json
+
+import pytest
+
+from repro.exceptions import (
+    IndexFormatError,
+    SimilarityIndexError,
+    ValidationError,
+)
+from repro.hashing.fnv import fnv_hash
+from repro.index import ShardedSimilarityIndex, SimilarityIndex, load_index
+
+from test_index_core import make_corpus
+
+FT = "ssdeep-file"
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_corpus(90, seed=11)
+
+
+@pytest.fixture(scope="module")
+def single(corpus):
+    index = SimilarityIndex([FT])
+    index.add_many(corpus)
+    return index
+
+
+def build(corpus, n_shards, **kwargs):
+    index = ShardedSimilarityIndex([FT], n_shards=n_shards, **kwargs)
+    index.add_many(corpus)
+    return index
+
+
+# ----------------------------------------------------------------- routing
+def test_routing_is_deterministic_fnv(corpus):
+    index = build(corpus, 4)
+    for sample_id, _, _ in corpus:
+        assert index.shard_of(sample_id) == \
+            fnv_hash(sample_id.encode("utf-8")) % 4
+
+
+def test_all_members_of_one_id_share_a_shard(corpus):
+    index = ShardedSimilarityIndex([FT], n_shards=3)
+    index.add("dup", corpus[0][1])
+    index.add("dup", corpus[1][1])
+    members = index.members_for_id("dup")
+    assert len(members) == 2
+
+
+def test_n_shards_must_be_positive():
+    with pytest.raises(ValidationError):
+        ShardedSimilarityIndex([FT], n_shards=0)
+
+
+# ------------------------------------------------------------ bit identity
+@pytest.mark.parametrize("n_shards", [1, 2, 5])
+def test_top_k_matches_single_index(corpus, single, n_shards):
+    index = build(corpus, n_shards)
+    for sample_id, digests, _ in corpus[:20]:
+        query = digests[FT]
+        assert index.top_k(query, 12, min_score=0) == \
+            single.top_k(query, 12, min_score=0)
+        assert index.top_k(query, 3, exclude_ids=[sample_id]) == \
+            single.top_k(query, 3, exclude_ids=[sample_id])
+
+
+def test_pairwise_matches_single_index_including_budget(corpus, single):
+    index = build(corpus, 4)
+    assert index.pairwise_matrix() == single.pairwise_matrix()
+    assert index.pairwise_matrix(max_pairs=40, min_score=0) == \
+        single.pairwise_matrix(max_pairs=40, min_score=0)
+
+
+def test_score_matrices_match_single_index(corpus, single):
+    import numpy as np
+
+    index = build(corpus, 3)
+    queries = [digests[FT] for _, digests, _ in corpus[:10]]
+    assert np.array_equal(index.score_matrix(FT, queries),
+                          single.score_matrix(FT, queries))
+    exclude = [single.members_for_id(sid) for sid, _, _ in corpus[:10]]
+    assert np.array_equal(
+        index.score_matrix(FT, queries, exclude=exclude),
+        single.score_matrix(FT, queries, exclude=exclude))
+
+
+# ------------------------------------------------------ removal + compact
+def test_remove_tombstones_and_compact(corpus):
+    index = build(corpus, 4)
+    gone = [corpus[i][0] for i in (0, 7, 41)]
+    for sample_id in gone:
+        assert index.remove(sample_id) == 1
+        assert index.remove(sample_id) == 0      # already tombstoned
+    assert index.remove("never-added") == 0
+    assert index.n_members == len(corpus) - 3
+    assert index.n_tombstones == 3
+
+    survivors = [m for m in corpus if m[0] not in gone]
+    reference = SimilarityIndex([FT])
+    reference.add_many(survivors)
+    for _, digests, _ in corpus[:15]:
+        assert index.top_k(digests[FT], 10, min_score=0) == \
+            reference.top_k(digests[FT], 10, min_score=0)
+    assert index.pairwise_matrix() == reference.pairwise_matrix()
+
+    assert index.compact() == 3
+    assert index.compact() == 0
+    assert index.n_tombstones == 0
+    assert index.sample_ids == tuple(m[0] for m in survivors)
+    for _, digests, _ in corpus[:15]:
+        assert index.top_k(digests[FT], 10, min_score=0) == \
+            reference.top_k(digests[FT], 10, min_score=0)
+
+
+def test_removed_members_are_invisible_to_members_for_id(corpus):
+    index = build(corpus, 2)
+    sample_id = corpus[3][0]
+    assert index.members_for_id(sample_id)
+    index.remove(sample_id)
+    assert index.members_for_id(sample_id) == frozenset()
+
+
+# ----------------------------------------------------------------- stats
+def test_stats_per_shard_breakdown(corpus):
+    index = build(corpus, 3)
+    index.remove(corpus[2][0])
+    stats = index.stats()
+    assert stats["n_shards"] == 3
+    assert stats["members"] == len(corpus) - 1
+    assert stats["tombstones"] == 1
+    assert stats["routing"] == "fnv32"
+    assert len(stats["shards"]) == 3
+    assert sum(s["members"] for s in stats["shards"]) == len(corpus) - 1
+    assert sum(s["tombstones"] for s in stats["shards"]) == 1
+    for shard in stats["shards"]:
+        assert shard["estimated_bytes"] > 0
+        assert shard["postings"] >= 0
+
+
+# ------------------------------------------------------------ persistence
+def test_save_load_round_trip(tmp_path, corpus):
+    index = build(corpus, 3)
+    index.remove(corpus[5][0])
+    path = index.save(tmp_path / "idx.rpsd")
+    assert (path / "manifest.json").is_file()
+    manifest = json.loads((path / "manifest.json").read_text())
+    assert sorted(p.name for p in path.glob("shard-*.rpsi")) == \
+        sorted(manifest["shards"])
+    assert len(manifest["shards"]) == 3
+    loaded = ShardedSimilarityIndex.load(path)
+    assert loaded.n_members == index.n_members
+    assert loaded.n_tombstones == 1
+    assert loaded.sample_ids == index.sample_ids
+    for _, digests, _ in corpus[:15]:
+        assert loaded.top_k(digests[FT], 10, min_score=0) == \
+            index.top_k(digests[FT], 10, min_score=0)
+
+
+def test_save_shrinking_layout_removes_stale_shards(tmp_path, corpus):
+    wide = build(corpus, 5)
+    target = tmp_path / "idx.rpsd"
+    wide.save(target)
+    narrow = ShardedSimilarityIndex.from_index(wide, n_shards=2)
+    narrow.save(target)
+    assert len(list(target.glob("shard-*.rpsi"))) == 2
+    assert ShardedSimilarityIndex.load(target).n_shards == 2
+
+
+def test_in_place_resave_never_touches_the_previous_generation(tmp_path,
+                                                               corpus):
+    """Crash-safety: until the manifest swap, the files the old manifest
+    references must remain byte-identical, so a crash mid-save leaves
+    the previous index loadable."""
+
+    index = build(corpus, 2)
+    target = index.save(tmp_path / "idx.rpsd")
+    before = {p.name: p.read_bytes() for p in target.glob("shard-*.rpsi")}
+    index.remove(corpus[0][0])
+    index.save(target)
+    after = {p.name for p in target.glob("shard-*.rpsi")}
+    assert before.keys().isdisjoint(after), \
+        "re-save reused the previous generation's shard file names"
+    assert ShardedSimilarityIndex.load(target).n_tombstones == 1
+
+
+def test_save_refuses_to_clobber_a_file(tmp_path, corpus):
+    target = tmp_path / "file.rpsi"
+    target.write_bytes(b"not a directory")
+    with pytest.raises(SimilarityIndexError, match="file is in the way"):
+        build(corpus, 2).save(target)
+
+
+def test_load_index_dispatches_on_layout(tmp_path, corpus, single):
+    sharded_path = build(corpus, 2).save(tmp_path / "sharded.rpsd")
+    single_path = single.save(tmp_path / "single.rpsi")
+    assert isinstance(load_index(sharded_path), ShardedSimilarityIndex)
+    assert isinstance(load_index(single_path), SimilarityIndex)
+
+
+# ------------------------------------------------------------ error paths
+def test_load_missing_directory(tmp_path):
+    with pytest.raises(IndexFormatError, match="does not exist"):
+        ShardedSimilarityIndex.load(tmp_path / "nope")
+
+
+def test_load_directory_without_manifest(tmp_path):
+    (tmp_path / "empty").mkdir()
+    with pytest.raises(IndexFormatError, match="manifest.json"):
+        ShardedSimilarityIndex.load(tmp_path / "empty")
+
+
+def test_load_corrupt_manifest(tmp_path, corpus):
+    path = build(corpus, 2).save(tmp_path / "idx.rpsd")
+    (path / "manifest.json").write_text("{broken", encoding="utf-8")
+    with pytest.raises(IndexFormatError, match="corrupt manifest"):
+        ShardedSimilarityIndex.load(path)
+
+
+def test_load_future_manifest_version(tmp_path, corpus):
+    path = build(corpus, 2).save(tmp_path / "idx.rpsd")
+    manifest = json.loads((path / "manifest.json").read_text())
+    manifest["format_version"] = 99
+    (path / "manifest.json").write_text(json.dumps(manifest))
+    with pytest.raises(IndexFormatError, match="version 99"):
+        ShardedSimilarityIndex.load(path)
+
+
+def test_load_unknown_routing(tmp_path, corpus):
+    path = build(corpus, 2).save(tmp_path / "idx.rpsd")
+    manifest = json.loads((path / "manifest.json").read_text())
+    manifest["routing"] = "md5"
+    (path / "manifest.json").write_text(json.dumps(manifest))
+    with pytest.raises(IndexFormatError, match="routing"):
+        ShardedSimilarityIndex.load(path)
+
+
+def test_load_inconsistent_order(tmp_path, corpus):
+    path = build(corpus, 2).save(tmp_path / "idx.rpsd")
+    manifest = json.loads((path / "manifest.json").read_text())
+    manifest["order"] = manifest["order"][:-1]
+    (path / "manifest.json").write_text(json.dumps(manifest))
+    with pytest.raises(IndexFormatError, match="order assigns"):
+        ShardedSimilarityIndex.load(path)
+
+
+def test_load_missing_shard_file(tmp_path, corpus):
+    path = build(corpus, 2).save(tmp_path / "idx.rpsd")
+    manifest = json.loads((path / "manifest.json").read_text())
+    (path / manifest["shards"][1]).unlink()
+    with pytest.raises(IndexFormatError, match="does not exist"):
+        ShardedSimilarityIndex.load(path)
+
+
+# ----------------------------------------------------- layout conversion
+def test_merge_to_single_and_back(corpus, single):
+    sharded = build(corpus, 4)
+    sharded.remove(corpus[8][0])
+    merged = sharded.merge_to_single()
+    survivors = [m for m in corpus if m[0] != corpus[8][0]]
+    reference = SimilarityIndex([FT])
+    reference.add_many(survivors)
+    for _, digests, _ in corpus[:15]:
+        assert merged.top_k(digests[FT], 10, min_score=0) == \
+            reference.top_k(digests[FT], 10, min_score=0)
+    resharded = ShardedSimilarityIndex.from_index(merged, n_shards=6)
+    assert resharded.n_members == len(survivors)
+    for _, digests, _ in corpus[:15]:
+        assert resharded.top_k(digests[FT], 10, min_score=0) == \
+            reference.top_k(digests[FT], 10, min_score=0)
+
+
+# -------------------------------------------------------------- executors
+@pytest.mark.parametrize("spec", ["thread:2", "process:2"])
+def test_executor_fan_out_is_bit_identical(corpus, single, spec):
+    with build(corpus, 4, executor=spec) as index:
+        for _, digests, _ in corpus[:8]:
+            assert index.top_k(digests[FT], 10, min_score=0) == \
+                single.top_k(digests[FT], 10, min_score=0)
+        assert index.pairwise_matrix(max_pairs=2000, min_score=0) == \
+            single.pairwise_matrix(max_pairs=2000, min_score=0)
+
+
+def test_set_executor_swaps_backend(corpus):
+    index = build(corpus, 2)
+    assert index.executor.name == "serial"
+    index.set_executor("thread:2")
+    assert index.executor.name == "thread"
+    index.close()
+
+
+# ------------------------------------------------- builder integration
+def test_feature_builder_adopts_sharded_index(corpus):
+    import numpy as np
+
+    from repro.features.records import SampleFeatures
+    from repro.features.similarity import SimilarityFeatureBuilder
+
+    records = [SampleFeatures(sample_id=sid, class_name=cls, version="1",
+                              executable=sid, digests=digests)
+               for sid, digests, cls in corpus]
+    direct = SimilarityFeatureBuilder([FT])
+    direct_matrix = direct.fit_transform(records, exclude_self=True)
+
+    sharded = build(corpus, 3)
+    adopted = SimilarityFeatureBuilder([FT])
+    adopted.fit_from_index(sharded)
+    adopted_matrix = adopted.transform(records, exclude_self=True)
+    assert adopted_matrix.feature_names == direct_matrix.feature_names
+    assert np.array_equal(adopted_matrix.X, direct_matrix.X)

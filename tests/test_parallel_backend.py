@@ -1,0 +1,145 @@
+"""Tests for the pluggable execution backends and the ``parallel_map``
+fallback semantics (the silent-fallback bugfix: pool failure must emit a
+user-visible warning, and ``strict=True`` must raise instead)."""
+
+import warnings
+
+import pytest
+
+from repro.exceptions import ParallelExecutionError, ValidationError
+from repro.parallel import parallel_map
+from repro.parallel.backend import (
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    resolve_backend,
+)
+
+
+def _square(x):
+    return x * x
+
+
+# ------------------------------------------------------------- spec parsing
+def test_resolve_backend_specs():
+    assert isinstance(resolve_backend(None), SerialBackend)
+    assert isinstance(resolve_backend("serial"), SerialBackend)
+    thread = resolve_backend("thread:3")
+    assert isinstance(thread, ThreadBackend) and thread.n_workers == 3
+    process = resolve_backend("process:2")
+    assert isinstance(process, ProcessBackend) and process.n_workers == 2
+    assert resolve_backend("Thread").name == "thread"   # case-insensitive
+
+
+def test_resolve_backend_passes_instances_through():
+    backend = SerialBackend()
+    assert resolve_backend(backend) is backend
+
+
+@pytest.mark.parametrize("spec", ["serial:2", "fibre", "thread:x",
+                                  "process:0", "process:-1"])
+def test_resolve_backend_rejects_bad_specs(spec):
+    with pytest.raises(ValidationError):
+        resolve_backend(spec)
+
+
+def test_resolve_backend_rejects_non_strings():
+    with pytest.raises(ValidationError):
+        resolve_backend(3.5)
+
+
+# ----------------------------------------------------------------- backends
+@pytest.mark.parametrize("spec", ["serial", "thread:2", "process:2"])
+def test_backends_map_preserves_order(spec):
+    with resolve_backend(spec) as backend:
+        assert backend.map(_square, range(40)) == [x * x for x in range(40)]
+
+
+def test_thread_backend_pool_persists_and_closes():
+    backend = ThreadBackend(2)
+    assert backend.map(_square, [1, 2]) == [1, 4]
+    pool = backend._pool
+    assert pool is not None
+    assert backend.map(_square, [3]) == [9]
+    assert backend._pool is pool           # reused, not rebuilt
+    backend.close()
+    assert backend._pool is None
+    backend.close()                        # idempotent
+
+
+# --------------------------------------------- parallel_map executor specs
+def test_parallel_map_with_executor_spec():
+    items = list(range(30))
+    result = parallel_map(_square, items, executor="thread:2",
+                          min_items_per_worker=1)
+    assert result == [x * x for x in items]
+
+
+def test_parallel_map_with_backend_instance_left_open():
+    backend = ThreadBackend(2)
+    result = parallel_map(_square, range(10), executor=backend,
+                          min_items_per_worker=1)
+    assert result == [x * x for x in range(10)]
+    # A caller-supplied backend must not be closed by parallel_map.
+    assert backend.map(_square, [5]) == [25]
+    backend.close()
+
+
+def test_parallel_map_small_workload_stays_serial_with_executor():
+    # Below min_items_per_worker the map must not touch the pool at all.
+    backend = ProcessBackend(4)
+    try:
+        assert parallel_map(_square, [1, 2], executor=backend,
+                            min_items_per_worker=100) == [1, 4]
+        assert backend._pool is None
+    finally:
+        backend.close()
+
+
+# ----------------------------------------------- fallback warning + strict
+def _broken_pool(monkeypatch):
+    class BrokenExecutor:
+        def __init__(self, max_workers=None):
+            raise OSError("no processes for you")
+
+    import repro.parallel.backend as backend_module
+    import repro.parallel.pool as pool_module
+
+    monkeypatch.setattr(backend_module, "ProcessPoolExecutor", BrokenExecutor)
+    # effective_n_jobs clamps to the CPU count; pretend there are four
+    # so the n_jobs path actually reaches the (broken) pool even on a
+    # single-core test machine.
+    monkeypatch.setattr(pool_module.os, "cpu_count", lambda: 4)
+
+
+def test_pool_failure_emits_visible_warning_and_falls_back(monkeypatch):
+    _broken_pool(monkeypatch)
+    with pytest.warns(RuntimeWarning, match="process pool unavailable"):
+        result = parallel_map(_square, list(range(16)), n_jobs=2,
+                              min_items_per_worker=1)
+    assert result == [x * x for x in range(16)]
+
+
+def test_degraded_backend_warns_once_then_stays_serial(monkeypatch):
+    _broken_pool(monkeypatch)
+    backend = ProcessBackend(2)
+    with pytest.warns(RuntimeWarning):
+        assert backend.map(_square, [1, 2, 3]) == [1, 4, 9]
+    assert backend.n_workers == 1
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")     # a second warning would raise
+        assert backend.map(_square, [4]) == [16]
+
+
+def test_strict_pool_failure_raises(monkeypatch):
+    _broken_pool(monkeypatch)
+    with pytest.raises(ParallelExecutionError, match="unavailable"):
+        parallel_map(_square, list(range(16)), n_jobs=2,
+                     min_items_per_worker=1, strict=True)
+
+
+def test_strict_executor_spec_failure_raises(monkeypatch):
+    _broken_pool(monkeypatch)
+    with pytest.raises(ParallelExecutionError):
+        parallel_map(_square, list(range(16)), executor="process:2",
+                     min_items_per_worker=1, strict=True)

@@ -1,0 +1,64 @@
+"""Tier-1 smoke for the sharded-index benchmark.
+
+Runs ``benchmarks/bench_sharded_index.py`` at a small scale so a
+regression that breaks the sharded/unsharded result identity fails the
+default test run.  The speedup floor needs real cores (the fan-out runs
+worker processes), so it is only asserted on machines with at least
+four CPUs — and conservatively there, since shared CI machines are
+noisy; the full ≥2x acceptance floor is the benchmark's own default
+(``pytest -m slow`` opts in).
+"""
+
+import importlib.util
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_BENCH_PATH = Path(__file__).resolve().parents[1] / "benchmarks" / \
+    "bench_sharded_index.py"
+
+_MULTICORE = (os.cpu_count() or 1) >= 4
+
+
+@pytest.fixture(scope="module")
+def bench():
+    spec = importlib.util.spec_from_file_location("bench_sharded_index",
+                                                  _BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("bench_sharded_index", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quick_benchmark_results_are_bit_identical(bench):
+    result = bench.run(300, 6, n_shards=3, max_pairs=10_000)
+    assert result.results_match, \
+        "sharded results diverged from the single-index reference"
+    if _MULTICORE:
+        # The full benchmark demonstrates >=2x; the smoke floor is kept
+        # conservative so a loaded CI machine cannot flake it.
+        assert result.min_speedup >= 1.1, \
+            f"multi-worker fan-out only {result.min_speedup:.1f}x faster"
+
+
+def test_benchmark_cli_quick_mode(bench, capsys, tmp_path, monkeypatch):
+    monkeypatch.setattr(bench, "OUTPUT_DIR", tmp_path)
+    code = bench.main(["--quick", "--corpus", "200", "--queries", "4",
+                       "--max-pairs", "5000", "--min-speedup", "0"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "bit-identical" in out
+    assert (tmp_path / "bench_sharded_index.txt").is_file()
+
+
+@pytest.mark.slow
+def test_full_benchmark_meets_acceptance_floor(bench):
+    """The acceptance-criterion configuration: 4 shards, >=2x, identical."""
+
+    if not _MULTICORE:
+        pytest.skip("needs >= 4 CPUs to demonstrate multi-worker speedup")
+    result = bench.run(4000, 40, n_shards=4, max_pairs=150_000)
+    assert result.results_match
+    assert result.min_speedup >= 2.0

@@ -1,0 +1,170 @@
+"""Tests for the sharded-index and streaming CLI surface:
+``index build --shards``, ``index stats --json``, ``index compact``,
+``index merge`` (both directions), ``classify --jsonl`` and the global
+``--jobs``/``--executor`` options."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.features.records import SampleFeatures, features_to_json
+from repro.index import ShardedSimilarityIndex, SimilarityIndex
+
+from test_index_core import make_corpus
+
+FT = "ssdeep-file"
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_corpus(30, seed=13)
+
+
+@pytest.fixture(scope="module")
+def features_json(tmp_path_factory, corpus):
+    records = [SampleFeatures(sample_id=sid, class_name=cls, version="1",
+                              executable=sid, digests=digests)
+               for sid, digests, cls in corpus]
+    path = tmp_path_factory.mktemp("feat") / "features.json"
+    path.write_text(features_to_json(records), encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def sharded_dir(tmp_path_factory, features_json):
+    out = tmp_path_factory.mktemp("idx") / "corpus.rpsd"
+    assert main(["index", "build", features_json, "-o", str(out),
+                 "--types", FT, "--shards", "3"]) == 0
+    return str(out)
+
+
+def test_parser_lists_new_subcommands_and_flags():
+    text = build_parser().format_help()
+    assert "--jobs" in text and "--executor" in text
+    index_help = build_parser().parse_known_args(["index", "build", "x",
+                                                  "-o", "y"])[0]
+    assert hasattr(index_help, "shards")
+
+
+def test_index_build_shards_creates_directory(sharded_dir, corpus):
+    loaded = ShardedSimilarityIndex.load(sharded_dir)
+    assert loaded.n_shards == 3
+    assert loaded.n_members == len(corpus)
+
+
+def test_index_stats_human_readable_on_sharded(sharded_dir, capsys):
+    assert main(["index", "stats", sharded_dir]) == 0
+    out = capsys.readouterr().out
+    assert "shards: 3" in out
+    assert "fnv32" in out
+    assert "shard    0" in out
+
+
+def test_index_stats_json_per_shard_breakdown(sharded_dir, corpus, capsys):
+    assert main(["index", "stats", sharded_dir, "--json"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["n_shards"] == 3
+    assert stats["members"] == len(corpus)
+    assert len(stats["shards"]) == 3
+    for shard in stats["shards"]:
+        assert {"members", "postings", "tombstones",
+                "estimated_bytes"} <= set(shard)
+
+
+def test_index_stats_json_on_single_file(tmp_path, corpus, capsys):
+    single = SimilarityIndex([FT])
+    single.add_many(corpus)
+    path = single.save(tmp_path / "single.rpsi")
+    assert main(["index", "stats", str(path), "--json"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["members"] == len(corpus)
+    assert "shards" not in stats
+
+
+def test_index_query_works_on_sharded_directory(sharded_dir, corpus, capsys):
+    digest = corpus[4][1][FT]
+    assert main(["index", "query", sharded_dir, digest, "--digest",
+                 "-k", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "s0004" in out and "100" in out
+
+
+def test_index_merge_sharded_to_single_and_back(sharded_dir, corpus,
+                                                tmp_path, capsys):
+    single_path = tmp_path / "merged.rpsi"
+    assert main(["index", "merge", sharded_dir, "-o",
+                 str(single_path)]) == 0
+    assert "merged 30 members" in capsys.readouterr().out
+    merged = SimilarityIndex.load(single_path)
+    assert merged.n_members == len(corpus)
+
+    back = tmp_path / "back.rpsd"
+    assert main(["index", "merge", str(single_path), "-o", str(back),
+                 "--shards", "2"]) == 0
+    assert "across 2 shards" in capsys.readouterr().out
+    resharded = ShardedSimilarityIndex.load(back)
+    digest = corpus[7][1][FT]
+    assert resharded.top_k(digest, 5, min_score=0) == \
+        merged.top_k(digest, 5, min_score=0)
+
+
+def test_index_compact_reclaims_tombstones(tmp_path, corpus, capsys):
+    index = ShardedSimilarityIndex([FT], n_shards=2)
+    index.add_many(corpus)
+    index.remove(corpus[0][0])
+    path = index.save(tmp_path / "idx.rpsd")
+    assert main(["index", "compact", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "dropped 1 tombstoned" in out
+    assert ShardedSimilarityIndex.load(path).n_tombstones == 0
+
+
+def test_index_compact_rejects_single_file(tmp_path, corpus, capsys):
+    single = SimilarityIndex([FT])
+    single.add_many(corpus)
+    path = single.save(tmp_path / "single.rpsi")
+    assert main(["index", "compact", str(path)]) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err and "Traceback" not in err
+
+
+def test_index_build_sharded_with_executor_spec(tmp_path, features_json):
+    out = tmp_path / "threaded.rpsd"
+    assert main(["--executor", "thread:2", "index", "build", features_json,
+                 "-o", str(out), "--types", FT, "--shards", "2"]) == 0
+    assert ShardedSimilarityIndex.load(out).n_shards == 2
+
+
+def test_bad_executor_spec_exits_two(features_json, tmp_path, capsys):
+    code = main(["--executor", "warp:9", "index", "build", features_json,
+                 "-o", str(tmp_path / "x.rpsd"), "--types", FT,
+                 "--shards", "2"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "error:" in captured.err
+    assert "Traceback" not in captured.err
+
+
+# --------------------------------------------------------------- --jsonl
+@pytest.fixture(scope="module")
+def tiny_tree(tmp_path_factory):
+    from repro.config import default_config
+    from repro.corpus.builder import CorpusBuilder
+
+    tree = tmp_path_factory.mktemp("tree") / "software"
+    CorpusBuilder(config=default_config("small", seed=9)).materialize_tree(
+        tree)
+    return str(tree)
+
+
+def test_classify_jsonl_streams_one_decision_per_line(tiny_tree, capsys):
+    assert main(["classify", tiny_tree, tiny_tree, "--estimators", "10",
+                 "--seed", "1", "--jsonl"]) == 0
+    lines = [line for line in capsys.readouterr().out.splitlines() if line]
+    assert lines, "expected at least one JSONL decision"
+    for line in lines:
+        decision = json.loads(line)
+        assert {"sample_id", "predicted_class", "confidence",
+                "decision"} == set(decision)
+        assert 0.0 <= decision["confidence"] <= 1.0
