@@ -1,0 +1,15 @@
+#!/bin/sh
+# Quick perf-regression smoke for candidate generation: runs the
+# array-postings-vs-legacy benchmark in its small configuration and
+# fails (non-zero exit) when results diverge or the vectorised walk
+# stops beating the legacy dict walk by the conservative smoke floors.
+# Tier-1 runs the same identity check via
+# tests/test_candidate_bench_smoke.py; the full >=3x / >=1.5x
+# acceptance floors are the benchmark's defaults (no --quick).
+set -eu
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+# Conservative smoke floors — the quick corpus is small and CI machines
+# are noisy (later flags win, so callers can still override via "$@").
+PYTHONPATH="$repo_root/src${PYTHONPATH:+:$PYTHONPATH}" \
+    exec python "$repo_root/benchmarks/bench_candidate_gen.py" --quick \
+    --min-candidate-speedup 1.5 --min-topk-speedup 1.0 "$@"

@@ -181,11 +181,16 @@ class ClassificationService:
         # too: a sharded index restored from an artifact comes up with a
         # serial backend, and shard fan-out on the scoring hot path is
         # the whole point of asking for one.
-        if executor is not None:
-            anchor = getattr(getattr(classifier, "builder_", None),
-                             "index_", None)
-            if isinstance(anchor, ShardedSimilarityIndex):
-                anchor.set_executor(executor)
+        anchor = getattr(getattr(classifier, "builder_", None),
+                         "index_", None)
+        if executor is not None and isinstance(anchor,
+                                               ShardedSimilarityIndex):
+            anchor.set_executor(executor)
+        # Seal pending posting tails up front: the index merges them
+        # lazily on first query, and a serving process should pay that
+        # once at start-up, not on its first request.
+        if anchor is not None and hasattr(anchor, "seal"):
+            anchor.seal()
 
     # ------------------------------------------------------------ lifecycle
     @classmethod

@@ -243,6 +243,15 @@ class SimilarityFeatureBuilder:
         self._class_index = {name: i for i, name in enumerate(self.classes_)}
         self._anchor_class_idx = np.array(
             [self._class_index[c] for c in self.anchor_classes_], dtype=np.int64)
+        # Anchors grouped by class for the vectorised per-class max in
+        # _aggregate: one stable sort at fit time, one reduceat per
+        # transform (every class has at least one anchor by
+        # construction, so the group starts are always valid).
+        self._class_order = np.argsort(self._anchor_class_idx, kind="stable")
+        counts = np.bincount(self._anchor_class_idx,
+                             minlength=len(self.classes_))
+        self._class_starts = np.zeros(len(self.classes_), dtype=np.int64)
+        np.cumsum(counts[:-1], out=self._class_starts[1:])
         self.feature_names_ = self._build_feature_names()
         _LOG.debug("builder adopted index with %d anchors across %d classes",
                    index.n_members, len(self.classes_))
@@ -273,13 +282,11 @@ class SimilarityFeatureBuilder:
 
         if self.anchor_strategy == "all-train":
             return scores
-        n_classes = len(self.classes_)
-        block = np.zeros((scores.shape[0], n_classes), dtype=np.float64)
-        for class_idx in range(n_classes):
-            members = np.flatnonzero(self._anchor_class_idx == class_idx)
-            if members.size:
-                block[:, class_idx] = scores[:, members].max(axis=1)
-        return block
+        # Per-class max in one pass: anchors were grouped by class at
+        # fit time, so a single reduceat replaces the per-class Python
+        # loop over column subsets.
+        return np.maximum.reduceat(scores[:, self._class_order],
+                                   self._class_starts, axis=1)
 
     def _build_feature_names(self) -> list[str]:
         names = []

@@ -10,8 +10,16 @@ incrementally, queried repeatedly and shipped between processes:
   a budgeted ``pairwise_matrix`` and dense ``score_matrix`` scoring
   (the backend of
   :class:`~repro.features.similarity.SimilarityFeatureBuilder`);
+* :mod:`~repro.index.postings` — the columnar storage behind it:
+  signatures interned in an index-wide pool, entries as ``int32``
+  columns, postings as sorted CSR triples over FNV-64 hashed
+  ``(block_size, gram)`` keys with a vectorised candidate walk
+  (``np.searchsorted`` + slab gather + ``np.unique``), built
+  incrementally through a merge-on-demand tail (``seal()`` forces the
+  merge);
 * :mod:`~repro.index.storage` — the single-file on-disk container
-  (JSON header + raw NumPy arrays, versioned, magic ``RPROSIDX``);
+  (JSON header + raw NumPy arrays, versioned, magic ``RPROSIDX``;
+  format v2 carries the columnar arrays, v1 files rebuild on load);
 * :class:`~repro.index.sharded.ShardedSimilarityIndex` — the same
   corpus partitioned across N shards by a deterministic ``sample_id``
   hash, with tombstoned ``remove`` + ``compact``, queries fanned out

@@ -13,6 +13,16 @@ indexed by their 7-gram postings, and answers:
 * ``save`` / ``load`` — round-tripping to a single compact file
   (:mod:`repro.index.storage`).
 
+Since format version 2 the postings and entry tables live in compact
+columnar NumPy arrays (:mod:`repro.index.postings`): signatures are
+interned in an index-wide string pool, entries are ``int32``/``int64``
+columns, and each feature type's inverted postings are a sorted
+CSR-style triple over FNV-64 ``(block_size, gram)`` keys.  Candidate
+generation is one vectorised sweep — ``np.searchsorted`` over the key
+array, slab gathers, ``np.unique`` de-duplication over packed pairs —
+instead of the first-generation per-gram dict walk; results are
+bit-identical (the Hypothesis equivalence suite pins this down).
+
 Scoring semantics (the "comparability rules") are exactly those of the
 bulk seed path:
 
@@ -40,6 +50,7 @@ from __future__ import annotations
 import os
 from collections import defaultdict
 from dataclasses import dataclass
+from functools import lru_cache
 from itertools import combinations
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
@@ -53,6 +64,8 @@ from ..hashing.compare import normalize_repeats
 from ..hashing.rolling import ROLLING_WINDOW
 from ..hashing.ssdeep import SsdeepDigest
 from ..logging_utils import get_logger
+from .postings import ArrayPostings, SignaturePool, block_prefix64, \
+    hash_windows, signature_windows
 from .storage import read_container, write_container
 
 __all__ = ["CandidateBatch", "IndexMatch", "PairScore", "SimilarityIndex",
@@ -64,14 +77,45 @@ _LOG = get_logger("index.core")
 _SSDEEP_COSTS = dict(insert_cost=1, delete_cost=1, substitute_cost=3,
                      transpose_cost=5)
 
+#: Shared singleton for "no members excluded" — hoisted so the serving
+#: hot path (``top_k`` with no exclusions) allocates nothing per call.
+_NO_EXCLUDED: frozenset[int] = frozenset()
 
-def signature_grams(signature: str, ngram_length: int) -> set[str]:
-    """All ``ngram_length``-grams of a signature (empty when too short)."""
+#: Candidate de-duplication switches from a dense boolean
+#: (query rows × entries) scatter to sorting packed codes above this
+#: many cells (the dense path is O(hits) but allocates one byte per
+#: cell).  16M cells = 16 MB transient, roughly a 64-query batch
+#: against a 100k-entry shard.
+_DENSE_DEDUP_CELLS = 1 << 24
 
+
+# Bounded at 4096: each value is a frozenset of up to ~58 short strings
+# (a few KB), so the cache tops out around 20 MB per process.  Serving
+# streams touch far fewer distinct signatures than that; a pairwise
+# sweep over a larger corpus simply recomputes on the cold tail.
+@lru_cache(maxsize=4096)
+def _signature_grams_cached(signature: str, ngram_length: int
+                            ) -> frozenset[str]:
     n = ngram_length
     if len(signature) < n:
-        return set()
-    return {signature[i:i + n] for i in range(len(signature) - n + 1)}
+        return _NO_GRAMS
+    return frozenset(signature[i:i + n]
+                     for i in range(len(signature) - n + 1))
+
+
+_NO_GRAMS: frozenset[str] = frozenset()
+
+
+def signature_grams(signature: str, ngram_length: int) -> set[str]:
+    """All ``ngram_length``-grams of a signature (empty when too short).
+
+    Backed by a bounded LRU over ``(signature, n)`` — ``classify
+    --jsonl`` streams and pairwise sweeps hit the same signatures over
+    and over; a fresh mutable set is returned so callers stay free to
+    modify it.
+    """
+
+    return set(_signature_grams_cached(signature, ngram_length))
 
 
 def score_signature_pairs(left: Sequence[str], right: Sequence[str],
@@ -87,34 +131,33 @@ def score_signature_pairs(left: Sequence[str], right: Sequence[str],
     queries out to (module-level, hence picklable).
     """
 
+    n = len(left)
+    if not n:
+        return np.zeros(0, dtype=np.float64)
     if engine is None:
         engine = BatchEditDistance(**_SSDEEP_COSTS)
     # Identical signatures always score 100 (the reference's fast
     # path), even where the small-block-size cap would otherwise
     # bite — so they never enter the edit-distance DP at all.
-    scores = np.full(len(left), 100.0, dtype=np.float64)
-    rest = np.flatnonzero(np.array(
-        [l != r for l, r in zip(left, right)], dtype=bool))
+    scores = np.full(n, 100.0, dtype=np.float64)
+    rest = np.flatnonzero(np.fromiter(
+        (l != r for l, r in zip(left, right)), dtype=bool, count=n))
     if rest.size:
         sub_left = [left[i] for i in rest]
         sub_right = [right[i] for i in rest]
+        m = rest.size
+        left_lens = np.fromiter(map(len, sub_left), dtype=np.float64, count=m)
+        right_lens = np.fromiter(map(len, sub_right), dtype=np.float64,
+                                 count=m)
+        blocks = np.asarray(block_sizes, dtype=np.float64)[rest]
         distances = engine.distances_two_lists(sub_left, sub_right)
-        scores[rest] = ssdeep_score_from_distance(
-            distances,
-            np.array([len(s) for s in sub_left], dtype=np.float64),
-            np.array([len(s) for s in sub_right], dtype=np.float64),
-            np.array([block_sizes[i] for i in rest], dtype=np.float64))
+        scores[rest] = ssdeep_score_from_distance(distances, left_lens,
+                                                  right_lens, blocks)
     return scores
 
 
-def expand_digest(digest: str) -> list[tuple[int, str]]:
-    """Expand a digest into its comparable ``(block_size, signature)`` pairs.
-
-    Signatures are run-length normalised; empty signatures are dropped.
-    """
-
-    if not digest:
-        return []
+@lru_cache(maxsize=16384)
+def _expand_digest_cached(digest: str) -> tuple[tuple[int, str], ...]:
     parsed = SsdeepDigest.parse(digest)
     pairs = []
     chunk = normalize_repeats(parsed.chunk)
@@ -123,7 +166,21 @@ def expand_digest(digest: str) -> list[tuple[int, str]]:
         pairs.append((parsed.block_size, chunk))
     if double_chunk:
         pairs.append((parsed.block_size * 2, double_chunk))
-    return pairs
+    return tuple(pairs)
+
+
+def expand_digest(digest: str) -> list[tuple[int, str]]:
+    """Expand a digest into its comparable ``(block_size, signature)`` pairs.
+
+    Signatures are run-length normalised; empty signatures are dropped.
+    Parsing is memoised in a bounded LRU: streaming workloads
+    (``classify --jsonl``, polling collectors) resubmit identical
+    digests constantly and should never re-parse them.
+    """
+
+    if not digest:
+        return []
+    return list(_expand_digest_cached(digest))
 
 
 @dataclass(frozen=True)
@@ -145,25 +202,17 @@ class PairScore:
     score: int
 
 
-@dataclass(frozen=True)
-class _Entry:
-    """One comparable signature of a member's digest."""
-
-    member: int
-    block_size: int
-    signature: str
-
-
 @dataclass
 class CandidateBatch:
     """Candidate-generation output: unique signature pairs to score.
 
     ``left[slot]``/``right[slot]``/``block_sizes[slot]`` describe one
     unique (query signature, member signature, block size) pair;
-    ``scatter`` holds, per feature type, the parallel
-    ``(query_index, member_index, slot)`` triples that map the scored
-    slots back onto score-matrix cells; ``n_queries`` records how many
-    query digests each feature type had.
+    ``scatter`` holds, per feature type, the parallel ``(query_index,
+    member_index, slot)`` **arrays** (``int32`` queries/members,
+    ``int64`` slots) that map the scored slots back onto score-matrix
+    cells; ``n_queries`` records how many query digests each feature
+    type had.
 
     Produced by :meth:`SimilarityIndex.collect_candidates`, consumed by
     :func:`score_signature_pairs` — splitting candidate generation from
@@ -174,8 +223,8 @@ class CandidateBatch:
 
     left: list[str]
     right: list[str]
-    block_sizes: list[int]
-    scatter: dict[str, tuple[list[int], list[int], list[int]]]
+    block_sizes: np.ndarray
+    scatter: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]]
     n_queries: dict[str, int]
 
 
@@ -209,10 +258,10 @@ class SimilarityIndex:
         self._sample_ids: list[str] = []
         self._class_names: list[str] = []
         self._members_by_id: dict[str, set[int]] = {}
-        self._entries: dict[str, list[_Entry]] = {ft: [] for ft in feature_types}
-        self._postings: dict[str, dict[tuple[int, str], list[int]]] = {
-            ft: defaultdict(list) for ft in feature_types}
-        self._member_grams: dict[str, tuple[str, ...]] = {}
+        self._pool = SignaturePool(self._ngram_length)
+        self._stores: dict[str, ArrayPostings] = {
+            ft: ArrayPostings(self._pool, self._ngram_length)
+            for ft in feature_types}
         self._engine = BatchEditDistance(**_SSDEEP_COSTS)
 
     # ------------------------------------------------------------ properties
@@ -292,6 +341,17 @@ class SimilarityIndex:
             members.append(self.add(sample_id, digests, class_name=class_name))
         return members
 
+    def seal(self) -> None:
+        """Merge pending posting tails into the sorted arrays.
+
+        Queries do this on demand; sealing explicitly (e.g. right after
+        a bulk load, or at service start-up) makes first-request latency
+        deterministic.  Idempotent and cheap when nothing is pending.
+        """
+
+        for store in self._stores.values():
+            store.merge()
+
     # -------------------------------------------------------------- queries
     def top_k(self, digest: str, k: int = 10, *,
               feature_type: str | None = None, min_score: int = 1,
@@ -325,18 +385,29 @@ class SimilarityIndex:
             raise ValidationError("min_score must be in [0, 100]")
         if not self._sample_ids:
             return []
-        excluded: set[int] = set()
+        # The common serving call has nothing to exclude: reuse one
+        # shared frozen set instead of building a fresh set per query.
+        excluded: frozenset[int] | set[int] = _NO_EXCLUDED
         for sample_id in exclude_ids:
-            excluded.update(self._members_by_id.get(sample_id, ()))
+            members = self._members_by_id.get(sample_id)
+            if members:
+                if excluded is _NO_EXCLUDED:
+                    excluded = set()
+                excluded.update(members)
         exclude = [excluded] if excluded else None
 
-        best = np.zeros(self.n_members, dtype=np.float64)
+        active: dict[str, list[str]] = {}
         for feature_type, digest in digests.items():
             self._check_feature_type(feature_type)
-            if not digest:
-                continue
-            row = self.score_matrix(feature_type, [digest], exclude=exclude)[0]
-            np.maximum(best, row, out=best)
+            if digest:
+                active[feature_type] = [digest]
+        best = np.zeros(self.n_members, dtype=np.float64)
+        if active:
+            # One batched pass: candidate pairs shared between feature
+            # types de-duplicate into a single DP sweep.
+            matrices = self.score_matrices(active, exclude=exclude)
+            for row in matrices.values():
+                np.maximum(best, row[0], out=best)
 
         order = np.argsort(-best, kind="stable")
         results: list[IndexMatch] = []
@@ -397,14 +468,12 @@ class SimilarityIndex:
 
         for feature_type, (pair_queries, pair_members,
                            pair_slots) in batch.scatter.items():
-            if not pair_queries:
+            if not len(pair_queries):
                 continue
-            scores = matrices[feature_type]
             # A (query, member) cell keeps its best comparable pair.
-            np.maximum.at(scores,
-                          (np.asarray(pair_queries, dtype=np.int64),
-                           np.asarray(pair_members, dtype=np.int64)),
-                          pair_scores[np.asarray(pair_slots, dtype=np.int64)])
+            np.maximum.at(matrices[feature_type],
+                          (pair_queries, pair_members),
+                          pair_scores[pair_slots])
         return matrices
 
     def collect_candidates(self, digests_by_type: Mapping[str, Sequence[str]],
@@ -412,22 +481,28 @@ class SimilarityIndex:
                            ) -> CandidateBatch:
         """The candidate-generation half of :meth:`score_matrices`.
 
-        Walks the inverted postings and returns the unique
-        (query signature, member signature, block size) pairs that pass
-        the n-gram gate, plus the scatter metadata mapping scored slots
-        back to ``(query, member)`` cells — see :class:`CandidateBatch`.
+        One vectorised sweep over the array postings: every query
+        signature's grams are hashed and located with a single
+        ``np.searchsorted`` per feature type, posting slabs are gathered
+        with ``np.repeat`` arithmetic, ``(query, entry)`` pairs
+        de-duplicate through ``np.unique`` over packed int64 codes, and
+        the surviving pairs slot-assign via a lexsort over interned
+        signature ids — no per-gram Python loop, no per-query ``set``.
         Candidate pairs from every type are de-duplicated together (a
         score depends only on the signature pair and block size, not the
         type).  ``exclude`` follows :meth:`score_matrix` semantics.
         """
 
-        left: list[str] = []
-        right: list[str] = []
-        block_sizes: list[int] = []
-        pair_key_to_slot: dict[tuple[str, str, int], int] = {}
-        # Per type: the (query, member, slot) triples to scatter after
-        # the shared DP pass.
-        scatter: dict[str, tuple[list[int], list[int], list[int]]] = {}
+        # Query signatures interned per call (ids shared across types so
+        # cross-type pair de-duplication stays exact); a "row class" is
+        # one distinct (query signature, block size) — the left half of
+        # a DP slot.
+        local_ids: dict[str, int] = {}
+        local_strings: list[str] = []
+        class_ids: dict[tuple[int, int], int] = {}
+        class_local: list[int] = []
+        class_block: list[int] = []
+        per_type: list[tuple] = []
         n_queries_by_type: dict[str, int] = {}
 
         for feature_type, digests in digests_by_type.items():
@@ -439,46 +514,175 @@ class SimilarityIndex:
                 raise ValidationError(
                     f"exclude must have 1 or {n_queries} items, "
                     f"got {len(exclude)}")
-            entries = self._entries[feature_type]
-            postings = self._postings[feature_type]
+            store = self._stores[feature_type]
+            n_entries = store.n_entries
+            if not n_entries:
+                continue
 
-            # Candidate generation: (query, entry) pairs sharing an
-            # n-gram at the same block size.
-            query_signatures = [dict(expand_digest(d)) for d in digests]
-            pair_queries: list[int] = []
-            pair_members: list[int] = []
-            pair_slots: list[int] = []
-            for query_index, sig_by_block in enumerate(query_signatures):
-                if exclude is None:
-                    excluded: frozenset[int] | set[int] = frozenset()
-                else:
-                    excluded = set(
-                        exclude[query_index if len(exclude) > 1 else 0])
-                seen: set[int] = set()
-                for block_size, signature in sig_by_block.items():
-                    for gram in self._grams(signature):
-                        for entry_id in postings.get((block_size, gram), ()):
-                            if entry_id in seen:
-                                continue
-                            seen.add(entry_id)
-                            entry = entries[entry_id]
-                            if entry.member in excluded:
-                                continue
-                            key = (signature, entry.signature, block_size)
-                            slot = pair_key_to_slot.get(key)
-                            if slot is None:
-                                slot = len(left)
-                                pair_key_to_slot[key] = slot
-                                left.append(signature)
-                                right.append(entry.signature)
-                                block_sizes.append(block_size)
-                            pair_queries.append(query_index)
-                            pair_members.append(entry.member)
-                            pair_slots.append(slot)
-            scatter[feature_type] = (pair_queries, pair_members, pair_slots)
+            # Flatten queries into (query, block, signature) rows.
+            row_query: list[int] = []
+            row_block: list[int] = []
+            row_class: list[int] = []
+            row_prefix: list[int] = []
+            row_windows: list[np.ndarray] = []
+            for query_index, digest in enumerate(digests):
+                for block_size, signature in expand_digest(digest):
+                    local = local_ids.get(signature)
+                    if local is None:
+                        local = len(local_strings)
+                        local_ids[signature] = local
+                        local_strings.append(signature)
+                    windows = _query_windows(signature, self._ngram_length)
+                    if not windows.shape[0]:
+                        continue
+                    row_cls = class_ids.get((local, block_size))
+                    if row_cls is None:
+                        row_cls = len(class_local)
+                        class_ids[(local, block_size)] = row_cls
+                        class_local.append(local)
+                        class_block.append(block_size)
+                    row_query.append(query_index)
+                    row_block.append(block_size)
+                    row_class.append(row_cls)
+                    row_prefix.append(block_prefix64(block_size))
+                    row_windows.append(windows)
+            if not row_query:
+                continue
+            counts = np.fromiter(map(len, row_windows), dtype=np.int64,
+                                 count=len(row_windows))
+            row_query_arr = np.asarray(row_query, dtype=np.int64)
+            row_block_arr = np.asarray(row_block, dtype=np.int64)
+            row_class_arr = np.asarray(row_class, dtype=np.int64)
+            flat_windows = np.vstack(row_windows)
+            # One vectorised FNV sweep over every window of every query
+            # (per-row prefixes carry the block sizes into the keys).
+            flat_keys = hash_windows(
+                np.repeat(np.asarray(row_prefix, dtype=np.uint64), counts),
+                flat_windows)
+            flat_blocks = np.repeat(row_block_arr, counts)
+
+            rows, entries = store.lookup(
+                flat_keys, flat_blocks, flat_windows,
+                np.repeat(np.arange(len(row_query), dtype=np.int32), counts))
+            if not entries.size:
+                continue
+            # Old per-query `seen` set == unique (query, entry) pairs.
+            # A query's two signatures live at distinct block sizes, so
+            # (query, entry) and (row, entry) de-duplicate identically
+            # and the row keeps the originating signature exact.
+            if len(row_query) * n_entries <= _DENSE_DEDUP_CELLS:
+                # Serving-sized batches: an O(hits) boolean scatter is
+                # far cheaper than sorting the hit list.
+                seen = np.zeros((len(row_query), n_entries), dtype=bool)
+                seen[rows, entries] = True
+                urows, uentries = seen.nonzero()
+            else:
+                codes = rows.astype(np.int64) * np.int64(n_entries) + entries
+                codes.sort(kind="stable")
+                if codes.size > 1:
+                    codes = codes[np.concatenate(
+                        ([True], codes[1:] != codes[:-1]))]
+                urows = codes // n_entries
+                uentries = codes % n_entries
+
+            queries = row_query_arr[urows]
+            members = store.entry_member[uentries]
+            if exclude is not None:
+                keep = self._exclusion_mask(exclude, queries, members)
+                if keep is not None:
+                    urows = urows[keep]
+                    uentries = uentries[keep]
+                    queries = queries[keep]
+                    members = members[keep]
+            if not queries.size:
+                continue
+            per_type.append((feature_type, queries, members,
+                             row_class_arr[urows],
+                             store.entry_sig[uentries]))
+
+        scatter: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]] = {
+            ft: (np.zeros(0, dtype=np.int32), np.zeros(0, dtype=np.int32),
+                 np.zeros(0, dtype=np.int64))
+            for ft in digests_by_type}
+        if not per_type:
+            return CandidateBatch(left=[], right=[],
+                                  block_sizes=np.zeros(0, dtype=np.int64),
+                                  scatter=scatter,
+                                  n_queries=n_queries_by_type)
+
+        # Global slot assignment: a DP slot is one unique (query
+        # signature + block, member signature) pair, shared across every
+        # feature type.  Both halves are already interned ids, so the
+        # dedup is one packed-code pass — through a dense slot map when
+        # the (row classes × pool) domain is small, a sort otherwise.
+        all_class = np.concatenate([t[3] for t in per_type])
+        all_msig = np.concatenate([t[4] for t in per_type]).astype(np.int64)
+        n_pool = max(len(self._pool), 1)
+        codes = all_class * np.int64(n_pool) + all_msig
+        domain = len(class_local) * n_pool
+        # The slot map is int32 (4 bytes/cell), so divide the byte
+        # budget accordingly — the boolean dedup matrix gets the full
+        # cell count, this map a quarter of it.
+        if domain <= _DENSE_DEDUP_CELLS // 4:
+            slot_map = np.full(domain, -1, dtype=np.int32)
+            slot_map[codes] = 0
+            slot_codes = np.flatnonzero(slot_map == 0)
+            slot_map[slot_codes] = np.arange(len(slot_codes), dtype=np.int32)
+            inverse = slot_map[codes]
+            slot_class_arr = slot_codes // n_pool
+            slot_msig = slot_codes % n_pool
+        else:
+            order = np.argsort(codes, kind="stable")
+            sorted_codes = codes[order]
+            new = np.ones(len(order), dtype=bool)
+            new[1:] = sorted_codes[1:] != sorted_codes[:-1]
+            group = np.cumsum(new) - 1
+            inverse = np.empty(len(order), dtype=np.int64)
+            inverse[order] = group
+            slot_idx = order[new]
+            slot_class_arr = all_class[slot_idx]
+            slot_msig = all_msig[slot_idx]
+
+        pool_strings = self._pool.strings
+        slot_class = slot_class_arr.tolist()
+        left = [local_strings[class_local[c]] for c in slot_class]
+        right = [pool_strings[i] for i in slot_msig.tolist()]
+        block_sizes = np.asarray(class_block, dtype=np.int64)[slot_class_arr]
+
+        offset = 0
+        for feature_type, queries, members, *_rest in per_type:
+            n_pairs = len(queries)
+            scatter[feature_type] = (
+                queries.astype(np.int32),
+                members.astype(np.int32, copy=False),
+                inverse[offset:offset + n_pairs])
+            offset += n_pairs
 
         return CandidateBatch(left=left, right=right, block_sizes=block_sizes,
                               scatter=scatter, n_queries=n_queries_by_type)
+
+    def _exclusion_mask(self, exclude: Sequence[Iterable[int]],
+                        queries: np.ndarray, members: np.ndarray
+                        ) -> np.ndarray | None:
+        """Boolean keep-mask for candidate pairs, or ``None`` for all."""
+
+        n_members = self.n_members
+        if len(exclude) == 1:
+            dropped = np.fromiter(
+                (m for m in map(int, exclude[0]) if 0 <= m < n_members),
+                dtype=np.int64)
+            if not dropped.size:
+                return None
+            return ~np.isin(members, dropped)
+        codes = []
+        for query_index, per_query in enumerate(exclude):
+            for m in map(int, per_query):
+                if 0 <= m < n_members:
+                    codes.append(query_index * n_members + m)
+        if not codes:
+            return None
+        pair_codes = queries * np.int64(n_members) + members
+        return ~np.isin(pair_codes, np.asarray(codes, dtype=np.int64))
 
     def pairwise_matrix(self, feature_type: str | None = None, *,
                         max_pairs: int | None = None,
@@ -506,12 +710,14 @@ class SimilarityIndex:
 
         candidates: set[tuple[int, int]] = set()
         for ft in types:
-            entries = self._entries[ft]
-            for entry_ids in self._postings[ft].values():
+            store = self._stores[ft]
+            entry_member = store.entry_member
+            for _block, _gram, entry_ids in store.iter_buckets():
                 if len(entry_ids) < 2:
                     continue
-                members = sorted({entries[e].member for e in entry_ids})
-                candidates.update(combinations(members, 2))
+                members = np.unique(entry_member[entry_ids])
+                if members.size >= 2:
+                    candidates.update(combinations(members.tolist(), 2))
         pairs = sorted(candidates)
         if max_pairs is not None and len(pairs) > max_pairs:
             dropped = len(pairs) - max_pairs
@@ -525,24 +731,14 @@ class SimilarityIndex:
 
         best = np.zeros(len(pairs), dtype=np.float64)
         for ft in types:
-            # member -> {block_size: signature} for this feature type.
-            sig_by_member: dict[int, dict[int, str]] = defaultdict(dict)
-            for entry in self._entries[ft]:
-                sig_by_member[entry.member][entry.block_size] = entry.signature
-            gram_cache: dict[str, frozenset[str]] = {}
-
-            def grams_of(signature: str) -> frozenset[str]:
-                cached = gram_cache.get(signature)
-                if cached is None:
-                    cached = frozenset(self._grams(signature))
-                    gram_cache[signature] = cached
-                return cached
-
+            sig_by_member = self.member_signatures(ft)
             left: list[str] = []
             right: list[str] = []
             block_sizes: list[int] = []
             slot_for_key: dict[tuple[str, str, int], int] = {}
             scatter: list[tuple[int, int]] = []        # (pair_idx, slot)
+            grams = _signature_grams_cached
+            n = self._ngram_length
             for pair_idx, (i, j) in enumerate(pairs):
                 sigs_i = sig_by_member.get(i)
                 sigs_j = sig_by_member.get(j)
@@ -550,7 +746,7 @@ class SimilarityIndex:
                     continue
                 for block_size in sigs_i.keys() & sigs_j.keys():
                     sig_a, sig_b = sigs_i[block_size], sigs_j[block_size]
-                    if not grams_of(sig_a) & grams_of(sig_b):
+                    if not grams(sig_a, n) & grams(sig_b, n):
                         continue
                     key = (sig_a, sig_b, block_size)
                     slot = slot_for_key.get(key)
@@ -584,11 +780,12 @@ class SimilarityIndex:
         """``(block_size, gram)`` bucket -> sorted unique member indices."""
 
         self._check_feature_type(feature_type)
-        entries = self._entries[feature_type]
+        store = self._stores[feature_type]
+        entry_member = store.entry_member
         buckets: dict[tuple[int, str], tuple[int, ...]] = {}
-        for key, entry_ids in self._postings[feature_type].items():
-            buckets[key] = tuple(sorted({entries[e].member
-                                         for e in entry_ids}))
+        for block_size, gram, entry_ids in store.iter_buckets():
+            buckets[(block_size, gram)] = tuple(
+                np.unique(entry_member[entry_ids]).tolist())
         return buckets
 
     def member_signatures(self, feature_type: str
@@ -596,9 +793,13 @@ class SimilarityIndex:
         """Member index -> ``{block_size: signature}`` for one type."""
 
         self._check_feature_type(feature_type)
+        store = self._stores[feature_type]
+        pool = self._pool
         sig_by_member: dict[int, dict[int, str]] = defaultdict(dict)
-        for entry in self._entries[feature_type]:
-            sig_by_member[entry.member][entry.block_size] = entry.signature
+        for member, block, sig_id in zip(store.entry_member.tolist(),
+                                         store.entry_block.tolist(),
+                                         store.entry_sig.tolist()):
+            sig_by_member[member][block] = pool[sig_id]
         return dict(sig_by_member)
 
     def append_entries(self, sample_id: str, class_name: str,
@@ -650,12 +851,16 @@ class SimilarityIndex:
             result._class_names.append(self._class_names[old])
             result._members_by_id.setdefault(
                 self._sample_ids[old], set()).add(member)
+        pool = self._pool
         for feature_type in self._feature_types:
-            for entry in self._entries[feature_type]:
-                new_member = remap.get(entry.member)
+            store = self._stores[feature_type]
+            for member, block, sig_id in zip(store.entry_member.tolist(),
+                                             store.entry_block.tolist(),
+                                             store.entry_sig.tolist()):
+                new_member = remap.get(member)
                 if new_member is not None:
-                    result._add_entry(feature_type, new_member,
-                                      entry.block_size, entry.signature)
+                    result._add_entry(feature_type, new_member, block,
+                                      pool[sig_id])
         return result
 
     # ---------------------------------------------------------------- stats
@@ -664,22 +869,23 @@ class SimilarityIndex:
 
         per_type = {}
         n_entries = 0
-        sig_bytes = 0
+        arrays_bytes = 0
         for feature_type in self._feature_types:
-            entries = self._entries[feature_type]
-            block_sizes = sorted({entry.block_size for entry in entries})
+            store = self._stores[feature_type]
+            blocks = store.entry_block
             per_type[feature_type] = {
-                "entries": len(entries),
-                "postings": len(self._postings[feature_type]),
-                "block_sizes": block_sizes,
+                "entries": store.n_entries,
+                "postings": store.n_keys,
+                "block_sizes": np.unique(blocks).tolist(),
             }
-            n_entries += len(entries)
-            sig_bytes += sum(len(entry.signature) for entry in entries)
+            n_entries += store.n_entries
+            arrays_bytes += store.nbytes()
         labelled = [name for name in self._class_names if name]
-        # Serialised size estimate, mirroring the container layout (per
-        # entry: int16 type + int32 member + int64 block + int64 offset)
-        # without materialising the arrays the way get_state would.
-        estimated = (n_entries * 22 + sig_bytes
+        # Serialised size estimate, mirroring the columnar container
+        # layout (entry columns + CSR postings + interned signature
+        # pool) without materialising the arrays the way get_state would.
+        estimated = (arrays_bytes
+                     + sum(len(s) for s in self._pool.strings)
                      + sum(len(s) for s in self._sample_ids)
                      + sum(len(c) for c in self._class_names))
         return {
@@ -698,37 +904,26 @@ class SimilarityIndex:
         The same representation backs :meth:`save` (written as a
         standalone container file) and the embedded index payload of
         model artifacts (:mod:`repro.api.artifact`);
-        :meth:`from_state` restores it.
+        :meth:`from_state` restores it.  Since index format version 2
+        the snapshot carries the columnar postings verbatim, so loading
+        adopts the arrays directly instead of re-hashing every gram.
         """
 
-        flat_types: list[int] = []
-        flat_members: list[int] = []
-        flat_blocks: list[int] = []
-        signatures: list[str] = []
-        for type_idx, feature_type in enumerate(self._feature_types):
-            for entry in self._entries[feature_type]:
-                flat_types.append(type_idx)
-                flat_members.append(entry.member)
-                flat_blocks.append(entry.block_size)
-                signatures.append(entry.signature)
-        sig_bytes = "".join(signatures).encode("ascii")
-        offsets = np.zeros(len(signatures) + 1, dtype=np.int64)
-        np.cumsum([len(s) for s in signatures], out=offsets[1:])
-
+        pool_bytes, pool_offsets = self._pool.packed()
         header = {
             "ngram_length": self._ngram_length,
             "feature_types": list(self._feature_types),
             "sample_ids": list(self._sample_ids),
             "class_names": list(self._class_names),
+            "layout": "columnar",
         }
-        arrays = {
-            "entry_type": np.asarray(flat_types, dtype=np.int16),
-            "entry_member": np.asarray(flat_members, dtype=np.int32),
-            "entry_block": np.asarray(flat_blocks, dtype=np.int64),
-            "sig_offsets": offsets,
-            "sig_bytes": np.frombuffer(sig_bytes, dtype=np.uint8).copy()
-            if sig_bytes else np.zeros(0, dtype=np.uint8),
+        arrays: dict[str, np.ndarray] = {
+            "pool_bytes": pool_bytes,
+            "pool_offsets": pool_offsets,
         }
+        for type_idx, feature_type in enumerate(self._feature_types):
+            for name, array in self._stores[feature_type].get_arrays().items():
+                arrays[f"t{type_idx}.{name}"] = array
         return header, arrays
 
     def save(self, path: str | os.PathLike) -> Path:
@@ -737,21 +932,24 @@ class SimilarityIndex:
         header, arrays = self.get_state()
         path = write_container(path, header, arrays)
         _LOG.info("saved index (%d members, %d entries) to %s",
-                  self.n_members, len(arrays["entry_type"]), path)
+                  self.n_members,
+                  sum(store.n_entries for store in self._stores.values()),
+                  path)
         return path
 
     @classmethod
     def load(cls, path: str | os.PathLike) -> "SimilarityIndex":
         """Load an index saved by :meth:`save`.
 
+        Reads both the current columnar layout and legacy (version 1)
+        flat-entry files, which are rebuilt through the normal add path.
         Raises :class:`~repro.exceptions.IndexFormatError` on missing,
         corrupt, truncated or unsupported files.
         """
 
         header, arrays = read_container(path)
         index = cls.from_state(header, arrays, source=f"index file {path}")
-        _LOG.info("loaded index (%d members, %d entries) from %s",
-                  index.n_members, len(arrays["entry_type"]), path)
+        _LOG.info("loaded index (%d members) from %s", index.n_members, path)
         return index
 
     @classmethod
@@ -762,7 +960,9 @@ class SimilarityIndex:
         ``source`` names the origin (a file path, or the embedding model
         artifact) in error messages.  Raises
         :class:`~repro.exceptions.IndexFormatError` on inconsistent or
-        corrupt state.
+        corrupt state.  Columnar (version 2) snapshots adopt their
+        arrays after validation; legacy flat-entry snapshots are rebuilt
+        entry by entry.
         """
 
         try:
@@ -770,29 +970,13 @@ class SimilarityIndex:
             feature_types = [str(ft) for ft in header["feature_types"]]
             sample_ids = [str(s) for s in header["sample_ids"]]
             class_names = [str(c) for c in header["class_names"]]
-            entry_type = arrays["entry_type"]
-            entry_member = arrays["entry_member"]
-            entry_block = arrays["entry_block"]
-            sig_offsets = arrays["sig_offsets"]
-            sig_bytes = arrays["sig_bytes"]
         except (KeyError, TypeError, ValueError) as exc:
             raise IndexFormatError(
                 f"{source} is missing required fields: {exc}") from exc
-
-        n_entries = len(entry_type)
         if len(class_names) != len(sample_ids):
             raise IndexFormatError(
                 f"{source} has {len(sample_ids)} sample ids but "
                 f"{len(class_names)} class names")
-        if len(entry_member) != n_entries or len(entry_block) != n_entries \
-                or len(sig_offsets) != n_entries + 1:
-            raise IndexFormatError(f"{source} has inconsistent "
-                                   "entry array lengths")
-        if n_entries and (np.any(np.diff(sig_offsets) < 0)
-                          or sig_offsets[0] != 0
-                          or sig_offsets[-1] != len(sig_bytes)):
-            raise IndexFormatError(f"{source} has corrupt "
-                                   "signature offsets")
         try:
             index = cls(feature_types, ngram_length=ngram_length)
         except ValidationError as exc:
@@ -803,12 +987,119 @@ class SimilarityIndex:
         for member, sample_id in enumerate(sample_ids):
             index._members_by_id.setdefault(sample_id, set()).add(member)
 
+        if "pool_offsets" in arrays:
+            index._adopt_columnar_state(arrays, source=source)
+        else:
+            index._rebuild_legacy_state(arrays, source=source)
+        return index
+
+    def _adopt_columnar_state(self, arrays: Mapping[str, np.ndarray], *,
+                              source: str) -> None:
+        """Validate and adopt a columnar (format v2) snapshot."""
+
+        n_members = len(self._sample_ids)
+        try:
+            pool_bytes = arrays["pool_bytes"]
+            pool_offsets = arrays["pool_offsets"]
+        except KeyError as exc:
+            raise IndexFormatError(
+                f"{source} is missing required fields: {exc}") from exc
+        if len(pool_offsets) < 1 or pool_offsets[0] != 0 \
+                or pool_offsets[-1] != len(pool_bytes) \
+                or (len(pool_offsets) > 1
+                    and np.any(np.diff(pool_offsets) < 0)):
+            raise IndexFormatError(f"{source} has corrupt signature "
+                                   "pool offsets")
+        try:
+            pool = SignaturePool.from_packed(self._ngram_length, pool_bytes,
+                                             pool_offsets)
+        except UnicodeDecodeError as exc:
+            raise IndexFormatError(f"{source} has non-ASCII "
+                                   "signature bytes") from exc
+        self._pool = pool
+        n_sigs = len(pool)
+        for type_idx, feature_type in enumerate(self._feature_types):
+            prefix = f"t{type_idx}."
+            try:
+                cols = {name: arrays[prefix + name] for name in
+                        ("entry_member", "entry_block", "entry_sig",
+                         "post_keys", "post_blocks", "post_grams",
+                         "post_offsets", "post_entries")}
+            except KeyError as exc:
+                raise IndexFormatError(
+                    f"{source} is missing required fields: {exc}") from exc
+            n_entries = len(cols["entry_member"])
+            n_keys = len(cols["post_keys"])
+            if len(cols["entry_block"]) != n_entries \
+                    or len(cols["entry_sig"]) != n_entries:
+                raise IndexFormatError(f"{source} has inconsistent "
+                                       "entry array lengths")
+            if len(cols["post_blocks"]) != n_keys \
+                    or len(cols["post_offsets"]) != n_keys + 1 \
+                    or cols["post_grams"].shape != (n_keys,
+                                                    self._ngram_length):
+                raise IndexFormatError(f"{source} has inconsistent "
+                                       "posting array lengths")
+            offsets = cols["post_offsets"]
+            if n_keys and (offsets[0] != 0
+                           or offsets[-1] != len(cols["post_entries"])
+                           or np.any(np.diff(offsets) < 0)):
+                raise IndexFormatError(f"{source} has corrupt "
+                                       "posting offsets")
+            if n_keys > 1 and np.any(np.diff(cols["post_keys"]) < 0):
+                raise IndexFormatError(f"{source} has unsorted posting keys")
+            if n_entries:
+                members = cols["entry_member"]
+                if members.min() < 0 or members.max() >= n_members:
+                    raise IndexFormatError(
+                        f"{source} references member "
+                        f"#{int(members.max())} but only {n_members} "
+                        "are declared")
+                sigs = cols["entry_sig"]
+                if sigs.min() < 0 or sigs.max() >= n_sigs:
+                    raise IndexFormatError(
+                        f"{source} references signature #{int(sigs.max())} "
+                        f"but the pool holds {n_sigs}")
+            posted = cols["post_entries"]
+            if len(posted) and (n_entries == 0 or posted.min() < 0
+                                or posted.max() >= n_entries):
+                raise IndexFormatError(
+                    f"{source} postings reference entry "
+                    f"#{int(posted.max())} but only {n_entries} exist")
+            store = ArrayPostings(pool, self._ngram_length)
+            store.adopt_arrays(cols)
+            self._stores[feature_type] = store
+
+    def _rebuild_legacy_state(self, arrays: Mapping[str, np.ndarray], *,
+                              source: str) -> None:
+        """Rebuild from a legacy (format v1) flat-entry snapshot."""
+
+        try:
+            entry_type = arrays["entry_type"]
+            entry_member = arrays["entry_member"]
+            entry_block = arrays["entry_block"]
+            sig_offsets = arrays["sig_offsets"]
+            sig_bytes = arrays["sig_bytes"]
+        except KeyError as exc:
+            raise IndexFormatError(
+                f"{source} is missing required fields: {exc}") from exc
+        feature_types = self._feature_types
+        n_entries = len(entry_type)
+        if len(entry_member) != n_entries or len(entry_block) != n_entries \
+                or len(sig_offsets) != n_entries + 1:
+            raise IndexFormatError(f"{source} has inconsistent "
+                                   "entry array lengths")
+        if n_entries and (np.any(np.diff(sig_offsets) < 0)
+                          or sig_offsets[0] != 0
+                          or sig_offsets[-1] != len(sig_bytes)):
+            raise IndexFormatError(f"{source} has corrupt "
+                                   "signature offsets")
         try:
             all_signatures = sig_bytes.tobytes().decode("ascii")
         except UnicodeDecodeError as exc:
             raise IndexFormatError(f"{source} has non-ASCII "
                                    "signature bytes") from exc
-        n_members = len(sample_ids)
+        n_members = len(self._sample_ids)
         for i in range(n_entries):
             type_idx = int(entry_type[i])
             member = int(entry_member[i])
@@ -820,27 +1111,16 @@ class SimilarityIndex:
                 raise IndexFormatError(
                     f"{source} references member #{member} "
                     f"but only {n_members} are declared")
-            signature = all_signatures[int(sig_offsets[i]):int(sig_offsets[i + 1])]
-            index._add_entry(feature_types[type_idx], member,
-                             int(entry_block[i]), signature)
-        return index
+            signature = all_signatures[int(sig_offsets[i]):
+                                       int(sig_offsets[i + 1])]
+            self._add_entry(feature_types[type_idx], member,
+                            int(entry_block[i]), signature)
 
     # ------------------------------------------------------------ internals
     def _add_entry(self, feature_type: str, member: int, block_size: int,
                    signature: str) -> None:
-        entries = self._entries[feature_type]
-        entry_id = len(entries)
-        entries.append(_Entry(member, block_size, signature))
-        postings = self._postings[feature_type]
-        # Member signatures repeat across entries (families, reloads), so
-        # their gram sets are memoised; the cache is bounded by the
-        # number of distinct member signatures the index holds.
-        grams = self._member_grams.get(signature)
-        if grams is None:
-            grams = tuple(self._grams(signature))
-            self._member_grams[signature] = grams
-        for gram in grams:
-            postings[(block_size, gram)].append(entry_id)
+        sig_id = self._pool.intern(signature)
+        self._stores[feature_type].add_entry(member, block_size, sig_id)
 
     def _grams(self, signature: str) -> set[str]:
         return signature_grams(signature, self._ngram_length)
@@ -858,3 +1138,10 @@ class SimilarityIndex:
             raise ValidationError(
                 f"unknown feature type {feature_type!r}; this index holds "
                 f"{list(self._feature_types)}")
+
+
+@lru_cache(maxsize=16384)
+def _query_windows(signature: str, ngram_length: int) -> np.ndarray:
+    """Query-side n-gram window matrix, memoised like the digest parse."""
+
+    return signature_windows(signature, ngram_length)

@@ -55,13 +55,14 @@ from ..logging_utils import get_logger
 from ..parallel.backend import ExecutionBackend, resolve_backend
 from ..parallel.partition import chunk_indices
 from .core import (
+    _NO_EXCLUDED,
     _SSDEEP_COSTS,
+    _signature_grams_cached,
     CandidateBatch,
     IndexMatch,
     PairScore,
     SimilarityIndex,
     score_signature_pairs,
-    signature_grams,
 )
 
 __all__ = ["MANIFEST_NAME", "ROUTING_NAME", "SHARDED_FORMAT_VERSION",
@@ -114,14 +115,10 @@ def _score_pair_chunk(pairs: Sequence[tuple[int, int]],
     bit-identical to the serial path.
     """
 
-    gram_cache: dict[str, frozenset[str]] = {}
-
     def grams_of(signature: str) -> frozenset[str]:
-        cached = gram_cache.get(signature)
-        if cached is None:
-            cached = frozenset(signature_grams(signature, ngram_length))
-            gram_cache[signature] = cached
-        return cached
+        # Bounded LRU shared with every other gram consumer (and with
+        # other chunks scored by the same worker process).
+        return _signature_grams_cached(signature, ngram_length)
 
     left: list[str] = []
     right: list[str] = []
@@ -339,6 +336,16 @@ class ShardedSimilarityIndex:
                                       class_name=class_name))
         return sequences
 
+    def seal(self) -> None:
+        """Merge every shard's pending posting tail (idempotent).
+
+        See :meth:`SimilarityIndex.seal` — sealing after a bulk load
+        makes the first query's latency deterministic.
+        """
+
+        for shard in self._shards:
+            shard.seal()
+
     def remove(self, sample_id: str) -> int:
         """Tombstone every member registered under ``sample_id``.
 
@@ -415,9 +422,16 @@ class ShardedSimilarityIndex:
         self._refresh()
         if not self._survivors:
             return []
-        excluded: set[int] = set()
+        # Like the single index: the common serving call excludes
+        # nothing, so reuse one shared frozen set instead of building a
+        # fresh set (and resolving ids) per query.
+        excluded: frozenset[int] | set[int] = _NO_EXCLUDED
         for sample_id in exclude_ids:
-            excluded.update(self.members_for_id(sample_id))
+            members = self.members_for_id(sample_id)
+            if members:
+                if excluded is _NO_EXCLUDED:
+                    excluded = set()
+                excluded.update(members)
 
         digests = {ft: digest for ft, digest in digests.items()}
         batches = self._collect_shard_batches(
@@ -482,13 +496,12 @@ class ShardedSimilarityIndex:
             gmap = self._global_map[shard_idx]
             for feature_type, (pair_queries, pair_members,
                                pair_slots) in batch.scatter.items():
-                if not pair_queries:
+                if not len(pair_queries):
                     continue
-                members = gmap[np.asarray(pair_members, dtype=np.int64)]
+                members = gmap[pair_members]
                 np.maximum.at(matrices[feature_type],
-                              (np.asarray(pair_queries, dtype=np.int64),
-                               members),
-                              scores[np.asarray(pair_slots, dtype=np.int64)])
+                              (pair_queries, members),
+                              scores[pair_slots])
         return matrices
 
     def pairwise_matrix(self, feature_type: str | None = None, *,
@@ -1014,11 +1027,9 @@ class ShardedSimilarityIndex:
             gmap = self._global_map[shard_idx]
             for _ft, (pair_queries, pair_members,
                       pair_slots) in batch.scatter.items():
-                if not pair_queries:
+                if not len(pair_queries):
                     continue
-                members = gmap[np.asarray(pair_members, dtype=np.int64)]
-                np.maximum.at(best, members,
-                              scores[np.asarray(pair_slots, dtype=np.int64)])
+                np.maximum.at(best, gmap[pair_members], scores[pair_slots])
 
     def _iter_surviving_entries(
             self) -> Iterator[tuple[str, str, dict[int, list]]]:

@@ -50,8 +50,12 @@ from ..exceptions import IndexFormatError, ReproError, SimilarityIndexError
 __all__ = ["FORMAT_VERSION", "MAGIC", "ContainerFormat", "INDEX_FORMAT",
            "write_container", "read_container"]
 
-#: Current (and oldest readable) similarity-index container format version.
-FORMAT_VERSION = 1
+#: Current similarity-index container format version.  Version 2 carries
+#: the columnar postings layout (interned signature pool + CSR posting
+#: arrays per feature type, :mod:`repro.index.postings`); version 1
+#: files — flat per-entry arrays — still load through the rebuild path
+#: in :meth:`repro.index.SimilarityIndex.from_state`.
+FORMAT_VERSION = 2
 
 #: File magic identifying a repro similarity index.
 MAGIC = b"RPROSIDX"

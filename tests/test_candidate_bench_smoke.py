@@ -1,0 +1,85 @@
+"""Tier-1 smoke for the candidate-generation benchmark.
+
+Runs ``benchmarks/bench_candidate_gen.py`` at a small scale so a
+regression that breaks the array-postings/legacy result identity fails
+the default test run.  The speedup floors are vectorisation (not
+fan-out), so they hold on a single core — but shared CI machines are
+noisy and the quick corpus is small, so tier 1 only asserts a
+conservative floor on machines with at least two CPUs; the full ≥3x
+candidate-generation / ≥1.5x top_k acceptance floors are the
+benchmark's own defaults (``pytest -m slow`` opts in).
+"""
+
+import importlib.util
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_BENCH_PATH = Path(__file__).resolve().parents[1] / "benchmarks" / \
+    "bench_candidate_gen.py"
+
+_MULTICORE = (os.cpu_count() or 1) >= 2
+
+
+@pytest.fixture(scope="module")
+def bench():
+    spec = importlib.util.spec_from_file_location("bench_candidate_gen",
+                                                  _BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("bench_candidate_gen", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quick_benchmark_results_are_bit_identical(bench):
+    result = bench.run(500, 6)
+    assert result.results_match, \
+        "array-postings results diverged from the legacy reference"
+    if _MULTICORE:
+        # The full benchmark demonstrates >=3x; the smoke floor is kept
+        # conservative so a loaded CI machine cannot flake it.
+        assert result.collect_speedup >= 1.2, \
+            f"candidate generation only {result.collect_speedup:.1f}x faster"
+
+
+def test_benchmark_cli_quick_mode(bench, capsys, tmp_path, monkeypatch):
+    monkeypatch.setattr(bench, "OUTPUT_DIR", tmp_path)
+    code = bench.main(["--quick", "--corpus", "300", "--queries", "4",
+                       "--min-candidate-speedup", "0",
+                       "--min-topk-speedup", "0"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "bit-identical" in out
+    assert (tmp_path / "bench_candidate_gen.txt").is_file()
+    assert (tmp_path / "BENCH_candidate_gen.json").is_file()
+
+
+def test_benchmark_trajectory_records_ratios(bench, tmp_path, monkeypatch):
+    import json
+
+    monkeypatch.setattr(bench, "OUTPUT_DIR", tmp_path)
+    code = bench.main(["--quick", "--corpus", "300", "--queries", "3",
+                       "--min-candidate-speedup", "0",
+                       "--min-topk-speedup", "0"])
+    assert code == 0
+    trajectory = json.loads(
+        (tmp_path / "BENCH_candidate_gen.json").read_text(encoding="utf-8"))
+    for key in ("collect_speedup", "topk_speedup", "peak_memory_ratio",
+                "resident_memory_ratio", "results_match"):
+        assert key in trajectory
+    assert trajectory["results_match"] is True
+
+
+@pytest.mark.slow
+def test_full_benchmark_meets_acceptance_floors(bench):
+    """The acceptance configuration: >=3x candidate gen, >=1.5x top_k,
+    bit-identical results, and a peak-memory reduction."""
+
+    result = bench.run(8000, 30)
+    assert result.results_match
+    assert result.collect_speedup >= 3.0
+    assert result.topk_speedup >= 1.5
+    assert result.peak_memory_ratio > 1.0
+    assert result.resident_memory_ratio > 1.0

@@ -30,6 +30,22 @@ def test_scores_are_in_0_100(tiny_features, fitted_builder):
     assert matrix.X.max() <= 100.0
 
 
+def test_reduceat_aggregation_matches_per_class_loop(tiny_features,
+                                                     fitted_builder):
+    """The vectorised per-class max (one reduceat over class-grouped
+    anchors) must equal the straightforward per-class column loop."""
+
+    rng = np.random.default_rng(11)
+    scores = rng.uniform(0.0, 100.0,
+                         size=(7, len(fitted_builder.anchor_classes_)))
+    expected = np.zeros((7, len(fitted_builder.classes_)))
+    for class_idx in range(len(fitted_builder.classes_)):
+        members = np.flatnonzero(
+            fitted_builder._anchor_class_idx == class_idx)
+        expected[:, class_idx] = scores[:, members].max(axis=1)
+    assert np.array_equal(fitted_builder._aggregate(scores), expected)
+
+
 def test_own_class_column_scores_highest_for_most_samples(tiny_features, fitted_builder):
     matrix = fitted_builder.transform(tiny_features)
     classes = fitted_builder.classes_

@@ -180,3 +180,36 @@ def test_header_records_format_version(index, tmp_path):
     assert header["format_version"] == FORMAT_VERSION
     # The header is honest JSON all the way down.
     json.dumps(header)
+
+
+def test_v2_container_carries_columnar_arrays(index, tmp_path):
+    """Format v2 persists the postings verbatim: the reader adopts the
+    arrays instead of re-hashing every gram on load."""
+
+    assert FORMAT_VERSION == 2
+    header, arrays = read_container(index.save(tmp_path / "cols.rpsi"))
+    assert header["layout"] == "columnar"
+    assert {"pool_bytes", "pool_offsets"} <= set(arrays)
+    for name in ("entry_member", "entry_block", "entry_sig", "post_keys",
+                 "post_blocks", "post_grams", "post_offsets", "post_entries"):
+        assert f"t0.{name}" in arrays
+    # Keys are sorted (searchsorted-ready) and offsets span the postings.
+    import numpy as np
+
+    keys = arrays["t0.post_keys"]
+    assert np.all(np.diff(keys) > 0)
+    assert arrays["t0.post_offsets"][-1] == len(arrays["t0.post_entries"])
+
+
+def test_version_1_preamble_still_accepted(index, tmp_path):
+    """A file stamped with the old format version (1) must keep loading
+    — readers accept any version up to the current one."""
+
+    import struct as _struct
+
+    path = index.save(tmp_path / "old.rpsi")
+    data = bytearray(path.read_bytes())
+    _struct.pack_into("<I", data, len(MAGIC), 1)
+    path.write_bytes(bytes(data))
+    header, _ = read_container(path)
+    assert header["layout"] == "columnar"
