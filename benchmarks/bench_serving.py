@@ -1,0 +1,290 @@
+"""Benchmark: coalesced concurrent serving vs one-request-at-a-time.
+
+The serving tier's performance claim is that request coalescing turns N
+independent clients into shared micro-batches: one candidate-generation
+sweep and one forest pass per batch instead of per request.  This
+benchmark measures exactly that against a live
+:class:`~repro.serving.server.ClassificationServer` over real HTTP:
+
+* **sequential** — one client submits every payload as its own request,
+  waiting for each response before sending the next (the
+  no-coalescing-possible baseline: every request pays a full pass);
+* **coalesced** — the same payloads split across ``--clients``
+  concurrent threads (default 16), whose requests land in the bounded
+  queue together and are drained as micro-batches;
+* decisions from **both** runs must be bit-identical to a direct
+  :meth:`ClassificationService.classify_bytes` call on the same
+  payloads (caches disabled everywhere, so nothing is served stale);
+* the ``/metrics`` latency histogram is sanity-checked (complete
+  counts, ordered quantiles).
+
+Run directly (``python benchmarks/bench_serving.py``); ``--quick``
+shrinks the corpus and request count for CI.  Exit status is non-zero
+when the coalesced throughput falls below ``--min-speedup`` times the
+sequential baseline (default 2x, the acceptance criterion at 16
+clients) or when any decision diverges, so the script doubles as a
+regression tripwire; ``tests/test_serving_bench_smoke.py`` runs it as
+part of tier 1 and a JSON trajectory is written to
+``benchmarks/output/BENCH_serving.json`` for CI archiving.
+"""
+
+from __future__ import annotations
+
+import argparse
+import base64
+import json
+import random
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import asdict, dataclass
+from http.client import HTTPConnection
+from pathlib import Path
+
+from repro.api.service import ClassificationService
+from repro.config import default_config
+from repro.corpus.builder import CorpusBuilder
+from repro.features.pipeline import FeatureExtractionPipeline
+from repro.serving import ClassificationServer, ServerConfig
+from repro.serving.model_manager import ModelManager
+from repro.serving.protocol import decision_to_dict
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+PAYLOAD_BYTES = 4096
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    n_train: int
+    n_requests: int
+    n_clients: int
+    n_estimators: int
+    sequential_seconds: float
+    coalesced_seconds: float
+    batches_observed: int
+    latency_p50: float
+    latency_p95: float
+    latency_p99: float
+    latency_count: int
+    decisions_match: bool
+
+    @property
+    def sequential_rps(self) -> float:
+        return self.n_requests / self.sequential_seconds
+
+    @property
+    def coalesced_rps(self) -> float:
+        return self.n_requests / self.coalesced_seconds
+
+    @property
+    def speedup(self) -> float:
+        if self.coalesced_seconds <= 0:
+            return float("inf")
+        return self.sequential_seconds / self.coalesced_seconds
+
+    def table(self) -> str:
+        lines = [
+            f"model: {self.n_train} training samples, "
+            f"{self.n_estimators} trees; {self.n_requests} requests of one "
+            f"{PAYLOAD_BYTES}-byte executable each",
+            f"{'serving mode':<44} {'total (s)':>10} {'req/s':>8}",
+            f"{'sequential (1 client, no coalescing)':<44} "
+            f"{self.sequential_seconds:>10.3f} {self.sequential_rps:>8.1f}",
+            f"{f'coalesced ({self.n_clients} concurrent clients)':<44} "
+            f"{self.coalesced_seconds:>10.3f} {self.coalesced_rps:>8.1f}",
+            f"coalesced throughput speedup: {self.speedup:.2f}x "
+            f"({self.batches_observed} batches drained)",
+            f"request latency: p50 {self.latency_p50 * 1e3:.1f} ms, "
+            f"p95 {self.latency_p95 * 1e3:.1f} ms, "
+            f"p99 {self.latency_p99 * 1e3:.1f} ms "
+            f"over {self.latency_count} requests",
+            f"served decisions identical to direct classify_bytes: "
+            f"{self.decisions_match}",
+        ]
+        return "\n".join(lines)
+
+
+def _make_payloads(count: int, seed: int) -> list[tuple[str, bytes]]:
+    """Distinct deterministic pseudo-executables (distinct digests)."""
+
+    rng = random.Random(seed)
+    return [(f"bench-{n}", bytes(rng.getrandbits(8)
+                                 for _ in range(PAYLOAD_BYTES)))
+            for n in range(count)]
+
+
+def _post(connection: HTTPConnection, sample_id: str, data: bytes) -> dict:
+    body = json.dumps({"items": [
+        {"id": sample_id, "data": base64.b64encode(data).decode("ascii")}]})
+    connection.request("POST", "/classify", body,
+                       {"Content-Type": "application/json"})
+    response = connection.getresponse()
+    payload = json.loads(response.read())
+    if response.status != 200:
+        raise RuntimeError(f"serving request failed: {response.status} "
+                           f"{payload}")
+    return payload["decisions"][0]
+
+
+def _get_json(port: int, path: str) -> dict:
+    connection = HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        connection.request("GET", path)
+        return json.loads(connection.getresponse().read())
+    finally:
+        connection.close()
+
+
+def run(n_estimators: int, n_requests: int, n_clients: int,
+        seed: int = 11) -> BenchResult:
+    config = default_config("small", seed=seed)
+
+    # Setup (untimed): train in memory, publish the artifact once —
+    # the server cold start PRs 2-4 already optimised is not under test
+    # here, the steady-state request path is.
+    samples = CorpusBuilder(config=config).build_samples()
+    features = FeatureExtractionPipeline().extract_generated(samples)
+    service = ClassificationService.train(
+        features, n_estimators=n_estimators, random_state=seed,
+        confidence_threshold=0.5)
+    payloads = _make_payloads(n_requests, seed)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serving-") as tmp:
+        model_path = Path(tmp) / "model.rpm"
+        service.save(model_path)
+        # Caches off on every path: each request must pay real scoring,
+        # otherwise the LRU would serve the coalesced run from the
+        # sequential run's work and inflate the speedup.
+        reference = ClassificationService.load(model_path, cache_size=0)
+        expected = {sid: decision_to_dict(d) for (sid, _), d in zip(
+            payloads, reference.classify_bytes(payloads))}
+        manager = ModelManager(model_path, poll_interval=0, cache_size=0)
+        server = ClassificationServer(
+            manager,
+            ServerConfig(port=0, workers=2, max_batch=max(32, n_clients),
+                         queue_depth=4096)).start()
+        try:
+            port = server.port
+
+            # Warmup: first contact pays lazy per-process init (module
+            # LRUs, thread spin-up) that neither mode should be charged.
+            warm = HTTPConnection("127.0.0.1", port, timeout=60)
+            _post(warm, "warmup-0", payloads[0][1])
+            warm.close()
+
+            # Sequential baseline: one client, one request at a time.
+            sequential: dict[str, dict] = {}
+            connection = HTTPConnection("127.0.0.1", port, timeout=120)
+            start = time.perf_counter()
+            for sample_id, data in payloads:
+                sequential[sample_id] = _post(connection, sample_id, data)
+            sequential_seconds = time.perf_counter() - start
+            connection.close()
+
+            # Coalesced: the same payloads from n_clients threads.
+            coalesced: dict[str, dict] = {}
+            errors: list = []
+            lock = threading.Lock()
+            shares = [payloads[i::n_clients] for i in range(n_clients)]
+
+            def client(share):
+                try:
+                    mine = HTTPConnection("127.0.0.1", port, timeout=120)
+                    results = {}
+                    for sample_id, data in share:
+                        results[sample_id] = _post(mine, sample_id, data)
+                    mine.close()
+                    with lock:
+                        coalesced.update(results)
+                except Exception as exc:  # noqa: BLE001 — report, don't hang
+                    with lock:
+                        errors.append(exc)
+
+            threads = [threading.Thread(target=client, args=(share,))
+                       for share in shares]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            coalesced_seconds = time.perf_counter() - start
+            if errors:
+                raise RuntimeError(f"coalesced run failed: {errors[0]}")
+
+            metrics = _get_json(port, "/metrics")
+        finally:
+            server.shutdown()
+
+    latency = metrics["request_latency_seconds"]
+    decisions_match = (sequential == expected and coalesced == expected)
+    return BenchResult(
+        n_train=len(features),
+        n_requests=n_requests,
+        n_clients=n_clients,
+        n_estimators=n_estimators,
+        sequential_seconds=sequential_seconds,
+        coalesced_seconds=coalesced_seconds,
+        batches_observed=int(metrics["batches_total"]),
+        latency_p50=float(latency["p50"]),
+        latency_p95=float(latency["p95"]),
+        latency_p99=float(latency["p99"]),
+        latency_count=int(latency["count"]),
+        decisions_match=decisions_match,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--estimators", type=int, default=60,
+                        help="forest size (default 60)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="total requests per mode (default 96, quick 48)")
+    parser.add_argument("--clients", type=int, default=16,
+                        help="concurrent clients in the coalesced run "
+                             "(default 16, the acceptance configuration)")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="fail (exit 1) below this coalesced-vs-"
+                             "sequential throughput speedup (0 disables)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller request count for CI smoke runs")
+    args = parser.parse_args(argv)
+
+    n_requests = (args.requests if args.requests
+                  else (48 if args.quick else 96))
+    result = run(args.estimators, n_requests, args.clients)
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    out = OUTPUT_DIR / "bench_serving.txt"
+    out.write_text(result.table() + "\n", encoding="utf-8")
+    trajectory = dict(asdict(result),
+                      sequential_rps=result.sequential_rps,
+                      coalesced_rps=result.coalesced_rps,
+                      speedup=result.speedup)
+    (OUTPUT_DIR / "BENCH_serving.json").write_text(
+        json.dumps(trajectory, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    print(result.table())
+    print(f"(written to {out} and BENCH_serving.json)")
+
+    if not result.decisions_match:
+        print("FAIL: served decisions diverge from direct classify_bytes",
+              file=sys.stderr)
+        return 1
+    if result.latency_count < 2 * n_requests:
+        print(f"FAIL: latency histogram saw {result.latency_count} requests, "
+              f"expected at least {2 * n_requests}", file=sys.stderr)
+        return 1
+    if not (result.latency_p50 <= result.latency_p95 <= result.latency_p99):
+        print("FAIL: latency quantiles are not ordered", file=sys.stderr)
+        return 1
+    if args.min_speedup and result.speedup < args.min_speedup:
+        print(f"FAIL: coalesced speedup {result.speedup:.2f}x is below the "
+              f"{args.min_speedup:.1f}x floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

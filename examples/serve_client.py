@@ -1,0 +1,108 @@
+"""Example: a polling collector feeding the classification server.
+
+The paper's deployment (Figure 1) collects executables from compute
+jobs and classifies them continuously.  This script is the collector
+half of that loop against a running ``repro-classify serve`` instance:
+
+1. poll a spool directory for new executables (e.g. dropped there by a
+   prolog/epilog hook or a file-transfer agent);
+2. submit each new batch to ``POST /classify`` as base64 payloads
+   (stdlib only — ``urllib.request``);
+3. print flagged decisions (unexpected/unknown applications) and keep
+   track of the server's model generation so hot-reloads are visible.
+
+Start a server first, e.g.::
+
+    repro-classify train TREE --out model.rpm
+    repro-classify serve --model model.rpm --port 8080
+
+then run::
+
+    python examples/serve_client.py SPOOL_DIR --url http://127.0.0.1:8080
+
+Drop executables into SPOOL_DIR and watch the decisions arrive.  The
+503 backpressure path is handled the way a well-behaved collector
+should: honour ``Retry-After`` and resubmit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import base64
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+BATCH_LIMIT = 32                 # items per request (server caps at 64)
+
+
+def classify(url: str, items: list[tuple[str, bytes]]) -> dict:
+    """POST one batch, honouring 503 + Retry-After with resubmission."""
+
+    body = json.dumps({"items": [
+        {"id": sample_id, "data": base64.b64encode(data).decode("ascii")}
+        for sample_id, data in items]}).encode("utf-8")
+    request = urllib.request.Request(
+        f"{url}/classify", data=body,
+        headers={"Content-Type": "application/json"})
+    while True:
+        try:
+            with urllib.request.urlopen(request) as response:
+                return json.load(response)
+        except urllib.error.HTTPError as exc:
+            if exc.code != 503:
+                raise
+            retry_after = float(exc.headers.get("Retry-After", "1"))
+            print(f"server busy, retrying in {retry_after:.0f} s ...",
+                  file=sys.stderr)
+            time.sleep(retry_after)
+
+
+def poll_loop(spool: Path, url: str, interval: float) -> None:
+    seen: set[Path] = set()
+    generation = None
+    print(f"polling {spool} every {interval:.0f} s against {url}")
+    while True:
+        fresh = sorted(p for p in spool.glob("**/*")
+                       if p.is_file() and p not in seen)
+        for start in range(0, len(fresh), BATCH_LIMIT):
+            batch = fresh[start:start + BATCH_LIMIT]
+            payload = classify(url, [(str(p.relative_to(spool)),
+                                      p.read_bytes()) for p in batch])
+            if payload["model_generation"] != generation:
+                generation = payload["model_generation"]
+                print(f"-- serving model generation {generation}")
+            for decision in payload["decisions"]:
+                marker = (" " if decision["decision"] == "within-allocation"
+                          else "!")
+                print(f"{marker} {decision['decision']:<24} "
+                      f"{str(decision['predicted_class']):<20} "
+                      f"conf={decision['confidence']:.2f}  "
+                      f"{decision['sample_id']}")
+            seen.update(batch)
+        time.sleep(interval)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("spool", help="directory to poll for executables")
+    parser.add_argument("--url", default="http://127.0.0.1:8080",
+                        help="server base URL (default http://127.0.0.1:8080)")
+    parser.add_argument("--interval", type=float, default=5.0,
+                        help="poll interval in seconds (default 5)")
+    args = parser.parse_args()
+    spool = Path(args.spool)
+    if not spool.is_dir():
+        parser.error(f"{spool} is not a directory")
+    try:
+        poll_loop(spool, args.url.rstrip("/"), args.interval)
+    except KeyboardInterrupt:
+        print("collector stopped")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

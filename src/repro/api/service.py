@@ -38,6 +38,7 @@ threshold-independent ``(best class, confidence)`` pairs, so changing
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -174,6 +175,10 @@ class ClassificationService:
         self.cache_hits = 0
         self.cache_misses = 0
         self._cache: OrderedDict[tuple, tuple[object, float]] = OrderedDict()
+        # The cache (and its counters) are shared by every thread of a
+        # serving process; OrderedDict mutation is not atomic, so all
+        # lookup/insert/evict passes run under this lock.
+        self._cache_lock = threading.Lock()
         self._pipeline = FeatureExtractionPipeline(classifier.feature_types,
                                                    n_jobs=n_jobs,
                                                    executor=executor)
@@ -262,6 +267,19 @@ class ClassificationService:
             raise EvaluationError(
                 "this service's classifier carries no similarity index")
         return index
+
+    def cache_info(self) -> dict:
+        """Consistent snapshot of the digest-cache counters.
+
+        ``hits``/``misses``/``size`` are read under the cache lock, so a
+        metrics scrape during concurrent traffic never sees counters
+        mid-update; the serving tier surfaces this under
+        ``service_cache`` in ``GET /metrics``.
+        """
+
+        with self._cache_lock:
+            return {"hits": self.cache_hits, "misses": self.cache_misses,
+                    "size": len(self._cache), "capacity": self.cache_size}
 
     # -------------------------------------------------------------- classify
     def classify_features(self, features: Sequence[SampleFeatures]
@@ -398,7 +416,8 @@ class ClassificationService:
         if not self.cache_size:
             labels, confidences = self.classifier.predict_with_confidence(
                 features, confidence_threshold=override)
-            self.cache_misses += len(features)
+            with self._cache_lock:
+                self.cache_misses += len(features)
             return list(labels), np.asarray(confidences, dtype=np.float64)
 
         feature_types = self.classifier.feature_types
@@ -407,22 +426,30 @@ class ClassificationService:
         known: list = [None] * len(features)
         confidence = np.zeros(len(features), dtype=np.float64)
         misses: list[int] = []
-        for position, key in enumerate(keys):
-            hit = self._cache.get(key)
-            if hit is None:
-                misses.append(position)
-            else:
-                self._cache.move_to_end(key)
-                known[position], confidence[position] = hit
-        self.cache_hits += len(features) - len(misses)
-        self.cache_misses += len(misses)
+        # Two locked phases around the (expensive, unlocked) model pass:
+        # concurrent callers missing the same key both compute it — a
+        # harmless duplicate pass, each honestly counted as a miss —
+        # but the OrderedDict itself is never touched concurrently and
+        # the hit/miss counters stay exact.
+        with self._cache_lock:
+            for position, key in enumerate(keys):
+                hit = self._cache.get(key)
+                if hit is None:
+                    misses.append(position)
+                else:
+                    self._cache.move_to_end(key)
+                    known[position], confidence[position] = hit
+            self.cache_hits += len(features) - len(misses)
+            self.cache_misses += len(misses)
         if misses:
             labels, scores = self.classifier.predict_with_confidence(
                 [features[i] for i in misses], confidence_threshold=override)
-            for position, label, score in zip(misses, labels, scores):
-                known[position] = label
-                confidence[position] = float(score)
-                self._cache[keys[position]] = (label, float(score))
-            while len(self._cache) > self.cache_size:
-                self._cache.popitem(last=False)
+            with self._cache_lock:
+                for position, label, score in zip(misses, labels, scores):
+                    known[position] = label
+                    confidence[position] = float(score)
+                    self._cache[keys[position]] = (label, float(score))
+                    self._cache.move_to_end(keys[position])
+                while len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
         return known, confidence

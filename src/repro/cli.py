@@ -19,6 +19,12 @@ The sub-commands cover the library's main entry points:
     saved artifact (``classify --model model.rpm TARGET``).
     ``--save-index`` persists the fitted anchor index; ``--index``
     reuses a saved one while retraining.
+``serve``
+    Run the long-running classification server: load a model artifact
+    once, then answer ``POST /classify`` over HTTP with request
+    coalescing, backpressure, ``/metrics``, an optional JSONL decision
+    log and zero-downtime model hot-reload (see
+    :mod:`repro.serving`).
 ``model inspect | validate``
     Inspect a model artifact's header, or fully restore it to prove it
     will serve.
@@ -148,6 +154,46 @@ def build_parser() -> argparse.ArgumentParser:
     classify.add_argument("--jsonl", action="store_true",
                           help="stream one JSON decision per line to stdout "
                                "instead of the report table (pipeable)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-running classification server from a saved "
+             "model artifact (coalescing, backpressure, /metrics, "
+             "hot reload)")
+    serve.add_argument("--model", required=True, metavar="FILE",
+                       help="model artifact to serve; replacing the file "
+                            "atomically hot-reloads it without downtime")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port (default 8080; 0 picks a free port)")
+    serve.add_argument("--allowed", nargs="*", default=None,
+                       help="application classes allowed for this allocation")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="batch worker threads draining the request "
+                            "queue (default 2)")
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="items coalesced into one classify pass "
+                            "(default 32)")
+    serve.add_argument("--queue-depth", type=int, default=256,
+                       help="queued items admitted before requests are "
+                            "rejected with 503 (default 256)")
+    serve.add_argument("--max-item-bytes", type=int, default=None,
+                       help="per-executable payload cap in bytes "
+                            "(default 32 MiB)")
+    serve.add_argument("--reload-interval", type=float, default=2.0,
+                       help="seconds between model-artifact change polls "
+                            "(0 disables hot reload; default 2)")
+    serve.add_argument("--decision-log", default=None, metavar="FILE",
+                       help="append every decision to this JSONL file "
+                            "(size-rotated)")
+    serve.add_argument("--decision-log-max-bytes", type=int,
+                       default=None,
+                       help="rotate the decision log past this size "
+                            "(default 32 MiB)")
+    serve.add_argument("--cache-size", type=int, default=None,
+                       help="digest-cache capacity of the served model "
+                            "(default 1024; 0 disables)")
 
     model = sub.add_parser("model", help="inspect and validate saved model "
                                          "artifacts")
@@ -376,6 +422,50 @@ def _stream_decisions_jsonl(service, target) -> int:
             "decision": decision.decision,
         }, sort_keys=True), flush=True)
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from .logging_utils import configure_logging as _configure
+    from .serving import (ClassificationServer, DecisionLog, MetricsRegistry,
+                          ModelManager, ServerConfig)
+
+    # A resident server is multi-threaded by construction: re-configure
+    # logging with thread names even when --verbose already set it up.
+    _configure("INFO" if args.verbose else "WARNING", include_thread=True)
+    # One registry shared by every serving layer, so GET /metrics also
+    # carries the manager's reload counters and the log's rotations.
+    registry = MetricsRegistry()
+    load_kwargs = {}
+    if args.cache_size is not None:
+        load_kwargs["cache_size"] = args.cache_size
+    manager = ModelManager(args.model,
+                           poll_interval=args.reload_interval,
+                           metrics=registry,
+                           allowed_classes=args.allowed,
+                           n_jobs=_effective_jobs(args),
+                           executor=args.executor,
+                           **load_kwargs)
+    decision_log = None
+    if args.decision_log:
+        log_kwargs = {}
+        if args.decision_log_max_bytes is not None:
+            log_kwargs["max_bytes"] = args.decision_log_max_bytes
+        decision_log = DecisionLog(args.decision_log, metrics=registry,
+                                   **log_kwargs)
+    config_kwargs = {}
+    if args.max_item_bytes is not None:
+        config_kwargs["max_item_bytes"] = args.max_item_bytes
+    config = ServerConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        max_batch=args.max_batch, queue_depth=args.queue_depth,
+        **config_kwargs)
+    server = ClassificationServer(manager, config, metrics=registry,
+                                  decision_log=decision_log)
+    server.start()
+    print(f"serving {args.model} on http://{args.host}:{server.port} "
+          f"(POST /classify, GET /healthz, GET /metrics; Ctrl-C or "
+          f"SIGTERM drains and exits)", flush=True)
+    return server.run_until_signalled()
 
 
 def _cmd_model_inspect(args) -> int:
@@ -609,6 +699,7 @@ _COMMANDS = {
     "experiment": _cmd_experiment,
     "train": _cmd_train,
     "classify": _cmd_classify,
+    "serve": _cmd_serve,
     "model": _cmd_model,
     "index": _cmd_index,
     "info": _cmd_info,

@@ -92,3 +92,23 @@ class FeatureExtractionError(ReproError):
 
 class EvaluationError(ReproError):
     """Raised when an experiment or evaluation cannot be completed."""
+
+
+class ServingError(ReproError):
+    """Raised when the long-running classification server fails."""
+
+
+class ProtocolError(ServingError, ValueError):
+    """Raised when a serving request violates the JSON wire protocol
+    (malformed JSON, bad base64, missing fields, payload over the
+    per-request caps).  Maps to HTTP 400."""
+
+
+class ServerOverloadedError(ServingError):
+    """Raised when the serving request queue is full and admission
+    control rejects new work.  Maps to HTTP 503 + ``Retry-After``."""
+
+
+class ServerClosedError(ServingError):
+    """Raised when work is submitted to a coalescer that is draining or
+    has shut down."""

@@ -18,6 +18,12 @@ _PACKAGE_LOGGER_NAME = "repro"
 
 _DEFAULT_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
 
+#: Format used by multi-threaded processes (the serving tier): the
+#: emitting thread name pins each line to a handler / batch worker /
+#: watcher thread, which is what makes concurrent logs readable.
+THREADED_FORMAT = ("%(asctime)s %(levelname)-7s [%(threadName)s] "
+                   "%(name)s: %(message)s")
+
 
 def get_logger(name: str | None = None) -> logging.Logger:
     """Return a logger below the ``repro`` namespace.
@@ -38,25 +44,34 @@ def get_logger(name: str | None = None) -> logging.Logger:
 
 def configure_logging(level: int | str = logging.INFO,
                       stream=None,
-                      fmt: str = _DEFAULT_FORMAT) -> logging.Logger:
+                      fmt: str | None = None, *,
+                      include_thread: bool = False) -> logging.Logger:
     """Attach a stream handler to the package logger (idempotent).
 
     Returns the package root logger.  Calling this twice does not duplicate
     handlers, which keeps repeated example/benchmark runs quiet.
+    ``include_thread=True`` selects :data:`THREADED_FORMAT` (used by
+    ``repro-classify serve``); an explicit ``fmt`` wins over it.
     """
 
+    if fmt is None:
+        fmt = THREADED_FORMAT if include_thread else _DEFAULT_FORMAT
     logger = logging.getLogger(_PACKAGE_LOGGER_NAME)
     logger.setLevel(level)
     if stream is None:
         stream = sys.stderr
-    has_stream_handler = any(
-        isinstance(h, logging.StreamHandler) and getattr(h, "stream", None) is stream
-        for h in logger.handlers
-    )
-    if not has_stream_handler:
-        handler = logging.StreamHandler(stream)
-        handler.setFormatter(logging.Formatter(fmt))
-        logger.addHandler(handler)
+    for handler in logger.handlers:
+        if (isinstance(handler, logging.StreamHandler)
+                and getattr(handler, "stream", None) is stream):
+            # Re-configuration updates the format in place (e.g. the
+            # serve command switching an already-attached --verbose
+            # handler to the thread-aware format) instead of silently
+            # keeping the old one.
+            handler.setFormatter(logging.Formatter(fmt))
+            return logger
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(logging.Formatter(fmt))
+    logger.addHandler(handler)
     return logger
 
 

@@ -1,0 +1,39 @@
+"""Long-running classification serving tier (stdlib-only).
+
+The resident counterpart to the one-shot CLI: load a model artifact
+once, keep the sealed similarity index hot, and serve ``POST
+/classify`` over HTTP with request coalescing, admission control,
+metrics, an audit log and zero-downtime model hot-reloads.
+
+Layers (each independently testable):
+
+* :mod:`repro.serving.protocol` — the JSON wire format and payload caps;
+* :mod:`repro.serving.metrics` — counters / gauges / quantile histograms;
+* :mod:`repro.serving.batcher` — the bounded-queue request coalescer;
+* :mod:`repro.serving.model_manager` — generation-tracked hot reload;
+* :mod:`repro.serving.decision_log` — rotating JSONL audit trail;
+* :mod:`repro.serving.server` — the HTTP front end (``repro-classify
+  serve`` drives it).
+"""
+
+from .batcher import RequestCoalescer
+from .decision_log import DecisionLog
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .model_manager import ModelManager
+from .protocol import WorkItem, decision_to_dict, parse_classify_request
+from .server import ClassificationServer, ServerConfig
+
+__all__ = [
+    "RequestCoalescer",
+    "DecisionLog",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ModelManager",
+    "WorkItem",
+    "decision_to_dict",
+    "parse_classify_request",
+    "ClassificationServer",
+    "ServerConfig",
+]

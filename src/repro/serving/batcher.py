@@ -1,0 +1,205 @@
+"""Request coalescing: a bounded queue drained into micro-batches.
+
+The server's whole performance story is here: N concurrent clients each
+submit a handful of executables, and instead of paying one candidate
+generation pass and one forest pass *per request*, worker threads drain
+the queue into micro-batches that share those passes across requests —
+the same amortisation :meth:`ClassificationService.classify_stream`
+applies within a single caller, lifted across independent callers.
+
+Admission control is all-or-nothing per request: when the bounded queue
+cannot take every item of a request, :class:`ServerOverloadedError` is
+raised immediately (the HTTP layer turns it into ``503 Retry-After``)
+instead of blocking the client or admitting a partial request.
+
+Batches never split a request: a worker takes whole requests until the
+next one would overflow ``max_batch`` (a single request larger than
+``max_batch`` still forms its own oversized batch rather than being
+split), so every response is produced by exactly one classify pass —
+which is what lets the server guarantee a single model generation per
+response across hot-reloads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from concurrent.futures import Future
+from typing import Callable, Sequence
+
+from ..exceptions import ServerClosedError, ServerOverloadedError
+from ..logging_utils import get_logger
+from .metrics import DEFAULT_BATCH_BUCKETS
+
+__all__ = ["RequestCoalescer"]
+
+_LOG = get_logger("serving.batcher")
+
+
+class _PendingRequest:
+    """One admitted request: its work items and the future resolving to
+    ``(results, generation)`` with results in item order."""
+
+    __slots__ = ("items", "future")
+
+    def __init__(self, items: Sequence) -> None:
+        self.items = list(items)
+        self.future: Future = Future()
+
+
+class RequestCoalescer:
+    """Bounded request queue drained by worker threads into batches.
+
+    Parameters
+    ----------
+    classify_fn:
+        ``classify_fn(items) -> (results, generation)`` where ``items``
+        is the concatenation of one or more requests' work items and
+        ``results`` preserves their order (the
+        :meth:`ModelManager.classify_items` contract).
+    max_batch:
+        Soft cap on items per assembled batch (whole requests only).
+    queue_depth:
+        Maximum queued items across pending requests; admission beyond
+        this raises :class:`ServerOverloadedError`.
+    workers:
+        Draining threads.  Batch assembly is serialised by the queue
+        lock either way; extra workers overlap response fan-out of one
+        batch with the classify pass of the next.
+    """
+
+    def __init__(self, classify_fn: Callable, *, max_batch: int = 32,
+                 queue_depth: int = 256, workers: int = 2,
+                 metrics=None) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._classify_fn = classify_fn
+        self.max_batch = int(max_batch)
+        self.queue_depth = int(queue_depth)
+        self._lock = threading.Lock()
+        self._nonempty = threading.Condition(self._lock)
+        self._queue: deque[_PendingRequest] = deque()
+        self._queued_items = 0
+        self._closing = False
+        self._metrics = metrics
+        if metrics is not None:
+            self._queue_gauge = metrics.gauge("queue_items")
+            self._batches = metrics.counter("batches_total")
+            self._batch_sizes = metrics.histogram(
+                "batch_size", buckets=DEFAULT_BATCH_BUCKETS)
+            self._coalesced = metrics.counter("coalesced_requests_total")
+        self._workers = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"repro-batch-{i}", daemon=True)
+            for i in range(int(workers))
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ---------------------------------------------------------------- submit
+    def submit(self, items: Sequence) -> Future:
+        """Admit one request; its future resolves to ``(results, gen)``.
+
+        Raises :class:`ServerOverloadedError` when the queue cannot take
+        the whole request and :class:`ServerClosedError` once draining
+        has begun.
+        """
+
+        if not items:
+            raise ValueError("cannot submit an empty request")
+        request = _PendingRequest(items)
+        with self._lock:
+            if self._closing:
+                raise ServerClosedError("server is shutting down")
+            if self._queued_items + len(request.items) > self.queue_depth:
+                raise ServerOverloadedError(
+                    f"request queue is full ({self._queued_items} items "
+                    f"pending, depth {self.queue_depth})")
+            self._queue.append(request)
+            self._queued_items += len(request.items)
+            if self._metrics is not None:
+                self._queue_gauge.set(self._queued_items)
+            self._nonempty.notify()
+        return request.future
+
+    # ----------------------------------------------------------------- drain
+    def close(self, *, drain: bool = True, timeout: float | None = None
+              ) -> None:
+        """Stop admitting work and shut the workers down.
+
+        With ``drain=True`` (the graceful path) queued requests are
+        still classified before the workers exit; with ``drain=False``
+        pending futures fail with :class:`ServerClosedError`.
+        """
+
+        with self._lock:
+            self._closing = True
+            if not drain:
+                abandoned = list(self._queue)
+                self._queue.clear()
+                self._queued_items = 0
+                if self._metrics is not None:
+                    self._queue_gauge.set(0)
+            self._nonempty.notify_all()
+        if not drain:
+            for request in abandoned:
+                request.future.set_exception(
+                    ServerClosedError("server shut down before this "
+                                      "request was classified"))
+        for worker in self._workers:
+            worker.join(timeout=timeout)
+
+    # ------------------------------------------------------------- internals
+    def _take_batch(self) -> list[_PendingRequest] | None:
+        """Whole requests up to ``max_batch`` items; None on shutdown."""
+
+        with self._lock:
+            while not self._queue:
+                if self._closing:
+                    return None
+                self._nonempty.wait()
+            batch = [self._queue.popleft()]
+            taken = len(batch[0].items)
+            while (self._queue and
+                   taken + len(self._queue[0].items) <= self.max_batch):
+                request = self._queue.popleft()
+                taken += len(request.items)
+                batch.append(request)
+            self._queued_items -= taken
+            if self._metrics is not None:
+                self._queue_gauge.set(self._queued_items)
+            return batch
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._take_batch()
+            if batch is None:
+                return
+            items = [item for request in batch for item in request.items]
+            if self._metrics is not None:
+                self._batches.inc()
+                self._batch_sizes.observe(len(items))
+                if len(batch) > 1:
+                    self._coalesced.inc(len(batch))
+            try:
+                results, generation = self._classify_fn(items)
+                if len(results) != len(items):
+                    raise ServerClosedError(
+                        f"classify pass returned {len(results)} results "
+                        f"for {len(items)} items")
+            except BaseException as exc:  # noqa: BLE001 — fan the failure out
+                _LOG.warning("batch of %d items failed: %s", len(items), exc)
+                for request in batch:
+                    if not request.future.cancelled():
+                        request.future.set_exception(exc)
+                continue
+            offset = 0
+            for request in batch:
+                span = results[offset:offset + len(request.items)]
+                offset += len(request.items)
+                if not request.future.cancelled():
+                    request.future.set_result((span, generation))

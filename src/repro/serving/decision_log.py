@@ -1,0 +1,121 @@
+"""Append-only JSONL decision log with atomic size-based rotation.
+
+Every decision the server returns can also be recorded durably — the
+paper's monitoring story wants an audit trail of what ran where, not
+just an HTTP response that evaporates.  The log is newline-delimited
+JSON (one decision per line, the same shape as the wire protocol's
+decision objects plus ``model_generation`` and a timestamp), which
+tails, greps and loads into anything.
+
+Rotation is size-based and atomic: when the active file would exceed
+``max_bytes`` it is flushed, fsynced and renamed to ``<name>.1`` with a
+single :func:`os.replace` (older backups shift up first, each shift its
+own atomic replace — the same primitive ``FeatureStore.save`` and the
+artifact writers use), then a fresh active file is opened.  A crash at
+any point leaves only complete files with complete lines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+
+from ..exceptions import ValidationError
+from ..logging_utils import get_logger
+
+__all__ = ["DecisionLog"]
+
+_LOG = get_logger("serving.decision_log")
+
+#: Default rotation threshold (32 MiB).
+DEFAULT_MAX_BYTES = 32 * 1024 * 1024
+
+#: Default number of rotated files kept (``.1`` .. ``.N``).
+DEFAULT_BACKUPS = 3
+
+
+class DecisionLog:
+    """Thread-safe append-only JSONL log with rotation."""
+
+    def __init__(self, path: str | os.PathLike, *,
+                 max_bytes: int = DEFAULT_MAX_BYTES,
+                 backups: int = DEFAULT_BACKUPS,
+                 metrics=None) -> None:
+        # ValidationError (a ValueError) keeps the CLI's error contract
+        # for operator-supplied --decision-log-max-bytes values.
+        if max_bytes < 1:
+            raise ValidationError("max_bytes must be >= 1")
+        if backups < 0:
+            raise ValidationError("backups must be >= 0")
+        self.path = Path(path)
+        self.max_bytes = int(max_bytes)
+        self.backups = int(backups)
+        self._lock = threading.Lock()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "ab")
+        self._size = self._handle.tell()
+        self._rotations = (metrics.counter("decision_log_rotations_total")
+                           if metrics is not None else None)
+        self._lines = (metrics.counter("decision_log_lines_total")
+                       if metrics is not None else None)
+
+    # ---------------------------------------------------------------- write
+    def append(self, payload: dict) -> None:
+        """Append one record as a JSON line (rotating first if needed)."""
+
+        line = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+        with self._lock:
+            if self._handle is None:
+                raise ValueError("decision log is closed")
+            if self._size and self._size + len(line) > self.max_bytes:
+                self._rotate_locked()
+            self._handle.write(line)
+            self._size += len(line)
+            if self._lines is not None:
+                self._lines.inc()
+
+    def flush(self, *, sync: bool = False) -> None:
+        """Flush buffered lines; ``sync=True`` also fsyncs to disk."""
+
+        with self._lock:
+            if self._handle is None:
+                return
+            self._handle.flush()
+            if sync:
+                os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        """Flush, fsync and close (idempotent) — the shutdown path."""
+
+        with self._lock:
+            if self._handle is None:
+                return
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None
+
+    # ------------------------------------------------------------- rotation
+    def _rotate_locked(self) -> None:
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._handle.close()
+        if self.backups:
+            # Shift older backups up (.N-1 -> .N, ... , .1 -> .2), each
+            # shift one atomic replace, then retire the active file.
+            for index in range(self.backups - 1, 0, -1):
+                older = self.path.with_name(f"{self.path.name}.{index}")
+                if older.exists():
+                    os.replace(older,
+                               self.path.with_name(
+                                   f"{self.path.name}.{index + 1}"))
+            os.replace(self.path, self.path.with_name(f"{self.path.name}.1"))
+        else:
+            os.unlink(self.path)
+        self._handle = open(self.path, "ab")
+        self._size = 0
+        if self._rotations is not None:
+            self._rotations.inc()
+        _LOG.info("rotated decision log %s", self.path)

@@ -1,0 +1,235 @@
+"""Thread-safe serving metrics: counters, gauges and histograms.
+
+The serving tier needs operational visibility without pulling in a
+metrics client library, so this module implements the three classic
+instrument kinds on top of plain locks:
+
+* :class:`Counter` — monotonically increasing event count;
+* :class:`Gauge` — a value that goes up and down (queue depth, model
+  generation);
+* :class:`Histogram` — fixed-bucket distribution with estimated
+  quantiles (p50/p95/p99 in snapshots), sized for request latencies.
+
+A :class:`MetricsRegistry` owns named instruments, creates them lazily
+and renders one JSON-friendly ``snapshot()`` — the body of the server's
+``GET /metrics`` endpoint.  Every instrument is independently locked,
+so handler threads, coalescer workers and the model-watcher thread can
+all record without contending on a single global lock.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Mapping, Sequence
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "DEFAULT_LATENCY_BUCKETS", "DEFAULT_BATCH_BUCKETS"]
+
+#: Latency bucket upper bounds, in seconds (sub-ms to 10 s).
+DEFAULT_LATENCY_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                           0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+#: Batch-size bucket upper bounds (powers of two up to 256 items).
+DEFAULT_BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+
+class Counter:
+    """Monotonically increasing counter."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with estimated quantiles.
+
+    ``buckets`` are the inclusive upper bounds of each finite bucket,
+    strictly increasing; observations above the last bound land in an
+    implicit overflow bucket.  Quantiles are estimated by linear
+    interpolation over the cumulative bucket counts — the standard
+    Prometheus-style approximation — except that the overflow bucket
+    reports the maximum observed value (there is no finite upper bound
+    to interpolate towards).
+    """
+
+    __slots__ = ("_lock", "_bounds", "_counts", "_count", "_sum", "_max")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+                 ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self._lock = threading.Lock()
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)     # +1 overflow bucket
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        # bisect by hand: bounds tuples are short (10-15 entries) and
+        # this avoids importing bisect into the hot path for no gain.
+        position = 0
+        for bound in self._bounds:
+            if value <= bound:
+                break
+            position += 1
+        with self._lock:
+            self._counts[position] += 1
+            self._count += 1
+            self._sum += value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``0 <= q <= 1``); NaN when empty."""
+
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        with self._lock:
+            return self._quantile_locked(q)
+
+    def _quantile_locked(self, q: float) -> float:
+        if self._count == 0:
+            return math.nan
+        rank = q * self._count
+        cumulative = 0
+        for position, bucket_count in enumerate(self._counts):
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                if position == len(self._bounds):
+                    return self._max
+                lower = self._bounds[position - 1] if position else 0.0
+                upper = self._bounds[position]
+                fraction = (rank - previous) / bucket_count
+                return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+        return self._max
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            buckets = {("+Inf" if i == len(self._bounds)
+                        else repr(self._bounds[i])): count
+                       for i, count in enumerate(self._counts)}
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "max": self._max,
+                "p50": self._quantile_locked(0.50),
+                "p95": self._quantile_locked(0.95),
+                "p99": self._quantile_locked(0.99),
+                "buckets": buckets,
+            }
+
+
+class MetricsRegistry:
+    """Named instruments, created lazily, rendered as one snapshot."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                self._check_free(name)
+                instrument = self._counters[name] = Counter()
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                self._check_free(name)
+                instrument = self._gauges[name] = Gauge()
+            return instrument
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+                  ) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                self._check_free(name)
+                instrument = self._histograms[name] = Histogram(buckets)
+            return instrument
+
+    def _check_free(self, name: str) -> None:
+        for kind in (self._counters, self._gauges, self._histograms):
+            if name in kind:
+                raise ValueError(
+                    f"metric {name!r} already registered with another type")
+
+    def snapshot(self) -> Mapping[str, object]:
+        """One JSON-friendly mapping of every instrument's state."""
+
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        payload: dict[str, object] = {}
+        for name, counter in counters.items():
+            payload[name] = counter.value
+        for name, gauge in gauges.items():
+            payload[name] = gauge.value
+        for name, histogram in histograms.items():
+            payload[name] = histogram.snapshot()
+        return dict(sorted(payload.items()))

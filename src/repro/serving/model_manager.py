@@ -1,0 +1,208 @@
+"""Generation-tracked model ownership with hot reload.
+
+A serving process outlives its model artifact: operators retrain
+offline and publish a fresh ``model.rpm`` by atomically replacing the
+file (``os.replace``, the same primitive every artifact writer in this
+library uses).  :class:`ModelManager` makes that safe under live
+traffic:
+
+* each loaded :class:`~repro.api.service.ClassificationService` is
+  tagged with a monotonically increasing **generation** number;
+* a watcher thread polls the artifact's ``(mtime_ns, size, inode)``
+  signature; a change triggers a load of the *new* service entirely off
+  the request path (including index sealing, the expensive part);
+* the swap itself is a single reference assignment under a lock —
+  in-flight batches keep the service they snapshotted and finish on the
+  old generation, new batches pick up the new one;
+* a load failure (half-published file, corrupt artifact) keeps the old
+  generation serving and is retried only when the file changes again.
+
+``classify_items`` is the single entry point the coalescer drains into:
+it snapshots ``(service, generation)`` once per batch, so one batch —
+and therefore one response — can never mix generations.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+from typing import Sequence
+
+from ..api.service import ClassificationService, Decision
+from ..exceptions import ReproError, ServingError
+from ..logging_utils import get_logger
+
+__all__ = ["ModelManager"]
+
+_LOG = get_logger("serving.model_manager")
+
+#: Default artifact poll interval, in seconds.
+DEFAULT_POLL_INTERVAL = 2.0
+
+
+class ModelManager:
+    """Own the live model: load, watch, hot-swap, classify.
+
+    Parameters
+    ----------
+    model_path:
+        The ``.rpm`` artifact to serve and watch.
+    poll_interval:
+        Seconds between artifact stat polls once :meth:`start_watching`
+        runs; ``0`` disables watching entirely.
+    metrics:
+        Optional :class:`~repro.serving.metrics.MetricsRegistry`;
+        reload counts and the live generation are published to it.
+    load_kwargs:
+        Forwarded to :meth:`ClassificationService.load` on every load
+        (``allowed_classes``, ``cache_size``, ``executor``, ...).
+    """
+
+    def __init__(self, model_path: str | os.PathLike, *,
+                 poll_interval: float = DEFAULT_POLL_INTERVAL,
+                 metrics=None, **load_kwargs) -> None:
+        self.model_path = Path(model_path)
+        self.poll_interval = float(poll_interval)
+        self._load_kwargs = dict(load_kwargs)
+        self._metrics = metrics
+        self._swap_lock = threading.Lock()
+        # Model passes share mutable per-index memo caches and, under
+        # the GIL, gain nothing from running concurrently — serialise
+        # them so multiple coalescer workers stay correct.
+        self._predict_lock = threading.Lock()
+        self._service: ClassificationService | None = None
+        self._generation = 0
+        self._signature: tuple[int, int, int] | None = None
+        self._failed_signature: tuple[int, int, int] | None = None
+        self._stop = threading.Event()
+        self._watcher: threading.Thread | None = None
+        if metrics is not None:
+            self._generation_gauge = metrics.gauge("model_generation")
+            self._reloads = metrics.counter("model_reloads_total")
+            self._reload_failures = metrics.counter(
+                "model_reload_failures_total")
+        self._load_initial()
+
+    # ------------------------------------------------------------ lifecycle
+    def _load_initial(self) -> None:
+        # A missing artifact must surface as a ReproError so the CLI
+        # prints `error: ...` and exits 2 instead of a traceback.
+        try:
+            signature = self._stat_signature()
+        except OSError as exc:
+            raise ServingError(
+                f"cannot serve model artifact {self.model_path}: "
+                f"{exc}") from exc
+        service = ClassificationService.load(self.model_path,
+                                             **self._load_kwargs)
+        self._service = service
+        self._signature = signature
+        self._generation = 1
+        if self._metrics is not None:
+            self._generation_gauge.set(1)
+        _LOG.info("loaded model generation 1 from %s", self.model_path)
+
+    def _stat_signature(self) -> tuple[int, int, int]:
+        stat = os.stat(self.model_path)
+        return (stat.st_mtime_ns, stat.st_size, stat.st_ino)
+
+    @property
+    def generation(self) -> int:
+        with self._swap_lock:
+            return self._generation
+
+    @property
+    def service(self) -> ClassificationService:
+        with self._swap_lock:
+            return self._service
+
+    # -------------------------------------------------------------- serving
+    def classify_items(self, items: Sequence[tuple[str, bytes]]
+                       ) -> tuple[list[Decision], int]:
+        """Classify ``(sample_id, bytes)`` pairs on one generation.
+
+        The ``(service, generation)`` pair is snapshotted once, so the
+        whole batch — even one raced by a hot reload — is scored by a
+        single model generation.
+        """
+
+        with self._swap_lock:
+            service = self._service
+            generation = self._generation
+        with self._predict_lock:
+            return service.classify_bytes(items), generation
+
+    # ------------------------------------------------------------ hot reload
+    def maybe_reload(self) -> bool:
+        """Reload if the artifact changed on disk; True when swapped.
+
+        The load happens outside the swap lock: traffic keeps flowing on
+        the old generation while the new model loads and seals its
+        index.  Failures leave the old generation serving and are not
+        retried until the file changes again (a half-copied artifact
+        would otherwise be re-parsed every poll).
+        """
+
+        try:
+            signature = self._stat_signature()
+        except OSError as exc:
+            # The artifact vanished mid-publish (unlink before the new
+            # os.replace landed, or an operator mistake).  Keep serving.
+            _LOG.warning("model artifact %s is unreadable (%s); keeping "
+                         "generation %d", self.model_path, exc,
+                         self.generation)
+            return False
+        with self._swap_lock:
+            if signature == self._signature:
+                return False
+        if signature == self._failed_signature:
+            return False
+        try:
+            service = ClassificationService.load(self.model_path,
+                                                 **self._load_kwargs)
+        except (ReproError, OSError) as exc:
+            self._failed_signature = signature
+            if self._metrics is not None:
+                self._reload_failures.inc()
+            _LOG.warning("hot reload of %s failed (%s); keeping "
+                         "generation %d", self.model_path, exc,
+                         self.generation)
+            return False
+        with self._swap_lock:
+            self._service = service
+            self._signature = signature
+            self._generation += 1
+            generation = self._generation
+        self._failed_signature = None
+        if self._metrics is not None:
+            self._reloads.inc()
+            self._generation_gauge.set(generation)
+        _LOG.info("hot-reloaded %s as model generation %d",
+                  self.model_path, generation)
+        return True
+
+    def start_watching(self) -> None:
+        """Start the artifact poll thread (no-op when disabled)."""
+
+        if self.poll_interval <= 0 or self._watcher is not None:
+            return
+        self._watcher = threading.Thread(target=self._watch_loop,
+                                         name="repro-model-watch",
+                                         daemon=True)
+        self._watcher.start()
+
+    def stop(self) -> None:
+        """Stop the watcher thread (idempotent)."""
+
+        self._stop.set()
+        if self._watcher is not None:
+            self._watcher.join(timeout=self.poll_interval + 5.0)
+            self._watcher = None
+
+    def _watch_loop(self) -> None:
+        while not self._stop.wait(self.poll_interval):
+            try:
+                self.maybe_reload()
+            except Exception:  # noqa: BLE001 — the watcher must survive
+                _LOG.exception("model watcher poll failed; continuing")

@@ -1,0 +1,179 @@
+"""JSON wire protocol of the classification server.
+
+One ``POST /classify`` request carries a list of work items, each an
+executable to classify::
+
+    {"items": [{"id": "node7/job-123/a.out", "data": "<base64 bytes>"},
+               {"id": "spool-4", "path": "/var/spool/repro/exe-4"}]}
+
+``data`` submits the executable's bytes inline (base64); ``path`` names
+a file readable by the *server* process (the collector-on-the-same-host
+deployment, which skips shipping megabytes through the request body).
+The response mirrors the item order exactly::
+
+    {"decisions": [{"sample_id": ..., "predicted_class": ...,
+                    "confidence": ..., "decision": ...}, ...],
+     "model_generation": 2,
+     "count": 2}
+
+``model_generation`` identifies the model artifact generation that
+produced *every* decision in the response — the server never mixes
+generations within one response, so a collector can detect hot-reloads
+by watching the field change.  Confidences are serialised with Python's
+shortest-round-trip float repr, so decisions are bit-identical to a
+direct :meth:`ClassificationService.classify_bytes` call.
+
+Validation failures raise :class:`~repro.exceptions.ProtocolError`
+(HTTP 400); payload caps are enforced here so oversized requests are
+rejected before any hashing work happens.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from ..exceptions import ProtocolError
+
+__all__ = ["WorkItem", "parse_classify_request", "decision_to_dict",
+           "encode_decisions", "DEFAULT_MAX_ITEMS", "DEFAULT_MAX_ITEM_BYTES",
+           "DEFAULT_MAX_REQUEST_BYTES"]
+
+#: Default cap on work items per request.
+DEFAULT_MAX_ITEMS = 64
+
+#: Default cap on one decoded executable, in bytes (32 MiB).
+DEFAULT_MAX_ITEM_BYTES = 32 * 1024 * 1024
+
+#: Default cap on the raw request body, in bytes (64 MiB).
+DEFAULT_MAX_REQUEST_BYTES = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One executable to classify: its client-chosen id and raw bytes."""
+
+    sample_id: str
+    data: bytes
+
+
+def parse_classify_request(body: bytes, *,
+                           max_items: int = DEFAULT_MAX_ITEMS,
+                           max_item_bytes: int = DEFAULT_MAX_ITEM_BYTES
+                           ) -> list[WorkItem]:
+    """Decode and validate one ``POST /classify`` body.
+
+    Server-local ``path`` items are read here (and capped like inline
+    payloads), so the caller always works with in-memory bytes and the
+    decisions cannot depend on which submission style the client chose.
+    """
+
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"request body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("request body must be a JSON object")
+    items = payload.get("items")
+    if not isinstance(items, list) or not items:
+        raise ProtocolError('request needs a non-empty "items" list')
+    if len(items) > max_items:
+        raise ProtocolError(f"request carries {len(items)} items; "
+                            f"the per-request cap is {max_items}")
+    work: list[WorkItem] = []
+    for position, item in enumerate(items):
+        if not isinstance(item, dict):
+            raise ProtocolError(f"items[{position}] must be a JSON object")
+        sample_id = item.get("id")
+        if not isinstance(sample_id, str) or not sample_id:
+            raise ProtocolError(f"items[{position}] needs a non-empty "
+                                'string "id"')
+        has_data = "data" in item
+        has_path = "path" in item
+        if has_data == has_path:
+            raise ProtocolError(f"items[{position}] needs exactly one of "
+                                '"data" (base64) or "path" (server-local '
+                                "file)")
+        if has_data:
+            data = _decode_b64(item["data"], position, max_item_bytes)
+        else:
+            data = _read_local(item["path"], position, max_item_bytes)
+        work.append(WorkItem(sample_id=sample_id, data=data))
+    return work
+
+
+def _decode_b64(value, position: int, max_item_bytes: int) -> bytes:
+    if not isinstance(value, str):
+        raise ProtocolError(f'items[{position}].data must be a base64 string')
+    # 4 base64 chars encode 3 bytes; reject before decoding so a huge
+    # payload cannot balloon in memory past the cap.
+    if len(value) > (max_item_bytes * 4) // 3 + 4:
+        raise ProtocolError(f"items[{position}] payload exceeds the "
+                            f"{max_item_bytes}-byte cap")
+    try:
+        data = base64.b64decode(value, validate=True)
+    except (binascii.Error, ValueError) as exc:
+        raise ProtocolError(f"items[{position}].data is not valid base64: "
+                            f"{exc}") from exc
+    if len(data) > max_item_bytes:
+        raise ProtocolError(f"items[{position}] payload exceeds the "
+                            f"{max_item_bytes}-byte cap")
+    if not data:
+        raise ProtocolError(f"items[{position}] payload is empty")
+    return data
+
+
+def _read_local(value, position: int, max_item_bytes: int) -> bytes:
+    if not isinstance(value, str) or not value:
+        raise ProtocolError(f'items[{position}].path must be a non-empty '
+                            "string")
+    path = Path(value)
+    try:
+        size = path.stat().st_size
+    except OSError as exc:
+        raise ProtocolError(f"items[{position}].path is not readable on the "
+                            f"server: {exc}") from exc
+    if size > max_item_bytes:
+        raise ProtocolError(f"items[{position}] file is {size} bytes; the "
+                            f"per-item cap is {max_item_bytes}")
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise ProtocolError(f"items[{position}].path is not readable on the "
+                            f"server: {exc}") from exc
+    if not data:
+        raise ProtocolError(f"items[{position}] file is empty")
+    return data
+
+
+def decision_to_dict(decision) -> dict:
+    """JSON-ready mapping of one :class:`~repro.api.service.Decision`.
+
+    ``predicted_class`` survives as-is when JSON can carry it (str, int,
+    float — numpy scalars included via their Python parents) and is
+    stringified otherwise, matching the CLI's ``--jsonl`` convention.
+    """
+
+    predicted = decision.predicted_class
+    if not isinstance(predicted, (str, int, float)):
+        predicted = str(predicted)
+    return {
+        "sample_id": decision.sample_id,
+        "predicted_class": predicted,
+        "confidence": float(decision.confidence),
+        "decision": decision.decision,
+    }
+
+
+def encode_decisions(decisions: Sequence, generation: int) -> bytes:
+    """Serialise one response body (decisions in input order)."""
+
+    return json.dumps({
+        "decisions": [decision_to_dict(d) for d in decisions],
+        "model_generation": int(generation),
+        "count": len(decisions),
+    }, sort_keys=True).encode("utf-8")

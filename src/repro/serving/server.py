@@ -1,0 +1,351 @@
+"""The long-running classification server (stdlib HTTP, threads).
+
+``ClassificationServer`` is the resident serving tier the paper's
+continuous-monitoring deployment needs: load the model artifact once
+(the expensive cold start PR 2 optimised), keep the sealed index hot in
+memory, and answer classification requests over plain HTTP until told
+to stop.  Three endpoints:
+
+``POST /classify``
+    Classify executables (JSON protocol, see
+    :mod:`repro.serving.protocol`).  Requests are admitted into the
+    bounded :class:`~repro.serving.batcher.RequestCoalescer` queue and
+    drained into shared micro-batches; a full queue answers ``503``
+    with a ``Retry-After`` header instead of queueing unboundedly.
+``GET /healthz``
+    Liveness: status, live model generation, uptime, drain state.
+``GET /metrics``
+    JSON snapshot of the
+    :class:`~repro.serving.metrics.MetricsRegistry` (request counters,
+    latency histogram with p50/p95/p99, batch sizes, queue depth,
+    reload counts) plus the service's digest-cache counters.
+
+Shutdown is graceful by default: stop accepting connections, drain the
+queued requests so every admitted client gets its answer, flush and
+fsync the decision log, then exit — wired to SIGTERM/SIGINT by
+:meth:`run_until_signalled` (the CLI path).
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..exceptions import (
+    ProtocolError,
+    ServerClosedError,
+    ServerOverloadedError,
+    ServingError,
+)
+from ..logging_utils import get_logger
+from . import protocol
+from .batcher import RequestCoalescer
+from .metrics import MetricsRegistry
+
+__all__ = ["ServerConfig", "ClassificationServer"]
+
+_LOG = get_logger("serving.server")
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables of one :class:`ClassificationServer`."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080                      # 0 = pick an ephemeral port
+    workers: int = 2                      # coalescer drain threads
+    max_batch: int = 32                   # items per coalesced batch
+    queue_depth: int = 256                # admission cap, in queued items
+    max_items_per_request: int = protocol.DEFAULT_MAX_ITEMS
+    max_item_bytes: int = protocol.DEFAULT_MAX_ITEM_BYTES
+    max_request_bytes: int = protocol.DEFAULT_MAX_REQUEST_BYTES
+    retry_after_seconds: float = 1.0      # hint sent with every 503
+    request_timeout_seconds: float = 120.0
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    """One handler thread per connection.
+
+    Handler threads stay daemonic — an idle keep-alive connection parks
+    its handler in a blocking read, and joining that on close would
+    hang shutdown forever.  Graceful drain is guaranteed by the app's
+    in-flight request counter instead (see
+    :meth:`ClassificationServer.shutdown`).
+    """
+
+    daemon_threads = True
+    app: "ClassificationServer" = None
+
+
+class ClassificationServer:
+    """HTTP front end over a :class:`ModelManager` and a coalescer.
+
+    ``manager`` only needs the :meth:`ModelManager.classify_items`
+    contract (``items -> (decisions, generation)``) plus a
+    ``generation`` property — tests substitute stubs to exercise the
+    overload and failure paths deterministically.
+    """
+
+    def __init__(self, manager, config: ServerConfig | None = None, *,
+                 metrics: MetricsRegistry | None = None,
+                 decision_log=None) -> None:
+        self.manager = manager
+        self.config = config or ServerConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.decision_log = decision_log
+        self._requests = self.metrics.counter("http_requests_total")
+        self._ok = self.metrics.counter("http_responses_ok")
+        self._bad = self.metrics.counter("http_responses_bad_request")
+        self._overloaded = self.metrics.counter("http_responses_overloaded")
+        self._errors = self.metrics.counter("http_responses_error")
+        self._items = self.metrics.counter("items_classified_total")
+        self._latency = self.metrics.histogram("request_latency_seconds")
+        self._coalescer = RequestCoalescer(
+            self._classify_batch,
+            max_batch=self.config.max_batch,
+            queue_depth=self.config.queue_depth,
+            workers=self.config.workers,
+            metrics=self.metrics)
+        self._batch_latency = self.metrics.histogram("batch_latency_seconds")
+        self._httpd: _HTTPServer | None = None
+        self._serve_thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._draining = threading.Event()
+        self._stopped = threading.Event()
+        self._started_at = time.monotonic()
+        # Classify requests currently inside handle_classify.  Handler
+        # threads are daemonic and never joined (see _HTTPServer), so
+        # shutdown waits on this counter before closing the decision
+        # log out from under a handler mid-append.
+        self._inflight = 0
+        self._idle = threading.Condition()
+
+    # ------------------------------------------------------------ lifecycle
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0``)."""
+
+        if self._httpd is None:
+            raise ServingError("server is not started")
+        return self._httpd.server_address[1]
+
+    def start(self) -> "ClassificationServer":
+        """Bind the socket and serve in a background thread."""
+
+        if self._httpd is not None:
+            raise ServingError("server already started")
+        self._httpd = _HTTPServer((self.config.host, self.config.port),
+                                  _Handler)
+        self._httpd.app = self
+        self._started_at = time.monotonic()
+        if hasattr(self.manager, "start_watching"):
+            self.manager.start_watching()
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-serve",
+            kwargs={"poll_interval": 0.1}, daemon=True)
+        self._serve_thread.start()
+        self._started.set()
+        _LOG.info("serving on http://%s:%d (workers=%d, max_batch=%d, "
+                  "queue_depth=%d)", self.config.host, self.port,
+                  self.config.workers, self.config.max_batch,
+                  self.config.queue_depth)
+        return self
+
+    def shutdown(self, *, drain: bool = True) -> None:
+        """Stop serving; with ``drain`` every admitted request finishes.
+
+        Idempotent.  Order matters: stop accepting first, then drain the
+        coalescer so blocked handler threads resolve, then join the
+        handler threads and durably flush the decision log.
+        """
+
+        if self._stopped.is_set():
+            return
+        self._draining.set()
+        if hasattr(self.manager, "stop"):
+            self.manager.stop()
+        if self._httpd is not None:
+            self._httpd.shutdown()            # stop the accept loop
+        self._coalescer.close(drain=drain)
+        # The coalescer has resolved (or abandoned) every future, so
+        # the remaining in-flight handlers only need to write their
+        # responses and decision-log lines; wait for that, bounded so a
+        # wedged client socket cannot hold shutdown hostage.
+        with self._idle:
+            self._idle.wait_for(lambda: self._inflight == 0, timeout=30)
+        if self._httpd is not None:
+            self._httpd.server_close()
+        if self.decision_log is not None:
+            self.decision_log.close()
+        self._stopped.set()
+        _LOG.info("server stopped (drained=%s)", drain)
+
+    def run_until_signalled(self,
+                            signals=(signal.SIGTERM, signal.SIGINT)) -> int:
+        """Block until SIGTERM/SIGINT, drain gracefully, return 0.
+
+        Must run on the main thread (signal handler requirement); the
+        accept loop runs on a background thread either way.
+        """
+
+        if self._httpd is None:
+            self.start()
+        stop = threading.Event()
+        previous = {}
+
+        def _on_signal(signum, _frame):
+            _LOG.info("received signal %d; draining", signum)
+            stop.set()
+
+        for signum in signals:
+            previous[signum] = signal.signal(signum, _on_signal)
+        try:
+            stop.wait()
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+            self.shutdown(drain=True)
+        return 0
+
+    # ------------------------------------------------------------- requests
+    def _classify_batch(self, items):
+        start = time.perf_counter()
+        decisions, generation = self.manager.classify_items(
+            [(item.sample_id, item.data) for item in items])
+        self._batch_latency.observe(time.perf_counter() - start)
+        return decisions, generation
+
+    def handle_classify(self, body: bytes) -> tuple[int, dict, bytes]:
+        """Run one ``/classify`` body; ``(status, headers, response)``."""
+
+        with self._idle:
+            self._inflight += 1
+        try:
+            return self._handle_classify(body)
+        finally:
+            with self._idle:
+                self._inflight -= 1
+                self._idle.notify_all()
+
+    def _handle_classify(self, body: bytes) -> tuple[int, dict, bytes]:
+        started = time.perf_counter()
+        self._requests.inc()
+        try:
+            items = protocol.parse_classify_request(
+                body, max_items=self.config.max_items_per_request,
+                max_item_bytes=self.config.max_item_bytes)
+            future = self._coalescer.submit(items)
+            decisions, generation = future.result(
+                timeout=self.config.request_timeout_seconds)
+        except ProtocolError as exc:
+            self._bad.inc()
+            return 400, {}, _error_body(str(exc))
+        except (ServerOverloadedError, ServerClosedError, TimeoutError,
+                FutureTimeoutError) as exc:
+            self._overloaded.inc()
+            retry = {"Retry-After":
+                     str(max(1, round(self.config.retry_after_seconds)))}
+            return 503, retry, _error_body(str(exc))
+        except Exception as exc:  # noqa: BLE001 — must answer the client
+            self._errors.inc()
+            _LOG.exception("classification request failed")
+            return 500, {}, _error_body(f"internal error: {exc}")
+        self._ok.inc()
+        self._items.inc(len(decisions))
+        self._latency.observe(time.perf_counter() - started)
+        if self.decision_log is not None:
+            now = time.time()
+            for decision in decisions:
+                record = protocol.decision_to_dict(decision)
+                record["model_generation"] = generation
+                record["unix_time"] = round(now, 3)
+                self.decision_log.append(record)
+        return 200, {}, protocol.encode_decisions(decisions, generation)
+
+    def health_payload(self) -> dict:
+        return {
+            "status": "draining" if self._draining.is_set() else "ok",
+            "model_generation": int(self.manager.generation),
+            "model_path": str(getattr(self.manager, "model_path", "")),
+            "uptime_seconds": round(time.monotonic() - self._started_at, 3),
+        }
+
+    def metrics_payload(self) -> dict:
+        payload = dict(self.metrics.snapshot())
+        service = getattr(self.manager, "service", None)
+        cache_info = getattr(service, "cache_info", None)
+        if callable(cache_info):
+            payload["service_cache"] = cache_info()
+        return payload
+
+
+def _error_body(message: str) -> bytes:
+    return json.dumps({"error": message}, sort_keys=True).encode("utf-8")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------- plumbing
+    @property
+    def app(self) -> ClassificationServer:
+        return self.server.app
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+        _LOG.debug("%s %s", self.address_string(), format % args)
+
+    def _send_json(self, status: int, body: bytes,
+                   headers: dict | None = None) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    # --------------------------------------------------------------- routes
+    def do_GET(self) -> None:  # noqa: N802 — stdlib naming
+        if self.path == "/healthz":
+            payload = self.app.health_payload()
+            status = 200 if payload["status"] == "ok" else 503
+            self._send_json(status,
+                            json.dumps(payload, sort_keys=True).encode())
+        elif self.path == "/metrics":
+            self._send_json(200, json.dumps(self.app.metrics_payload(),
+                                            sort_keys=True).encode())
+        else:
+            self._send_json(404, _error_body(f"no such endpoint: "
+                                             f"{self.path}"))
+
+    def do_POST(self) -> None:  # noqa: N802 — stdlib naming
+        if self.path != "/classify":
+            self._send_json(404, _error_body(f"no such endpoint: "
+                                             f"{self.path}"))
+            return
+        length = self.headers.get("Content-Length")
+        try:
+            length = int(length)
+        except (TypeError, ValueError):
+            self._send_json(411, _error_body("Content-Length required"))
+            return
+        if length < 0:
+            # rfile.read(-1) would block until EOF, parking this
+            # handler thread for as long as the client holds the
+            # connection open.
+            self._send_json(400, _error_body("Content-Length must be "
+                                             "non-negative"))
+            return
+        if length > self.app.config.max_request_bytes:
+            self._send_json(413, _error_body(
+                f"request body of {length} bytes exceeds the "
+                f"{self.app.config.max_request_bytes}-byte cap"))
+            return
+        body = self.rfile.read(length)
+        status, headers, response = self.app.handle_classify(body)
+        self._send_json(status, response, headers)

@@ -1,6 +1,8 @@
 """Tests for the serving-path LRU digest→score cache and the service's
 execution-backend plumbing."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -122,3 +124,67 @@ def test_service_executor_is_forwarded_to_the_pipeline():
     service = ClassificationService(CountingClassifier(),
                                     executor="thread:2")
     assert service._pipeline.executor == "thread:2"
+
+
+def test_cache_info_reports_consistent_counters():
+    service = ClassificationService(CountingClassifier(), cache_size=8)
+    service.classify_features([record("app/a", "3:aaa:bbb")])
+    service.classify_features([record("app/a", "3:aaa:bbb")])
+    assert service.cache_info() == {"hits": 1, "misses": 1, "size": 1,
+                                    "capacity": 8}
+
+
+def test_cache_is_thread_safe_under_concurrent_classification():
+    """The concurrent-server workload: many threads, overlapping keys.
+
+    The bare OrderedDict used to be mutated without a lock, which can
+    corrupt the dict or lose counter updates under free threading.  With
+    the lock, every lookup is either an exact hit or an exact miss
+    (hits + misses == total lookups), the LRU never exceeds capacity,
+    and no thread observes an exception.
+    """
+
+    class LockedCountingClassifier(CountingClassifier):
+        # The stub's own counters need a lock too, so the final
+        # records_seen == misses assertion cannot race on the stub side.
+        _count_lock = threading.Lock()
+
+        def predict_with_confidence(self, features,
+                                    confidence_threshold=None):
+            with self._count_lock:
+                self.calls += 1
+                self.records_seen += len(features)
+            assert confidence_threshold == 0.0
+            labels = np.array([f.sample_id.split("/")[0] for f in features],
+                              dtype=object)
+            return labels, np.full(len(features), self.confidence)
+
+    classifier = LockedCountingClassifier()
+    service = ClassificationService(classifier, cache_size=16)
+    n_threads, n_rounds, n_keys = 8, 60, 24        # keys > capacity: evicts
+    errors: list = []
+    barrier = threading.Barrier(n_threads)
+
+    def hammer(worker):
+        try:
+            barrier.wait(timeout=30)
+            for round_number in range(n_rounds):
+                key = (worker * 7 + round_number) % n_keys
+                service.classify_features(
+                    [record(f"app/k{key}", f"3:digest-{key}:x")])
+        except Exception as exc:  # noqa: BLE001 — surface in main thread
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer, args=(w,))
+               for w in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    info = service.cache_info()
+    assert info["hits"] + info["misses"] == n_threads * n_rounds
+    assert info["size"] <= 16
+    # Every record the classifier was actually asked about was a
+    # counted miss (duplicate concurrent misses included).
+    assert classifier.records_seen == info["misses"]

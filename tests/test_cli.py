@@ -8,8 +8,22 @@ from repro.cli import build_parser, main
 def test_parser_has_all_subcommands():
     parser = build_parser()
     text = parser.format_help()
-    for command in ("generate", "experiment", "classify", "info"):
+    for command in ("generate", "experiment", "classify", "serve", "info"):
         assert command in text
+
+
+def test_serve_parser_defaults_and_required_model():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["serve"])               # --model is required
+    args = parser.parse_args(["serve", "--model", "m.rpm", "--port", "0",
+                              "--decision-log", "d.jsonl"])
+    assert args.model == "m.rpm"
+    assert args.port == 0
+    assert args.workers == 2
+    assert args.queue_depth == 256
+    assert args.reload_interval == pytest.approx(2.0)
+    assert args.decision_log == "d.jsonl"
 
 
 def test_info_command(capsys):

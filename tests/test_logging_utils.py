@@ -1,0 +1,51 @@
+"""Tests for ``repro.logging_utils``: idempotent handler attachment and
+the thread-aware re-configuration used by the serving tier."""
+
+import io
+import logging
+
+from repro.logging_utils import THREADED_FORMAT, configure_logging, get_logger
+
+
+def _detach(stream):
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        if getattr(handler, "stream", None) is stream:
+            logger.removeHandler(handler)
+
+
+def test_configure_logging_is_idempotent_per_stream():
+    stream = io.StringIO()
+    try:
+        logger = configure_logging("INFO", stream=stream)
+        configure_logging("INFO", stream=stream)
+        matching = [h for h in logger.handlers
+                    if getattr(h, "stream", None) is stream]
+        assert len(matching) == 1
+    finally:
+        _detach(stream)
+
+
+def test_reconfigure_updates_the_formatter_in_place():
+    # The serve command's path: --verbose attaches the default format
+    # first, then the server re-configures with thread names.  The
+    # existing handler's formatter must actually change.
+    stream = io.StringIO()
+    try:
+        configure_logging("INFO", stream=stream)
+        configure_logging("INFO", stream=stream, include_thread=True)
+        get_logger("serving.test").info("hello")
+        line = stream.getvalue()
+        assert "[MainThread]" in line
+        matching = [h for h in logging.getLogger("repro").handlers
+                    if getattr(h, "stream", None) is stream]
+        assert len(matching) == 1                  # still no duplicates
+        assert matching[0].formatter._fmt == THREADED_FORMAT
+    finally:
+        _detach(stream)
+
+
+def test_get_logger_nests_under_the_package_namespace():
+    assert get_logger("x.y").name == "repro.x.y"
+    assert get_logger("repro.z").name == "repro.z"
+    assert get_logger(None).name == "repro"

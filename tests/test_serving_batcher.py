@@ -1,0 +1,190 @@
+"""Unit tests for the request coalescer (``repro.serving.batcher``):
+batch assembly across requests, per-request ordering, whole-request
+batches, bounded-queue admission control and the drain/abandon
+shutdown paths.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import ServerClosedError, ServerOverloadedError
+from repro.serving.batcher import RequestCoalescer
+from repro.serving.metrics import MetricsRegistry
+
+
+class RecordingClassifier:
+    """classify_fn stub: echoes items, records batch compositions."""
+
+    def __init__(self, generation=7):
+        self.batches = []
+        self.generation = generation
+        self.gate = None                 # optional throttling event
+        self.entered = threading.Event()
+
+    def __call__(self, items):
+        self.entered.set()
+        if self.gate is not None:
+            assert self.gate.wait(timeout=10)
+        self.batches.append(list(items))
+        return [f"scored:{item}" for item in items], self.generation
+
+
+def make_coalescer(classify, **kwargs):
+    kwargs.setdefault("workers", 1)
+    return RequestCoalescer(classify, **kwargs)
+
+
+def test_single_request_round_trip_preserves_order():
+    classify = RecordingClassifier()
+    coalescer = make_coalescer(classify, max_batch=8)
+    results, generation = coalescer.submit(["a", "b", "c"]).result(timeout=10)
+    coalescer.close()
+    assert results == ["scored:a", "scored:b", "scored:c"]
+    assert generation == 7
+    assert classify.batches == [["a", "b", "c"]]
+
+
+def test_concurrent_requests_coalesce_into_one_batch():
+    classify = RecordingClassifier()
+    classify.gate = threading.Event()
+    coalescer = make_coalescer(classify, max_batch=16, queue_depth=64)
+    # First request occupies the single worker; the next three queue up
+    # and must be drained as ONE batch once the gate opens.
+    first = coalescer.submit(["warm"])
+    assert classify.entered.wait(timeout=10)
+    futures = [coalescer.submit([f"r{i}-a", f"r{i}-b"]) for i in range(3)]
+    time.sleep(0.05)                       # let the submissions queue
+    classify.gate.set()
+    assert first.result(timeout=10)[0] == ["scored:warm"]
+    for i, future in enumerate(futures):
+        results, generation = future.result(timeout=10)
+        assert results == [f"scored:r{i}-a", f"scored:r{i}-b"]
+        assert generation == 7
+    coalescer.close()
+    assert classify.batches[0] == ["warm"]
+    assert classify.batches[1] == ["r0-a", "r0-b", "r1-a", "r1-b",
+                                   "r2-a", "r2-b"]
+
+
+def test_batches_take_whole_requests_only():
+    classify = RecordingClassifier()
+    classify.gate = threading.Event()
+    coalescer = make_coalescer(classify, max_batch=4, queue_depth=64)
+    warm = coalescer.submit(["warm"])
+    assert classify.entered.wait(timeout=10)
+    a = coalescer.submit(["a1", "a2", "a3"])
+    b = coalescer.submit(["b1", "b2"])
+    time.sleep(0.05)
+    classify.gate.set()
+    for future in (warm, a, b):
+        future.result(timeout=10)
+    coalescer.close()
+    # a (3 items) + b (2 items) exceed max_batch=4, so b must wait for
+    # the next batch rather than being split or partially taken.
+    assert classify.batches[1:] == [["a1", "a2", "a3"], ["b1", "b2"]]
+
+
+def test_oversized_request_forms_its_own_batch():
+    classify = RecordingClassifier()
+    coalescer = make_coalescer(classify, max_batch=2)
+    results, _ = coalescer.submit(["x1", "x2", "x3", "x4"]).result(timeout=10)
+    coalescer.close()
+    assert len(results) == 4
+    assert classify.batches == [["x1", "x2", "x3", "x4"]]
+
+
+def test_full_queue_rejects_with_overload_error():
+    classify = RecordingClassifier()
+    classify.gate = threading.Event()
+    coalescer = make_coalescer(classify, max_batch=1, queue_depth=2)
+    in_flight = coalescer.submit(["busy"])     # dequeued, worker blocked
+    assert classify.entered.wait(timeout=10)
+    queued = coalescer.submit(["q1", "q2"])    # fills the queue exactly
+    with pytest.raises(ServerOverloadedError):
+        coalescer.submit(["overflow"])
+    classify.gate.set()
+    assert in_flight.result(timeout=10)
+    assert queued.result(timeout=10)
+    coalescer.close()
+
+
+def test_close_drains_queued_requests():
+    classify = RecordingClassifier()
+    classify.gate = threading.Event()
+    coalescer = make_coalescer(classify, max_batch=1, queue_depth=16)
+    futures = [coalescer.submit([f"item-{i}"]) for i in range(4)]
+    classify.gate.set()
+    coalescer.close(drain=True)
+    for i, future in enumerate(futures):
+        assert future.result(timeout=1)[0] == [f"scored:item-{i}"]
+    with pytest.raises(ServerClosedError):
+        coalescer.submit(["late"])
+
+
+def test_close_without_drain_abandons_queued_requests():
+    classify = RecordingClassifier()
+    classify.gate = threading.Event()
+    coalescer = make_coalescer(classify, max_batch=1, queue_depth=16)
+    running = coalescer.submit(["running"])
+    assert classify.entered.wait(timeout=10)
+    queued = coalescer.submit(["queued"])
+    # The worker is parked on the gate, so close() abandons "queued"
+    # deterministically; the timer then releases the in-flight batch so
+    # the worker join inside close() can complete.
+    threading.Timer(0.1, classify.gate.set).start()
+    coalescer.close(drain=False)
+    assert running.result(timeout=10)          # in-flight batch finishes
+    with pytest.raises(ServerClosedError):
+        queued.result(timeout=1)
+
+
+def test_classify_failure_fans_out_to_every_request_in_the_batch():
+    boom = RuntimeError("forest fell over")
+
+    def classify(items):
+        raise boom
+
+    coalescer = make_coalescer(classify)
+    future = coalescer.submit(["a"])
+    with pytest.raises(RuntimeError, match="forest fell over"):
+        future.result(timeout=10)
+    # The worker survives a failing batch and keeps serving.
+    ok = RecordingClassifier()
+    coalescer._classify_fn = ok
+    assert coalescer.submit(["b"]).result(timeout=10)[0] == ["scored:b"]
+    coalescer.close()
+
+
+def test_result_count_mismatch_is_an_error_not_a_hang():
+    coalescer = make_coalescer(lambda items: ([], 1))
+    future = coalescer.submit(["a", "b"])
+    with pytest.raises(ServerClosedError, match="returned 0 results"):
+        future.result(timeout=10)
+    coalescer.close()
+
+
+def test_metrics_track_queue_and_batches():
+    registry = MetricsRegistry()
+    classify = RecordingClassifier()
+    coalescer = make_coalescer(classify, metrics=registry)
+    coalescer.submit(["a"]).result(timeout=10)
+    coalescer.close()
+    snapshot = registry.snapshot()
+    assert snapshot["batches_total"] == 1
+    assert snapshot["queue_items"] == 0
+    assert snapshot["batch_size"]["count"] == 1
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        RequestCoalescer(lambda items: ([], 1), max_batch=0)
+    with pytest.raises(ValueError):
+        RequestCoalescer(lambda items: ([], 1), queue_depth=0)
+    with pytest.raises(ValueError):
+        RequestCoalescer(lambda items: ([], 1), workers=0)
+    coalescer = RequestCoalescer(lambda items: ([], 1))
+    with pytest.raises(ValueError):
+        coalescer.submit([])
+    coalescer.close()

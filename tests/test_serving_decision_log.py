@@ -1,0 +1,108 @@
+"""Unit tests for the rotating JSONL decision log
+(``repro.serving.decision_log``): append/flush/close semantics, atomic
+size-based rotation with backup shifting, and concurrent appends.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.serving.decision_log import DecisionLog
+
+
+def read_lines(path):
+    return [json.loads(line) for line in
+            path.read_text(encoding="utf-8").splitlines()]
+
+
+def test_appends_complete_json_lines(tmp_path):
+    log = DecisionLog(tmp_path / "decisions.jsonl")
+    log.append({"sample_id": "a", "decision": "within-allocation"})
+    log.append({"sample_id": "b", "decision": "unknown-application"})
+    log.close()
+    records = read_lines(tmp_path / "decisions.jsonl")
+    assert [r["sample_id"] for r in records] == ["a", "b"]
+    log.close()                                    # idempotent
+
+
+def test_rotation_keeps_backups_and_complete_lines(tmp_path):
+    path = tmp_path / "decisions.jsonl"
+    log = DecisionLog(path, max_bytes=120, backups=2)
+    for n in range(12):
+        log.append({"n": n, "pad": "x" * 20})
+    log.close()
+    rotated_1 = path.with_name(path.name + ".1")
+    rotated_2 = path.with_name(path.name + ".2")
+    assert rotated_1.exists() and rotated_2.exists()
+    # Every file — active and rotated — holds only complete JSON lines,
+    # and together they form a gapless suffix of the stream (records
+    # older than the backup window are the only ones dropped).
+    recovered = [r["n"] for r in (read_lines(rotated_2) + read_lines(rotated_1)
+                                  + read_lines(path))]
+    assert recovered == list(range(recovered[0], 12))
+    assert recovered[-1] == 11
+    # No file beyond the configured backup count.
+    assert not path.with_name(path.name + ".3").exists()
+
+
+def test_zero_backups_truncates_instead_of_rotating(tmp_path):
+    path = tmp_path / "log.jsonl"
+    log = DecisionLog(path, max_bytes=80, backups=0)
+    for n in range(10):
+        log.append({"n": n, "pad": "y" * 20})
+    log.close()
+    assert not path.with_name(path.name + ".1").exists()
+    records = read_lines(path)                     # only the newest tail
+    assert records and records[-1]["n"] == 9
+
+
+def test_append_after_close_raises(tmp_path):
+    log = DecisionLog(tmp_path / "log.jsonl")
+    log.close()
+    with pytest.raises(ValueError):
+        log.append({"x": 1})
+
+
+def test_reopen_appends_to_existing_file(tmp_path):
+    path = tmp_path / "log.jsonl"
+    first = DecisionLog(path)
+    first.append({"run": 1})
+    first.close()
+    second = DecisionLog(path)
+    second.append({"run": 2})
+    second.close()
+    assert [r["run"] for r in read_lines(path)] == [1, 2]
+
+
+def test_constructor_validation(tmp_path):
+    with pytest.raises(ValueError):
+        DecisionLog(tmp_path / "x", max_bytes=0)
+    with pytest.raises(ValueError):
+        DecisionLog(tmp_path / "x", backups=-1)
+
+
+def test_concurrent_appends_lose_no_records(tmp_path):
+    path = tmp_path / "log.jsonl"
+    log = DecisionLog(path, max_bytes=4096, backups=8)
+
+    def writer(worker):
+        for n in range(100):
+            log.append({"worker": worker, "n": n})
+
+    threads = [threading.Thread(target=writer, args=(w,)) for w in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    log.close()
+    records = []
+    records.extend(read_lines(path))
+    for backup in range(1, 9):
+        rotated = path.with_name(path.name + f".{backup}")
+        if rotated.exists():
+            records.extend(read_lines(rotated))
+    assert len(records) == 400
+    for worker in range(4):
+        sequence = [r["n"] for r in records if r["worker"] == worker]
+        assert sorted(sequence) == list(range(100))

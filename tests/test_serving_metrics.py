@@ -1,0 +1,120 @@
+"""Unit tests for the serving metrics registry
+(``repro.serving.metrics``): counter/gauge semantics, histogram
+quantile estimation against analytically known inputs, snapshot shape,
+and exactness under concurrent recording.
+"""
+
+import math
+import threading
+
+import pytest
+
+from repro.serving.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def test_counter_only_goes_up():
+    counter = Counter()
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    gauge = Gauge()
+    gauge.set(10)
+    gauge.inc(2.5)
+    gauge.dec()
+    assert gauge.value == pytest.approx(11.5)
+
+
+# -------------------------------------------------------------- histogram
+def test_histogram_quantiles_on_uniform_data_are_exact():
+    # Buckets at 10, 20, ..., 100 and one observation at each integer
+    # 1..100: linear interpolation inside a uniformly filled bucket
+    # recovers the exact quantile.
+    hist = Histogram(buckets=[float(b) for b in range(10, 101, 10)])
+    for value in range(1, 101):
+        hist.observe(float(value))
+    assert hist.count == 100
+    assert hist.sum == pytest.approx(5050.0)
+    assert hist.quantile(0.50) == pytest.approx(50.0)
+    assert hist.quantile(0.95) == pytest.approx(95.0)
+    assert hist.quantile(0.99) == pytest.approx(99.0)
+    assert hist.quantile(1.00) == pytest.approx(100.0)
+
+
+def test_histogram_overflow_bucket_reports_observed_max():
+    hist = Histogram(buckets=[1.0, 2.0])
+    for value in (0.5, 1.5, 10.0, 40.0):
+        hist.observe(value)
+    # p99 lands in the overflow bucket, which has no finite upper bound
+    # to interpolate towards — the observed max is the honest answer.
+    assert hist.quantile(0.99) == 40.0
+    snapshot = hist.snapshot()
+    assert snapshot["buckets"]["+Inf"] == 2
+    assert snapshot["max"] == 40.0
+
+
+def test_histogram_empty_and_validation():
+    hist = Histogram(buckets=[1.0])
+    assert math.isnan(hist.quantile(0.5))
+    with pytest.raises(ValueError):
+        hist.quantile(1.5)
+    with pytest.raises(ValueError):
+        Histogram(buckets=[])
+    with pytest.raises(ValueError):
+        Histogram(buckets=[2.0, 1.0])
+
+
+def test_histogram_snapshot_quantiles_are_ordered():
+    hist = Histogram(DEFAULT_LATENCY_BUCKETS)
+    for value in (0.002, 0.004, 0.03, 0.3, 0.9, 4.0):
+        hist.observe(value)
+    snapshot = hist.snapshot()
+    assert snapshot["count"] == 6
+    assert snapshot["p50"] <= snapshot["p95"] <= snapshot["p99"]
+
+
+# --------------------------------------------------------------- registry
+def test_registry_creates_lazily_and_rejects_type_collisions():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    registry.gauge("g").set(3)
+    registry.histogram("h").observe(0.01)
+    with pytest.raises(ValueError):
+        registry.gauge("a")
+    with pytest.raises(ValueError):
+        registry.counter("h")
+    snapshot = registry.snapshot()
+    assert snapshot["a"] == 0
+    assert snapshot["g"] == 3.0
+    assert snapshot["h"]["count"] == 1
+    assert list(snapshot) == sorted(snapshot)
+
+
+def test_concurrent_recording_loses_nothing():
+    registry = MetricsRegistry()
+    counter = registry.counter("events")
+    hist = registry.histogram("lat")
+
+    def hammer():
+        for _ in range(500):
+            counter.inc()
+            hist.observe(0.01)
+
+    threads = [threading.Thread(target=hammer) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert counter.value == 4000
+    assert hist.count == 4000
+    assert hist.sum == pytest.approx(40.0)

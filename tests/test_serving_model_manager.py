@@ -1,0 +1,158 @@
+"""Unit tests for generation-tracked model hot-reload
+(``repro.serving.model_manager``): atomic-publish detection, swap
+semantics, failure tolerance and the watcher thread.
+"""
+
+import os
+
+import pytest
+
+from repro.exceptions import ModelFormatError
+from repro.serving.metrics import MetricsRegistry
+from repro.serving.model_manager import ModelManager
+
+from test_api_artifact import make_records
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    """Two model artifacts whose predictions provably differ.
+
+    Generation B is trained on the same digests with every class
+    renamed (``v2-`` prefix), so any known-class prediction reveals
+    which model produced it — deterministic, unlike threshold tricks
+    that depend on forest confidence values.  The low threshold keeps
+    every prediction a known class (forest max-probability over 3
+    classes is always >= 1/3).
+    """
+
+    from dataclasses import replace
+
+    from repro.api.service import ClassificationService
+
+    directory = tmp_path_factory.mktemp("manager-models")
+    records = make_records(30, seed=21, n_families=3)
+    renamed = [replace(r, class_name=f"v2-{r.class_name}") for r in records]
+    gen_a = ClassificationService.train(
+        records, feature_types=["ssdeep-file"], n_estimators=10,
+        random_state=1, confidence_threshold=0.1)
+    gen_b = ClassificationService.train(
+        renamed, feature_types=["ssdeep-file"], n_estimators=10,
+        random_state=1, confidence_threshold=0.1)
+    gen_a_path = directory / "gen-a.rpm"
+    gen_b_path = directory / "gen-b.rpm"
+    gen_a.save(gen_a_path)
+    gen_b.save(gen_b_path)
+    return gen_a_path, gen_b_path, records
+
+
+def publish(source, target):
+    """Atomically publish ``source`` as ``target`` (the operator move)."""
+
+    staging = target.with_name(target.name + ".staging")
+    staging.write_bytes(source.read_bytes())
+    os.replace(staging, target)
+
+
+def payload_batch():
+    return [("probe-1", bytes(range(256)) * 8),
+            ("probe-2", b"\x7fELF" + bytes(range(128)) * 16)]
+
+
+def test_initial_load_is_generation_one(artifacts, tmp_path):
+    gen_a, _, _ = artifacts
+    live = tmp_path / "model.rpm"
+    publish(gen_a, live)
+    manager = ModelManager(live, poll_interval=0, cache_size=0)
+    assert manager.generation == 1
+    decisions, generation = manager.classify_items(payload_batch())
+    assert generation == 1
+    assert len(decisions) == 2
+    assert manager.maybe_reload() is False         # unchanged file
+
+
+def test_reload_swaps_generation_and_decisions(artifacts, tmp_path):
+    gen_a, gen_b, _ = artifacts
+    live = tmp_path / "model.rpm"
+    publish(gen_a, live)
+    registry = MetricsRegistry()
+    manager = ModelManager(live, poll_interval=0, metrics=registry,
+                           cache_size=0)
+    before, _ = manager.classify_items(payload_batch())
+    publish(gen_b, live)
+    assert manager.maybe_reload() is True
+    assert manager.generation == 2
+    after, generation = manager.classify_items(payload_batch())
+    assert generation == 2
+    # Generation B's renamed classes prove which model answered.
+    assert all(not str(d.predicted_class).startswith("v2-") for d in before)
+    assert all(str(d.predicted_class).startswith("v2-") for d in after)
+    snapshot = registry.snapshot()
+    assert snapshot["model_generation"] == 2.0
+    assert snapshot["model_reloads_total"] == 1
+
+
+def test_corrupt_publish_keeps_old_generation(artifacts, tmp_path):
+    gen_a, _, _ = artifacts
+    live = tmp_path / "model.rpm"
+    publish(gen_a, live)
+    registry = MetricsRegistry()
+    manager = ModelManager(live, poll_interval=0, metrics=registry,
+                           cache_size=0)
+    garbage = tmp_path / "garbage.bin"
+    garbage.write_bytes(b"NOTAMODEL" * 100)
+    os.replace(garbage, live)
+    assert manager.maybe_reload() is False
+    assert manager.generation == 1
+    decisions, generation = manager.classify_items(payload_batch())
+    assert generation == 1 and len(decisions) == 2
+    # The same broken file is not re-parsed on every poll...
+    assert manager.maybe_reload() is False
+    assert registry.snapshot()["model_reload_failures_total"] == 1
+    # ...but a good publish recovers immediately.
+    publish(gen_a, live)
+    assert manager.maybe_reload() is True
+    assert manager.generation == 2
+
+
+def test_missing_file_is_tolerated(artifacts, tmp_path):
+    gen_a, _, _ = artifacts
+    live = tmp_path / "model.rpm"
+    publish(gen_a, live)
+    manager = ModelManager(live, poll_interval=0, cache_size=0)
+    os.unlink(live)
+    assert manager.maybe_reload() is False
+    assert manager.generation == 1
+
+
+def test_initial_load_failure_raises(tmp_path):
+    from repro.exceptions import ReproError
+
+    missing = tmp_path / "nope.rpm"
+    # A ReproError, so the CLI's error contract (message + exit 2, no
+    # traceback) covers a missing artifact too.
+    with pytest.raises(ReproError, match="cannot serve"):
+        ModelManager(missing, poll_interval=0)
+    broken = tmp_path / "broken.rpm"
+    broken.write_bytes(b"x" * 64)
+    with pytest.raises(ModelFormatError):
+        ModelManager(broken, poll_interval=0)
+
+
+def test_watcher_thread_picks_up_a_publish(artifacts, tmp_path):
+    import time
+
+    gen_a, gen_b, _ = artifacts
+    live = tmp_path / "model.rpm"
+    publish(gen_a, live)
+    manager = ModelManager(live, poll_interval=0.05, cache_size=0)
+    manager.start_watching()
+    try:
+        publish(gen_b, live)
+        deadline = time.monotonic() + 10
+        while manager.generation < 2 and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert manager.generation == 2
+    finally:
+        manager.stop()
+    manager.stop()                                 # idempotent

@@ -1,0 +1,101 @@
+"""Unit tests for the serving wire protocol
+(``repro.serving.protocol``): request parsing for both submission
+styles, the payload caps, and JSON encoding of decisions.
+"""
+
+import base64
+import json
+
+import pytest
+
+from repro.api.service import Decision
+from repro.exceptions import ProtocolError, ReproError
+from repro.serving.protocol import (
+    decision_to_dict,
+    encode_decisions,
+    parse_classify_request,
+)
+
+
+def body(items):
+    return json.dumps({"items": items}).encode("utf-8")
+
+
+def b64(data: bytes) -> str:
+    return base64.b64encode(data).decode("ascii")
+
+
+def test_parses_inline_and_path_items_in_order(tmp_path):
+    exe = tmp_path / "exe.bin"
+    exe.write_bytes(b"from-disk")
+    work = parse_classify_request(body([
+        {"id": "inline-1", "data": b64(b"from-wire")},
+        {"id": "local-2", "path": str(exe)},
+    ]))
+    assert [(w.sample_id, w.data) for w in work] == \
+        [("inline-1", b"from-wire"), ("local-2", b"from-disk")]
+
+
+@pytest.mark.parametrize("raw", [
+    b"not json at all",
+    b"[1, 2, 3]",
+    b'{"no_items": true}',
+    b'{"items": []}',
+    b'{"items": ["not-an-object"]}',
+    b'{"items": [{"data": "QQ=="}]}',                       # missing id
+    b'{"items": [{"id": "", "data": "QQ=="}]}',             # empty id
+    b'{"items": [{"id": "x"}]}',                            # neither field
+    b'{"items": [{"id": "x", "data": "QQ==", "path": "/p"}]}',  # both
+    b'{"items": [{"id": "x", "data": "@@not-base64@@"}]}',
+    b'{"items": [{"id": "x", "data": ""}]}',                # empty payload
+    b'{"items": [{"id": "x", "path": "/no/such/file"}]}',
+])
+def test_malformed_requests_raise_protocol_error(raw):
+    with pytest.raises(ProtocolError):
+        parse_classify_request(raw)
+    # ProtocolError stays inside the library's exception hierarchy.
+    assert issubclass(ProtocolError, ReproError)
+    assert issubclass(ProtocolError, ValueError)
+
+
+def test_item_count_cap():
+    items = [{"id": f"i{n}", "data": b64(b"x")} for n in range(3)]
+    with pytest.raises(ProtocolError, match="per-request cap"):
+        parse_classify_request(body(items), max_items=2)
+    assert len(parse_classify_request(body(items), max_items=3)) == 3
+
+
+def test_payload_cap_applies_to_inline_and_path(tmp_path):
+    big = tmp_path / "big.bin"
+    big.write_bytes(b"x" * 64)
+    with pytest.raises(ProtocolError, match="cap"):
+        parse_classify_request(body([{"id": "a", "data": b64(b"y" * 64)}]),
+                               max_item_bytes=32)
+    with pytest.raises(ProtocolError, match="cap"):
+        parse_classify_request(body([{"id": "a", "path": str(big)}]),
+                               max_item_bytes=32)
+
+
+def test_decision_round_trips_through_json_bit_identically():
+    decision = Decision(sample_id="node/job/a.out",
+                        predicted_class="GROMACS",
+                        confidence=0.123456789012345678,
+                        decision="within-allocation")
+    unknown = Decision(sample_id="b", predicted_class=-1, confidence=0.25,
+                       decision="unknown-application")
+    encoded = encode_decisions([decision, unknown], generation=3)
+    payload = json.loads(encoded)
+    assert payload["model_generation"] == 3
+    assert payload["count"] == 2
+    assert payload["decisions"][0] == decision_to_dict(decision)
+    # json round-trips Python floats exactly (shortest-repr), which is
+    # what makes served decisions bit-identical to classify_bytes.
+    assert payload["decisions"][0]["confidence"] == decision.confidence
+    assert payload["decisions"][1]["predicted_class"] == -1
+
+
+def test_decision_to_dict_stringifies_exotic_classes():
+    decision = Decision(sample_id="s", predicted_class=("tuple", "class"),
+                        confidence=0.5, decision="unknown-application")
+    assert decision_to_dict(decision)["predicted_class"] == \
+        str(("tuple", "class"))
