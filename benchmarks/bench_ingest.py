@@ -1,0 +1,336 @@
+"""Benchmark: online ingestion throughput while the server keeps serving.
+
+The live-metastore claim is that corpus growth is an online operation:
+``POST /ingest`` adds labelled samples to the in-process index through
+the same admission-controlled queue as classification, without taking
+the server down or starving classifiers.  This benchmark measures that
+against a live :class:`~repro.serving.server.ClassificationServer`:
+
+* **mixed phase** — ``--clients`` ingest threads push labelled samples
+  (in small batches) while as many classify threads keep classifying a
+  fixed probe set; the ingest rate (samples/s) and the classification
+  requests served during the same window are both recorded;
+* **accounting** — afterwards the corpus must have grown by exactly the
+  number of ingested samples (nothing lost, nothing duplicated);
+* **publish identity** — the grown corpus is exported with
+  :meth:`ModelManager.publish` and re-loaded by a fresh
+  :class:`ClassificationService`; its decisions over probes *and*
+  ingested payloads must be bit-identical to the live server's.
+
+Run directly (``python benchmarks/bench_ingest.py``); ``--quick``
+shrinks the corpus and sample count for CI.  Exit status is non-zero
+when the sustained ingest rate falls below ``--min-ingest-rate``
+samples/s, when classification starves (zero requests served during the
+mixed phase), or when any decision diverges — so the script doubles as
+a regression tripwire; ``tests/test_ingest_bench_smoke.py`` runs it as
+part of tier 1 and a JSON trajectory is written to
+``benchmarks/output/BENCH_ingest.json`` for CI archiving.
+"""
+
+from __future__ import annotations
+
+import argparse
+import base64
+import json
+import random
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import asdict, dataclass
+from http.client import HTTPConnection
+from pathlib import Path
+
+from repro.api.service import ClassificationService
+from repro.config import default_config
+from repro.corpus.builder import CorpusBuilder
+from repro.features.pipeline import FeatureExtractionPipeline
+from repro.serving import ClassificationServer, ServerConfig
+from repro.serving.model_manager import ModelManager
+from repro.serving.protocol import decision_to_dict
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+PAYLOAD_BYTES = 4096
+INGEST_BATCH = 4                    # samples per /ingest request
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    n_train: int
+    n_ingested: int
+    n_clients: int
+    n_estimators: int
+    ingest_seconds: float
+    classify_requests_during_ingest: int
+    members_before: int
+    members_after: int
+    publish_seconds: float
+    reloaded_members: int
+    decisions_match: bool
+
+    @property
+    def ingest_rate(self) -> float:
+        if self.ingest_seconds <= 0:
+            return float("inf")
+        return self.n_ingested / self.ingest_seconds
+
+    @property
+    def corpus_accounted(self) -> bool:
+        return (self.members_after == self.members_before + self.n_ingested
+                and self.reloaded_members == self.members_after)
+
+    def table(self) -> str:
+        lines = [
+            f"model: {self.n_train} training samples, "
+            f"{self.n_estimators} trees; {self.n_ingested} samples of "
+            f"{PAYLOAD_BYTES} bytes ingested in {INGEST_BATCH}-sample "
+            f"batches by {self.n_clients} clients",
+            f"sustained ingest rate: {self.ingest_rate:.1f} samples/s "
+            f"({self.ingest_seconds:.3f} s total)",
+            f"classification stayed live: "
+            f"{self.classify_requests_during_ingest} requests served "
+            f"during the ingest window",
+            f"corpus accounting: {self.members_before} -> "
+            f"{self.members_after} members "
+            f"(publish+reload saw {self.reloaded_members})",
+            f"publish of the grown corpus took {self.publish_seconds:.3f} s",
+            f"served decisions identical to reloaded artifact: "
+            f"{self.decisions_match}",
+        ]
+        return "\n".join(lines)
+
+
+def _make_payloads(count: int, seed: int,
+                   tag: str = "bench") -> list[tuple[str, bytes]]:
+    """Distinct, mutually dissimilar pseudo-executables."""
+
+    return [(f"{tag}-{n}",
+             random.Random(f"{seed}/{tag}-{n}").randbytes(PAYLOAD_BYTES))
+            for n in range(count)]
+
+
+def _request(connection: HTTPConnection, method: str, path: str,
+             payload: dict) -> dict:
+    connection.request(method, path, json.dumps(payload),
+                       {"Content-Type": "application/json"})
+    response = connection.getresponse()
+    body = json.loads(response.read())
+    if response.status != 200:
+        raise RuntimeError(f"{method} {path} failed: {response.status} "
+                           f"{body}")
+    return body
+
+
+def _classify_item(sample_id: str, data: bytes) -> dict:
+    return {"id": sample_id, "data": base64.b64encode(data).decode("ascii")}
+
+
+def _get_json(port: int, path: str) -> dict:
+    connection = HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        connection.request("GET", path)
+        return json.loads(connection.getresponse().read())
+    finally:
+        connection.close()
+
+
+def run(n_estimators: int, n_ingest: int, n_clients: int,
+        seed: int = 11) -> BenchResult:
+    config = default_config("small", seed=seed)
+
+    # Setup (untimed): train in memory, publish the artifact once.
+    samples = CorpusBuilder(config=config).build_samples()
+    features = FeatureExtractionPipeline().extract_generated(samples)
+    service = ClassificationService.train(
+        features, n_estimators=n_estimators, random_state=seed,
+        confidence_threshold=0.5)
+    classes = sorted(str(name) for name in service.classes_)
+    to_ingest = _make_payloads(n_ingest, seed, tag="online")
+    labelled = [(sid, data, classes[n % len(classes)])
+                for n, (sid, data) in enumerate(to_ingest)]
+    probes = _make_payloads(max(8, n_clients), seed, tag="probe")
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-ingest-") as tmp:
+        model_path = Path(tmp) / "model.rpm"
+        service.save(model_path)
+        manager = ModelManager(model_path, poll_interval=0, cache_size=0,
+                               mutable=True)
+        server = ClassificationServer(
+            manager,
+            ServerConfig(port=0, workers=2, max_batch=max(32, n_clients),
+                         queue_depth=4096, enable_ingest=True)).start()
+        try:
+            port = server.port
+            members_before = manager.corpus_info()["members"]
+
+            # Warmup (untimed lazy init on both verbs).
+            warm = HTTPConnection("127.0.0.1", port, timeout=60)
+            _request(warm, "POST", "/classify",
+                     {"items": [_classify_item(*probes[0])]})
+            warm.close()
+
+            # Mixed phase: ingest fan-out with concurrent classify load.
+            shares = [labelled[i::n_clients] for i in range(n_clients)]
+            ingest_done = threading.Event()
+            errors: list = []
+            classify_count = [0]
+            lock = threading.Lock()
+
+            def ingest_client(share):
+                try:
+                    mine = HTTPConnection("127.0.0.1", port, timeout=120)
+                    for start in range(0, len(share), INGEST_BATCH):
+                        batch = share[start:start + INGEST_BATCH]
+                        while True:
+                            mine.request(
+                                "POST", "/ingest",
+                                json.dumps({"items": [
+                                    {"id": sid, "class": cls,
+                                     "data": base64.b64encode(
+                                         data).decode("ascii")}
+                                    for sid, data, cls in batch]}),
+                                {"Content-Type": "application/json"})
+                            response = mine.getresponse()
+                            body = response.read()
+                            if response.status == 200:
+                                break
+                            if response.status == 503:
+                                time.sleep(0.02)   # honour backpressure
+                                continue
+                            raise RuntimeError(
+                                f"ingest failed: {response.status} {body!r}")
+                    mine.close()
+                except Exception as exc:  # noqa: BLE001 — report, don't hang
+                    with lock:
+                        errors.append(exc)
+
+            def classify_client(probe):
+                try:
+                    mine = HTTPConnection("127.0.0.1", port, timeout=120)
+                    served = 0
+                    while not ingest_done.is_set():
+                        _request(mine, "POST", "/classify",
+                                 {"items": [_classify_item(*probe)]})
+                        served += 1
+                    mine.close()
+                    with lock:
+                        classify_count[0] += served
+                except Exception as exc:  # noqa: BLE001 — report, don't hang
+                    with lock:
+                        errors.append(exc)
+
+            ingesters = [threading.Thread(target=ingest_client, args=(s,))
+                         for s in shares]
+            classifiers = [threading.Thread(target=classify_client,
+                                            args=(probes[i % len(probes)],))
+                           for i in range(n_clients)]
+            start = time.perf_counter()
+            for thread in classifiers + ingesters:
+                thread.start()
+            for thread in ingesters:
+                thread.join()
+            ingest_seconds = time.perf_counter() - start
+            ingest_done.set()
+            for thread in classifiers:
+                thread.join()
+            if errors:
+                raise RuntimeError(f"mixed phase failed: {errors[0]}")
+
+            members_after = manager.corpus_info()["members"]
+
+            # Publish the grown corpus and reload it cold.
+            start = time.perf_counter()
+            published = manager.publish()
+            publish_seconds = time.perf_counter() - start
+            fresh = ClassificationService.load(published, cache_size=0)
+            reloaded_members = fresh.corpus_info()["members"]
+
+            # Identity: live answers over probes AND ingested payloads
+            # must equal the reloaded artifact's direct decisions.
+            check = probes + [(sid, data) for sid, data, _ in labelled]
+            expected = [decision_to_dict(d)
+                        for d in fresh.classify_bytes(check)]
+            connection = HTTPConnection("127.0.0.1", port, timeout=120)
+            served: list[dict] = []
+            for chunk_start in range(0, len(check), 16):
+                chunk = check[chunk_start:chunk_start + 16]
+                body = _request(
+                    connection, "POST", "/classify",
+                    {"items": [_classify_item(sid, data)
+                               for sid, data in chunk]})
+                served.extend(body["decisions"])
+            connection.close()
+            decisions_match = served == expected
+        finally:
+            server.shutdown()
+
+    return BenchResult(
+        n_train=len(features),
+        n_ingested=n_ingest,
+        n_clients=n_clients,
+        n_estimators=n_estimators,
+        ingest_seconds=ingest_seconds,
+        classify_requests_during_ingest=classify_count[0],
+        members_before=members_before,
+        members_after=members_after,
+        publish_seconds=publish_seconds,
+        reloaded_members=reloaded_members,
+        decisions_match=decisions_match,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--estimators", type=int, default=60,
+                        help="forest size (default 60)")
+    parser.add_argument("--samples", type=int, default=None,
+                        help="samples to ingest (default 96, quick 32)")
+    parser.add_argument("--clients", type=int, default=8,
+                        help="concurrent ingest clients, matched by as "
+                             "many classify clients (default 8)")
+    parser.add_argument("--min-ingest-rate", type=float, default=10.0,
+                        help="fail (exit 1) below this sustained ingest "
+                             "rate in samples/s (0 disables)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sample count for CI smoke runs")
+    args = parser.parse_args(argv)
+
+    n_ingest = (args.samples if args.samples
+                else (32 if args.quick else 96))
+    result = run(args.estimators, n_ingest, args.clients)
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    out = OUTPUT_DIR / "bench_ingest.txt"
+    out.write_text(result.table() + "\n", encoding="utf-8")
+    trajectory = dict(asdict(result),
+                      ingest_rate=result.ingest_rate,
+                      corpus_accounted=result.corpus_accounted)
+    (OUTPUT_DIR / "BENCH_ingest.json").write_text(
+        json.dumps(trajectory, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    print(result.table())
+    print(f"(written to {out} and BENCH_ingest.json)")
+
+    if not result.corpus_accounted:
+        print(f"FAIL: corpus accounting broke: {result.members_before} + "
+              f"{result.n_ingested} ingested != {result.members_after} "
+              f"live / {result.reloaded_members} reloaded", file=sys.stderr)
+        return 1
+    if not result.decisions_match:
+        print("FAIL: live decisions diverge from the published artifact",
+              file=sys.stderr)
+        return 1
+    if result.classify_requests_during_ingest < 1:
+        print("FAIL: classification starved during the ingest window",
+              file=sys.stderr)
+        return 1
+    if args.min_ingest_rate and result.ingest_rate < args.min_ingest_rate:
+        print(f"FAIL: ingest rate {result.ingest_rate:.1f} samples/s is "
+              f"below the {args.min_ingest_rate:.1f} floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,139 @@
+"""Example: a labelling agent growing the live corpus online.
+
+The paper's corpus is not static: newly confirmed executables of known
+applications should strengthen the classifier without a retrain-and-
+redeploy cycle.  This script is that labelling agent against a running
+``repro-classify serve --ingest`` instance:
+
+1. poll a spool directory whose first-level subdirectories are class
+   labels (``SPOOL/GromacsLike/job-9.exe`` is a confirmed GromacsLike
+   sample — e.g. sorted there by an operator or a ticketing hook);
+2. submit each new batch to ``POST /ingest`` as base64 payloads
+   (stdlib only — ``urllib.request``), honouring 503 + Retry-After;
+3. print the admission reports (assigned corpus sequence numbers and
+   the live member count) and demonstrate ``DELETE /samples/<id>`` for
+   files that disappear from the spool (label withdrawn).
+
+Start an ingest-enabled server first, e.g.::
+
+    repro-classify train TREE --out model.rpm
+    repro-classify serve --model model.rpm --ingest \\
+        --max-age 86400 --republish-interval 3600
+
+then run::
+
+    python examples/ingest_client.py SPOOL_DIR --url http://127.0.0.1:8080
+
+Drop confirmed samples into per-class subdirectories and watch the
+corpus grow; remove a file to see its corpus members purged.  Note the
+server only accepts classes the model already knows — a brand-new
+class needs a retrain (the forest's feature columns are per class).
+"""
+
+from __future__ import annotations
+
+import argparse
+import base64
+import json
+import sys
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from pathlib import Path
+
+BATCH_LIMIT = 16                 # items per request (server caps at 32)
+
+
+def _request(url: str, method: str, body: bytes | None = None) -> dict:
+    """One JSON request, honouring 503 + Retry-After with resubmission."""
+
+    request = urllib.request.Request(
+        url, data=body, method=method,
+        headers={"Content-Type": "application/json"} if body else {})
+    while True:
+        try:
+            with urllib.request.urlopen(request) as response:
+                return json.load(response)
+        except urllib.error.HTTPError as exc:
+            if exc.code != 503:
+                raise
+            retry_after = float(exc.headers.get("Retry-After", "1"))
+            print(f"server busy, retrying in {retry_after:.0f} s ...",
+                  file=sys.stderr)
+            time.sleep(retry_after)
+
+
+def ingest(url: str, items: list[tuple[str, str, bytes]]) -> dict:
+    body = json.dumps({"items": [
+        {"id": sample_id, "class": class_name,
+         "data": base64.b64encode(data).decode("ascii")}
+        for sample_id, class_name, data in items]}).encode("utf-8")
+    return _request(f"{url}/ingest", "POST", body)
+
+
+def purge(url: str, sample_id: str) -> dict:
+    quoted = urllib.parse.quote(sample_id, safe="")
+    return _request(f"{url}/samples/{quoted}", "DELETE")
+
+
+def poll_loop(spool: Path, url: str, interval: float) -> None:
+    tracked: set[Path] = set()
+    print(f"polling {spool} every {interval:.0f} s against {url}")
+    while True:
+        present = {p for p in spool.glob("*/*") if p.is_file()}
+        fresh = sorted(present - tracked)
+        for start in range(0, len(fresh), BATCH_LIMIT):
+            batch = fresh[start:start + BATCH_LIMIT]
+            try:
+                report = ingest(url, [(str(p.relative_to(spool)),
+                                       p.parent.name, p.read_bytes())
+                                      for p in batch])
+            except urllib.error.HTTPError as exc:
+                # e.g. 400 for a class the model does not know.
+                print(f"! batch rejected: {exc.read().decode()}",
+                      file=sys.stderr)
+                tracked.update(batch)      # don't resubmit a reject loop
+                continue
+            for admitted in report["ingested"]:
+                print(f"+ {admitted['class']:<20} "
+                      f"seq={admitted['sequence']:<6} "
+                      f"{admitted['sample_id']}")
+            print(f"-- corpus now holds {report['corpus_members']} members "
+                  f"(generation {report['model_generation']})")
+            tracked.update(batch)
+        for gone in sorted(tracked - present):
+            sample_id = str(gone.relative_to(spool))
+            try:
+                result = purge(url, sample_id)
+                print(f"- purged {result['purged']} member(s) of "
+                      f"{sample_id} (label withdrawn)")
+            except urllib.error.HTTPError as exc:
+                # 404: aged off already; 409: last anchors of its class.
+                print(f"! purge of {sample_id} refused: "
+                      f"{exc.read().decode()}", file=sys.stderr)
+            tracked.discard(gone)
+        time.sleep(interval)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("spool", help="directory with per-class "
+                                      "subdirectories of confirmed samples")
+    parser.add_argument("--url", default="http://127.0.0.1:8080",
+                        help="server base URL (default http://127.0.0.1:8080)")
+    parser.add_argument("--interval", type=float, default=5.0,
+                        help="poll interval in seconds (default 5)")
+    args = parser.parse_args()
+    spool = Path(args.spool)
+    if not spool.is_dir():
+        parser.error(f"{spool} is not a directory")
+    try:
+        poll_loop(spool, args.url.rstrip("/"), args.interval)
+    except KeyboardInterrupt:
+        print("labelling agent stopped")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Quick perf-regression smoke for online ingestion: runs the
+# ingest-while-serving benchmark in its small configuration and fails
+# (non-zero exit) when corpus accounting breaks, live decisions diverge
+# from the published artifact, or the sustained ingest rate drops below
+# the conservative smoke floor.  Tier-1 runs the same checks via
+# tests/test_ingest_bench_smoke.py; the full 10 samples/s floor is the
+# benchmark's default (no --quick).
+set -eu
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+# Conservative smoke floor — hosted CI runners schedule the client
+# threads noisily (later flags win, so callers can override via "$@").
+PYTHONPATH="$repo_root/src${PYTHONPATH:+:$PYTHONPATH}" \
+    exec python "$repo_root/benchmarks/bench_ingest.py" --quick \
+    --min-ingest-rate 2 "$@"

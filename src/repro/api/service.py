@@ -281,6 +281,180 @@ class ClassificationService:
             return {"hits": self.cache_hits, "misses": self.cache_misses,
                     "size": len(self._cache), "capacity": self.cache_size}
 
+    # ------------------------------------------------------------- mutation
+    @property
+    def mutable(self) -> bool:
+        """True once :meth:`enable_mutation` has run."""
+
+        return getattr(self, "_mutable", False)
+
+    def enable_mutation(self, *, n_shards: int = 4) -> None:
+        """Switch the service into mutable-corpus mode (idempotent).
+
+        The anchor index becomes a :class:`ShardedSimilarityIndex`
+        (converted in place when the artifact carried a single index),
+        unlocking :meth:`ingest_features` / :meth:`ingest_bytes` /
+        :meth:`purge` / :meth:`compact`.  Only the per-class anchor
+        strategies support this: under ``all-train`` every anchor is its
+        own feature column, so growing the corpus would change the
+        matrix layout under the trained forest.
+
+        Mutations themselves are **not** internally synchronised against
+        concurrent classification — the serving tier
+        (:class:`~repro.serving.model_manager.ModelManager`) serialises
+        them against model passes.
+        """
+
+        if self.mutable:
+            return
+        builder = getattr(self.classifier, "builder_", None)
+        if builder is None or not hasattr(builder, "index_"):
+            raise ValidationError(
+                "this service's classifier carries no similarity index; "
+                "online ingestion needs one")
+        if getattr(builder, "anchor_strategy", None) == "all-train":
+            raise ValidationError(
+                "online ingestion is unsupported under anchor_strategy="
+                "'all-train': each anchor is a feature column, so adding "
+                "anchors would change the feature layout under the "
+                "trained forest")
+        index = builder.index_
+        if not isinstance(index, ShardedSimilarityIndex):
+            index = ShardedSimilarityIndex.from_index(
+                index, n_shards=n_shards, executor=self.executor)
+            builder.refresh_from_index(index)
+        index.seal()
+        self._mutable = True
+
+    def _check_mutable(self) -> ShardedSimilarityIndex:
+        if not self.mutable:
+            raise ValidationError(
+                "this service is immutable; call enable_mutation() first")
+        return self.classifier.builder_.index_
+
+    def ingest_features(self, records: Sequence[SampleFeatures]
+                        ) -> list[dict]:
+        """Add labelled feature records to the live corpus.
+
+        Every record's class must already be known to the model: the
+        forest's feature columns are per (type, class), so a brand-new
+        class cannot be learned online — it needs a retrain.  Validation
+        runs before any mutation, so a rejected batch leaves the corpus
+        untouched.  Returns one report dict per record.
+        """
+
+        index = self._check_mutable()
+        records = list(records)
+        if not records:
+            return []
+        builder = self.classifier.builder_
+        known = set(builder.classes_)
+        for record in records:
+            if not record.class_name:
+                raise ValidationError(
+                    f"ingest sample {record.sample_id!r} carries no class "
+                    "label; online samples must be labelled")
+            if record.class_name not in known:
+                raise ValidationError(
+                    f"ingest sample {record.sample_id!r} has unknown class "
+                    f"{record.class_name!r}; known classes are "
+                    f"{sorted(known)} (new classes need a retrain)")
+        reports = []
+        for record in records:
+            sequence = index.add(record.sample_id, record.digests,
+                                 class_name=record.class_name)
+            reports.append({"sample_id": record.sample_id,
+                            "class": record.class_name,
+                            "sequence": int(sequence)})
+        builder.refresh_from_index()
+        self._invalidate_cache()
+        _LOG.info("ingested %d samples; corpus now holds %d members",
+                  len(records), index.n_members)
+        return reports
+
+    def ingest_bytes(self, items: Sequence[tuple[str, bytes, str]]
+                     ) -> list[dict]:
+        """Extract and ingest ``(sample_id, data, class_name)`` triples."""
+
+        from dataclasses import replace
+
+        items = list(items)
+        if not items:
+            return []
+        self._check_mutable()
+        extracted = self._pipeline.extract_bytes(
+            [(sample_id, data) for sample_id, data, _ in items])
+        labelled = [replace(record, class_name=str(class_name))
+                    for record, (_, _, class_name) in zip(extracted, items)]
+        return self.ingest_features(labelled)
+
+    def purge(self, sample_id: str) -> int:
+        """Tombstone every corpus member under ``sample_id``.
+
+        Refuses to drop the last surviving anchors of a class (the
+        per-class feature columns must keep at least one anchor each);
+        returns how many members were newly tombstoned (0 when the id
+        is unknown).
+        """
+
+        index = self._check_mutable()
+        members = index.members_for_id(sample_id)
+        if not members:
+            return 0
+        class_names = index.class_names
+        doomed: dict[str, int] = {}
+        for member in members:
+            name = class_names[member]
+            doomed[name] = doomed.get(name, 0) + 1
+        totals: dict[str, int] = {}
+        for name in class_names:
+            totals[name] = totals.get(name, 0) + 1
+        for name, count in doomed.items():
+            if count >= totals.get(name, 0):
+                raise ValidationError(
+                    f"cannot purge {sample_id!r}: it holds the last "
+                    f"surviving anchors of class {name!r}, and every "
+                    "class needs at least one anchor")
+        removed = index.remove(sample_id)
+        self.classifier.builder_.refresh_from_index()
+        self._invalidate_cache()
+        _LOG.info("purged %r (%d members tombstoned); %d survive",
+                  sample_id, removed, index.n_members)
+        return removed
+
+    def compact(self) -> int:
+        """Physically drop tombstoned members; returns how many."""
+
+        index = self._check_mutable()
+        dropped = index.compact()
+        if dropped:
+            # Member indices renumber densely but scores are unchanged,
+            # so the digest cache stays valid.
+            self.classifier.builder_.refresh_from_index()
+        return dropped
+
+    def corpus_info(self) -> dict:
+        """Live corpus statistics for lifecycle policies and /healthz."""
+
+        index = self.similarity_index
+        classes: dict[str, int] = {}
+        for name in index.class_names:
+            classes[name] = classes.get(name, 0) + 1
+        info = {"members": int(index.n_members), "classes": classes,
+                "mutable": self.mutable}
+        if isinstance(index, ShardedSimilarityIndex):
+            info["total_members"] = int(index.total_members)
+            info["tombstones"] = int(index.n_tombstones)
+            info["tombstone_ratio"] = float(index.tombstone_ratio)
+        return info
+
+    def _invalidate_cache(self) -> None:
+        # A corpus mutation changes similarity scores (a new anchor can
+        # raise its class's max; a purge can lower it), so every cached
+        # (best class, confidence) pair is suspect.
+        with self._cache_lock:
+            self._cache.clear()
+
     # -------------------------------------------------------------- classify
     def classify_features(self, features: Sequence[SampleFeatures]
                           ) -> list[Decision]:

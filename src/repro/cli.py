@@ -24,7 +24,14 @@ The sub-commands cover the library's main entry points:
     once, then answer ``POST /classify`` over HTTP with request
     coalescing, backpressure, ``/metrics``, an optional JSONL decision
     log and zero-downtime model hot-reload (see
-    :mod:`repro.serving`).
+    :mod:`repro.serving`).  ``--ingest`` additionally enables online
+    corpus ingestion (``POST /ingest`` / ``DELETE /samples/<id>``) with
+    age-off, per-class caps and periodic atomic republish
+    (``--max-age``, ``--max-class-members``, ``--republish-interval``).
+``ingest``
+    Thin client for an ingest-enabled server: submit labelled
+    executables (``ingest --class NAME file...``) or purge a sample
+    (``ingest --purge ID``).
 ``model inspect | validate``
     Inspect a model artifact's header, or fully restore it to prove it
     will serve.
@@ -194,6 +201,56 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-size", type=int, default=None,
                        help="digest-cache capacity of the served model "
                             "(default 1024; 0 disables)")
+    serve.add_argument("--ingest", action="store_true",
+                       help="enable online ingestion: POST /ingest adds "
+                            "labelled samples to the live corpus and "
+                            "DELETE /samples/<id> purges them")
+    serve.add_argument("--ingest-shards", type=int, default=4,
+                       help="shard count when the artifact's index must be "
+                            "converted for mutation (default 4)")
+    serve.add_argument("--max-ingest-items", type=int, default=None,
+                       help="per-request ingest sample cap (default 32)")
+    serve.add_argument("--max-age", type=float, default=None, metavar="SECS",
+                       help="age-off horizon for online-ingested samples "
+                            "(default: never)")
+    serve.add_argument("--max-class-members", type=int, default=None,
+                       metavar="N",
+                       help="cap on corpus members per class; online "
+                            "samples are evicted oldest-first past it")
+    serve.add_argument("--compact-ratio", type=float, default=0.25,
+                       help="tombstone fraction that triggers index "
+                            "compaction (default 0.25)")
+    serve.add_argument("--republish-interval", type=float, default=None,
+                       metavar="SECS",
+                       help="seconds between atomic republishes of the "
+                            "grown corpus (default: never)")
+    serve.add_argument("--republish-path", default=None, metavar="FILE",
+                       help="republish target (default: the served --model "
+                            "path itself)")
+    serve.add_argument("--lifecycle-interval", type=float, default=5.0,
+                       metavar="SECS",
+                       help="seconds between lifecycle policy sweeps "
+                            "(default 5)")
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="submit labelled samples to (or purge them from) a running "
+             "ingest-enabled server")
+    ingest.add_argument("files", nargs="*",
+                        help="executable files to submit (base64, inline)")
+    ingest.add_argument("--server", default="http://127.0.0.1:8080",
+                        metavar="URL",
+                        help="server base URL (default "
+                             "http://127.0.0.1:8080)")
+    ingest.add_argument("--class", dest="class_name", default=None,
+                        metavar="NAME",
+                        help="application class label for every submitted "
+                             "file (required unless --purge)")
+    ingest.add_argument("--purge", default=None, metavar="SAMPLE_ID",
+                        help="purge this sample id instead of submitting "
+                             "files")
+    ingest.add_argument("--timeout", type=float, default=60.0,
+                        help="request timeout in seconds (default 60)")
 
     model = sub.add_parser("model", help="inspect and validate saved model "
                                          "artifacts")
@@ -426,8 +483,9 @@ def _stream_decisions_jsonl(service, target) -> int:
 
 def _cmd_serve(args) -> int:
     from .logging_utils import configure_logging as _configure
-    from .serving import (ClassificationServer, DecisionLog, MetricsRegistry,
-                          ModelManager, ServerConfig)
+    from .serving import (ClassificationServer, DecisionLog, LifecycleConfig,
+                          LifecycleManager, MetricsRegistry, ModelManager,
+                          ServerConfig)
 
     # A resident server is multi-threaded by construction: re-configure
     # logging with thread names even when --verbose already set it up.
@@ -444,7 +502,20 @@ def _cmd_serve(args) -> int:
                            allowed_classes=args.allowed,
                            n_jobs=_effective_jobs(args),
                            executor=args.executor,
+                           mutable=args.ingest,
+                           n_shards=args.ingest_shards,
                            **load_kwargs)
+    lifecycle = None
+    if args.ingest:
+        lifecycle = LifecycleManager(
+            manager,
+            LifecycleConfig(max_age_seconds=args.max_age,
+                            max_members_per_class=args.max_class_members,
+                            compact_ratio=args.compact_ratio,
+                            republish_interval=args.republish_interval,
+                            republish_path=args.republish_path,
+                            sweep_interval=args.lifecycle_interval),
+            metrics=registry)
     decision_log = None
     if args.decision_log:
         log_kwargs = {}
@@ -455,17 +526,97 @@ def _cmd_serve(args) -> int:
     config_kwargs = {}
     if args.max_item_bytes is not None:
         config_kwargs["max_item_bytes"] = args.max_item_bytes
+    if args.max_ingest_items is not None:
+        config_kwargs["max_ingest_items"] = args.max_ingest_items
     config = ServerConfig(
         host=args.host, port=args.port, workers=args.workers,
         max_batch=args.max_batch, queue_depth=args.queue_depth,
+        enable_ingest=args.ingest,
         **config_kwargs)
     server = ClassificationServer(manager, config, metrics=registry,
-                                  decision_log=decision_log)
+                                  decision_log=decision_log,
+                                  lifecycle=lifecycle)
     server.start()
+    endpoints = "POST /classify, GET /healthz, GET /metrics"
+    if args.ingest:
+        endpoints += ", POST /ingest, DELETE /samples/<id>"
     print(f"serving {args.model} on http://{args.host}:{server.port} "
-          f"(POST /classify, GET /healthz, GET /metrics; Ctrl-C or "
-          f"SIGTERM drains and exits)", flush=True)
+          f"({endpoints}; Ctrl-C or SIGTERM drains and exits)", flush=True)
     return server.run_until_signalled()
+
+
+def _cmd_ingest(args) -> int:
+    import base64
+    import json
+    from urllib.parse import quote, urlsplit
+
+    from .exceptions import ServingError, ValidationError
+
+    split = urlsplit(args.server if "//" in args.server
+                     else f"http://{args.server}")
+    if split.scheme != "http" or not split.hostname:
+        raise ValidationError(
+            f"--server must be an http://host:port URL, got {args.server!r}")
+    if args.purge is not None:
+        if args.files or args.class_name:
+            raise ValidationError(
+                "--purge takes no files and no --class")
+        method, path, body = ("DELETE",
+                              "/samples/" + quote(args.purge, safe=""),
+                              b"")
+    else:
+        if not args.files:
+            raise ValidationError(
+                "ingest needs executable files to submit (or --purge ID)")
+        if not args.class_name:
+            raise ValidationError(
+                "ingest needs --class NAME (online samples must be "
+                "labelled)")
+        items = []
+        for name in args.files:
+            try:
+                with open(name, "rb") as handle:
+                    data = handle.read()
+            except OSError as exc:
+                raise ValidationError(f"cannot read {name}: {exc}") from exc
+            items.append({"id": name, "class": args.class_name,
+                          "data": base64.b64encode(data).decode("ascii")})
+        method, path = "POST", "/ingest"
+        body = json.dumps({"items": items}).encode("utf-8")
+    status, payload = _http_json(split.hostname, split.port or 80, method,
+                                 path, body, timeout=args.timeout)
+    if status != 200:
+        raise ServingError(
+            f"server answered {status}: {payload.get('error', payload)}")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _http_json(host: str, port: int, method: str, path: str, body: bytes, *,
+               timeout: float) -> tuple[int, dict]:
+    import http.client
+    import json
+
+    from .exceptions import ServingError
+
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        headers = {"Content-Type": "application/json"}
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        raw = response.read()
+    except OSError as exc:
+        raise ServingError(
+            f"cannot reach server at {host}:{port}: {exc}") from exc
+    finally:
+        connection.close()
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServingError(
+            f"server answered {response.status} with a non-JSON body: "
+            f"{exc}") from exc
+    return response.status, payload
 
 
 def _cmd_model_inspect(args) -> int:
@@ -700,6 +851,7 @@ _COMMANDS = {
     "train": _cmd_train,
     "classify": _cmd_classify,
     "serve": _cmd_serve,
+    "ingest": _cmd_ingest,
     "model": _cmd_model,
     "index": _cmd_index,
     "info": _cmd_info,

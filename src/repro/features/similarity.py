@@ -146,6 +146,33 @@ class SimilarityFeatureBuilder:
                 "feature builder needs labelled anchors")
         return self._adopt_index(index)
 
+    def refresh_from_index(self, index=None) -> "SimilarityFeatureBuilder":
+        """Re-adopt the (mutated) anchor index without changing columns.
+
+        Online ingestion appends members to — and age-off tombstones
+        members of — the already-adopted index; this recomputes the
+        anchor bookkeeping (``anchor_ids_``, the per-class grouping used
+        by ``_aggregate``) from the index's current membership.  The
+        class set must be unchanged: under ``class-max`` /
+        ``class-medoids`` the feature columns are one per (type, class),
+        so new or vanished classes would silently change the matrix
+        layout under a forest trained on the old one.
+        """
+
+        if not hasattr(self, "index_"):
+            raise NotFittedError("SimilarityFeatureBuilder is not fitted")
+        if index is None:
+            index = self.index_
+        if index.n_members == 0:
+            raise ValidationError("cannot refresh from an empty index")
+        classes = sorted(set(index.class_names))
+        if classes != self.classes_:
+            raise ValidationError(
+                f"refresh would change the class set from {self.classes_} "
+                f"to {classes}; feature columns are per class, so the "
+                "forest trained on the old layout would mis-read them")
+        return self._adopt_index(index)
+
     def fit_transform(self, anchors: Sequence[SampleFeatures], *,
                       exclude_self: bool = True) -> SimilarityMatrix:
         """Fit on ``anchors`` and transform them (excluding self matches).

@@ -247,6 +247,17 @@ class ShardedSimilarityIndex:
         return sum(len(dead) for dead in self._dead)
 
     @property
+    def tombstone_ratio(self) -> float:
+        """Tombstoned fraction of all resident members (0.0 when empty).
+
+        Lifecycle policies compact past a ratio threshold instead of an
+        absolute count, so the trigger scales with corpus size.
+        """
+
+        total = len(self._order)
+        return (self.n_tombstones / total) if total else 0.0
+
+    @property
     def executor(self) -> ExecutionBackend:
         """The execution backend queries fan out on."""
 

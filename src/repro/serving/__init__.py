@@ -3,14 +3,22 @@
 The resident counterpart to the one-shot CLI: load a model artifact
 once, keep the sealed similarity index hot, and serve ``POST
 /classify`` over HTTP with request coalescing, admission control,
-metrics, an audit log and zero-downtime model hot-reloads.
+metrics, an audit log and zero-downtime model hot-reloads.  In ingest
+mode the server doubles as a live metastore: ``POST /ingest`` and
+``DELETE /samples/<id>`` mutate the in-process corpus online, and a
+:class:`LifecycleManager` ages samples off, compacts tombstones and
+periodically republishes the grown corpus as an atomic artifact.
 
 Layers (each independently testable):
 
 * :mod:`repro.serving.protocol` — the JSON wire format and payload caps;
+* :mod:`repro.serving.ingest` — the ingestion/purge wire format;
 * :mod:`repro.serving.metrics` — counters / gauges / quantile histograms;
 * :mod:`repro.serving.batcher` — the bounded-queue request coalescer;
-* :mod:`repro.serving.model_manager` — generation-tracked hot reload;
+* :mod:`repro.serving.model_manager` — generation-tracked hot reload
+  plus online corpus mutation and atomic republish;
+* :mod:`repro.serving.lifecycle` — age-off / cap / compaction /
+  republish policies;
 * :mod:`repro.serving.decision_log` — rotating JSONL audit trail;
 * :mod:`repro.serving.server` — the HTTP front end (``repro-classify
   serve`` drives it).
@@ -18,6 +26,8 @@ Layers (each independently testable):
 
 from .batcher import RequestCoalescer
 from .decision_log import DecisionLog
+from .ingest import IngestItem, parse_ingest_request, parse_purge_path
+from .lifecycle import LifecycleConfig, LifecycleManager
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .model_manager import ModelManager
 from .protocol import WorkItem, decision_to_dict, parse_classify_request
@@ -26,6 +36,11 @@ from .server import ClassificationServer, ServerConfig
 __all__ = [
     "RequestCoalescer",
     "DecisionLog",
+    "IngestItem",
+    "parse_ingest_request",
+    "parse_purge_path",
+    "LifecycleConfig",
+    "LifecycleManager",
     "Counter",
     "Gauge",
     "Histogram",

@@ -18,6 +18,16 @@ next one would overflow ``max_batch`` (a single request larger than
 split), so every response is produced by exactly one classify pass —
 which is what lets the server guarantee a single model generation per
 response across hot-reloads.
+
+The queue can carry more than one **kind** of work: the coalescer takes
+either a single classify function or a mapping of kind → handler (e.g.
+``{"classify": ..., "ingest": ...}``).  All kinds share the one bounded
+queue and its depth — that *is* the backpressure story for online
+ingestion: an ingest burst fills the same queue classification uses, so
+it is admission-controlled by the same 503 instead of starving
+classification through a private unbounded path.  Requests are drained
+FIFO; a batch only ever coalesces consecutive requests of one kind, so
+every handler still sees homogeneous work.
 """
 
 from __future__ import annotations
@@ -25,7 +35,7 @@ from __future__ import annotations
 import threading
 from collections import deque
 from concurrent.futures import Future
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
 from ..exceptions import ServerClosedError, ServerOverloadedError
 from ..logging_utils import get_logger
@@ -37,13 +47,14 @@ _LOG = get_logger("serving.batcher")
 
 
 class _PendingRequest:
-    """One admitted request: its work items and the future resolving to
-    ``(results, generation)`` with results in item order."""
+    """One admitted request: its work items, its kind and the future
+    resolving to ``(results, generation)`` with results in item order."""
 
-    __slots__ = ("items", "future")
+    __slots__ = ("items", "kind", "future")
 
-    def __init__(self, items: Sequence) -> None:
+    def __init__(self, items: Sequence, kind: str) -> None:
         self.items = list(items)
+        self.kind = kind
         self.future: Future = Future()
 
 
@@ -52,11 +63,12 @@ class RequestCoalescer:
 
     Parameters
     ----------
-    classify_fn:
-        ``classify_fn(items) -> (results, generation)`` where ``items``
-        is the concatenation of one or more requests' work items and
-        ``results`` preserves their order (the
-        :meth:`ModelManager.classify_items` contract).
+    handlers:
+        Either one ``fn(items) -> (results, generation)`` (registered
+        as kind ``"classify"``) or a mapping of kind → such handlers.
+        ``items`` is the concatenation of one or more same-kind
+        requests' work items and ``results`` preserves their order
+        (the :meth:`ModelManager.classify_items` contract).
     max_batch:
         Soft cap on items per assembled batch (whole requests only).
     queue_depth:
@@ -68,16 +80,20 @@ class RequestCoalescer:
         batch with the classify pass of the next.
     """
 
-    def __init__(self, classify_fn: Callable, *, max_batch: int = 32,
-                 queue_depth: int = 256, workers: int = 2,
-                 metrics=None) -> None:
+    def __init__(self, handlers: "Callable | Mapping[str, Callable]", *,
+                 max_batch: int = 32, queue_depth: int = 256,
+                 workers: int = 2, metrics=None) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if queue_depth < 1:
             raise ValueError("queue_depth must be >= 1")
         if workers < 1:
             raise ValueError("workers must be >= 1")
-        self._classify_fn = classify_fn
+        if callable(handlers):
+            handlers = {"classify": handlers}
+        if not handlers:
+            raise ValueError("handlers must not be empty")
+        self._handlers = dict(handlers)
         self.max_batch = int(max_batch)
         self.queue_depth = int(queue_depth)
         self._lock = threading.Lock()
@@ -101,7 +117,7 @@ class RequestCoalescer:
             worker.start()
 
     # ---------------------------------------------------------------- submit
-    def submit(self, items: Sequence) -> Future:
+    def submit(self, items: Sequence, *, kind: str = "classify") -> Future:
         """Admit one request; its future resolves to ``(results, gen)``.
 
         Raises :class:`ServerOverloadedError` when the queue cannot take
@@ -111,7 +127,10 @@ class RequestCoalescer:
 
         if not items:
             raise ValueError("cannot submit an empty request")
-        request = _PendingRequest(items)
+        if kind not in self._handlers:
+            raise ValueError(f"unknown request kind {kind!r}; handlers are "
+                             f"registered for {sorted(self._handlers)}")
+        request = _PendingRequest(items, kind)
         with self._lock:
             if self._closing:
                 raise ServerClosedError("server is shutting down")
@@ -165,6 +184,7 @@ class RequestCoalescer:
             batch = [self._queue.popleft()]
             taken = len(batch[0].items)
             while (self._queue and
+                   self._queue[0].kind == batch[0].kind and
                    taken + len(self._queue[0].items) <= self.max_batch):
                 request = self._queue.popleft()
                 taken += len(request.items)
@@ -185,12 +205,13 @@ class RequestCoalescer:
                 self._batch_sizes.observe(len(items))
                 if len(batch) > 1:
                     self._coalesced.inc(len(batch))
+            handler = self._handlers[batch[0].kind]
             try:
-                results, generation = self._classify_fn(items)
+                results, generation = handler(items)
                 if len(results) != len(items):
                     raise ServerClosedError(
-                        f"classify pass returned {len(results)} results "
-                        f"for {len(items)} items")
+                        f"{batch[0].kind} pass returned {len(results)} "
+                        f"results for {len(items)} items")
             except BaseException as exc:  # noqa: BLE001 — fan the failure out
                 _LOG.warning("batch of %d items failed: %s", len(items), exc)
                 for request in batch:

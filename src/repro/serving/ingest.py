@@ -1,0 +1,136 @@
+"""JSON wire protocol of online corpus ingestion.
+
+One ``POST /ingest`` request carries labelled samples to add to the
+live corpus::
+
+    {"items": [{"id": "node7/job-99/a.out", "class": "GromacsLike",
+                "data": "<base64 bytes>"},
+               {"id": "spool-9", "class": "LammpsLike",
+                "path": "/var/spool/repro/exe-9"}]}
+
+Each item reuses the ``/classify`` submission styles (inline base64
+``data`` or a server-local ``path``) and must carry the sample's
+``class`` — online samples extend classes the model already knows; a
+brand-new class needs a retrain, because the forest's feature columns
+are per (type, class).  The response reports every admitted sample and
+the corpus it landed in::
+
+    {"ingested": [{"sample_id": ..., "class": ..., "sequence": ...}],
+     "model_generation": 2,
+     "corpus_members": 41,
+     "count": 1}
+
+``DELETE /samples/<id>`` (the purge verb) has no body; the sample id
+lives URL-encoded in the path and every corpus member registered under
+it is tombstoned.
+
+Validation failures raise :class:`~repro.exceptions.ProtocolError`
+(HTTP 400).  The per-request item cap is intentionally lower than the
+classify cap: ingest requests mutate the corpus and pass through the
+same bounded queue as classification, so one burst should not occupy
+a disproportionate share of it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Sequence
+from urllib.parse import unquote
+
+from ..exceptions import ProtocolError
+from .protocol import DEFAULT_MAX_ITEM_BYTES, _decode_b64, _read_local
+
+__all__ = ["IngestItem", "parse_ingest_request", "parse_purge_path",
+           "encode_ingest_report", "DEFAULT_MAX_INGEST_ITEMS"]
+
+#: Default cap on samples per ingest request (deliberately below the
+#: classify cap; see module docstring).
+DEFAULT_MAX_INGEST_ITEMS = 32
+
+#: URL prefix of the purge verb.
+PURGE_PREFIX = "/samples/"
+
+
+@dataclass(frozen=True)
+class IngestItem:
+    """One labelled sample to add: id, class label and raw bytes."""
+
+    sample_id: str
+    class_name: str
+    data: bytes
+
+    def as_triple(self) -> tuple[str, bytes, str]:
+        """The ``(sample_id, data, class_name)`` shape
+        :meth:`ModelManager.ingest_items` consumes."""
+
+        return (self.sample_id, self.data, self.class_name)
+
+
+def parse_ingest_request(body: bytes, *,
+                         max_items: int = DEFAULT_MAX_INGEST_ITEMS,
+                         max_item_bytes: int = DEFAULT_MAX_ITEM_BYTES
+                         ) -> list[IngestItem]:
+    """Decode and validate one ``POST /ingest`` body."""
+
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"request body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("request body must be a JSON object")
+    items = payload.get("items")
+    if not isinstance(items, list) or not items:
+        raise ProtocolError('request needs a non-empty "items" list')
+    if len(items) > max_items:
+        raise ProtocolError(f"request carries {len(items)} items; "
+                            f"the per-request ingest cap is {max_items}")
+    work: list[IngestItem] = []
+    for position, item in enumerate(items):
+        if not isinstance(item, dict):
+            raise ProtocolError(f"items[{position}] must be a JSON object")
+        sample_id = item.get("id")
+        if not isinstance(sample_id, str) or not sample_id:
+            raise ProtocolError(f"items[{position}] needs a non-empty "
+                                'string "id"')
+        class_name = item.get("class")
+        if not isinstance(class_name, str) or not class_name:
+            raise ProtocolError(f"items[{position}] needs a non-empty "
+                                'string "class" (online samples must be '
+                                "labelled)")
+        has_data = "data" in item
+        has_path = "path" in item
+        if has_data == has_path:
+            raise ProtocolError(f"items[{position}] needs exactly one of "
+                                '"data" (base64) or "path" (server-local '
+                                "file)")
+        if has_data:
+            data = _decode_b64(item["data"], position, max_item_bytes)
+        else:
+            data = _read_local(item["path"], position, max_item_bytes)
+        work.append(IngestItem(sample_id=sample_id, class_name=class_name,
+                               data=data))
+    return work
+
+
+def parse_purge_path(path: str) -> str:
+    """The sample id addressed by one ``DELETE /samples/<id>`` path."""
+
+    if not path.startswith(PURGE_PREFIX):
+        raise ProtocolError(f"purge path must start with {PURGE_PREFIX}")
+    sample_id = unquote(path[len(PURGE_PREFIX):])
+    if not sample_id:
+        raise ProtocolError("purge path carries no sample id")
+    return sample_id
+
+
+def encode_ingest_report(reports: Sequence[dict], generation: int,
+                         members: int) -> bytes:
+    """Serialise one ingest response body (reports in input order)."""
+
+    return json.dumps({
+        "ingested": list(reports),
+        "model_generation": int(generation),
+        "corpus_members": int(members),
+        "count": len(reports),
+    }, sort_keys=True).encode("utf-8")

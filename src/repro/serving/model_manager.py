@@ -1,4 +1,4 @@
-"""Generation-tracked model ownership with hot reload.
+"""Generation-tracked model ownership with hot reload and ingestion.
 
 A serving process outlives its model artifact: operators retrain
 offline and publish a fresh ``model.rpm`` by atomically replacing the
@@ -20,6 +20,19 @@ traffic:
 ``classify_items`` is the single entry point the coalescer drains into:
 it snapshots ``(service, generation)`` once per batch, so one batch —
 and therefore one response — can never mix generations.
+
+With ``mutable=True`` the manager additionally owns **online corpus
+mutation**: :meth:`ingest_items` / :meth:`purge` / :meth:`compact`
+mutate the live service's sharded anchor index, and :meth:`publish`
+re-exports the grown corpus as an atomic artifact.  Mutations run under
+the predict lock, so they are serialised against model passes *and*
+against hot-reload swaps (the swap takes the predict lock too) — a
+mutation can never land on a service that was just swapped out.
+
+Locking order (outermost first): ``_reload_lock`` → ``_predict_lock``
+→ ``_swap_lock``.  ``classify_items`` takes the swap lock and releases
+it before taking the predict lock, so no path ever waits on the two in
+conflicting order.
 """
 
 from __future__ import annotations
@@ -40,9 +53,15 @@ _LOG = get_logger("serving.model_manager")
 #: Default artifact poll interval, in seconds.
 DEFAULT_POLL_INTERVAL = 2.0
 
+#: Re-stat attempts per reload before giving up on convergence.  Each
+#: attempt re-stats after the load and retries when a publish landed
+#: mid-load; on exhaustion the freshest load is served under its
+#: pre-load signature, so the next poll simply reloads again.
+RELOAD_STAT_ATTEMPTS = 5
+
 
 class ModelManager:
-    """Own the live model: load, watch, hot-swap, classify.
+    """Own the live model: load, watch, hot-swap, classify, ingest.
 
     Parameters
     ----------
@@ -53,7 +72,14 @@ class ModelManager:
         runs; ``0`` disables watching entirely.
     metrics:
         Optional :class:`~repro.serving.metrics.MetricsRegistry`;
-        reload counts and the live generation are published to it.
+        reload counts, the live generation and (in mutable mode) corpus
+        membership are published to it.
+    mutable:
+        Enable online corpus mutation on every loaded service
+        (:meth:`ClassificationService.enable_mutation`).
+    n_shards:
+        Shard count used when a loaded artifact carries a single
+        (non-sharded) index that mutable mode must convert.
     load_kwargs:
         Forwarded to :meth:`ClassificationService.load` on every load
         (``allowed_classes``, ``cache_size``, ``executor``, ...).
@@ -61,16 +87,26 @@ class ModelManager:
 
     def __init__(self, model_path: str | os.PathLike, *,
                  poll_interval: float = DEFAULT_POLL_INTERVAL,
-                 metrics=None, **load_kwargs) -> None:
+                 metrics=None, mutable: bool = False, n_shards: int = 4,
+                 **load_kwargs) -> None:
         self.model_path = Path(model_path)
         self.poll_interval = float(poll_interval)
+        self.mutable = bool(mutable)
+        self.n_shards = int(n_shards)
         self._load_kwargs = dict(load_kwargs)
         self._metrics = metrics
         self._swap_lock = threading.Lock()
         # Model passes share mutable per-index memo caches and, under
         # the GIL, gain nothing from running concurrently — serialise
-        # them so multiple coalescer workers stay correct.
+        # them so multiple coalescer workers stay correct.  Corpus
+        # mutations and generation swaps take this lock too, so a
+        # mutation never lands on a just-swapped-out service.
         self._predict_lock = threading.Lock()
+        # Serialises whole reload/publish cycles: the watcher thread
+        # racing a manual maybe_reload() must not double-load one
+        # publish, and _failed_signature is only touched under this
+        # lock.
+        self._reload_lock = threading.Lock()
         self._service: ClassificationService | None = None
         self._generation = 0
         self._signature: tuple[int, int, int] | None = None
@@ -82,6 +118,11 @@ class ModelManager:
             self._reloads = metrics.counter("model_reloads_total")
             self._reload_failures = metrics.counter(
                 "model_reload_failures_total")
+            if self.mutable:
+                self._members_gauge = metrics.gauge("corpus_members")
+                self._tombstones_gauge = metrics.gauge("corpus_tombstones")
+                self._ingested = metrics.counter("ingested_samples_total")
+                self._purged = metrics.counter("purged_samples_total")
         self._load_initial()
 
     # ------------------------------------------------------------ lifecycle
@@ -94,18 +135,57 @@ class ModelManager:
             raise ServingError(
                 f"cannot serve model artifact {self.model_path}: "
                 f"{exc}") from exc
-        service = ClassificationService.load(self.model_path,
-                                             **self._load_kwargs)
+        service, signature = self._load_converged(signature)
         self._service = service
         self._signature = signature
         self._generation = 1
         if self._metrics is not None:
             self._generation_gauge.set(1)
+        self._update_corpus_gauges()
         _LOG.info("loaded model generation 1 from %s", self.model_path)
 
     def _stat_signature(self) -> tuple[int, int, int]:
         stat = os.stat(self.model_path)
         return (stat.st_mtime_ns, stat.st_size, stat.st_ino)
+
+    def _load_service(self) -> ClassificationService:
+        service = ClassificationService.load(self.model_path,
+                                             **self._load_kwargs)
+        if self.mutable:
+            service.enable_mutation(n_shards=self.n_shards)
+        return service
+
+    def _load_converged(self, signature: tuple[int, int, int]
+                        ) -> tuple[ClassificationService,
+                                   tuple[int, int, int]]:
+        """Load the artifact until its stat signature stops moving.
+
+        ``os.stat`` before the load alone is a TOCTOU: a publish landing
+        between the stat and the read would be served under the *old*
+        signature, and the next poll — seeing that stale signature as
+        current — would skip the new bytes entirely.  So the file is
+        re-stat'ed after every successful load and the load repeats
+        until the pre- and post-load signatures agree (bounded by
+        ``RELOAD_STAT_ATTEMPTS``; on exhaustion the freshest load is
+        returned under its pre-load signature, which the next poll will
+        see as changed and converge then).
+        """
+
+        for _ in range(RELOAD_STAT_ATTEMPTS):
+            service = self._load_service()
+            try:
+                after = self._stat_signature()
+            except OSError:
+                # The artifact vanished right after a successful read;
+                # serve what was loaded under the signature it was
+                # opened with.
+                return service, signature
+            if after == signature:
+                return service, signature
+            _LOG.info("model artifact %s changed during load; re-reading",
+                      self.model_path)
+            signature = after
+        return service, signature
 
     @property
     def generation(self) -> int:
@@ -133,6 +213,100 @@ class ModelManager:
         with self._predict_lock:
             return service.classify_bytes(items), generation
 
+    # ------------------------------------------------------------ ingestion
+    def ingest_items(self, items: Sequence[tuple[str, bytes, str]]
+                     ) -> tuple[list[dict], int]:
+        """Ingest ``(sample_id, bytes, class_name)`` triples online.
+
+        Returns ``(reports, generation)`` — the generation whose corpus
+        absorbed the batch.  Holding the predict lock across snapshot
+        and mutation means a concurrent hot reload (which swaps under
+        the predict lock) can never strand the batch on a swapped-out
+        service.
+        """
+
+        with self._predict_lock:
+            with self._swap_lock:
+                service = self._service
+                generation = self._generation
+            reports = service.ingest_bytes(items)
+        if self._metrics is not None and self.mutable:
+            self._ingested.inc(len(reports))
+        self._update_corpus_gauges()
+        return reports, generation
+
+    def purge(self, sample_id: str) -> tuple[int, int]:
+        """Tombstone a sample id; returns ``(removed, generation)``."""
+
+        with self._predict_lock:
+            with self._swap_lock:
+                service = self._service
+                generation = self._generation
+            removed = service.purge(sample_id)
+        if removed and self._metrics is not None and self.mutable:
+            self._purged.inc(removed)
+        self._update_corpus_gauges()
+        return removed, generation
+
+    def compact(self) -> int:
+        """Physically drop tombstoned members; returns how many."""
+
+        with self._predict_lock:
+            with self._swap_lock:
+                service = self._service
+            dropped = service.compact()
+        self._update_corpus_gauges()
+        return dropped
+
+    def corpus_info(self) -> dict:
+        """Live corpus statistics (see
+        :meth:`ClassificationService.corpus_info`)."""
+
+        return self.service.corpus_info()
+
+    def publish(self, path: str | os.PathLike | None = None) -> Path:
+        """Export the live corpus as an atomic artifact (default: the
+        watched ``model_path``).
+
+        The artifact is written to a sibling temporary file and moved
+        into place with ``os.replace`` — readers (replicas polling the
+        same path, or this very manager's watcher) only ever see the old
+        or the new complete file.  When publishing over ``model_path``
+        the published signature is recorded under the reload lock, so
+        the watcher does not pointlessly reload the server's own
+        snapshot.
+        """
+
+        target = self.model_path if path is None else Path(path)
+        tmp = target.with_name(target.name + f".publish-{os.getpid()}.tmp")
+        with self._reload_lock:
+            with self._predict_lock:
+                with self._swap_lock:
+                    service = self._service
+                    generation = self._generation
+                try:
+                    service.save(tmp)
+                    # os.replace preserves the temporary file's inode,
+                    # mtime and size, so its stat IS the published
+                    # file's signature — taken before the rename, there
+                    # is no window for a foreign publish to be
+                    # mistaken for ours.
+                    stat = os.stat(tmp)
+                    signature = (stat.st_mtime_ns, stat.st_size, stat.st_ino)
+                    os.replace(tmp, target)
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
+            if target == self.model_path:
+                with self._swap_lock:
+                    self._signature = signature
+                self._failed_signature = None
+        _LOG.info("published generation %d corpus to %s", generation, target)
+        return target
+
     # ------------------------------------------------------------ hot reload
     def maybe_reload(self) -> bool:
         """Reload if the artifact changed on disk; True when swapped.
@@ -141,43 +315,47 @@ class ModelManager:
         the old generation while the new model loads and seals its
         index.  Failures leave the old generation serving and are not
         retried until the file changes again (a half-copied artifact
-        would otherwise be re-parsed every poll).
+        would otherwise be re-parsed every poll).  The whole cycle runs
+        under the reload lock, so the watcher thread racing a manual
+        call loads each publish exactly once.
         """
 
-        try:
-            signature = self._stat_signature()
-        except OSError as exc:
-            # The artifact vanished mid-publish (unlink before the new
-            # os.replace landed, or an operator mistake).  Keep serving.
-            _LOG.warning("model artifact %s is unreadable (%s); keeping "
-                         "generation %d", self.model_path, exc,
-                         self.generation)
-            return False
-        with self._swap_lock:
-            if signature == self._signature:
+        with self._reload_lock:
+            try:
+                signature = self._stat_signature()
+            except OSError as exc:
+                # The artifact vanished mid-publish (unlink before the
+                # new os.replace landed, or an operator mistake).  Keep
+                # serving.
+                _LOG.warning("model artifact %s is unreadable (%s); keeping "
+                             "generation %d", self.model_path, exc,
+                             self.generation)
                 return False
-        if signature == self._failed_signature:
-            return False
-        try:
-            service = ClassificationService.load(self.model_path,
-                                                 **self._load_kwargs)
-        except (ReproError, OSError) as exc:
-            self._failed_signature = signature
-            if self._metrics is not None:
-                self._reload_failures.inc()
-            _LOG.warning("hot reload of %s failed (%s); keeping "
-                         "generation %d", self.model_path, exc,
-                         self.generation)
-            return False
-        with self._swap_lock:
-            self._service = service
-            self._signature = signature
-            self._generation += 1
-            generation = self._generation
-        self._failed_signature = None
+            with self._swap_lock:
+                if signature == self._signature:
+                    return False
+            if signature == self._failed_signature:
+                return False
+            try:
+                service, signature = self._load_converged(signature)
+            except (ReproError, OSError) as exc:
+                self._failed_signature = signature
+                if self._metrics is not None:
+                    self._reload_failures.inc()
+                _LOG.warning("hot reload of %s failed (%s); keeping "
+                             "generation %d", self.model_path, exc,
+                             self.generation)
+                return False
+            with self._predict_lock, self._swap_lock:
+                self._service = service
+                self._signature = signature
+                self._generation += 1
+                generation = self._generation
+            self._failed_signature = None
         if self._metrics is not None:
             self._reloads.inc()
             self._generation_gauge.set(generation)
+        self._update_corpus_gauges()
         _LOG.info("hot-reloaded %s as model generation %d",
                   self.model_path, generation)
         return True
@@ -206,3 +384,10 @@ class ModelManager:
                 self.maybe_reload()
             except Exception:  # noqa: BLE001 — the watcher must survive
                 _LOG.exception("model watcher poll failed; continuing")
+
+    def _update_corpus_gauges(self) -> None:
+        if self._metrics is None or not self.mutable:
+            return
+        info = self.corpus_info()
+        self._members_gauge.set(info["members"])
+        self._tombstones_gauge.set(info.get("tombstones", 0))

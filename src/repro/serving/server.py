@@ -13,12 +13,28 @@ to stop.  Three endpoints:
     drained into shared micro-batches; a full queue answers ``503``
     with a ``Retry-After`` header instead of queueing unboundedly.
 ``GET /healthz``
-    Liveness: status, live model generation, uptime, drain state.
+    Liveness: status, live model generation, uptime, drain state, and
+    (in ingest mode) live corpus membership.
 ``GET /metrics``
     JSON snapshot of the
     :class:`~repro.serving.metrics.MetricsRegistry` (request counters,
     latency histogram with p50/p95/p99, batch sizes, queue depth,
     reload counts) plus the service's digest-cache counters.
+
+With ``enable_ingest=True`` (and a mutable
+:class:`~repro.serving.model_manager.ModelManager`) two more verbs turn
+the server into a live metastore:
+
+``POST /ingest``
+    Add labelled samples to the in-process corpus (JSON protocol, see
+    :mod:`repro.serving.ingest`).  Ingest requests flow through the
+    *same* bounded coalescer queue as classification — an ingest burst
+    is admission-controlled by the same 503/Retry-After backpressure
+    and can never starve classification through a private path.
+``DELETE /samples/<id>``
+    Tombstone every corpus member registered under the (URL-encoded)
+    sample id.  Answers 404 for an unknown id and 409 when the purge
+    would leave a class without anchors.
 
 Shutdown is graceful by default: stop accepting connections, drain the
 queued requests so every admitted client gets its answer, flush and
@@ -38,11 +54,14 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..exceptions import (
     ProtocolError,
+    ReproError,
     ServerClosedError,
     ServerOverloadedError,
     ServingError,
+    ValidationError,
 )
 from ..logging_utils import get_logger
+from . import ingest as ingest_protocol
 from . import protocol
 from .batcher import RequestCoalescer
 from .metrics import MetricsRegistry
@@ -66,6 +85,8 @@ class ServerConfig:
     max_request_bytes: int = protocol.DEFAULT_MAX_REQUEST_BYTES
     retry_after_seconds: float = 1.0      # hint sent with every 503
     request_timeout_seconds: float = 120.0
+    enable_ingest: bool = False           # POST /ingest + DELETE /samples
+    max_ingest_items: int = ingest_protocol.DEFAULT_MAX_INGEST_ITEMS
 
 
 class _HTTPServer(ThreadingHTTPServer):
@@ -93,11 +114,12 @@ class ClassificationServer:
 
     def __init__(self, manager, config: ServerConfig | None = None, *,
                  metrics: MetricsRegistry | None = None,
-                 decision_log=None) -> None:
+                 decision_log=None, lifecycle=None) -> None:
         self.manager = manager
         self.config = config or ServerConfig()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.decision_log = decision_log
+        self.lifecycle = lifecycle
         self._requests = self.metrics.counter("http_requests_total")
         self._ok = self.metrics.counter("http_responses_ok")
         self._bad = self.metrics.counter("http_responses_bad_request")
@@ -105,8 +127,13 @@ class ClassificationServer:
         self._errors = self.metrics.counter("http_responses_error")
         self._items = self.metrics.counter("items_classified_total")
         self._latency = self.metrics.histogram("request_latency_seconds")
+        handlers = {"classify": self._classify_batch}
+        if self.config.enable_ingest:
+            handlers["ingest"] = self._ingest_batch
+            self._items_ingested = self.metrics.counter(
+                "items_ingested_total")
         self._coalescer = RequestCoalescer(
-            self._classify_batch,
+            handlers,
             max_batch=self.config.max_batch,
             queue_depth=self.config.queue_depth,
             workers=self.config.workers,
@@ -145,6 +172,8 @@ class ClassificationServer:
         self._started_at = time.monotonic()
         if hasattr(self.manager, "start_watching"):
             self.manager.start_watching()
+        if self.lifecycle is not None:
+            self.lifecycle.start()
         self._serve_thread = threading.Thread(
             target=self._httpd.serve_forever, name="repro-serve",
             kwargs={"poll_interval": 0.1}, daemon=True)
@@ -167,6 +196,8 @@ class ClassificationServer:
         if self._stopped.is_set():
             return
         self._draining.set()
+        if self.lifecycle is not None:
+            self.lifecycle.stop()
         if hasattr(self.manager, "stop"):
             self.manager.stop()
         if self._httpd is not None:
@@ -267,13 +298,128 @@ class ClassificationServer:
                 self.decision_log.append(record)
         return 200, {}, protocol.encode_decisions(decisions, generation)
 
+    # ------------------------------------------------------------- ingestion
+    def _ingest_batch(self, items):
+        reports, generation = self.manager.ingest_items(
+            [item.as_triple() for item in items])
+        if self.lifecycle is not None:
+            self.lifecycle.note_ingested(reports)
+        return reports, generation
+
+    def handle_ingest(self, body: bytes) -> tuple[int, dict, bytes]:
+        """Run one ``/ingest`` body; ``(status, headers, response)``."""
+
+        with self._idle:
+            self._inflight += 1
+        try:
+            return self._handle_ingest(body)
+        finally:
+            with self._idle:
+                self._inflight -= 1
+                self._idle.notify_all()
+
+    def _handle_ingest(self, body: bytes) -> tuple[int, dict, bytes]:
+        started = time.perf_counter()
+        self._requests.inc()
+        if not self.config.enable_ingest:
+            self._bad.inc()
+            return 403, {}, _error_body(
+                "ingestion is disabled on this server (start it with "
+                "--ingest)")
+        try:
+            items = ingest_protocol.parse_ingest_request(
+                body, max_items=self.config.max_ingest_items,
+                max_item_bytes=self.config.max_item_bytes)
+            future = self._coalescer.submit(items, kind="ingest")
+            reports, generation = future.result(
+                timeout=self.config.request_timeout_seconds)
+        except (ProtocolError, ValidationError) as exc:
+            # ValidationError covers corpus-level rejections (unknown
+            # class, unlabelled sample) raised inside the ingest pass.
+            self._bad.inc()
+            return 400, {}, _error_body(str(exc))
+        except (ServerOverloadedError, ServerClosedError, TimeoutError,
+                FutureTimeoutError) as exc:
+            self._overloaded.inc()
+            retry = {"Retry-After":
+                     str(max(1, round(self.config.retry_after_seconds)))}
+            return 503, retry, _error_body(str(exc))
+        except Exception as exc:  # noqa: BLE001 — must answer the client
+            self._errors.inc()
+            _LOG.exception("ingest request failed")
+            return 500, {}, _error_body(f"internal error: {exc}")
+        self._ok.inc()
+        self._items_ingested.inc(len(reports))
+        self._latency.observe(time.perf_counter() - started)
+        members = self.manager.corpus_info()["members"]
+        return 200, {}, ingest_protocol.encode_ingest_report(
+            reports, generation, members)
+
+    def handle_purge(self, path: str) -> tuple[int, dict, bytes]:
+        """Run one ``DELETE /samples/<id>``; ``(status, hdrs, body)``.
+
+        Purges run directly (not through the coalescer): they carry no
+        payload to batch, and the manager's mutation path serialises
+        them against model passes anyway.
+        """
+
+        with self._idle:
+            self._inflight += 1
+        try:
+            return self._handle_purge(path)
+        finally:
+            with self._idle:
+                self._inflight -= 1
+                self._idle.notify_all()
+
+    def _handle_purge(self, path: str) -> tuple[int, dict, bytes]:
+        self._requests.inc()
+        if not self.config.enable_ingest:
+            self._bad.inc()
+            return 403, {}, _error_body(
+                "ingestion is disabled on this server (start it with "
+                "--ingest)")
+        try:
+            sample_id = ingest_protocol.parse_purge_path(path)
+            removed, generation = self.manager.purge(sample_id)
+        except ProtocolError as exc:
+            self._bad.inc()
+            return 400, {}, _error_body(str(exc))
+        except ValidationError as exc:
+            # Refused because the purge would strand a class without
+            # anchors: a conflict with the corpus state, not a bad
+            # request shape.
+            self._bad.inc()
+            return 409, {}, _error_body(str(exc))
+        except Exception as exc:  # noqa: BLE001 — must answer the client
+            self._errors.inc()
+            _LOG.exception("purge request failed")
+            return 500, {}, _error_body(f"internal error: {exc}")
+        if not removed:
+            self._bad.inc()
+            return 404, {}, _error_body(
+                f"no corpus member is registered under {sample_id!r}")
+        self._ok.inc()
+        return 200, {}, json.dumps({
+            "purged": int(removed), "sample_id": sample_id,
+            "model_generation": int(generation),
+        }, sort_keys=True).encode("utf-8")
+
     def health_payload(self) -> dict:
-        return {
+        payload = {
             "status": "draining" if self._draining.is_set() else "ok",
             "model_generation": int(self.manager.generation),
             "model_path": str(getattr(self.manager, "model_path", "")),
             "uptime_seconds": round(time.monotonic() - self._started_at, 3),
+            "ingest_enabled": bool(self.config.enable_ingest),
         }
+        corpus_info = getattr(self.manager, "corpus_info", None)
+        if self.config.enable_ingest and callable(corpus_info):
+            try:
+                payload["corpus"] = corpus_info()
+            except ReproError:   # pragma: no cover — health must answer
+                pass
+        return payload
 
     def metrics_payload(self) -> dict:
         payload = dict(self.metrics.snapshot())
@@ -324,28 +470,46 @@ class _Handler(BaseHTTPRequestHandler):
                                              f"{self.path}"))
 
     def do_POST(self) -> None:  # noqa: N802 — stdlib naming
-        if self.path != "/classify":
+        if self.path not in ("/classify", "/ingest"):
             self._send_json(404, _error_body(f"no such endpoint: "
                                              f"{self.path}"))
             return
+        body = self._read_body()
+        if body is None:
+            return
+        if self.path == "/classify":
+            status, headers, response = self.app.handle_classify(body)
+        else:
+            status, headers, response = self.app.handle_ingest(body)
+        self._send_json(status, response, headers)
+
+    def do_DELETE(self) -> None:  # noqa: N802 — stdlib naming
+        if not self.path.startswith(ingest_protocol.PURGE_PREFIX):
+            self._send_json(404, _error_body(f"no such endpoint: "
+                                             f"{self.path}"))
+            return
+        status, headers, response = self.app.handle_purge(self.path)
+        self._send_json(status, response, headers)
+
+    def _read_body(self) -> bytes | None:
+        """The request body, or None after answering with an error."""
+
         length = self.headers.get("Content-Length")
         try:
             length = int(length)
         except (TypeError, ValueError):
             self._send_json(411, _error_body("Content-Length required"))
-            return
+            return None
         if length < 0:
             # rfile.read(-1) would block until EOF, parking this
             # handler thread for as long as the client holds the
             # connection open.
             self._send_json(400, _error_body("Content-Length must be "
                                              "non-negative"))
-            return
+            return None
         if length > self.app.config.max_request_bytes:
             self._send_json(413, _error_body(
                 f"request body of {length} bytes exceeds the "
                 f"{self.app.config.max_request_bytes}-byte cap"))
-            return
-        body = self.rfile.read(length)
-        status, headers, response = self.app.handle_classify(body)
-        self._send_json(status, response, headers)
+            return None
+        return self.rfile.read(length)

@@ -319,3 +319,88 @@ def test_feature_builder_adopts_sharded_index(corpus):
     adopted_matrix = adopted.transform(records, exclude_self=True)
     assert adopted_matrix.feature_names == direct_matrix.feature_names
     assert np.array_equal(adopted_matrix.X, direct_matrix.X)
+
+
+# ------------------------------------------ tombstone persistence (age-off)
+def test_tombstones_survive_save_load_without_compact(tmp_path, corpus):
+    """``remove()`` without ``compact()`` must persist: a reloaded index
+    (what a restarted server sees after a lifecycle republish) must not
+    resurrect the removed members."""
+
+    index = build(corpus, 3)
+    removed = [corpus[2][0], corpus[40][0], corpus[77][0]]
+    for sample_id in removed:
+        assert index.remove(sample_id) >= 1
+    loaded = ShardedSimilarityIndex.load(index.save(tmp_path / "idx.rpsd"))
+    assert loaded.n_tombstones == index.n_tombstones
+    assert loaded.n_members == index.n_members
+    for sample_id in removed:
+        assert loaded.members_for_id(sample_id) == frozenset()
+        assert sample_id not in loaded.sample_ids
+    # The tombstoned members stay invisible to queries too.
+    for sample_id, digests, _ in corpus[:10]:
+        assert all(m.sample_id not in removed
+                   for m in loaded.top_k(digests[FT], 90, min_score=0))
+
+
+def test_tombstones_survive_get_state_from_state(corpus):
+    index = build(corpus, 4)
+    index.remove(corpus[8][0])
+    index.remove(corpus[9][0])
+    header, arrays = index.get_state()
+    restored = ShardedSimilarityIndex.from_state(header, arrays)
+    assert restored.n_tombstones == index.n_tombstones
+    assert restored.sample_ids == index.sample_ids
+    assert restored.members_for_id(corpus[8][0]) == frozenset()
+    for sample_id, digests, _ in corpus[:10]:
+        assert restored.top_k(digests[FT], 20, min_score=0) == \
+            index.top_k(digests[FT], 20, min_score=0)
+
+
+def test_tombstones_survive_with_unsealed_pending_tail(tmp_path, corpus):
+    """Remove + fresh (unmerged) adds, then persist both ways: neither
+    the tombstones nor the pending postings tail may be lost."""
+
+    index = build(corpus[:60], 3)
+    index.seal()
+    index.remove(corpus[3][0])
+    for sample_id, digests, cls in corpus[60:70]:   # unsealed tail
+        index.add(sample_id, digests, class_name=cls)
+    header, arrays = index.get_state()
+    restored = ShardedSimilarityIndex.from_state(header, arrays)
+    loaded = ShardedSimilarityIndex.load(index.save(tmp_path / "t.rpsd"))
+    for copy in (restored, loaded):
+        assert copy.n_tombstones == index.n_tombstones
+        assert copy.members_for_id(corpus[3][0]) == frozenset()
+        assert copy.sample_ids == index.sample_ids
+        for sample_id, digests, _ in corpus[60:70]:
+            assert copy.members_for_id(sample_id)
+            assert copy.top_k(digests[FT], 15, min_score=0) == \
+                index.top_k(digests[FT], 15, min_score=0)
+
+
+def test_tombstones_survive_the_model_artifact_round_trip(tmp_path):
+    """The full serving path: purge a member of a trained service, save
+    the ``.rpm``, reload it — the purged sample must stay gone (age-off
+    durability across restarts depends on exactly this)."""
+
+    from repro.api.service import ClassificationService
+    from test_api_artifact import make_records
+
+    records = make_records(24, seed=13, n_families=3)
+    sharded = ShardedSimilarityIndex([FT], n_shards=3)
+    sharded.add_many(records)
+    service = ClassificationService.train(
+        records, feature_types=[FT], n_estimators=5, random_state=3,
+        confidence_threshold=0.1, index=sharded)
+    service.enable_mutation()
+    victim = records[4].sample_id
+    assert service.purge(victim) >= 1
+    path = tmp_path / "model.rpm"
+    service.save(path)
+    fresh = ClassificationService.load(path)
+    fresh_index = fresh.similarity_index
+    assert fresh_index.n_tombstones == 1
+    assert fresh_index.members_for_id(victim) == frozenset()
+    assert victim not in fresh_index.sample_ids
+    assert fresh_index.sample_ids == service.similarity_index.sample_ids

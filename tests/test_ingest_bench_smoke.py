@@ -1,0 +1,64 @@
+"""Tier-1 perf smoke for online ingestion.
+
+Runs ``benchmarks/bench_ingest.py`` at reduced cost so a regression
+that loses ingested members, breaks publish/reload identity, or starves
+classification during ingest fails the default test run, not just a
+manually-invoked benchmark.  The full-cost configuration is marked
+``slow`` (``pytest -m slow`` opts in).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+_BENCH_PATH = Path(__file__).resolve().parents[1] / "benchmarks" / \
+    "bench_ingest.py"
+
+
+@pytest.fixture(scope="module")
+def bench():
+    spec = importlib.util.spec_from_file_location("bench_ingest",
+                                                  _BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("bench_ingest", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quick_benchmark_accounting_and_identity(bench):
+    result = bench.run(n_estimators=40, n_ingest=16, n_clients=4)
+    assert result.corpus_accounted, \
+        (f"corpus accounting broke: {result.members_before} + "
+         f"{result.n_ingested} != {result.members_after} live / "
+         f"{result.reloaded_members} reloaded")
+    assert result.decisions_match, \
+        "live decisions diverged from the published artifact"
+    # Classification kept flowing while the corpus grew.
+    assert result.classify_requests_during_ingest >= 1
+    # Conservative rate floor so a loaded CI machine cannot flake it;
+    # the full benchmark enforces the real --min-ingest-rate floor.
+    assert result.ingest_rate >= 2.0, \
+        f"ingest rate collapsed to {result.ingest_rate:.2f} samples/s"
+
+
+def test_benchmark_cli_mode(bench, capsys, tmp_path, monkeypatch):
+    monkeypatch.setattr(bench, "OUTPUT_DIR", tmp_path)
+    code = bench.main(["--quick", "--estimators", "40", "--samples", "12",
+                       "--clients", "4", "--min-ingest-rate", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "sustained ingest rate" in out
+    assert (tmp_path / "bench_ingest.txt").is_file()
+    assert (tmp_path / "BENCH_ingest.json").is_file()
+
+
+@pytest.mark.slow
+def test_full_benchmark_meets_rate_floor(bench):
+    """The full configuration: 96 samples, 8 clients, >=10 samples/s."""
+
+    result = bench.run(n_estimators=60, n_ingest=96, n_clients=8)
+    assert result.corpus_accounted
+    assert result.decisions_match
+    assert result.ingest_rate >= 10.0

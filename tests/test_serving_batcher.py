@@ -152,7 +152,7 @@ def test_classify_failure_fans_out_to_every_request_in_the_batch():
         future.result(timeout=10)
     # The worker survives a failing batch and keeps serving.
     ok = RecordingClassifier()
-    coalescer._classify_fn = ok
+    coalescer._handlers["classify"] = ok
     assert coalescer.submit(["b"]).result(timeout=10)[0] == ["scored:b"]
     coalescer.close()
 

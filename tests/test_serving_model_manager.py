@@ -139,6 +139,152 @@ def test_initial_load_failure_raises(tmp_path):
         ModelManager(broken, poll_interval=0)
 
 
+def test_reload_restats_until_signature_and_bytes_agree(artifacts, tmp_path,
+                                                        monkeypatch):
+    """A publish landing between the stat and the load must not leave
+    the loaded bytes recorded under the stale pre-load signature.
+
+    Pre-fix, ``maybe_reload`` stat'ed once up front: the racing publish
+    below made it serve the *new* bytes under the *old* signature, so
+    the follow-up poll re-loaded the same file and bumped the
+    generation a second time.
+    """
+
+    from repro.api.service import ClassificationService
+
+    gen_a, gen_b, _ = artifacts
+    live = tmp_path / "model.rpm"
+    publish(gen_a, live)
+    manager = ModelManager(live, poll_interval=0, cache_size=0)
+
+    real_load = ClassificationService.load
+    calls = {"n": 0}
+
+    def racing_load(path, **kwargs):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            # A second publish lands after the manager stat'ed the
+            # artifact but before it finished reading it.
+            publish(gen_b, live)
+        return real_load(path, **kwargs)
+
+    monkeypatch.setattr(ClassificationService, "load",
+                        staticmethod(racing_load))
+    publish(gen_b, live)
+    assert manager.maybe_reload() is True
+    assert calls["n"] == 2                 # the torn read was retried
+    assert manager.generation == 2
+    # The recorded signature matches the artifact actually served...
+    assert manager._signature == manager._stat_signature()
+    # ...so the next poll is a no-op instead of a double-load.
+    assert manager.maybe_reload() is False
+    assert manager.generation == 2
+
+
+def test_concurrent_maybe_reload_loads_one_publish_once(artifacts, tmp_path,
+                                                        monkeypatch):
+    """The watcher racing a manual ``maybe_reload()`` must not load one
+    publish twice (pre-fix, the second thread passed the signature
+    check while the first was still inside ``ClassificationService.load``
+    and both swapped, double-bumping the generation)."""
+
+    import threading
+    import time
+
+    from repro.api.service import ClassificationService
+
+    gen_a, gen_b, _ = artifacts
+    live = tmp_path / "model.rpm"
+    publish(gen_a, live)
+    manager = ModelManager(live, poll_interval=0, cache_size=0)
+
+    real_load = ClassificationService.load
+    entered = threading.Event()
+    release = threading.Event()
+    counter_lock = threading.Lock()
+    calls = {"n": 0}
+
+    def slow_load(path, **kwargs):
+        with counter_lock:
+            calls["n"] += 1
+        entered.set()
+        assert release.wait(timeout=30)
+        return real_load(path, **kwargs)
+
+    monkeypatch.setattr(ClassificationService, "load",
+                        staticmethod(slow_load))
+    publish(gen_b, live)
+    results = []
+    threads = [threading.Thread(
+        target=lambda: results.append(manager.maybe_reload()))
+        for _ in range(2)]
+    threads[0].start()
+    assert entered.wait(timeout=30)
+    threads[1].start()
+    time.sleep(0.2)      # pre-fix window: thread 2 races the stale check
+    release.set()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert calls["n"] == 1                       # one publish, one load
+    assert sorted(results) == [False, True]
+    assert manager.generation == 2
+
+
+def test_concurrent_corrupt_publish_is_parsed_once(artifacts, tmp_path,
+                                                   monkeypatch):
+    """Two threads racing a *corrupt* publish must record exactly one
+    failure and never clear the failure marker for the still-broken
+    file (pre-fix, ``_failed_signature`` was read and written with no
+    lock held)."""
+
+    import threading
+    import time
+
+    from repro.api.service import ClassificationService
+    from repro.exceptions import ModelFormatError
+
+    gen_a, gen_b, _ = artifacts
+    live = tmp_path / "model.rpm"
+    publish(gen_a, live)
+    registry = MetricsRegistry()
+    manager = ModelManager(live, poll_interval=0, metrics=registry,
+                           cache_size=0)
+
+    entered = threading.Event()
+    release = threading.Event()
+    counter_lock = threading.Lock()
+    calls = {"n": 0}
+
+    def corrupt_load(path, **kwargs):
+        with counter_lock:
+            calls["n"] += 1
+        entered.set()
+        assert release.wait(timeout=30)
+        raise ModelFormatError("artifact is torn")
+
+    monkeypatch.setattr(ClassificationService, "load",
+                        staticmethod(corrupt_load))
+    publish(gen_b, live)
+    results = []
+    threads = [threading.Thread(
+        target=lambda: results.append(manager.maybe_reload()))
+        for _ in range(2)]
+    threads[0].start()
+    assert entered.wait(timeout=30)
+    threads[1].start()
+    time.sleep(0.2)
+    release.set()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert results == [False, False]
+    assert calls["n"] == 1                       # parsed exactly once
+    assert registry.snapshot()["model_reload_failures_total"] == 1
+    # The failure marker survived the race: further polls skip the file.
+    assert manager.maybe_reload() is False
+    assert calls["n"] == 1
+    assert manager.generation == 1
+
+
 def test_watcher_thread_picks_up_a_publish(artifacts, tmp_path):
     import time
 
