@@ -1,0 +1,16 @@
+#!/bin/sh
+# Quick regression smoke for the second hash family: runs the
+# vector-digest benchmark in its small configuration and fails
+# (non-zero exit) when the packed kNN sweep diverges from the per-pair
+# reference, dual-family recall drops below CTPH-only recall in any
+# mutation scenario, or the packed sweep stops clearing the smoke
+# speedup floor.  Tier-1 runs the same checks via
+# tests/test_vector_bench_smoke.py; the full >=5x acceptance floor is
+# the benchmark's default (no --quick override below — the sweep is
+# typically two orders of magnitude faster, so 5x holds even on small
+# quick corpora).
+set -eu
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+# Later flags win, so callers can still override via "$@".
+PYTHONPATH="$repo_root/src${PYTHONPATH:+:$PYTHONPATH}" \
+    exec python "$repo_root/benchmarks/bench_vector_digest.py" --quick "$@"

@@ -21,13 +21,16 @@ Array payloads hold the flattened forest (per-tree node tables
 concatenated, with offset arrays) and, when ``include_index`` is left
 on, the anchor index under ``index.*`` names.
 
-Format version 2 (this build) additionally allows the embedded anchor
-index to be a :class:`~repro.index.ShardedSimilarityIndex`: its header
-(under ``index.header``) carries ``"sharded": true`` plus the shard
-layout, and its arrays are prefixed ``index.shardN.*``.  Version 1
-artifacts — always a single :class:`~repro.index.SimilarityIndex` —
-load unchanged and predict identically; readers accept any version up
-to the current one.
+Format version 2 additionally allows the embedded anchor index to be a
+:class:`~repro.index.ShardedSimilarityIndex`: its header (under
+``index.header``) carries ``"sharded": true`` plus the shard layout,
+and its arrays are prefixed ``index.shardN.*``.  Format version 3
+(this build) adds the second hash family: the classifier may carry a
+``family`` parameter (``"ctph"``/``"vector"``/``"both"``) and the
+embedded index may hold packed ``uint64`` vector-digest matrices
+(``v{idx}.*`` sections, :mod:`repro.index.knn`).  Version 1 and 2
+artifacts — CTPH-only by construction — load unchanged and predict
+identically; readers accept any version up to the current one.
 
 Validation on load is strict: bad magic, truncation, a future format
 version, unknown feature types, or a feature layout that does not match
@@ -55,7 +58,10 @@ from ..exceptions import (
     NotFittedError,
     ReproError,
 )
-from ..features.extractors import EXTENDED_FEATURE_TYPES
+from ..features.extractors import (
+    ALL_FEATURE_TYPES,
+    resolve_family_feature_types,
+)
 from ..index import ShardedSimilarityIndex, SimilarityIndex, load_index
 from ..index.storage import ContainerFormat, read_container, write_container
 from ..logging_utils import get_logger
@@ -65,9 +71,9 @@ __all__ = ["MODEL_FORMAT_VERSION", "MODEL_MAGIC", "MODEL_SUFFIX", "MODEL_KIND",
 
 _LOG = get_logger("api.artifact")
 
-#: Current model artifact format version; v1 files (single-index
-#: anchors only) remain readable.
-MODEL_FORMAT_VERSION = 2
+#: Current model artifact format version; v1 (single-index anchors
+#: only) and v2 (sharded anchors, CTPH-only) files remain readable.
+MODEL_FORMAT_VERSION = 3
 
 #: File magic identifying a repro model artifact.
 MODEL_MAGIC = b"RPROMODL"
@@ -79,11 +85,12 @@ MODEL_SUFFIX = ".rpm"
 MODEL_KIND = "repro.fuzzy-hash-classifier"
 
 #: Container format of model artifact files (adds float64 for the
-#: forest's thresholds, node values and importances).
+#: forest's thresholds, node values and importances, and uint64 for
+#: packed vector-digest matrices).
 MODEL_CONTAINER = ContainerFormat(
     magic=MODEL_MAGIC,
     version=MODEL_FORMAT_VERSION,
-    allowed_dtypes=("<i2", "<i4", "<i8", "|u1", "<f8"),
+    allowed_dtypes=("<i2", "<i4", "<i8", "|u1", "<f8", "<u8"),
     kind="model artifact",
     format_error=ModelFormatError,
     io_error=ModelArtifactError,
@@ -355,11 +362,11 @@ def _restore(path: Path,
 
     feature_types = params.get("feature_types", ())
     unknown_types = [ft for ft in feature_types
-                     if ft not in EXTENDED_FEATURE_TYPES]
+                     if ft not in ALL_FEATURE_TYPES]
     if not feature_types or unknown_types:
         raise ModelFormatError(
             f"{source} uses feature types {unknown_types or '[]'} unknown to "
-            f"this build (supported: {list(EXTENDED_FEATURE_TYPES)})")
+            f"this build (supported: {list(ALL_FEATURE_TYPES)})")
 
     try:
         classifier = FuzzyHashClassifier(**params)
@@ -445,6 +452,16 @@ def _summarise(path: Path, header: Mapping) -> dict:
             index_members = len(index_header.get("sample_ids", []))
     else:
         index_members = 0
+    family = str(params.get("family", "ctph"))
+    try:
+        active_types = list(resolve_family_feature_types(
+            params.get("feature_types", ()), family))
+    except ReproError:
+        active_types = list(params.get("feature_types", []))
+    families = {
+        "ctph": [ft for ft in active_types if not ft.startswith("vector-")],
+        "vector": [ft for ft in active_types if ft.startswith("vector-")],
+    }
     return {
         "path": str(path),
         "file_bytes": path.stat().st_size,
@@ -452,6 +469,9 @@ def _summarise(path: Path, header: Mapping) -> dict:
         "library_version": header.get("library_version"),
         "kind": header["kind"],
         "feature_types": list(params.get("feature_types", [])),
+        "family": family,
+        "active_feature_types": active_types,
+        "families": families,
         "classes": [str(c) for c in classes.tolist()],
         "n_classes": len(classes),
         "n_trees": int(forest.get("n_trees", 0)),

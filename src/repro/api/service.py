@@ -179,7 +179,12 @@ class ClassificationService:
         # serving process; OrderedDict mutation is not atomic, so all
         # lookup/insert/evict passes run under this lock.
         self._cache_lock = threading.Lock()
-        self._pipeline = FeatureExtractionPipeline(classifier.feature_types,
+        # Family-aware classifiers expand their base feature types
+        # (``family="both"`` adds the vector siblings); extraction must
+        # produce every digest the model's anchor index will score.
+        active_types = getattr(classifier, "active_feature_types",
+                               classifier.feature_types)
+        self._pipeline = FeatureExtractionPipeline(active_types,
                                                    n_jobs=n_jobs,
                                                    executor=executor)
         # An explicitly requested executor must reach the anchor index
@@ -594,7 +599,8 @@ class ClassificationService:
                 self.cache_misses += len(features)
             return list(labels), np.asarray(confidences, dtype=np.float64)
 
-        feature_types = self.classifier.feature_types
+        feature_types = getattr(self.classifier, "active_feature_types",
+                                self.classifier.feature_types)
         keys = [tuple(record.digest(ft) for ft in feature_types)
                 for record in features]
         known: list = [None] * len(features)

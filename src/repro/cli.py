@@ -119,6 +119,11 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--types", nargs="+", default=None, metavar="TYPE",
                        help="fuzzy-hash feature types "
                             "(default: the paper's three types)")
+    train.add_argument("--family", default="ctph",
+                       choices=["ctph", "vector", "both"],
+                       help="hash family per feature type: the paper's "
+                            "CTPH digests, the fixed-length vector "
+                            "digests, or both side by side (default ctph)")
     train.add_argument("--jobs", type=int, default=None,
                        help="worker processes for extraction/training "
                             "(default: the global --jobs, else 1)")
@@ -149,6 +154,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="number of trees when retraining")
     classify.add_argument("--seed", type=int, default=None,
                           help="random seed when retraining")
+    classify.add_argument("--family", default=None,
+                          choices=["ctph", "vector", "both"],
+                          help="hash family when retraining (default ctph; "
+                               "a --model artifact carries its own family)")
     classify.add_argument("--index", default=None, metavar="FILE",
                           help="similarity index reused while retraining, or "
                                "supplying the anchors of a headless --model "
@@ -281,6 +290,10 @@ def build_parser() -> argparse.ArgumentParser:
                              metavar="TYPE",
                              help="fuzzy-hash feature types to index "
                                   "(default: the paper's three types)")
+    index_build.add_argument("--family", default="ctph",
+                             choices=["ctph", "vector", "both"],
+                             help="hash family per feature type "
+                                  "(default ctph)")
     index_build.add_argument("--shards", type=int, default=None, metavar="N",
                              help="build a sharded index directory with N "
                                   "shards instead of a single file")
@@ -384,13 +397,17 @@ def _cmd_experiment(args) -> int:
 
 def _cmd_train(args) -> int:
     from .api.service import ClassificationService
-    from .features.extractors import FEATURE_TYPES
+    from .features.extractors import (FEATURE_TYPES,
+                                      resolve_family_feature_types)
 
     feature_types = tuple(args.types) if args.types else FEATURE_TYPES
-    features = _index_features(args.source, feature_types,
+    # Extraction must cover the family-expanded types (family="both"
+    # needs the vector siblings alongside the CTPH digests).
+    active_types = resolve_family_feature_types(feature_types, args.family)
+    features = _index_features(args.source, active_types,
                                executor=args.executor)
     service = ClassificationService.train(
-        features, feature_types=feature_types,
+        features, feature_types=feature_types, family=args.family,
         confidence_threshold=args.threshold, n_estimators=args.estimators,
         random_state=args.seed, n_jobs=_effective_jobs(args),
         executor=args.executor)
@@ -404,7 +421,8 @@ def _cmd_train(args) -> int:
 def _cmd_classify(args) -> int:
     from .api.service import ClassificationService
     from .exceptions import ValidationError
-    from .features.extractors import FEATURE_TYPES
+    from .features.extractors import (FEATURE_TYPES,
+                                      resolve_family_feature_types)
     from .index import load_index
 
     jobs = _effective_jobs(args)
@@ -416,6 +434,9 @@ def _cmd_classify(args) -> int:
         if args.save_model:
             raise ValidationError("--save-model requires training; it cannot "
                                   "be combined with --model")
+        if args.family is not None:
+            raise ValidationError("--family applies when retraining; a "
+                                  "--model artifact carries its own family")
         target = args.source
         service = ClassificationService.load(args.model, index=args.index,
                                              allowed_classes=args.allowed,
@@ -437,11 +458,13 @@ def _cmd_classify(args) -> int:
         # layouts work: a single .rpsi file or a sharded directory.
         index = load_index(args.index,
                            executor=args.executor) if args.index else None
-        features = _index_features(args.source, FEATURE_TYPES,
+        family = args.family or "ctph"
+        active_types = resolve_family_feature_types(FEATURE_TYPES, family)
+        features = _index_features(args.source, active_types,
                                    executor=args.executor)
         threshold = 0.5 if args.threshold is None else args.threshold
         service = ClassificationService.train(
-            features, confidence_threshold=threshold,
+            features, family=family, confidence_threshold=threshold,
             n_estimators=args.estimators, random_state=args.seed,
             allowed_classes=args.allowed, index=index, n_jobs=jobs,
             executor=args.executor)
@@ -646,12 +669,20 @@ def _format_model_info(info: dict) -> str:
             index_line += f" across {info['index_shards']} shards"
     else:
         index_line = "not included (headless)"
+    family = info.get("family", "ctph")
+    family_line = f"hash family: {family}"
+    families = info.get("families") or {}
+    vector_types = families.get("vector") or []
+    if vector_types:
+        family_line += (f" ({len(families.get('ctph') or [])} ctph + "
+                        f"{len(vector_types)} vector active types)")
     return "\n".join([
         f"kind: {info['kind']} "
         f"(format v{info['format_version']}, "
         f"written by repro {info['library_version']})",
         f"file: {info['file_bytes']} bytes",
         f"feature types: {', '.join(info['feature_types'])}",
+        family_line,
         f"classes ({info['n_classes']}): {classes}",
         f"forest: {info['n_trees']} trees over {info['n_features']} features, "
         f"confidence threshold {info['confidence_threshold']}",
@@ -694,10 +725,12 @@ def _index_features(source: str, feature_types, *, executor=None):
 
 def _cmd_index_build(args) -> int:
     from .exceptions import ValidationError
-    from .features.extractors import FEATURE_TYPES
+    from .features.extractors import (FEATURE_TYPES,
+                                      resolve_family_feature_types)
     from .index import ShardedSimilarityIndex, SimilarityIndex
 
-    feature_types = tuple(args.types) if args.types else FEATURE_TYPES
+    feature_types = resolve_family_feature_types(
+        tuple(args.types) if args.types else FEATURE_TYPES, args.family)
     features = _index_features(args.source, feature_types,
                                executor=args.executor)
     if features:
@@ -718,7 +751,10 @@ def _cmd_index_build(args) -> int:
     index.add_many(features)
     stats = index.stats()
     for feature_type, info in stats["feature_types"].items():
-        if index.n_members and info["entries"] == 0:
+        populated = (info.get("members_with_digest", 0)
+                     if info.get("family") == "vector"
+                     else info.get("entries", 0))
+        if index.n_members and populated == 0:
             print(f"warning: feature type {feature_type!r} produced no "
                   f"index entries (all digests empty or degenerate)",
                   file=sys.stderr)
@@ -820,6 +856,12 @@ def _format_stats(stats: dict) -> str:
                      f"({stats['routing']} routing), "
                      f"tombstones: {stats['tombstones']}")
     for feature_type, info in stats["feature_types"].items():
+        if info.get("family") == "vector":
+            lines.append(f"  {feature_type:<16} "
+                         f"{info['members_with_digest']:>6} digests  "
+                         f"{info['digest_bits']:>8} bits   packed matrix: "
+                         f"{info['packed_matrix_bytes']} bytes")
+            continue
         blocks = ",".join(str(b) for b in info["block_sizes"]) or "-"
         lines.append(f"  {feature_type:<16} {info['entries']:>6} entries  "
                      f"{info['postings']:>8} postings  block sizes: {blocks}")

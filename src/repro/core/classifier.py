@@ -22,7 +22,7 @@ import numpy as np
 
 from .._validation import check_array_2d, check_probability
 from ..exceptions import NotFittedError, ValidationError
-from ..features.extractors import FEATURE_TYPES
+from ..features.extractors import FEATURE_TYPES, resolve_family_feature_types
 from ..features.records import SampleFeatures
 from ..features.similarity import SimilarityFeatureBuilder, SimilarityMatrix
 from ..ml.base import BaseEstimator, ClassifierMixin, check_is_fitted
@@ -181,7 +181,13 @@ class FuzzyHashClassifier(BaseEstimator, ClassifierMixin):
     Parameters
     ----------
     feature_types:
-        Fuzzy-hash types used as features.
+        Fuzzy-hash types used as features (base CTPH names; ``family``
+        expands them).
+    family:
+        Hash family the similarity columns come from: ``"ctph"``
+        (default, the paper's SSDeep features), ``"vector"`` (the
+        fixed-length TLSH-style digests over the same content sources),
+        or ``"both"`` (parallel per-class blocks from each family).
     anchor_strategy, medoids_per_class:
         Passed to :class:`~repro.features.similarity.SimilarityFeatureBuilder`.
     n_estimators, criterion, max_depth, min_samples_split,
@@ -195,6 +201,7 @@ class FuzzyHashClassifier(BaseEstimator, ClassifierMixin):
     """
 
     def __init__(self, *, feature_types: Sequence[str] = FEATURE_TYPES,
+                 family: str = "ctph",
                  anchor_strategy: str = "class-max", medoids_per_class: int = 5,
                  n_estimators: int = 100, criterion: str = "gini",
                  max_depth: int | None = None, min_samples_split: int = 2,
@@ -202,6 +209,7 @@ class FuzzyHashClassifier(BaseEstimator, ClassifierMixin):
                  class_weight="balanced", confidence_threshold: float = 0.5,
                  unknown_label=-1, random_state=None, n_jobs: int = 1) -> None:
         self.feature_types = tuple(feature_types)
+        self.family = family
         self.anchor_strategy = anchor_strategy
         self.medoids_per_class = medoids_per_class
         self.n_estimators = n_estimators
@@ -215,6 +223,13 @@ class FuzzyHashClassifier(BaseEstimator, ClassifierMixin):
         self.unknown_label = unknown_label
         self.random_state = random_state
         self.n_jobs = n_jobs
+
+    # ------------------------------------------------------------ features
+    @property
+    def active_feature_types(self) -> tuple[str, ...]:
+        """The feature types actually indexed, after family expansion."""
+
+        return resolve_family_feature_types(self.feature_types, self.family)
 
     # ------------------------------------------------------------------ fit
     def fit(self, features: Sequence[SampleFeatures], y=None, *,
@@ -239,7 +254,7 @@ class FuzzyHashClassifier(BaseEstimator, ClassifierMixin):
             raise ValidationError("every training sample needs a class label")
 
         self.builder_ = SimilarityFeatureBuilder(
-            self.feature_types,
+            self.active_feature_types,
             anchor_strategy=self.anchor_strategy,
             medoids_per_class=self.medoids_per_class,
         )
@@ -351,7 +366,7 @@ class FuzzyHashClassifier(BaseEstimator, ClassifierMixin):
             raise ValidationError(
                 f"invalid FuzzyHashClassifier state: {exc}") from exc
         builder = SimilarityFeatureBuilder(
-            self.feature_types,
+            self.active_feature_types,
             anchor_strategy=self.anchor_strategy,
             medoids_per_class=self.medoids_per_class,
         )

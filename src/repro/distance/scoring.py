@@ -28,6 +28,11 @@ __all__ = [
     "SPAMSUM_LENGTH",
     "MIN_BLOCKSIZE",
     "ROLLING_WINDOW",
+    "COMPARABLE",
+    "INCOMPARABLE_BLOCK_SIZE",
+    "INCOMPARABLE_EMPTY",
+    "INCOMPARABLE_SHORT_SIGNATURE",
+    "INCOMPARABLE_REASONS",
     "scale_edit_distance",
     "ssdeep_score_from_distance",
 ]
@@ -38,6 +43,26 @@ SPAMSUM_LENGTH = 64
 MIN_BLOCKSIZE = 3
 #: Size of the rolling-hash window.
 ROLLING_WINDOW = 7
+
+# ------------------------------------------------------- comparability
+# A zero score hides two very different facts: "these inputs share no
+# structure" versus "these digests *cannot* be scored against each
+# other".  The reasons below type the second case so callers (and the
+# serving /metrics endpoint) can tell them apart.
+
+#: The pair was genuinely scored; a 0 means structural dissimilarity.
+COMPARABLE = "comparable"
+#: Block sizes differ by more than one factor of two.
+INCOMPARABLE_BLOCK_SIZE = "block-size-mismatch"
+#: At least one digest carries no signature content.
+INCOMPARABLE_EMPTY = "empty-digest"
+#: Every comparable signature pair has a side shorter than the 7-gram
+#: window, so even identical content can never score above zero.
+INCOMPARABLE_SHORT_SIGNATURE = "short-signature"
+
+#: Every typed reason a digest pair can be incomparable.
+INCOMPARABLE_REASONS = (INCOMPARABLE_BLOCK_SIZE, INCOMPARABLE_EMPTY,
+                        INCOMPARABLE_SHORT_SIGNATURE)
 
 
 def scale_edit_distance(distance, len1, len2,

@@ -11,6 +11,13 @@ The three features of the paper (Section 3, "Feature Extraction"):
 plus the cryptographic digest (``sha256``) of the raw content used by
 the exact-match baseline.  Stripped binaries yield an empty symbols
 digest and are flagged, matching the paper's limitation discussion.
+
+Every CTPH feature has a ``vector-*`` sibling computed over the same
+content stream with the fixed-length TLSH-style digest from
+:mod:`repro.hashing.vector` (``vector-file``, ``vector-strings``,
+``vector-symbols``, ``vector-libs``).  Each content source — raw bytes,
+``strings`` output, ``nm`` output, ``ldd`` output — is produced once
+and hashed by whichever families the requested feature types cover.
 """
 
 from __future__ import annotations
@@ -25,9 +32,12 @@ from ..binfmt.symbols import extract_global_symbols, nm_output
 from ..exceptions import FeatureExtractionError, SymbolTableError
 from ..hashing.crypto import crypto_digest
 from ..hashing.ssdeep import FuzzyHasher
+from ..hashing.vector import VectorHasher
 from .records import SampleFeatures
 
-__all__ = ["FEATURE_TYPES", "EXTENDED_FEATURE_TYPES", "FeatureExtractor"]
+__all__ = ["FEATURE_TYPES", "EXTENDED_FEATURE_TYPES",
+           "VECTOR_FEATURE_TYPES", "ALL_FEATURE_TYPES", "HASH_FAMILIES",
+           "FeatureExtractor", "resolve_family_feature_types"]
 
 #: The canonical feature types of the paper, in the order used throughout
 #: the library.
@@ -36,6 +46,59 @@ FEATURE_TYPES: tuple[str, ...] = ("ssdeep-file", "ssdeep-strings", "ssdeep-symbo
 #: The paper's features plus the future-work ``ldd`` feature (fuzzy hash of
 #: the shared-library dependency list).
 EXTENDED_FEATURE_TYPES: tuple[str, ...] = FEATURE_TYPES + ("ssdeep-libs",)
+
+#: Fixed-length vector-digest siblings of the CTPH features, computed
+#: over the same content sources.
+VECTOR_FEATURE_TYPES: tuple[str, ...] = (
+    "vector-file", "vector-strings", "vector-symbols", "vector-libs")
+
+#: Every feature type the extractor knows how to compute.
+ALL_FEATURE_TYPES: tuple[str, ...] = EXTENDED_FEATURE_TYPES + VECTOR_FEATURE_TYPES
+
+#: Hash-family selectors accepted by :func:`resolve_family_feature_types`.
+HASH_FAMILIES: tuple[str, ...] = ("ctph", "vector", "both")
+
+
+def _vector_sibling(feature_type: str) -> str:
+    """``ssdeep-file`` → ``vector-file`` (vector types map to themselves)."""
+
+    if feature_type.startswith("vector-"):
+        return feature_type
+    return "vector-" + feature_type.split("-", 1)[1]
+
+
+def resolve_family_feature_types(feature_types: Sequence[str],
+                                 family: str) -> tuple[str, ...]:
+    """Expand base CTPH feature types to the requested hash families.
+
+    ``family="ctph"`` returns ``feature_types`` unchanged; ``"vector"``
+    swaps each for its fixed-length vector sibling over the same content
+    source; ``"both"`` appends the vector siblings after the CTPH block,
+    giving the classifier parallel per-class feature columns from both
+    families.
+    """
+
+    if family not in HASH_FAMILIES:
+        raise FeatureExtractionError(
+            f"family must be one of {HASH_FAMILIES}, got {family!r}")
+    if family == "ctph":
+        resolved = tuple(feature_types)
+    elif family == "vector":
+        resolved = tuple(_vector_sibling(ft) for ft in feature_types)
+    else:
+        resolved = tuple(feature_types) + tuple(
+            _vector_sibling(ft) for ft in feature_types
+            if _vector_sibling(ft) not in feature_types)
+    seen: dict[str, None] = {}
+    for ft in resolved:
+        seen.setdefault(ft, None)
+    resolved = tuple(seen)
+    unknown = set(resolved) - set(ALL_FEATURE_TYPES)
+    if unknown:
+        raise FeatureExtractionError(
+            f"family {family!r} expansion produced unknown feature types "
+            f"{sorted(unknown)}; expected a subset of {ALL_FEATURE_TYPES}")
+    return resolved
 
 
 class FeatureExtractor:
@@ -56,17 +119,18 @@ class FeatureExtractor:
     def __init__(self, feature_types: Sequence[str] = FEATURE_TYPES, *,
                  min_string_length: int = 4,
                  include_symbol_addresses: bool = False) -> None:
-        unknown = set(feature_types) - set(EXTENDED_FEATURE_TYPES)
+        unknown = set(feature_types) - set(ALL_FEATURE_TYPES)
         if unknown:
             raise FeatureExtractionError(
                 f"unknown feature types {sorted(unknown)}; expected a subset of "
-                f"{EXTENDED_FEATURE_TYPES}")
+                f"{ALL_FEATURE_TYPES}")
         if not feature_types:
             raise FeatureExtractionError("feature_types must not be empty")
         self.feature_types = tuple(feature_types)
         self.min_string_length = int(min_string_length)
         self.include_symbol_addresses = bool(include_symbol_addresses)
         self._hasher = FuzzyHasher()
+        self._vhasher = VectorHasher()
 
     # ----------------------------------------------------------------- API
     def extract(self, data: bytes, *, sample_id: str = "", class_name: str = "",
@@ -80,16 +144,22 @@ class FeatureExtractor:
         n_symbols = 0
         n_strings = 0
         stripped = False
+        wanted = set(self.feature_types)
 
-        if "ssdeep-file" in self.feature_types:
+        if "ssdeep-file" in wanted:
             digests["ssdeep-file"] = str(self._hasher.hash(data))
+        if "vector-file" in wanted:
+            digests["vector-file"] = str(self._vhasher.hash(data))
 
-        if "ssdeep-strings" in self.feature_types:
+        if wanted & {"ssdeep-strings", "vector-strings"}:
             text = strings_output(data, min_length=self.min_string_length)
             n_strings = text.count("\n")
-            digests["ssdeep-strings"] = str(self._hasher.hash(text))
+            if "ssdeep-strings" in wanted:
+                digests["ssdeep-strings"] = str(self._hasher.hash(text))
+            if "vector-strings" in wanted:
+                digests["vector-strings"] = str(self._vhasher.hash(text))
 
-        if "ssdeep-symbols" in self.feature_types:
+        if wanted & {"ssdeep-symbols", "vector-symbols"}:
             symbol_text = ""
             if is_elf(data):
                 try:
@@ -105,16 +175,22 @@ class FeatureExtractor:
                         raise
             else:
                 stripped = True
-            digests["ssdeep-symbols"] = str(self._hasher.hash(symbol_text))
+            if "ssdeep-symbols" in wanted:
+                digests["ssdeep-symbols"] = str(self._hasher.hash(symbol_text))
+            if "vector-symbols" in wanted:
+                digests["vector-symbols"] = str(self._vhasher.hash(symbol_text))
 
-        if "ssdeep-libs" in self.feature_types:
+        if wanted & {"ssdeep-libs", "vector-libs"}:
             libs_text = ""
             if is_elf(data):
                 try:
                     libs_text = ldd_output(data)
                 except Exception:
                     libs_text = ""
-            digests["ssdeep-libs"] = str(self._hasher.hash(libs_text))
+            if "ssdeep-libs" in wanted:
+                digests["ssdeep-libs"] = str(self._hasher.hash(libs_text))
+            if "vector-libs" in wanted:
+                digests["vector-libs"] = str(self._vhasher.hash(libs_text))
 
         return SampleFeatures(
             sample_id=sample_id or crypto_digest(data)[:16],

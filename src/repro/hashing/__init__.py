@@ -23,6 +23,14 @@ Public entry points
 * :func:`compare_digests` — 0–100 similarity between two digests,
 * :func:`repro.hashing.crypto.crypto_digest` — cryptographic digests for
   the exact-match baseline.
+
+A second, fixed-length hash family lives in :mod:`repro.hashing.vector`:
+TLSH-style 72-character ``vr1:`` digests whose similarity is a Hamming
+distance over a 256-bit rank-quartile body (:func:`vector_hash`,
+:class:`VectorHasher`, :func:`compare_vector_digests`).  Unlike CTPH,
+every pair of vector digests is comparable — there is no block-size
+gate — and corpus-scale scoring packs digests into ``uint64`` matrices
+(:class:`repro.index.knn.VectorKNNIndex`).
 """
 
 from .rolling import ROLLING_WINDOW, RollingHash, rolling_hash_values
@@ -43,6 +51,16 @@ from .compare import (
     normalize_repeats,
 )
 from .crypto import crypto_digest, crypto_digest_file
+from .vector import (
+    VECTOR_DIGEST_LENGTH,
+    VECTOR_PREFIX,
+    VectorDigest,
+    VectorHasher,
+    compare_vector_digests,
+    is_vector_digest,
+    is_vector_feature_type,
+    vector_hash,
+)
 
 __all__ = [
     "ROLLING_WINDOW",
@@ -67,4 +85,12 @@ __all__ = [
     "normalize_repeats",
     "crypto_digest",
     "crypto_digest_file",
+    "VECTOR_DIGEST_LENGTH",
+    "VECTOR_PREFIX",
+    "VectorDigest",
+    "VectorHasher",
+    "compare_vector_digests",
+    "is_vector_digest",
+    "is_vector_feature_type",
+    "vector_hash",
 ]

@@ -25,10 +25,19 @@ digests (with the 7-gram gate applied as a candidate index) lives in
 from __future__ import annotations
 
 import re
+import threading
+from dataclasses import dataclass
 from typing import Iterable
 
 from ..distance.damerau import weighted_edit_distance
-from ..distance.scoring import ssdeep_score_from_distance
+from ..distance.scoring import (
+    COMPARABLE,
+    INCOMPARABLE_BLOCK_SIZE,
+    INCOMPARABLE_EMPTY,
+    INCOMPARABLE_REASONS,
+    INCOMPARABLE_SHORT_SIGNATURE,
+    ssdeep_score_from_distance,
+)
 from .rolling import ROLLING_WINDOW
 from .ssdeep import SsdeepDigest
 
@@ -36,9 +45,13 @@ __all__ = [
     "normalize_repeats",
     "has_common_substring",
     "score_signatures",
+    "DigestComparison",
     "compare_digests",
+    "compare_digests_detailed",
     "compare_digest_strings",
     "common_ngrams",
+    "incomparable_counts",
+    "reset_incomparable_counts",
 ]
 
 _REPEAT_RE = re.compile(r"(.)\1{3,}")
@@ -90,10 +103,69 @@ def score_signatures(s1: str, s2: str, block_size: int,
     return int(ssdeep_score_from_distance(distance, len(s1), len(s2), block_size))
 
 
-def compare_digests(d1: SsdeepDigest | str, d2: SsdeepDigest | str) -> int:
-    """SSDeep similarity score (0–100) between two digests.
+@dataclass(frozen=True)
+class DigestComparison:
+    """Typed outcome of one digest comparison.
 
-    Accepts :class:`SsdeepDigest` instances or digest strings.
+    ``score`` is the usual 0–100 similarity.  ``comparable`` is False
+    when the pair could not be meaningfully scored at all — the score
+    is then 0 by construction, and ``reason`` names why (one of
+    :data:`~repro.distance.scoring.INCOMPARABLE_REASONS`).  A
+    comparable pair carries ``reason == COMPARABLE`` even when its
+    score is 0: that zero is a genuine dissimilarity verdict.
+    """
+
+    score: int
+    comparable: bool
+    reason: str
+
+
+# Incomparable outcomes counted per reason, for operational visibility
+# (surfaced by the serving tier under GET /metrics).  Comparisons can
+# run from several serving threads at once, so increments take a lock.
+_INCOMPARABLE_LOCK = threading.Lock()
+_INCOMPARABLE_COUNTS: dict[str, int] = {r: 0 for r in INCOMPARABLE_REASONS}
+
+
+def incomparable_counts() -> dict[str, int]:
+    """Snapshot of incomparable-comparison counters, keyed by reason."""
+
+    with _INCOMPARABLE_LOCK:
+        return dict(_INCOMPARABLE_COUNTS)
+
+
+def reset_incomparable_counts() -> None:
+    """Zero the incomparable-comparison counters (tests, process reuse)."""
+
+    with _INCOMPARABLE_LOCK:
+        for reason in _INCOMPARABLE_COUNTS:
+            _INCOMPARABLE_COUNTS[reason] = 0
+
+
+def _record_incomparable(reason: str) -> None:
+    with _INCOMPARABLE_LOCK:
+        _INCOMPARABLE_COUNTS[reason] += 1
+
+
+def _pair_is_short(s1: str, s2: str) -> bool:
+    """True when a signature pair can never pass the 7-gram gate."""
+
+    s1 = normalize_repeats(s1)
+    s2 = normalize_repeats(s2)
+    if s1 and s1 == s2:
+        return False  # identical signatures score 100 regardless of length
+    return min(len(s1), len(s2)) < ROLLING_WINDOW
+
+
+def compare_digests_detailed(d1: SsdeepDigest | str,
+                             d2: SsdeepDigest | str) -> DigestComparison:
+    """Compare two digests, reporting *why* when no score is possible.
+
+    The score matches :func:`compare_digests` exactly; the extra fields
+    distinguish "scored 0 because dissimilar" from the three structural
+    dead-ends (block-size mismatch, empty digest, signatures too short
+    for the 7-gram gate).  Incomparable outcomes increment a process-
+    wide counter exposed through :func:`incomparable_counts`.
     """
 
     if isinstance(d1, str):
@@ -103,20 +175,42 @@ def compare_digests(d1: SsdeepDigest | str, d2: SsdeepDigest | str) -> int:
 
     bs1, bs2 = d1.block_size, d2.block_size
     if bs1 != bs2 and bs1 != bs2 * 2 and bs2 != bs1 * 2:
-        return 0
+        _record_incomparable(INCOMPARABLE_BLOCK_SIZE)
+        return DigestComparison(0, False, INCOMPARABLE_BLOCK_SIZE)
     if d1.is_empty or d2.is_empty:
-        return 0
+        _record_incomparable(INCOMPARABLE_EMPTY)
+        return DigestComparison(0, False, INCOMPARABLE_EMPTY)
 
     if bs1 == bs2:
-        score1 = score_signatures(d1.chunk, d2.chunk, bs1)
-        score2 = score_signatures(d1.double_chunk, d2.double_chunk, bs1 * 2)
-        return max(score1, score2)
-    if bs1 == bs2 * 2:
+        score = max(score_signatures(d1.chunk, d2.chunk, bs1),
+                    score_signatures(d1.double_chunk, d2.double_chunk,
+                                     bs1 * 2))
+        short = (_pair_is_short(d1.chunk, d2.chunk)
+                 and _pair_is_short(d1.double_chunk, d2.double_chunk))
+    elif bs1 == bs2 * 2:
         # d1's base signature was computed at the same block size as d2's
         # double signature.
-        return score_signatures(d1.chunk, d2.double_chunk, bs1)
-    # bs2 == bs1 * 2
-    return score_signatures(d1.double_chunk, d2.chunk, bs2)
+        score = score_signatures(d1.chunk, d2.double_chunk, bs1)
+        short = _pair_is_short(d1.chunk, d2.double_chunk)
+    else:  # bs2 == bs1 * 2
+        score = score_signatures(d1.double_chunk, d2.chunk, bs2)
+        short = _pair_is_short(d1.double_chunk, d2.chunk)
+
+    if score == 0 and short:
+        _record_incomparable(INCOMPARABLE_SHORT_SIGNATURE)
+        return DigestComparison(0, False, INCOMPARABLE_SHORT_SIGNATURE)
+    return DigestComparison(int(score), True, COMPARABLE)
+
+
+def compare_digests(d1: SsdeepDigest | str, d2: SsdeepDigest | str) -> int:
+    """SSDeep similarity score (0–100) between two digests.
+
+    Accepts :class:`SsdeepDigest` instances or digest strings.  The
+    typed variant :func:`compare_digests_detailed` additionally reports
+    whether a 0 meant "dissimilar" or "incomparable".
+    """
+
+    return compare_digests_detailed(d1, d2).score
 
 
 def compare_digest_strings(digest1: str, digest2: str) -> int:

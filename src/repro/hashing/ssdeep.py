@@ -35,6 +35,7 @@ from .rolling import rolling_hash_values
 __all__ = [
     "MIN_BLOCKSIZE",
     "SPAMSUM_LENGTH",
+    "ADAPTIVE_SIZE_BANDS",
     "SsdeepDigest",
     "FuzzyHasher",
     "fuzzy_hash",
@@ -45,6 +46,22 @@ __all__ = [
 MIN_BLOCKSIZE = 3
 #: Maximum signature length in characters.
 SPAMSUM_LENGTH = 64
+
+#: Size-adaptive hashing bands: ``(upper_bound_bytes, min_blocksize,
+#: spamsum_length)``, tried in order; ``None`` bounds the last band.
+#: Small inputs keep the reference parameters; larger inputs get longer
+#: signatures (more chunks summarised per digest) and a raised block
+#: floor, which preserves resolution the fixed 64-character budget
+#: loses on multi-megabyte binaries.  **Digests from different bands
+#: are not score-comparable** (the 0–100 scale is normalised by
+#: ``spamsum_length``), so adaptive mode is off by default and a corpus
+#: must be hashed entirely with the same setting — see the README's
+#: comparability rule.
+ADAPTIVE_SIZE_BANDS: tuple[tuple[int | None, int, int], ...] = (
+    (16 * 1024, MIN_BLOCKSIZE, SPAMSUM_LENGTH),
+    (1024 * 1024, MIN_BLOCKSIZE, 96),
+    (None, 2 * MIN_BLOCKSIZE, 128),
+)
 #: Default upper bound on the bytes :meth:`FuzzyHasher.hash_file` will load.
 MAX_FILE_BYTES = 1 << 30
 #: Default read size for the chunked file-reading loop.
@@ -116,16 +133,25 @@ class FuzzyHasher:
     spamsum_length:
         Maximum signature length (default 64).  Exposed mainly so that
         property-based tests can exercise degenerate configurations.
+    adaptive:
+        When True, ``min_blocksize``/``spamsum_length`` are chosen per
+        input from :data:`ADAPTIVE_SIZE_BANDS` by input size, overriding
+        the two parameters above.  Off by default because digests hashed
+        in different bands are **not** score-comparable: mix adaptive
+        and non-adaptive digests in one corpus and the cross-band scores
+        are meaningless.
     """
 
     def __init__(self, *, min_blocksize: int = MIN_BLOCKSIZE,
-                 spamsum_length: int = SPAMSUM_LENGTH) -> None:
+                 spamsum_length: int = SPAMSUM_LENGTH,
+                 adaptive: bool = False) -> None:
         if min_blocksize < 1:
             raise HashingError("min_blocksize must be >= 1")
         if spamsum_length < 2 or spamsum_length % 2:
             raise HashingError("spamsum_length must be an even integer >= 2")
         self.min_blocksize = int(min_blocksize)
         self.spamsum_length = int(spamsum_length)
+        self.adaptive = bool(adaptive)
 
     # ------------------------------------------------------------------ API
     def hash(self, data: bytes | bytearray | memoryview | str) -> SsdeepDigest:
@@ -140,15 +166,16 @@ class FuzzyHasher:
         elif not isinstance(data, (bytes, bytearray)):
             data = bytes(data)
 
+        min_bs, spamsum = self._params_for(len(data))
         if not data:
-            return SsdeepDigest(block_size=self.min_blocksize, chunk="", double_chunk="")
+            return SsdeepDigest(block_size=min_bs, chunk="", double_chunk="")
 
         roll = rolling_hash_values(data)
-        block_size = self._initial_block_size(len(data))
+        block_size = self._initial_block_size(len(data), min_bs, spamsum)
 
         while True:
-            chunk, double_chunk = self._digest_at(data, roll, block_size)
-            if block_size > self.min_blocksize and len(chunk) < self.spamsum_length // 2:
+            chunk, double_chunk = self._digest_at(data, roll, block_size, spamsum)
+            if block_size > min_bs and len(chunk) < spamsum // 2:
                 block_size //= 2
                 continue
             return SsdeepDigest(block_size=block_size, chunk=chunk,
@@ -214,19 +241,36 @@ class FuzzyHasher:
         return [self.hash(item) for item in items]
 
     # ----------------------------------------------------------- internals
-    def _initial_block_size(self, length: int) -> int:
-        block_size = self.min_blocksize
-        while block_size * self.spamsum_length < length:
+    def _params_for(self, length: int) -> tuple[int, int]:
+        """``(min_blocksize, spamsum_length)`` for one input."""
+
+        if not self.adaptive:
+            return self.min_blocksize, self.spamsum_length
+        for bound, min_bs, spamsum in ADAPTIVE_SIZE_BANDS:
+            if bound is None or length < bound:
+                return min_bs, spamsum
+        return self.min_blocksize, self.spamsum_length  # pragma: no cover
+
+    def _initial_block_size(self, length: int,
+                            min_blocksize: int | None = None,
+                            spamsum_length: int | None = None) -> int:
+        block_size = (self.min_blocksize if min_blocksize is None
+                      else min_blocksize)
+        spamsum = (self.spamsum_length if spamsum_length is None
+                   else spamsum_length)
+        while block_size * spamsum < length:
             block_size *= 2
         return block_size
 
-    def _digest_at(self, data: bytes, roll: np.ndarray,
-                   block_size: int) -> tuple[str, str]:
+    def _digest_at(self, data: bytes, roll: np.ndarray, block_size: int,
+                   spamsum_length: int | None = None) -> tuple[str, str]:
         """Compute both signatures for a fixed block size."""
 
-        chunk = self._signature(data, roll, block_size, self.spamsum_length)
+        spamsum = (self.spamsum_length if spamsum_length is None
+                   else spamsum_length)
+        chunk = self._signature(data, roll, block_size, spamsum)
         double_chunk = self._signature(data, roll, block_size * 2,
-                                       self.spamsum_length // 2)
+                                       spamsum // 2)
         return chunk, double_chunk
 
     def _signature(self, data: bytes, roll: np.ndarray, block_size: int,

@@ -48,18 +48,33 @@ identical signatures pinned to 100.
 The same rules are documented from the CLI via
 ``repro-classify index stats`` and in the README's *Similarity index*
 section.
+
+Vector-digest members (second hash family)
+------------------------------------------
+Feature types named ``vector-*`` hold fixed-length ``vr1:`` digests
+(:mod:`repro.hashing.vector`) instead of CTPH signatures.  They bypass
+the posting machinery entirely: each vector store keeps one packed
+``uint64`` row per member and candidates are scored by a vectorised
+XOR + popcount Hamming sweep — every pair is comparable, no block-size
+or 7-gram gate applies.  :class:`~repro.index.knn.VectorKNNIndex` is
+the standalone top-k structure over one such packed matrix.
 """
 
 from .core import IndexMatch, PairScore, SimilarityIndex, expand_digest
+from .knn import KNNMatch, PackedDigestStore, VectorKNNIndex, brute_force_top_k
 from .sharded import ShardedSimilarityIndex, load_index
 from .storage import FORMAT_VERSION
 
 __all__ = [
     "FORMAT_VERSION",
     "IndexMatch",
+    "KNNMatch",
+    "PackedDigestStore",
     "PairScore",
     "ShardedSimilarityIndex",
     "SimilarityIndex",
+    "VectorKNNIndex",
+    "brute_force_top_k",
     "expand_digest",
     "load_index",
 ]

@@ -49,7 +49,7 @@ from __future__ import annotations
 
 import os
 from collections import defaultdict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import lru_cache
 from itertools import combinations
 from pathlib import Path
@@ -63,7 +63,11 @@ from ..exceptions import IndexFormatError, ValidationError
 from ..hashing.compare import normalize_repeats
 from ..hashing.rolling import ROLLING_WINDOW
 from ..hashing.ssdeep import SsdeepDigest
+from ..hashing.vector import (VECTOR_WORDS, VectorDigest,
+                              is_vector_digest, is_vector_feature_type,
+                              popcount_u8, score_from_distance)
 from ..logging_utils import get_logger
+from .knn import PackedDigestStore
 from .postings import ArrayPostings, SignaturePool, block_prefix64, \
     hash_windows, signature_windows
 from .storage import read_container, write_container
@@ -219,6 +223,12 @@ class CandidateBatch:
     DP scoring is what lets a sharded index generate candidates per
     shard and fan only the (CPU-bound, cheaply-pickled) scoring out to
     an execution backend.
+
+    ``vector`` carries the second hash family: per ``vector-*`` feature
+    type, ``(query_index, member_index, score)`` arrays of *already
+    computed* packed-Hamming scores.  Vector scoring is one vectorised
+    sweep per query — far cheaper than the DP — so it happens eagerly at
+    candidate-collection time and the consumer only scatters.
     """
 
     left: list[str]
@@ -226,6 +236,8 @@ class CandidateBatch:
     block_sizes: np.ndarray
     scatter: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]]
     n_queries: dict[str, int]
+    vector: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]] = \
+        field(default_factory=dict)
 
 
 class SimilarityIndex:
@@ -254,6 +266,13 @@ class SimilarityIndex:
         if ngram_length < 1:
             raise ValidationError("ngram_length must be >= 1")
         self._feature_types = feature_types
+        # The index carries two digest families: CTPH types (variable
+        # length, edit-distance scored, 7-gram postings) and vector-*
+        # types (fixed length, packed-Hamming scored, no postings).
+        self._ctph_types = tuple(ft for ft in feature_types
+                                 if not is_vector_feature_type(ft))
+        self._vector_types = tuple(ft for ft in feature_types
+                                   if is_vector_feature_type(ft))
         self._ngram_length = int(ngram_length)
         self._sample_ids: list[str] = []
         self._class_names: list[str] = []
@@ -261,13 +280,23 @@ class SimilarityIndex:
         self._pool = SignaturePool(self._ngram_length)
         self._stores: dict[str, ArrayPostings] = {
             ft: ArrayPostings(self._pool, self._ngram_length)
-            for ft in feature_types}
+            for ft in self._ctph_types}
+        self._vstores: dict[str, PackedDigestStore] = {
+            ft: PackedDigestStore() for ft in self._vector_types}
         self._engine = BatchEditDistance(**_SSDEEP_COSTS)
 
     # ------------------------------------------------------------ properties
     @property
     def feature_types(self) -> tuple[str, ...]:
         return self._feature_types
+
+    @property
+    def ctph_feature_types(self) -> tuple[str, ...]:
+        return self._ctph_types
+
+    @property
+    def vector_feature_types(self) -> tuple[str, ...]:
+        return self._vector_types
 
     @property
     def ngram_length(self) -> int:
@@ -312,13 +341,20 @@ class SimilarityIndex:
         # Parse every digest before mutating, so a malformed digest cannot
         # leave a half-added member behind.
         expanded = {ft: expand_digest(digests.get(ft, ""))
-                    for ft in self._feature_types}
+                    for ft in self._ctph_types}
+        vparsed = {ft: (VectorDigest.parse(digests[ft])
+                        if digests.get(ft) else None)
+                   for ft in self._vector_types}
         self._sample_ids.append(sample_id)
         self._class_names.append(str(class_name))
         self._members_by_id.setdefault(sample_id, set()).add(member)
         for feature_type, pairs in expanded.items():
             for block_size, signature in pairs:
                 self._add_entry(feature_type, member, block_size, signature)
+        # Every member appends exactly one row per vector store (absent
+        # digests append a masked zero row) so row index == member index.
+        for feature_type, parsed in vparsed.items():
+            self._vstores[feature_type].append(parsed)
         return member
 
     def add_many(self, samples: Iterable) -> list[int]:
@@ -369,8 +405,12 @@ class SimilarityIndex:
         if feature_type is not None:
             self._check_feature_type(feature_type)
             types = (feature_type,)
+        elif is_vector_digest(digest):
+            # A single digest string can only belong to one family; the
+            # distinctive "vr1:" prefix routes it to the right stores.
+            types = self._vector_types
         else:
-            types = self._feature_types
+            types = self._ctph_types
         return self.top_k_digests({ft: digest for ft in types}, k,
                                   min_score=min_score, exclude_ids=exclude_ids)
 
@@ -459,21 +499,26 @@ class SimilarityIndex:
         matrices = {ft: np.zeros((batch.n_queries[ft], self.n_members),
                                  dtype=np.float64)
                     for ft in digests_by_type}
-        if not batch.left:
-            return matrices
-        pair_scores = self._score_signature_pairs(batch.left, batch.right,
-                                                  batch.block_sizes)
-        _LOG.debug("scored %d unique signature pairs for %d feature types",
-                   len(batch.left), len(digests_by_type))
+        if batch.left:
+            pair_scores = self._score_signature_pairs(batch.left, batch.right,
+                                                      batch.block_sizes)
+            _LOG.debug("scored %d unique signature pairs for %d feature types",
+                       len(batch.left), len(digests_by_type))
 
-        for feature_type, (pair_queries, pair_members,
-                           pair_slots) in batch.scatter.items():
-            if not len(pair_queries):
-                continue
-            # A (query, member) cell keeps its best comparable pair.
-            np.maximum.at(matrices[feature_type],
-                          (pair_queries, pair_members),
-                          pair_scores[pair_slots])
+            for feature_type, (pair_queries, pair_members,
+                               pair_slots) in batch.scatter.items():
+                if not len(pair_queries):
+                    continue
+                # A (query, member) cell keeps its best comparable pair.
+                np.maximum.at(matrices[feature_type],
+                              (pair_queries, pair_members),
+                              pair_scores[pair_slots])
+        # Vector-family scores arrive pre-computed from the packed sweep.
+        for feature_type, (vec_queries, vec_members,
+                           vec_scores) in batch.vector.items():
+            if len(vec_queries):
+                np.maximum.at(matrices[feature_type],
+                              (vec_queries, vec_members), vec_scores)
         return matrices
 
     def collect_candidates(self, digests_by_type: Mapping[str, Sequence[str]],
@@ -504,6 +549,7 @@ class SimilarityIndex:
         class_block: list[int] = []
         per_type: list[tuple] = []
         n_queries_by_type: dict[str, int] = {}
+        vector: dict[str, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
 
         for feature_type, digests in digests_by_type.items():
             self._check_feature_type(feature_type)
@@ -514,6 +560,12 @@ class SimilarityIndex:
                 raise ValidationError(
                     f"exclude must have 1 or {n_queries} items, "
                     f"got {len(exclude)}")
+            if feature_type in self._vstores:
+                triple = self._vector_candidates(feature_type, digests,
+                                                 exclude)
+                if triple is not None:
+                    vector[feature_type] = triple
+                continue
             store = self._stores[feature_type]
             n_entries = store.n_entries
             if not n_entries:
@@ -608,7 +660,8 @@ class SimilarityIndex:
             return CandidateBatch(left=[], right=[],
                                   block_sizes=np.zeros(0, dtype=np.int64),
                                   scatter=scatter,
-                                  n_queries=n_queries_by_type)
+                                  n_queries=n_queries_by_type,
+                                  vector=vector)
 
         # Global slot assignment: a DP slot is one unique (query
         # signature + block, member signature) pair, shared across every
@@ -659,7 +712,48 @@ class SimilarityIndex:
             offset += n_pairs
 
         return CandidateBatch(left=left, right=right, block_sizes=block_sizes,
-                              scatter=scatter, n_queries=n_queries_by_type)
+                              scatter=scatter, n_queries=n_queries_by_type,
+                              vector=vector)
+
+    def _vector_candidates(self, feature_type: str, digests: Sequence[str],
+                           exclude: Sequence[Iterable[int]] | None
+                           ) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+        """Eager packed-Hamming scoring for one vector feature type.
+
+        Returns ``(query_index, member_index, score)`` arrays of every
+        pair scoring >= 1 (mirroring the CTPH path, which only emits
+        candidate pairs), or ``None`` when nothing scores.
+        """
+
+        store = self._vstores[feature_type]
+        if not len(store):
+            return None
+        q_parts: list[np.ndarray] = []
+        m_parts: list[np.ndarray] = []
+        s_parts: list[np.ndarray] = []
+        for query_index, digest in enumerate(digests):
+            if not digest:
+                continue
+            scores = store.scores(digest)
+            members = np.flatnonzero(scores >= 1)
+            if not members.size:
+                continue
+            q_parts.append(np.full(members.size, query_index, dtype=np.int64))
+            m_parts.append(members.astype(np.int64))
+            s_parts.append(scores[members].astype(np.float64))
+        if not q_parts:
+            return None
+        queries = np.concatenate(q_parts)
+        members = np.concatenate(m_parts)
+        scores = np.concatenate(s_parts)
+        if exclude is not None:
+            keep = self._exclusion_mask(exclude, queries, members)
+            if keep is not None:
+                queries, members, scores = (queries[keep], members[keep],
+                                            scores[keep])
+        if not queries.size:
+            return None
+        return queries.astype(np.int32), members.astype(np.int32), scores
 
     def _exclusion_mask(self, exclude: Sequence[Iterable[int]],
                         queries: np.ndarray, members: np.ndarray
@@ -710,6 +804,14 @@ class SimilarityIndex:
 
         candidates: set[tuple[int, int]] = set()
         for ft in types:
+            if ft in self._vstores:
+                # The vector family has no candidate gate: any two
+                # members carrying a digest are comparable (the
+                # max_pairs budget below is what bounds the sweep).
+                present = np.flatnonzero(self._vstores[ft].present)
+                if present.size >= 2:
+                    candidates.update(combinations(present.tolist(), 2))
+                continue
             store = self._stores[ft]
             entry_member = store.entry_member
             for _block, _gram, entry_ids in store.iter_buckets():
@@ -730,7 +832,22 @@ class SimilarityIndex:
             return []
 
         best = np.zeros(len(pairs), dtype=np.float64)
+        pair_array = np.asarray(pairs, dtype=np.int64)
         for ft in types:
+            if ft in self._vstores:
+                vstore = self._vstores[ft]
+                matrix = vstore.matrix
+                present = vstore.present
+                rows_i = pair_array[:, 0]
+                rows_j = pair_array[:, 1]
+                xor = np.bitwise_xor(matrix[rows_i], matrix[rows_j])
+                dist = popcount_u8(xor.view(np.uint8)).sum(axis=1,
+                                                           dtype=np.int64)
+                scores = np.asarray(score_from_distance(dist),
+                                    dtype=np.float64)
+                scores[~(present[rows_i] & present[rows_j])] = 0.0
+                np.maximum(best, scores, out=best)
+                continue
             sig_by_member = self.member_signatures(ft)
             left: list[str] = []
             right: list[str] = []
@@ -780,6 +897,8 @@ class SimilarityIndex:
         """``(block_size, gram)`` bucket -> sorted unique member indices."""
 
         self._check_feature_type(feature_type)
+        if feature_type in self._vstores:
+            return {}          # the vector family has no posting buckets
         store = self._stores[feature_type]
         entry_member = store.entry_member
         buckets: dict[tuple[int, str], tuple[int, ...]] = {}
@@ -790,9 +909,19 @@ class SimilarityIndex:
 
     def member_signatures(self, feature_type: str
                           ) -> dict[int, dict[int, str]]:
-        """Member index -> ``{block_size: signature}`` for one type."""
+        """Member index -> ``{block_size: signature}`` for one type.
+
+        Vector types use a synthetic block size of 0 and the canonical
+        digest string as the "signature", which round-trips exactly
+        through :meth:`append_entries` (shard redistribution and
+        compaction move vector digests the same way as CTPH entries).
+        """
 
         self._check_feature_type(feature_type)
+        if feature_type in self._vstores:
+            vstore = self._vstores[feature_type]
+            return {member: {0: vstore.digest_string(member)}
+                    for member in np.flatnonzero(vstore.present).tolist()}
         store = self._stores[feature_type]
         pool = self._pool
         sig_by_member: dict[int, dict[int, str]] = defaultdict(dict)
@@ -820,10 +949,15 @@ class SimilarityIndex:
         self._sample_ids.append(sample_id)
         self._class_names.append(str(class_name))
         self._members_by_id.setdefault(sample_id, set()).add(member)
-        for feature_type in self._feature_types:
+        for feature_type in self._ctph_types:
             for block_size, signature in entries_by_type.get(feature_type, ()):
                 self._add_entry(feature_type, member, int(block_size),
                                 str(signature))
+        for feature_type in self._vector_types:
+            digest = None
+            for _block_size, signature in entries_by_type.get(feature_type, ()):
+                digest = VectorDigest.parse(str(signature))
+            self._vstores[feature_type].append(digest)
         return member
 
     def subset(self, keep: Sequence[int]) -> "SimilarityIndex":
@@ -852,7 +986,7 @@ class SimilarityIndex:
             result._members_by_id.setdefault(
                 self._sample_ids[old], set()).add(member)
         pool = self._pool
-        for feature_type in self._feature_types:
+        for feature_type in self._ctph_types:
             store = self._stores[feature_type]
             for member, block, sig_id in zip(store.entry_member.tolist(),
                                              store.entry_block.tolist(),
@@ -861,6 +995,9 @@ class SimilarityIndex:
                 if new_member is not None:
                     result._add_entry(feature_type, new_member, block,
                                       pool[sig_id])
+        for feature_type in self._vector_types:
+            result._vstores[feature_type] = \
+                self._vstores[feature_type].subset(keep)
         return result
 
     # ---------------------------------------------------------------- stats
@@ -870,16 +1007,29 @@ class SimilarityIndex:
         per_type = {}
         n_entries = 0
         arrays_bytes = 0
-        for feature_type in self._feature_types:
+        for feature_type in self._ctph_types:
             store = self._stores[feature_type]
             blocks = store.entry_block
             per_type[feature_type] = {
+                "family": "ctph",
                 "entries": store.n_entries,
                 "postings": store.n_keys,
                 "block_sizes": np.unique(blocks).tolist(),
             }
             n_entries += store.n_entries
             arrays_bytes += store.nbytes()
+        vector_bytes = 0
+        for feature_type in self._vector_types:
+            vstore = self._vstores[feature_type]
+            per_type[feature_type] = {
+                "family": "vector",
+                "members_with_digest": int(vstore.present.sum())
+                if len(vstore) else 0,
+                "digest_bits": 8 * VECTOR_WORDS * 8,
+                "packed_matrix_bytes": int(vstore.nbytes),
+            }
+            vector_bytes += vstore.nbytes
+        arrays_bytes += vector_bytes
         labelled = [name for name in self._class_names if name]
         # Serialised size estimate, mirroring the columnar container
         # layout (entry columns + CSR postings + interned signature
@@ -895,6 +1045,17 @@ class SimilarityIndex:
             "ngram_length": self._ngram_length,
             "estimated_bytes": estimated,
             "feature_types": per_type,
+            "families": {
+                "ctph": {
+                    "feature_types": list(self._ctph_types),
+                    "entries": n_entries,
+                },
+                "vector": {
+                    "feature_types": list(self._vector_types),
+                    "digest_bits": 8 * VECTOR_WORDS * 8,
+                    "packed_matrix_bytes": int(vector_bytes),
+                },
+            },
         }
 
     # ---------------------------------------------------------- persistence
@@ -921,9 +1082,15 @@ class SimilarityIndex:
             "pool_bytes": pool_bytes,
             "pool_offsets": pool_offsets,
         }
-        for type_idx, feature_type in enumerate(self._feature_types):
+        # CTPH stores keep their historical t{i} keys (i indexes the
+        # ctph types, which for pre-vector indexes is every type, so
+        # old and new files agree); vector stores serialise under v{i}.
+        for type_idx, feature_type in enumerate(self._ctph_types):
             for name, array in self._stores[feature_type].get_arrays().items():
                 arrays[f"t{type_idx}.{name}"] = array
+        for type_idx, feature_type in enumerate(self._vector_types):
+            for name, array in self._vstores[feature_type].get_arrays().items():
+                arrays[f"v{type_idx}.{name}"] = array
         return header, arrays
 
     def save(self, path: str | os.PathLike) -> Path:
@@ -1018,7 +1185,7 @@ class SimilarityIndex:
                                    "signature bytes") from exc
         self._pool = pool
         n_sigs = len(pool)
-        for type_idx, feature_type in enumerate(self._feature_types):
+        for type_idx, feature_type in enumerate(self._ctph_types):
             prefix = f"t{type_idx}."
             try:
                 cols = {name: arrays[prefix + name] for name in
@@ -1069,11 +1236,35 @@ class SimilarityIndex:
             store = ArrayPostings(pool, self._ngram_length)
             store.adopt_arrays(cols)
             self._stores[feature_type] = store
+        for type_idx, feature_type in enumerate(self._vector_types):
+            prefix = f"v{type_idx}."
+            cols = {name[len(prefix):]: array
+                    for name, array in arrays.items()
+                    if name.startswith(prefix)}
+            if not cols:
+                raise IndexFormatError(
+                    f"{source} declares vector feature type "
+                    f"{feature_type!r} but carries no {prefix}* arrays")
+            try:
+                vstore = PackedDigestStore.adopt_arrays(cols)
+            except ValidationError as exc:
+                raise IndexFormatError(
+                    f"{source} has a corrupt vector section: {exc}") from exc
+            if len(vstore) != n_members:
+                raise IndexFormatError(
+                    f"{source} vector section {feature_type!r} has "
+                    f"{len(vstore)} rows but {n_members} members are "
+                    "declared")
+            self._vstores[feature_type] = vstore
 
     def _rebuild_legacy_state(self, arrays: Mapping[str, np.ndarray], *,
                               source: str) -> None:
         """Rebuild from a legacy (format v1) flat-entry snapshot."""
 
+        if self._vector_types:
+            raise IndexFormatError(
+                f"{source} uses the legacy flat-entry layout, which "
+                "predates vector feature types")
         try:
             entry_type = arrays["entry_type"]
             entry_member = arrays["entry_member"]

@@ -51,6 +51,8 @@ from ..exceptions import (
 )
 from ..hashing.fnv import fnv_hash
 from ..hashing.rolling import ROLLING_WINDOW
+from ..hashing.vector import (VectorDigest, is_vector_digest, popcount_u8,
+                              score_from_distance)
 from ..logging_utils import get_logger
 from ..parallel.backend import ExecutionBackend, resolve_backend
 from ..parallel.partition import chunk_indices
@@ -416,8 +418,10 @@ class ShardedSimilarityIndex:
         if feature_type is not None:
             self._check_feature_type(feature_type)
             types = (feature_type,)
+        elif is_vector_digest(digest):
+            types = self._shards[0].vector_feature_types
         else:
-            types = self._feature_types
+            types = self._shards[0].ctph_feature_types
         return self.top_k_digests({ft: digest for ft in types}, k,
                                   min_score=min_score, exclude_ids=exclude_ids)
 
@@ -513,6 +517,14 @@ class ShardedSimilarityIndex:
                 np.maximum.at(matrices[feature_type],
                               (pair_queries, members),
                               scores[pair_slots])
+            # Vector-family scores arrive pre-computed from each shard's
+            # packed sweep; only the member translation is global.
+            for feature_type, (vec_queries, vec_members,
+                               vec_scores) in batch.vector.items():
+                if len(vec_queries):
+                    np.maximum.at(matrices[feature_type],
+                                  (vec_queries, gmap[vec_members]),
+                                  vec_scores)
         return matrices
 
     def pairwise_matrix(self, feature_type: str | None = None, *,
@@ -539,8 +551,22 @@ class ShardedSimilarityIndex:
             types = self._feature_types
         self._refresh()
 
+        vector_types = set(self._shards[0].vector_feature_types)
         candidates: set[tuple[int, int]] = set()
         for ft in types:
+            if ft in vector_types:
+                # No candidate gate for the vector family: any two
+                # surviving members carrying a digest are comparable.
+                with_digest: list[int] = []
+                for shard_idx, shard in enumerate(self._shards):
+                    gmap = self._global_map[shard_idx]
+                    for local in shard.member_signatures(ft):
+                        member = int(gmap[local])
+                        if member >= 0:
+                            with_digest.append(member)
+                if len(with_digest) >= 2:
+                    candidates.update(combinations(sorted(with_digest), 2))
+                continue
             merged: dict[tuple[int, str], set[int]] = {}
             for shard_idx, shard in enumerate(self._shards):
                 gmap = self._global_map[shard_idx]
@@ -572,6 +598,25 @@ class ShardedSimilarityIndex:
                     member = int(gmap[local])
                     if member >= 0:
                         sig_by_member[member] = sigs
+            if ft in vector_types:
+                # Packed all-pairs Hamming in one gather; the DP fan-out
+                # below would mis-score the fixed-length digests.
+                words = {member: VectorDigest.parse(sigs[0]).words
+                         for member, sigs in sig_by_member.items()
+                         if sigs.get(0)}
+                hit = [idx for idx, (i, j) in enumerate(pairs)
+                       if i in words and j in words]
+                if hit:
+                    left_w = np.vstack([words[pairs[idx][0]] for idx in hit])
+                    right_w = np.vstack([words[pairs[idx][1]] for idx in hit])
+                    dist = popcount_u8(
+                        np.bitwise_xor(left_w, right_w).view(np.uint8)
+                    ).sum(axis=1, dtype=np.int64)
+                    scores = np.zeros(len(pairs), dtype=np.float64)
+                    scores[hit] = np.asarray(score_from_distance(dist),
+                                             dtype=np.float64)
+                    np.maximum(best, scores, out=best)
+                continue
             if workers <= 1 or len(pairs) < max(_MIN_PAIRS_TO_FAN_OUT,
                                                 2 * workers):
                 scores = _score_pair_chunk(pairs, sig_by_member,
@@ -610,9 +655,9 @@ class ShardedSimilarityIndex:
         per_shard = []
         for shard_idx, (shard, stats) in enumerate(zip(self._shards,
                                                        shard_stats)):
-            entries = sum(info["entries"]
+            entries = sum(info.get("entries", 0)
                           for info in stats["feature_types"].values())
-            postings = sum(info["postings"]
+            postings = sum(info.get("postings", 0)
                            for info in stats["feature_types"].values())
             per_shard.append({
                 "shard": shard_idx,
@@ -624,19 +669,46 @@ class ShardedSimilarityIndex:
                 "estimated_bytes": stats["estimated_bytes"],
             })
         per_type: dict[str, dict] = {}
+        vector_types = set(self._shards[0].vector_feature_types)
+        vector_bytes = 0
         for feature_type in self._feature_types:
+            infos = [stats["feature_types"][feature_type]
+                     for stats in shard_stats]
+            if feature_type in vector_types:
+                packed = sum(info["packed_matrix_bytes"] for info in infos)
+                per_type[feature_type] = {
+                    "family": "vector",
+                    "members_with_digest": sum(info["members_with_digest"]
+                                               for info in infos),
+                    "digest_bits": infos[0]["digest_bits"],
+                    "packed_matrix_bytes": packed,
+                }
+                vector_bytes += packed
+                continue
             entries = postings = 0
             block_sizes: set[int] = set()
-            for stats in shard_stats:
-                info = stats["feature_types"][feature_type]
+            for info in infos:
                 entries += info["entries"]
                 postings += info["postings"]
                 block_sizes.update(info["block_sizes"])
             per_type[feature_type] = {
+                "family": "ctph",
                 "entries": entries,
                 "postings": postings,
                 "block_sizes": sorted(block_sizes),
             }
+        families = {
+            "ctph": {
+                "feature_types": list(self._shards[0].ctph_feature_types),
+                "entries": sum(info.get("entries", 0)
+                               for info in per_type.values()),
+            },
+            "vector": {
+                "feature_types": sorted(vector_types),
+                "digest_bits": 256,
+                "packed_matrix_bytes": int(vector_bytes),
+            },
+        }
         return {
             "members": self.n_members,
             "total_members": self.total_members,
@@ -647,6 +719,7 @@ class ShardedSimilarityIndex:
             "labelled_members": len(labelled),
             "ngram_length": self._ngram_length,
             "feature_types": per_type,
+            "families": families,
             "shards": per_shard,
         }
 
@@ -1041,6 +1114,10 @@ class ShardedSimilarityIndex:
                 if not len(pair_queries):
                     continue
                 np.maximum.at(best, gmap[pair_members], scores[pair_slots])
+            for _ft, (_vec_queries, vec_members,
+                      vec_scores) in batch.vector.items():
+                if len(vec_members):
+                    np.maximum.at(best, gmap[vec_members], vec_scores)
 
     def _iter_surviving_entries(
             self) -> Iterator[tuple[str, str, dict[int, list]]]:

@@ -50,12 +50,15 @@ from ..exceptions import IndexFormatError, ReproError, SimilarityIndexError
 __all__ = ["FORMAT_VERSION", "MAGIC", "ContainerFormat", "INDEX_FORMAT",
            "write_container", "read_container"]
 
-#: Current similarity-index container format version.  Version 2 carries
-#: the columnar postings layout (interned signature pool + CSR posting
-#: arrays per feature type, :mod:`repro.index.postings`); version 1
-#: files — flat per-entry arrays — still load through the rebuild path
-#: in :meth:`repro.index.SimilarityIndex.from_state`.
-FORMAT_VERSION = 2
+#: Current similarity-index container format version.  Version 3 adds
+#: the optional packed vector-digest sections (``v{idx}.*`` ``uint64``
+#: matrices, :mod:`repro.index.knn`); version 2 carries the columnar
+#: postings layout (interned signature pool + CSR posting arrays per
+#: feature type, :mod:`repro.index.postings`); version 1 files — flat
+#: per-entry arrays — still load through the rebuild path in
+#: :meth:`repro.index.SimilarityIndex.from_state`.  v1/v2 files simply
+#: have no vector sections and load CTPH-only, bit-identically.
+FORMAT_VERSION = 3
 
 #: File magic identifying a repro similarity index.
 MAGIC = b"RPROSIDX"
@@ -95,7 +98,7 @@ class ContainerFormat:
 INDEX_FORMAT = ContainerFormat(
     magic=MAGIC,
     version=FORMAT_VERSION,
-    allowed_dtypes=("<i2", "<i4", "<i8", "|u1"),
+    allowed_dtypes=("<i2", "<i4", "<i8", "|u1", "<u8"),
     kind="similarity index",
     format_error=IndexFormatError,
     io_error=SimilarityIndexError,

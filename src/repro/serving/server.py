@@ -413,6 +413,11 @@ class ClassificationServer:
             "uptime_seconds": round(time.monotonic() - self._started_at, 3),
             "ingest_enabled": bool(self.config.enable_ingest),
         }
+        classifier = getattr(getattr(self.manager, "service", None),
+                             "classifier", None)
+        family = getattr(classifier, "family", None)
+        if family is not None:
+            payload["model_family"] = str(family)
         corpus_info = getattr(self.manager, "corpus_info", None)
         if self.config.enable_ingest and callable(corpus_info):
             try:
@@ -427,6 +432,11 @@ class ClassificationServer:
         cache_info = getattr(service, "cache_info", None)
         if callable(cache_info):
             payload["service_cache"] = cache_info()
+        # Process-wide CTPH comparability counters: how many digest
+        # comparisons were structurally impossible, by typed reason.
+        from ..hashing.compare import incomparable_counts
+
+        payload["incomparable_comparisons"] = incomparable_counts()
         return payload
 
 

@@ -40,8 +40,8 @@ def sharded_service(records):
                                        index=index)
 
 
-def test_format_version_is_two():
-    assert MODEL_FORMAT_VERSION == 2
+def test_format_version_is_three():
+    assert MODEL_FORMAT_VERSION == 3
 
 
 def test_sharded_artifact_round_trips_bit_identically(tmp_path, records,
@@ -59,7 +59,7 @@ def test_sharded_artifact_inspect_and_validate(tmp_path, sharded_service):
     path = tmp_path / "sharded.rpm"
     save_model(sharded_service.classifier, path)
     info = inspect_model(path)
-    assert info["format_version"] == 2
+    assert info["format_version"] == MODEL_FORMAT_VERSION
     assert info["index_sharded"] is True
     assert info["index_shards"] == 3
     assert info["index_members"] == 48

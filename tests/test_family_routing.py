@@ -1,0 +1,199 @@
+"""Hash-family routing tests: extractor expansion, classifier wiring,
+artifact round-trips and the pre-family legacy-artifact guarantee.
+
+``family="ctph"`` (the default) must behave exactly as the library did
+before the second hash family existed; ``"vector"`` swaps every
+``ssdeep-*`` type for its ``vector-*`` sibling; ``"both"`` runs the two
+families side by side as parallel per-class feature blocks.
+"""
+
+import dataclasses
+import random
+
+import numpy as np
+import pytest
+
+from repro.api.artifact import (MODEL_CONTAINER, inspect_model, save_model)
+from repro.api.service import ClassificationService
+from repro.core.classifier import FuzzyHashClassifier
+from repro.exceptions import FeatureExtractionError
+from repro.features.extractors import (ALL_FEATURE_TYPES, FEATURE_TYPES,
+                                       FeatureExtractor, HASH_FAMILIES,
+                                       resolve_family_feature_types)
+from repro.features.records import SampleFeatures
+from repro.hashing.ssdeep import fuzzy_hash
+from repro.hashing.vector import is_vector_digest, vector_hash
+from repro.index.storage import read_container, write_container
+
+
+# ------------------------------------------------- family resolution
+def test_resolve_ctph_is_identity():
+    assert resolve_family_feature_types(FEATURE_TYPES, "ctph") == \
+        tuple(FEATURE_TYPES)
+
+
+def test_resolve_vector_maps_siblings():
+    assert resolve_family_feature_types(("ssdeep-file", "ssdeep-strings"),
+                                        "vector") == \
+        ("vector-file", "vector-strings")
+    # Vector types map to themselves.
+    assert resolve_family_feature_types(("vector-file",), "vector") == \
+        ("vector-file",)
+
+
+def test_resolve_both_appends_vector_block():
+    resolved = resolve_family_feature_types(("ssdeep-file", "ssdeep-libs"),
+                                            "both")
+    assert resolved == ("ssdeep-file", "ssdeep-libs",
+                        "vector-file", "vector-libs")
+
+
+def test_resolve_deduplicates_preserving_order():
+    resolved = resolve_family_feature_types(
+        ("ssdeep-file", "vector-file"), "both")
+    assert resolved == ("ssdeep-file", "vector-file")
+
+
+def test_resolve_rejects_unknown_family_and_type():
+    with pytest.raises(FeatureExtractionError):
+        resolve_family_feature_types(FEATURE_TYPES, "tlsh")
+    with pytest.raises(FeatureExtractionError):
+        resolve_family_feature_types(("ssdeep-nope",), "both")
+    assert HASH_FAMILIES == ("ctph", "vector", "both")
+
+
+def test_all_feature_types_cover_both_families():
+    vector_types = [ft for ft in ALL_FEATURE_TYPES
+                    if ft.startswith("vector-")]
+    assert len(vector_types) == 4
+    for ft in FEATURE_TYPES:
+        assert ft in ALL_FEATURE_TYPES
+
+
+# ------------------------------------------------------- extraction
+def test_extractor_produces_vector_digests():
+    extractor = FeatureExtractor(("ssdeep-file", "vector-file",
+                                  "vector-strings"))
+    data = b"\x7fELF" + b"printf\x00scanf\x00" * 200
+    sample = extractor.extract(data, sample_id="s1")
+    assert not is_vector_digest(sample.digest("ssdeep-file"))
+    assert is_vector_digest(sample.digest("vector-file"))
+    assert is_vector_digest(sample.digest("vector-strings"))
+    # Deterministic across extractor instances.
+    again = FeatureExtractor(("vector-file",)).extract(data, sample_id="s2")
+    assert again.digest("vector-file") == sample.digest("vector-file")
+
+
+# ------------------------------------------------------- classifier
+def _make_records(n: int, seed: int, family: str):
+    types = resolve_family_feature_types(("ssdeep-file",), family)
+    rnd = random.Random(seed)
+    bases = [rnd.randbytes(3000 + rnd.randrange(1000)) for _ in range(3)]
+    records = []
+    for i in range(n):
+        blob = bytearray(bases[i % 3])
+        for _ in range(rnd.randrange(1, 6)):
+            blob[rnd.randrange(len(blob))] = rnd.randrange(256)
+        blob = bytes(blob)
+        digests = {}
+        for ft in types:
+            digests[ft] = vector_hash(blob) if ft.startswith("vector-") \
+                else fuzzy_hash(blob)
+        records.append(SampleFeatures(sample_id=f"s{i:03d}",
+                                      class_name=f"class-{i % 3}",
+                                      version="1", executable=f"s{i:03d}",
+                                      digests=digests))
+    return records
+
+
+def test_classifier_active_feature_types_follow_family():
+    clf = FuzzyHashClassifier(feature_types=("ssdeep-file",), family="both")
+    assert clf.active_feature_types == ("ssdeep-file", "vector-file")
+    assert FuzzyHashClassifier(feature_types=("ssdeep-file",)) \
+        .active_feature_types == ("ssdeep-file",)
+    # sklearn-style parameter plumbing picks family up automatically.
+    assert clf.get_params()["family"] == "both"
+
+
+@pytest.mark.parametrize("family", ["ctph", "vector", "both"])
+def test_family_model_artifact_round_trip(tmp_path, family):
+    """Digests of every active family round-trip through the ``.rpm``
+    container and reproduce the exact same decisions after load."""
+
+    records = _make_records(24, 5, family)
+    service = ClassificationService.train(
+        records, feature_types=("ssdeep-file",), family=family,
+        n_estimators=10, random_state=3)
+    expected_width = {"ctph": 1, "vector": 1, "both": 2}[family] * 3
+    assert service.classifier.builder_.transform(records).n_features == \
+        expected_width
+
+    path = tmp_path / f"model-{family}.rpm"
+    save_model(service.classifier, path)
+    loaded = ClassificationService.load(path)
+    assert loaded.classifier.family == family
+    assert loaded.classifier.active_feature_types == \
+        service.classifier.active_feature_types
+    assert loaded.classify_features(records) == \
+        service.classify_features(records)
+
+    info = inspect_model(path)
+    assert info["family"] == family
+    assert info["active_feature_types"] == \
+        list(service.classifier.active_feature_types)
+    vector_active = [ft for ft in info["active_feature_types"]
+                     if ft.startswith("vector-")]
+    assert info["families"]["vector"] == vector_active
+
+
+def test_pre_family_legacy_artifact_loads_bit_identically(tmp_path):
+    """The acceptance regression: an artifact written before the family
+    parameter existed (v2 container, no ``family`` key in params) loads
+    and classifies exactly as a modern ctph model."""
+
+    records = _make_records(24, 9, "ctph")
+    service = ClassificationService.train(
+        records, feature_types=("ssdeep-file",),
+        n_estimators=10, random_state=3)
+    modern = tmp_path / "modern.rpm"
+    save_model(service.classifier, modern)
+
+    header, arrays = read_container(modern, fmt=MODEL_CONTAINER)
+    header.pop("arrays")
+    header.pop("format_version")
+    assert header["params"].pop("family") == "ctph"
+    v2_format = dataclasses.replace(MODEL_CONTAINER, version=2)
+    legacy = tmp_path / "legacy.rpm"
+    write_container(legacy, header, arrays, fmt=v2_format)
+
+    loaded = ClassificationService.load(legacy)
+    assert loaded.classifier.family == "ctph"
+    assert loaded.classifier.active_feature_types == ("ssdeep-file",)
+    assert loaded.classify_features(records) == \
+        service.classify_features(records)
+    info = inspect_model(legacy)
+    assert info["format_version"] == 2
+    assert info["family"] == "ctph"
+
+
+def test_both_family_widens_feature_matrix_consistently():
+    records = _make_records(18, 13, "both")
+    ctph_only = [SampleFeatures(sample_id=r.sample_id,
+                                class_name=r.class_name, version=r.version,
+                                executable=r.executable,
+                                digests={"ssdeep-file":
+                                         r.digests["ssdeep-file"]})
+                 for r in records]
+    both = FuzzyHashClassifier(feature_types=("ssdeep-file",), family="both",
+                               n_estimators=10, random_state=1)
+    both.fit(records)
+    ctph = FuzzyHashClassifier(feature_types=("ssdeep-file",),
+                               n_estimators=10, random_state=1)
+    ctph.fit(ctph_only)
+
+    X_both = both.builder_.transform(records).X
+    X_ctph = ctph.builder_.transform(ctph_only).X
+    n_classes = X_ctph.shape[1]
+    assert X_both.shape[1] == 2 * n_classes
+    # The CTPH block of the dual-family matrix is the CTPH-only matrix.
+    assert np.array_equal(X_both[:, :n_classes], X_ctph)

@@ -1,0 +1,86 @@
+"""Tests for size-adaptive CTPH parameters (default-off knob).
+
+The bands in :data:`~repro.hashing.ssdeep.ADAPTIVE_SIZE_BANDS` keep the
+reference parameters for small inputs and raise the signature budget
+(and block floor) for large ones.  The critical invariants:
+
+* ``adaptive=False`` (the default) is byte-identical to the reference
+  hasher for every input — the knob cannot perturb existing corpora;
+* ``adaptive=True`` is *also* byte-identical for inputs inside the
+  first band, because that band IS the reference configuration;
+* digests from different bands are not score-comparable, which is why
+  the knob defaults to off (the README's comparability rule).
+"""
+
+import random
+
+import pytest
+
+from repro.hashing.ssdeep import (ADAPTIVE_SIZE_BANDS, MIN_BLOCKSIZE,
+                                  SPAMSUM_LENGTH, FuzzyHasher)
+
+_reference = FuzzyHasher()
+_adaptive = FuzzyHasher(adaptive=True)
+
+
+def test_bands_start_with_the_reference_configuration():
+    bound, min_bs, spamsum = ADAPTIVE_SIZE_BANDS[0]
+    assert min_bs == MIN_BLOCKSIZE
+    assert spamsum == SPAMSUM_LENGTH
+    assert bound is not None
+    # Bands are ordered by bound and terminated by a None catch-all.
+    assert ADAPTIVE_SIZE_BANDS[-1][0] is None
+    bounds = [b for b, _, _ in ADAPTIVE_SIZE_BANDS if b is not None]
+    assert bounds == sorted(bounds)
+
+
+def test_adaptive_defaults_off():
+    assert FuzzyHasher().adaptive is False
+
+
+def test_small_inputs_hash_identically_with_adaptive_on():
+    rnd = random.Random(41)
+    first_bound = ADAPTIVE_SIZE_BANDS[0][0]
+    for size in (0, 1, 100, 4096, first_bound - 1):
+        data = rnd.randbytes(size)
+        assert str(_adaptive.hash(data)) == str(_reference.hash(data))
+
+
+def test_large_inputs_get_longer_signatures():
+    rnd = random.Random(42)
+    data = rnd.randbytes(2 * 1024 * 1024 + 17)   # last band
+    plain = _reference.hash(data)
+    adaptive = _adaptive.hash(data)
+    assert len(adaptive.chunk) > len(plain.chunk)
+    # The raised signature budget lowers the chosen block size, so each
+    # digest character summarises fewer bytes (more resolution).
+    assert adaptive.block_size < plain.block_size
+
+
+def test_band_selection_uses_input_size():
+    h = FuzzyHasher(adaptive=True)
+    for length, expected in ((0, ADAPTIVE_SIZE_BANDS[0]),
+                             (16 * 1024 - 1, ADAPTIVE_SIZE_BANDS[0]),
+                             (16 * 1024, ADAPTIVE_SIZE_BANDS[1]),
+                             (1024 * 1024 - 1, ADAPTIVE_SIZE_BANDS[1]),
+                             (1024 * 1024, ADAPTIVE_SIZE_BANDS[2]),
+                             (1 << 30, ADAPTIVE_SIZE_BANDS[2])):
+        assert h._params_for(length) == expected[1:]
+
+
+def test_non_adaptive_ignores_bands():
+    h = FuzzyHasher(min_blocksize=6, spamsum_length=128)
+    assert h._params_for(10) == (6, 128)
+    assert h._params_for(1 << 30) == (6, 128)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"min_blocksize": 0},
+    {"spamsum_length": 1},
+    {"spamsum_length": 63},
+])
+def test_invalid_parameters_rejected(kwargs):
+    from repro.exceptions import HashingError
+
+    with pytest.raises(HashingError):
+        FuzzyHasher(**kwargs)

@@ -183,10 +183,10 @@ def test_header_records_format_version(index, tmp_path):
 
 
 def test_v2_container_carries_columnar_arrays(index, tmp_path):
-    """Format v2 persists the postings verbatim: the reader adopts the
+    """Formats v2+ persist the postings verbatim: the reader adopts the
     arrays instead of re-hashing every gram on load."""
 
-    assert FORMAT_VERSION == 2
+    assert FORMAT_VERSION == 3
     header, arrays = read_container(index.save(tmp_path / "cols.rpsi"))
     assert header["layout"] == "columnar"
     assert {"pool_bytes", "pool_offsets"} <= set(arrays)

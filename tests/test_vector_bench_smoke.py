@@ -1,0 +1,91 @@
+"""Tier-1 smoke for the vector-digest (second hash family) benchmark.
+
+Runs ``benchmarks/bench_vector_digest.py`` at a small scale so a
+regression that breaks the packed-sweep/per-pair result identity or the
+dual-family recall ordering fails the default test run.  The speedup
+floor asserted here is conservative (the packed sweep is typically two
+orders of magnitude faster than the Python loop); the full >=5x
+acceptance floor is the benchmark's own default (``pytest -m slow``
+opts in).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+_BENCH_PATH = Path(__file__).resolve().parents[1] / "benchmarks" / \
+    "bench_vector_digest.py"
+
+
+@pytest.fixture(scope="module")
+def bench():
+    spec = importlib.util.spec_from_file_location("bench_vector_digest",
+                                                  _BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("bench_vector_digest", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quick_benchmark_identity_and_recall_ordering(bench):
+    result = bench.run(5, 4, 400, 4, blob_size=2048)
+    assert result.results_match, \
+        "packed top-k diverged from the per-pair reference"
+    assert result.recall_ordering_holds, \
+        "dual-family recall fell below CTPH-only recall"
+    # The packed sweep is vectorisation, not fan-out: even one loaded
+    # CI core clears a 2x floor with two orders of magnitude to spare.
+    assert result.knn_speedup >= 2.0, \
+        f"packed kNN sweep only {result.knn_speedup:.1f}x faster"
+
+
+def test_scattered_mutations_break_ctph_but_not_vector(bench):
+    """The regime the second family exists for: dispersed point edits."""
+
+    scenario = bench.measure_recall("scattered", 5, 4, blob_size=4096)
+    assert scenario.vector_recall >= scenario.ctph_recall
+    assert scenario.vector_recall >= 0.8
+    assert scenario.both_recall >= scenario.ctph_recall
+
+
+def test_benchmark_cli_quick_mode(bench, capsys, tmp_path, monkeypatch):
+    monkeypatch.setattr(bench, "OUTPUT_DIR", tmp_path)
+    code = bench.main(["--quick", "--classes", "4", "--variants", "3",
+                       "--knn-members", "300", "--knn-queries", "3",
+                       "--min-knn-speedup", "0"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "bit-identical" in out
+    assert (tmp_path / "bench_vector_digest.txt").is_file()
+    assert (tmp_path / "BENCH_vector_digest.json").is_file()
+
+
+def test_benchmark_trajectory_records_recalls_and_speedup(bench, tmp_path,
+                                                          monkeypatch):
+    import json
+
+    monkeypatch.setattr(bench, "OUTPUT_DIR", tmp_path)
+    code = bench.main(["--quick", "--classes", "4", "--variants", "3",
+                       "--knn-members", "300", "--knn-queries", "3",
+                       "--min-knn-speedup", "0"])
+    assert code == 0
+    trajectory = json.loads(
+        (tmp_path / "BENCH_vector_digest.json").read_text(encoding="utf-8"))
+    assert trajectory["results_match"] is True
+    assert trajectory["recall_ordering_holds"] is True
+    assert "knn_speedup" in trajectory
+    scenarios = {s["scenario"] for s in trajectory["scenarios"]}
+    assert scenarios == {"scattered", "appended", "padded"}
+
+
+@pytest.mark.slow
+def test_full_benchmark_meets_acceptance_floors(bench):
+    """The acceptance configuration: >=5x packed kNN speedup,
+    bit-identical results, dual-family recall >= CTPH-only."""
+
+    result = bench.run(12, 8, 4000, 25)
+    assert result.results_match
+    assert result.recall_ordering_holds
+    assert result.knn_speedup >= 5.0
