@@ -12,7 +12,16 @@ benchmark measures exactly that against a live
 * **coalesced** — the same payloads split across ``--clients``
   concurrent threads (default 16), whose requests land in the bounded
   queue together and are drained as micro-batches;
-* decisions from **both** runs must be bit-identical to a direct
+* **multi-process scoring** (``--workers N``) — the same coalesced
+  client load against a server whose :class:`ModelManager` runs
+  ``score_workers=N`` forked scoring processes over a memory-mapped
+  artifact (``mmap=True``): the coalescer's micro-batches are split
+  into contiguous chunks and dispatched across the workers, which
+  escapes the GIL for the CPU-bound scoring inner loop.  The
+  acceptance criterion is >=2x the single-process coalesced
+  throughput at ``--workers 4`` with 16 clients (on a machine with
+  the cores to back it — see ``--min-worker-speedup``);
+* decisions from **all** runs must be bit-identical to a direct
   :meth:`ClassificationService.classify_bytes` call on the same
   payloads (caches disabled everywhere, so nothing is served stale);
 * the ``/metrics`` latency histogram is sanity-checked (complete
@@ -22,10 +31,11 @@ Run directly (``python benchmarks/bench_serving.py``); ``--quick``
 shrinks the corpus and request count for CI.  Exit status is non-zero
 when the coalesced throughput falls below ``--min-speedup`` times the
 sequential baseline (default 2x, the acceptance criterion at 16
-clients) or when any decision diverges, so the script doubles as a
-regression tripwire; ``tests/test_serving_bench_smoke.py`` runs it as
-part of tier 1 and a JSON trajectory is written to
-``benchmarks/output/BENCH_serving.json`` for CI archiving.
+clients), when ``--workers`` misses ``--min-worker-speedup``, or when
+any decision diverges, so the script doubles as a regression tripwire;
+``tests/test_serving_bench_smoke.py`` runs it as part of tier 1 and a
+JSON trajectory is written to ``benchmarks/output/BENCH_serving.json``
+for CI archiving.
 """
 
 from __future__ import annotations
@@ -69,6 +79,10 @@ class BenchResult:
     latency_p99: float
     latency_count: int
     decisions_match: bool
+    score_workers: int = 0
+    worker_seconds: float = 0.0
+    worker_batches: int = 0
+    worker_decisions_match: bool = True
 
     @property
     def sequential_rps(self) -> float:
@@ -83,6 +97,20 @@ class BenchResult:
         if self.coalesced_seconds <= 0:
             return float("inf")
         return self.sequential_seconds / self.coalesced_seconds
+
+    @property
+    def worker_rps(self) -> float:
+        if self.worker_seconds <= 0:
+            return 0.0
+        return self.n_requests / self.worker_seconds
+
+    @property
+    def worker_speedup(self) -> float:
+        """Multi-worker coalesced vs single-process coalesced."""
+
+        if self.worker_seconds <= 0:
+            return 0.0
+        return self.coalesced_seconds / self.worker_seconds
 
     def table(self) -> str:
         lines = [
@@ -103,6 +131,20 @@ class BenchResult:
             f"served decisions identical to direct classify_bytes: "
             f"{self.decisions_match}",
         ]
+        if self.score_workers:
+            label = (f"multi-process ({self.score_workers} scoring workers, "
+                     f"{self.n_clients} clients)")
+            lines[4:4] = [
+                f"{label:<44} "
+                f"{self.worker_seconds:>10.3f} {self.worker_rps:>8.1f}",
+            ]
+            lines.extend([
+                f"multi-worker vs single-process coalesced speedup: "
+                f"{self.worker_speedup:.2f}x "
+                f"({self.worker_batches} worker micro-batches)",
+                f"worker decisions identical to direct classify_bytes: "
+                f"{self.worker_decisions_match}",
+            ])
         return "\n".join(lines)
 
 
@@ -137,8 +179,43 @@ def _get_json(port: int, path: str) -> dict:
         connection.close()
 
 
+def _coalesced_run(port: int, payloads: list, n_clients: int
+                   ) -> tuple[dict, float]:
+    """The same payloads from ``n_clients`` concurrent threads."""
+
+    results: dict[str, dict] = {}
+    errors: list = []
+    lock = threading.Lock()
+    shares = [payloads[i::n_clients] for i in range(n_clients)]
+
+    def client(share):
+        try:
+            mine = HTTPConnection("127.0.0.1", port, timeout=120)
+            collected = {}
+            for sample_id, data in share:
+                collected[sample_id] = _post(mine, sample_id, data)
+            mine.close()
+            with lock:
+                results.update(collected)
+        except Exception as exc:  # noqa: BLE001 — report, don't hang
+            with lock:
+                errors.append(exc)
+
+    threads = [threading.Thread(target=client, args=(share,))
+               for share in shares]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    seconds = time.perf_counter() - start
+    if errors:
+        raise RuntimeError(f"coalesced run failed: {errors[0]}")
+    return results, seconds
+
+
 def run(n_estimators: int, n_requests: int, n_clients: int,
-        seed: int = 11) -> BenchResult:
+        seed: int = 11, score_workers: int = 0) -> BenchResult:
     config = default_config("small", seed=seed)
 
     # Setup (untimed): train in memory, publish the artifact once —
@@ -184,38 +261,41 @@ def run(n_estimators: int, n_requests: int, n_clients: int,
             connection.close()
 
             # Coalesced: the same payloads from n_clients threads.
-            coalesced: dict[str, dict] = {}
-            errors: list = []
-            lock = threading.Lock()
-            shares = [payloads[i::n_clients] for i in range(n_clients)]
-
-            def client(share):
-                try:
-                    mine = HTTPConnection("127.0.0.1", port, timeout=120)
-                    results = {}
-                    for sample_id, data in share:
-                        results[sample_id] = _post(mine, sample_id, data)
-                    mine.close()
-                    with lock:
-                        coalesced.update(results)
-                except Exception as exc:  # noqa: BLE001 — report, don't hang
-                    with lock:
-                        errors.append(exc)
-
-            threads = [threading.Thread(target=client, args=(share,))
-                       for share in shares]
-            start = time.perf_counter()
-            for thread in threads:
-                thread.start()
-            for thread in threads:
-                thread.join()
-            coalesced_seconds = time.perf_counter() - start
-            if errors:
-                raise RuntimeError(f"coalesced run failed: {errors[0]}")
+            coalesced, coalesced_seconds = _coalesced_run(
+                port, payloads, n_clients)
 
             metrics = _get_json(port, "/metrics")
         finally:
             server.shutdown()
+
+        # Multi-process scoring: the same coalesced load against a
+        # fresh server whose manager forked score_workers scoring
+        # processes over the memory-mapped artifact.
+        worker_seconds = 0.0
+        worker_batches = 0
+        worker_decisions_match = True
+        if score_workers:
+            worker_manager = ModelManager(model_path, poll_interval=0,
+                                          cache_size=0, mmap=True,
+                                          score_workers=score_workers)
+            worker_server = ClassificationServer(
+                worker_manager,
+                ServerConfig(port=0, workers=2,
+                             max_batch=max(32, n_clients),
+                             queue_depth=4096)).start()
+            try:
+                warm = HTTPConnection("127.0.0.1", worker_server.port,
+                                      timeout=60)
+                _post(warm, "warmup-1", payloads[0][1])
+                warm.close()
+                worker_results, worker_seconds = _coalesced_run(
+                    worker_server.port, payloads, n_clients)
+                worker_metrics = _get_json(worker_server.port, "/metrics")
+                worker_batches = int(
+                    worker_metrics["scoring_workers"]["batches_total"])
+                worker_decisions_match = (worker_results == expected)
+            finally:
+                worker_server.shutdown()
 
     latency = metrics["request_latency_seconds"]
     decisions_match = (sequential == expected and coalesced == expected)
@@ -232,6 +312,10 @@ def run(n_estimators: int, n_requests: int, n_clients: int,
         latency_p99=float(latency["p99"]),
         latency_count=int(latency["count"]),
         decisions_match=decisions_match,
+        score_workers=score_workers,
+        worker_seconds=worker_seconds,
+        worker_batches=worker_batches,
+        worker_decisions_match=worker_decisions_match,
     )
 
 
@@ -247,13 +331,25 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-speedup", type=float, default=2.0,
                         help="fail (exit 1) below this coalesced-vs-"
                              "sequential throughput speedup (0 disables)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="also measure score_workers=N multi-process "
+                             "scoring over the mmap-loaded artifact "
+                             "(0 disables; the acceptance configuration "
+                             "is --workers 4 with 16 clients)")
+    parser.add_argument("--min-worker-speedup", type=float, default=2.0,
+                        help="with --workers, fail (exit 1) below this "
+                             "multi-worker-vs-single-process coalesced "
+                             "speedup (0 disables; needs the cores to "
+                             "back it — scoring is CPU-bound, so a "
+                             "1-core machine cannot clear any floor >1)")
     parser.add_argument("--quick", action="store_true",
                         help="smaller request count for CI smoke runs")
     args = parser.parse_args(argv)
 
     n_requests = (args.requests if args.requests
                   else (48 if args.quick else 96))
-    result = run(args.estimators, n_requests, args.clients)
+    result = run(args.estimators, n_requests, args.clients,
+                 score_workers=args.workers)
 
     OUTPUT_DIR.mkdir(exist_ok=True)
     out = OUTPUT_DIR / "bench_serving.txt"
@@ -261,7 +357,9 @@ def main(argv: list[str] | None = None) -> int:
     trajectory = dict(asdict(result),
                       sequential_rps=result.sequential_rps,
                       coalesced_rps=result.coalesced_rps,
-                      speedup=result.speedup)
+                      speedup=result.speedup,
+                      worker_rps=result.worker_rps,
+                      worker_speedup=result.worker_speedup)
     (OUTPUT_DIR / "BENCH_serving.json").write_text(
         json.dumps(trajectory, indent=2, sort_keys=True) + "\n",
         encoding="utf-8")
@@ -283,6 +381,21 @@ def main(argv: list[str] | None = None) -> int:
         print(f"FAIL: coalesced speedup {result.speedup:.2f}x is below the "
               f"{args.min_speedup:.1f}x floor", file=sys.stderr)
         return 1
+    if args.workers:
+        if not result.worker_decisions_match:
+            print("FAIL: multi-worker decisions diverge from direct "
+                  "classify_bytes", file=sys.stderr)
+            return 1
+        if result.worker_batches < 1:
+            print("FAIL: the scoring worker pool drained no micro-batches",
+                  file=sys.stderr)
+            return 1
+        if args.min_worker_speedup and \
+                result.worker_speedup < args.min_worker_speedup:
+            print(f"FAIL: multi-worker speedup {result.worker_speedup:.2f}x "
+                  f"is below the {args.min_worker_speedup:.1f}x floor",
+                  file=sys.stderr)
+            return 1
     return 0
 
 

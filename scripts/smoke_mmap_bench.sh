@@ -1,0 +1,17 @@
+#!/bin/sh
+# Quick regression smoke for the zero-copy mmap load mode: runs the
+# model-load benchmark in its small configuration and fails (non-zero
+# exit) when mapped arrays diverge from the eager read, a legacy
+# unpadded pre-v4 container stops loading bit-identically, mmap-loaded
+# decisions diverge from the eager load, or the raw container-read
+# speedup drops below the floor.  Tier-1 runs the same checks via
+# tests/test_mmap_bench_smoke.py; the full >=20x acceptance floor at
+# the default 32 MiB payload is the benchmark's default (the quick
+# 8 MiB payload typically clears it anyway — the explicit floor below
+# is the conservative smoke bar for loaded CI runners).
+set -eu
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+# Later flags win, so callers can still override via "$@".
+PYTHONPATH="$repo_root/src${PYTHONPATH:+:$PYTHONPATH}" \
+    exec python "$repo_root/benchmarks/bench_model_load.py" --quick \
+    --min-speedup 3 --min-mmap-speedup 10 "$@"

@@ -25,12 +25,18 @@ Format version 2 additionally allows the embedded anchor index to be a
 :class:`~repro.index.ShardedSimilarityIndex`: its header (under
 ``index.header``) carries ``"sharded": true`` plus the shard layout,
 and its arrays are prefixed ``index.shardN.*``.  Format version 3
-(this build) adds the second hash family: the classifier may carry a
-``family`` parameter (``"ctph"``/``"vector"``/``"both"``) and the
-embedded index may hold packed ``uint64`` vector-digest matrices
-(``v{idx}.*`` sections, :mod:`repro.index.knn`).  Version 1 and 2
-artifacts — CTPH-only by construction — load unchanged and predict
-identically; readers accept any version up to the current one.
+adds the second hash family: the classifier may carry a ``family``
+parameter (``"ctph"``/``"vector"``/``"both"``) and the embedded index
+may hold packed ``uint64`` vector-digest matrices (``v{idx}.*``
+sections, :mod:`repro.index.knn`).  Format version 4 (this build)
+changes only the physical layout: array payloads are padded so each
+starts on a 64-byte boundary (``payload_alignment`` in the container
+header), which lets :func:`load_model` with ``mmap_mode="r"`` adopt
+the bulk arrays as zero-copy memory-mapped views — an O(header) load
+whose pages N serving processes share through the OS page cache.
+Version 1–3 artifacts load unchanged (bit-identically, through the
+materialising path) and predict identically; readers accept any
+version up to the current one.
 
 Validation on load is strict: bad magic, truncation, a future format
 version, unknown feature types, or a feature layout that does not match
@@ -72,8 +78,9 @@ __all__ = ["MODEL_FORMAT_VERSION", "MODEL_MAGIC", "MODEL_SUFFIX", "MODEL_KIND",
 _LOG = get_logger("api.artifact")
 
 #: Current model artifact format version; v1 (single-index anchors
-#: only) and v2 (sharded anchors, CTPH-only) files remain readable.
-MODEL_FORMAT_VERSION = 3
+#: only), v2 (sharded anchors, CTPH-only) and v3 (unaligned payloads)
+#: files remain readable.
+MODEL_FORMAT_VERSION = 4
 
 #: File magic identifying a repro model artifact.
 MODEL_MAGIC = b"RPROMODL"
@@ -321,30 +328,35 @@ def save_model(classifier: FuzzyHashClassifier, path: str | os.PathLike, *,
 # ------------------------------------------------------------------- load
 def load_model(path: str | os.PathLike,
                index: "SimilarityIndex | ShardedSimilarityIndex | str | "
-                      "os.PathLike | None" = None
-               ) -> FuzzyHashClassifier:
+                      "os.PathLike | None" = None, *,
+               mmap_mode: str | None = None) -> FuzzyHashClassifier:
     """Load a model artifact; the result predicts bit-identically.
 
     ``index`` supplies the anchor index for headless artifacts (a loaded
     :class:`~repro.index.SimilarityIndex` or
     :class:`~repro.index.ShardedSimilarityIndex`, or a path to either
     format); it
-    is ignored with a warning when the artifact embeds its own.  Raises
+    is ignored with a warning when the artifact embeds its own.
+    ``mmap_mode="r"`` adopts the bulk arrays as read-only zero-copy
+    views into a shared memory map (v4 aligned artifacts; older files
+    transparently fall back to the materialising path).  Raises
     :class:`~repro.exceptions.ModelFormatError` on missing, corrupt,
     truncated, version- or feature-type-incompatible files.
     """
 
-    return _restore(Path(path), index)[0]
+    return _restore(Path(path), index, mmap_mode=mmap_mode)[0]
 
 
 def _restore(path: Path,
              index: "SimilarityIndex | ShardedSimilarityIndex | str | "
-                    "os.PathLike | None"
+                    "os.PathLike | None",
+             mmap_mode: str | None = None
              ) -> tuple[FuzzyHashClassifier, dict]:
     """Fully restore an artifact; returns ``(classifier, header)``."""
 
     source = f"model artifact {path}"
-    header, arrays = read_container(path, fmt=MODEL_CONTAINER)
+    header, arrays = read_container(path, fmt=MODEL_CONTAINER,
+                                    mmap_mode=mmap_mode)
 
     kind = header.get("kind")
     if kind != MODEL_KIND:
@@ -386,18 +398,40 @@ def _restore(path: Path,
             raise ModelFormatError(
                 f"{source} declares an embedded index but carries no "
                 "index payload")
-        builder_state = {"index_header": index_header,
-                         "index_arrays": index_arrays}
+        # The container arrays are exclusively owned (eager read) or
+        # immutable mapped views, so the index adopts them without a
+        # second copy; a mapped load also defers the O(payload) content
+        # scans (the file was validated when written).
+        try:
+            if index_header.get("sharded"):
+                anchor: SimilarityIndex | ShardedSimilarityIndex = \
+                    ShardedSimilarityIndex.from_state(
+                        index_header, index_arrays, source=source,
+                        copy=False, deep_validate=mmap_mode is None)
+            else:
+                anchor = SimilarityIndex.from_state(
+                    index_header, index_arrays, source=source,
+                    copy=False, deep_validate=mmap_mode is None)
+        except ReproError as exc:
+            raise ModelFormatError(
+                f"{source} cannot be restored: {exc}") from exc
+        builder_state: dict = {"index": anchor}
     else:
         if index is None:
             raise ModelFormatError(
                 f"{source} was saved without its anchor index "
                 "(include_index=False); pass index=<SimilarityIndex or path>")
         if not isinstance(index, (SimilarityIndex, ShardedSimilarityIndex)):
-            index = load_index(index)
-        index_header, index_arrays = index.get_state()
-        builder_state = {"index_header": index_header,
-                         "index_arrays": index_arrays}
+            # A path: we own the freshly-loaded index, so the builder
+            # can adopt it directly (mmap_mode flows through).
+            builder_state = {"index": load_index(index, mmap_mode=mmap_mode)}
+        else:
+            # A caller-owned index object: snapshot it so the restored
+            # model never aliases (and is never mutated through) the
+            # caller's instance.
+            index_header, index_arrays = index.get_state()
+            builder_state = {"index_header": index_header,
+                             "index_arrays": index_arrays}
 
     forest_state = _unflatten_forest(forest_header, arrays, source=source)
     try:
@@ -490,7 +524,10 @@ def inspect_model(path: str | os.PathLike) -> dict:
     """Header-level summary of an artifact (no model reconstruction)."""
 
     path = Path(path)
-    header, _arrays = read_container(path, fmt=MODEL_CONTAINER)
+    # Mapped read: inspection only touches the header, so the (possibly
+    # huge) payloads are never faulted in on v4 aligned files.
+    header, _arrays = read_container(path, fmt=MODEL_CONTAINER,
+                                     mmap_mode="r")
     return _summarise(path, header)
 
 

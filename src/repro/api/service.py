@@ -232,17 +232,23 @@ class ClassificationService:
              batch_size: int = DEFAULT_BATCH_SIZE,
              cache_size: int = DEFAULT_CACHE_SIZE,
              index: "SimilarityIndex | ShardedSimilarityIndex | str | "
-                    "os.PathLike | None" = None
+                    "os.PathLike | None" = None,
+             mmap: bool = False
              ) -> "ClassificationService":
         """Cold-start from a model artifact — no retraining.
 
         ``index`` is only needed for headless artifacts saved with
-        ``include_index=False``.
+        ``include_index=False``.  ``mmap=True`` memory-maps the bulk
+        arrays instead of materialising them (O(header) load; N
+        processes loading the same file share its pages through the OS
+        page cache).  Older, unaligned artifacts silently fall back to
+        the materialising path.
         """
 
         from .artifact import load_model
 
-        return cls(load_model(path, index=index),
+        return cls(load_model(path, index=index,
+                              mmap_mode="r" if mmap else None),
                    allowed_classes=allowed_classes, n_jobs=n_jobs,
                    executor=executor, batch_size=batch_size,
                    cache_size=cache_size)

@@ -188,6 +188,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=2,
                        help="batch worker threads draining the request "
                             "queue (default 2)")
+    serve.add_argument("--mmap", action="store_true",
+                       help="memory-map the model artifact instead of "
+                            "copying it into the heap: O(header) cold "
+                            "start, and every process serving the same "
+                            "file shares its pages through the OS page "
+                            "cache (v4 artifacts; older files fall back "
+                            "to the copying load). /healthz and /metrics "
+                            "report the active mode as load_mode")
+    serve.add_argument("--score-workers", type=int, default=0, metavar="N",
+                       help="fork N scoring worker processes and dispatch "
+                            "coalesced micro-batches across them (default "
+                            "0 = score in-process). Decisions are bit-"
+                            "identical to in-process scoring; combine "
+                            "with --mmap so the workers share one copy "
+                            "of the model. /metrics reports per-worker "
+                            "batch counters under scoring_workers, "
+                            "alongside the incomparable_comparisons "
+                            "digest-comparability counters. Incompatible "
+                            "with --ingest")
     serve.add_argument("--max-batch", type=int, default=32,
                        help="items coalesced into one classify pass "
                             "(default 32)")
@@ -519,6 +538,15 @@ def _cmd_serve(args) -> int:
     load_kwargs = {}
     if args.cache_size is not None:
         load_kwargs["cache_size"] = args.cache_size
+    if args.mmap:
+        load_kwargs["mmap"] = True
+    if args.score_workers and args.ingest:
+        from .exceptions import ValidationError
+
+        raise ValidationError(
+            "--score-workers cannot be combined with --ingest: scoring "
+            "workers serve the artifact on disk and would miss "
+            "unpublished corpus mutations")
     manager = ModelManager(args.model,
                            poll_interval=args.reload_interval,
                            metrics=registry,
@@ -527,6 +555,7 @@ def _cmd_serve(args) -> int:
                            executor=args.executor,
                            mutable=args.ingest,
                            n_shards=args.ingest_shards,
+                           score_workers=args.score_workers,
                            **load_kwargs)
     lifecycle = None
     if args.ingest:
@@ -563,8 +592,12 @@ def _cmd_serve(args) -> int:
     endpoints = "POST /classify, GET /healthz, GET /metrics"
     if args.ingest:
         endpoints += ", POST /ingest, DELETE /samples/<id>"
+    mode = f"load={manager.load_mode}"
+    if args.score_workers:
+        mode += f", score_workers={args.score_workers}"
     print(f"serving {args.model} on http://{args.host}:{server.port} "
-          f"({endpoints}; Ctrl-C or SIGTERM drains and exits)", flush=True)
+          f"({mode}; {endpoints}; Ctrl-C or SIGTERM drains and exits)",
+          flush=True)
     return server.run_until_signalled()
 
 

@@ -242,9 +242,20 @@ class SimilarityFeatureBuilder:
 
         Runs the full :meth:`fit_from_index` validation (feature-type
         coverage, n-gram length, labelled anchors), so corrupt or
-        mismatched state fails loudly instead of mis-scoring.
+        mismatched state fails loudly instead of mis-scoring.  A caller
+        that has already restored the anchor index (the model-artifact
+        reader, which controls copy/mmap semantics itself) may pass it
+        directly under an ``"index"`` key instead of header/arrays.
         """
 
+        ready = state.get("index") if isinstance(state, dict) else None
+        if ready is not None:
+            if not isinstance(ready, (SimilarityIndex,
+                                      ShardedSimilarityIndex)):
+                raise ValidationError(
+                    f"invalid feature-builder state: 'index' must be a "
+                    f"similarity index, got {type(ready).__name__}")
+            return self.fit_from_index(ready)
         try:
             header = state["index_header"]
             arrays = state["index_arrays"]

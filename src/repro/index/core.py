@@ -1105,23 +1105,35 @@ class SimilarityIndex:
         return path
 
     @classmethod
-    def load(cls, path: str | os.PathLike) -> "SimilarityIndex":
+    def load(cls, path: str | os.PathLike, *,
+             mmap_mode: str | None = None) -> "SimilarityIndex":
         """Load an index saved by :meth:`save`.
 
         Reads both the current columnar layout and legacy (version 1)
         flat-entry files, which are rebuilt through the normal add path.
-        Raises :class:`~repro.exceptions.IndexFormatError` on missing,
-        corrupt, truncated or unsupported files.
+        With ``mmap_mode="r"`` (and a v4 aligned file) the bulk arrays
+        are adopted as read-only zero-copy views into a shared memory
+        map: the load is O(header) and deep content validation is
+        deferred — a v4 container was validated when written, and
+        faulting every payload page in just to re-check it would defeat
+        the point of mapping.  Raises
+        :class:`~repro.exceptions.IndexFormatError` on missing, corrupt,
+        truncated or unsupported files.
         """
 
-        header, arrays = read_container(path)
-        index = cls.from_state(header, arrays, source=f"index file {path}")
+        header, arrays = read_container(path, mmap_mode=mmap_mode)
+        # A freshly-read container is exclusively owned (eager) or an
+        # immutable mapped view (mmap): adopt without re-copying.
+        index = cls.from_state(header, arrays, source=f"index file {path}",
+                               copy=False,
+                               deep_validate=mmap_mode is None)
         _LOG.info("loaded index (%d members) from %s", index.n_members, path)
         return index
 
     @classmethod
     def from_state(cls, header: Mapping, arrays: Mapping[str, np.ndarray], *,
-                   source: str = "index state") -> "SimilarityIndex":
+                   source: str = "index state", copy: bool = True,
+                   deep_validate: bool = True) -> "SimilarityIndex":
         """Rebuild an index from a :meth:`get_state` snapshot.
 
         ``source`` names the origin (a file path, or the embedding model
@@ -1129,7 +1141,10 @@ class SimilarityIndex:
         :class:`~repro.exceptions.IndexFormatError` on inconsistent or
         corrupt state.  Columnar (version 2) snapshots adopt their
         arrays after validation; legacy flat-entry snapshots are rebuilt
-        entry by entry.
+        entry by entry.  ``copy=False`` adopts the arrays as views
+        (zero-copy; the caller guarantees nothing else mutates them) and
+        ``deep_validate=False`` skips the O(payload) content scans — the
+        mapped-load fast path.
         """
 
         try:
@@ -1155,14 +1170,23 @@ class SimilarityIndex:
             index._members_by_id.setdefault(sample_id, set()).add(member)
 
         if "pool_offsets" in arrays:
-            index._adopt_columnar_state(arrays, source=source)
+            index._adopt_columnar_state(arrays, source=source, copy=copy,
+                                        deep_validate=deep_validate)
         else:
             index._rebuild_legacy_state(arrays, source=source)
         return index
 
     def _adopt_columnar_state(self, arrays: Mapping[str, np.ndarray], *,
-                              source: str) -> None:
-        """Validate and adopt a columnar (format v2) snapshot."""
+                              source: str, copy: bool = True,
+                              deep_validate: bool = True) -> None:
+        """Validate and adopt a columnar (format v2) snapshot.
+
+        ``deep_validate=False`` keeps the cheap shape/length checks but
+        skips every scan that touches array *contents* (offset
+        monotonicity, sorted keys, member/signature ranges) and defers
+        signature decoding — on a memory-mapped load those scans would
+        fault in the whole payload.
+        """
 
         n_members = len(self._sample_ids)
         try:
@@ -1171,15 +1195,20 @@ class SimilarityIndex:
         except KeyError as exc:
             raise IndexFormatError(
                 f"{source} is missing required fields: {exc}") from exc
-        if len(pool_offsets) < 1 or pool_offsets[0] != 0 \
-                or pool_offsets[-1] != len(pool_bytes) \
+        if len(pool_offsets) < 1:
+            raise IndexFormatError(f"{source} has corrupt signature "
+                                   "pool offsets")
+        if deep_validate and (
+                pool_offsets[0] != 0
+                or pool_offsets[-1] != len(pool_bytes)
                 or (len(pool_offsets) > 1
-                    and np.any(np.diff(pool_offsets) < 0)):
+                    and np.any(np.diff(pool_offsets) < 0))):
             raise IndexFormatError(f"{source} has corrupt signature "
                                    "pool offsets")
         try:
             pool = SignaturePool.from_packed(self._ngram_length, pool_bytes,
-                                             pool_offsets)
+                                             pool_offsets,
+                                             lazy=not deep_validate)
         except UnicodeDecodeError as exc:
             raise IndexFormatError(f"{source} has non-ASCII "
                                    "signature bytes") from exc
@@ -1207,34 +1236,36 @@ class SimilarityIndex:
                                                     self._ngram_length):
                 raise IndexFormatError(f"{source} has inconsistent "
                                        "posting array lengths")
-            offsets = cols["post_offsets"]
-            if n_keys and (offsets[0] != 0
-                           or offsets[-1] != len(cols["post_entries"])
-                           or np.any(np.diff(offsets) < 0)):
-                raise IndexFormatError(f"{source} has corrupt "
-                                       "posting offsets")
-            if n_keys > 1 and np.any(np.diff(cols["post_keys"]) < 0):
-                raise IndexFormatError(f"{source} has unsorted posting keys")
-            if n_entries:
-                members = cols["entry_member"]
-                if members.min() < 0 or members.max() >= n_members:
+            if deep_validate:
+                offsets = cols["post_offsets"]
+                if n_keys and (offsets[0] != 0
+                               or offsets[-1] != len(cols["post_entries"])
+                               or np.any(np.diff(offsets) < 0)):
+                    raise IndexFormatError(f"{source} has corrupt "
+                                           "posting offsets")
+                if n_keys > 1 and np.any(np.diff(cols["post_keys"]) < 0):
                     raise IndexFormatError(
-                        f"{source} references member "
-                        f"#{int(members.max())} but only {n_members} "
-                        "are declared")
-                sigs = cols["entry_sig"]
-                if sigs.min() < 0 or sigs.max() >= n_sigs:
+                        f"{source} has unsorted posting keys")
+                if n_entries:
+                    members = cols["entry_member"]
+                    if members.min() < 0 or members.max() >= n_members:
+                        raise IndexFormatError(
+                            f"{source} references member "
+                            f"#{int(members.max())} but only {n_members} "
+                            "are declared")
+                    sigs = cols["entry_sig"]
+                    if sigs.min() < 0 or sigs.max() >= n_sigs:
+                        raise IndexFormatError(
+                            f"{source} references signature "
+                            f"#{int(sigs.max())} but the pool holds {n_sigs}")
+                posted = cols["post_entries"]
+                if len(posted) and (n_entries == 0 or posted.min() < 0
+                                    or posted.max() >= n_entries):
                     raise IndexFormatError(
-                        f"{source} references signature #{int(sigs.max())} "
-                        f"but the pool holds {n_sigs}")
-            posted = cols["post_entries"]
-            if len(posted) and (n_entries == 0 or posted.min() < 0
-                                or posted.max() >= n_entries):
-                raise IndexFormatError(
-                    f"{source} postings reference entry "
-                    f"#{int(posted.max())} but only {n_entries} exist")
+                        f"{source} postings reference entry "
+                        f"#{int(posted.max())} but only {n_entries} exist")
             store = ArrayPostings(pool, self._ngram_length)
-            store.adopt_arrays(cols)
+            store.adopt_arrays(cols, copy=copy)
             self._stores[feature_type] = store
         for type_idx, feature_type in enumerate(self._vector_types):
             prefix = f"v{type_idx}."
@@ -1246,7 +1277,7 @@ class SimilarityIndex:
                     f"{source} declares vector feature type "
                     f"{feature_type!r} but carries no {prefix}* arrays")
             try:
-                vstore = PackedDigestStore.adopt_arrays(cols)
+                vstore = PackedDigestStore.adopt_arrays(cols, copy=copy)
             except ValidationError as exc:
                 raise IndexFormatError(
                     f"{source} has a corrupt vector section: {exc}") from exc

@@ -59,37 +59,47 @@ class PackedDigestStore:
     Rows align 1:1 with the owning index's member order; members whose
     digest is missing (e.g. a feature the extractor could not compute)
     still occupy a zeroed row with ``present == 0`` so row index ==
-    member index always holds.  The packed matrix is materialised
-    lazily and invalidated on append.
+    member index always holds.
+
+    Storage is a columnar *base* (immutable arrays — on load these are
+    adopted directly from the container, possibly as read-only zero-copy
+    views into a mapped file) plus a small mutable *tail* of appended
+    rows; the packed matrix over both is materialised lazily and
+    invalidated on append.  The base arrays are never written in place,
+    so mapped views are safe to serve from any number of processes.
     """
 
     def __init__(self) -> None:
-        self._rows: list[np.ndarray] = []        # (VECTOR_WORDS,) uint64 each
-        self._present: list[bool] = []
-        self._lvalues: list[int] = []
-        self._checksums: list[int] = []
+        self._base_words = np.zeros((0, VECTOR_WORDS), dtype=np.uint64)
+        self._base_present = np.zeros(0, dtype=bool)
+        self._base_lvalues = np.zeros(0, dtype=np.uint8)
+        self._base_checksums = np.zeros(0, dtype=np.uint8)
+        self._tail_words: list[np.ndarray] = []  # (VECTOR_WORDS,) uint64 each
+        self._tail_present: list[bool] = []
+        self._tail_lvalues: list[int] = []
+        self._tail_checksums: list[int] = []
         self._matrix: np.ndarray | None = None
         self._present_arr: np.ndarray | None = None
 
     def __len__(self) -> int:
-        return len(self._rows)
+        return len(self._base_words) + len(self._tail_words)
 
     # ------------------------------------------------------------- updates
     def append(self, digest: "VectorDigest | str | None") -> None:
         """Append one member row (``None`` or ``""`` = digest absent)."""
 
         if digest is None or digest == "":
-            self._rows.append(np.zeros(VECTOR_WORDS, dtype=np.uint64))
-            self._present.append(False)
-            self._lvalues.append(0)
-            self._checksums.append(0)
+            self._tail_words.append(np.zeros(VECTOR_WORDS, dtype=np.uint64))
+            self._tail_present.append(False)
+            self._tail_lvalues.append(0)
+            self._tail_checksums.append(0)
         else:
             parsed = digest if isinstance(digest, VectorDigest) \
                 else VectorDigest.parse(digest)
-            self._rows.append(parsed.words.astype(np.uint64))
-            self._present.append(True)
-            self._lvalues.append(parsed.lvalue)
-            self._checksums.append(parsed.checksum)
+            self._tail_words.append(parsed.words.astype(np.uint64))
+            self._tail_present.append(True)
+            self._tail_lvalues.append(parsed.lvalue)
+            self._tail_checksums.append(parsed.checksum)
         self._matrix = None
         self._present_arr = None
 
@@ -99,10 +109,14 @@ class PackedDigestStore:
         """Packed ``(n, VECTOR_WORDS)`` ``uint64`` digest matrix."""
 
         if self._matrix is None:
-            if self._rows:
-                self._matrix = np.vstack(self._rows).astype(np.uint64)
+            if self._tail_words:
+                self._matrix = np.vstack(
+                    [self._base_words] + self._tail_words).astype(
+                        np.uint64, copy=False)
             else:
-                self._matrix = np.zeros((0, VECTOR_WORDS), dtype=np.uint64)
+                # No appends since load: the base (possibly a zero-copy
+                # mapped view) is served as-is.
+                self._matrix = self._base_words
         return self._matrix
 
     @property
@@ -110,8 +124,27 @@ class PackedDigestStore:
         """``(n,)`` boolean mask of rows that carry a digest."""
 
         if self._present_arr is None:
-            self._present_arr = np.asarray(self._present, dtype=bool)
+            if self._tail_present:
+                self._present_arr = np.concatenate(
+                    [self._base_present,
+                     np.asarray(self._tail_present, dtype=bool)])
+            else:
+                self._present_arr = self._base_present
         return self._present_arr
+
+    def _lvalues_array(self) -> np.ndarray:
+        if self._tail_lvalues:
+            return np.concatenate(
+                [self._base_lvalues,
+                 np.asarray(self._tail_lvalues, dtype=np.uint8)])
+        return self._base_lvalues
+
+    def _checksums_array(self) -> np.ndarray:
+        if self._tail_checksums:
+            return np.concatenate(
+                [self._base_checksums,
+                 np.asarray(self._tail_checksums, dtype=np.uint8)])
+        return self._base_checksums
 
     def distances(self, digest: "VectorDigest | str") -> np.ndarray:
         """Body Hamming distance of ``digest`` against every row.
@@ -137,49 +170,72 @@ class PackedDigestStore:
     def digest_string(self, row: int) -> str:
         """Canonical digest string of one row (``""`` if absent)."""
 
-        if not self._present[row]:
+        n_base = len(self._base_words)
+        if row < n_base:
+            if not self._base_present[row]:
+                return ""
+            return str(VectorDigest.from_words(int(self._base_lvalues[row]),
+                                               int(self._base_checksums[row]),
+                                               self._base_words[row]))
+        tail = row - n_base
+        if not self._tail_present[tail]:
             return ""
-        return str(VectorDigest.from_words(self._lvalues[row],
-                                           self._checksums[row],
-                                           self._rows[row]))
+        return str(VectorDigest.from_words(self._tail_lvalues[tail],
+                                           self._tail_checksums[tail],
+                                           self._tail_words[tail]))
 
     def subset(self, indices: Sequence[int]) -> "PackedDigestStore":
         """New store holding ``indices`` rows in the given order."""
 
         out = PackedDigestStore()
-        for idx in indices:
-            out._rows.append(self._rows[idx].copy())
-            out._present.append(self._present[idx])
-            out._lvalues.append(self._lvalues[idx])
-            out._checksums.append(self._checksums[idx])
+        idx = np.asarray(list(indices), dtype=np.int64)
+        if len(idx):
+            # Fancy indexing materialises fresh arrays, so the subset
+            # never aliases this store (or a mapped file).
+            out._base_words = self.matrix[idx]
+            out._base_present = self.present[idx]
+            out._base_lvalues = self._lvalues_array()[idx]
+            out._base_checksums = self._checksums_array()[idx]
         return out
 
     @property
     def nbytes(self) -> int:
         """Approximate payload bytes of the packed representation."""
 
-        return len(self._rows) * (VECTOR_WORDS * 8 + 3)
+        return len(self) * (VECTOR_WORDS * 8 + 3)
 
     # --------------------------------------------------------- persistence
     def get_arrays(self) -> dict[str, np.ndarray]:
         """Arrays for container persistence (``words``/``present``/headers)."""
 
         return {
-            "words": self.matrix.astype("<u8"),
+            "words": self.matrix.astype("<u8", copy=False),
             "present": self.present.astype("|u1"),
-            "lvalues": np.asarray(self._lvalues, dtype="|u1"),
-            "checksums": np.asarray(self._checksums, dtype="|u1"),
+            "lvalues": self._lvalues_array().astype("|u1", copy=False),
+            "checksums": self._checksums_array().astype("|u1", copy=False),
         }
 
     @classmethod
-    def adopt_arrays(cls, arrays: Mapping[str, np.ndarray]) -> "PackedDigestStore":
-        """Rebuild a store from :meth:`get_arrays` output, validating shape."""
+    def adopt_arrays(cls, arrays: Mapping[str, np.ndarray], *,
+                     copy: bool = True) -> "PackedDigestStore":
+        """Rebuild a store from :meth:`get_arrays` output, validating shape.
+
+        With ``copy=False`` the arrays become the store's base columns
+        without copying — the zero-copy load path for mapped containers.
+        """
+
+        def _column(array, dtype):
+            wanted = np.dtype(dtype)
+            array = np.asarray(array)
+            if array.dtype == wanted and array.flags.c_contiguous:
+                return array.copy() if copy else array
+            return np.ascontiguousarray(array, dtype=wanted)
 
         try:
-            words = np.asarray(arrays["words"], dtype=np.uint64)
-            present = np.asarray(arrays["present"], dtype=bool)
-            lvalues = np.asarray(arrays["lvalues"], dtype=np.uint8)
-            checksums = np.asarray(arrays["checksums"], dtype=np.uint8)
+            words = np.asarray(arrays["words"])
+            present = np.asarray(arrays["present"])
+            lvalues = np.asarray(arrays["lvalues"])
+            checksums = np.asarray(arrays["checksums"])
         except KeyError as exc:
             raise ValidationError(
                 f"vector store payload is missing array {exc}") from exc
@@ -192,10 +248,12 @@ class PackedDigestStore:
             raise ValidationError(
                 "vector store arrays disagree on member count")
         store = cls()
-        store._rows = [words[i].copy() for i in range(n)]
-        store._present = [bool(p) for p in present]
-        store._lvalues = [int(v) for v in lvalues]
-        store._checksums = [int(v) for v in checksums]
+        store._base_words = _column(words, np.uint64)
+        # The 1-byte presence mask is normalised to bool (a copy, but a
+        # negligible one next to the digest matrix staying mapped).
+        store._base_present = present.astype(bool)
+        store._base_lvalues = _column(lvalues, np.uint8)
+        store._base_checksums = _column(checksums, np.uint8)
         return store
 
 
@@ -335,8 +393,8 @@ class VectorKNNIndex:
         return header, arrays
 
     @classmethod
-    def from_state(cls, header: Mapping,
-                   arrays: Mapping[str, np.ndarray]) -> "VectorKNNIndex":
+    def from_state(cls, header: Mapping, arrays: Mapping[str, np.ndarray], *,
+                   copy: bool = True) -> "VectorKNNIndex":
         if header.get("kind") != "vector-knn":
             raise ValidationError(
                 f"not a vector-knn state (kind={header.get('kind')!r})")
@@ -351,7 +409,7 @@ class VectorKNNIndex:
             raise ValidationError("vector-knn state: duplicate sample ids")
         index._store = PackedDigestStore.adopt_arrays(
             {name.split(".", 1)[1]: arr for name, arr in arrays.items()
-             if name.startswith("v0.")})
+             if name.startswith("v0.")}, copy=copy)
         if len(index._store) != len(index._sample_ids):
             raise ValidationError(
                 "vector-knn state: digest rows and sample_ids disagree")
@@ -366,11 +424,18 @@ class VectorKNNIndex:
         write_container(path, header, arrays, fmt=INDEX_FORMAT)
 
     @classmethod
-    def load(cls, path: str | os.PathLike) -> "VectorKNNIndex":
-        header, arrays = read_container(path, fmt=INDEX_FORMAT)
+    def load(cls, path: str | os.PathLike, *,
+             mmap_mode: str | None = None) -> "VectorKNNIndex":
+        """Load a saved index; ``mmap_mode="r"`` adopts zero-copy views."""
+
+        header, arrays = read_container(path, fmt=INDEX_FORMAT,
+                                        mmap_mode=mmap_mode)
         header.pop("format_version", None)
+        header.pop("payload_alignment", None)
         header.pop("arrays", None)
-        return cls.from_state(header, arrays)
+        # A freshly-read container is exclusively owned (eager) or an
+        # immutable mapped view (mmap): adopting without copies is safe.
+        return cls.from_state(header, arrays, copy=False)
 
 
 def brute_force_top_k(members: Sequence[tuple[str, str, str]],

@@ -133,6 +133,8 @@ class _IntVec:
 
     def extend(self, values) -> None:
         values = np.asarray(values, dtype=self._buf.dtype)
+        if not len(values):
+            return
         self._reserve(len(values))
         self._buf[self._n:self._n + len(values)] = values
         self._n += len(values)
@@ -146,6 +148,24 @@ class _IntVec:
         """A zero-copy view of the live region (do not mutate)."""
 
         return self._buf[:self._n]
+
+    @classmethod
+    def adopt(cls, array: np.ndarray, dtype) -> "_IntVec":
+        """Wrap an existing 1-D array without copying (the load path).
+
+        The adopted buffer may be read-only (an mmap view): it is never
+        written in place — the vector is exactly full, so the first
+        append triggers :meth:`_reserve`'s reallocation into a fresh
+        writeable buffer (copy-on-grow).
+        """
+
+        array = np.asarray(array)
+        if array.dtype != np.dtype(dtype) or array.ndim != 1:
+            array = np.ascontiguousarray(array, dtype=dtype).reshape(-1)
+        vec = cls.__new__(cls)
+        vec._buf = array
+        vec._n = len(array)
+        return vec
 
 
 class SignaturePool:
@@ -164,18 +184,46 @@ class SignaturePool:
         self._ids: dict[str, int] = {}
         self._windows: dict[int, np.ndarray] = {}
         self._keys: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
+        # Lazy (zero-copy load) state: the raw on-disk pool arrays.  The
+        # Python string list and id dict are only built when something
+        # actually needs them (scoring, interning), so opening a mapped
+        # container never pays an O(corpus) string-decoding loop.
+        self._packed: tuple[np.ndarray, np.ndarray] | None = None
+
+    def _materialise(self) -> None:
+        """Decode the packed pool into the string list + id dict."""
+
+        packed = self._packed
+        if packed is None:
+            return
+        pool_bytes, bounds = packed
+        text = pool_bytes.tobytes().decode("ascii")
+        offsets = bounds.tolist()
+        strings = [text[start:end] for start, end in zip(offsets, offsets[1:])]
+        self._strings = strings
+        self._ids = {s: i for i, s in enumerate(strings)}
+        self._packed = None
 
     def __len__(self) -> int:
+        if self._packed is not None:
+            return len(self._packed[1]) - 1
         return len(self._strings)
 
     def __getitem__(self, sig_id: int) -> str:
+        packed = self._packed
+        if packed is not None:
+            pool_bytes, bounds = packed
+            start, end = int(bounds[sig_id]), int(bounds[sig_id + 1])
+            return pool_bytes[start:end].tobytes().decode("ascii")
         return self._strings[sig_id]
 
     @property
     def strings(self) -> list[str]:
+        self._materialise()
         return self._strings
 
     def intern(self, signature: str) -> int:
+        self._materialise()
         sig_id = self._ids.get(signature)
         if sig_id is None:
             sig_id = len(self._strings)
@@ -186,13 +234,13 @@ class SignaturePool:
     def local_id(self, signature: str) -> int | None:
         """The pool id of ``signature``, or ``None`` if never interned."""
 
+        self._materialise()
         return self._ids.get(signature)
 
     def windows(self, sig_id: int) -> np.ndarray:
         cached = self._windows.get(sig_id)
         if cached is None:
-            cached = signature_windows(self._strings[sig_id],
-                                       self._ngram_length)
+            cached = signature_windows(self[sig_id], self._ngram_length)
             if len(self._windows) >= 2 * _KEY_CACHE_MAX:
                 self._windows.pop(next(iter(self._windows)))
             self._windows[sig_id] = cached
@@ -224,6 +272,9 @@ class SignaturePool:
     def packed(self) -> tuple[np.ndarray, np.ndarray]:
         """``(pool_bytes, pool_offsets)`` for the on-disk container."""
 
+        if self._packed is not None:
+            # Still lazy: the on-disk form is exactly what was adopted.
+            return self._packed
         blob = "".join(self._strings).encode("ascii")
         offsets = np.zeros(len(self._strings) + 1, dtype=np.int64)
         np.cumsum([len(s) for s in self._strings], out=offsets[1:])
@@ -233,13 +284,14 @@ class SignaturePool:
 
     @classmethod
     def from_packed(cls, ngram_length: int, pool_bytes: np.ndarray,
-                    pool_offsets: np.ndarray) -> "SignaturePool":
+                    pool_offsets: np.ndarray, *,
+                    lazy: bool = False) -> "SignaturePool":
         pool = cls(ngram_length)
-        text = pool_bytes.tobytes().decode("ascii")
-        offsets = pool_offsets.tolist()
-        for start, end in zip(offsets, offsets[1:]):
-            pool._strings.append(text[start:end])
-        pool._ids = {s: i for i, s in enumerate(pool._strings)}
+        pool._packed = (np.asarray(pool_bytes), np.asarray(pool_offsets))
+        if not lazy:
+            # Eager loads keep decoding up front so malformed pool bytes
+            # fail at load time, exactly as before.
+            pool._materialise()
         return pool
 
 
@@ -544,18 +596,35 @@ class ArrayPostings:
             "post_entries": sealed.entry_ids.copy(),
         }
 
-    def adopt_arrays(self, arrays: dict[str, np.ndarray]) -> None:
-        """Adopt validated columnar arrays (the fast load path)."""
+    def adopt_arrays(self, arrays: dict[str, np.ndarray], *,
+                     copy: bool = True) -> None:
+        """Adopt validated columnar arrays (the fast load path).
 
-        self._e_member = _IntVec(np.int32, max(16, len(arrays["entry_member"])))
-        self._e_member.extend(arrays["entry_member"])
-        self._e_block = _IntVec(np.int64, max(16, len(arrays["entry_block"])))
-        self._e_block.extend(arrays["entry_block"])
-        self._e_sig = _IntVec(np.int32, max(16, len(arrays["entry_sig"])))
-        self._e_sig.extend(arrays["entry_sig"])
+        With ``copy=False`` the arrays are adopted as views — possibly
+        read-only zero-copy views into a mapped container.  Nothing here
+        ever mutates an adopted array in place: sealed postings are
+        replaced wholesale at merge time and the entry columns grow by
+        reallocation, so read-only buffers are safe to serve and a later
+        ``add`` simply pays the copy then.
+        """
+
+        def _column(array, dtype):
+            wanted = np.dtype(dtype)
+            if array.dtype == wanted and array.flags.c_contiguous:
+                return array.copy() if copy else array
+            # A dtype/contiguity conversion allocates fresh storage, so
+            # the result is owned either way.
+            return np.ascontiguousarray(array, dtype=wanted)
+
+        self._e_member = _IntVec.adopt(_column(arrays["entry_member"],
+                                               np.int32), np.int32)
+        self._e_block = _IntVec.adopt(_column(arrays["entry_block"],
+                                              np.int64), np.int64)
+        self._e_sig = _IntVec.adopt(_column(arrays["entry_sig"], np.int32),
+                                    np.int32)
         self._sealed = _Sealed(
-            arrays["post_keys"].astype(np.int64, copy=True),
-            arrays["post_blocks"].astype(np.int64, copy=True),
-            np.ascontiguousarray(arrays["post_grams"], dtype=np.uint8),
-            arrays["post_offsets"].astype(np.int64, copy=True),
-            arrays["post_entries"].astype(np.int32, copy=True))
+            _column(arrays["post_keys"], np.int64),
+            _column(arrays["post_blocks"], np.int64),
+            _column(arrays["post_grams"], np.uint8),
+            _column(arrays["post_offsets"], np.int64),
+            _column(arrays["post_entries"], np.int32))

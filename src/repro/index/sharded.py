@@ -163,19 +163,23 @@ def _pairwise_chunk_task(payload) -> np.ndarray:
 
 
 def load_index(path: str | os.PathLike, *,
-               executor: "str | ExecutionBackend | None" = None
+               executor: "str | ExecutionBackend | None" = None,
+               mmap_mode: str | None = None
                ) -> "SimilarityIndex | ShardedSimilarityIndex":
     """Load whichever index lives at ``path``.
 
     A directory (or anything holding a ``manifest.json``) loads as a
     :class:`ShardedSimilarityIndex`; a file loads as a plain
     :class:`SimilarityIndex` (``executor`` is ignored for those).
+    ``mmap_mode="r"`` maps the container payloads zero-copy (see
+    :meth:`SimilarityIndex.load`).
     """
 
     path = Path(path)
     if path.is_dir():
-        return ShardedSimilarityIndex.load(path, executor=executor)
-    return SimilarityIndex.load(path)
+        return ShardedSimilarityIndex.load(path, executor=executor,
+                                           mmap_mode=mmap_mode)
+    return SimilarityIndex.load(path, mmap_mode=mmap_mode)
 
 
 class ShardedSimilarityIndex:
@@ -831,10 +835,13 @@ class ShardedSimilarityIndex:
 
     @classmethod
     def load(cls, path: str | os.PathLike, *,
-             executor: "str | ExecutionBackend | None" = None
+             executor: "str | ExecutionBackend | None" = None,
+             mmap_mode: str | None = None
              ) -> "ShardedSimilarityIndex":
         """Load a directory written by :meth:`save`.
 
+        ``mmap_mode="r"`` loads every shard container through the
+        zero-copy mapped path (see :meth:`SimilarityIndex.load`).
         Raises :class:`~repro.exceptions.IndexFormatError` on missing,
         corrupt, inconsistent or unsupported layouts.
         """
@@ -881,7 +888,8 @@ class ShardedSimilarityIndex:
                 f"{source} manifest declares {n_shards} shards but lists "
                 f"{len(shard_files)} shard files and {len(tombstones)} "
                 "tombstone sets")
-        shards = [SimilarityIndex.load(path / name) for name in shard_files]
+        shards = [SimilarityIndex.load(path / name, mmap_mode=mmap_mode)
+                  for name in shard_files]
         index = cls._assemble(shards, order, tombstones, source=source,
                               executor=executor)
         _LOG.info("loaded sharded index (%d members, %d shards, "
@@ -920,9 +928,14 @@ class ShardedSimilarityIndex:
     @classmethod
     def from_state(cls, header: Mapping, arrays: Mapping[str, np.ndarray], *,
                    source: str = "sharded index state",
-                   executor: "str | ExecutionBackend | None" = None
+                   executor: "str | ExecutionBackend | None" = None,
+                   copy: bool = True, deep_validate: bool = True
                    ) -> "ShardedSimilarityIndex":
-        """Rebuild an index from a :meth:`get_state` snapshot."""
+        """Rebuild an index from a :meth:`get_state` snapshot.
+
+        ``copy`` and ``deep_validate`` forward to each shard's
+        :meth:`SimilarityIndex.from_state` (the zero-copy mapped path).
+        """
 
         try:
             n_shards = int(header["n_shards"])
@@ -952,7 +965,8 @@ class ShardedSimilarityIndex:
                             if name.startswith(prefix)}
             shards.append(SimilarityIndex.from_state(
                 shard_header, shard_arrays,
-                source=f"{source} (shard {shard_idx})"))
+                source=f"{source} (shard {shard_idx})",
+                copy=copy, deep_validate=deep_validate))
         return cls._assemble(shards, order, tombstones, source=source,
                              executor=executor)
 

@@ -137,14 +137,23 @@ class ProcessBackend(ExecutionBackend):
         When the pool cannot be created or dies, raise
         :class:`~repro.exceptions.ParallelExecutionError` instead of
         falling back to serial execution with a warning.
+    initializer / initargs:
+        Forwarded to :class:`concurrent.futures.ProcessPoolExecutor`:
+        ``initializer(*initargs)`` runs once in every worker process
+        when it starts — the hook long-lived owners (the serving
+        scoring pool) use to load shared state before the first task.
     """
 
     name = "process"
 
     def __init__(self, max_workers: int | None = None, *,
-                 strict: bool = False) -> None:
+                 strict: bool = False,
+                 initializer: Callable[..., None] | None = None,
+                 initargs: tuple = ()) -> None:
         self._n_workers = _check_workers(max_workers)
         self.strict = bool(strict)
+        self._initializer = initializer
+        self._initargs = tuple(initargs)
         self._pool: ProcessPoolExecutor | None = None
         self._degraded = False
 
@@ -160,7 +169,12 @@ class ProcessBackend(ExecutionBackend):
             chunksize = max(1, len(items) // (self._n_workers * 4))
         try:
             if self._pool is None:
-                self._pool = ProcessPoolExecutor(max_workers=self._n_workers)
+                kwargs = {}
+                if self._initializer is not None:
+                    kwargs["initializer"] = self._initializer
+                    kwargs["initargs"] = self._initargs
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self._n_workers, **kwargs)
             return list(self._pool.map(func, items, chunksize=chunksize))
         except (OSError, RuntimeError) as exc:
             self._abandon_pool()

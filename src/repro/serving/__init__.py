@@ -17,6 +17,8 @@ Layers (each independently testable):
 * :mod:`repro.serving.batcher` — the bounded-queue request coalescer;
 * :mod:`repro.serving.model_manager` — generation-tracked hot reload
   plus online corpus mutation and atomic republish;
+* :mod:`repro.serving.workers` — the multi-process scoring pool
+  (``--score-workers``), sharing a memory-mapped artifact's pages;
 * :mod:`repro.serving.lifecycle` — age-off / cap / compaction /
   republish policies;
 * :mod:`repro.serving.decision_log` — rotating JSONL audit trail;
@@ -32,6 +34,7 @@ from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .model_manager import ModelManager
 from .protocol import WorkItem, decision_to_dict, parse_classify_request
 from .server import ClassificationServer, ServerConfig
+from .workers import ScoringWorkerPool
 
 __all__ = [
     "RequestCoalescer",
@@ -51,4 +54,5 @@ __all__ = [
     "parse_classify_request",
     "ClassificationServer",
     "ServerConfig",
+    "ScoringWorkerPool",
 ]

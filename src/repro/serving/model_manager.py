@@ -43,8 +43,9 @@ from pathlib import Path
 from typing import Sequence
 
 from ..api.service import ClassificationService, Decision
-from ..exceptions import ReproError, ServingError
+from ..exceptions import ParallelExecutionError, ReproError, ServingError
 from ..logging_utils import get_logger
+from .workers import ScoringWorkerPool
 
 __all__ = ["ModelManager"]
 
@@ -80,19 +81,38 @@ class ModelManager:
     n_shards:
         Shard count used when a loaded artifact carries a single
         (non-sharded) index that mutable mode must convert.
+    score_workers:
+        Fork this many scoring worker processes
+        (:class:`~repro.serving.workers.ScoringWorkerPool`) and
+        dispatch classification micro-batches across them.  Workers
+        load the same artifact file — combine with ``mmap=True`` so
+        they share its pages through the OS page cache.  Incompatible
+        with ``mutable`` (workers snapshot the on-disk artifact and
+        would serve a stale corpus between publishes).
     load_kwargs:
         Forwarded to :meth:`ClassificationService.load` on every load
-        (``allowed_classes``, ``cache_size``, ``executor``, ...).
+        (``allowed_classes``, ``cache_size``, ``executor``, ``mmap``,
+        ...).
     """
 
     def __init__(self, model_path: str | os.PathLike, *,
                  poll_interval: float = DEFAULT_POLL_INTERVAL,
                  metrics=None, mutable: bool = False, n_shards: int = 4,
-                 **load_kwargs) -> None:
+                 score_workers: int = 0, **load_kwargs) -> None:
         self.model_path = Path(model_path)
         self.poll_interval = float(poll_interval)
         self.mutable = bool(mutable)
         self.n_shards = int(n_shards)
+        self.score_workers = int(score_workers)
+        if self.score_workers < 0:
+            raise ServingError(
+                f"score_workers must be >= 0, got {score_workers}")
+        if self.score_workers and self.mutable:
+            raise ServingError(
+                "score_workers cannot be combined with online ingestion "
+                "(mutable=True): worker processes score against the "
+                "artifact on disk and would miss unpublished corpus "
+                "mutations")
         self._load_kwargs = dict(load_kwargs)
         self._metrics = metrics
         self._swap_lock = threading.Lock()
@@ -113,6 +133,7 @@ class ModelManager:
         self._failed_signature: tuple[int, int, int] | None = None
         self._stop = threading.Event()
         self._watcher: threading.Thread | None = None
+        self._worker_pool: ScoringWorkerPool | None = None
         if metrics is not None:
             self._generation_gauge = metrics.gauge("model_generation")
             self._reloads = metrics.counter("model_reloads_total")
@@ -124,6 +145,21 @@ class ModelManager:
                 self._ingested = metrics.counter("ingested_samples_total")
                 self._purged = metrics.counter("purged_samples_total")
         self._load_initial()
+        if self.score_workers:
+            # Warm the pool now, before the server starts its coalescer
+            # and watcher threads: the workers fork from a (still)
+            # single-threaded parent, and with mmap the artifact's pages
+            # are already hot in the page cache from the load above.
+            pool = ScoringWorkerPool(self.model_path, self.score_workers,
+                                     load_kwargs=self._load_kwargs)
+            try:
+                pool.warm(self._signature)
+            except ParallelExecutionError as exc:
+                pool.close()
+                raise ServingError(
+                    f"cannot start {self.score_workers} scoring workers: "
+                    f"{exc}") from exc
+            self._worker_pool = pool
 
     # ------------------------------------------------------------ lifecycle
     def _load_initial(self) -> None:
@@ -197,6 +233,18 @@ class ModelManager:
         with self._swap_lock:
             return self._service
 
+    @property
+    def load_mode(self) -> str:
+        """``"mmap"`` or ``"eager"`` — how artifact loads materialise."""
+
+        return "mmap" if self._load_kwargs.get("mmap") else "eager"
+
+    def worker_stats(self) -> dict | None:
+        """Scoring worker pool counters, or ``None`` without a pool."""
+
+        pool = self._worker_pool
+        return None if pool is None else pool.stats()
+
     # -------------------------------------------------------------- serving
     def classify_items(self, items: Sequence[tuple[str, bytes]]
                        ) -> tuple[list[Decision], int]:
@@ -204,12 +252,27 @@ class ModelManager:
 
         The ``(service, generation)`` pair is snapshotted once, so the
         whole batch — even one raced by a hot reload — is scored by a
-        single model generation.
+        single model generation.  With a scoring worker pool the batch
+        is dispatched across the worker processes *without* taking the
+        predict lock (workers share no in-process caches), so multiple
+        coalescer threads drain concurrently; a dead pool falls back to
+        in-process scoring for the rest of this manager's lifetime.
         """
 
         with self._swap_lock:
             service = self._service
             generation = self._generation
+            signature = self._signature
+        pool = self._worker_pool
+        if pool is not None:
+            try:
+                return pool.classify(items, signature), generation
+            except ParallelExecutionError as exc:
+                _LOG.warning(
+                    "scoring worker pool unavailable (%s); falling back to "
+                    "in-process scoring", exc)
+                self._worker_pool = None
+                pool.close()
         with self._predict_lock:
             return service.classify_bytes(items), generation
 
@@ -371,12 +434,16 @@ class ModelManager:
         self._watcher.start()
 
     def stop(self) -> None:
-        """Stop the watcher thread (idempotent)."""
+        """Stop the watcher thread and scoring workers (idempotent)."""
 
         self._stop.set()
         if self._watcher is not None:
             self._watcher.join(timeout=self.poll_interval + 5.0)
             self._watcher = None
+        pool = self._worker_pool
+        if pool is not None:
+            self._worker_pool = None
+            pool.close()
 
     def _watch_loop(self) -> None:
         while not self._stop.wait(self.poll_interval):

@@ -418,6 +418,11 @@ class ClassificationServer:
         family = getattr(classifier, "family", None)
         if family is not None:
             payload["model_family"] = str(family)
+        load_mode = getattr(self.manager, "load_mode", None)
+        if load_mode is not None:
+            payload["load_mode"] = str(load_mode)
+        payload["score_workers"] = int(
+            getattr(self.manager, "score_workers", 0) or 0)
         corpus_info = getattr(self.manager, "corpus_info", None)
         if self.config.enable_ingest and callable(corpus_info):
             try:
@@ -437,6 +442,16 @@ class ClassificationServer:
         from ..hashing.compare import incomparable_counts
 
         payload["incomparable_comparisons"] = incomparable_counts()
+        load_mode = getattr(self.manager, "load_mode", None)
+        if load_mode is not None:
+            payload["load_mode"] = str(load_mode)
+        worker_stats = getattr(self.manager, "worker_stats", None)
+        if callable(worker_stats):
+            stats = worker_stats()
+            if stats is not None:
+                # Per-worker batch counters: {"workers": N,
+                # "batches_total": ..., "batches_by_worker": {pid: n}}.
+                payload["scoring_workers"] = stats
         return payload
 
 

@@ -1,0 +1,182 @@
+"""Multi-process scoring workers behind the serving coalescer.
+
+One serving process can only score one batch at a time: model passes
+share per-index memo caches and therefore run under the manager's
+predict lock.  :class:`ScoringWorkerPool` lifts that ceiling by putting
+the already-pluggable :class:`~repro.parallel.backend.ProcessBackend`
+behind the coalescer: ``repro-classify serve --score-workers N`` forks
+``N`` worker processes, each of which loads the *same* artifact file —
+with ``mmap=True`` the bulk arrays land in the OS page cache exactly
+once and every worker maps the same physical pages, so N workers cost
+one model's worth of RAM.
+
+Protocol
+--------
+* Every worker runs :func:`_worker_init` once at start-up (the
+  :class:`ProcessBackend` ``initializer`` hook) and caches its
+  :class:`~repro.api.service.ClassificationService` in module state.
+* The parent dispatches micro-batches with :func:`_score_batch`
+  payloads that carry the artifact's current stat signature.  A worker
+  whose cached service was loaded under a different signature reloads
+  (for a mapped artifact: a remap) before scoring — hot reload
+  propagates to workers with no extra plumbing.
+* Results come back as ``(pid, cumulative_batches, decisions)`` so the
+  parent can publish per-worker batch counters on ``/metrics``.
+
+Decisions are **bit-identical** to the single-process path: items are
+scored independently of their batch-mates, so splitting a batch into
+contiguous per-worker chunks and concatenating the results in order
+reproduces exactly what one in-process ``classify_bytes`` call returns.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+from typing import Sequence
+
+from ..api.service import ClassificationService, Decision
+from ..exceptions import ValidationError
+from ..logging_utils import get_logger
+from ..parallel.backend import ProcessBackend
+
+__all__ = ["ScoringWorkerPool"]
+
+_LOG = get_logger("serving.workers")
+
+#: Per-process worker state, populated by :func:`_worker_init`.
+_WORKER_STATE: dict = {}
+
+
+def _worker_init(model_path: str, load_kwargs: dict) -> None:
+    """Process-pool initializer: remember how to load the model.
+
+    The actual load is deferred to the first batch (or ping) so that a
+    worker that dies during start-up degrades the pool the same way a
+    mid-batch death does — through the backend's error path.
+    """
+
+    _WORKER_STATE.clear()
+    _WORKER_STATE.update(model_path=model_path,
+                         load_kwargs=dict(load_kwargs),
+                         service=None, signature=None, batches=0)
+
+
+def _worker_service(signature: tuple) -> ClassificationService:
+    """The cached service, (re)loaded when the signature moved."""
+
+    if _WORKER_STATE.get("service") is None \
+            or _WORKER_STATE.get("signature") != signature:
+        _WORKER_STATE["service"] = ClassificationService.load(
+            _WORKER_STATE["model_path"], **_WORKER_STATE["load_kwargs"])
+        _WORKER_STATE["signature"] = signature
+    return _WORKER_STATE["service"]
+
+
+def _worker_ping(signature: tuple) -> int:
+    """Warm-up task: load the model, report the worker's pid."""
+
+    _worker_service(signature)
+    return os.getpid()
+
+
+def _score_batch(payload: tuple) -> tuple[int, int, list[Decision]]:
+    """Score one contiguous chunk; returns ``(pid, batches, decisions)``."""
+
+    signature, items = payload
+    service = _worker_service(signature)
+    decisions = service.classify_bytes(list(items))
+    _WORKER_STATE["batches"] += 1
+    return os.getpid(), _WORKER_STATE["batches"], decisions
+
+
+class ScoringWorkerPool:
+    """N scoring processes sharing one (ideally mapped) artifact.
+
+    The pool is ``strict``: a dead or unspawnable process pool raises
+    :class:`~repro.exceptions.ParallelExecutionError` from
+    :meth:`classify` instead of silently running the batch serially —
+    the owner (:class:`~repro.serving.model_manager.ModelManager`)
+    decides how to degrade.
+    """
+
+    def __init__(self, model_path: str | os.PathLike, n_workers: int, *,
+                 load_kwargs: dict | None = None) -> None:
+        n_workers = int(n_workers)
+        if n_workers < 1:
+            raise ValidationError(
+                f"score worker count must be >= 1, got {n_workers}")
+        self.n_workers = n_workers
+        self._backend = ProcessBackend(
+            n_workers, strict=True, initializer=_worker_init,
+            initargs=(str(Path(model_path)), dict(load_kwargs or {})))
+        self._lock = threading.Lock()
+        self._batches_by_pid: dict[int, int] = {}
+
+    def warm(self, signature: tuple) -> None:
+        """Spawn every worker and load the model in each, eagerly.
+
+        Called before the server starts its coalescer and watcher
+        threads, so the processes are forked from a single-threaded
+        parent and the first real batch pays no cold-start.
+        """
+
+        pids = self._backend.map(_worker_ping,
+                                 [signature] * self.n_workers, chunksize=1)
+        with self._lock:
+            for pid in pids:
+                self._batches_by_pid.setdefault(int(pid), 0)
+        _LOG.info("scoring worker pool ready: %d workers (pids %s)",
+                  self.n_workers, sorted(set(int(p) for p in pids)))
+
+    def classify(self, items: Sequence[tuple[str, bytes]],
+                 signature: tuple) -> list[Decision]:
+        """Score a batch across the workers; results in input order.
+
+        The batch splits into at most ``n_workers`` contiguous chunks
+        (never empty ones), each worker scores its chunk independently,
+        and the concatenation is bit-identical to a single in-process
+        ``classify_bytes`` over the whole batch.
+        """
+
+        items = list(items)
+        if not items:
+            return []
+        n_chunks = min(self.n_workers, len(items))
+        chunk_size = -(-len(items) // n_chunks)
+        payloads = [(signature, items[lo:lo + chunk_size])
+                    for lo in range(0, len(items), chunk_size)]
+        results = self._backend.map(_score_batch, payloads, chunksize=1)
+        decisions: list[Decision] = []
+        with self._lock:
+            for pid, batches, part in results:
+                # Cumulative per-worker counts: chunks of one batch may
+                # land on the same worker, so keep the max, not the sum.
+                if batches > self._batches_by_pid.get(int(pid), 0):
+                    self._batches_by_pid[int(pid)] = int(batches)
+                decisions.extend(part)
+        return decisions
+
+    def stats(self) -> dict:
+        """Per-worker batch counters for ``/metrics``."""
+
+        with self._lock:
+            per_worker = {str(pid): count for pid, count
+                          in sorted(self._batches_by_pid.items())}
+        return {
+            "workers": self.n_workers,
+            "batches_total": sum(per_worker.values()),
+            "batches_by_worker": per_worker,
+        }
+
+    def close(self) -> None:
+        """Shut the process pool down (idempotent)."""
+
+        self._backend.close()
+
+    def __enter__(self) -> "ScoringWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

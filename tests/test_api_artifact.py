@@ -178,12 +178,27 @@ def _rewrite_header(saved, tmp_path, mutate, name="tampered.rpm"):
     magic, version, header_len = struct.unpack_from("<8sIQ", data)
     assert magic == MODEL_MAGIC
     header = json.loads(data[20:20 + header_len].decode("utf-8"))
+    align = header.get("payload_alignment", 1)
+    # Re-extract each payload at its (aligned) old offset so the new
+    # header length cannot shift the padded layout out from under them.
+    payloads = []
+    offset = 20 + header_len
+    for descriptor in header["arrays"]:
+        offset += -offset % align
+        n_bytes = np.dtype(descriptor["dtype"]).itemsize \
+            * int(np.prod(descriptor["shape"], dtype=np.int64))
+        payloads.append(data[offset:offset + n_bytes])
+        offset += n_bytes
     mutate(header)
     new_header = json.dumps(header, separators=(",", ":"),
                             sort_keys=True).encode("utf-8")
+    out = bytearray(struct.pack("<8sIQ", magic, version, len(new_header)))
+    out += new_header
+    for payload in payloads:
+        out += b"\0" * (-len(out) % align)
+        out += payload
     path = tmp_path / name
-    path.write_bytes(struct.pack("<8sIQ", magic, version, len(new_header))
-                     + new_header + data[20 + header_len:])
+    path.write_bytes(bytes(out))
     return path
 
 

@@ -40,8 +40,8 @@ def sharded_service(records):
                                        index=index)
 
 
-def test_format_version_is_three():
-    assert MODEL_FORMAT_VERSION == 3
+def test_format_version_is_four():
+    assert MODEL_FORMAT_VERSION == 4
 
 
 def test_sharded_artifact_round_trips_bit_identically(tmp_path, records,

@@ -186,7 +186,7 @@ def test_v2_container_carries_columnar_arrays(index, tmp_path):
     """Formats v2+ persist the postings verbatim: the reader adopts the
     arrays instead of re-hashing every gram on load."""
 
-    assert FORMAT_VERSION == 3
+    assert FORMAT_VERSION == 4
     header, arrays = read_container(index.save(tmp_path / "cols.rpsi"))
     assert header["layout"] == "columnar"
     assert {"pool_bytes", "pool_offsets"} <= set(arrays)

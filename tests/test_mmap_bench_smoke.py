@@ -1,0 +1,54 @@
+"""Tier-1 perf smoke for the zero-copy mmap load mode.
+
+Runs the mmap section of ``benchmarks/bench_model_load.py`` at a small
+scale so a regression that breaks mapped-vs-eager bit-identity, legacy
+(pre-v4, unpadded) compatibility or the O(header) mapped read fails
+the default test run.  The speedup floor asserted here is conservative
+(the mapped read skips the whole payload copy, so it is typically an
+order of magnitude faster even at the small smoke payload); the full
+>=20x acceptance floor at the 32 MiB payload is the benchmark's own
+default (``pytest -m slow`` opts in).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+_BENCH_PATH = Path(__file__).resolve().parents[1] / "benchmarks" / \
+    "bench_model_load.py"
+
+
+@pytest.fixture(scope="module")
+def bench():
+    spec = importlib.util.spec_from_file_location("bench_model_load",
+                                                  _BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("bench_model_load", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quick_mmap_identity_and_speedup(bench):
+    result = bench.run_mmap(4 * 1024 * 1024, n_estimators=20, repeats=5)
+    assert result.raw_arrays_match, \
+        "mapped arrays diverged from the eager read"
+    assert result.legacy_arrays_match, \
+        "legacy unpadded container no longer loads bit-identically"
+    assert result.decisions_match, \
+        "mmap-loaded decisions diverged from the eager load"
+    # Even at a 4 MiB smoke payload the mapped read skips the whole
+    # payload copy; 3x is a conservative bar for a loaded CI core.
+    assert result.raw_speedup >= 3.0, \
+        f"container-read mmap speedup only {result.raw_speedup:.1f}x"
+
+
+@pytest.mark.slow
+def test_full_benchmark_meets_acceptance_floor(bench):
+    """The acceptance configuration: 32 MiB payload, >=20x."""
+
+    result = bench.run_mmap(32 * 1024 * 1024, n_estimators=30, repeats=5)
+    assert result.raw_arrays_match and result.legacy_arrays_match
+    assert result.decisions_match
+    assert result.raw_speedup >= 20.0

@@ -53,6 +53,18 @@ def test_benchmark_cli_mode(bench, capsys, tmp_path, monkeypatch):
     assert (tmp_path / "BENCH_serving.json").is_file()
 
 
+def test_quick_benchmark_worker_mode_identity(bench):
+    """score_workers decisions are bit-identical, whatever the cores."""
+
+    result = bench.run(n_estimators=40, n_requests=24, n_clients=4,
+                       score_workers=2)
+    assert result.decisions_match
+    assert result.worker_decisions_match, \
+        "multi-worker decisions diverged from direct classify_bytes"
+    assert result.worker_batches >= 1, \
+        "the scoring worker pool drained no micro-batches"
+
+
 @pytest.mark.slow
 def test_full_benchmark_meets_acceptance_floor(bench):
     """The acceptance-criterion configuration: 16 clients, >=2x."""
@@ -60,3 +72,17 @@ def test_full_benchmark_meets_acceptance_floor(bench):
     result = bench.run(n_estimators=60, n_requests=96, n_clients=16)
     assert result.decisions_match
     assert result.speedup >= 2.0
+
+
+@pytest.mark.slow
+@pytest.mark.skipif((__import__("os").cpu_count() or 1) < 4,
+                    reason="the >=2x multi-worker floor needs >=4 cores "
+                           "(scoring is CPU-bound)")
+def test_full_worker_benchmark_meets_acceptance_floor(bench):
+    """The multi-process acceptance configuration: 4 workers, 16
+    clients, >=2x the single-process coalesced throughput."""
+
+    result = bench.run(n_estimators=60, n_requests=96, n_clients=16,
+                       score_workers=4)
+    assert result.worker_decisions_match
+    assert result.worker_speedup >= 2.0
