@@ -1,0 +1,316 @@
+"""Benchmark: write-ahead-log group commit and acked-ingest durability.
+
+The durability design acks an ingest batch only after its WAL record is
+fsynced, and amortises that fsync over the whole coalesced batch
+(**group commit**).  This benchmark quantifies what that buys and
+proves the guarantee it pays for:
+
+* **group-commit speedup** — the same stream of ingest-shaped records
+  is appended to a :class:`~repro.serving.wal.WriteAheadLog` twice:
+  once fsyncing after every record (the naive durable baseline) and
+  once fsyncing per ``--batch``-record group (what the serving tier
+  does).  The sustained records/s of each and their ratio are
+  recorded; the run fails below ``--min-speedup`` (default 3x);
+* **crash-after-ack durability** (``--crash-after-ack``) — a real
+  ``repro-classify serve --ingest --wal-dir`` subprocess ingests
+  labelled samples over HTTP, and the moment the last batch is
+  acknowledged the process is SIGKILLed.  A fresh manager then recovers
+  from the same artifact + WAL and every acknowledged sample must be
+  present exactly once — the ack-implies-durable contract, end to end.
+
+Run directly (``python benchmarks/bench_wal.py``); ``--quick`` shrinks
+the record counts for CI.  A JSON trajectory is written to
+``benchmarks/output/BENCH_wal.json`` for CI archiving;
+``tests/test_wal_bench_smoke.py`` runs the quick profile as tier 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import base64
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import asdict, dataclass
+from http.client import HTTPConnection
+from pathlib import Path
+
+from repro.serving.wal import WriteAheadLog
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
+
+PAYLOAD_BYTES = 2048
+INGEST_BATCH = 4                      # samples per /ingest request
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    n_records: int
+    batch_size: int
+    per_record_seconds: float
+    group_seconds: float
+    crash_checked: bool
+    crash_acked: int
+    crash_recovered: int
+    crash_duplicates: int
+
+    @property
+    def per_record_rate(self) -> float:
+        return self.n_records / self.per_record_seconds
+
+    @property
+    def group_rate(self) -> float:
+        return self.n_records / self.group_seconds
+
+    @property
+    def speedup(self) -> float:
+        if self.per_record_rate <= 0:
+            return float("inf")
+        return self.group_rate / self.per_record_rate
+
+    @property
+    def crash_durable(self) -> bool:
+        if not self.crash_checked:
+            return True
+        return (self.crash_recovered == self.crash_acked
+                and self.crash_duplicates == 0)
+
+    def table(self) -> str:
+        lines = [
+            f"{self.n_records} ingest-shaped records, group size "
+            f"{self.batch_size}",
+            f"fsync per record:  {self.per_record_rate:10.0f} records/s "
+            f"({self.per_record_seconds:.3f} s)",
+            f"group commit:      {self.group_rate:10.0f} records/s "
+            f"({self.group_seconds:.3f} s)",
+            f"group-commit speedup: {self.speedup:.1f}x",
+        ]
+        if self.crash_checked:
+            lines.append(
+                f"crash after ack: {self.crash_acked} acked, "
+                f"{self.crash_recovered} recovered, "
+                f"{self.crash_duplicates} duplicated -> "
+                f"{'DURABLE' if self.crash_durable else 'LOST DATA'}")
+        return "\n".join(lines)
+
+
+def _ingest_payload(n: int) -> dict:
+    """One record payload the size and shape the manager really logs."""
+
+    blob = base64.b64encode(
+        bytes((n * 31 + k) % 256 for k in range(PAYLOAD_BYTES))).decode()
+    return {"items": [[f"wal-bench-{n}", blob, "class-a"]]}
+
+
+def run_append_phases(n_records: int, batch_size: int,
+                      directory: str) -> tuple[float, float]:
+    """Time per-record-fsync vs group-commit appends of one stream."""
+
+    payloads = [_ingest_payload(n) for n in range(n_records)]
+
+    per_dir = Path(directory) / "per-record"
+    wal = WriteAheadLog(per_dir)
+    wal.recover()
+    start = time.perf_counter()
+    for payload in payloads:
+        wal.append("ingest", payload, sync=True)
+    per_record_seconds = time.perf_counter() - start
+    wal.close()
+
+    group_dir = Path(directory) / "group"
+    wal = WriteAheadLog(group_dir)
+    wal.recover()
+    start = time.perf_counter()
+    for base in range(0, n_records, batch_size):
+        for payload in payloads[base:base + batch_size]:
+            wal.append("ingest", payload, sync=False)
+        wal.sync()
+    group_seconds = time.perf_counter() - start
+    wal.close()
+    return per_record_seconds, group_seconds
+
+
+# ----------------------------------------------------- crash-after-ack
+def _train_artifact(path: Path, seed: int) -> list[str]:
+    from repro.api.service import ClassificationService
+    from repro.config import default_config
+    from repro.corpus.builder import CorpusBuilder
+    from repro.features.pipeline import FeatureExtractionPipeline
+
+    config = default_config("small", seed=seed)
+    samples = CorpusBuilder(config=config).build_samples()
+    features = FeatureExtractionPipeline().extract_generated(samples)
+    service = ClassificationService.train(
+        features, n_estimators=10, random_state=seed,
+        confidence_threshold=0.5)
+    service.save(path)
+    return sorted(str(name) for name in service.classes_)
+
+
+def _start_server(model: Path, wal_dir: Path) -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--model", str(model),
+         "--port", "0", "--ingest", "--wal-dir", str(wal_dir),
+         "--reload-interval", "0", "--workers", "1"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env)
+    deadline = time.monotonic() + 120
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            if proc.poll() is not None:
+                raise RuntimeError(
+                    f"server died during startup (rc={proc.returncode})")
+            time.sleep(0.05)
+            continue
+        match = re.search(r"http://127\.0\.0\.1:(\d+)", line)
+        if match:
+            return proc, int(match.group(1))
+    proc.kill()
+    raise RuntimeError("server never announced a port")
+
+
+def run_crash_after_ack(n_batches: int, directory: str,
+                        seed: int = 11) -> tuple[int, int, int]:
+    """Ingest, SIGKILL on the last ack, recover; returns
+    ``(acked, recovered, duplicates)`` over the acked sample ids."""
+
+    from repro.serving.model_manager import ModelManager
+
+    base = Path(directory)
+    model = base / "model.rpm"
+    wal_dir = base / "wal"
+    classes = _train_artifact(model, seed)
+
+    import random
+
+    batches = []
+    for b in range(n_batches):
+        batches.append([
+            (f"crash-ack-{b}-{i}",
+             random.Random(f"{seed}/{b}/{i}").randbytes(PAYLOAD_BYTES),
+             classes[b % len(classes)])
+            for i in range(INGEST_BATCH)])
+
+    proc, port = _start_server(model, wal_dir)
+    acked: list[str] = []
+    try:
+        connection = HTTPConnection("127.0.0.1", port, timeout=120)
+        for batch in batches:
+            connection.request(
+                "POST", "/ingest",
+                json.dumps({"items": [
+                    {"id": sid, "class": cls,
+                     "data": base64.b64encode(data).decode("ascii")}
+                    for sid, data, cls in batch]}),
+                {"Content-Type": "application/json"})
+            response = connection.getresponse()
+            body = json.loads(response.read())
+            if response.status != 200:
+                raise RuntimeError(f"ingest failed: {response.status} "
+                                   f"{body}")
+            if not body.get("durable"):
+                raise RuntimeError("server did not report durable acks; "
+                                   "is the WAL active?")
+            acked.extend(sid for sid, _, _ in batch)
+        connection.close()
+    finally:
+        # The point of the exercise: no drain, no flush, no goodbye.
+        proc.kill()
+        proc.wait(timeout=60)
+
+    manager = ModelManager(model, poll_interval=0, mutable=True,
+                           wal_dir=wal_dir, cache_size=0)
+    try:
+        present = list(manager.service.similarity_index.sample_ids)
+    finally:
+        manager.stop()
+    recovered = sum(1 for sid in acked if sid in present)
+    duplicates = sum(1 for sid in acked if present.count(sid) > 1)
+    return len(acked), recovered, duplicates
+
+
+def run(n_records: int, batch_size: int, crash_batches: int,
+        crash_after_ack: bool) -> BenchResult:
+    with tempfile.TemporaryDirectory(prefix="repro-bench-wal-") as tmp:
+        per_record_seconds, group_seconds = run_append_phases(
+            n_records, batch_size, tmp)
+        crash_acked = crash_recovered = crash_duplicates = 0
+        if crash_after_ack:
+            crash_acked, crash_recovered, crash_duplicates = \
+                run_crash_after_ack(crash_batches, tmp)
+    return BenchResult(
+        n_records=n_records,
+        batch_size=batch_size,
+        per_record_seconds=per_record_seconds,
+        group_seconds=group_seconds,
+        crash_checked=crash_after_ack,
+        crash_acked=crash_acked,
+        crash_recovered=crash_recovered,
+        crash_duplicates=crash_duplicates,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=None,
+                        help="records per append phase (default 768, "
+                             "quick 256)")
+    parser.add_argument("--batch", type=int, default=16,
+                        help="records per group-commit fsync (default 16, "
+                             "the server's default coalesce size order)")
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="fail (exit 1) when group commit is not at "
+                             "least this many times faster than per-record "
+                             "fsync (0 disables; default 3)")
+    parser.add_argument("--crash-after-ack", action="store_true",
+                        help="also run the live-server SIGKILL durability "
+                             "check: every acked ingest must survive "
+                             "recovery exactly once")
+    parser.add_argument("--crash-batches", type=int, default=4,
+                        help="ingest batches acked before the SIGKILL "
+                             "(default 4)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller record count for CI smoke runs")
+    args = parser.parse_args(argv)
+
+    n_records = (args.records if args.records
+                 else (256 if args.quick else 768))
+    result = run(n_records, args.batch, args.crash_batches,
+                 args.crash_after_ack)
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    out = OUTPUT_DIR / "bench_wal.txt"
+    out.write_text(result.table() + "\n", encoding="utf-8")
+    trajectory = dict(asdict(result),
+                      per_record_rate=result.per_record_rate,
+                      group_rate=result.group_rate,
+                      speedup=result.speedup,
+                      crash_durable=result.crash_durable)
+    (OUTPUT_DIR / "BENCH_wal.json").write_text(
+        json.dumps(trajectory, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    print(result.table())
+    print(f"(written to {out} and BENCH_wal.json)")
+
+    if not result.crash_durable:
+        print(f"FAIL: crash after ack lost or duplicated ingests "
+              f"({result.crash_acked} acked, {result.crash_recovered} "
+              f"recovered, {result.crash_duplicates} duplicated)",
+              file=sys.stderr)
+        return 1
+    if args.min_speedup and result.speedup < args.min_speedup:
+        print(f"FAIL: group-commit speedup {result.speedup:.1f}x is below "
+              f"the {args.min_speedup:.1f}x floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

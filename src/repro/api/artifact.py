@@ -69,11 +69,17 @@ from ..features.extractors import (
     resolve_family_feature_types,
 )
 from ..index import ShardedSimilarityIndex, SimilarityIndex, load_index
-from ..index.storage import ContainerFormat, read_container, write_container
+from ..index.storage import (
+    ContainerFormat,
+    read_container,
+    read_container_header,
+    write_container,
+)
 from ..logging_utils import get_logger
 
 __all__ = ["MODEL_FORMAT_VERSION", "MODEL_MAGIC", "MODEL_SUFFIX", "MODEL_KIND",
-           "save_model", "load_model", "inspect_model", "validate_model"]
+           "save_model", "load_model", "inspect_model", "validate_model",
+           "read_wal_checkpoint"]
 
 _LOG = get_logger("api.artifact")
 
@@ -272,12 +278,20 @@ def _unflatten_forest(forest_header: Mapping, arrays: Mapping[str, np.ndarray],
 
 # ------------------------------------------------------------------- save
 def save_model(classifier: FuzzyHashClassifier, path: str | os.PathLike, *,
-               include_index: bool = True) -> Path:
+               include_index: bool = True,
+               wal_checkpoint: Mapping | None = None) -> Path:
     """Persist a fitted classifier as one versioned artifact file.
 
     ``include_index=False`` writes a *headless* artifact without the
     anchor index (much smaller); loading one requires passing the
     matching index explicitly to :func:`load_model`.
+
+    ``wal_checkpoint`` (``{"sequence": N, "generation": G}``) stamps
+    the artifact as already containing every write-ahead-log mutation
+    with seq <= N — the durable half of the serving tier's
+    publish/checkpoint protocol (:mod:`repro.serving.wal`).  The field
+    is an optional header entry: artifacts without it (every pre-WAL
+    file) load unchanged, and readers that don't know it ignore it.
     """
 
     if not isinstance(classifier, FuzzyHashClassifier):
@@ -310,6 +324,16 @@ def save_model(classifier: FuzzyHashClassifier, path: str | os.PathLike, *,
         "forest": forest_header,
         "index": {"included": bool(include_index), "header": None},
     }
+    if wal_checkpoint is not None:
+        try:
+            header["wal_checkpoint"] = {
+                "sequence": int(wal_checkpoint["sequence"]),
+                "generation": int(wal_checkpoint["generation"]),
+            }
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ModelArtifactError(
+                f"wal_checkpoint needs integer 'sequence' and "
+                f"'generation' fields: {exc}") from exc
     if include_index:
         # Serialised only on demand: a headless save skips the (large)
         # anchor-index payload entirely, not just its write.
@@ -517,7 +541,29 @@ def _summarise(path: Path, header: Mapping) -> dict:
         "index_shards": int(index_header.get("n_shards", 0))
         if index_sharded else 0,
         "index_members": index_members,
+        "wal_checkpoint": header.get("wal_checkpoint"),
     }
+
+
+def read_wal_checkpoint(path: str | os.PathLike) -> dict | None:
+    """The artifact's ``wal_checkpoint`` header field, or ``None``.
+
+    O(header): only the container preamble and JSON header are read.
+    ``None`` means the artifact predates (or was published outside) the
+    WAL protocol, i.e. the whole log must be replayed over it.
+    """
+
+    header = read_container_header(Path(path), fmt=MODEL_CONTAINER)
+    checkpoint = header.get("wal_checkpoint")
+    if checkpoint is None:
+        return None
+    try:
+        return {"sequence": int(checkpoint["sequence"]),
+                "generation": int(checkpoint["generation"])}
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ModelFormatError(
+            f"model artifact {path} carries a malformed wal_checkpoint "
+            f"header: {checkpoint!r} ({exc})") from exc
 
 
 def inspect_model(path: str | os.PathLike) -> dict:

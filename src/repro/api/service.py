@@ -254,12 +254,21 @@ class ClassificationService:
                    cache_size=cache_size)
 
     def save(self, path: str | os.PathLike, *,
-             include_index: bool = True) -> Path:
-        """Persist the fitted model as a versioned artifact file."""
+             include_index: bool = True,
+             wal_checkpoint: dict | None = None) -> Path:
+        """Persist the fitted model as a versioned artifact file.
+
+        ``wal_checkpoint`` stamps the artifact with the last
+        write-ahead-log sequence it contains (see
+        :func:`repro.api.artifact.save_model`); the serving tier's
+        publish path supplies it so crash recovery can tell which log
+        records the artifact already absorbed.
+        """
 
         from .artifact import save_model
 
-        return save_model(self.classifier, path, include_index=include_index)
+        return save_model(self.classifier, path, include_index=include_index,
+                          wal_checkpoint=wal_checkpoint)
 
     # ------------------------------------------------------------ properties
     @property

@@ -238,6 +238,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "converted for mutation (default 4)")
     serve.add_argument("--max-ingest-items", type=int, default=None,
                        help="per-request ingest sample cap (default 32)")
+    serve.add_argument("--wal-dir", default=None, metavar="DIR",
+                       help="write-ahead-log directory (with --ingest): "
+                            "every corpus mutation is fsynced there "
+                            "before it is acknowledged, and the log's "
+                            "tail is replayed over the artifact on "
+                            "startup, so acked ingests survive a crash")
+    serve.add_argument("--wal-repair", action="store_true",
+                       help="permit startup recovery to truncate the "
+                            "write-ahead log at mid-log corruption, "
+                            "discarding every later record (a torn "
+                            "final record is always truncated; earlier "
+                            "damage otherwise refuses to start)")
     serve.add_argument("--max-age", type=float, default=None, metavar="SECS",
                        help="age-off horizon for online-ingested samples "
                             "(default: never)")
@@ -547,6 +559,18 @@ def _cmd_serve(args) -> int:
             "--score-workers cannot be combined with --ingest: scoring "
             "workers serve the artifact on disk and would miss "
             "unpublished corpus mutations")
+    if args.wal_dir and not args.ingest:
+        from .exceptions import ValidationError
+
+        raise ValidationError(
+            "--wal-dir requires --ingest: the write-ahead log records "
+            "corpus mutations, which an immutable server never performs")
+    # Failpoints (REPRO_FAULTS=site:action[@after],...) are armed here,
+    # in the server process, so the crash-sweep harness can kill a live
+    # subprocess at any registered site.  No-op without the env var.
+    from .testing import arm_from_env
+
+    arm_from_env()
     manager = ModelManager(args.model,
                            poll_interval=args.reload_interval,
                            metrics=registry,
@@ -556,6 +580,8 @@ def _cmd_serve(args) -> int:
                            mutable=args.ingest,
                            n_shards=args.ingest_shards,
                            score_workers=args.score_workers,
+                           wal_dir=args.wal_dir,
+                           wal_repair=args.wal_repair,
                            **load_kwargs)
     lifecycle = None
     if args.ingest:
@@ -595,6 +621,8 @@ def _cmd_serve(args) -> int:
     mode = f"load={manager.load_mode}"
     if args.score_workers:
         mode += f", score_workers={args.score_workers}"
+    if args.wal_dir:
+        mode += f", wal={args.wal_dir}"
     print(f"serving {args.model} on http://{args.host}:{server.port} "
           f"({mode}; {endpoints}; Ctrl-C or SIGTERM drains and exits)",
           flush=True)

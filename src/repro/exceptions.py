@@ -109,6 +109,24 @@ class ServerOverloadedError(ServingError):
     control rejects new work.  Maps to HTTP 503 + ``Retry-After``."""
 
 
+class WALError(ServingError):
+    """Raised when the ingestion write-ahead log cannot be opened,
+    appended to, or checkpointed."""
+
+
+class WALCorruptionError(WALError):
+    """Raised when the write-ahead log holds corrupt records *before*
+    its final one (a torn final record is truncated silently; damage
+    earlier in the log means history was lost and recovery refuses to
+    guess unless explicitly asked to repair)."""
+
+
+class FaultInjectedError(ReproError):
+    """Raised by an armed :class:`repro.testing.faults.FaultInjector`
+    failpoint with the ``raise`` action.  Only tests should ever see
+    this."""
+
+
 class ServerClosedError(ServingError):
     """Raised when work is submitted to a coalescer that is draining or
     has shut down."""

@@ -67,7 +67,8 @@ import numpy as np
 from ..exceptions import IndexFormatError, ReproError, SimilarityIndexError
 
 __all__ = ["FORMAT_VERSION", "MAGIC", "ARRAY_ALIGNMENT", "ContainerFormat",
-           "INDEX_FORMAT", "write_container", "read_container"]
+           "INDEX_FORMAT", "write_container", "read_container",
+           "read_container_header"]
 
 #: Current similarity-index container format version.  Version 4 pads
 #: every array payload to a 64-byte-aligned file offset so the file can
@@ -269,10 +270,33 @@ def read_container(path: str | os.PathLike, *,
             f"cannot read {fmt.kind} file {path}: {exc}") from exc
 
 
-def _read_open_container(fh, path: Path, fmt: ContainerFormat,
-                         mmap_mode: str | None
-                         ) -> tuple[dict, dict[str, np.ndarray]]:
-    file_size = os.fstat(fh.fileno()).st_size
+def read_container_header(path: str | os.PathLike, *,
+                          fmt: ContainerFormat = INDEX_FORMAT) -> dict:
+    """Read and validate just the JSON header of a container file.
+
+    O(header) regardless of payload size — no array is touched.  Used
+    by callers that only need container metadata (e.g. the serving
+    tier peeking at a model artifact's ``wal_checkpoint`` before
+    deciding which write-ahead-log records still need replaying).
+    """
+
+    path = Path(path)
+    if not path.is_file():
+        raise fmt.format_error(f"{fmt.kind} file {path} does not exist")
+    try:
+        with open(path, "rb") as fh:
+            file_size = os.fstat(fh.fileno()).st_size
+            return _read_header(fh, path, fmt, file_size)[0]
+    except OSError as exc:
+        raise fmt.format_error(
+            f"cannot read {fmt.kind} file {path}: {exc}") from exc
+
+
+def _read_header(fh, path: Path, fmt: ContainerFormat,
+                 file_size: int) -> tuple[dict, int]:
+    """Parse and validate the preamble + JSON header of an open file;
+    returns ``(header, header_end_offset)``."""
+
     preamble = fh.read(_PREAMBLE.size)
     if len(preamble) < _PREAMBLE.size:
         raise fmt.format_error(f"{path} is too short to be a {fmt.kind}")
@@ -293,6 +317,14 @@ def _read_open_container(fh, path: Path, fmt: ContainerFormat,
         raise fmt.format_error(f"{path} has a corrupt header: {exc}") from exc
     if not isinstance(header, dict) or not isinstance(header.get("arrays"), list):
         raise fmt.format_error(f"{path} has a malformed header")
+    return header, header_end
+
+
+def _read_open_container(fh, path: Path, fmt: ContainerFormat,
+                         mmap_mode: str | None
+                         ) -> tuple[dict, dict[str, np.ndarray]]:
+    file_size = os.fstat(fh.fileno()).st_size
+    header, header_end = _read_header(fh, path, fmt, file_size)
 
     align = header.get("payload_alignment", 1)
     if not isinstance(align, int) or align < 1:

@@ -21,6 +21,8 @@ Layers (each independently testable):
   (``--score-workers``), sharing a memory-mapped artifact's pages;
 * :mod:`repro.serving.lifecycle` — age-off / cap / compaction /
   republish policies;
+* :mod:`repro.serving.wal` — the crash-recovery write-ahead log that
+  makes acknowledged mutations durable (``--wal-dir``);
 * :mod:`repro.serving.decision_log` — rotating JSONL audit trail;
 * :mod:`repro.serving.server` — the HTTP front end (``repro-classify
   serve`` drives it).
@@ -34,6 +36,7 @@ from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .model_manager import ModelManager
 from .protocol import WorkItem, decision_to_dict, parse_classify_request
 from .server import ClassificationServer, ServerConfig
+from .wal import WALRecord, WALRecovery, WriteAheadLog
 from .workers import ScoringWorkerPool
 
 __all__ = [
@@ -54,5 +57,8 @@ __all__ = [
     "parse_classify_request",
     "ClassificationServer",
     "ServerConfig",
+    "WALRecord",
+    "WALRecovery",
+    "WriteAheadLog",
     "ScoringWorkerPool",
 ]

@@ -7,6 +7,15 @@ JSON (one decision per line, the same shape as the wire protocol's
 decision objects plus ``model_generation`` and a timestamp), which
 tails, greps and loads into anything.
 
+Each written line additionally embeds a ``"crc"`` key — the CRC32 of
+the canonical JSON of the rest of the line — so an audit-trail reader
+can tell a complete record from a torn or bit-rotted one without
+leaving JSONL.  On startup the tail of an existing log is validated:
+a final chunk with no newline, or a final line that fails to parse or
+whose checksum mismatches, is truncated away (a crash can only ever
+tear the *last* line of an append-only file).  Lines written before
+the checksum existed carry no ``"crc"`` and stay readable.
+
 Rotation is size-based and atomic: when the active file would exceed
 ``max_bytes`` it is flushed, fsynced and renamed to ``<name>.1`` with a
 single :func:`os.replace` (older backups shift up first, each shift its
@@ -20,12 +29,13 @@ from __future__ import annotations
 import json
 import os
 import threading
+import zlib
 from pathlib import Path
 
 from ..exceptions import ValidationError
 from ..logging_utils import get_logger
 
-__all__ = ["DecisionLog"]
+__all__ = ["DecisionLog", "decode_decision_line", "encode_decision_line"]
 
 _LOG = get_logger("serving.decision_log")
 
@@ -34,6 +44,53 @@ DEFAULT_MAX_BYTES = 32 * 1024 * 1024
 
 #: Default number of rotated files kept (``.1`` .. ``.N``).
 DEFAULT_BACKUPS = 3
+
+#: How far from the end of an existing log the startup tail scan
+#: reads.  Decision lines are a few hundred bytes; 64 KiB comfortably
+#: covers the final line plus the complete one before it.
+TAIL_SCAN_BYTES = 64 * 1024
+
+
+def _payload_crc(payload: dict) -> int:
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return zlib.crc32(body)
+
+
+def encode_decision_line(payload: dict) -> bytes:
+    """Serialise one decision as a CRC-suffixed JSON line."""
+
+    if "crc" in payload:
+        raise ValidationError(
+            'decision payloads must not carry their own "crc" key')
+    return json.dumps({**payload, "crc": _payload_crc(payload)},
+                      sort_keys=True).encode("utf-8") + b"\n"
+
+
+def decode_decision_line(line: bytes | str) -> dict:
+    """Parse one log line, verifying its checksum when present.
+
+    Lines from logs written before the checksum existed carry no
+    ``"crc"`` key and are returned as-is — old audit trails stay
+    readable.  Raises :class:`ValidationError` for unparseable lines
+    and checksum mismatches.
+    """
+
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValidationError(
+            f"decision log line is not valid JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ValidationError("decision log line is not a JSON object")
+    if "crc" not in obj:
+        return obj
+    crc = obj.pop("crc")
+    if crc != _payload_crc(obj):
+        raise ValidationError(
+            f"decision log line checksum mismatch (recorded {crc!r})")
+    return obj
 
 
 class DecisionLog:
@@ -54,6 +111,7 @@ class DecisionLog:
         self.backups = int(backups)
         self._lock = threading.Lock()
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.truncated_bytes = self._truncate_torn_tail()
         self._handle = open(self.path, "ab")
         self._size = self._handle.tell()
         self._rotations = (metrics.counter("decision_log_rotations_total")
@@ -61,11 +119,63 @@ class DecisionLog:
         self._lines = (metrics.counter("decision_log_lines_total")
                        if metrics is not None else None)
 
+    # ------------------------------------------------------------- recovery
+    def _truncate_torn_tail(self) -> int:
+        """Drop an incomplete or corrupt final line from an existing log.
+
+        A crash mid-append can only damage the end of an append-only
+        file: either the last bytes have no terminating newline (a torn
+        write) or the final line is complete but fails to parse /
+        checksum (a tear that happened to end at a newline boundary).
+        Only the final line is ever dropped — everything before it was
+        terminated by a later successful append.  Returns the bytes
+        truncated (0 for a clean or missing log).
+        """
+
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return 0
+        if size == 0:
+            return 0
+        with open(self.path, "rb+") as fh:
+            window = min(size, TAIL_SCAN_BYTES)
+            fh.seek(size - window)
+            tail = fh.read(window)
+            if b"\n" not in tail and window < size:
+                # A torn line longer than the scan window: scan it all.
+                fh.seek(0)
+                tail = fh.read(size)
+                window = size
+            valid_end = size
+            if not tail.endswith(b"\n"):
+                newline = tail.rfind(b"\n")
+                valid_end = (size - window + newline + 1
+                             if newline != -1 else size - window)
+            # Validate the (now) final complete line too; drop it when
+            # it fails to parse or checksum.
+            head = tail[:valid_end - (size - window)]
+            lines = head.splitlines(keepends=True)
+            if lines and (window == size or len(lines) > 1):
+                try:
+                    decode_decision_line(lines[-1])
+                except ValidationError:
+                    valid_end -= len(lines[-1])
+            if valid_end == size:
+                return 0
+            fh.truncate(valid_end)
+            fh.flush()
+            os.fsync(fh.fileno())
+        _LOG.warning("decision log %s: truncated a torn tail (%d bytes)",
+                     self.path, size - valid_end)
+        return size - valid_end
+
     # ---------------------------------------------------------------- write
     def append(self, payload: dict) -> None:
-        """Append one record as a JSON line (rotating first if needed)."""
+        """Append one record as a CRC-suffixed JSON line (rotating
+        first if needed)."""
 
-        line = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+        line = encode_decision_line(payload)
         with self._lock:
             if self._handle is None:
                 raise ValueError("decision log is closed")

@@ -125,12 +125,18 @@ def parse_purge_path(path: str) -> str:
 
 
 def encode_ingest_report(reports: Sequence[dict], generation: int,
-                         members: int) -> bytes:
-    """Serialise one ingest response body (reports in input order)."""
+                         members: int, *, durable: bool = False) -> bytes:
+    """Serialise one ingest response body (reports in input order).
+
+    ``durable`` reports whether the batch was fsynced to a write-ahead
+    log before this acknowledgement — i.e. whether the ingest survives
+    a crash of the serving process.
+    """
 
     return json.dumps({
         "ingested": list(reports),
         "model_generation": int(generation),
         "corpus_members": int(members),
         "count": len(reports),
+        "durable": bool(durable),
     }, sort_keys=True).encode("utf-8")

@@ -59,6 +59,11 @@ class LifecycleConfig:
     republish_interval: float | None = None
     #: Republish target; defaults to the manager's watched model path.
     republish_path: str | Path | None = None
+    #: Ceiling of the exponential backoff applied after a failed
+    #: republish (disk full, artifact directory gone...).  The retry
+    #: delay doubles from the sweep interval up to this cap, so a
+    #: persistent failure doesn't hammer the disk every sweep.
+    republish_backoff_max: float = 300.0
     #: Seconds between policy sweeps of the daemon thread.
     sweep_interval: float = 5.0
 
@@ -75,6 +80,8 @@ class LifecycleConfig:
         if (self.republish_interval is not None
                 and self.republish_interval <= 0):
             raise ValidationError("republish_interval must be positive")
+        if self.republish_backoff_max <= 0:
+            raise ValidationError("republish_backoff_max must be positive")
         if self.sweep_interval <= 0:
             raise ValidationError("sweep_interval must be positive")
 
@@ -109,6 +116,8 @@ class LifecycleManager:
         # order, which is what oldest-first eviction walks.
         self._tracked: "OrderedDict[str, tuple[float, str]]" = OrderedDict()
         self._last_publish = self._now()
+        self._publish_failures = 0          # consecutive, reset on success
+        self._publish_retry_at = 0.0
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
         self._metrics = metrics
@@ -117,6 +126,8 @@ class LifecycleManager:
             self._cap_evicted = metrics.counter("lifecycle_cap_evicted_total")
             self._compactions = metrics.counter("lifecycle_compactions_total")
             self._publishes = metrics.counter("lifecycle_publishes_total")
+            self._republish_failures = metrics.counter(
+                "lifecycle_republish_failures")
 
     @property
     def tracked_count(self) -> int:
@@ -216,7 +227,27 @@ class LifecycleManager:
                         and now - self._last_publish >= interval)
         if not due:
             return None
-        path = self.manager.publish(self.config.republish_path)
+        if not force and self._publish_failures and now < self._publish_retry_at:
+            return None
+        try:
+            path = self.manager.publish(self.config.republish_path)
+        except (ReproError, OSError) as exc:
+            # Doubling backoff from the sweep interval: a full disk
+            # stays a full disk for a while, and every failed attempt
+            # writes (and unlinks) a whole artifact-sized temp file.
+            self._publish_failures += 1
+            delay = min(
+                self.config.sweep_interval * (2 ** self._publish_failures),
+                self.config.republish_backoff_max)
+            self._publish_retry_at = now + delay
+            self._republish_failures_inc()
+            _LOG.warning(
+                "lifecycle republish failed (attempt %d): %s; retrying in "
+                "%.1fs", self._publish_failures, exc, delay)
+            if force:
+                raise
+            return None
+        self._publish_failures = 0
         self._last_publish = now
         self._publishes_inc()
         return str(path)
@@ -237,6 +268,10 @@ class LifecycleManager:
     def _publishes_inc(self) -> None:
         if self._metrics is not None:
             self._publishes.inc()
+
+    def _republish_failures_inc(self) -> None:
+        if self._metrics is not None:
+            self._republish_failures.inc()
 
     # ------------------------------------------------------------ the thread
     def start(self) -> None:

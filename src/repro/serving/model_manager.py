@@ -29,6 +29,19 @@ the predict lock, so they are serialised against model passes *and*
 against hot-reload swaps (the swap takes the predict lock too) — a
 mutation can never land on a service that was just swapped out.
 
+With ``wal_dir`` set (mutable mode only) every mutation is made
+**durable** through a :class:`~repro.serving.wal.WriteAheadLog` before
+it is acknowledged: append → apply → group-commit fsync → ack, with a
+failed apply rolled back before anything was fsynced.  On construction
+the manager replays the log's tail over the loaded artifact — records
+newer than the artifact's embedded ``wal_checkpoint`` — so a crashed
+server restarts with every acknowledged mutation intact.
+:meth:`publish` completes the cycle: the artifact is stamped with the
+WAL's current sequence and the log is truncated to a checkpoint record
+via an atomic sibling-tmp + ``os.replace``; a crash between the two
+replaces leaves stale records whose seqs the checkpoint already
+covers, so replay skips them (exactly-once, never twice).
+
 Locking order (outermost first): ``_reload_lock`` → ``_predict_lock``
 → ``_swap_lock``.  ``classify_items`` takes the swap lock and releases
 it before taking the predict lock, so no path ever waits on the two in
@@ -37,14 +50,23 @@ conflicting order.
 
 from __future__ import annotations
 
+import base64
 import os
 import threading
 from pathlib import Path
 from typing import Sequence
 
+from ..api.artifact import read_wal_checkpoint
 from ..api.service import ClassificationService, Decision
-from ..exceptions import ParallelExecutionError, ReproError, ServingError
+from ..exceptions import (
+    ParallelExecutionError,
+    ReproError,
+    ServingError,
+    ValidationError,
+)
 from ..logging_utils import get_logger
+from ..testing import faults
+from .wal import WriteAheadLog
 from .workers import ScoringWorkerPool
 
 __all__ = ["ModelManager"]
@@ -89,6 +111,17 @@ class ModelManager:
         they share its pages through the OS page cache.  Incompatible
         with ``mutable`` (workers snapshot the on-disk artifact and
         would serve a stale corpus between publishes).
+    wal_dir:
+        Directory of the ingestion write-ahead log (mutable mode
+        only).  Mutations become durable-before-ack, and construction
+        replays the log's tail over the artifact (see module
+        docstring).
+    wal_repair:
+        Permit recovery to truncate the log at *mid-log* corruption,
+        discarding every later record.  A torn final record is always
+        truncated; damage earlier in the log refuses to load without
+        this flag, because silently dropping acknowledged history is
+        worse than refusing to start.
     load_kwargs:
         Forwarded to :meth:`ClassificationService.load` on every load
         (``allowed_classes``, ``cache_size``, ``executor``, ``mmap``,
@@ -98,7 +131,9 @@ class ModelManager:
     def __init__(self, model_path: str | os.PathLike, *,
                  poll_interval: float = DEFAULT_POLL_INTERVAL,
                  metrics=None, mutable: bool = False, n_shards: int = 4,
-                 score_workers: int = 0, **load_kwargs) -> None:
+                 score_workers: int = 0,
+                 wal_dir: str | os.PathLike | None = None,
+                 wal_repair: bool = False, **load_kwargs) -> None:
         self.model_path = Path(model_path)
         self.poll_interval = float(poll_interval)
         self.mutable = bool(mutable)
@@ -113,6 +148,11 @@ class ModelManager:
                 "(mutable=True): worker processes score against the "
                 "artifact on disk and would miss unpublished corpus "
                 "mutations")
+        if wal_dir is not None and not self.mutable:
+            raise ServingError(
+                "wal_dir requires mutable=True: the write-ahead log only "
+                "records corpus mutations, which immutable serving never "
+                "performs")
         self._load_kwargs = dict(load_kwargs)
         self._metrics = metrics
         self._swap_lock = threading.Lock()
@@ -144,7 +184,16 @@ class ModelManager:
                 self._tombstones_gauge = metrics.gauge("corpus_tombstones")
                 self._ingested = metrics.counter("ingested_samples_total")
                 self._purged = metrics.counter("purged_samples_total")
+            if wal_dir is not None:
+                self._wal_replayed = metrics.counter("wal_replayed_records")
+                self._checkpoint_gauge = metrics.gauge(
+                    "last_checkpoint_generation")
+        self._wal: WriteAheadLog | None = None
+        self._checkpoint: dict | None = None
+        self._replayed_at_boot = 0
         self._load_initial()
+        if wal_dir is not None:
+            self._open_wal(wal_dir, repair=wal_repair)
         if self.score_workers:
             # Warm the pool now, before the server starts its coalescer
             # and watcher threads: the workers fork from a (still)
@@ -184,7 +233,75 @@ class ModelManager:
         stat = os.stat(self.model_path)
         return (stat.st_mtime_ns, stat.st_size, stat.st_ino)
 
+    def _open_wal(self, wal_dir: str | os.PathLike, *, repair: bool) -> None:
+        """Open/recover the write-ahead log and replay its tail.
+
+        The artifact's embedded ``wal_checkpoint`` says which prefix of
+        the log the loaded corpus already contains; every record beyond
+        it is re-applied here, before the server takes traffic.  A
+        record that fails validation on replay is skipped with a
+        warning — it can only exist when a crash landed between append
+        and apply, i.e. before its client was ever acknowledged.
+        """
+
+        wal = WriteAheadLog(wal_dir, metrics=self._metrics)
+        wal.recover(repair=repair)
+        checkpoint = read_wal_checkpoint(self.model_path)
+        log_cp = wal.recovery.checkpoint
+        if log_cp is not None and (checkpoint is None
+                                   or int(log_cp["sequence"])
+                                   > int(checkpoint["sequence"])):
+            # The log's own checkpoint record survives publish crashes
+            # in either order; trust whichever marker is furthest.
+            checkpoint = {"sequence": int(log_cp["sequence"]),
+                          "generation": int(log_cp["generation"])}
+        artifact_seq = 0 if checkpoint is None else int(checkpoint["sequence"])
+        replayed = skipped = 0
+        service = self._service
+        for record in wal.recovery.records:
+            if record.seq <= artifact_seq:
+                continue
+            try:
+                self._apply_record(service, record)
+            except ValidationError as exc:
+                _LOG.warning(
+                    "skipping WAL record seq=%d op=%s during replay (%s); "
+                    "it predates any acknowledgement", record.seq,
+                    record.op, exc)
+                skipped += 1
+                continue
+            replayed += 1
+        self._wal = wal
+        self._checkpoint = checkpoint
+        self._replayed_at_boot = replayed
+        if self._metrics is not None:
+            if replayed:
+                self._wal_replayed.inc(replayed)
+            self._checkpoint_gauge.set(
+                0 if checkpoint is None else int(checkpoint["generation"]))
+        self._update_corpus_gauges()
+        if replayed or skipped:
+            _LOG.info(
+                "replayed %d WAL record(s) over %s (skipped %d unacked)",
+                replayed, self.model_path, skipped)
+
+    @staticmethod
+    def _apply_record(service: ClassificationService, record) -> None:
+        """Apply one recovered WAL record to the live service."""
+
+        if record.op == "ingest":
+            items = [(sid, base64.b64decode(data), cls)
+                     for sid, data, cls in record.payload["items"]]
+            service.ingest_bytes(items)
+        elif record.op == "purge":
+            service.purge(record.payload["sample_id"])
+        elif record.op == "compact":
+            service.compact()
+        # "checkpoint" records carry no mutation; recover() already
+        # consumed their sequence marker.
+
     def _load_service(self) -> ClassificationService:
+        faults.fire("reload.parse")
         service = ClassificationService.load(self.model_path,
                                              **self._load_kwargs)
         if self.mutable:
@@ -292,7 +409,25 @@ class ModelManager:
             with self._swap_lock:
                 service = self._service
                 generation = self._generation
-            reports = service.ingest_bytes(items)
+            if self._wal is not None:
+                # append → apply → group-commit fsync.  One record (and
+                # one fsync) covers the whole coalesced micro-batch; an
+                # apply that fails validation rolls its record back
+                # before anything was made durable.
+                mark = self._wal.mark()
+                self._wal.append(
+                    "ingest",
+                    {"items": [[sid, base64.b64encode(data).decode("ascii"),
+                                cls] for sid, data, cls in items]},
+                    sync=False)
+                try:
+                    reports = service.ingest_bytes(items)
+                except BaseException:
+                    self._wal.rollback(mark)
+                    raise
+                self._wal.sync()
+            else:
+                reports = service.ingest_bytes(items)
         if self._metrics is not None and self.mutable:
             self._ingested.inc(len(reports))
         self._update_corpus_gauges()
@@ -305,7 +440,23 @@ class ModelManager:
             with self._swap_lock:
                 service = self._service
                 generation = self._generation
-            removed = service.purge(sample_id)
+            if self._wal is not None:
+                mark = self._wal.mark()
+                self._wal.append("purge", {"sample_id": sample_id},
+                                 sync=False)
+                try:
+                    removed = service.purge(sample_id)
+                except BaseException:
+                    self._wal.rollback(mark)
+                    raise
+                if removed:
+                    self._wal.sync()
+                else:
+                    # A no-op purge (unknown id) mutated nothing; keep
+                    # the log free of records that replay cannot match.
+                    self._wal.rollback(mark)
+            else:
+                removed = service.purge(sample_id)
         if removed and self._metrics is not None and self.mutable:
             self._purged.inc(removed)
         self._update_corpus_gauges()
@@ -317,7 +468,20 @@ class ModelManager:
         with self._predict_lock:
             with self._swap_lock:
                 service = self._service
-            dropped = service.compact()
+            if self._wal is not None:
+                mark = self._wal.mark()
+                self._wal.append("compact", {}, sync=False)
+                try:
+                    dropped = service.compact()
+                except BaseException:
+                    self._wal.rollback(mark)
+                    raise
+                if dropped:
+                    self._wal.sync()
+                else:
+                    self._wal.rollback(mark)
+            else:
+                dropped = service.compact()
         self._update_corpus_gauges()
         return dropped
 
@@ -326,6 +490,29 @@ class ModelManager:
         :meth:`ClassificationService.corpus_info`)."""
 
         return self.service.corpus_info()
+
+    def durability_info(self) -> dict | None:
+        """WAL state for ``/healthz``, or ``None`` without a WAL."""
+
+        wal = self._wal
+        if wal is None:
+            return None
+        checkpoint = self._checkpoint
+        recovery = wal.recovery
+        return {
+            "wal_path": str(wal.path),
+            "wal_records": wal.last_seq,
+            "wal_bytes": wal.size_bytes,
+            "last_checkpoint_sequence":
+                0 if checkpoint is None else checkpoint["sequence"],
+            "last_checkpoint_generation":
+                0 if checkpoint is None else checkpoint["generation"],
+            "replayed_at_boot": self._replayed_at_boot,
+            "recovered_truncated_bytes":
+                0 if recovery is None else recovery.truncated_bytes,
+            "recovered_dropped_records":
+                0 if recovery is None else recovery.dropped_records,
+        }
 
     def publish(self, path: str | os.PathLike | None = None) -> Path:
         """Export the live corpus as an atomic artifact (default: the
@@ -347,8 +534,15 @@ class ModelManager:
                 with self._swap_lock:
                     service = self._service
                     generation = self._generation
+                checkpoint = None
+                if self._wal is not None:
+                    # Holding the predict lock means no mutation can
+                    # land between this snapshot and the save — the
+                    # artifact really does contain every seq <= this.
+                    checkpoint = {"sequence": self._wal.last_seq,
+                                  "generation": generation}
                 try:
-                    service.save(tmp)
+                    service.save(tmp, wal_checkpoint=checkpoint)
                     # os.replace preserves the temporary file's inode,
                     # mtime and size, so its stat IS the published
                     # file's signature — taken before the rename, there
@@ -356,6 +550,7 @@ class ModelManager:
                     # mistaken for ours.
                     stat = os.stat(tmp)
                     signature = (stat.st_mtime_ns, stat.st_size, stat.st_ino)
+                    faults.fire("artifact.replace")
                     os.replace(tmp, target)
                 except BaseException:
                     try:
@@ -363,6 +558,17 @@ class ModelManager:
                     except OSError:
                         pass
                     raise
+                if checkpoint is not None and target == self.model_path:
+                    # Artifact first, WAL truncation second: a crash in
+                    # between leaves stale records whose seqs the
+                    # artifact's checkpoint covers, so replay skips
+                    # them.  The reverse order could lose mutations.
+                    self._wal.checkpoint(
+                        sequence=checkpoint["sequence"],
+                        generation=checkpoint["generation"])
+                    self._checkpoint = checkpoint
+                    if self._metrics is not None:
+                        self._checkpoint_gauge.set(checkpoint["generation"])
             if target == self.model_path:
                 with self._swap_lock:
                     self._signature = signature
@@ -444,6 +650,9 @@ class ModelManager:
         if pool is not None:
             self._worker_pool = None
             pool.close()
+        wal = self._wal
+        if wal is not None:
+            wal.close()
 
     def _watch_loop(self) -> None:
         while not self._stop.wait(self.poll_interval):

@@ -353,7 +353,7 @@ class ClassificationServer:
         self._latency.observe(time.perf_counter() - started)
         members = self.manager.corpus_info()["members"]
         return 200, {}, ingest_protocol.encode_ingest_report(
-            reports, generation, members)
+            reports, generation, members, durable=self._wal_active())
 
     def handle_purge(self, path: str) -> tuple[int, dict, bytes]:
         """Run one ``DELETE /samples/<id>``; ``(status, hdrs, body)``.
@@ -405,6 +405,12 @@ class ClassificationServer:
             "model_generation": int(generation),
         }, sort_keys=True).encode("utf-8")
 
+    def _wal_active(self) -> bool:
+        """Whether the manager acks mutations through a write-ahead log."""
+
+        info = getattr(self.manager, "durability_info", None)
+        return callable(info) and info() is not None
+
     def health_payload(self) -> dict:
         payload = {
             "status": "draining" if self._draining.is_set() else "ok",
@@ -429,6 +435,14 @@ class ClassificationServer:
                 payload["corpus"] = corpus_info()
             except ReproError:   # pragma: no cover — health must answer
                 pass
+        durability_info = getattr(self.manager, "durability_info", None)
+        if callable(durability_info):
+            try:
+                durability = durability_info()
+            except ReproError:   # pragma: no cover — health must answer
+                durability = None
+            if durability is not None:
+                payload["durability"] = durability
         return payload
 
     def metrics_payload(self) -> dict:

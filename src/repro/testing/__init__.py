@@ -1,0 +1,31 @@
+"""Test-support machinery that ships with the library.
+
+Unlike ``tests/`` (which only exists in the source tree), this package
+is importable wherever the library is installed, because some of its
+tools must run *inside* the process under test: the named-failpoint
+:mod:`repro.testing.faults` injector is armed through an environment
+variable precisely so a crash-sweep harness can kill a real serving
+subprocess at an exact internal point.
+"""
+
+from ..exceptions import FaultInjectedError
+from .faults import (
+    CRASH_EXIT_CODE,
+    CRASH_SWEEP_SITES,
+    KNOWN_SITES,
+    FaultInjector,
+    arm_from_env,
+    fire,
+    injector,
+)
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "CRASH_SWEEP_SITES",
+    "KNOWN_SITES",
+    "FaultInjectedError",
+    "FaultInjector",
+    "arm_from_env",
+    "fire",
+    "injector",
+]

@@ -1,0 +1,238 @@
+"""Named-failpoint fault injection for durability and recovery tests.
+
+Proving that the serving tier survives crashes needs a way to *cause*
+them at exact internal points: after the write-ahead log buffered a
+record but before it fsynced, between the artifact ``os.replace`` and
+the WAL truncation, mid-parse of a hot reload.  This module provides
+that as **failpoints**: named call sites (``faults.fire("wal.fsync")``)
+threaded through the WAL, the artifact publisher and the model manager,
+which do nothing until a test arms them.
+
+Design constraints, in order:
+
+* **zero cost when disarmed** — production code calls
+  :func:`fire` on hot paths; when nothing is armed that is one module
+  attribute read and a falsy check, no lock, no allocation;
+* **reachable from outside the process** — the crash-sweep test kills a
+  real serving subprocess, so arming must work through the environment:
+  ``REPRO_FAULTS="wal.fsync:crash@2"`` (armed by ``repro-classify
+  serve`` at startup via :func:`arm_from_env`);
+* **deterministic** — a failpoint fires on an exact hit count
+  (``@n`` lets ``n`` hits pass first), so a sweep can land the fault on
+  the fourth ingest batch, not "sometime".
+
+Actions:
+
+``raise``
+    Raise :class:`~repro.exceptions.FaultInjectedError` (a
+    :class:`~repro.exceptions.ReproError`, so it flows through the same
+    handling as real library failures).
+``crash``
+    ``os._exit(86)`` — no ``atexit``, no buffer flush, no destructors:
+    the closest a test can get to ``kill -9`` from the inside, and the
+    point of the whole module.
+``delay=<seconds>``
+    Sleep, then continue — for widening race windows.
+
+The spec grammar (one or more comma-separated entries)::
+
+    site:action[@after]
+    wal.fsync:crash            # crash on the first fsync
+    wal.append:raise@3         # let 3 appends pass, raise on the 4th
+    reload.parse:delay=0.2     # every reload parse sleeps 200 ms
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..exceptions import FaultInjectedError, ValidationError
+from ..logging_utils import get_logger
+
+__all__ = ["FaultInjector", "CRASH_SWEEP_SITES", "KNOWN_SITES",
+           "fire", "arm_from_env", "injector", "CRASH_EXIT_CODE"]
+
+_LOG = get_logger("testing.faults")
+
+#: Exit status of a ``crash`` action — distinctive, so a harness can
+#: tell an injected crash from an ordinary failure.
+CRASH_EXIT_CODE = 86
+
+#: Every failpoint the library threads :func:`fire` through.
+KNOWN_SITES = (
+    "wal.append",        # WAL record buffered, before the write
+    "wal.fsync",         # before the WAL fsync that acks a batch
+    "wal.checkpoint",    # before the checkpoint's atomic os.replace
+    "artifact.replace",  # before publish()'s artifact os.replace
+    "reload.parse",      # before a (re)load parses the artifact
+)
+
+#: The failpoints the crash-point sweep must kill a live server at:
+#: every point in the mutation/publish path where a crash could lose an
+#: acked ingest or double-apply one.  ``reload.parse`` is excluded —
+#: reloads never mutate the WAL, so crashing there is covered by the
+#: ordinary reload-failure tests.
+CRASH_SWEEP_SITES = ("wal.append", "wal.fsync", "wal.checkpoint",
+                     "artifact.replace")
+
+_ACTIONS = ("raise", "crash", "delay")
+
+
+@dataclass
+class _Failpoint:
+    """One armed site: what to do and when to start doing it."""
+
+    action: str
+    after: int = 0            # hits allowed through before firing
+    delay: float = 0.0        # seconds, for the delay action
+    hits: int = field(default=0)
+
+
+class FaultInjector:
+    """A registry of armed failpoints (see module docstring).
+
+    The module-level :data:`injector` is the one production code sites
+    consult through :func:`fire`; tests may also instantiate private
+    injectors and call :meth:`FaultInjector.fire` on them directly.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._armed: dict[str, _Failpoint] = {}
+
+    # -------------------------------------------------------------- arming
+    def arm(self, site: str, action: str = "raise", *,
+            after: int = 0, delay: float = 0.0) -> None:
+        """Arm ``site`` with ``action``; ``after`` hits pass first."""
+
+        if action not in _ACTIONS:
+            raise ValidationError(
+                f"unknown fault action {action!r}; use one of {_ACTIONS}")
+        if after < 0:
+            raise ValidationError("after must be >= 0")
+        if action == "delay" and delay <= 0:
+            raise ValidationError("the delay action needs delay > 0")
+        with self._lock:
+            self._armed[site] = _Failpoint(action=action, after=int(after),
+                                           delay=float(delay))
+
+    def arm_from_spec(self, spec: str) -> None:
+        """Arm every entry of a ``site:action[@after]`` spec string."""
+
+        for entry in spec.split(","):
+            entry = entry.strip()
+            if not entry:
+                continue
+            site, sep, action = entry.partition(":")
+            if not sep or not site or not action:
+                raise ValidationError(
+                    f"fault spec entry {entry!r} is not site:action[@after]")
+            after = 0
+            if "@" in action:
+                action, _, count = action.partition("@")
+                try:
+                    after = int(count)
+                except ValueError as exc:
+                    raise ValidationError(
+                        f"fault spec entry {entry!r} has a non-integer "
+                        f"@after count") from exc
+            delay = 0.0
+            if action.startswith("delay="):
+                try:
+                    delay = float(action[len("delay="):])
+                except ValueError as exc:
+                    raise ValidationError(
+                        f"fault spec entry {entry!r} has a non-numeric "
+                        f"delay") from exc
+                action = "delay"
+            self.arm(site, action, after=after, delay=delay)
+
+    def disarm(self, site: str | None = None) -> None:
+        """Disarm one site, or every site when ``site`` is ``None``."""
+
+        with self._lock:
+            if site is None:
+                self._armed.clear()
+            else:
+                self._armed.pop(site, None)
+
+    # ------------------------------------------------------------ queries
+    @property
+    def armed(self) -> bool:
+        return bool(self._armed)
+
+    def armed_sites(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._armed))
+
+    def hits(self, site: str) -> int:
+        """How many times ``site`` has been hit while armed."""
+
+        with self._lock:
+            point = self._armed.get(site)
+            return 0 if point is None else point.hits
+
+    # -------------------------------------------------------------- firing
+    def fire(self, site: str) -> None:
+        """Trigger ``site``'s action if armed (and past its grace hits).
+
+        The dict read below is deliberately unlocked: arming happens
+        before the workload in every harness, so the only race is with
+        ``disarm``, where missing one last fire is exactly what
+        disarming asks for.
+        """
+
+        point = self._armed.get(site)
+        if point is None:
+            return
+        with self._lock:
+            # Re-check under the lock; hit counting must be exact for
+            # the @after grace window to be deterministic.
+            point = self._armed.get(site)
+            if point is None:
+                return
+            point.hits += 1
+            if point.hits <= point.after:
+                return
+            action, delay = point.action, point.delay
+        if action == "crash":
+            _LOG.warning("failpoint %s: crashing the process", site)
+            os._exit(CRASH_EXIT_CODE)
+        if action == "delay":
+            time.sleep(delay)
+            return
+        raise FaultInjectedError(f"injected fault at failpoint {site!r}")
+
+
+#: The process-global injector every library failpoint consults.
+injector = FaultInjector()
+
+
+def fire(site: str) -> None:
+    """Module-level fast path for library call sites.
+
+    One attribute read and a falsy dict check when nothing is armed —
+    cheap enough for the WAL append/fsync hot path.
+    """
+
+    if injector._armed:
+        injector.fire(site)
+
+
+def arm_from_env(environ: dict | None = None) -> bool:
+    """Arm the global injector from ``REPRO_FAULTS``; True if armed.
+
+    Called by ``repro-classify serve`` at startup so a test harness can
+    inject faults into a real serving subprocess it is about to crash.
+    """
+
+    spec = (os.environ if environ is None else environ).get("REPRO_FAULTS")
+    if not spec:
+        return False
+    injector.arm_from_spec(spec)
+    _LOG.warning("fault injection armed from REPRO_FAULTS: %s",
+                 ", ".join(injector.armed_sites()))
+    return True

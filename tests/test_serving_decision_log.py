@@ -106,3 +106,76 @@ def test_concurrent_appends_lose_no_records(tmp_path):
     for worker in range(4):
         sequence = [r["n"] for r in records if r["worker"] == worker]
         assert sorted(sequence) == list(range(100))
+
+
+# ----------------------------------------------------- checksums & tails
+def test_lines_carry_verifiable_checksums(tmp_path):
+    from repro.serving.decision_log import decode_decision_line
+
+    path = tmp_path / "decisions.jsonl"
+    log = DecisionLog(path)
+    log.append({"sample_id": "a", "decision": "within-allocation"})
+    log.close()
+    raw = path.read_bytes().splitlines()[0]
+    record = json.loads(raw)
+    assert "crc" in record                        # embedded, still JSONL
+    decoded = decode_decision_line(raw)
+    assert decoded == {"sample_id": "a", "decision": "within-allocation"}
+    with pytest.raises(ValueError, match="checksum"):
+        decode_decision_line(raw.replace(b"within", b"beyond"))
+
+
+def test_append_rejects_payloads_with_their_own_crc(tmp_path):
+    log = DecisionLog(tmp_path / "decisions.jsonl")
+    with pytest.raises(ValueError, match="crc"):
+        log.append({"sample_id": "a", "crc": 123})
+    log.close()
+
+
+def test_startup_truncates_a_torn_tail(tmp_path):
+    path = tmp_path / "decisions.jsonl"
+    log = DecisionLog(path)
+    for n in range(4):
+        log.append({"n": n})
+    log.close()
+    with open(path, "ab") as fh:
+        fh.write(b'{"n": 4, "half a line with no newl')
+    reopened = DecisionLog(path)
+    assert reopened.truncated_bytes > 0
+    reopened.append({"n": "after-recovery"})
+    reopened.close()
+    records = read_lines(path)
+    assert [r["n"] for r in records] == [0, 1, 2, 3, "after-recovery"]
+
+
+def test_startup_truncates_a_corrupt_final_line(tmp_path):
+    """A complete final line whose checksum mismatches (a tear that
+    happened to end at a newline) is dropped; earlier lines are not."""
+
+    path = tmp_path / "decisions.jsonl"
+    log = DecisionLog(path)
+    for n in range(3):
+        log.append({"n": n})
+    log.close()
+    with open(path, "ab") as fh:
+        fh.write(b'{"n": 99, "crc": 1}\n')
+    reopened = DecisionLog(path)
+    assert reopened.truncated_bytes == len(b'{"n": 99, "crc": 1}\n')
+    reopened.close()
+    assert [r["n"] for r in read_lines(path)] == [0, 1, 2]
+
+
+def test_old_logs_without_checksums_stay_readable(tmp_path):
+    from repro.serving.decision_log import decode_decision_line
+
+    path = tmp_path / "decisions.jsonl"
+    with open(path, "wb") as fh:                  # a pre-checksum log
+        for n in range(3):
+            fh.write(json.dumps({"n": n}).encode("utf-8") + b"\n")
+    log = DecisionLog(path)                       # no truncation...
+    assert log.truncated_bytes == 0
+    log.append({"n": 3})                          # ...and appends mix in
+    log.close()
+    records = [decode_decision_line(line)
+               for line in path.read_bytes().splitlines()]
+    assert [r["n"] for r in records] == [0, 1, 2, 3]

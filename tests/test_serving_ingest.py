@@ -91,7 +91,9 @@ def test_encode_ingest_report_shape():
     assert payload == {"ingested": [{"sample_id": "a", "class": "c",
                                      "sequence": 30}],
                        "model_generation": 2, "corpus_members": 31,
-                       "count": 1}
+                       "count": 1, "durable": False}
+    durable = json.loads(encode_ingest_report([], 1, 0, durable=True))
+    assert durable["durable"] is True
 
 
 # --------------------------------------------------------- mutable service

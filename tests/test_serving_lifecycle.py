@@ -402,3 +402,117 @@ def test_live_server_ingest_age_off_and_hot_republish(trained_records,
             assert decision.predicted_class == classes[worker % 3]
     finally:
         server.shutdown()
+
+
+# --------------------------------------------------- republish backoff
+class FlakyPublishManager:
+    """A stub manager whose publish fails on demand — for exercising
+    the republish backoff without a real artifact write."""
+
+    mutable = True
+
+    def __init__(self):
+        self.publish_calls = 0
+        self.fail = True
+
+    def corpus_info(self):
+        return {"members": 0, "classes": {}, "tombstones": 0,
+                "tombstone_ratio": 0.0}
+
+    def publish(self, path=None):
+        self.publish_calls += 1
+        if self.fail:
+            raise ReproError("disk full")
+        return "/published/model.rpm"
+
+
+def test_republish_failure_backs_off_exponentially():
+    clock = FakeClock()
+    manager = FlakyPublishManager()
+    registry = MetricsRegistry()
+    lifecycle = LifecycleManager(
+        manager,
+        LifecycleConfig(republish_interval=10, sweep_interval=5,
+                        republish_backoff_max=60),
+        metrics=registry, time_source=clock)
+
+    clock.advance(10)                          # due: first attempt fails
+    assert lifecycle.run_once()["published"] is None
+    assert manager.publish_calls == 1
+    assert registry.snapshot()["lifecycle_republish_failures"] == 1
+
+    # Still due, but inside the 5 * 2^1 = 10 s backoff window: no retry.
+    assert lifecycle.run_once()["published"] is None
+    clock.advance(9.5)
+    lifecycle.run_once()
+    assert manager.publish_calls == 1
+
+    clock.advance(1)                           # past the window: retry
+    lifecycle.run_once()
+    assert manager.publish_calls == 2          # fails again; window 20 s
+    clock.advance(19)
+    lifecycle.run_once()
+    assert manager.publish_calls == 2
+    clock.advance(2)
+    lifecycle.run_once()
+    assert manager.publish_calls == 3          # window now 40 s
+    assert registry.snapshot()["lifecycle_republish_failures"] == 3
+
+    manager.fail = False                       # the disk comes back
+    clock.advance(41)
+    report = lifecycle.run_once()
+    assert report["published"] == "/published/model.rpm"
+    assert registry.snapshot()["lifecycle_publishes_total"] == 1
+
+    # Success reset the consecutive-failure count: the next failure
+    # starts the schedule over at the shortest window.
+    manager.fail = True
+    clock.advance(10)
+    lifecycle.run_once()
+    assert manager.publish_calls == 5
+    clock.advance(9)
+    lifecycle.run_once()
+    assert manager.publish_calls == 5          # 10 s window again
+    clock.advance(2)
+    lifecycle.run_once()
+    assert manager.publish_calls == 6
+
+
+def test_republish_backoff_is_capped():
+    clock = FakeClock()
+    manager = FlakyPublishManager()
+    lifecycle = LifecycleManager(
+        manager,
+        LifecycleConfig(republish_interval=1, sweep_interval=5,
+                        republish_backoff_max=15),
+        metrics=None, time_source=clock)
+    for _ in range(6):                         # drive failures up
+        clock.advance(1000)
+        lifecycle.run_once()
+    calls = manager.publish_calls
+    clock.advance(15.5)                        # capped at 15 s, not 2^n
+    lifecycle.run_once()
+    assert manager.publish_calls == calls + 1
+
+
+def test_forced_publish_bypasses_backoff_and_raises():
+    clock = FakeClock()
+    manager = FlakyPublishManager()
+    registry = MetricsRegistry()
+    lifecycle = LifecycleManager(
+        manager, LifecycleConfig(republish_interval=10),
+        metrics=registry, time_source=clock)
+    clock.advance(10)
+    lifecycle.run_once()                       # failure arms the backoff
+    assert manager.publish_calls == 1
+    # force_publish (the shutdown hook) ignores the backoff window and
+    # surfaces the error to its caller instead of swallowing it.
+    with pytest.raises(ReproError, match="disk full"):
+        lifecycle.run_once(force_publish=True)
+    assert manager.publish_calls == 2
+    assert registry.snapshot()["lifecycle_republish_failures"] == 2
+
+
+def test_config_rejects_bad_backoff():
+    with pytest.raises(ValidationError):
+        LifecycleConfig(republish_backoff_max=0)

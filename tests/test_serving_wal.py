@@ -1,0 +1,336 @@
+"""Write-ahead-log tests: the record codec (round-trip and
+torn/corrupt input handling), :class:`WriteAheadLog` recovery /
+rollback / checkpoint semantics, and :class:`ModelManager` replay —
+the durable-ingestion core of the serving tier.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ServingError, WALCorruptionError, WALError
+from repro.serving.metrics import MetricsRegistry
+from repro.serving.model_manager import ModelManager
+from repro.serving.wal import (
+    WAL_MAGIC,
+    WALRecord,
+    WriteAheadLog,
+    decode_records,
+    encode_record,
+)
+from repro.testing import FaultInjectedError, injector
+
+from test_api_artifact import make_records
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    injector.disarm()
+    yield
+    injector.disarm()
+
+
+# ------------------------------------------------------------------ codec
+_payload_values = st.one_of(
+    st.integers(min_value=-2**31, max_value=2**31),
+    st.text(max_size=30),
+    st.booleans(),
+    st.none(),
+    st.lists(st.integers(min_value=0, max_value=255), max_size=4),
+)
+_payloads = st.dictionaries(
+    keys=st.text(min_size=1, max_size=12).filter(
+        lambda k: k not in ("seq", "op")),
+    values=_payload_values, max_size=4)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seq=st.integers(min_value=1, max_value=2**40),
+       op=st.sampled_from(["ingest", "purge", "compact"]),
+       payload=_payloads)
+def test_record_round_trips_through_the_codec(seq, op, payload):
+    record = WALRecord(seq=seq, op=op, payload=payload)
+    records, valid, dropped = decode_records(encode_record(record))
+    assert records == [record]
+    assert valid == len(encode_record(record))
+    assert dropped == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(payloads=st.lists(_payloads, min_size=1, max_size=6))
+def test_record_streams_round_trip(payloads):
+    written = [WALRecord(seq=i + 1, op="ingest", payload=p)
+               for i, p in enumerate(payloads)]
+    blob = b"".join(encode_record(r) for r in written)
+    records, valid, dropped = decode_records(blob)
+    assert records == written and valid == len(blob) and dropped == 0
+
+
+def test_record_rejects_unknown_op_and_negative_seq():
+    with pytest.raises(WALError, match="unknown WAL op"):
+        WALRecord(seq=1, op="frobnicate", payload={})
+    with pytest.raises(WALError, match="seq must be"):
+        WALRecord(seq=-1, op="ingest", payload={})
+
+
+def test_decode_rejects_non_monotonic_sequences():
+    blob = (encode_record(WALRecord(seq=5, op="ingest", payload={})) +
+            encode_record(WALRecord(seq=3, op="ingest", payload={})))
+    with pytest.raises(WALCorruptionError, match="backwards"):
+        decode_records(blob)
+
+
+def test_torn_final_record_truncates_at_every_byte_offset(tmp_path):
+    """Cutting the log anywhere inside its final record must recover
+    exactly the earlier records — at *every* byte offset."""
+
+    records = [WALRecord(seq=i + 1, op="ingest",
+                         payload={"items": [[f"s{i}", "QUJD", "fam0"]]})
+               for i in range(3)]
+    frames = [encode_record(r) for r in records]
+    intact = WAL_MAGIC + frames[0] + frames[1]
+    full = intact + frames[2]
+    path = tmp_path / "wal.log"
+    for cut in range(len(intact), len(full)):
+        path.write_bytes(full[:cut])
+        wal = WriteAheadLog(path)
+        recovery = wal.recover()
+        assert recovery.records == tuple(records[:2]), f"cut at {cut}"
+        assert recovery.truncated_bytes == cut - len(intact)
+        assert recovery.dropped_records == 0
+        assert wal.last_seq == 2
+        # The torn bytes are physically gone: appends continue cleanly.
+        assert wal.append("purge", {"sample_id": "x"}) == 3
+        wal.close()
+        reopened = WriteAheadLog(path)
+        assert [r.seq for r in reopened.recover().records] == [1, 2, 3]
+        reopened.close()
+
+
+def test_mid_log_corruption_refuses_without_repair(tmp_path):
+    frames = [encode_record(WALRecord(seq=i + 1, op="compact", payload={}))
+              for i in range(3)]
+    blob = bytearray(WAL_MAGIC + b"".join(frames))
+    blob[len(WAL_MAGIC) + len(frames[0]) + 10] ^= 0xFF   # inside record 2
+    path = tmp_path / "wal.log"
+    path.write_bytes(bytes(blob))
+    with pytest.raises(WALCorruptionError, match="before its final record"):
+        WriteAheadLog(path).recover()
+    # repair truncates at the first bad record and counts the losses.
+    recovery = WriteAheadLog(path).recover(repair=True)
+    assert [r.seq for r in recovery.records] == [1]
+    assert recovery.dropped_records == 2
+
+
+def test_recover_rejects_foreign_files_and_recreates_torn_magic(tmp_path):
+    alien = tmp_path / "wal.log"
+    alien.write_bytes(b"NOTAWAL0" + b"x" * 32)
+    with pytest.raises(WALCorruptionError, match="bad magic"):
+        WriteAheadLog(alien).recover()
+    torn = tmp_path / "torn" / "wal.log"
+    torn.parent.mkdir()
+    torn.write_bytes(WAL_MAGIC[:3])
+    recovery = WriteAheadLog(torn).recover()
+    assert recovery.records == () and recovery.truncated_bytes == 3
+    assert torn.read_bytes() == WAL_MAGIC
+
+
+# ------------------------------------------------------------------- log
+def test_append_sync_and_metrics(tmp_path):
+    registry = MetricsRegistry()
+    wal = WriteAheadLog(tmp_path / "d", metrics=registry)
+    wal.recover()
+    assert wal.append("ingest", {"items": []}, sync=False) == 1
+    assert wal.append("ingest", {"items": []}, sync=False) == 2
+    wal.sync()
+    wal.sync()                      # nothing new: no extra fsync counted
+    snapshot = registry.snapshot()
+    assert snapshot["wal_records"] == 2
+    assert snapshot["wal_fsyncs"] == 1
+    assert snapshot["wal_bytes"] == wal.size_bytes - len(WAL_MAGIC)
+    wal.close()
+
+
+def test_rollback_discards_unsynced_records_only(tmp_path):
+    wal = WriteAheadLog(tmp_path / "wal.log")
+    wal.recover()
+    wal.append("compact", {})                       # synced
+    mark = wal.mark()
+    wal.append("purge", {"sample_id": "x"}, sync=False)
+    wal.rollback(mark)
+    assert wal.last_seq == 1
+    mark = wal.mark()
+    wal.append("purge", {"sample_id": "y"}, sync=False)
+    wal.sync()
+    with pytest.raises(WALError, match="already"):
+        wal.rollback(mark)                          # durable: refuse
+    wal.close()
+    assert [r.op for r in WriteAheadLog(wal.path).recover().records] == \
+        ["compact", "purge"]
+
+
+def test_checkpoint_truncates_and_preserves_sequence(tmp_path):
+    wal = WriteAheadLog(tmp_path / "wal.log")
+    wal.recover()
+    for _ in range(4):
+        wal.append("compact", {})
+    with pytest.raises(WALError, match="reaches"):
+        wal.checkpoint(sequence=2, generation=1)    # would drop 3 and 4
+    wal.checkpoint(sequence=4, generation=7)
+    assert wal.append("compact", {}) == 5           # seq never reused
+    wal.close()
+    recovery = WriteAheadLog(wal.path).recover()
+    assert recovery.checkpoint == {"sequence": 4, "generation": 7}
+    assert [r.seq for r in recovery.records] == [5]
+
+
+def test_checkpoint_crash_before_replace_keeps_the_old_log(tmp_path):
+    """A failure at the wal.checkpoint failpoint (just before the
+    atomic os.replace) must leave the old log intact and appendable."""
+
+    wal = WriteAheadLog(tmp_path / "wal.log")
+    wal.recover()
+    for _ in range(3):
+        wal.append("compact", {})
+    injector.arm("wal.checkpoint", "raise")
+    with pytest.raises(FaultInjectedError):
+        wal.checkpoint(sequence=3, generation=2)
+    injector.disarm()
+    assert wal.append("compact", {}) == 4           # still appendable
+    wal.close()
+    recovery = WriteAheadLog(wal.path).recover()
+    assert recovery.checkpoint is None
+    assert [r.seq for r in recovery.records] == [1, 2, 3, 4]
+
+
+def test_wal_refuses_double_recover_and_append_before_recover(tmp_path):
+    wal = WriteAheadLog(tmp_path / "wal.log")
+    with pytest.raises(WALError, match="recover"):
+        wal.append("compact", {})
+    wal.recover()
+    with pytest.raises(WALError, match="already open"):
+        wal.recover()
+    wal.close()
+
+
+# -------------------------------------------------------- manager replay
+@pytest.fixture(scope="module")
+def trained_artifact(tmp_path_factory):
+    from repro.api.service import ClassificationService
+
+    directory = tmp_path_factory.mktemp("wal-models")
+    records = make_records(30, seed=21, n_families=3)
+    service = ClassificationService.train(
+        records, feature_types=["ssdeep-file"], n_estimators=10,
+        random_state=1, confidence_threshold=0.1)
+    path = directory / "model.rpm"
+    service.save(path)
+    return path
+
+
+def fresh_copy(source, tmp_path):
+    target = tmp_path / "model.rpm"
+    target.write_bytes(source.read_bytes())
+    return target
+
+
+def sample_blobs(n, *, seed=3):
+    rng = np.random.default_rng(seed)
+    return [(f"wal-{seed}-{i}",
+             bytes(rng.integers(0, 256, size=4096, dtype=np.uint8)),
+             "fam0") for i in range(n)]
+
+
+def member_ids(manager):
+    return list(manager.service.similarity_index.sample_ids)
+
+
+def test_manager_requires_mutable_for_wal(trained_artifact, tmp_path):
+    with pytest.raises(ServingError, match="mutable"):
+        ModelManager(fresh_copy(trained_artifact, tmp_path),
+                     poll_interval=0, wal_dir=tmp_path / "wal")
+
+
+def test_manager_replay_is_idempotent(trained_artifact, tmp_path):
+    model = fresh_copy(trained_artifact, tmp_path)
+    wal_dir = tmp_path / "wal"
+    first = ModelManager(model, poll_interval=0, mutable=True,
+                         wal_dir=wal_dir, cache_size=0)
+    first.ingest_items(sample_blobs(3))
+    first.purge("wal-3-0")
+    baseline = member_ids(first)
+    first.stop()
+
+    # Two successive reboots replay the same tail to the same corpus.
+    for _ in range(2):
+        rebooted = ModelManager(model, poll_interval=0, mutable=True,
+                                wal_dir=wal_dir, cache_size=0)
+        assert member_ids(rebooted) == baseline
+        assert rebooted._replayed_at_boot == 2      # ingest + purge
+        rebooted.stop()
+
+
+def test_manager_publish_checkpoints_and_skips_replay(trained_artifact,
+                                                      tmp_path):
+    model = fresh_copy(trained_artifact, tmp_path)
+    wal_dir = tmp_path / "wal"
+    registry = MetricsRegistry()
+    manager = ModelManager(model, poll_interval=0, mutable=True,
+                           wal_dir=wal_dir, metrics=registry, cache_size=0)
+    manager.ingest_items(sample_blobs(4, seed=11))
+    manager.publish()
+    durability = manager.durability_info()
+    assert durability["last_checkpoint_sequence"] == 1
+    assert durability["last_checkpoint_generation"] == 1
+    assert registry.snapshot()["last_checkpoint_generation"] == 1
+    baseline = member_ids(manager)
+    manager.stop()
+
+    rebooted = ModelManager(model, poll_interval=0, mutable=True,
+                            wal_dir=wal_dir, cache_size=0)
+    assert rebooted._replayed_at_boot == 0          # all checkpointed
+    assert member_ids(rebooted) == baseline
+    rebooted.stop()
+
+
+def test_manager_skips_records_the_artifact_already_covers(trained_artifact,
+                                                           tmp_path):
+    """A crash *between* the artifact replace and the WAL truncation
+    leaves stale records behind; replay must skip them (exactly-once)."""
+
+    model = fresh_copy(trained_artifact, tmp_path)
+    wal_dir = tmp_path / "wal"
+    manager = ModelManager(model, poll_interval=0, mutable=True,
+                           wal_dir=wal_dir, cache_size=0)
+    manager.ingest_items(sample_blobs(3, seed=13))
+    stale = (wal_dir / "wal.log").read_bytes()
+    manager.publish()                               # checkpoint truncates
+    baseline = member_ids(manager)
+    manager.stop()
+
+    # Re-install the pre-checkpoint log: the crash-window state.
+    (wal_dir / "wal.log").write_bytes(stale)
+    rebooted = ModelManager(model, poll_interval=0, mutable=True,
+                            wal_dir=wal_dir, cache_size=0)
+    assert rebooted._replayed_at_boot == 0
+    assert member_ids(rebooted) == baseline         # applied exactly once
+    rebooted.stop()
+
+
+def test_manager_rolls_back_failed_ingest_records(trained_artifact,
+                                                  tmp_path):
+    from repro.exceptions import ValidationError
+
+    model = fresh_copy(trained_artifact, tmp_path)
+    wal_dir = tmp_path / "wal"
+    manager = ModelManager(model, poll_interval=0, mutable=True,
+                           wal_dir=wal_dir, cache_size=0)
+    with pytest.raises(ValidationError, match="unknown class"):
+        manager.ingest_items([("bad", b"\x00" * 64, "no-such-class")])
+    removed, _ = manager.purge("never-there")       # no-op purge
+    assert removed == 0
+    assert manager._wal.last_seq == 0               # nothing kept
+    manager.stop()
+    recovery = WriteAheadLog(wal_dir / "wal.log").recover()
+    assert recovery.records == ()

@@ -1,0 +1,145 @@
+"""Unit tests for the named-failpoint fault injector
+(``repro.testing.faults``): arming, the spec grammar, deterministic
+``@after`` hit counting, the env-var entry point, and the ``crash``
+action's process-kill semantics (in a subprocess).
+"""
+
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.testing import (
+    CRASH_EXIT_CODE,
+    CRASH_SWEEP_SITES,
+    KNOWN_SITES,
+    FaultInjectedError,
+    FaultInjector,
+    arm_from_env,
+    fire,
+    injector,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_injector():
+    injector.disarm()
+    yield
+    injector.disarm()
+
+
+def test_sweep_sites_are_registered_failpoints():
+    assert set(CRASH_SWEEP_SITES) <= set(KNOWN_SITES)
+    assert "reload.parse" not in CRASH_SWEEP_SITES   # reloads don't mutate
+
+
+def test_disarmed_fire_is_a_no_op():
+    private = FaultInjector()
+    private.fire("wal.append")                       # nothing armed
+    fire("wal.append")                               # module fast path
+    assert not private.armed and not injector.armed
+
+
+def test_raise_action_fires_after_grace_hits():
+    private = FaultInjector()
+    private.arm("wal.fsync", "raise", after=2)
+    private.fire("wal.fsync")
+    private.fire("wal.fsync")
+    assert private.hits("wal.fsync") == 2
+    with pytest.raises(FaultInjectedError, match="wal.fsync"):
+        private.fire("wal.fsync")
+    # Still armed: every later hit keeps firing.
+    with pytest.raises(FaultInjectedError):
+        private.fire("wal.fsync")
+    assert private.hits("wal.fsync") == 4
+
+
+def test_delay_action_sleeps_then_continues():
+    private = FaultInjector()
+    private.arm("reload.parse", "delay", delay=0.05)
+    started = time.perf_counter()
+    private.fire("reload.parse")
+    assert time.perf_counter() - started >= 0.04
+
+
+def test_disarm_one_site_leaves_the_others():
+    private = FaultInjector()
+    private.arm("wal.append")
+    private.arm("wal.fsync")
+    private.disarm("wal.append")
+    assert private.armed_sites() == ("wal.fsync",)
+    private.fire("wal.append")                       # disarmed: no-op
+    private.disarm()
+    assert not private.armed
+
+
+def test_arm_rejects_bad_actions_and_counts():
+    private = FaultInjector()
+    with pytest.raises(ValidationError, match="unknown fault action"):
+        private.arm("wal.append", "explode")
+    with pytest.raises(ValidationError, match="after"):
+        private.arm("wal.append", "raise", after=-1)
+    with pytest.raises(ValidationError, match="delay"):
+        private.arm("wal.append", "delay", delay=0)
+
+
+@pytest.mark.parametrize("spec, sites", [
+    ("wal.fsync:crash", ("wal.fsync",)),
+    ("wal.append:raise@3", ("wal.append",)),
+    ("reload.parse:delay=0.25", ("reload.parse",)),
+    ("wal.append:raise, wal.fsync:crash@1", ("wal.append", "wal.fsync")),
+])
+def test_arm_from_spec_grammar(spec, sites):
+    private = FaultInjector()
+    private.arm_from_spec(spec)
+    assert private.armed_sites() == sites
+
+
+def test_arm_from_spec_parses_after_and_delay_values():
+    private = FaultInjector()
+    private.arm_from_spec("wal.append:raise@2,reload.parse:delay=0.5@1")
+    assert private._armed["wal.append"].after == 2
+    point = private._armed["reload.parse"]
+    assert point.action == "delay" and point.delay == 0.5 and point.after == 1
+
+
+@pytest.mark.parametrize("spec", [
+    "no-colon", "only:", ":raise", "wal.append:raise@x",
+    "reload.parse:delay=abc",
+])
+def test_arm_from_spec_rejects_malformed_entries(spec):
+    with pytest.raises(ValidationError):
+        FaultInjector().arm_from_spec(spec)
+
+
+def test_arm_from_env_reads_repro_faults():
+    assert arm_from_env({}) is False
+    assert arm_from_env({"REPRO_FAULTS": ""}) is False
+    assert arm_from_env({"REPRO_FAULTS": "wal.append:raise"}) is True
+    assert injector.armed_sites() == ("wal.append",)
+    with pytest.raises(FaultInjectedError):
+        fire("wal.append")
+
+
+def test_crash_action_exits_with_the_sweep_status():
+    """``crash`` must take the whole process down, bypassing cleanup —
+    verified on a real subprocess, the way the sweep harness uses it."""
+
+    script = (
+        "import atexit, sys\n"
+        "atexit.register(lambda: print('CLEANUP RAN'))\n"
+        "from repro.testing import injector\n"
+        "injector.arm('wal.fsync', 'crash', after=1)\n"
+        "injector.fire('wal.fsync')\n"
+        "print('survived the grace hit', flush=True)\n"
+        "injector.fire('wal.fsync')\n"
+        "print('UNREACHABLE')\n"
+    )
+    proc = subprocess.run([sys.executable, "-c", script],
+                          capture_output=True, text=True, timeout=60)
+    assert proc.returncode == CRASH_EXIT_CODE
+    assert "survived the grace hit" in proc.stdout
+    assert "UNREACHABLE" not in proc.stdout
+    assert "CLEANUP RAN" not in proc.stdout          # os._exit skips atexit

@@ -1,0 +1,70 @@
+"""Tier-1 durability smoke for the write-ahead log.
+
+Runs ``benchmarks/bench_wal.py`` at reduced cost so a regression that
+loses an acknowledged ingest across a SIGKILL, duplicates one on
+replay, or erodes the group-commit advantage fails the default test
+run, not just a manually-invoked benchmark.  The full-cost
+configuration is marked ``slow`` (``pytest -m slow`` opts in).
+"""
+
+import importlib.util
+import sys
+import tempfile
+from pathlib import Path
+
+import pytest
+
+_BENCH_PATH = Path(__file__).resolve().parents[1] / "benchmarks" / \
+    "bench_wal.py"
+
+
+@pytest.fixture(scope="module")
+def bench():
+    spec = importlib.util.spec_from_file_location("bench_wal", _BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("bench_wal", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_group_commit_beats_per_record_fsync(bench):
+    with tempfile.TemporaryDirectory() as tmp:
+        per_record_seconds, group_seconds = bench.run_append_phases(
+            192, 16, tmp)
+    # The real benchmark enforces the 3x floor; the tier-1 smoke uses a
+    # conservative 2x so a loaded CI machine cannot flake it while a
+    # genuine loss of group commit (1x) still fails.
+    assert group_seconds > 0 and per_record_seconds > 0
+    assert per_record_seconds / group_seconds >= 2.0, \
+        (f"group commit only {per_record_seconds / group_seconds:.2f}x "
+         f"faster than per-record fsync")
+
+
+def test_crash_after_ack_loses_nothing(bench):
+    with tempfile.TemporaryDirectory() as tmp:
+        acked, recovered, duplicates = bench.run_crash_after_ack(
+            3, tmp, seed=7)
+    assert acked > 0
+    assert recovered == acked, \
+        f"SIGKILL after ack lost {acked - recovered} of {acked} ingests"
+    assert duplicates == 0, \
+        f"recovery duplicated {duplicates} acked ingests"
+
+
+def test_benchmark_cli_mode(bench, capsys, tmp_path, monkeypatch):
+    monkeypatch.setattr(bench, "OUTPUT_DIR", tmp_path)
+    code = bench.main(["--quick", "--records", "96", "--min-speedup", "2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "group-commit speedup" in out
+    assert (tmp_path / "bench_wal.txt").is_file()
+    assert (tmp_path / "BENCH_wal.json").is_file()
+
+
+@pytest.mark.slow
+def test_full_benchmark_meets_speedup_floor(bench):
+    """The full configuration: 768 records plus the crash check, >=3x."""
+
+    result = bench.run(768, 16, 4, True)
+    assert result.speedup >= 3.0
+    assert result.crash_durable
