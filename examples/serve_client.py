@@ -22,7 +22,10 @@ then run::
 
 Drop executables into SPOOL_DIR and watch the decisions arrive.  The
 503 backpressure path is handled the way a well-behaved collector
-should: honour ``Retry-After`` and resubmit.
+should: honour ``Retry-After`` and resubmit.  Every batch line also
+prints the server's ``X-Request-Id``, so a slow batch seen client-side
+can be looked up in the server's ``GET /debug/trace`` ring, its
+decision-log lines and its slow-request log entries.
 """
 
 from __future__ import annotations
@@ -39,8 +42,13 @@ from pathlib import Path
 BATCH_LIMIT = 32                 # items per request (server caps at 64)
 
 
-def classify(url: str, items: list[tuple[str, bytes]]) -> dict:
-    """POST one batch, honouring 503 + Retry-After with resubmission."""
+def classify(url: str, items: list[tuple[str, bytes]]) -> tuple[dict, str]:
+    """POST one batch, honouring 503 + Retry-After with resubmission.
+
+    Returns ``(payload, request_id)`` — the id is the server's
+    ``X-Request-Id`` header, the key that correlates this client-side
+    call with the server's trace ring and decision log.
+    """
 
     body = json.dumps({"items": [
         {"id": sample_id, "data": base64.b64encode(data).decode("ascii")}
@@ -51,13 +59,15 @@ def classify(url: str, items: list[tuple[str, bytes]]) -> dict:
     while True:
         try:
             with urllib.request.urlopen(request) as response:
-                return json.load(response)
+                request_id = response.headers.get("X-Request-Id", "-")
+                return json.load(response), request_id
         except urllib.error.HTTPError as exc:
             if exc.code != 503:
                 raise
             retry_after = float(exc.headers.get("Retry-After", "1"))
-            print(f"server busy, retrying in {retry_after:.0f} s ...",
-                  file=sys.stderr)
+            request_id = exc.headers.get("X-Request-Id", "-")
+            print(f"server busy (request {request_id}), retrying in "
+                  f"{retry_after:.0f} s ...", file=sys.stderr)
             time.sleep(retry_after)
 
 
@@ -70,11 +80,16 @@ def poll_loop(spool: Path, url: str, interval: float) -> None:
                        if p.is_file() and p not in seen)
         for start in range(0, len(fresh), BATCH_LIMIT):
             batch = fresh[start:start + BATCH_LIMIT]
-            payload = classify(url, [(str(p.relative_to(spool)),
-                                      p.read_bytes()) for p in batch])
+            started = time.monotonic()
+            payload, request_id = classify(
+                url, [(str(p.relative_to(spool)),
+                       p.read_bytes()) for p in batch])
+            elapsed_ms = (time.monotonic() - started) * 1000.0
             if payload["model_generation"] != generation:
                 generation = payload["model_generation"]
                 print(f"-- serving model generation {generation}")
+            print(f"-- batch of {len(batch)}: {elapsed_ms:.0f} ms, "
+                  f"request {request_id}")
             for decision in payload["decisions"]:
                 marker = (" " if decision["decision"] == "within-allocation"
                           else "!")

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Quick perf-regression smoke for the tracing layer: runs the
+# tracing-on-vs-off benchmark in its small configuration and fails
+# (non-zero exit) when served decisions diverge, traces stop covering
+# the canonical stages, a stage sum exceeds its wall time, or tracing
+# costs more than the overhead ceiling.  Tier-1 runs the same checks
+# via tests/test_tracing_bench_smoke.py; the 5% acceptance ceiling is
+# the benchmark's default (later flags win, so callers can override
+# via "$@").
+set -eu
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+PYTHONPATH="$repo_root/src${PYTHONPATH:+:$PYTHONPATH}" \
+    exec python "$repo_root/benchmarks/bench_tracing.py" --quick "$@"

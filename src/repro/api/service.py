@@ -52,6 +52,7 @@ from ..features.pipeline import FeatureExtractionPipeline
 from ..features.records import SampleFeatures
 from ..index import ShardedSimilarityIndex, SimilarityIndex
 from ..logging_utils import get_logger
+from ..observability.trace import span
 
 __all__ = ["Decision", "ClassificationService", "render_report",
            "list_directory",
@@ -402,11 +403,16 @@ class ClassificationService:
         if not items:
             return []
         self._check_mutable()
-        extracted = self._pipeline.extract_bytes(
-            [(sample_id, data) for sample_id, data, _ in items])
+        with span("extract_features"):
+            extracted = self._pipeline.extract_bytes(
+                [(sample_id, data) for sample_id, data, _ in items])
         labelled = [replace(record, class_name=str(class_name))
                     for record, (_, _, class_name) in zip(extracted, items)]
-        return self.ingest_features(labelled)
+        # ingest_apply covers only the corpus application, a *sibling*
+        # of extract_features — nesting one top-level span inside
+        # another would double-count the time in stage rollups.
+        with span("ingest_apply"):
+            return self.ingest_features(labelled)
 
     def purge(self, sample_id: str) -> int:
         """Tombstone every corpus member under ``sample_id``.
@@ -502,7 +508,9 @@ class ClassificationService:
         pairs = list(items.items()) if isinstance(items, Mapping) else list(items)
         if not pairs:
             return []
-        return self._decide(self._pipeline.extract_bytes(pairs))
+        with span("extract_features"):
+            features = self._pipeline.extract_bytes(pairs)
+        return self._decide(features)
 
     def classify_directory(self, directory: str | os.PathLike,
                            pattern: str = "**/*") -> list[Decision]:

@@ -271,6 +271,25 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECS",
                        help="seconds between lifecycle policy sweeps "
                             "(default 5)")
+    serve.add_argument("--trace-sample", type=float, default=1.0,
+                       metavar="RATE",
+                       help="fraction of requests to trace into "
+                            "/debug/trace and the per-stage histograms "
+                            "(0 disables tracing; default 1.0)")
+    serve.add_argument("--slow-request-ms", type=float, default=1000.0,
+                       metavar="MS",
+                       help="traced requests at least this slow land in "
+                            "the slow ring and emit a structured "
+                            "slow-request log line (0 disables; "
+                            "default 1000)")
+    serve.add_argument("--trace-ring", type=int, default=128, metavar="N",
+                       help="how many recent traces /debug/trace keeps "
+                            "(default 128)")
+    serve.add_argument("--enable-profiling", action="store_true",
+                       help="allow GET /debug/profile?seconds=N (cProfile "
+                            "over the coalescer workers; costs throughput "
+                            "while a window is open — see the README's "
+                            "security caveats)")
 
     ingest = sub.add_parser(
         "ingest",
@@ -610,12 +629,19 @@ def _cmd_serve(args) -> int:
         host=args.host, port=args.port, workers=args.workers,
         max_batch=args.max_batch, queue_depth=args.queue_depth,
         enable_ingest=args.ingest,
+        trace_sample=args.trace_sample,
+        slow_request_ms=args.slow_request_ms,
+        trace_ring=args.trace_ring,
+        enable_profiling=args.enable_profiling,
         **config_kwargs)
     server = ClassificationServer(manager, config, metrics=registry,
                                   decision_log=decision_log,
                                   lifecycle=lifecycle)
     server.start()
-    endpoints = "POST /classify, GET /healthz, GET /metrics"
+    endpoints = "POST /classify, GET /healthz, GET /metrics, " \
+                "GET /debug/trace"
+    if args.enable_profiling:
+        endpoints += ", GET /debug/profile"
     if args.ingest:
         endpoints += ", POST /ingest, DELETE /samples/<id>"
     mode = f"load={manager.load_mode}"

@@ -27,6 +27,7 @@ from ..features.records import SampleFeatures
 from ..features.similarity import SimilarityFeatureBuilder, SimilarityMatrix
 from ..ml.base import BaseEstimator, ClassifierMixin, check_is_fitted
 from ..ml.forest import RandomForestClassifier
+from ..observability.trace import span
 
 __all__ = ["ThresholdRandomForest", "FuzzyHashClassifier"]
 
@@ -315,8 +316,9 @@ class FuzzyHashClassifier(BaseEstimator, ClassifierMixin):
 
         check_is_fitted(self, "model_")
         matrix = self.transform(features)
-        return self.model_.predict_with_confidence(
-            matrix.X, confidence_threshold=confidence_threshold)
+        with span("forest_predict"):
+            return self.model_.predict_with_confidence(
+                matrix.X, confidence_threshold=confidence_threshold)
 
     def predict_proba(self, features: Sequence[SampleFeatures]) -> np.ndarray:
         check_is_fitted(self, "model_")

@@ -67,6 +67,7 @@ from ..hashing.vector import (VECTOR_WORDS, VectorDigest,
                               is_vector_digest, is_vector_feature_type,
                               popcount_u8, score_from_distance)
 from ..logging_utils import get_logger
+from ..observability.trace import span
 from .knn import PackedDigestStore
 from .postings import ArrayPostings, SignaturePool, block_prefix64, \
     hash_windows, signature_windows
@@ -495,30 +496,34 @@ class SimilarityIndex:
 
         digests_by_type = {ft: list(digests)
                            for ft, digests in digests_by_type.items()}
-        batch = self.collect_candidates(digests_by_type, exclude=exclude)
+        with span("candidate_gen"):
+            batch = self.collect_candidates(digests_by_type, exclude=exclude)
         matrices = {ft: np.zeros((batch.n_queries[ft], self.n_members),
                                  dtype=np.float64)
                     for ft in digests_by_type}
-        if batch.left:
-            pair_scores = self._score_signature_pairs(batch.left, batch.right,
-                                                      batch.block_sizes)
-            _LOG.debug("scored %d unique signature pairs for %d feature types",
-                       len(batch.left), len(digests_by_type))
+        with span("dp_scoring"):
+            if batch.left:
+                pair_scores = self._score_signature_pairs(
+                    batch.left, batch.right, batch.block_sizes)
+                _LOG.debug("scored %d unique signature pairs for %d feature "
+                           "types", len(batch.left), len(digests_by_type))
 
-            for feature_type, (pair_queries, pair_members,
-                               pair_slots) in batch.scatter.items():
-                if not len(pair_queries):
-                    continue
-                # A (query, member) cell keeps its best comparable pair.
-                np.maximum.at(matrices[feature_type],
-                              (pair_queries, pair_members),
-                              pair_scores[pair_slots])
-        # Vector-family scores arrive pre-computed from the packed sweep.
-        for feature_type, (vec_queries, vec_members,
-                           vec_scores) in batch.vector.items():
-            if len(vec_queries):
-                np.maximum.at(matrices[feature_type],
-                              (vec_queries, vec_members), vec_scores)
+                for feature_type, (pair_queries, pair_members,
+                                   pair_slots) in batch.scatter.items():
+                    if not len(pair_queries):
+                        continue
+                    # A (query, member) cell keeps its best comparable
+                    # pair.
+                    np.maximum.at(matrices[feature_type],
+                                  (pair_queries, pair_members),
+                                  pair_scores[pair_slots])
+            # Vector-family scores arrive pre-computed from the packed
+            # sweep.
+            for feature_type, (vec_queries, vec_members,
+                               vec_scores) in batch.vector.items():
+                if len(vec_queries):
+                    np.maximum.at(matrices[feature_type],
+                                  (vec_queries, vec_members), vec_scores)
         return matrices
 
     def collect_candidates(self, digests_by_type: Mapping[str, Sequence[str]],

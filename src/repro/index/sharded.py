@@ -54,6 +54,7 @@ from ..hashing.rolling import ROLLING_WINDOW
 from ..hashing.vector import (VectorDigest, is_vector_digest, popcount_u8,
                               score_from_distance)
 from ..logging_utils import get_logger
+from ..observability.trace import span
 from ..parallel.backend import ExecutionBackend, resolve_backend
 from ..parallel.partition import chunk_indices
 from .core import (
@@ -503,9 +504,11 @@ class ShardedSimilarityIndex:
         digests_by_type = {ft: list(digests)
                            for ft, digests in digests_by_type.items()}
         self._refresh()
-        batches = self._collect_shard_batches(digests_by_type,
-                                              exclude_global=exclude)
-        shard_scores = self._score_batches(batches)
+        with span("candidate_gen"):
+            batches = self._collect_shard_batches(digests_by_type,
+                                                  exclude_global=exclude)
+        with span("dp_scoring"):
+            shard_scores = self._score_batches(batches)
         n_members = len(self._survivors)
         matrices = {ft: np.zeros((batches[0].n_queries[ft], n_members),
                                  dtype=np.float64)
@@ -1085,8 +1088,11 @@ class ShardedSimilarityIndex:
                         if owner == shard_idx:
                             locals_.add(local)
                     exclude.append(locals_)
-            batches.append(shard.collect_candidates(digests_by_type,
-                                                    exclude=exclude))
+            # Detail span: attributes the enclosing candidate_gen stage
+            # per shard (excluded from per-trace stage rollups).
+            with span("candidate_gen", shard=shard_idx):
+                batches.append(shard.collect_candidates(digests_by_type,
+                                                        exclude=exclude))
         return batches
 
     def _score_batches(self, batches: Sequence[CandidateBatch]
@@ -1101,9 +1107,12 @@ class ShardedSimilarityIndex:
                 or total < _MIN_PAIRS_TO_FAN_OUT:
             for i in busy:
                 batch = batches[i]
-                scores[i] = score_signature_pairs(
-                    batch.left, batch.right, batch.block_sizes,
-                    engine=self._engine)
+                # Per-shard detail span (serial path only: the fanned
+                # path scores remotely, where spans cannot attach).
+                with span("dp_scoring", shard=i):
+                    scores[i] = score_signature_pairs(
+                        batch.left, batch.right, batch.block_sizes,
+                        engine=self._engine)
             return scores
         payloads = [(batches[i].left, batches[i].right,
                      batches[i].block_sizes) for i in busy]

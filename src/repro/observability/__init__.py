@@ -1,0 +1,48 @@
+"""End-to-end request observability for the serving tier.
+
+Three layers, each independently testable:
+
+* :mod:`repro.observability.trace` — request ids, contextvar-carried
+  monotonic-clock spans, bounded trace rings and the per-stage
+  histogram feed (``GET /debug/trace``);
+* :mod:`repro.observability.promtext` — Prometheus text exposition
+  (format 0.0.4) for the metrics registry plus the minimal parser the
+  test suite and CI validate the endpoint with
+  (``GET /metrics?format=prometheus``);
+* :mod:`repro.observability.profiler` — on-demand cProfile windows
+  over the coalescer workers (``GET /debug/profile?seconds=N``).
+"""
+
+from .profiler import ProfilerBusyError, WorkerProfiler
+from .promtext import parse_prometheus, render_prometheus
+from .trace import (
+    REQUEST_ID_HEADER,
+    RequestTrace,
+    Span,
+    SpanCollector,
+    Tracer,
+    activate,
+    current_sink,
+    deactivate,
+    new_request_id,
+    record_shipped_spans,
+    span,
+)
+
+__all__ = [
+    "ProfilerBusyError",
+    "WorkerProfiler",
+    "parse_prometheus",
+    "render_prometheus",
+    "REQUEST_ID_HEADER",
+    "RequestTrace",
+    "Span",
+    "SpanCollector",
+    "Tracer",
+    "activate",
+    "current_sink",
+    "deactivate",
+    "new_request_id",
+    "record_shipped_spans",
+    "span",
+]

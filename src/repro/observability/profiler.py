@@ -1,0 +1,155 @@
+"""On-demand cProfile over the coalescer worker threads.
+
+``GET /debug/profile?seconds=N`` answers the question ``/debug/trace``
+cannot: *why* is a stage slow — which Python frames is the scoring
+pass actually burning its time in?  The handler opens a profiling
+window; for its duration every coalescer worker wraps each batch it
+runs in a per-thread :class:`cProfile.Profile` (cProfile instruments
+one thread only, so each worker thread needs its own instance), and
+when the window closes the per-thread profiles are merged with
+:mod:`pstats` and rendered as the plain-text response.
+
+The hook the batcher calls is a single attribute read when no window
+is open — profiling costs nothing until an operator asks for it — and
+the whole endpoint is refused unless the server was started with
+``--enable-profiling`` (profiles leak code structure and hurt
+throughput while open; see the README's security caveats).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import threading
+import time
+
+from ..exceptions import ServingError
+
+__all__ = ["ProfilerBusyError", "WorkerProfiler"]
+
+#: Upper bound on one profiling window (seconds).
+MAX_PROFILE_SECONDS = 60.0
+
+#: How long closing a window waits for in-flight profiled batches.
+DRAIN_TIMEOUT_SECONDS = 10.0
+
+
+class ProfilerBusyError(ServingError):
+    """A profiling window is already open (one at a time)."""
+
+
+class _NoopProfile:
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NOOP = _NoopProfile()
+
+
+class _Session:
+    """One profiling window: per-thread profiles plus a drain latch."""
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._profiles: list[cProfile.Profile] = []
+        self._active = 0
+        self._idle = threading.Condition(self._lock)
+        self.batches = 0
+
+    def _thread_profile(self) -> cProfile.Profile:
+        profile = getattr(self._local, "profile", None)
+        if profile is None:
+            profile = self._local.profile = cProfile.Profile()
+            with self._lock:
+                self._profiles.append(profile)
+        return profile
+
+    def record(self):
+        return _SessionRecord(self)
+
+    def render(self, sort: str, limit: int) -> str:
+        # Wait (bounded) for batches that started inside the window to
+        # disable their profiles — pstats cannot snapshot an enabled
+        # profile.
+        deadline = time.monotonic() + DRAIN_TIMEOUT_SECONDS
+        with self._idle:
+            while self._active and time.monotonic() < deadline:
+                self._idle.wait(timeout=0.1)
+            profiles = list(self._profiles)
+            batches = self.batches
+        if not profiles:
+            return ("no batches ran during the profiling window; "
+                    "send traffic while profiling\n")
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiles[0], stream=buffer)
+        for profile in profiles[1:]:
+            stats.add(profile)
+        stats.sort_stats(sort)
+        buffer.write(f"profiled {batches} batch(es) across "
+                     f"{len(profiles)} worker thread(s)\n")
+        stats.print_stats(limit)
+        return buffer.getvalue()
+
+
+class _SessionRecord:
+    __slots__ = ("_session", "_profile")
+
+    def __init__(self, session: _Session) -> None:
+        self._session = session
+
+    def __enter__(self):
+        self._profile = self._session._thread_profile()
+        with self._session._idle:
+            self._session._active += 1
+            self._session.batches += 1
+        self._profile.enable()
+        return None
+
+    def __exit__(self, *exc):
+        self._profile.disable()
+        with self._session._idle:
+            self._session._active -= 1
+            self._session._idle.notify_all()
+        return False
+
+
+class WorkerProfiler:
+    """The coalescer-facing hook and the ``/debug/profile`` driver."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._session: _Session | None = None
+
+    def profile(self):
+        """Context manager wrapping one batch; no-op between windows."""
+
+        session = self._session
+        if session is None:
+            return _NOOP
+        return session.record()
+
+    def run(self, seconds: float, *, sort: str = "cumulative",
+            limit: int = 40) -> str:
+        """Open a window for ``seconds``, then render merged pstats."""
+
+        seconds = float(seconds)
+        if not 0 < seconds <= MAX_PROFILE_SECONDS:
+            raise ValueError(
+                f"seconds must be within (0, {MAX_PROFILE_SECONDS:g}]")
+        with self._lock:
+            if self._session is not None:
+                raise ProfilerBusyError(
+                    "a profiling window is already open")
+            session = self._session = _Session()
+        try:
+            time.sleep(seconds)
+        finally:
+            self._session = None
+        return session.render(sort, limit)

@@ -1,0 +1,224 @@
+"""Prometheus text exposition (format 0.0.4) for the metrics registry.
+
+``GET /metrics`` keeps its JSON snapshot (scripts and the test suite
+depend on that shape), but a real scrape pipeline wants the Prometheus
+text format: ``# TYPE`` headers, one sample per line, histograms as
+cumulative ``_bucket{le="..."}`` series plus ``_sum`` and ``_count``.
+:func:`render_prometheus` produces it from
+:meth:`MetricsRegistry.collect`, whose per-instrument states are read
+under a single lock hold each — a scrape never sees a histogram whose
+bucket total disagrees with its ``_count``.
+
+:func:`parse_prometheus` is the minimal inverse used by the test suite
+and CI to validate the endpoint's output: it checks line shape, label
+quoting, ``# TYPE`` consistency, bucket monotonicity and the
+``_bucket``/``_sum``/``_count`` triplet, returning the samples it
+parsed.  It is a format checker, not a full client.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from ..exceptions import ValidationError
+
+__all__ = ["render_prometheus", "parse_prometheus", "CONTENT_TYPE"]
+
+#: The scrape Content-Type advertised for exposition format 0.0.4.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(\S+)$")
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_label(value: str) -> str:
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _render_labels(labels: dict) -> str:
+    """``{a="x",b="y"}`` with empty-valued labels dropped; "" if none."""
+
+    pairs = [f'{name}="{_escape_label(value)}"'
+             for name, value in labels.items() if str(value) != ""]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _merge_labels(labels: dict, **extra) -> str:
+    merged = dict(labels)
+    merged.update(extra)
+    return _render_labels(merged)
+
+
+def render_prometheus(registry) -> str:
+    """The whole registry in exposition format 0.0.4 (trailing \\n)."""
+
+    lines: list[str] = []
+    for name, kind, series in registry.collect():
+        if not _NAME_RE.match(name):        # pragma: no cover — registry
+            continue                        # names are code-controlled
+        lines.append(f"# TYPE {name} {kind}")
+        for labels, state in series:
+            if kind in ("counter", "gauge"):
+                lines.append(f"{name}{_render_labels(labels)} "
+                             f"{_format_value(state)}")
+                continue
+            # Histogram: cumulative buckets, then _sum and _count.
+            cumulative = 0
+            for bound, bucket_count in zip(
+                    list(state["bounds"]) + [math.inf], state["counts"]):
+                cumulative += bucket_count
+                le = "+Inf" if math.isinf(bound) else _format_value(bound)
+                lines.append(f"{name}_bucket{_merge_labels(labels, le=le)} "
+                             f"{cumulative}")
+            lines.append(f"{name}_sum{_render_labels(labels)} "
+                         f"{_format_value(state['sum'])}")
+            lines.append(f"{name}_count{_render_labels(labels)} "
+                         f"{state['count']}")
+    return "\n".join(lines) + "\n"
+
+
+# ------------------------------------------------------------------ parse
+def _parse_labels(raw: str) -> dict:
+    labels: dict[str, str] = {}
+    remainder = raw.strip()
+    while remainder:
+        match = _LABEL_RE.match(remainder)
+        if match is None:
+            raise ValidationError(f"malformed label pair near {remainder!r}")
+        name, value = match.group(1), match.group(2)
+        if name in labels:
+            raise ValidationError(f"duplicate label {name!r}")
+        labels[name] = (value.replace("\\n", "\n").replace('\\"', '"')
+                        .replace("\\\\", "\\"))
+        remainder = remainder[match.end():]
+        if remainder.startswith(","):
+            remainder = remainder[1:]
+        elif remainder:
+            raise ValidationError(f"expected ',' between labels, got "
+                                  f"{remainder!r}")
+    return labels
+
+
+def _parse_value(raw: str) -> float:
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    if raw == "NaN":
+        return math.nan
+    try:
+        return float(raw)
+    except ValueError as exc:
+        raise ValidationError(f"unparseable sample value {raw!r}") from exc
+
+
+def parse_prometheus(text: str) -> dict:
+    """Validate exposition text; ``{family: {"type", "samples"}}``.
+
+    ``samples`` is a list of ``(sample_name, labels, value)``.  Raises
+    :class:`ValidationError` on malformed lines, samples without a
+    preceding ``# TYPE``, non-monotonic histogram buckets, or
+    histograms missing their ``_sum``/``_count``/``+Inf`` samples.
+    """
+
+    families: dict[str, dict] = {}
+    types: dict[str, str] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    raise ValidationError(
+                        f"line {lineno}: malformed TYPE line {line!r}")
+                _, _, name, kind = parts
+                if kind not in ("counter", "gauge", "histogram",
+                                "summary", "untyped"):
+                    raise ValidationError(
+                        f"line {lineno}: unknown metric type {kind!r}")
+                if name in types:
+                    raise ValidationError(
+                        f"line {lineno}: duplicate TYPE for {name!r}")
+                types[name] = kind
+                families[name] = {"type": kind, "samples": []}
+            continue                       # HELP and comments pass through
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValidationError(f"line {lineno}: malformed sample "
+                                  f"{line!r}")
+        sample_name = match.group(1)
+        labels = _parse_labels(match.group(3) or "")
+        value = _parse_value(match.group(4))
+        family = sample_name
+        if family not in types:
+            for suffix in ("_bucket", "_sum", "_count"):
+                if family.endswith(suffix) and family[:-len(suffix)] in types:
+                    family = family[:-len(suffix)]
+                    break
+        if family not in types:
+            raise ValidationError(
+                f"line {lineno}: sample {sample_name!r} has no # TYPE")
+        kind = types[family]
+        if (kind == "histogram" and sample_name == family + "_bucket"
+                and "le" not in labels):
+            raise ValidationError(
+                f"line {lineno}: histogram bucket without an le label")
+        families[family]["samples"].append((sample_name, labels, value))
+    _check_histograms(families)
+    return families
+
+
+def _check_histograms(families: dict) -> None:
+    for name, family in families.items():
+        if family["type"] != "histogram":
+            continue
+        series: dict[tuple, list] = {}
+        have_sum: set[tuple] = set()
+        have_count: dict[tuple, float] = {}
+        for sample_name, labels, value in family["samples"]:
+            key = tuple(sorted((k, v) for k, v in labels.items()
+                               if k != "le"))
+            if sample_name == name + "_bucket":
+                series.setdefault(key, []).append(
+                    (_parse_value(labels["le"]), value))
+            elif sample_name == name + "_sum":
+                have_sum.add(key)
+            elif sample_name == name + "_count":
+                have_count[key] = value
+        if not series:
+            raise ValidationError(f"histogram {name!r} has no buckets")
+        for key, buckets in series.items():
+            if key not in have_sum or key not in have_count:
+                raise ValidationError(
+                    f"histogram {name!r} series {key!r} is missing its "
+                    f"_sum or _count sample")
+            buckets.sort(key=lambda pair: pair[0])
+            if not math.isinf(buckets[-1][0]):
+                raise ValidationError(
+                    f"histogram {name!r} series {key!r} has no +Inf bucket")
+            values = [count for _, count in buckets]
+            if any(b > a for a, b in zip(values[1:], values)):
+                raise ValidationError(
+                    f"histogram {name!r} series {key!r} buckets are not "
+                    f"cumulative")
+            if values[-1] != have_count[key]:
+                raise ValidationError(
+                    f"histogram {name!r} series {key!r}: +Inf bucket "
+                    f"({values[-1]}) disagrees with _count "
+                    f"({have_count[key]})")

@@ -26,6 +26,14 @@ Layers (each independently testable):
 * :mod:`repro.serving.decision_log` — rotating JSONL audit trail;
 * :mod:`repro.serving.server` — the HTTP front end (``repro-classify
   serve`` drives it).
+
+Request tracing, Prometheus exposition and on-demand profiling live in
+the sibling :mod:`repro.observability` package: the server issues an
+``X-Request-Id`` per request, samples traces through the serving path
+(``GET /debug/trace``), renders the metrics registry as exposition
+format 0.0.4 (``GET /metrics?format=prometheus``) and can profile the
+coalescer workers (``GET /debug/profile``, behind
+``--enable-profiling``).
 """
 
 from .batcher import RequestCoalescer

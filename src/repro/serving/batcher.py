@@ -33,12 +33,14 @@ every handler still sees homogeneous work.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from concurrent.futures import Future
 from typing import Callable, Mapping, Sequence
 
 from ..exceptions import ServerClosedError, ServerOverloadedError
 from ..logging_utils import get_logger
+from ..observability import trace as trace_mod
 from .metrics import DEFAULT_BATCH_BUCKETS
 
 __all__ = ["RequestCoalescer"]
@@ -48,14 +50,23 @@ _LOG = get_logger("serving.batcher")
 
 class _PendingRequest:
     """One admitted request: its work items, its kind and the future
-    resolving to ``(results, generation)`` with results in item order."""
+    resolving to ``(results, generation)`` with results in item order.
 
-    __slots__ = ("items", "kind", "future")
+    ``trace`` (optional) is the submitting request's
+    :class:`~repro.observability.trace.RequestTrace`; the worker that
+    drains this request records its queue wait and copies the shared
+    batch-stage spans into it *before* resolving the future, so the
+    handler thread never reads the span list while it is written.
+    """
 
-    def __init__(self, items: Sequence, kind: str) -> None:
+    __slots__ = ("items", "kind", "future", "trace", "submitted")
+
+    def __init__(self, items: Sequence, kind: str, trace=None) -> None:
         self.items = list(items)
         self.kind = kind
         self.future: Future = Future()
+        self.trace = trace
+        self.submitted = time.perf_counter()
 
 
 class RequestCoalescer:
@@ -82,7 +93,7 @@ class RequestCoalescer:
 
     def __init__(self, handlers: "Callable | Mapping[str, Callable]", *,
                  max_batch: int = 32, queue_depth: int = 256,
-                 workers: int = 2, metrics=None) -> None:
+                 workers: int = 2, metrics=None, profiler=None) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if queue_depth < 1:
@@ -102,6 +113,9 @@ class RequestCoalescer:
         self._queued_items = 0
         self._closing = False
         self._metrics = metrics
+        # Optional WorkerProfiler: wraps each handler call so one
+        # /debug/profile window captures every coalescer worker.
+        self._profiler = profiler
         if metrics is not None:
             self._queue_gauge = metrics.gauge("queue_items")
             self._batches = metrics.counter("batches_total")
@@ -117,9 +131,12 @@ class RequestCoalescer:
             worker.start()
 
     # ---------------------------------------------------------------- submit
-    def submit(self, items: Sequence, *, kind: str = "classify") -> Future:
+    def submit(self, items: Sequence, *, kind: str = "classify",
+               trace=None) -> Future:
         """Admit one request; its future resolves to ``(results, gen)``.
 
+        ``trace``, when given, receives the request's ``queue_wait``
+        span and the batch-stage spans of whichever batch serves it.
         Raises :class:`ServerOverloadedError` when the queue cannot take
         the whole request and :class:`ServerClosedError` once draining
         has begun.
@@ -130,7 +147,7 @@ class RequestCoalescer:
         if kind not in self._handlers:
             raise ValueError(f"unknown request kind {kind!r}; handlers are "
                              f"registered for {sorted(self._handlers)}")
-        request = _PendingRequest(items, kind)
+        request = _PendingRequest(items, kind, trace)
         with self._lock:
             if self._closing:
                 raise ServerClosedError("server is shutting down")
@@ -199,6 +216,12 @@ class RequestCoalescer:
             batch = self._take_batch()
             if batch is None:
                 return
+            drained = time.perf_counter()
+            traced = [request for request in batch
+                      if request.trace is not None]
+            for request in traced:
+                request.trace.add("queue_wait", request.submitted,
+                                  drained - request.submitted)
             items = [item for request in batch for item in request.items]
             if self._metrics is not None:
                 self._batches.inc()
@@ -206,21 +229,48 @@ class RequestCoalescer:
                 if len(batch) > 1:
                     self._coalesced.inc(len(batch))
             handler = self._handlers[batch[0].kind]
+            # Batch-stage spans are shared across the batch's requests:
+            # every member waited for the whole pass, so the shared
+            # durations are each member's honest attribution.  The
+            # collector doubles as the contextvar sink the model pass
+            # records its stages (candidate_gen, dp_scoring, ...) into.
+            collector = trace_mod.SpanCollector() if traced else None
+            token = (trace_mod.activate(collector)
+                     if collector is not None else None)
             try:
-                results, generation = handler(items)
+                if collector is not None:
+                    collector.add("batch_assembly", drained,
+                                  time.perf_counter() - drained,
+                                  {"batch_items": len(items),
+                                   "batch_requests": len(batch)})
+                profile = (self._profiler.profile()
+                           if self._profiler is not None else None)
+                if profile is not None:
+                    with profile:
+                        results, generation = handler(items)
+                else:
+                    results, generation = handler(items)
                 if len(results) != len(items):
                     raise ServerClosedError(
                         f"{batch[0].kind} pass returned {len(results)} "
                         f"results for {len(items)} items")
             except BaseException as exc:  # noqa: BLE001 — fan the failure out
                 _LOG.warning("batch of %d items failed: %s", len(items), exc)
+                if token is not None:
+                    trace_mod.deactivate(token)
                 for request in batch:
+                    if request.trace is not None:
+                        request.trace.extend(collector.spans)
                     if not request.future.cancelled():
                         request.future.set_exception(exc)
                 continue
+            if token is not None:
+                trace_mod.deactivate(token)
             offset = 0
             for request in batch:
                 span = results[offset:offset + len(request.items)]
                 offset += len(request.items)
+                if request.trace is not None:
+                    request.trace.extend(collector.spans)
                 if not request.future.cancelled():
                     request.future.set_result((span, generation))

@@ -18,7 +18,12 @@ the corpus it landed in::
     {"ingested": [{"sample_id": ..., "class": ..., "sequence": ...}],
      "model_generation": 2,
      "corpus_members": 41,
-     "count": 1}
+     "count": 1,
+     "request_id": "6f1f0b9c63d1a27e"}
+
+``request_id`` echoes the server-edge id (also the ``X-Request-Id``
+response header), so an acked ingest can be correlated with the
+server's trace ring and slow-request log lines.
 
 ``DELETE /samples/<id>`` (the purge verb) has no body; the sample id
 lives URL-encoded in the path and every corpus member registered under
@@ -125,18 +130,23 @@ def parse_purge_path(path: str) -> str:
 
 
 def encode_ingest_report(reports: Sequence[dict], generation: int,
-                         members: int, *, durable: bool = False) -> bytes:
+                         members: int, *, durable: bool = False,
+                         request_id: str | None = None) -> bytes:
     """Serialise one ingest response body (reports in input order).
 
     ``durable`` reports whether the batch was fsynced to a write-ahead
     log before this acknowledgement — i.e. whether the ingest survives
-    a crash of the serving process.
+    a crash of the serving process.  ``request_id`` stamps the
+    server-edge id into the ack for trace correlation.
     """
 
-    return json.dumps({
+    payload = {
         "ingested": list(reports),
         "model_generation": int(generation),
         "corpus_members": int(members),
         "count": len(reports),
         "durable": bool(durable),
-    }, sort_keys=True).encode("utf-8")
+    }
+    if request_id is not None:
+        payload["request_id"] = str(request_id)
+    return json.dumps(payload, sort_keys=True).encode("utf-8")

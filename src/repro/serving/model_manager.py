@@ -65,6 +65,7 @@ from ..exceptions import (
     ValidationError,
 )
 from ..logging_utils import get_logger
+from ..observability.trace import span
 from ..testing import faults
 from .wal import WriteAheadLog
 from .workers import ScoringWorkerPool
@@ -383,7 +384,11 @@ class ModelManager:
         pool = self._worker_pool
         if pool is not None:
             try:
-                return pool.classify(items, signature), generation
+                # The dispatch span covers IPC + remote scoring; the
+                # workers' own stage spans ship back labeled with their
+                # pid, so they attribute (not double-count) this time.
+                with span("worker_dispatch"):
+                    return pool.classify(items, signature), generation
             except ParallelExecutionError as exc:
                 _LOG.warning(
                     "scoring worker pool unavailable (%s); falling back to "

@@ -13,13 +13,29 @@ to stop.  Three endpoints:
     drained into shared micro-batches; a full queue answers ``503``
     with a ``Retry-After`` header instead of queueing unboundedly.
 ``GET /healthz``
-    Liveness: status, live model generation, uptime, drain state, and
-    (in ingest mode) live corpus membership.
+    Liveness: status, live model generation, uptime, drain state,
+    tracing configuration, and (in ingest mode) live corpus
+    membership.
 ``GET /metrics``
     JSON snapshot of the
     :class:`~repro.serving.metrics.MetricsRegistry` (request counters,
     latency histogram with p50/p95/p99, batch sizes, queue depth,
-    reload counts) plus the service's digest-cache counters.
+    reload counts) plus the service's digest-cache counters.  With
+    ``?format=prometheus`` the same registry renders as Prometheus
+    text exposition (format 0.0.4) instead.
+``GET /debug/trace``
+    The tracer's ring buffers: the last-N sampled request traces plus
+    the traces that exceeded ``--slow-request-ms``, each with its
+    per-stage breakdown (see :mod:`repro.observability.trace`).
+``GET /debug/profile?seconds=N``
+    Open a cProfile window over the coalescer workers and answer with
+    merged pstats text.  Refused (403) unless the server was started
+    with ``--enable-profiling``.
+
+Every response carries an ``X-Request-Id`` header; classified
+decisions repeat the id in their decision-log lines and ingest acks
+carry it in the body, so one client call correlates across the audit
+trail, ``/debug/trace`` and the slow-request log.
 
 With ``enable_ingest=True`` (and a mutable
 :class:`~repro.serving.model_manager.ModelManager`) two more verbs turn
@@ -51,6 +67,7 @@ import time
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
 
 from ..exceptions import (
     ProtocolError,
@@ -61,6 +78,10 @@ from ..exceptions import (
     ValidationError,
 )
 from ..logging_utils import get_logger
+from ..observability import promtext
+from ..observability import trace as trace_mod
+from ..observability.profiler import ProfilerBusyError, WorkerProfiler
+from ..observability.trace import REQUEST_ID_HEADER, Tracer, span
 from . import ingest as ingest_protocol
 from . import protocol
 from .batcher import RequestCoalescer
@@ -87,6 +108,10 @@ class ServerConfig:
     request_timeout_seconds: float = 120.0
     enable_ingest: bool = False           # POST /ingest + DELETE /samples
     max_ingest_items: int = ingest_protocol.DEFAULT_MAX_INGEST_ITEMS
+    trace_sample: float = 1.0             # fraction of requests traced
+    slow_request_ms: float = 1000.0       # slow-ring + warn threshold
+    trace_ring: int = trace_mod.DEFAULT_RING_SIZE
+    enable_profiling: bool = False        # GET /debug/profile
 
 
 class _HTTPServer(ThreadingHTTPServer):
@@ -127,6 +152,13 @@ class ClassificationServer:
         self._errors = self.metrics.counter("http_responses_error")
         self._items = self.metrics.counter("items_classified_total")
         self._latency = self.metrics.histogram("request_latency_seconds")
+        self.tracer = Tracer(
+            self.metrics,
+            sample_rate=self.config.trace_sample,
+            slow_request_ms=self.config.slow_request_ms,
+            ring_size=self.config.trace_ring)
+        self.profiler = (WorkerProfiler()
+                         if self.config.enable_profiling else None)
         handlers = {"classify": self._classify_batch}
         if self.config.enable_ingest:
             handlers["ingest"] = self._ingest_batch
@@ -137,7 +169,8 @@ class ClassificationServer:
             max_batch=self.config.max_batch,
             queue_depth=self.config.queue_depth,
             workers=self.config.workers,
-            metrics=self.metrics)
+            metrics=self.metrics,
+            profiler=self.profiler)
         self._batch_latency = self.metrics.histogram("batch_latency_seconds")
         self._httpd: _HTTPServer | None = None
         self._serve_thread: threading.Thread | None = None
@@ -266,37 +299,61 @@ class ClassificationServer:
     def _handle_classify(self, body: bytes) -> tuple[int, dict, bytes]:
         started = time.perf_counter()
         self._requests.inc()
+        # The request id is issued at the server edge for *every*
+        # request (sampled or not); the trace only exists for sampled
+        # ones.  Activating the trace as the contextvar sink lets the
+        # handler-thread stages (parse, serialize, decision_log)
+        # record without plumbing.
+        request_id = trace_mod.new_request_id()
+        trace = self.tracer.begin(request_id, "classify")
+        headers = {REQUEST_ID_HEADER: request_id}
+        token = trace_mod.activate(trace) if trace is not None else None
+        items = ()
+        status = 500
         try:
-            items = protocol.parse_classify_request(
-                body, max_items=self.config.max_items_per_request,
-                max_item_bytes=self.config.max_item_bytes)
-            future = self._coalescer.submit(items)
-            decisions, generation = future.result(
-                timeout=self.config.request_timeout_seconds)
-        except ProtocolError as exc:
-            self._bad.inc()
-            return 400, {}, _error_body(str(exc))
-        except (ServerOverloadedError, ServerClosedError, TimeoutError,
-                FutureTimeoutError) as exc:
-            self._overloaded.inc()
-            retry = {"Retry-After":
-                     str(max(1, round(self.config.retry_after_seconds)))}
-            return 503, retry, _error_body(str(exc))
-        except Exception as exc:  # noqa: BLE001 — must answer the client
-            self._errors.inc()
-            _LOG.exception("classification request failed")
-            return 500, {}, _error_body(f"internal error: {exc}")
-        self._ok.inc()
-        self._items.inc(len(decisions))
-        self._latency.observe(time.perf_counter() - started)
-        if self.decision_log is not None:
-            now = time.time()
-            for decision in decisions:
-                record = protocol.decision_to_dict(decision)
-                record["model_generation"] = generation
-                record["unix_time"] = round(now, 3)
-                self.decision_log.append(record)
-        return 200, {}, protocol.encode_decisions(decisions, generation)
+            try:
+                with span("parse"):
+                    items = protocol.parse_classify_request(
+                        body, max_items=self.config.max_items_per_request,
+                        max_item_bytes=self.config.max_item_bytes)
+                future = self._coalescer.submit(items, trace=trace)
+                decisions, generation = future.result(
+                    timeout=self.config.request_timeout_seconds)
+            except ProtocolError as exc:
+                self._bad.inc()
+                status = 400
+                return 400, headers, _error_body(str(exc))
+            except (ServerOverloadedError, ServerClosedError, TimeoutError,
+                    FutureTimeoutError) as exc:
+                self._overloaded.inc()
+                status = 503
+                headers["Retry-After"] = str(
+                    max(1, round(self.config.retry_after_seconds)))
+                return 503, headers, _error_body(str(exc))
+            except Exception as exc:  # noqa: BLE001 — must answer the client
+                self._errors.inc()
+                _LOG.exception("classification request failed")
+                return 500, headers, _error_body(f"internal error: {exc}")
+            self._ok.inc()
+            status = 200
+            self._items.inc(len(decisions))
+            self._latency.observe(time.perf_counter() - started)
+            if self.decision_log is not None:
+                with span("decision_log"):
+                    now = time.time()
+                    for decision in decisions:
+                        record = protocol.decision_to_dict(decision)
+                        record["model_generation"] = generation
+                        record["unix_time"] = round(now, 3)
+                        record["request_id"] = request_id
+                        self.decision_log.append(record)
+            with span("serialize"):
+                response = protocol.encode_decisions(decisions, generation)
+            return 200, headers, response
+        finally:
+            if token is not None:
+                trace_mod.deactivate(token)
+            self.tracer.finish(trace, items=len(items), status=status)
 
     # ------------------------------------------------------------- ingestion
     def _ingest_batch(self, items):
@@ -321,39 +378,58 @@ class ClassificationServer:
     def _handle_ingest(self, body: bytes) -> tuple[int, dict, bytes]:
         started = time.perf_counter()
         self._requests.inc()
+        request_id = trace_mod.new_request_id()
+        headers = {REQUEST_ID_HEADER: request_id}
         if not self.config.enable_ingest:
             self._bad.inc()
-            return 403, {}, _error_body(
+            return 403, headers, _error_body(
                 "ingestion is disabled on this server (start it with "
                 "--ingest)")
+        trace = self.tracer.begin(request_id, "ingest")
+        token = trace_mod.activate(trace) if trace is not None else None
+        items = ()
+        status = 500
         try:
-            items = ingest_protocol.parse_ingest_request(
-                body, max_items=self.config.max_ingest_items,
-                max_item_bytes=self.config.max_item_bytes)
-            future = self._coalescer.submit(items, kind="ingest")
-            reports, generation = future.result(
-                timeout=self.config.request_timeout_seconds)
-        except (ProtocolError, ValidationError) as exc:
-            # ValidationError covers corpus-level rejections (unknown
-            # class, unlabelled sample) raised inside the ingest pass.
-            self._bad.inc()
-            return 400, {}, _error_body(str(exc))
-        except (ServerOverloadedError, ServerClosedError, TimeoutError,
-                FutureTimeoutError) as exc:
-            self._overloaded.inc()
-            retry = {"Retry-After":
-                     str(max(1, round(self.config.retry_after_seconds)))}
-            return 503, retry, _error_body(str(exc))
-        except Exception as exc:  # noqa: BLE001 — must answer the client
-            self._errors.inc()
-            _LOG.exception("ingest request failed")
-            return 500, {}, _error_body(f"internal error: {exc}")
-        self._ok.inc()
-        self._items_ingested.inc(len(reports))
-        self._latency.observe(time.perf_counter() - started)
-        members = self.manager.corpus_info()["members"]
-        return 200, {}, ingest_protocol.encode_ingest_report(
-            reports, generation, members, durable=self._wal_active())
+            try:
+                with span("parse"):
+                    items = ingest_protocol.parse_ingest_request(
+                        body, max_items=self.config.max_ingest_items,
+                        max_item_bytes=self.config.max_item_bytes)
+                future = self._coalescer.submit(items, kind="ingest",
+                                                trace=trace)
+                reports, generation = future.result(
+                    timeout=self.config.request_timeout_seconds)
+            except (ProtocolError, ValidationError) as exc:
+                # ValidationError covers corpus-level rejections (unknown
+                # class, unlabelled sample) raised inside the ingest pass.
+                self._bad.inc()
+                status = 400
+                return 400, headers, _error_body(str(exc))
+            except (ServerOverloadedError, ServerClosedError, TimeoutError,
+                    FutureTimeoutError) as exc:
+                self._overloaded.inc()
+                status = 503
+                headers["Retry-After"] = str(
+                    max(1, round(self.config.retry_after_seconds)))
+                return 503, headers, _error_body(str(exc))
+            except Exception as exc:  # noqa: BLE001 — must answer the client
+                self._errors.inc()
+                _LOG.exception("ingest request failed")
+                return 500, headers, _error_body(f"internal error: {exc}")
+            self._ok.inc()
+            status = 200
+            self._items_ingested.inc(len(reports))
+            self._latency.observe(time.perf_counter() - started)
+            members = self.manager.corpus_info()["members"]
+            with span("serialize"):
+                response = ingest_protocol.encode_ingest_report(
+                    reports, generation, members,
+                    durable=self._wal_active(), request_id=request_id)
+            return 200, headers, response
+        finally:
+            if token is not None:
+                trace_mod.deactivate(token)
+            self.tracer.finish(trace, items=len(items), status=status)
 
     def handle_purge(self, path: str) -> tuple[int, dict, bytes]:
         """Run one ``DELETE /samples/<id>``; ``(status, hdrs, body)``.
@@ -374,9 +450,10 @@ class ClassificationServer:
 
     def _handle_purge(self, path: str) -> tuple[int, dict, bytes]:
         self._requests.inc()
+        headers = {REQUEST_ID_HEADER: trace_mod.new_request_id()}
         if not self.config.enable_ingest:
             self._bad.inc()
-            return 403, {}, _error_body(
+            return 403, headers, _error_body(
                 "ingestion is disabled on this server (start it with "
                 "--ingest)")
         try:
@@ -384,23 +461,23 @@ class ClassificationServer:
             removed, generation = self.manager.purge(sample_id)
         except ProtocolError as exc:
             self._bad.inc()
-            return 400, {}, _error_body(str(exc))
+            return 400, headers, _error_body(str(exc))
         except ValidationError as exc:
             # Refused because the purge would strand a class without
             # anchors: a conflict with the corpus state, not a bad
             # request shape.
             self._bad.inc()
-            return 409, {}, _error_body(str(exc))
+            return 409, headers, _error_body(str(exc))
         except Exception as exc:  # noqa: BLE001 — must answer the client
             self._errors.inc()
             _LOG.exception("purge request failed")
-            return 500, {}, _error_body(f"internal error: {exc}")
+            return 500, headers, _error_body(f"internal error: {exc}")
         if not removed:
             self._bad.inc()
-            return 404, {}, _error_body(
+            return 404, headers, _error_body(
                 f"no corpus member is registered under {sample_id!r}")
         self._ok.inc()
-        return 200, {}, json.dumps({
+        return 200, headers, json.dumps({
             "purged": int(removed), "sample_id": sample_id,
             "model_generation": int(generation),
         }, sort_keys=True).encode("utf-8")
@@ -443,6 +520,10 @@ class ClassificationServer:
                 durability = None
             if durability is not None:
                 payload["durability"] = durability
+        payload["tracing"] = {
+            **self.tracer.config_payload(),
+            "profiling_enabled": self.profiler is not None,
+        }
         return payload
 
     def metrics_payload(self) -> dict:
@@ -486,8 +567,17 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send_json(self, status: int, body: bytes,
                    headers: dict | None = None) -> None:
+        self._send_body(status, body, "application/json", headers)
+
+    def _send_text(self, status: int, text: str,
+                   content_type: str = "text/plain; charset=utf-8",
+                   headers: dict | None = None) -> None:
+        self._send_body(status, text.encode("utf-8"), content_type, headers)
+
+    def _send_body(self, status: int, body: bytes, content_type: str,
+                   headers: dict | None = None) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)
@@ -496,17 +586,63 @@ class _Handler(BaseHTTPRequestHandler):
 
     # --------------------------------------------------------------- routes
     def do_GET(self) -> None:  # noqa: N802 — stdlib naming
-        if self.path == "/healthz":
+        parsed = urlsplit(self.path)
+        query = parse_qs(parsed.query)
+        if parsed.path == "/healthz":
             payload = self.app.health_payload()
             status = 200 if payload["status"] == "ok" else 503
             self._send_json(status,
                             json.dumps(payload, sort_keys=True).encode())
-        elif self.path == "/metrics":
-            self._send_json(200, json.dumps(self.app.metrics_payload(),
-                                            sort_keys=True).encode())
+        elif parsed.path == "/metrics":
+            wire_format = (query.get("format") or ["json"])[-1]
+            if wire_format == "prometheus":
+                self._send_text(200, promtext.render_prometheus(
+                    self.app.metrics), content_type=promtext.CONTENT_TYPE)
+            elif wire_format == "json":
+                self._send_json(200, json.dumps(self.app.metrics_payload(),
+                                                sort_keys=True).encode())
+            else:
+                self._send_json(400, _error_body(
+                    f"unknown metrics format {wire_format!r} (expected "
+                    f"json or prometheus)"))
+        elif parsed.path == "/debug/trace":
+            try:
+                limit = int((query.get("limit") or [-1])[-1])
+            except ValueError:
+                self._send_json(400, _error_body("limit must be an integer"))
+                return
+            payload = self.app.tracer.trace_payload(
+                None if limit < 0 else limit)
+            self._send_json(200,
+                            json.dumps(payload, sort_keys=True).encode())
+        elif parsed.path == "/debug/profile":
+            self._handle_profile(query)
         else:
             self._send_json(404, _error_body(f"no such endpoint: "
                                              f"{self.path}"))
+
+    def _handle_profile(self, query: dict) -> None:
+        if self.app.profiler is None:
+            self._send_json(403, _error_body(
+                "profiling is disabled on this server (start it with "
+                "--enable-profiling)"))
+            return
+        try:
+            seconds = float((query.get("seconds") or ["2"])[-1])
+        except ValueError:
+            self._send_json(400, _error_body("seconds must be a number"))
+            return
+        try:
+            # Blocks this handler thread for the window — that is the
+            # point: the response carries what ran *during* it.
+            text = self.app.profiler.run(seconds)
+        except ProfilerBusyError as exc:
+            self._send_json(409, _error_body(str(exc)))
+            return
+        except ValueError as exc:
+            self._send_json(400, _error_body(str(exc)))
+            return
+        self._send_text(200, text)
 
     def do_POST(self) -> None:  # noqa: N802 — stdlib naming
         if self.path not in ("/classify", "/ingest"):

@@ -66,6 +66,7 @@ from pathlib import Path
 
 from ..exceptions import WALCorruptionError, WALError
 from ..logging_utils import get_logger
+from ..observability.trace import span
 from ..testing import faults
 
 __all__ = ["WAL_MAGIC", "WAL_FILE_NAME", "MAX_RECORD_BYTES", "WALRecord",
@@ -457,7 +458,9 @@ class WriteAheadLog:
         """fsync everything appended so far (the group-commit point)."""
 
         faults.fire("wal.fsync")
-        with self._lock:
+        # The span covers lock wait + flush + fsync: that *is* the
+        # durability cost an acked ingest request paid.
+        with span("wal_fsync"), self._lock:
             self._check_open_locked()
             if self._synced_size == self._size:
                 return

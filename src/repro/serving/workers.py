@@ -20,8 +20,13 @@ Protocol
   whose cached service was loaded under a different signature reloads
   (for a mapped artifact: a remap) before scoring — hot reload
   propagates to workers with no extra plumbing.
-* Results come back as ``(pid, cumulative_batches, decisions)`` so the
-  parent can publish per-worker batch counters on ``/metrics``.
+* Results come back as ``(pid, cumulative_batches, decisions, spans)``
+  so the parent can publish per-worker batch counters on ``/metrics``
+  and attribute scoring-stage time per worker pid.  Span clocks are
+  process-local, so workers ship ``(name, offset, duration, meta)``
+  tuples relative to their own batch start and the parent re-bases
+  them onto its dispatch timestamp (see
+  :func:`repro.observability.trace.record_shipped_spans`).
 
 Decisions are **bit-identical** to the single-process path: items are
 scored independently of their batch-mates, so splitting a batch into
@@ -33,12 +38,14 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from pathlib import Path
 from typing import Sequence
 
 from ..api.service import ClassificationService, Decision
 from ..exceptions import ValidationError
 from ..logging_utils import get_logger
+from ..observability import trace as trace_mod
 from ..parallel.backend import ProcessBackend
 
 __all__ = ["ScoringWorkerPool"]
@@ -81,14 +88,29 @@ def _worker_ping(signature: tuple) -> int:
     return os.getpid()
 
 
-def _score_batch(payload: tuple) -> tuple[int, int, list[Decision]]:
-    """Score one contiguous chunk; returns ``(pid, batches, decisions)``."""
+def _score_batch(payload: tuple) -> tuple[int, int, list[Decision], list]:
+    """Score one contiguous chunk in this worker process.
 
-    signature, items = payload
+    Returns ``(pid, batches, decisions, spans)`` where ``spans`` are
+    the stage spans recorded during the chunk's model pass, shipped as
+    process-portable tuples (offsets relative to this chunk's start).
+    """
+
+    signature, items, want_spans = payload
     service = _worker_service(signature)
-    decisions = service.classify_bytes(list(items))
+    if want_spans:
+        collector = trace_mod.SpanCollector()
+        token = trace_mod.activate(collector)
+        try:
+            decisions = service.classify_bytes(list(items))
+        finally:
+            trace_mod.deactivate(token)
+        shipped = collector.shipped()
+    else:
+        decisions = service.classify_bytes(list(items))
+        shipped = []
     _WORKER_STATE["batches"] += 1
-    return os.getpid(), _WORKER_STATE["batches"], decisions
+    return os.getpid(), _WORKER_STATE["batches"], decisions, shipped
 
 
 class ScoringWorkerPool:
@@ -143,19 +165,26 @@ class ScoringWorkerPool:
         items = list(items)
         if not items:
             return []
+        # Only ask workers to record spans when this batch is traced —
+        # an unsampled request must not pay span-collection cost.
+        want_spans = trace_mod.current_sink() is not None
+        dispatch_start = time.perf_counter()
         n_chunks = min(self.n_workers, len(items))
         chunk_size = -(-len(items) // n_chunks)
-        payloads = [(signature, items[lo:lo + chunk_size])
+        payloads = [(signature, items[lo:lo + chunk_size], want_spans)
                     for lo in range(0, len(items), chunk_size)]
         results = self._backend.map(_score_batch, payloads, chunksize=1)
         decisions: list[Decision] = []
         with self._lock:
-            for pid, batches, part in results:
+            for pid, batches, part, shipped in results:
                 # Cumulative per-worker counts: chunks of one batch may
                 # land on the same worker, so keep the max, not the sum.
                 if batches > self._batches_by_pid.get(int(pid), 0):
                     self._batches_by_pid[int(pid)] = int(batches)
                 decisions.extend(part)
+                if shipped:
+                    trace_mod.record_shipped_spans(
+                        shipped, dispatch_start, worker=int(pid))
         return decisions
 
     def stats(self) -> dict:

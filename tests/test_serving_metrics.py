@@ -118,3 +118,54 @@ def test_concurrent_recording_loses_nothing():
     assert counter.value == 4000
     assert hist.count == 4000
     assert hist.sum == pytest.approx(40.0)
+
+
+def test_histogram_reads_are_never_torn_under_concurrent_observes():
+    # Every multi-field read (state, snapshot, collect) happens under
+    # one lock hold, so bucket counts always sum to count and sum/max
+    # describe the same observation set — even while writers hammer.
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat", buckets=[1.0, 2.0, 4.0])
+    family = registry.histogram("staged", buckets=[1.0],
+                                labels=("stage",))
+    child = family.labels(stage="a")
+    stop = threading.Event()
+    torn: list[str] = []
+
+    def writer():
+        value = 0
+        while not stop.is_set():
+            hist.observe(float(value % 5))         # constant 2.0 mean basis
+            child.observe(float(value % 2))
+            value += 1
+
+    def check(state):
+        if sum(state["counts"]) != state["count"]:
+            torn.append(f"counts {state['counts']} != count "
+                        f"{state['count']}")
+        if state["count"] and not state["sum"] <= state["count"] * 4.0:
+            torn.append(f"sum {state['sum']} impossible for count "
+                        f"{state['count']}")
+
+    def reader():
+        while not stop.is_set():
+            check(hist.state())
+            check(child.state())
+            snapshot = hist.snapshot()
+            if sum(snapshot["buckets"].values()) != snapshot["count"]:
+                torn.append("snapshot buckets disagree with count")
+            for _, _, series in registry.collect():
+                for _, state in series:
+                    if isinstance(state, dict):
+                        check(state)
+
+    writers = [threading.Thread(target=writer) for _ in range(4)]
+    readers = [threading.Thread(target=reader) for _ in range(2)]
+    for thread in writers + readers:
+        thread.start()
+    threading.Event().wait(0.5)
+    stop.set()
+    for thread in writers + readers:
+        thread.join()
+    assert torn == []
+    assert hist.count > 0                          # the hammer really ran
